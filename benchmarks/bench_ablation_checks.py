@@ -1,0 +1,148 @@
+"""Ablation: the relative power of the three generic check types.
+
+DESIGN.md calls out the paper's Section 6 taxonomy as a design choice
+worth quantifying: if a project could only deploy ONE of the three
+generic check types everywhere (all content/attribute checks, or all
+reference-consistency checks, or all object-type checks), which
+exploits of the extended model set would it stop?
+
+The expected shape, from the paper's own frequency analysis: content/
+attribute checks stop the most exploits (they guard the earliest
+activities of most chains), reference-consistency checks stop all the
+memory-corruption chains (they guard the last activity), and object-
+type checks alone stop only the type-confusion cases.
+"""
+
+from conftest import print_table
+
+from repro.core import PfsmType
+from repro.models import (
+    all_extended_exploit_inputs,
+    all_extended_models,
+)
+
+
+def _secure_by_type(model, check_type):
+    """Copy of a model with every pFSM of one generic type secured."""
+    hardened = model
+    for operation, pfsm in model.all_pfsms():
+        if pfsm.check_type is check_type:
+            hardened = hardened.with_pfsm_secured(operation.name, pfsm.name)
+    return hardened
+
+
+def test_ablation_single_check_type(benchmark):
+    """Deploy one check type everywhere; count surviving exploits."""
+    models = all_extended_models()
+    exploits = all_extended_exploit_inputs()
+
+    def ablate():
+        survival = {}
+        for check_type in PfsmType:
+            survived = []
+            for label, model in models.items():
+                hardened = _secure_by_type(model, check_type)
+                if hardened.is_compromised_by(exploits[label]):
+                    survived.append(label)
+            survival[check_type] = survived
+        return survival
+
+    survival = benchmark(ablate)
+    total = len(models)
+    stopped = {t: total - len(s) for t, s in survival.items()}
+
+    # Content/attribute checks guard an early activity of every chain
+    # except the pure reference-consistency race: they stop the most.
+    assert stopped[PfsmType.CONTENT_ATTRIBUTE] >= \
+        stopped[PfsmType.REFERENCE_CONSISTENCY]
+    assert stopped[PfsmType.CONTENT_ATTRIBUTE] >= \
+        stopped[PfsmType.OBJECT_TYPE]
+    # Object-type checks alone are the weakest (few chains have one).
+    assert stopped[PfsmType.OBJECT_TYPE] <= \
+        stopped[PfsmType.REFERENCE_CONSISTENCY]
+
+    print_table(
+        f"Ablation — one generic check type deployed everywhere "
+        f"({total} exploits)",
+        (f"{check_type.value:<32} stops {stopped[check_type]:>2}/{total}; "
+         f"survives: {', '.join(s) or 'none'}"
+         for check_type, s in survival.items()),
+    )
+
+
+def test_ablation_defense_in_depth(benchmark):
+    """Deploying any TWO check types everywhere stops every exploit
+    whose chain includes both types — and the full triple stops all."""
+    models = all_extended_models()
+    exploits = all_extended_exploit_inputs()
+
+    def layered():
+        results = {}
+        pairs = [
+            (PfsmType.CONTENT_ATTRIBUTE, PfsmType.REFERENCE_CONSISTENCY),
+            (PfsmType.CONTENT_ATTRIBUTE, PfsmType.OBJECT_TYPE),
+            (PfsmType.OBJECT_TYPE, PfsmType.REFERENCE_CONSISTENCY),
+        ]
+        for first, second in pairs:
+            survived = 0
+            for label, model in models.items():
+                hardened = _secure_by_type(
+                    _secure_by_type(model, first), second
+                )
+                if hardened.is_compromised_by(exploits[label]):
+                    survived += 1
+            results[(first.value, second.value)] = survived
+        all_three = 0
+        for label, model in models.items():
+            hardened = model
+            for check_type in PfsmType:
+                hardened = _secure_by_type(hardened, check_type)
+            if hardened.is_compromised_by(exploits[label]):
+                all_three += 1
+        results["all three"] = all_three
+        return results
+
+    results = benchmark(layered)
+    assert results["all three"] == 0  # the Lemma's global consequence
+    assert results[(PfsmType.CONTENT_ATTRIBUTE.value,
+                    PfsmType.REFERENCE_CONSISTENCY.value)] == 0
+    print_table(
+        "Ablation — layered check types (surviving exploits)",
+        (f"{str(combo):<70} {count}" for combo, count in results.items()),
+    )
+
+
+def test_ablation_earliest_vs_latest_fix(benchmark):
+    """Fixing the first versus the last elementary activity of each
+    chain: both foil (Observation 1), a structural double-check that no
+    chain depends on a *specific* single position."""
+    models = all_extended_models()
+    exploits = all_extended_exploit_inputs()
+
+    def sweep():
+        rows = []
+        for label, model in models.items():
+            exploit = exploits[label]
+            original = model.run(exploit)
+            hidden = [e.subject for e in original.trace.hidden_path_steps()]
+            first, last = hidden[0], hidden[-1]
+            first_fixed = last_fixed = None
+            for operation, pfsm in model.all_pfsms():
+                if pfsm.name == first and first_fixed is None:
+                    first_fixed = not model.with_pfsm_secured(
+                        operation.name, pfsm.name
+                    ).is_compromised_by(exploit)
+                if pfsm.name == last:
+                    last_fixed = not model.with_pfsm_secured(
+                        operation.name, pfsm.name
+                    ).is_compromised_by(exploit)
+            rows.append((label, first_fixed, last_fixed))
+        return rows
+
+    rows = benchmark(sweep)
+    assert all(first and last for _label, first, last in rows)
+    print_table(
+        "Ablation — earliest vs latest hidden activity as the fix point",
+        (f"{label:<45} first-fix foils={first}  last-fix foils={last}"
+         for label, first, last in rows),
+    )

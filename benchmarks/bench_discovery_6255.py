@@ -1,0 +1,121 @@
+"""Section 5.1's headline result: discovering Bugtraq #6255 while
+modeling the known NULL HTTPD vulnerability.
+
+The workflow: derive the elementary-activity predicates from the known
+vulnerability's model, probe the *fixed* 0.5.1 implementation against
+them, and find that pFSM2 ("length(input) <= size(PostData)") still has
+no IMPL_REJ — the recv loop's ``||``-for-``&&`` logic error.
+"""
+
+from conftest import print_table
+
+from repro.apps import NullHttpd, NullHttpdVariant, RECV_CHUNK, craft_unlink_body
+from repro.core import DiscoveryEngine, Domain, Predicate
+from repro.memory import ControlFlowHijack
+
+
+def _spec_content_len():
+    return Predicate(lambda n: n >= 0, "contentLen >= 0")
+
+
+def _spec_fits():
+    return Predicate(
+        lambda r: r["input_len"] <= r["content_len"] + 1024,
+        "length(input) <= size(PostData)",
+    )
+
+
+def _probe_content_len(content_len):
+    app = NullHttpd(NullHttpdVariant.V0_5_1)
+    return app.handle_post(content_len, b"x" * max(content_len, 0)).accepted
+
+
+def _probe_copy(request):
+    app = NullHttpd(NullHttpdVariant.V0_5_1)
+    outcome = app.handle_post(request["content_len"],
+                              b"x" * request["input_len"])
+    return outcome.accepted and outcome.bytes_copied == request["input_len"]
+
+
+def _domains():
+    return {
+        "pFSM1": Domain.of(-800, -1, 0, 100, 4096),
+        "pFSM2": Domain.records(
+            content_len=Domain.of(0, 100, 500),
+            input_len=Domain.of(0, 100, 1024, 1500, 2 * RECV_CHUNK + 200),
+        ),
+    }
+
+
+def test_discovery_sweep_finds_6255(benchmark):
+    """The probed sweep over 0.5.1: pFSM1 clean, pFSM2 violated."""
+    engine = DiscoveryEngine(known_vulnerable=["pFSM1"])
+
+    def sweep():
+        return engine.sweep_probed(
+            "Read postdata from socket to PostData",
+            [
+                ("pFSM1", "validate contentLen", _spec_content_len(),
+                 _probe_content_len),
+                ("pFSM2", "terminate the copy at the buffer size",
+                 _spec_fits(), _probe_copy),
+            ],
+            _domains(),
+        )
+
+    findings = benchmark(sweep)
+    names = {f.pfsm_name for f in findings}
+    assert names == {"pFSM2"}  # the fixed check is clean; the copy is not
+    new = DiscoveryEngine.new_findings(findings)
+    assert len(new) == 1
+    print_table(
+        "Section 5.1 — discovery sweep over NULL HTTPD 0.5.1 (reproduced)",
+        [str(f) for f in findings]
+        + [f"witness request: {new[0].witnesses[0]}"],
+    )
+
+
+def test_discovered_vulnerability_is_exploitable(benchmark):
+    """The discovered hidden path carries a working exploit: correct
+    contentLen, over-long body, GOT(free) hijack — Bugtraq #6255."""
+
+    def exploit():
+        app = NullHttpd(NullHttpdVariant.V0_5_1)
+        body = craft_unlink_body(app, content_len=100)
+        outcome = app.handle_post(100, body)
+        assert outcome.accepted and outcome.overflowed
+        app.free_post_data()
+        try:
+            app.call_free()
+            return None
+        except ControlFlowHijack as hijack:
+            return app, hijack
+
+    app, hijack = benchmark(exploit)
+    assert app.process.is_mcode(hijack.target)
+    print_table(
+        "Bugtraq #6255 — executable confirmation",
+        [f"0.5.1 hijacked with valid Content-Length: "
+         f"free() -> Mcode at {hijack.target:#x}"],
+    )
+
+
+def test_fix_verified_by_same_sweep(benchmark):
+    """Applying the && fix and re-running the sweep yields no findings —
+    the verification loop a maintainer would run."""
+
+    def probe_fixed(request):
+        app = NullHttpd(NullHttpdVariant.FIXED)
+        outcome = app.handle_post(request["content_len"],
+                                  b"x" * request["input_len"])
+        return outcome.accepted and outcome.bytes_copied == request["input_len"]
+
+    engine = DiscoveryEngine()
+
+    def sweep():
+        return engine.sweep_probed(
+            "read", [("pFSM2", "copy", _spec_fits(), probe_fixed)],
+            _domains(),
+        )
+
+    assert benchmark(sweep) == []

@@ -1,0 +1,110 @@
+"""Extension experiment: detection coverage of the reference-consistency
+checks under fault injection.
+
+Quantifies the paper's Section 6 observation about unprotected
+reference inconsistencies: each consistency predicate is exercised
+against seeded corruption campaigns on exactly the state it guards, and
+the canary's known blind spot (targeted, non-linear writes — the
+format-string case) is measured next to the full consistency check.
+"""
+
+from conftest import print_table
+
+from repro.memory import (
+    AddressSpace,
+    CallStack,
+    Heap,
+    Process,
+    Region,
+    WORD_SIZE,
+    measure_detection_coverage,
+)
+
+TRIALS = 60
+
+
+def _got_target():
+    process = Process()
+    symbols = list(process.got.symbols())
+    span = Region("got-loaded", process.got.entry_address(symbols[0]),
+                  len(symbols) * WORD_SIZE)
+    return (process.space, span,
+            lambda: all(process.got.is_consistent(s) for s in symbols))
+
+
+def _heap_target():
+    space = AddressSpace(size=1 << 20)
+    heap = Heap(space, size=64 * 1024)
+    first = heap.malloc(64)
+    heap.malloc(16)
+    heap.free(first)
+    chunk = heap.chunk_for(first)
+    span = Region("links", chunk.fd_address, 2 * WORD_SIZE)
+    return (space, span, heap.links_intact)
+
+
+def _return_target(predicate):
+    space = AddressSpace(size=1 << 20)
+    stack = CallStack(space, size=8192)
+    frame = stack.push_frame("f", 0x1000, {"buf": 32}, canary=0xCAFE)
+    span = Region("ret", frame.return_address_slot, WORD_SIZE)
+    check = stack.canary_intact if predicate == "canary" \
+        else stack.return_address_intact
+    return (space, span, check)
+
+
+def _buffer_overrun_target(predicate):
+    """Linear overruns from the buffer upward: what canaries DO catch."""
+    space = AddressSpace(size=1 << 20)
+    stack = CallStack(space, size=8192)
+    frame = stack.push_frame("f", 0x1000, {"buf": 32}, canary=0xCAFE)
+    # Corrupt the canary word itself, as a linear overflow must.
+    span = Region("canary", frame.canary_slot, WORD_SIZE)
+    check = stack.canary_intact if predicate == "canary" \
+        else stack.return_address_intact
+    return (space, span, check)
+
+
+def test_fault_coverage_matrix(benchmark):
+    """The full campaign: four guarded states x their predicates."""
+
+    def campaign():
+        return [
+            measure_detection_coverage(
+                "GOT entries vs GOT consistency check",
+                _got_target, trials=TRIALS, seed=11),
+            measure_detection_coverage(
+                "heap free-chunk links vs safe-unlink predicate",
+                _heap_target, trials=TRIALS, seed=12),
+            measure_detection_coverage(
+                "return slot (targeted write) vs canary",
+                lambda: _return_target("canary"), trials=TRIALS, seed=13),
+            measure_detection_coverage(
+                "return slot (targeted write) vs consistency check",
+                lambda: _return_target("check"), trials=TRIALS, seed=14),
+            measure_detection_coverage(
+                "canary word (linear overrun) vs canary",
+                lambda: _buffer_overrun_target("canary"),
+                trials=TRIALS, seed=15),
+        ]
+
+    reports = benchmark(campaign)
+    by_name = {report.campaign: report for report in reports}
+    assert by_name[
+        "GOT entries vs GOT consistency check"].coverage == 1.0
+    # Safe-unlink admits a rare aliasing false negative (a corrupted fd
+    # pointing just below the bin makes fd->bk alias the bin's head
+    # pointer), so its coverage is near-perfect rather than exact.
+    assert by_name[
+        "heap free-chunk links vs safe-unlink predicate"].coverage >= 0.95
+    assert by_name[
+        "return slot (targeted write) vs canary"].coverage == 0.0
+    assert by_name[
+        "return slot (targeted write) vs consistency check"].coverage == 1.0
+    assert by_name[
+        "canary word (linear overrun) vs canary"].coverage == 1.0
+    print_table(
+        "Detection coverage under fault injection (reproduced shape: "
+        "consistency checks 100%, canary blind to targeted writes)",
+        (str(report) for report in reports),
+    )

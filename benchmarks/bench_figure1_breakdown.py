@@ -1,0 +1,74 @@
+"""Figure 1: breakdown of the 5925 Bugtraq reports over 12 categories,
+plus the Section 1 claim that the studied family is 22% of the database.
+
+Paper values (displayed percentages): input validation 23%, boundary
+condition 21%, design 18%, exceptional conditions 11%, access validation
+10%, race condition 6%, configuration 5%, origin validation 3%,
+atomicity 2%, environment 1%, serialization 0%, unknown 0%.
+"""
+
+from conftest import print_table
+
+from repro.bugtraq import (
+    BugtraqDatabase,
+    FIGURE1_PERCENTAGES,
+    TOTAL_REPORTS,
+    figure1_breakdown,
+    studied_family_share,
+)
+from repro.core import BugtraqCategory
+
+
+def test_figure1_category_breakdown(benchmark):
+    """Regenerate the Figure 1 pie-chart numbers at full scale."""
+
+    def build_and_break_down():
+        db = BugtraqDatabase.synthetic()
+        return db, figure1_breakdown(db)
+
+    db, rows = benchmark(build_and_break_down)
+
+    assert len(db) == TOTAL_REPORTS
+    reproduced = {row.category: row.percent for row in rows}
+    assert reproduced == FIGURE1_PERCENTAGES
+
+    print_table(
+        f"Figure 1 — Breakdown of {len(db)} vulnerabilities (reproduced)",
+        (str(row) for row in rows),
+    )
+    benchmark.extra_info["percentages"] = {
+        row.category.value: row.percent for row in rows
+    }
+
+
+def test_figure1_dominant_five(benchmark):
+    """The five dominating categories cover 83% of the database."""
+    db = BugtraqDatabase.synthetic()
+    rows = benchmark(lambda: figure1_breakdown(db)[:5])
+    assert [row.category for row in rows] == [
+        BugtraqCategory.INPUT_VALIDATION,
+        BugtraqCategory.BOUNDARY_CONDITION,
+        BugtraqCategory.DESIGN,
+        BugtraqCategory.EXCEPTIONAL_CONDITIONS,
+        BugtraqCategory.ACCESS_VALIDATION,
+    ]
+    assert sum(row.percent for row in rows) == 83
+    print_table(
+        "Figure 1 — dominant five categories (83% of the database)",
+        (str(row) for row in rows),
+    )
+
+
+def test_studied_family_is_22_percent(benchmark):
+    """Section 1: stack/heap/integer overflow + input validation +
+    format string = 22% of all Bugtraq vulnerabilities."""
+    db = BugtraqDatabase.synthetic()
+    count, share = benchmark(lambda: studied_family_share(db))
+    assert count == 1304
+    assert round(100 * share) == 22
+    print_table(
+        "Section 1 — studied family share",
+        [f"studied classes: {count} of {len(db)} reports ({share:.1%}); "
+         f"paper claims 22%"],
+    )
+    benchmark.extra_info["share"] = share

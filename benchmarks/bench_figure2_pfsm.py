@@ -1,0 +1,65 @@
+"""Figure 2: the primitive FSM — three states, four transitions, and the
+hidden IMPL_ACPT path.
+
+Structural reproduction plus a stepping-throughput benchmark (the pFSM
+step is the unit every model traversal is built from).
+"""
+
+from conftest import print_table
+
+from repro.core import (
+    PrimitiveFSM,
+    StateKind,
+    TransitionKind,
+    in_range,
+    less_equal,
+    render_pfsm,
+)
+
+
+def _pfsm():
+    return PrimitiveFSM(
+        "pFSM", "write i to tTvect[x]", "x",
+        spec_accepts=in_range(0, 100),
+        impl_accepts=less_equal(100),
+        accept_action="tTvect[x]=i",
+    )
+
+
+def test_figure2_structure(benchmark):
+    """The pFSM shape: states, transitions, hidden-path geometry."""
+    pfsm = _pfsm()
+    transitions = benchmark(pfsm.transitions_spec)
+
+    assert len(transitions) == 4
+    kinds = {t.kind for t in transitions}
+    assert kinds == {
+        TransitionKind.SPEC_ACPT,
+        TransitionKind.SPEC_REJ,
+        TransitionKind.IMPL_REJ,
+        TransitionKind.IMPL_ACPT,
+    }
+    assert TransitionKind.IMPL_ACPT.is_hidden
+    assert TransitionKind.IMPL_ACPT.source is StateKind.REJECT
+    assert TransitionKind.IMPL_ACPT.target is StateKind.ACCEPT
+    states = {s for t in transitions for s in (t.kind.source, t.kind.target)}
+    assert states == {StateKind.SPEC_CHECK, StateKind.ACCEPT, StateKind.REJECT}
+
+    print_table("Figure 2 — the primitive FSM (reproduced)",
+                render_pfsm(pfsm).splitlines())
+
+
+def test_figure2_step_throughput(benchmark):
+    """Throughput of the basic pFSM step over a mixed input sweep."""
+    pfsm = _pfsm()
+    inputs = list(range(-200, 300))
+
+    def sweep():
+        hidden = 0
+        for value in inputs:
+            if pfsm.step(value).via_hidden_path:
+                hidden += 1
+        return hidden
+
+    hidden = benchmark(sweep)
+    assert hidden == 200  # exactly the negative inputs ride the hidden path

@@ -1,0 +1,99 @@
+"""Figure 3: the Sendmail Debugging Function Signed Integer Overflow
+(#3163) — model traversal and executable exploit.
+
+Reproduced shape: the exploit traverses two operations via the hidden
+paths of pFSM2 (x <= 100 instead of 0 <= x <= 100) and pFSM3 (no GOT
+consistency check), ending in "Execute Mcode"; the derived predicate
+forecloses it; the executable exploit really corrupts addr_setuid and
+hijacks the setuid() dispatch.
+"""
+
+from conftest import print_table
+
+import pytest
+
+from repro.apps import Sendmail, SendmailVariant, craft_got_exploit
+from repro.core import minimal_foil_points, render_model
+from repro.memory import ControlFlowHijack
+from repro.models import sendmail_model
+
+
+def test_figure3_model_traversal(benchmark):
+    """Traverse the Figure 3 cascade with the exploit input."""
+    model = sendmail_model.build_model()
+    exploit = sendmail_model.exploit_input()
+
+    result = benchmark(lambda: model.run(exploit))
+
+    assert result.compromised
+    assert [e.subject for e in result.trace.hidden_path_steps()] == \
+        ["pFSM2", "pFSM3"]
+    assert result.trace.operations_completed() == [
+        sendmail_model.OPERATION_1, sendmail_model.OPERATION_2,
+    ]
+    print_table("Figure 3 — exploit trace (reproduced)",
+                result.trace.to_text().splitlines())
+
+
+def test_figure3_executable_exploit(benchmark):
+    """Run the real exploit against the executable Sendmail model."""
+
+    def exploit_run():
+        app = Sendmail(SendmailVariant.VULNERABLE)
+        for flag in craft_got_exploit(app):
+            result = app.tTflag(flag)
+            assert result.accepted
+        try:
+            app.call_setuid()
+            return None
+        except ControlFlowHijack as hijack:
+            return app, hijack
+
+    app, hijack = benchmark(exploit_run)
+    assert app.process.is_mcode(hijack.target)
+    print_table(
+        "Figure 3 — executable consequence",
+        [f"setuid() dispatched to Mcode at {hijack.target:#x} "
+         f"(legitimate entry {hijack.legitimate:#x})"],
+    )
+
+
+def test_figure3_patched_forecloses(benchmark):
+    """The Observation 3 predicate (0 <= x <= 100) stops the exploit."""
+
+    def patched_run():
+        app = Sendmail(SendmailVariant.PATCHED)
+        rejected = [not app.tTflag(flag).accepted
+                    for flag in craft_got_exploit(app)]
+        return rejected, app.got_setuid_consistent()
+
+    rejected, consistent = benchmark(patched_run)
+    assert all(rejected)
+    assert consistent
+
+
+def test_figure3_foil_points(benchmark):
+    """Observation 1 over Figure 3: which single fixes foil the exploit."""
+    model = sendmail_model.build_model()
+    exploit = sendmail_model.exploit_input()
+    wrapping = sendmail_model.wrapping_exploit_input()
+
+    points = benchmark(lambda: minimal_foil_points(model, exploit))
+    assert {p.pfsm_name for p in points} == {"pFSM2", "pFSM3"}
+    # The wrapping variant also passes through pFSM1's hidden path.
+    wrapping_points = minimal_foil_points(model, wrapping)
+    assert {p.pfsm_name for p in wrapping_points} == \
+        {"pFSM1", "pFSM2", "pFSM3"}
+    print_table(
+        "Figure 3 — independent foiling opportunities",
+        [str(p) for p in wrapping_points],
+    )
+
+
+def test_figure3_render(benchmark):
+    """The model renders to the figure's structure."""
+    model = sendmail_model.build_model()
+    text = benchmark(lambda: render_model(model))
+    assert "Bugtraq #3163" in text
+    assert "propagation gate" in text
+    assert "Execute Mcode" in text

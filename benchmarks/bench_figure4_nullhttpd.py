@@ -1,0 +1,125 @@
+"""Figure 4: the NULL HTTPD heap overflow — model and executable
+exploit, including the heap-layout mechanics (free chunk B, unlink).
+
+Reproduced shape: contentLen = -800 yields a 224-byte PostData; the
+copy overruns into chunk B's fd/bk; free(PostData) executes
+B->fd->bk = B->bk, rewriting addr_free to Mcode; the next free() call
+executes Mcode.  Version 0.5.1 blocks the negative contentLen but not
+the over-long body (see bench_discovery_6255).
+"""
+
+from conftest import print_table
+
+from repro.apps import NullHttpd, NullHttpdVariant, craft_unlink_body
+from repro.memory import ControlFlowHijack
+from repro.models import nullhttpd_model
+
+
+def test_figure4_model_traversal(benchmark):
+    """Traverse the three-operation cascade with the #5774 input."""
+    model = nullhttpd_model.build_model(NullHttpdVariant.V0_5)
+    exploit = nullhttpd_model.exploit_input_5774()
+
+    result = benchmark(lambda: model.run(exploit))
+    assert result.compromised
+    assert result.hidden_path_count == 4
+    assert result.trace.operations_completed() == [
+        nullhttpd_model.OPERATION_1,
+        nullhttpd_model.OPERATION_2,
+        nullhttpd_model.OPERATION_3,
+    ]
+    print_table("Figure 4 — exploit trace (reproduced)",
+                result.trace.to_text().splitlines())
+
+
+def test_figure4_buffer_arithmetic(benchmark):
+    """contentLen = -800 shrinks PostData to 224 bytes while >= 1024
+    bytes arrive (the paper's numbers)."""
+
+    def serve():
+        app = NullHttpd(NullHttpdVariant.V0_5)
+        return app.handle_post(-800, b"A" * 1024)
+
+    outcome = benchmark(serve)
+    assert outcome.buffer_size == 224
+    assert outcome.bytes_copied == 1024
+    assert outcome.overflowed
+    print_table(
+        "Figure 4 — buffer arithmetic",
+        [f"calloc(1024 + (-800)) -> {outcome.buffer_size}-byte PostData; "
+         f"{outcome.bytes_copied} bytes copied (overflow)"],
+    )
+
+
+def test_figure4_unlink_write_primitive(benchmark):
+    """The full executable chain: overflow -> free -> unlink write into
+    the GOT -> hijacked free() dispatch."""
+
+    def full_chain():
+        app = NullHttpd(NullHttpdVariant.V0_5)
+        body = craft_unlink_body(app, content_len=-800)
+        outcome = app.handle_post(-800, body)
+        assert outcome.overflowed
+        links_before_free = app.heap_links_consistent()
+        app.free_post_data()
+        got_after_free = app.got_free_consistent()
+        try:
+            app.call_free()
+            hijacked = None
+        except ControlFlowHijack as hijack:
+            hijacked = hijack
+        return app, links_before_free, got_after_free, hijacked
+
+    app, links_ok, got_ok, hijack = benchmark(full_chain)
+    assert not links_ok  # pFSM3's predicate violated by the overflow
+    assert not got_ok  # pFSM4's predicate violated by the unlink write
+    assert hijack is not None and app.process.is_mcode(hijack.target)
+    print_table(
+        "Figure 4 — executable consequence",
+        [
+            "B->fd/B->bk overwritten by the POST body",
+            "free(PostData) executed B->fd->bk = B->bk",
+            f"addr_free now points to Mcode at {hijack.target:#x}",
+        ],
+    )
+    # The Figure 4a heap-layout panel, after the free/consolidation.
+    print_table("Figure 4a — heap layout (reproduced)",
+                app.process.heap.describe_layout().splitlines())
+
+
+def test_figure4_version_matrix(benchmark):
+    """Who wins across versions: 0.5 falls to #5774; 0.5.1 blocks it;
+    the && fix blocks both."""
+
+    def matrix():
+        results = {}
+        for variant in NullHttpdVariant:
+            app = NullHttpd(variant)
+            body = craft_unlink_body(app, content_len=-800)
+            outcome = app.handle_post(-800, body)
+            results[variant.name] = outcome.accepted and outcome.overflowed
+        return results
+
+    results = benchmark(matrix)
+    assert results == {"V0_5": True, "V0_5_1": False, "FIXED": False}
+    print_table(
+        "Figure 4 — #5774 (contentLen = -800) across versions",
+        (f"{name:<8} overflow={'YES' if hit else 'no'}"
+         for name, hit in results.items()),
+    )
+
+
+def test_figure4_safe_unlink_foils(benchmark):
+    """The pFSM3 check (safe unlink) foils the exploit at free time."""
+    from repro.memory import HeapCorruptionDetected
+
+    def hardened_chain():
+        app = NullHttpd(NullHttpdVariant.V0_5, check_unlink=True)
+        app.handle_post(-800, craft_unlink_body(app, content_len=-800))
+        try:
+            app.free_post_data()
+            return False
+        except HeapCorruptionDetected:
+            return True
+
+    assert benchmark(hardened_chain)

@@ -1,0 +1,72 @@
+"""Figure 5: the xterm log-file race condition — interleaving
+enumeration over the simulated filesystem.
+
+Reproduced shape: the vulnerable logger admits exactly the interleavings
+where Tom's symlink swap lands between the permission check and the
+privileged open; both fixes (no-follow open, re-check binding) close the
+window; pFSM1 itself is secure (the paper: "there is no hidden path in
+pFSM1").
+"""
+
+from conftest import print_table
+
+from repro.apps import XtermVariant, build_race_scheduler
+from repro.core import hidden_path_report
+from repro.models import xterm_model
+
+
+def test_figure5_race_window_enumeration(benchmark):
+    """Enumerate all victim×attacker interleavings on the vulnerable
+    logger and locate the window."""
+    scheduler = build_race_scheduler(XtermVariant.VULNERABLE)
+
+    analysis = benchmark(scheduler.explore)
+
+    assert analysis.total == 10  # C(5,3): 3 victim steps × 2 attacker steps
+    assert len(analysis.violations) == 1
+    violation = analysis.violations[0]
+    assert violation.happened_between("tom:symlink", "xterm:check",
+                                      "xterm:open")
+    print_table(
+        "Figure 5 — race window (reproduced)",
+        [f"interleavings: {analysis.total}, violating: "
+         f"{len(analysis.violations)} ({analysis.violation_ratio:.0%})",
+         f"violating order: {' -> '.join(violation.order)}"],
+    )
+
+
+def test_figure5_fixes_close_the_window(benchmark):
+    """Both reference-consistency fixes eliminate every violating
+    interleaving."""
+
+    def explore_fixes():
+        return {
+            variant.name: build_race_scheduler(variant).explore().has_race
+            for variant in XtermVariant
+        }
+
+    results = benchmark(explore_fixes)
+    assert results == {
+        "VULNERABLE": True,
+        "PATCHED_NOFOLLOW": False,
+        "PATCHED_RECHECK": False,
+    }
+    print_table(
+        "Figure 5 — fix matrix",
+        (f"{name:<18} race={'YES' if race else 'no'}"
+         for name, race in results.items()),
+    )
+
+
+def test_figure5_pfsm1_is_secure(benchmark):
+    """The model agrees with the paper's note: only pFSM2 hides a path."""
+    model = xterm_model.build_model()
+
+    findings = benchmark(
+        lambda: hidden_path_report(model, xterm_model.pfsm_domains())
+    )
+    assert {f.pfsm_name for f in findings} == {"pFSM2"}
+    print_table(
+        "Figure 5 — hidden-path report",
+        [str(f) for f in findings],
+    )

@@ -1,0 +1,96 @@
+"""Figure 6: Solaris rwall arbitrary file corruption — two-operation
+cascade over the simulated filesystem.
+
+Reproduced shape: a regular user writes "../etc/passwd" into the
+world-writable /etc/utmp (pFSM1's hidden path); the daemon, lacking a
+terminal-type check (pFSM2's hidden path), writes the broadcast into
+/etc/passwd.  Fixing either operation alone forecloses the exploit
+(Lemma part 2).
+"""
+
+from conftest import print_table
+
+from repro.apps import (
+    RwallDaemon,
+    RwallVariant,
+    add_utmp_entry,
+    make_rwall_world,
+    passwd_corrupted,
+)
+from repro.models import rwall_model
+from repro.osmodel import User
+
+_MESSAGE = b"attacker::0:0::/:/bin/sh\n"
+
+
+def test_figure6_model_traversal(benchmark):
+    """Traverse the two-operation cascade with the malicious entry."""
+    model = rwall_model.build_model()
+    exploit = rwall_model.exploit_input()
+
+    result = benchmark(lambda: model.run(exploit))
+    assert result.compromised
+    assert result.hidden_path_count == 2
+    print_table("Figure 6 — exploit trace (reproduced)",
+                result.trace.to_text().splitlines())
+
+
+def test_figure6_executable_corruption(benchmark):
+    """The daemon really writes the message into /etc/passwd."""
+
+    def full_chain():
+        world = make_rwall_world(RwallVariant.VULNERABLE)
+        mallory = User.regular("mallory", 1001)
+        assert add_utmp_entry(world, mallory, "../etc/passwd")
+        report = RwallDaemon(world).broadcast(_MESSAGE)
+        return world, report
+
+    world, report = benchmark(full_chain)
+    assert report.wrote_non_terminal
+    assert passwd_corrupted(world, _MESSAGE)
+    print_table(
+        "Figure 6 — executable consequence",
+        [f"delivered to: {', '.join(report.delivered_to)}",
+         "/etc/passwd now contains the attacker's entry"],
+    )
+
+
+def test_figure6_lemma_part2_either_fix(benchmark):
+    """Securing either operation alone foils the exploit."""
+
+    def fix_matrix():
+        results = {}
+        for variant, label in [
+            (RwallVariant.VULNERABLE, "vulnerable"),
+            (RwallVariant.PATCHED_PERMS, "utmp root-only (op 1 fixed)"),
+            (RwallVariant.PATCHED_TYPECHECK, "type check (op 2 fixed)"),
+        ]:
+            world = make_rwall_world(variant)
+            mallory = User.regular("mallory", 1001)
+            add_utmp_entry(world, mallory, "../etc/passwd")
+            RwallDaemon(world).broadcast(_MESSAGE)
+            results[label] = passwd_corrupted(world, _MESSAGE)
+        return results
+
+    results = benchmark(fix_matrix)
+    assert results == {
+        "vulnerable": True,
+        "utmp root-only (op 1 fixed)": False,
+        "type check (op 2 fixed)": False,
+    }
+    print_table(
+        "Figure 6 — Lemma part 2 (either operation suffices)",
+        (f"{label:<30} corrupted={'YES' if hit else 'no'}"
+         for label, hit in results.items()),
+    )
+
+
+def test_figure6_terminals_still_served(benchmark):
+    """The type-check fix does not break legitimate broadcasts."""
+
+    def broadcast():
+        world = make_rwall_world(RwallVariant.PATCHED_TYPECHECK)
+        return RwallDaemon(world).broadcast(b"system going down\n")
+
+    report = benchmark(broadcast)
+    assert set(report.delivered_to) == {"/dev/pts/25", "/dev/pts/26"}

@@ -1,0 +1,81 @@
+"""Figure 7: IIS decodes filenames superfluously after applying security
+checks (#2708, Nimda's vector).
+
+Reproduced shape: "../" rejected, "..%2f" rejected (visible after the
+first decode), "..%252f" accepted and executed OUTSIDE /wwwroot/scripts;
+checking after the final decode forecloses it.
+"""
+
+from conftest import print_table
+
+from repro.apps import IisServer, IisVariant
+from repro.models import iis_model
+
+_PROBES = [
+    "tools/query.exe",
+    "../winnt/system32/cmd.exe",
+    "..%2fwinnt/system32/cmd.exe",
+    "..%252fwinnt/system32/cmd.exe",
+    "..%25252fwinnt/system32/cmd.exe",
+]
+
+
+def test_figure7_decode_check_matrix(benchmark):
+    """The acceptance/escape matrix over encodings and variants."""
+
+    def matrix():
+        rows = []
+        for variant in IisVariant:
+            server = IisServer(variant)
+            for probe in _PROBES:
+                outcome = server.handle_cgi_request(probe)
+                rows.append((variant.name, probe, outcome.accepted,
+                             outcome.escaped_root))
+        return rows
+
+    rows = benchmark(matrix)
+    table = {(variant, probe): (accepted, escaped)
+             for variant, probe, accepted, escaped in rows}
+    # The vulnerable pipeline: only the double encoding escapes.
+    assert table[("VULNERABLE", "tools/query.exe")] == (True, False)
+    assert table[("VULNERABLE", "../winnt/system32/cmd.exe")][0] is False
+    assert table[("VULNERABLE", "..%2fwinnt/system32/cmd.exe")][0] is False
+    assert table[("VULNERABLE", "..%252fwinnt/system32/cmd.exe")] == \
+        (True, True)
+    # The patched pipeline rejects every traversal encoding.
+    assert table[("PATCHED", "..%252fwinnt/system32/cmd.exe")][0] is False
+    assert table[("PATCHED", "..%25252fwinnt/system32/cmd.exe")][0] is False
+    assert table[("PATCHED", "tools/query.exe")] == (True, False)
+
+    print_table(
+        "Figure 7 — decode/check matrix (reproduced)",
+        (f"{variant:<11} {probe:<40} accepted={str(accepted):<5} "
+         f"escaped={escaped}"
+         for variant, probe, accepted, escaped in rows),
+    )
+
+
+def test_figure7_model_divergence(benchmark):
+    """The hidden path is exactly spec/impl divergence on '..%252f'."""
+    model = iis_model.build_model()
+
+    result = benchmark(lambda: model.run(iis_model.exploit_input()))
+    assert result.compromised
+    assert result.hidden_path_count == 1
+    print_table("Figure 7 — exploit trace (reproduced)",
+                result.trace.to_text().splitlines())
+
+
+def test_figure7_nimda_lands_outside_scripts(benchmark):
+    """The executed path escapes the scripts root, as the worm used."""
+    server = IisServer(IisVariant.VULNERABLE)
+
+    outcome = benchmark(
+        lambda: server.handle_cgi_request("..%252fwinnt/system32/cmd.exe")
+    )
+    assert outcome.executed_path == "/wwwroot/winnt/system32/cmd.exe"
+    assert outcome.escaped_root
+    print_table(
+        "Figure 7 — executable consequence",
+        [f"executed: {outcome.executed_path} (outside /wwwroot/scripts)"],
+    )

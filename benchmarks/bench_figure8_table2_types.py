@@ -1,0 +1,70 @@
+"""Figure 8 + Table 2: three generic pFSM types suffice to model every
+studied vulnerability; the per-vulnerability type grid matches the
+paper's Table 2 exactly.
+
+Also reproduces Section 6's closing observation: the most common cause
+among the studied vulnerabilities is an incomplete Content/Attribute
+check, with Reference Consistency second.
+"""
+
+from collections import Counter
+
+from conftest import print_table
+
+from repro.core import PfsmType
+from repro.models import TABLE2_EXPECTED, all_paper_models, table2_grid
+
+
+def test_table2_grid_matches_paper(benchmark):
+    """Derive the grid from the models' annotations and compare."""
+    models = all_paper_models()
+
+    grid = benchmark(lambda: table2_grid(models))
+
+    derived = {}
+    for cell in grid:
+        derived.setdefault(cell.vulnerability, {})[cell.pfsm_name] = \
+            cell.check_type
+    assert derived == TABLE2_EXPECTED
+
+    print_table(
+        "Table 2 — pFSM type grid (reproduced)",
+        (f"{cell.vulnerability:<42} {cell.pfsm_name:<6} "
+         f"{cell.check_type.value:<30} {cell.question[:50]}"
+         for cell in grid),
+    )
+
+
+def test_three_types_cover_all_studied_pfsms(benchmark):
+    """Section 6: only three pFSM types are needed for the full range of
+    studied vulnerability classes."""
+    models = all_paper_models()
+
+    def type_census():
+        grid = table2_grid(models)
+        typed = [cell for cell in grid if cell.check_type is not None]
+        return grid, typed, Counter(cell.check_type for cell in typed)
+
+    grid, typed, counts = benchmark(type_census)
+    assert len(typed) == len(grid)  # every pFSM classified
+    assert set(counts) <= set(PfsmType)  # no fourth type needed
+    assert set(counts) == set(PfsmType)  # and all three are used
+
+
+def test_content_attribute_dominates(benchmark):
+    """Section 6: incomplete content/attribute checks are the most
+    common cause; reference-consistency incompleteness is second."""
+    models = all_paper_models()
+
+    counts = benchmark(
+        lambda: Counter(cell.check_type for cell in table2_grid(models))
+    )
+    ordered = [check_type for check_type, _n in counts.most_common()]
+    assert ordered[0] is PfsmType.CONTENT_ATTRIBUTE
+    assert ordered[1] is PfsmType.REFERENCE_CONSISTENCY
+    assert ordered[2] is PfsmType.OBJECT_TYPE
+    print_table(
+        "Section 6 — pFSM type frequency (reproduced)",
+        (f"{check_type.value:<32} {count}"
+         for check_type, count in counts.most_common()),
+    )

@@ -1,0 +1,103 @@
+"""Observation 1's format-string trio, executable edition.
+
+The paper's second classification-spread example: format string
+vulnerabilities land in Input Validation (#1387 wu-ftpd), Access
+Validation (#2210 splitvt), or Boundary Condition (#2264 icecast)
+depending on the anchoring activity.  Here all three run as exploits on
+their application models, and the *observable consequence* of each
+matches its category: the input's %n rewrite (input validation), a
+write to a pointer outside the user's domain (access validation), and
+directive expansion past a fixed buffer (boundary condition).
+"""
+
+from conftest import print_table
+
+from repro.apps import (
+    Icecast,
+    IcecastVariant,
+    Splitvt,
+    SplitvtVariant,
+    WuFtpd,
+    WuFtpdVariant,
+    craft_expansion_smash,
+    craft_handler_overwrite,
+    craft_site_exec_exploit,
+)
+
+
+def test_format_trio_all_exploit(benchmark):
+    """All three trio members execute end to end."""
+
+    def run_all():
+        ftpd = WuFtpd(WuFtpdVariant.VULNERABLE)
+        wuftpd_hit = ftpd.handle_command(
+            craft_site_exec_exploit(ftpd)).hijacked
+
+        svt = Splitvt(SplitvtVariant.VULNERABLE)
+        svt.set_title(craft_handler_overwrite(svt))
+        splitvt_hit = svt.refresh(0).hijacked
+
+        ice = Icecast(IcecastVariant.VULNERABLE)
+        icecast_result = ice.print_client(craft_expansion_smash(ice))
+        return {
+            "#1387 wu-ftpd (Input Validation)": wuftpd_hit,
+            "#2210 splitvt (Access Validation)": splitvt_hit,
+            "#2264 icecast (Boundary Condition)": icecast_result.hijacked,
+        }, icecast_result.formatted_length
+
+    results, expansion = benchmark(run_all)
+    assert all(results.values()), results
+    assert expansion > 256  # icecast's boundary violation via expansion
+    print_table(
+        "Format-string trio — executable exploits (reproduced)",
+        (f"{row:<40} exploited={'YES' if hit else 'no'}"
+         for row, hit in results.items()),
+    )
+
+
+def test_format_trio_distinct_consequences(benchmark):
+    """One mechanism, three consequence signatures."""
+
+    def signatures():
+        ftpd = WuFtpd(WuFtpdVariant.VULNERABLE)
+        ftpd_reply = ftpd.handle_command(craft_site_exec_exploit(ftpd))
+
+        svt = Splitvt(SplitvtVariant.VULNERABLE)
+        svt.set_title(craft_handler_overwrite(svt))
+
+        ice = Icecast(IcecastVariant.VULNERABLE)
+        ice_payload = craft_expansion_smash(ice)
+        ice_result = ice.print_client(ice_payload)
+        return {
+            "return address rewritten": ftpd_reply.hijacked,
+            "function pointer outside user domain rewritten":
+                not svt.handler_consistent(0),
+            "tiny input expands past the buffer":
+                len(ice_payload) < 32 and ice_result.formatted_length > 256,
+        }
+
+    signatures = benchmark(signatures)
+    assert all(signatures.values())
+    print_table(
+        "Format-string trio — three distinct consequences",
+        (f"{name:<50} {'YES' if hit else 'no'}"
+         for name, hit in signatures.items()),
+    )
+
+
+def test_format_trio_fixes(benchmark):
+    """Each member's fix forecloses its exploit."""
+
+    def fixes():
+        ftpd = WuFtpd(WuFtpdVariant.PATCHED)
+        svt = Splitvt(SplitvtVariant.GUARDED)
+        ice = Icecast(IcecastVariant.PATCHED)
+        svt.set_title(craft_handler_overwrite(svt))
+        return (
+            not ftpd.handle_command(craft_site_exec_exploit(ftpd)).hijacked,
+            not svt.refresh(0).dispatched,
+            not ice.print_client(craft_expansion_smash(ice)).hijacked,
+        )
+
+    results = benchmark(fixes)
+    assert all(results)

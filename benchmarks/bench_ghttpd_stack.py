@@ -1,0 +1,74 @@
+"""GHTTPD #5960 ([21], Table 2): stack smash execution and the
+per-activity defense matrix (length check / StackGuard / split stack).
+"""
+
+from conftest import print_table
+
+from repro.apps import Ghttpd, GhttpdVariant, craft_stack_smash
+from repro.models import ghttpd_model
+
+
+def test_ghttpd_executable_smash(benchmark):
+    """The over-long request really replaces the return address."""
+
+    def smash():
+        app = Ghttpd(GhttpdVariant.VULNERABLE)
+        return app, app.serve(craft_stack_smash(app))
+
+    app, result = benchmark(smash)
+    assert result.hijacked
+    assert app.process.is_mcode(result.returned_to)
+    print_table(
+        "GHTTPD #5960 — executable consequence",
+        [f"Log() returned to Mcode at {result.returned_to:#x}"],
+    )
+
+
+def test_ghttpd_defense_matrix(benchmark):
+    """Each elementary activity's defense independently foils the smash
+    (Observation 1 quantitatively)."""
+
+    def matrix():
+        outcomes = {}
+        for variant in GhttpdVariant:
+            app = Ghttpd(variant)
+            result = app.serve(craft_stack_smash(app))
+            outcomes[variant.name] = result.hijacked
+        return outcomes
+
+    outcomes = benchmark(matrix)
+    assert outcomes == {
+        "VULNERABLE": True,
+        "PATCHED": False,
+        "STACKGUARD": False,
+        "SPLITSTACK": False,
+    }
+    print_table(
+        "GHTTPD #5960 — defense matrix (reproduced)",
+        (f"{name:<12} hijacked={'YES' if hit else 'no'}"
+         for name, hit in outcomes.items()),
+    )
+
+
+def test_ghttpd_model_agreement(benchmark):
+    """The two-pFSM model reproduces the executable outcome."""
+    model = ghttpd_model.build_model()
+
+    result = benchmark(lambda: model.run(ghttpd_model.exploit_input()))
+    assert result.compromised
+    assert result.hidden_path_count == 2
+    print_table("GHTTPD #5960 — exploit trace (reproduced)",
+                result.trace.to_text().splitlines())
+
+
+def test_ghttpd_defenses_transparent_for_benign(benchmark):
+    """Defended variants serve ordinary requests unchanged."""
+
+    def benign_sweep():
+        return {
+            variant.name: Ghttpd(variant).serve(b"GET / HTTP/1.0").accepted
+            for variant in GhttpdVariant
+        }
+
+    outcomes = benchmark(benign_sweep)
+    assert all(outcomes.values())

@@ -1,0 +1,103 @@
+"""Section 6's Lemma, verified over every paper model:
+
+(1) securing an operation requires every constituent predicate to be
+    correctly implemented;
+(2) securing any one operation in an exploit chain foils the exploit.
+
+Plus the Observation 1 foil-point census: every elementary activity the
+exploit rides through is an independent foiling opportunity.
+"""
+
+from conftest import print_table
+
+from repro.core import check_lemma_part1, check_lemma_part2, minimal_foil_points, verify_lemma
+from repro.models import (
+    all_exploit_inputs,
+    all_operation_domains,
+    all_paper_models,
+)
+
+
+def test_lemma_part1_all_operations(benchmark):
+    """Part 1 over every operation of every model."""
+    models = all_paper_models()
+    domains = all_operation_domains()
+
+    def verify_all():
+        results = {}
+        for label, model in models.items():
+            for operation in model.operations:
+                domain = domains[label][operation.name]
+                results[(label, operation.name)] = check_lemma_part1(
+                    operation, domain
+                )
+        return results
+
+    results = benchmark(verify_all)
+    assert all(results.values())
+    assert len(results) == sum(len(m.operations)
+                               for m in models.values())
+    print_table(
+        "Lemma part 1 — per-operation verification (reproduced)",
+        (f"{label:<42} {operation:<45} holds"
+         for (label, operation) in sorted(results)),
+    )
+
+
+def test_lemma_part2_all_models(benchmark):
+    """Part 2 over every model's exploit."""
+    models = all_paper_models()
+    exploits = all_exploit_inputs()
+
+    def verify_all():
+        return {
+            label: check_lemma_part2(model, exploits[label])
+            for label, model in models.items()
+        }
+
+    results = benchmark(verify_all)
+    assert all(results.values())
+    print_table(
+        "Lemma part 2 — securing any one operation foils (reproduced)",
+        (f"{label:<45} holds" for label in sorted(results)),
+    )
+
+
+def test_observation1_foil_point_census(benchmark):
+    """Count, per model, the single-activity fixes that foil the
+    exploit — each is a security-checking opportunity (Observation 1)."""
+    models = all_paper_models()
+    exploits = all_exploit_inputs()
+
+    def census():
+        return {
+            label: [str(p) for p in
+                    minimal_foil_points(model, exploits[label])]
+            for label, model in models.items()
+        }
+
+    points = benchmark(census)
+    assert all(points.values())  # every exploit has at least one foil point
+    total = sum(len(p) for p in points.values())
+    print_table(
+        f"Observation 1 — {total} independent foiling opportunities "
+        f"across {len(points)} exploits",
+        (f"{label}: {len(plist)} foil point(s)"
+         for label, plist in sorted(points.items())),
+    )
+
+
+def test_full_lemma_reports(benchmark):
+    """The aggregated verify_lemma report holds for every model."""
+    models = all_paper_models()
+    exploits = all_exploit_inputs()
+    domains = all_operation_domains()
+
+    def verify_all():
+        return {
+            label: verify_lemma(model, domains[label], exploits[label])
+            for label, model in models.items()
+        }
+
+    reports = benchmark(verify_all)
+    assert all(report.holds for report in reports.values())

@@ -1,0 +1,75 @@
+"""rpc.statd #1480 ([21], Table 2): format-string execution through the
+printf interpreter, and the content-check / %s-fix matrix."""
+
+from conftest import print_table
+
+from repro.apps import RpcStatd, StatdVariant, craft_format_exploit
+from repro.models import rpc_statd_model
+
+
+def test_statd_executable_format_write(benchmark):
+    """The %n payload rewrites the return address and hijacks control."""
+
+    def exploit():
+        app = RpcStatd(StatdVariant.VULNERABLE)
+        return app, app.notify(craft_format_exploit(app))
+
+    app, result = benchmark(exploit)
+    assert result.wrote_memory
+    assert result.hijacked
+    assert app.process.is_mcode(result.returned_to)
+    print_table(
+        "rpc.statd #1480 — executable consequence",
+        [f"%n rewrote the return address; control at {result.returned_to:#x}"],
+    )
+
+
+def test_statd_fix_matrix(benchmark):
+    """Who wins per variant: raw format argument falls; '%s' and the
+    directive filter both foil."""
+
+    def matrix():
+        outcomes = {}
+        for variant in StatdVariant:
+            app = RpcStatd(variant)
+            result = app.notify(craft_format_exploit(app))
+            outcomes[variant.name] = result.hijacked
+        return outcomes
+
+    outcomes = benchmark(matrix)
+    assert outcomes == {
+        "VULNERABLE": True,
+        "PATCHED": False,
+        "SANITIZED": False,
+    }
+    print_table(
+        "rpc.statd #1480 — fix matrix (reproduced)",
+        (f"{name:<12} hijacked={'YES' if hit else 'no'}"
+         for name, hit in outcomes.items()),
+    )
+
+
+def test_statd_leak_without_write_not_a_hijack(benchmark):
+    """%x-only payloads leak stack words but do not redirect control —
+    the model's distinction between the two pFSMs."""
+
+    def leak():
+        app = RpcStatd(StatdVariant.VULNERABLE)
+        return app.notify(b"%x.%x.%x.%x")
+
+    result = benchmark(leak)
+    assert result.accepted
+    assert not result.hijacked
+    assert not result.wrote_memory
+    assert b"." in result.output
+
+
+def test_statd_model_agreement(benchmark):
+    """The two-pFSM model reproduces the executable outcome."""
+    model = rpc_statd_model.build_model()
+
+    result = benchmark(lambda: model.run(rpc_statd_model.exploit_input()))
+    assert result.compromised
+    assert result.hidden_path_count == 2
+    print_table("rpc.statd #1480 — exploit trace (reproduced)",
+                result.trace.to_text().splitlines())

@@ -1,0 +1,78 @@
+"""Scale characterization of the analysis machinery.
+
+The paper's future-work tool must sweep real predicate sets over real
+input corpora; these benchmarks measure the throughput of the pieces
+that dominate such sweeps — pFSM stepping, full-model traversal,
+hidden-path search, and database-scale statistics — so regressions in
+the core loops are visible.
+"""
+
+from conftest import print_table
+
+from repro.bugtraq import BugtraqDatabase, figure1_breakdown
+from repro.core import Domain, PrimitiveFSM, in_range, less_equal
+from repro.models import sendmail_model
+
+
+def test_pfsm_step_throughput(benchmark):
+    """Raw pFSM stepping over 10k objects."""
+    pfsm = PrimitiveFSM("p", "index", "x",
+                        spec_accepts=in_range(0, 100),
+                        impl_accepts=less_equal(100))
+    inputs = list(range(-5000, 5000))
+
+    def sweep():
+        return sum(1 for value in inputs if pfsm.step(value).via_hidden_path)
+
+    hidden = benchmark(sweep)
+    assert hidden == 5000
+
+
+def test_model_traversal_throughput(benchmark):
+    """Full Figure 3 traversals over a 1k-input corpus."""
+    model = sendmail_model.build_model()
+    corpus = [
+        {"str_x": str(value), "str_i": "1"} for value in range(-500, 500)
+    ]
+
+    def sweep():
+        return sum(1 for record in corpus if model.is_compromised_by(record))
+
+    compromised = benchmark(sweep)
+    assert compromised == 500  # exactly the negative indexes
+
+
+def test_hidden_witness_search_throughput(benchmark):
+    """Hidden-path witness search over a 20k-element domain."""
+    pfsm = PrimitiveFSM("p", "index", "x",
+                        spec_accepts=in_range(0, 100),
+                        impl_accepts=less_equal(100))
+    domain = Domain.integers(-10000, 10000)
+
+    def search():
+        return len(pfsm.hidden_witnesses(domain, limit=10**9))
+
+    count = benchmark(search)
+    assert count == 10000
+
+
+def test_database_scale_statistics(benchmark):
+    """Category statistics over the full 5925-report database (the
+    generation itself is benchmarked in bench_figure1)."""
+    db = BugtraqDatabase.synthetic()
+
+    def stats():
+        rows = figure1_breakdown(db)
+        remote = len(db.remote_only())
+        by_class = db.class_counts()
+        return rows, remote, by_class
+
+    rows, remote, by_class = benchmark(stats)
+    assert sum(row.count for row in rows) == 5925
+    assert 0 < remote < 5925
+    assert by_class["stack buffer overflow"] == 700
+    print_table(
+        "Scale — database statistics",
+        [f"remote-exploitable reports: {remote} "
+         f"({remote / 5925:.0%} of the database)"],
+    )

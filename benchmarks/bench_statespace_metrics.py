@@ -1,0 +1,145 @@
+"""Extension experiments: explicit state-space analysis and the
+quantitative metrics layer over the full extended model set.
+
+Not from the paper's evaluation — these exercise the two extensions the
+paper points toward (model checking of the FSMs, and the parameter
+derivation its related-work section says stochastic models need).
+"""
+
+from conftest import print_table
+
+from repro.core import (
+    Domain,
+    WeightedDomain,
+    build_state_space,
+    compromise_probability,
+    mean_effort_to_foil,
+    model_fingerprint,
+)
+from repro.models import (
+    all_extended_exploit_inputs,
+    all_extended_models,
+    all_extended_pfsm_domains,
+    sendmail_model,
+)
+
+
+def test_statespace_reachability_all_models(benchmark):
+    """Unroll every model; compromise must be hidden-reachable and
+    benign completion must survive."""
+    models = all_extended_models()
+    domains = all_extended_pfsm_domains()
+
+    def sweep():
+        rows = []
+        for label, model in models.items():
+            space = build_state_space(model, domains[label])
+            rows.append((
+                label,
+                space.node_count,
+                len(space.hidden_edges()),
+                space.compromise_reachable(),
+                space.benign_path_exists(),
+                len(space.exploit_paths(limit=64)),
+            ))
+        return rows
+
+    rows = benchmark(sweep)
+    assert all(reachable for _l, _n, _h, reachable, _b, _p in rows)
+    assert all(benign for _l, _n, _h, _r, benign, _p in rows)
+    # Exploit-path count is 2^h - 1 for h independent hidden edges in a
+    # chain (each can be taken or not, minus the all-spec path).
+    for _label, _nodes, hidden, _r, _b, paths in rows:
+        assert paths == 2**hidden - 1
+    print_table(
+        "State spaces of the extended model set",
+        (f"{label:<45} nodes={nodes:>3} hidden={hidden} paths={paths}"
+         for label, nodes, hidden, _r, _b, paths in rows),
+    )
+
+
+def test_statespace_cut_sets(benchmark):
+    """Cut sets disconnect the compromise in every model; securing the
+    model empties the cut."""
+    models = all_extended_models()
+    domains = all_extended_pfsm_domains()
+
+    def cuts():
+        rows = []
+        for label, model in models.items():
+            space = build_state_space(model, domains[label])
+            cut = space.cut_set()
+            working = space.graph.copy()
+            working.remove_edges_from(cut)
+            from repro.core.statespace import StateSpace
+
+            rows.append((label, len(cut),
+                         not StateSpace(model, working).compromise_reachable()))
+        return rows
+
+    rows = benchmark(cuts)
+    assert all(disconnected for _l, _n, disconnected in rows)
+    print_table(
+        "Cut sets (checks whose installation disconnects the exploit)",
+        (f"{label:<45} |cut|={size}" for label, size, _d in rows),
+    )
+
+
+def test_metrics_compromise_probability_sendmail(benchmark):
+    """Compromise probability under a boundary-probing input mix, before
+    and after each fix level."""
+    model = sendmail_model.build_model()
+
+    def record(x):
+        return {"str_x": x, "str_i": "1"}
+
+    inputs = WeightedDomain.uniform(Domain(
+        [record(s) for s in
+         ("-3772", "-1", "0", "7", "50", "100", "101", "500",
+          str(2**31), str(2**32 - 5))]
+    ))
+
+    def evaluate():
+        vulnerable = compromise_probability(model, inputs)
+        pfsm2_fixed = compromise_probability(
+            model.with_pfsm_secured(sendmail_model.OPERATION_1, "pFSM2"),
+            inputs,
+        )
+        secured = compromise_probability(model.fully_secured(), inputs)
+        effort = mean_effort_to_foil(model, inputs)
+        return vulnerable, pfsm2_fixed, secured, effort
+
+    vulnerable, pfsm2_fixed, secured, effort = benchmark(evaluate)
+    assert vulnerable > 0
+    assert pfsm2_fixed == 0.0  # pFSM2 guards every exploiting input
+    assert secured == 0.0
+    assert effort == 2  # cascade order: pFSM1 first (insufficient), then pFSM2
+    print_table(
+        "Metrics — Sendmail compromise probability under boundary probes",
+        [f"vulnerable:      P = {vulnerable:.2f}",
+         f"pFSM2 fixed:     P = {pfsm2_fixed:.2f}",
+         f"fully secured:   P = {secured:.2f}",
+         f"effort to foil (cascade order): {effort} fixes"],
+    )
+
+
+def test_fingerprints_distinguish_fix_levels(benchmark):
+    """Every fix level of every model has a distinct fingerprint, and
+    rebuilding reproduces it — the regression-baseline use case."""
+    models = all_extended_models()
+
+    def fingerprint_all():
+        prints = {}
+        for label, model in models.items():
+            prints[label] = model_fingerprint(model)
+            prints[label + " [secured]"] = model_fingerprint(
+                model.fully_secured()
+            )
+        return prints
+
+    prints = benchmark(fingerprint_all)
+    assert len(set(prints.values())) == len(prints)  # all distinct
+    rebuilt = {label: model_fingerprint(model)
+               for label, model in all_extended_models().items()}
+    for label, digest in rebuilt.items():
+        assert prints[label] == digest  # reproducible

@@ -1,0 +1,76 @@
+"""Table 1: the same vulnerability type (signed integer overflow) is
+assigned three different Bugtraq categories depending on which
+elementary activity anchors the classification.
+
+Paper rows: #3163 → Input Validation (get an input integer), #5493 →
+Boundary Condition (use the integer as an array index), #3958 → Access
+Validation (execute code via a function pointer / return address).
+"""
+
+from conftest import print_table
+
+from repro.bugtraq import corpus_report, table1_ambiguity
+from repro.core import BugtraqCategory
+
+
+def test_table1_rows(benchmark):
+    """Regenerate Table 1 from the corpus + activity-anchored classifier."""
+    rows = benchmark(table1_ambiguity)
+
+    assert [row.bugtraq_id for row in rows] == [3163, 5493, 3958]
+    assert [row.anchored_category for row in rows] == [
+        BugtraqCategory.INPUT_VALIDATION,
+        BugtraqCategory.BOUNDARY_CONDITION,
+        BugtraqCategory.ACCESS_VALIDATION,
+    ]
+    # The anchored classification reproduces the analysts' assignments.
+    assert all(row.consistent for row in rows)
+
+    print_table(
+        "Table 1 — category ambiguity of signed integer overflows (reproduced)",
+        (
+            f"#{row.bugtraq_id:<6} anchor: {row.elementary_activity.value:<55} "
+            f"-> {row.anchored_category.value}"
+            for row in rows
+        ),
+    )
+
+
+def test_table1_same_class_three_categories(benchmark):
+    """The ambiguity claim: one vulnerability class, three categories."""
+
+    def distinct_categories():
+        rows = table1_ambiguity()
+        classes = {corpus_report(r.bugtraq_id).vulnerability_class
+                   for r in rows}
+        categories = {row.assigned_category for row in rows}
+        return classes, categories
+
+    classes, categories = benchmark(distinct_categories)
+    assert classes == {"signed integer overflow"}  # one class...
+    assert len(categories) == 3  # ...three categories
+
+
+def test_buffer_overflow_and_format_string_chains(benchmark):
+    """Observation 1's other two spreads: the buffer-overflow chain
+    (#6157/#5960/#4479) and the format-string trio (#1387/#2210/#2264)
+    each span three categories."""
+    from repro.bugtraq import BUFFER_OVERFLOW_CHAIN, FORMAT_STRING_TRIO
+
+    def spreads():
+        overflow = {corpus_report(i).category for i in BUFFER_OVERFLOW_CHAIN}
+        fmt = {corpus_report(i).category for i in FORMAT_STRING_TRIO}
+        return overflow, fmt
+
+    overflow, fmt = benchmark(spreads)
+    assert len(overflow) == 3
+    assert len(fmt) == 3
+    print_table(
+        "Observation 1 — classification spread of the two chains",
+        [
+            "buffer overflow chain: "
+            + ", ".join(sorted(c.value for c in overflow)),
+            "format string trio:    "
+            + ", ".join(sorted(c.value for c in fmt)),
+        ],
+    )

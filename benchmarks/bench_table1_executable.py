@@ -1,0 +1,133 @@
+"""Table 1, executable edition: each of the three signed-integer
+reports is backed by a running exploit on its application model, and
+the category each analyst assigned corresponds to the elementary
+activity where that exploit's decisive hidden path lives.
+
+* #3163 (Input Validation anchor): Sendmail — the decisive miss is at
+  input handling (no check that the string represents a sane integer /
+  index lower bound).
+* #5493 (Boundary Condition anchor): FreeBSD — the decisive miss is at
+  the buffer-bound comparison (one-sided signed check).
+* #3958 (Access Validation anchor): rsync — the decisive miss is at the
+  dispatch through an unverified function pointer.
+"""
+
+from conftest import print_table
+
+from repro.apps import (
+    FreebsdKernel,
+    FreebsdVariant,
+    RsyncDaemon,
+    RsyncVariant,
+    Sendmail,
+    SendmailVariant,
+    craft_cred_overwrite,
+    craft_got_exploit,
+    craft_negative_opcode,
+)
+from repro.memory import ControlFlowHijack
+
+
+def _run_sendmail() -> bool:
+    app = Sendmail(SendmailVariant.VULNERABLE)
+    for flag in craft_got_exploit(app):
+        if not app.tTflag(flag).accepted:
+            return False
+    try:
+        app.call_setuid()
+        return False
+    except ControlFlowHijack as hijack:
+        return app.process.is_mcode(hijack.target)
+
+
+def _run_freebsd() -> bool:
+    kernel = FreebsdKernel(FreebsdVariant.VULNERABLE)
+    kernel.copy_request(craft_cred_overwrite(kernel), -1)
+    return kernel.escalated
+
+
+def _run_rsync() -> bool:
+    daemon = RsyncDaemon(RsyncVariant.VULNERABLE)
+    mcode = daemon.process.plant_mcode()
+    daemon.receive_request(mcode.to_bytes(4, "little"))
+    result = daemon.dispatch(craft_negative_opcode(daemon))
+    return result.hijacked and daemon.process.is_mcode(result.handler)
+
+
+def test_table1_all_three_rows_exploit(benchmark):
+    """All three Table 1 vulnerabilities execute end to end."""
+
+    def run_all():
+        return {
+            "#3163 Sendmail (Input Validation)": _run_sendmail(),
+            "#5493 FreeBSD (Boundary Condition)": _run_freebsd(),
+            "#3958 rsync (Access Validation)": _run_rsync(),
+        }
+
+    results = benchmark(run_all)
+    assert all(results.values()), results
+    print_table(
+        "Table 1 — executable exploits, one per row (reproduced)",
+        (f"{row:<40} exploited={'YES' if hit else 'no'}"
+         for row, hit in results.items()),
+    )
+
+
+def test_table1_one_class_three_consequences(benchmark):
+    """The same root class (signed integer misuse) yields three distinct
+    observable consequences — the surface diversity behind the three
+    category assignments."""
+
+    def consequences():
+        sendmail = Sendmail(SendmailVariant.VULNERABLE)
+        for flag in craft_got_exploit(sendmail):
+            sendmail.tTflag(flag)
+        got_corrupted = not sendmail.got_setuid_consistent()
+
+        kernel = FreebsdKernel(FreebsdVariant.VULNERABLE)
+        kernel.copy_request(craft_cred_overwrite(kernel), -1)
+        cred_overwritten = not kernel.cred_intact()
+
+        daemon = RsyncDaemon(RsyncVariant.VULNERABLE)
+        mcode = daemon.process.plant_mcode()
+        daemon.receive_request(mcode.to_bytes(4, "little"))
+        dispatched = daemon.dispatch(craft_negative_opcode(daemon)).hijacked
+        return got_corrupted, cred_overwritten, dispatched
+
+    got, cred, dispatched = benchmark(consequences)
+    assert got and cred and dispatched
+    print_table(
+        "Table 1 — three consequences of one vulnerability class",
+        [
+            "#3163: GOT entry of setuid() overwritten (input anchor)",
+            "#5493: kernel ucred overwritten across the buffer bound",
+            "#3958: control dispatched through an unverified pointer",
+        ],
+    )
+
+
+def test_table1_fixes_per_anchor(benchmark):
+    """Each row's fix lives at its anchoring activity."""
+
+    def fixes():
+        sendmail = Sendmail(SendmailVariant.PATCHED)
+        sendmail_fixed = all(
+            not sendmail.tTflag(flag).accepted
+            for flag in craft_got_exploit(sendmail)
+        )
+
+        kernel = FreebsdKernel(FreebsdVariant.PATCHED)
+        freebsd_fixed = not kernel.copy_request(
+            craft_cred_overwrite(kernel), -1
+        ).accepted
+
+        daemon = RsyncDaemon(RsyncVariant.GUARDED)
+        mcode = daemon.process.plant_mcode()
+        daemon.receive_request(mcode.to_bytes(4, "little"))
+        rsync_fixed = not daemon.dispatch(
+            craft_negative_opcode(daemon)
+        ).accepted
+        return sendmail_fixed, freebsd_fixed, rsync_fixed
+
+    results = benchmark(fixes)
+    assert all(results)

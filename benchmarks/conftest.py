@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+asserts the reproduced shape (who wins, category proportions, which
+checks foil which exploits).  pytest-benchmark provides the timing
+harness; the reproduced rows are attached to ``benchmark.extra_info``
+and printed, so ``pytest benchmarks/ --benchmark-only -s`` shows the
+regenerated artifact next to its timing.
+"""
+
+from typing import Iterable
+
+
+def print_table(title: str, rows: Iterable[str]) -> None:
+    """Uniform table printer for benchmark output."""
+    bar = "=" * 72
+    print(f"\n{bar}\n{title}\n{bar}")
+    for row in rows:
+        print(row)

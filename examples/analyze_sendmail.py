@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Full Figure 3 walkthrough: the Sendmail Debugging Function Signed
+Integer Overflow (#3163), from model to executable exploit to fix.
+
+Three acts:
+
+1. **Model** — the two-operation, three-pFSM cascade, rendered the way
+   the paper draws it, with the hidden paths found by domain search.
+2. **Execution** — the real exploit on the simulated process: four
+   negative-index byte writes rewrite the GOT entry of setuid(); the
+   next setuid() call lands in Mcode.
+3. **Fix** — the Observation 3 predicate (0 <= x <= 100) installed at
+   the vulnerable elementary activity; the same flags bounce.
+
+Run:  python examples/analyze_sendmail.py
+"""
+
+from repro.apps import Sendmail, SendmailVariant, craft_got_exploit
+from repro.core import hidden_path_report, minimal_foil_points, render_model
+from repro.memory import ControlFlowHijack
+from repro.models import sendmail_model
+
+
+def act_one_model() -> None:
+    print("=" * 70)
+    print("ACT 1 — the Figure 3 model")
+    print("=" * 70)
+    model = sendmail_model.build_model()
+    print(render_model(model))
+
+    print("\nhidden-path report (domain search):")
+    for finding in hidden_path_report(model, sendmail_model.pfsm_domains()):
+        print(f"  {finding}")
+
+    exploit = sendmail_model.wrapping_exploit_input()
+    result = model.run(exploit)
+    print(f"\nexploit input {exploit} -> compromised={result.compromised}, "
+          f"hidden transitions={result.hidden_path_count}")
+    for point in minimal_foil_points(model, exploit):
+        print(f"  foil option: {point}")
+
+
+def act_two_execution() -> None:
+    print("\n" + "=" * 70)
+    print("ACT 2 — the executable exploit")
+    print("=" * 70)
+    app = Sendmail(SendmailVariant.VULNERABLE)
+    flags = craft_got_exploit(app)
+    print(f"attacker's debug flags (negative indexes into tTvect): {flags}")
+
+    for flag in flags:
+        result = app.tTflag(flag)
+        print(f"  tTflag({flag!r}) accepted={result.accepted} "
+              f"wrote byte at {result.wrote_address:#x}")
+
+    print(f"GOT entry of setuid consistent? {app.got_setuid_consistent()}")
+    try:
+        app.call_setuid()
+    except ControlFlowHijack as hijack:
+        print(f"setuid() dispatched to {hijack.target:#x} — "
+              f"Mcode={app.process.is_mcode(hijack.target)}")
+
+
+def act_three_fix() -> None:
+    print("\n" + "=" * 70)
+    print("ACT 3 — the derived predicate as the fix")
+    print("=" * 70)
+    app = Sendmail(SendmailVariant.PATCHED)
+    for flag in craft_got_exploit(app):
+        result = app.tTflag(flag)
+        print(f"  tTflag({flag!r}) accepted={result.accepted}")
+    print(f"GOT entry of setuid consistent? {app.got_setuid_consistent()}")
+    print(f"legitimate setuid() dispatch: {app.call_setuid():#x}")
+    # And legitimate debugging still works:
+    app.tTflag("7.42")
+    print(f"benign flag served: tTvect[7] == {app.read_ttvect(7)}")
+
+
+def main() -> None:
+    act_one_model()
+    act_two_execution()
+    act_three_fix()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's §5.1 discovery of Bugtraq #6255.
+
+The historical workflow, executed live:
+
+1. Model the *known* NULL HTTPD 0.5 heap overflow (#5774) and confirm
+   version 0.5.1's fix blocks it.
+2. Keep the model's elementary-activity predicates and *probe* the
+   0.5.1 implementation against them with the discovery engine.
+3. The sweep reports pFSM2 — "length(input) <= size(PostData)" — still
+   has no IMPL_REJ: the recv loop's ``||``-for-``&&`` bug.
+4. Confirm the finding with a working exploit (valid Content-Length,
+   over-long body, GOT(free) hijack), then verify the && fix with the
+   same sweep.
+
+Run:  python examples/discover_nullhttpd.py
+"""
+
+from repro.apps import (
+    NullHttpd,
+    NullHttpdVariant,
+    RECV_CHUNK,
+    craft_unlink_body,
+)
+from repro.core import DiscoveryEngine, Domain, Predicate
+from repro.memory import ControlFlowHijack
+
+
+def step1_known_vulnerability() -> None:
+    print("=" * 70)
+    print("STEP 1 — the known vulnerability (#5774) and 0.5.1's fix")
+    print("=" * 70)
+    for variant in (NullHttpdVariant.V0_5, NullHttpdVariant.V0_5_1):
+        app = NullHttpd(variant)
+        body = craft_unlink_body(app, content_len=-800)
+        outcome = app.handle_post(-800, body)
+        status = ("overflow" if outcome.accepted and outcome.overflowed
+                  else outcome.reason or "clean")
+        print(f"  {variant.name}: contentLen=-800 -> {status}")
+
+
+def step2_probe_the_fixed_version():
+    print("\n" + "=" * 70)
+    print("STEP 2 — probe 0.5.1 against the model's predicates")
+    print("=" * 70)
+    spec_len = Predicate(lambda n: n >= 0, "contentLen >= 0")
+    spec_fit = Predicate(
+        lambda r: r["input_len"] <= r["content_len"] + 1024,
+        "length(input) <= size(PostData)",
+    )
+
+    def probe_len(content_len):
+        app = NullHttpd(NullHttpdVariant.V0_5_1)
+        return app.handle_post(content_len,
+                               b"x" * max(content_len, 0)).accepted
+
+    def probe_fit(request):
+        app = NullHttpd(NullHttpdVariant.V0_5_1)
+        outcome = app.handle_post(request["content_len"],
+                                  b"x" * request["input_len"])
+        return outcome.accepted and \
+            outcome.bytes_copied == request["input_len"]
+
+    engine = DiscoveryEngine(known_vulnerable=["pFSM1"])
+    findings = engine.sweep_probed(
+        "Read postdata from socket to PostData",
+        [("pFSM1", "validate contentLen", spec_len, probe_len),
+         ("pFSM2", "terminate the copy at the buffer size", spec_fit,
+          probe_fit)],
+        {
+            "pFSM1": Domain.of(-800, -1, 0, 100, 4096),
+            "pFSM2": Domain.records(
+                content_len=Domain.of(0, 100, 500),
+                input_len=Domain.of(0, 100, 1024, 1500,
+                                    2 * RECV_CHUNK + 200),
+            ),
+        },
+    )
+    for finding in findings:
+        print(f"  {finding}")
+    return findings
+
+
+def step3_confirm_exploitability() -> None:
+    print("\n" + "=" * 70)
+    print("STEP 3 — confirm with a working exploit (this became #6255)")
+    print("=" * 70)
+    app = NullHttpd(NullHttpdVariant.V0_5_1)
+    body = craft_unlink_body(app, content_len=100)
+    outcome = app.handle_post(100, body)
+    print(f"  Content-Length=100, body={len(body)} bytes -> "
+          f"copied {outcome.bytes_copied} into a "
+          f"{outcome.buffer_size}-byte buffer (overflow={outcome.overflowed})")
+    app.free_post_data()
+    print(f"  GOT entry of free() consistent? {app.got_free_consistent()}")
+    try:
+        app.call_free()
+    except ControlFlowHijack as hijack:
+        print(f"  free() dispatched to Mcode at {hijack.target:#x}")
+
+
+def step4_verify_fix() -> None:
+    print("\n" + "=" * 70)
+    print("STEP 4 — the && fix, verified by the same exploit")
+    print("=" * 70)
+    app = NullHttpd(NullHttpdVariant.FIXED)
+    body = craft_unlink_body(app, content_len=100)
+    outcome = app.handle_post(100, body)
+    print(f"  FIXED: copied {outcome.bytes_copied} of {len(body)} bytes "
+          f"(overflow={outcome.overflowed})")
+    app.free_post_data()
+    print(f"  GOT entry of free() consistent? {app.got_free_consistent()}")
+
+
+def main() -> None:
+    step1_known_vulnerability()
+    findings = step2_probe_the_fixed_version()
+    assert [f.pfsm_name for f in findings] == ["pFSM2"]
+    step3_confirm_exploitability()
+    step4_verify_fix()
+
+
+if __name__ == "__main__":
+    main()

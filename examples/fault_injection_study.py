@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Fault-injection study: detection coverage of the consistency checks.
+
+Section 6 of the paper notes that return-address protections are widely
+recognised while "very few techniques are available to protect other
+reference inconsistencies."  This study injects seeded corruptions into
+each guarded state and measures what each available check detects —
+including the canary's structural blind spot against targeted
+(format-string-style) writes.
+
+Run:  python examples/fault_injection_study.py
+"""
+
+from repro.memory import (
+    AddressSpace,
+    CallStack,
+    Heap,
+    Process,
+    Region,
+    WORD_SIZE,
+    measure_detection_coverage,
+)
+
+TRIALS = 120
+
+
+def got_campaign():
+    def target():
+        process = Process()
+        symbols = list(process.got.symbols())
+        span = Region("got", process.got.entry_address(symbols[0]),
+                      len(symbols) * WORD_SIZE)
+        return (process.space, span,
+                lambda: all(process.got.is_consistent(s) for s in symbols))
+
+    return measure_detection_coverage(
+        "GOT entries guarded by the consistency check", target,
+        trials=TRIALS, seed=101,
+    )
+
+
+def heap_campaign():
+    def target():
+        space = AddressSpace(size=1 << 20)
+        heap = Heap(space, size=64 * 1024)
+        first = heap.malloc(64)
+        heap.malloc(16)
+        heap.free(first)
+        chunk = heap.chunk_for(first)
+        span = Region("links", chunk.fd_address, 2 * WORD_SIZE)
+        return (space, span, heap.links_intact)
+
+    return measure_detection_coverage(
+        "free-chunk links guarded by safe-unlink", target,
+        trials=TRIALS, seed=102,
+    )
+
+
+def return_campaigns():
+    def target(check):
+        def build():
+            space = AddressSpace(size=1 << 20)
+            stack = CallStack(space, size=8192)
+            frame = stack.push_frame("f", 0x1000, {"buf": 32},
+                                     canary=0xCAFE)
+            span = Region("ret", frame.return_address_slot, WORD_SIZE)
+            predicate = stack.canary_intact if check == "canary" \
+                else stack.return_address_intact
+            return (space, span, predicate)
+
+        return build
+
+    canary = measure_detection_coverage(
+        "targeted return-slot writes vs StackGuard canary",
+        target("canary"), trials=TRIALS, seed=103,
+    )
+    consistency = measure_detection_coverage(
+        "targeted return-slot writes vs return-address check",
+        target("check"), trials=TRIALS, seed=104,
+    )
+    return canary, consistency
+
+
+def main() -> None:
+    print("=" * 74)
+    print(f"Fault-injection detection coverage ({TRIALS} trials each)")
+    print("=" * 74)
+    reports = [got_campaign(), heap_campaign(), *return_campaigns()]
+    for report in reports:
+        print(f"  {report}")
+    print(
+        "\nreading: the consistency checks detect (almost) all corruptions "
+        "of their guarded state; the canary detects 0% of *targeted* "
+        "return-slot writes (the %n case) — it only guards the linear-"
+        "overrun path through the canary word itself."
+        "\n\nnote the occasional safe-unlink miss: a corrupted fd that "
+        "happens to point just below the bin makes fd->bk alias the bin's "
+        "own head pointer, which does equal the chunk — an aliasing false "
+        "negative the pointer-equality predicate cannot distinguish."
+    )
+
+
+if __name__ == "__main__":
+    main()

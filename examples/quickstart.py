@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Quickstart: build a pFSM model from scratch, find its hidden path,
+foil the exploit, and render the machine.
+
+This walks the paper's core loop on the Observation 3 example (the
+Sendmail index check) in ~60 lines:
+
+1. write the *specification* predicate and the (buggy) *implementation*
+   predicate;
+2. wrap them in a primitive FSM and chain pFSMs into an operation and a
+   model;
+3. search a domain for hidden-path witnesses (the vulnerability);
+4. secure one elementary activity and watch the exploit get foiled.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    Domain,
+    ModelBuilder,
+    PfsmType,
+    Predicate,
+    in_range,
+    less_equal,
+    minimal_foil_points,
+    render_model,
+)
+from repro.memory import atoi
+
+
+def main() -> None:
+    # 1. The predicates.  The spec wants a two-sided bound; the 2003
+    #    implementation checked only the upper side.
+    spec = in_range(0, 100)
+    impl = less_equal(100)
+
+    # 2. The model: convert the input string, then index the array.
+    model = (
+        ModelBuilder("quickstart: signed index check",
+                     final_consequence="array underwrite reaches the GOT")
+        .operation("write tTvect[x]", obj="the input integer")
+        .pfsm("convert",
+              activity="parse the decimal string with C atoi",
+              object_name="str_x",
+              spec=Predicate(lambda s: abs(int(s)) < 2**31,
+                             "string represents a 32-bit integer"),
+              impl=None,  # no check at all
+              transform=lambda s: atoi(s).value,
+              check_type=PfsmType.OBJECT_TYPE)
+        .pfsm("bound",
+              activity="use the integer as an array index",
+              object_name="x",
+              spec=spec,
+              impl=impl,
+              action="tTvect[x] = i",
+              check_type=PfsmType.CONTENT_ATTRIBUTE)
+        .build()
+    )
+    print(render_model(model))
+
+    # 3. Hidden-path search over boundary-flavoured inputs.
+    domain = Domain.integer_strings()
+    operation = model.operations[0]
+    witnesses = operation.exploit_witnesses(domain, limit=5)
+    print(f"\nhidden-path witnesses: {witnesses}")
+
+    # Each witness drives a real exploit traversal:
+    trace = model.run(witnesses[0]).trace
+    print(f"\n{trace.to_text()}")
+
+    # 4. Observation 1: securing a single elementary activity foils it.
+    for point in minimal_foil_points(model, witnesses[0]):
+        print(f"foil option: {point}")
+    fixed = model.with_pfsm_secured("write tTvect[x]", "bound")
+    assert not fixed.is_compromised_by(witnesses[0])
+    print("\nafter securing 'bound': exploit foiled; "
+          f"benign input still served: {fixed.run('7').compromised}")
+
+
+if __name__ == "__main__":
+    main()

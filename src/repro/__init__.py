@@ -1,0 +1,45 @@
+"""repro — a reproduction of "A Data-Driven Finite State Machine Model
+for Analyzing Security Vulnerabilities" (Chen, Kalbarczyk, Xu, Iyer;
+DSN 2003).
+
+Packages
+--------
+``repro.core``
+    The pFSM methodology: primitive FSMs, operations, cascaded
+    vulnerability models with propagation gates, hidden-path analysis,
+    the Lemma, the discovery engine, and the two taxonomies.
+``repro.memory``
+    Simulated process memory: C integers, address space, stack, heap
+    (with the unlink write primitive), GOT, printf-with-%n.
+``repro.osmodel``
+    Simulated OS: filesystem with symlinks/permissions/terminals, users,
+    an interleaving scheduler for races, sockets with recv semantics.
+``repro.apps``
+    Faithful models of the vulnerable applications (Sendmail, NULL
+    HTTPD, xterm, rwalld, IIS, GHTTPD, rpc.statd), each with vulnerable
+    and patched variants, whose exploits *execute*.
+``repro.bugtraq``
+    The data side: report schema, curated corpus of the paper's
+    vulnerabilities, synthetic full-scale database matching Figure 1,
+    and the Section 3 statistics.
+``repro.defenses``
+    StackGuard, split-stack, bounds-checked copies, format filtering,
+    heap integrity — the checks the paper maps to elementary activities.
+``repro.models``
+    Prebuilt models for every figure and Table 2 row.
+"""
+
+from . import apps, bugtraq, core, defenses, memory, models, osmodel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "bugtraq",
+    "core",
+    "defenses",
+    "memory",
+    "models",
+    "osmodel",
+    "__version__",
+]

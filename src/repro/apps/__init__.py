@@ -1,0 +1,136 @@
+"""Faithful models of the vulnerable applications the paper examines.
+
+Each module ports the relevant routine of the original C program onto
+the simulated substrates (``repro.memory``, ``repro.osmodel``), with the
+original bug intact in the ``VULNERABLE`` variant and the paper's
+prescribed checks in the patched/defended variants.  Exploits *execute*:
+control-flow hijacks, file corruptions, and overflows are observable
+effects, not flags.
+"""
+
+from .envutil import (
+    EnvUtilVariant,
+    EnvWorld,
+    ExecutionRecord,
+    SetuidUtility,
+    make_world as make_env_world,
+    plant_trojan,
+)
+from .freebsd_syscall import (
+    FreebsdKernel,
+    FreebsdVariant,
+    MAX_REQUEST,
+    SyscallResult,
+    craft_cred_overwrite,
+)
+from .ghttpd import Ghttpd, GhttpdVariant, ServeResult, craft_stack_smash
+from .icecast import ClientResult, Icecast, IcecastVariant, craft_expansion_smash
+from .splitvt import (
+    RefreshResult,
+    Splitvt,
+    SplitvtVariant,
+    TitleResult,
+    craft_handler_overwrite,
+)
+from .rsync_daemon import (
+    DispatchResult,
+    RsyncDaemon,
+    RsyncVariant,
+    TABLE_SIZE,
+    craft_negative_opcode,
+)
+from .wuftpd import FtpReply, WuFtpd, WuFtpdVariant, craft_site_exec_exploit
+from .iis import CgiOutcome, IisServer, IisVariant, SCRIPTS_ROOT, percent_decode
+from .nullhttpd import (
+    NullHttpd,
+    NullHttpdVariant,
+    RECV_CHUNK,
+    RequestOutcome,
+    craft_unlink_body,
+)
+from .registry import APP_REGISTRY, AppRecord, by_bugtraq_id
+from .rpc_statd import NotifyResult, RpcStatd, StatdVariant, craft_format_exploit
+from .rwalld import (
+    BroadcastReport,
+    RwallDaemon,
+    RwallVariant,
+    RwallWorld,
+    add_utmp_entry,
+    make_world as make_rwall_world,
+    passwd_corrupted,
+)
+from .sendmail import Sendmail, SendmailVariant, TTflagResult, craft_got_exploit
+from .xterm import (
+    XtermLogger,
+    XtermVariant,
+    XtermWorld,
+    build_race_scheduler,
+)
+
+__all__ = [
+    "EnvUtilVariant",
+    "EnvWorld",
+    "ExecutionRecord",
+    "SetuidUtility",
+    "make_env_world",
+    "plant_trojan",
+    "FreebsdKernel",
+    "FreebsdVariant",
+    "MAX_REQUEST",
+    "SyscallResult",
+    "craft_cred_overwrite",
+    "DispatchResult",
+    "RsyncDaemon",
+    "RsyncVariant",
+    "TABLE_SIZE",
+    "craft_negative_opcode",
+    "FtpReply",
+    "WuFtpd",
+    "WuFtpdVariant",
+    "craft_site_exec_exploit",
+    "ClientResult",
+    "Icecast",
+    "IcecastVariant",
+    "craft_expansion_smash",
+    "RefreshResult",
+    "Splitvt",
+    "SplitvtVariant",
+    "TitleResult",
+    "craft_handler_overwrite",
+    "Ghttpd",
+    "GhttpdVariant",
+    "ServeResult",
+    "craft_stack_smash",
+    "CgiOutcome",
+    "IisServer",
+    "IisVariant",
+    "SCRIPTS_ROOT",
+    "percent_decode",
+    "NullHttpd",
+    "NullHttpdVariant",
+    "RECV_CHUNK",
+    "RequestOutcome",
+    "craft_unlink_body",
+    "APP_REGISTRY",
+    "AppRecord",
+    "by_bugtraq_id",
+    "NotifyResult",
+    "RpcStatd",
+    "StatdVariant",
+    "craft_format_exploit",
+    "BroadcastReport",
+    "RwallDaemon",
+    "RwallVariant",
+    "RwallWorld",
+    "add_utmp_entry",
+    "make_rwall_world",
+    "passwd_corrupted",
+    "Sendmail",
+    "SendmailVariant",
+    "TTflagResult",
+    "craft_got_exploit",
+    "XtermLogger",
+    "XtermVariant",
+    "XtermWorld",
+    "build_race_scheduler",
+]

@@ -1,0 +1,130 @@
+"""A setuid utility with a PATH-hijack environment error.
+
+Demonstrates that the pFSM method covers Figure 1's *Environment Error*
+category (the paper: the remaining categories "can also be modeled, if
+the predicates are derived ...").  The scenario is the canonical one:
+
+* ``diskreport`` is a setuid-root utility; to timestamp its report it
+  runs ``system("date")``.
+* ``system`` resolves the bare name through the invoking user's
+  ``PATH``.
+* The attacker prepends a directory holding their own executable named
+  ``date``; the utility — root — runs it.
+
+Both modules are individually correct (the utility calls a standard
+helper; the loader follows PATH); the composition under a hostile
+environment is the vulnerability.
+
+Variants:
+
+``VULNERABLE``
+    uses the caller's environment unchanged.
+``PATCHED``
+    resets PATH to the trusted directories before spawning (the
+    standard setuid hygiene).
+``GUARDED``
+    PATH left alone, but the resolved binary is verified to live in a
+    trusted directory before exec (reference-consistency at the last
+    activity).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..osmodel import FileSystem, ROOT, User
+from ..osmodel.environment import Environment, TRUSTED_PATH, resolve_command
+
+__all__ = ["EnvUtilVariant", "ExecutionRecord", "SetuidUtility",
+           "make_world", "plant_trojan", "EnvWorld"]
+
+
+class EnvUtilVariant(enum.Enum):
+    """How the utility treats the ambient environment."""
+
+    VULNERABLE = "spawns helpers through the caller's PATH"
+    PATCHED = "resets PATH to the trusted directories first"
+    GUARDED = "verifies the resolved binary's location before exec"
+
+
+@dataclass(frozen=True)
+class ExecutionRecord:
+    """What the utility actually executed."""
+
+    executed: bool
+    binary: Optional[str] = None
+    as_uid: int = 0
+    reason: str = ""
+
+    @property
+    def ran_untrusted_as_root(self) -> bool:
+        """The compromise signature: a binary outside the trusted
+        directories executed with uid 0."""
+        if not self.executed or self.binary is None or self.as_uid != 0:
+            return False
+        return not any(
+            self.binary.startswith(prefix.rstrip("/") + "/")
+            for prefix in TRUSTED_PATH
+        )
+
+
+@dataclass
+class EnvWorld:
+    """Filesystem with the system date binary and an attacker directory."""
+
+    fs: FileSystem
+    attacker: User
+
+
+def make_world() -> EnvWorld:
+    """System binaries in /bin; a world-writable /tmp for the attacker."""
+    fs = FileSystem()
+    attacker = User.regular("mallory", 1001)
+    fs.mkdirs("/bin", ROOT)
+    fs.mkdirs("/usr/bin", ROOT)
+    fs.create_file("/bin/date", ROOT, 0o755, data=b"#!system date\n")
+    fs.mkdirs("/tmp", ROOT)
+    fs.lookup("/tmp").mode = 0o777  # the usual sticky world-writable /tmp
+    return EnvWorld(fs=fs, attacker=attacker)
+
+
+def plant_trojan(world: EnvWorld, directory: str = "/tmp/evil") -> str:
+    """The attacker's move: an executable named ``date`` in their own
+    directory.  Returns the trojan's path."""
+    world.fs.mkdirs(directory, world.attacker)
+    path = f"{directory}/date"
+    world.fs.create_file(path, world.attacker, 0o755,
+                         data=b"#!trojan: add root account\n")
+    return path
+
+
+class SetuidUtility:
+    """The privileged utility's helper-spawn path."""
+
+    def __init__(self, world: EnvWorld,
+                 variant: EnvUtilVariant = EnvUtilVariant.VULNERABLE) -> None:
+        self.world = world
+        self.variant = variant
+
+    def run_report(self, caller_env: Environment) -> ExecutionRecord:
+        """Generate the report: resolves and 'executes' ``date`` with
+        root privilege, under the caller's environment."""
+        env = caller_env
+        if self.variant is EnvUtilVariant.PATCHED:
+            env = caller_env.with_sanitized_path()
+        binary = resolve_command(self.world.fs, env, "date", ROOT)
+        if binary is None:
+            return ExecutionRecord(executed=False, reason="date not found")
+        if self.variant is EnvUtilVariant.GUARDED:
+            trusted = any(
+                binary.startswith(prefix.rstrip("/") + "/")
+                for prefix in TRUSTED_PATH
+            )
+            if not trusted:
+                return ExecutionRecord(
+                    executed=False, binary=binary,
+                    reason="resolved binary outside the trusted directories",
+                )
+        return ExecutionRecord(executed=True, binary=binary, as_uid=0)

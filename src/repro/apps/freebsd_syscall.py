@@ -1,0 +1,131 @@
+"""FreeBSD system-call signed integer buffer overflow (Bugtraq #5493) —
+Table 1, row 2.
+
+The paper's description: "a negative value supplied for the argument
+allowing exceeding the boundary of an array", classified as a Boundary
+Condition Error because the analyst anchored on elementary activity 2
+(*use the integer as the index/bound of an array*).
+
+The mechanism is the classic signed/unsigned length confusion: the
+kernel validates a user-supplied length with a *signed* upper-bound
+comparison (``len > MAX`` rejects), then hands it to a copy routine that
+consumes it as ``size_t``.  A negative length passes the signed check
+and reinterprets as a huge unsigned count; the copy runs past the
+destination buffer into adjacent kernel state.
+
+The model's kernel image keeps a 64-byte request buffer physically
+followed by a credential word (the caller's uid) — so the executable
+consequence of the overflow is *privilege escalation*: the copied fill
+bytes reach the ucred and a follow-up ``getuid`` observes uid 0.
+
+Variants:
+
+``VULNERABLE``
+    ``if (len > MAX_REQUEST) return EINVAL;`` — the one-sided check.
+``PATCHED``
+    ``if (len < 0 || len > MAX_REQUEST) return EINVAL;`` — the derived
+    predicate (the same shape as Sendmail's 0 <= x <= 100 fix).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..memory import AddressSpace, UInt32
+
+__all__ = ["FreebsdVariant", "SyscallResult", "FreebsdKernel",
+           "MAX_REQUEST", "craft_cred_overwrite"]
+
+#: Size of the kernel's request staging buffer.
+MAX_REQUEST = 64
+
+#: The "page" bound the copy routine physically cannot exceed in one
+#: call — what keeps a wrapped huge count from faulting the simulator,
+#: as the real exploit's controlled partial copy did.
+_COPY_CLAMP = 128
+
+#: EINVAL-style error marker.
+EINVAL = -22
+
+
+class FreebsdVariant(enum.Enum):
+    """The length-check variants."""
+
+    VULNERABLE = "signed upper-bound check only (len > MAX rejects)"
+    PATCHED = "two-sided check (0 <= len <= MAX)"
+
+
+@dataclass(frozen=True)
+class SyscallResult:
+    """Outcome of one syscall invocation."""
+
+    error: int  # 0 on success, EINVAL on rejection
+    bytes_copied: int = 0
+
+    @property
+    def accepted(self) -> bool:
+        """Did the kernel act on the request?"""
+        return self.error == 0
+
+
+class FreebsdKernel:
+    """A kernel fragment: one request buffer, one credential word."""
+
+    #: uid of the unprivileged caller.
+    CALLER_UID = 1001
+
+    def __init__(self, variant: FreebsdVariant = FreebsdVariant.VULNERABLE
+                 ) -> None:
+        self.variant = variant
+        self.space = AddressSpace(size=1024 * 1024)
+        self.buffer = self.space.map_region("request", 0x1000, MAX_REQUEST)
+        # The credential structure sits physically after the buffer —
+        # the adjacent kernel state the overflow reaches.
+        self.cred = self.space.map_region("ucred", self.buffer.end, 4)
+        self.space.write_word(self.cred.start, self.CALLER_UID,
+                              label="ucred")
+
+    # -- the vulnerable syscall --------------------------------------------
+
+    def copy_request(self, data: bytes, length: int) -> SyscallResult:
+        """``syscall(SYS_x, data, length)``: stage ``length`` bytes of
+        ``data`` in the kernel buffer.
+
+        The copy consumes ``length`` as ``size_t``, clamped by the
+        page bound — the paper-era partial-copy behaviour that made the
+        bug exploitable rather than a pure crash.
+        """
+        if not self._length_ok(length):
+            return SyscallResult(error=EINVAL)
+        unsigned = UInt32(length).value
+        count = min(unsigned, _COPY_CLAMP)
+        payload = data[:count] + b"\x00" * max(0, count - len(data))
+        self.space.write(self.buffer.start, payload, label="request")
+        return SyscallResult(error=0, bytes_copied=count)
+
+    def _length_ok(self, length: int) -> bool:
+        if self.variant is FreebsdVariant.PATCHED:
+            return 0 <= length <= MAX_REQUEST
+        return length <= MAX_REQUEST  # the signed one-sided check
+
+    # -- observable consequences ----------------------------------------------
+
+    def getuid(self) -> int:
+        """The caller's uid as the kernel now believes it."""
+        return self.space.read_word(self.cred.start)
+
+    def cred_intact(self) -> bool:
+        """Reference-consistency predicate over the credential word."""
+        return self.getuid() == self.CALLER_UID
+
+    @property
+    def escalated(self) -> bool:
+        """Did the caller become root?"""
+        return self.getuid() == 0
+
+
+def craft_cred_overwrite(kernel: FreebsdKernel) -> bytes:
+    """Request data that, with a negative length, fills the buffer and
+    lands uid 0 in the adjacent credential word."""
+    return b"A" * MAX_REQUEST + (0).to_bytes(4, "little")

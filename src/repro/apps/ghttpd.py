@@ -1,0 +1,134 @@
+"""GHTTPD ``Log()`` stack buffer overflow (Bugtraq #5960).
+
+The paper analyzes this vulnerability in its extended report [21] and
+summarises it in Table 2: pFSM1 is the content check "size(message) <=
+200?" and pFSM2 the reference-consistency check "is the return address
+unchanged?".  The ``Log()`` function formats the request line into a
+200-byte stack buffer with an unbounded copy; an over-long request
+walks up the frame into the saved return address.
+
+Variants:
+
+``VULNERABLE``
+    The 2003 code — no length check, plain frame.
+``PATCHED``
+    Checks ``len(request) < 200`` before copying (the pFSM1 fix).
+``STACKGUARD``
+    No length check, but a canary word between the locals and the
+    return address, verified on return (the paper's cited StackGuard
+    defense [15] — a pFSM2-level foil).
+``SPLITSTACK``
+    No length check; the return address is *also* kept on a protected
+    shadow stack and restored from there on return (the split-stack /
+    return-address-stack defense of [16]).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..memory import Process, StackSmashed, strcpy
+
+__all__ = ["GhttpdVariant", "ServeResult", "Ghttpd", "craft_stack_smash"]
+
+#: The Log() buffer size in the original source.
+LOG_BUFFER_SIZE = 200
+
+#: Deterministic canary for the STACKGUARD variant.
+_CANARY = 0x000AFF0D
+
+
+class GhttpdVariant(enum.Enum):
+    """Implementation/defense variants of the Log() path."""
+
+    VULNERABLE = "no length check, bare frame"
+    PATCHED = "length(request) < 200 enforced"
+    STACKGUARD = "canary between locals and return address"
+    SPLITSTACK = "return address restored from shadow stack"
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """Outcome of serving one request through Log()."""
+
+    accepted: bool
+    returned_to: Optional[int] = None
+    hijacked: bool = False
+    reason: str = ""
+
+
+class Ghttpd:
+    """The GHTTPD logging path in a simulated process."""
+
+    #: Where a legitimate Log() invocation returns to.
+    RETURN_SITE = 0x1400
+
+    def __init__(self, variant: GhttpdVariant = GhttpdVariant.VULNERABLE) -> None:
+        self.variant = variant
+        self.process = Process(symbols=("exit",))
+        self._shadow_stack: List[int] = []
+
+    def serve(self, request: bytes) -> ServeResult:
+        """Handle one request: enter Log(), copy the request line into
+        the 200-byte local, return."""
+        if self.variant is GhttpdVariant.PATCHED and len(request) >= LOG_BUFFER_SIZE:
+            return ServeResult(accepted=False, reason="request line too long")
+        canary = _CANARY if self.variant is GhttpdVariant.STACKGUARD else None
+        frame = self.process.stack.push_frame(
+            "Log",
+            return_address=self.RETURN_SITE,
+            local_buffers={"temp": LOG_BUFFER_SIZE},
+            canary=canary,
+        )
+        if self.variant is GhttpdVariant.SPLITSTACK:
+            self._shadow_stack.append(self.RETURN_SITE)
+        strcpy(self.process.space, frame.local_address("temp"), request,
+               label="stack")
+        try:
+            returned_to = self.process.stack.pop_frame()
+        except StackSmashed as smash:
+            if self.variant is GhttpdVariant.SPLITSTACK:
+                # The shadow stack overrides the corrupted in-memory word.
+                return ServeResult(accepted=True,
+                                   returned_to=self._shadow_stack.pop(),
+                                   hijacked=False,
+                                   reason="return address restored from shadow")
+            return ServeResult(accepted=True, returned_to=smash.hijacked_target,
+                               hijacked=True, reason="return address smashed")
+        except ValueError as abort:  # canary detection
+            return ServeResult(accepted=False, reason=str(abort))
+        if self.variant is GhttpdVariant.SPLITSTACK:
+            self._shadow_stack.pop()
+        return ServeResult(accepted=True, returned_to=returned_to)
+
+    # -- predicates bound to live state ----------------------------------------
+
+    def return_address_consistent(self) -> bool:
+        """pFSM2's predicate over the live frame (meaningful between the
+        copy and the return; exposed for FSM binding in tests)."""
+        return self.process.return_address_consistent()
+
+
+def craft_stack_smash(app: Ghttpd) -> bytes:
+    """A request that overwrites Log()'s saved return address with the
+    address of planted Mcode.
+
+    Frame layout above the 200-byte buffer: saved frame pointer (4),
+    optional canary (4), return address (4).  The payload pads through
+    whatever sits between buffer and return slot, then supplies the
+    Mcode pointer.
+    """
+    mcode = app.process.plant_mcode()
+    # Distance from buffer start to return-address slot depends on the
+    # variant's frame shape; compute it from a probe frame.
+    probe = app.process.stack.push_frame(
+        "probe",
+        return_address=0,
+        local_buffers={"temp": LOG_BUFFER_SIZE},
+        canary=_CANARY if app.variant is GhttpdVariant.STACKGUARD else None,
+    )
+    gap = probe.return_address_slot - probe.local_address("temp")
+    app.process.stack.pop_frame(check_canary=False)
+    return b"A" * gap + mcode.to_bytes(4, "little")

@@ -1,0 +1,111 @@
+"""icecast ``print_client()`` format string vulnerability (Bugtraq
+#2264) — the *boundary condition* anchor of the paper's format trio.
+
+Distinct mechanism from rpc.statd/wu-ftpd: here the danger is not a
+``%n`` write but *expansion* — a width-specified directive like
+``%500d`` expands a few input bytes into hundreds of output bytes, and
+the formatted result is copied into a fixed 256-byte stack buffer.  The
+directive content check (pFSM1) and the copy-bound check are both
+missing, so the expansion walks over the saved return address — a stack
+smash reached *through* the format interpreter, which is why the
+Bugtraq analyst filed it under Boundary Condition Error.
+
+Variants:
+
+``VULNERABLE``
+    format the client string, then unbounded copy into the buffer.
+``PATCHED``
+    the upstream fix: client data formatted via ``%s`` (no expansion)
+    and the copy bounded to the buffer.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..memory import Process, StackSmashed, strcpy, strncpy, vsprintf
+
+__all__ = ["IcecastVariant", "ClientResult", "Icecast",
+           "craft_expansion_smash"]
+
+#: The fixed reply buffer in print_client().
+CLIENT_BUFFER_SIZE = 256
+
+
+class IcecastVariant(enum.Enum):
+    """Implementation variants of print_client()."""
+
+    VULNERABLE = "format the client string; unbounded copy to the buffer"
+    PATCHED = "format via %s; copy bounded to the buffer"
+
+
+@dataclass(frozen=True)
+class ClientResult:
+    """Outcome of logging one client."""
+
+    accepted: bool
+    formatted_length: int = 0
+    hijacked: bool = False
+    returned_to: Optional[int] = None
+
+
+class Icecast:
+    """The print_client() path in a simulated process."""
+
+    RETURN_SITE = 0x1600
+
+    def __init__(self, variant: IcecastVariant = IcecastVariant.VULNERABLE
+                 ) -> None:
+        self.variant = variant
+        self.process = Process(symbols=("exit",))
+
+    def print_client(self, client_info: bytes) -> ClientResult:
+        """Format and log one client's identification string."""
+        frame = self.process.stack.push_frame(
+            "print_client",
+            return_address=self.RETURN_SITE,
+            local_buffers={"buf": CLIENT_BUFFER_SIZE},
+        )
+        buffer = frame.local_address("buf")
+        if self.variant is IcecastVariant.PATCHED:
+            rendered = vsprintf(self.process.space, b"client: %s",
+                                args=(client_info,)).output
+            strncpy(self.process.space, buffer, rendered,
+                    CLIENT_BUFFER_SIZE, label="stack")
+        else:
+            # The bug pair: expansion (user input as format) and an
+            # unbounded copy of the expanded text.
+            rendered = vsprintf(self.process.space, client_info, args=(),
+                                vararg_base=buffer).output
+            strcpy(self.process.space, buffer, rendered, label="stack")
+        try:
+            returned_to = self.process.stack.pop_frame()
+        except StackSmashed as smash:
+            return ClientResult(accepted=True,
+                                formatted_length=len(rendered),
+                                hijacked=True,
+                                returned_to=smash.hijacked_target)
+        return ClientResult(accepted=True, formatted_length=len(rendered),
+                            returned_to=returned_to)
+
+
+def craft_expansion_smash(app: Icecast) -> bytes:
+    """A short client string whose width directive expands past the
+    buffer, landing Mcode's address on the saved return word.
+
+    The payload keeps the expansion printable padding and positions the
+    pointer bytes exactly at the return-slot offset — computed from a
+    probe frame, as a real exploit would from a core dump.
+    """
+    mcode = app.process.plant_mcode()
+    probe = app.process.stack.push_frame(
+        "probe", return_address=0,
+        local_buffers={"buf": CLIENT_BUFFER_SIZE},
+    )
+    gap = probe.return_address_slot - probe.local_address("buf")
+    app.process.stack.pop_frame()
+    # Expand to exactly `gap` bytes, then append the pointer.
+    lead = b"%" + str(gap).encode() + b"x"
+    return lead + mcode.to_bytes(4, "little")

@@ -1,0 +1,139 @@
+"""IIS superfluous filename decoding (Figure 7; Bugtraq #2708).
+
+CGI requests under ``/wwwroot/scripts`` are checked with the predicate
+"the decoded filepath must not contain ``../``".  The IIS implementation
+checked this after the *first* percent-decoding step, then — the bug —
+decoded a *second* time before executing.  A filepath containing
+``..%252f`` survives the check (``%25`` → ``%``, giving ``..%2f``, which
+holds no ``../``) and only becomes ``../`` in the second decode — the
+inconsistency between the checked predicate and the executed predicate
+that the paper draws as the hidden transition from reject to accept.
+(The Nimda worm exploited exactly this.)
+
+Variants:
+
+``VULNERABLE``
+    Check after decode #1, then decode again (the 2001 IIS).
+``PATCHED``
+    Decode to a fixed point first, then check — the predicate is
+    evaluated on the string that will actually execute.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..osmodel import normalize_path
+
+__all__ = [
+    "IisVariant",
+    "CgiOutcome",
+    "percent_decode",
+    "IisServer",
+    "SCRIPTS_ROOT",
+]
+
+SCRIPTS_ROOT = "/wwwroot/scripts"
+
+
+class IisVariant(enum.Enum):
+    """Check placement relative to the two decoding steps."""
+
+    VULNERABLE = "check between the two decodes"
+    PATCHED = "check after decoding reaches a fixed point"
+
+
+def percent_decode(text: str) -> str:
+    """One pass of RFC-style percent decoding (``%xx`` → byte).
+
+    Malformed escapes are passed through unchanged, as IIS did.
+    """
+    out = []
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if char == "%" and index + 2 < len(text) + 1:
+            hex_digits = text[index + 1 : index + 3]
+            if len(hex_digits) == 2 and all(
+                c in "0123456789abcdefABCDEF" for c in hex_digits
+            ):
+                out.append(chr(int(hex_digits, 16)))
+                index += 3
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+def decode_fixed_point(text: str, max_rounds: int = 8) -> str:
+    """Decode until the string stops changing (the PATCHED strategy)."""
+    for _round in range(max_rounds):
+        decoded = percent_decode(text)
+        if decoded == text:
+            return text
+        text = decoded
+    return text
+
+
+@dataclass(frozen=True)
+class CgiOutcome:
+    """Result of handling one CGI filename request."""
+
+    accepted: bool
+    executed_path: Optional[str] = None
+    reason: str = ""
+
+    @property
+    def escaped_root(self) -> bool:
+        """Did execution land outside the scripts directory?"""
+        return (
+            self.executed_path is not None
+            and not self.executed_path.startswith(SCRIPTS_ROOT)
+        )
+
+
+class IisServer:
+    """The CGI filename-decoding pipeline."""
+
+    def __init__(self, variant: IisVariant = IisVariant.VULNERABLE) -> None:
+        self.variant = variant
+
+    def handle_cgi_request(self, filepath: str) -> CgiOutcome:
+        """Process one request for a CGI program under the scripts root.
+
+        ``filepath`` is the raw (percent-encoded) path relative to
+        ``/wwwroot/scripts``.
+        """
+        if self.variant is IisVariant.PATCHED:
+            fully = decode_fixed_point(filepath)
+            if "../" in fully or fully.startswith("/"):
+                return CgiOutcome(False, reason="path escapes scripts root")
+            executed = normalize_path(f"{SCRIPTS_ROOT}/{fully}")
+            return CgiOutcome(True, executed_path=executed)
+
+        # VULNERABLE pipeline: decode #1, check, decode #2, execute.
+        once = percent_decode(filepath)  # first decoding
+        if "../" in once or once.startswith("/"):
+            # The implemented predicate: no "../" after the FIRST decode.
+            return CgiOutcome(False, reason='contains "../" after first decode')
+        twice = percent_decode(once)  # the superfluous second decoding
+        executed = normalize_path(f"{SCRIPTS_ROOT}/{twice}")
+        return CgiOutcome(True, executed_path=executed)
+
+    # -- the two predicates, exposed for FSM binding ------------------------------
+
+    @staticmethod
+    def spec_safe(filepath: str) -> bool:
+        """Specification predicate of pFSM1: the *executed* file resides
+        under the scripts root — equivalently, the fully decoded path
+        contains no ``../`` (and is relative)."""
+        fully = decode_fixed_point(filepath)
+        return "../" not in fully and not fully.startswith("/")
+
+    @staticmethod
+    def impl_accepts(filepath: str) -> bool:
+        """Implemented predicate: no ``../`` after the first decode."""
+        once = percent_decode(filepath)
+        return "../" not in once and not once.startswith("/")

@@ -1,0 +1,256 @@
+"""NULL HTTPD heap overflows: the known Bugtraq #5774 and the paper's
+newly-discovered #6255.
+
+Figure 4b of the paper lists the vulnerable ``ReadPOSTData``::
+
+    1: PostData = calloc(contentLen+1024, sizeof(char)); x=0; rc=0;
+    2: pPostData = PostData;
+    3: do {
+    4:   rc = recv(sid, pPostData, 1024, 0);
+    5:   if (rc == -1) { closeconnect(sid, 1); return; }
+    9:   pPostData += rc;
+    10:  x += rc;
+    11: } while ((rc == 1024) || (x < contentLen));
+
+Two distinct bugs live here:
+
+* **#5774 (version 0.5)** — ``contentLen`` is never checked for
+  negativity; ``calloc(contentLen + 1024, 1)`` with ``contentLen = -800``
+  yields a 224-byte buffer while the loop happily copies at least 1024
+  bytes.
+* **#6255 (version 0.5.1, discovered by the paper's authors)** —
+  version 0.5.1 blocks negative ``contentLen`` *before* calling
+  ``ReadPOSTData``, but the loop's ``||`` should be ``&&``: as long as
+  full 1024-byte chunks keep arriving, the copy continues past
+  ``contentLen`` — a correct ``contentLen`` with an over-long body still
+  overflows.
+
+The model executes the copy against the simulated heap, so the overflow
+really lands on the free chunk following ``PostData``, and ``free()``'s
+consolidation really performs the unlink write into the GOT.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..memory import (
+    CHUNK_HEADER_SIZE,
+    BK_OFFSET,
+    HeapCorruptionDetected,
+    Int32,
+    Process,
+)
+from ..osmodel import RECV_ERROR, SimulatedSocket
+
+__all__ = [
+    "NullHttpdVariant",
+    "RequestOutcome",
+    "NullHttpd",
+    "craft_unlink_body",
+    "RECV_CHUNK",
+]
+
+#: The server's per-recv chunk size (source line 4).
+RECV_CHUNK = 1024
+
+
+class NullHttpdVariant(enum.Enum):
+    """The three implementations the paper distinguishes."""
+
+    V0_5 = "0.5: no contentLen check, || loop (Bugtraq #5774)"
+    V0_5_1 = "0.5.1: contentLen >= 0 enforced, || loop (Bugtraq #6255)"
+    FIXED = "contentLen >= 0 enforced, && loop"
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """Result of serving one POST request."""
+
+    accepted: bool
+    reason: str = ""
+    post_data_address: Optional[int] = None
+    buffer_size: int = 0
+    bytes_copied: int = 0
+
+    @property
+    def overflowed(self) -> bool:
+        """Did the copy exceed the allocation?"""
+        return self.accepted and self.bytes_copied > self.buffer_size
+
+
+class NullHttpd:
+    """The NULL HTTPD POST path inside a simulated process.
+
+    Parameters
+    ----------
+    variant:
+        Which implementation to run.
+    check_unlink:
+        Run the hardened allocator (safe unlink) — the pFSM3 defense.
+    """
+
+    #: Upper bound 0.5.1 also applies to contentLen (sanity cap).
+    MAX_CONTENT_LEN = 1 << 20
+
+    def __init__(
+        self,
+        variant: NullHttpdVariant = NullHttpdVariant.V0_5,
+        check_unlink: bool = False,
+    ) -> None:
+        self.variant = variant
+        self.process = Process(symbols=("free", "exit"), check_unlink=check_unlink)
+        self.post_data: Optional[int] = None
+        self._post_data_size = 0
+
+    # -- request entry point -------------------------------------------------
+
+    def handle_post(self, content_len: int, body: bytes) -> RequestOutcome:
+        """Serve a POST: validate ``contentLen`` (variant-dependent), then
+        run ``ReadPOSTData`` against a socket delivering ``body``."""
+        if self.variant in (NullHttpdVariant.V0_5_1, NullHttpdVariant.FIXED):
+            # The 0.5.1 fix: block negative contentLen before ReadPOSTData.
+            if content_len < 0 or content_len > self.MAX_CONTENT_LEN:
+                return RequestOutcome(False, reason="bad Content-Length")
+        socket = SimulatedSocket(body)
+        return self.read_post_data(socket, content_len)
+
+    # -- the Figure 4b routine ---------------------------------------------------
+
+    def read_post_data(
+        self, socket: SimulatedSocket, content_len: int
+    ) -> RequestOutcome:
+        """Line-by-line port of the paper's source listing.
+
+        The allocation size is computed in a 32-bit signed int, exactly
+        as ``calloc(contentLen + 1024, sizeof(char))`` would see it.
+        """
+        alloc = (Int32(content_len) + 1024).value  # line 1
+        if alloc < 0:
+            # calloc sees a gigantic size_t and fails; the 2003 code did
+            # not get this far because -800 + 1024 is still positive —
+            # retained for completeness with very negative contentLen.
+            return RequestOutcome(False, reason="calloc failed")
+        self._stage_heap_neighbourhood(alloc)
+        post_data = self.process.heap.calloc(alloc, 1)
+        self.post_data = post_data
+        self._post_data_size = self.process.heap.allocation_size(post_data)
+        p_post_data = post_data  # line 2
+        x = 0
+        while True:  # line 3 (do { ... })
+            rc, chunk = socket.recv(RECV_CHUNK)  # line 4
+            if rc == RECV_ERROR:  # line 5
+                return RequestOutcome(False, reason="recv error",
+                                      post_data_address=post_data,
+                                      buffer_size=self._post_data_size,
+                                      bytes_copied=x)
+            if rc == 0:
+                # Orderly shutdown: the 2003 code would block forever; the
+                # model terminates the loop (no more bytes can arrive).
+                break
+            self.process.space.write(p_post_data, chunk, label="heap")
+            p_post_data += rc  # line 9
+            x += rc  # line 10
+            if not self._loop_continues(rc, x, content_len):  # line 11
+                break
+        return RequestOutcome(
+            accepted=True,
+            post_data_address=post_data,
+            buffer_size=self._post_data_size,
+            bytes_copied=x,
+        )
+
+    def _loop_continues(self, rc: int, x: int, content_len: int) -> bool:
+        if self.variant is NullHttpdVariant.FIXED:
+            return rc == RECV_CHUNK and x < content_len
+        # The || that should have been && — Bugtraq #6255.
+        return rc == RECV_CHUNK or x < content_len
+
+    def _stage_heap_neighbourhood(self, alloc: int) -> None:
+        """Arrange the Figure 4 heap layout: a free chunk immediately
+        follows PostData.
+
+        A real server reaches this layout through earlier connection
+        buffers; we reproduce it by allocating and freeing a neighbour.
+        The PostData allocation then comes from the wilderness, the
+        neighbour slot after it is freed once PostData exists.
+        """
+        # Allocate PostData's eventual neighbours now so the free chunk
+        # sits just past where PostData will land.
+        placeholder = self.process.heap.malloc(alloc)
+        neighbour = self.process.heap.malloc(128)  # becomes free chunk B
+        self.process.heap.malloc(64)  # guard chunk C (stays allocated)
+        self.process.heap.free(placeholder)
+        self.process.heap.free(neighbour)
+
+    # -- downstream operations (Figure 4, operations 2 and 3) ----------------------
+
+    def free_post_data(self) -> None:
+        """Free PostData — consolidation unlinks the (possibly corrupted)
+        neighbouring free chunk.
+
+        With corrupted links and the stock allocator, this performs the
+        attacker's arbitrary write.  With the hardened allocator it
+        raises :class:`~repro.memory.heap.HeapCorruptionDetected`.
+        """
+        if self.post_data is None:
+            raise RuntimeError("no PostData allocated")
+        self.process.heap.free(self.post_data)
+        self.post_data = None
+
+    def call_free(self, check_consistency: bool = False) -> int:
+        """The next ``free()`` call dispatches through the (possibly
+        corrupted) GOT — the pFSM4 activity."""
+        return self.process.got.call("free", check_consistency=check_consistency)
+
+    # -- predicates bound to live state ------------------------------------------------
+
+    def heap_links_consistent(self) -> bool:
+        """pFSM3's predicate over the real heap."""
+        return self.process.heap_links_consistent()
+
+    def got_free_consistent(self) -> bool:
+        """pFSM4's predicate: is ``addr_free`` unchanged?"""
+        return self.process.got_consistent("free")
+
+    @property
+    def post_data_size(self) -> int:
+        """Size of the live PostData allocation."""
+        return self._post_data_size
+
+
+def craft_unlink_body(app: NullHttpd, content_len: int) -> bytes:
+    """Build a POST body that overflows PostData into the following free
+    chunk's ``fd``/``bk`` links, aiming the unlink write at the GOT entry
+    of ``free()``.
+
+    Reproduces the paper's footnote 7: the attacker sets
+    ``B->fd = &addr_free - (offset of field bk)`` and ``B->bk = Mcode``
+    so that ``B->fd->bk = B->bk`` executes ``addr_free = Mcode``.
+
+    The body is computed from the same deterministic layout the server
+    will create for ``content_len`` (buffer size, chunk alignment), as a
+    real exploit script would from debugger observation.
+    """
+    mcode = app.process.plant_mcode()
+    addr_free = app.process.got.entry_address("free")
+    fd = addr_free - BK_OFFSET
+    bk = mcode
+
+    # Predict the buffer size the server will allocate.
+    alloc = (Int32(content_len) + 1024).value
+    user_size = max(
+        (alloc + CHUNK_HEADER_SIZE + 7) // 8 * 8, 16
+    ) - CHUNK_HEADER_SIZE
+
+    # The free chunk B sits immediately after PostData's chunk: its
+    # header is the 8 bytes past the user buffer.  Keep B's size word
+    # free-flagged (any aligned size with bit 0 clear) so consolidation
+    # still fires, then supply the malicious links.
+    b_size_word = (128 + CHUNK_HEADER_SIZE).to_bytes(4, "little")
+    body = b"A" * user_size
+    body += b_size_word + b"\x00" * 4  # B's header (size + reserved)
+    body += fd.to_bytes(4, "little") + bk.to_bytes(4, "little")
+    return body

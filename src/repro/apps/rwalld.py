@@ -1,0 +1,149 @@
+"""Solaris rwall arbitrary file corruption (Figure 6; CERT CA-1994-06).
+
+Two operations, as the paper cascades them:
+
+* **Operation 1 — write to /etc/utmp.**  pFSM1's predicate: only root
+  should be able to edit the logged-in-users file.  The vulnerable
+  configuration ships ``/etc/utmp`` world-writable, so a regular user
+  appends the entry ``../etc/passwd``.
+* **Operation 2 — the rwall daemon writes messages.**  For each utmp
+  entry the daemon opens the named terminal and writes the broadcast.
+  pFSM2's predicate: the target must be a *terminal* (object type
+  check).  The real daemon performs no such check, so the entry
+  ``../etc/passwd`` — resolved relative to ``/dev`` — lands the message
+  in the password file.
+
+Variants:
+
+``VULNERABLE``
+    World-writable utmp, no terminal-type check (the 1994 Solaris).
+``PATCHED_PERMS``
+    utmp writable by root only (fixes Operation 1).
+``PATCHED_TYPECHECK``
+    utmp still world-writable, but the daemon writes only to terminals
+    (fixes Operation 2) — Lemma part 2: securing either operation alone
+    foils the exploit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..osmodel import (
+    FileSystem,
+    PermissionDenied,
+    ROOT,
+    User,
+    normalize_path,
+)
+
+__all__ = ["RwallVariant", "RwallWorld", "RwallDaemon", "BroadcastReport",
+           "make_world", "UTMP_PATH", "DEV_ROOT"]
+
+UTMP_PATH = "/etc/utmp"
+DEV_ROOT = "/dev"
+
+
+class RwallVariant(enum.Enum):
+    """Deployment/implementation variants."""
+
+    VULNERABLE = "world-writable utmp, no terminal type check"
+    PATCHED_PERMS = "utmp writable by root only"
+    PATCHED_TYPECHECK = "daemon writes only to terminal devices"
+
+
+@dataclass
+class RwallWorld:
+    """Filesystem plus the daemon's variant."""
+
+    fs: FileSystem
+    variant: RwallVariant
+
+
+def make_world(variant: RwallVariant = RwallVariant.VULNERABLE) -> RwallWorld:
+    """A host with two logged-in terminals and the password file."""
+    fs = FileSystem()
+    fs.mkdirs("/etc", ROOT)
+    fs.mkdirs("/dev/pts", ROOT)
+    fs.create_terminal("/dev/pts/25", ROOT)
+    fs.create_terminal("/dev/pts/26", ROOT)
+    fs.create_file("/etc/passwd", ROOT, 0o644, data=b"root:x:0:0:...\n")
+    utmp_mode = 0o644 if variant is RwallVariant.PATCHED_PERMS else 0o666
+    fs.create_file(UTMP_PATH, ROOT, utmp_mode,
+                   data=b"pts/25\npts/26\n")
+    return RwallWorld(fs=fs, variant=variant)
+
+
+def add_utmp_entry(world: RwallWorld, user: User, entry: str) -> bool:
+    """Operation 1: a user appends an entry to utmp.
+
+    Returns False (exploit foiled at pFSM1) when the permission bits
+    stop the write.
+    """
+    try:
+        inode = world.fs.open_write(UTMP_PATH, user)
+    except PermissionDenied:
+        return False
+    world.fs.write(inode, entry.encode() + b"\n")
+    return True
+
+
+@dataclass(frozen=True)
+class BroadcastReport:
+    """What one ``rwall`` broadcast did."""
+
+    delivered_to: Tuple[str, ...]  # canonical paths written
+    rejected: Tuple[str, ...]  # entries the daemon refused
+
+    @property
+    def wrote_non_terminal(self) -> bool:
+        """Did any message land outside a terminal device?"""
+        return any(not path.startswith(DEV_ROOT) for path in self.delivered_to)
+
+
+class RwallDaemon:
+    """Operation 2: the daemon delivering ``rwall`` messages."""
+
+    def __init__(self, world: RwallWorld) -> None:
+        self.world = world
+
+    def utmp_entries(self) -> List[str]:
+        """Parse the utmp file into entries (terminal names relative to
+        ``/dev``)."""
+        data = self.world.fs.read(UTMP_PATH, ROOT)
+        return [line.decode() for line in data.splitlines() if line.strip()]
+
+    def broadcast(self, message: bytes) -> BroadcastReport:
+        """Write ``message`` to every utmp entry's target.
+
+        The vulnerable daemon resolves each entry relative to ``/dev``
+        and writes whatever it finds; ``../etc/passwd`` therefore
+        escapes.  The type-checking variant rejects non-terminals —
+        pFSM2's IMPL_REJ arm.
+        """
+        delivered: List[str] = []
+        rejected: List[str] = []
+        for entry in self.utmp_entries():
+            target = normalize_path(f"{DEV_ROOT}/{entry}")
+            if self.world.variant is RwallVariant.PATCHED_TYPECHECK:
+                if not self.world.fs.is_terminal(target):
+                    rejected.append(entry)
+                    continue
+            try:
+                inode = self.world.fs.lookup(target)
+            except Exception:
+                rejected.append(entry)
+                continue
+            # The daemon runs as root; permissions never stop it.
+            self.world.fs.write(inode, message)
+            delivered.append(target)
+        return BroadcastReport(
+            delivered_to=tuple(delivered), rejected=tuple(rejected)
+        )
+
+
+def passwd_corrupted(world: RwallWorld, message: bytes) -> bool:
+    """Did the broadcast land in /etc/passwd?"""
+    return message in world.fs.read("/etc/passwd", ROOT)

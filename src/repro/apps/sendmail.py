@@ -1,0 +1,144 @@
+"""Sendmail debugging-function signed integer overflow (Bugtraq #3163).
+
+Section 4 of the paper: "A signed integer overflow condition exists in
+writing the array ``tTvect[100]`` in the function ``tTflag()`` of the
+Sendmail application.  As a result, an attacker can overwrite the global
+offset table (GOT) entry of the function ``setuid()`` to be the starting
+point of attacker-specified malicious code (Mcode)."
+
+The model reproduces ``tTflag`` faithfully at the predicate level:
+
+* the debug flag argument has the form ``"x.i"`` (category ``x``, level
+  ``i``), parsed with C ``atoi`` semantics (wrapping 32-bit);
+* the vulnerable implementation checks only ``x <= 100`` (the paper's
+  Observation 3 example) before executing ``tTvect[x] = i``;
+* ``tTvect`` is a global byte array whose address sits *above* the GOT,
+  so a negative ``x`` indexes backward into the GOT entry of
+  ``setuid()``.
+
+Variants
+--------
+``VULNERABLE``
+    The 2003 code: ``if (x <= 100) tTvect[x] = i``.
+``PATCHED``
+    The derived predicate of Observation 3: ``0 <= x <= 100``.
+``GUARDED``
+    Bounds check still wrong, but ``setuid`` calls verify GOT
+    consistency first (the pFSM3 IMPL_REJ arm) — demonstrating that the
+    *later* elementary activity can also foil the exploit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..memory import ControlFlowHijack, Process, atoi
+
+__all__ = ["SendmailVariant", "Sendmail", "TTflagResult", "craft_got_exploit"]
+
+#: Size of the debug category vector, as in the original source.
+TTVECT_SIZE = 100
+
+
+class SendmailVariant(enum.Enum):
+    """Implementation variants of the tTflag bounds check."""
+
+    VULNERABLE = "0.5-era check: x <= 100"
+    PATCHED = "correct predicate: 0 <= x <= 100"
+    GUARDED = "wrong check, but GOT consistency verified at call time"
+
+
+@dataclass(frozen=True)
+class TTflagResult:
+    """Outcome of one ``tTflag`` invocation."""
+
+    accepted: bool
+    x: int
+    i: int
+    wrote_address: Optional[int] = None
+
+
+class Sendmail:
+    """The Sendmail debug-flag machinery inside a simulated process."""
+
+    def __init__(self, variant: SendmailVariant = SendmailVariant.VULNERABLE) -> None:
+        self.variant = variant
+        self.process = Process(symbols=("setuid", "exit"))
+        #: The global debug vector; lives in the data segment above the GOT.
+        self.tTvect_address = self.process.place_global("tTvect", TTVECT_SIZE)
+
+    # -- the vulnerable routine ---------------------------------------------
+
+    def tTflag(self, flag: str) -> TTflagResult:
+        """Process one ``-d x.i`` debug flag, as ``tTflag()`` does.
+
+        Parsing uses :func:`~repro.memory.integers.atoi`, so an input
+        like ``"4294967173.25"`` wraps to a negative ``x`` exactly as the
+        32-bit original would.
+        """
+        x_text, _, i_text = flag.partition(".")
+        x = atoi(x_text).value
+        i = atoi(i_text).value if i_text else 1
+        if not self._bounds_ok(x):
+            return TTflagResult(accepted=False, x=x, i=i)
+        address = self.tTvect_address + x
+        self.process.space.write_byte(address, i & 0xFF, label="tTvect")
+        return TTflagResult(accepted=True, x=x, i=i, wrote_address=address)
+
+    def _bounds_ok(self, x: int) -> bool:
+        if self.variant is SendmailVariant.PATCHED:
+            return 0 <= x <= TTVECT_SIZE
+        # VULNERABLE and GUARDED keep the original one-sided check.
+        return x <= TTVECT_SIZE
+
+    # -- downstream operation (Figure 3, Operation 2) ---------------------------
+
+    def call_setuid(self) -> int:
+        """Dispatch ``setuid()`` through the GOT.
+
+        Raises :class:`~repro.memory.got.ControlFlowHijack` when the
+        entry was corrupted and the variant performs no consistency
+        check — the paper's hidden transition into ``Execute Mcode``.
+        """
+        check = self.variant is SendmailVariant.GUARDED
+        return self.process.got.call("setuid", check_consistency=check)
+
+    # -- predicates bound to live state --------------------------------------------
+
+    def got_setuid_consistent(self) -> bool:
+        """pFSM3's predicate: is ``addr_setuid`` unchanged since load?"""
+        return self.process.got_consistent("setuid")
+
+    def read_ttvect(self, index: int) -> int:
+        """Read back a debug level (bounds-checked — harness helper)."""
+        if not 0 <= index < TTVECT_SIZE:
+            raise IndexError(index)
+        return self.process.space.read_byte(self.tTvect_address + index)
+
+
+def craft_got_exploit(app: Sendmail, wrap_inputs: bool = False) -> List[str]:
+    """Build the ``x.i`` flag strings that overwrite ``addr_setuid`` with
+    the address of planted Mcode.
+
+    Four byte writes with negative indexes (one per byte of the
+    little-endian pointer).  With ``wrap_inputs`` the textual ``x``
+    values are given as huge positive decimals that *wrap* to the needed
+    negatives through ``atoi`` — exercising pFSM1's hidden path (the
+    input does not represent a 32-bit integer) in addition to pFSM2's.
+    """
+    mcode = app.process.plant_mcode()
+    slot = app.process.got.entry_address("setuid")
+    offset = slot - app.tTvect_address
+    if offset >= 0:
+        raise RuntimeError("layout does not place the GOT below tTvect")
+    flags = []
+    for byte_index, byte in enumerate(mcode.to_bytes(4, "little")):
+        x = offset + byte_index
+        if wrap_inputs:
+            x_text = str(x + 2**32)  # wraps back to the negative x
+        else:
+            x_text = str(x)
+        flags.append(f"{x_text}.{byte}")
+    return flags

@@ -1,0 +1,139 @@
+"""splitvt format string vulnerability (Bugtraq #2210) — the *access
+validation* anchor of the paper's format trio.
+
+splitvt was a setuid-root terminal splitter; its format-string bug let
+a local user aim a ``%n`` at a *function pointer* rather than a return
+address.  The Bugtraq analyst, anchoring on the final activity —
+an operation on an object (the pointer target) outside the user's
+access domain — filed it under Access Validation Error.
+
+The model keeps that distinguishing trait: the write target is an entry
+in a dispatch table of screen-handler pointers, and the hijack fires on
+the next screen refresh, not on function return.
+
+Variants:
+
+``VULNERABLE``
+    user-controlled title string passed as a format.
+``PATCHED``
+    title rendered via ``%s``.
+``GUARDED``
+    format bug intact, but the refresh dispatch verifies the handler
+    pointer before calling (reference-consistency at the last activity).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..memory import Process, WORD_SIZE, strcpy, vsprintf
+
+__all__ = ["SplitvtVariant", "TitleResult", "RefreshResult", "Splitvt",
+           "craft_handler_overwrite"]
+
+#: Stack buffer the title line is staged in.
+TITLE_BUFFER_SIZE = 128
+
+#: Number of screen-handler slots.
+HANDLER_SLOTS = 4
+
+
+class SplitvtVariant(enum.Enum):
+    """Implementation variants."""
+
+    VULNERABLE = "title passed as format; unverified dispatch"
+    PATCHED = "title rendered via %s"
+    GUARDED = "format bug intact; dispatch verifies the handler pointer"
+
+
+@dataclass(frozen=True)
+class TitleResult:
+    """Outcome of setting the window title."""
+
+    wrote_memory: bool
+    output_length: int
+
+
+@dataclass(frozen=True)
+class RefreshResult:
+    """Outcome of a screen refresh (the dispatch)."""
+
+    dispatched: bool
+    handler: Optional[int] = None
+    hijacked: bool = False
+    reason: str = ""
+
+
+class Splitvt:
+    """The title/refresh fragment of splitvt."""
+
+    def __init__(self, variant: SplitvtVariant = SplitvtVariant.VULNERABLE
+                 ) -> None:
+        self.variant = variant
+        self.process = Process(symbols=("exit",))
+        self.handler_table = self.process.place_global(
+            "screen_handlers", HANDLER_SLOTS * WORD_SIZE
+        )
+        self._legitimate: Dict[int, int] = {}
+        for slot in range(HANDLER_SLOTS):
+            entry = self.process.code.start + 0xA00 + slot * 0x20
+            self._legitimate[slot] = entry
+            self.process.space.write_word(
+                self.handler_table + slot * WORD_SIZE, entry,
+                label="screen_handlers",
+            )
+
+    def set_title(self, title: bytes) -> TitleResult:
+        """Render the user-supplied window title (the vulnerable call)."""
+        frame = self.process.stack.push_frame(
+            "set_title", return_address=0x1700,
+            local_buffers={"title": TITLE_BUFFER_SIZE},
+        )
+        buffer = frame.local_address("title")
+        strcpy(self.process.space, buffer, title, label="stack")
+        if self.variant is SplitvtVariant.PATCHED:
+            result = vsprintf(self.process.space, b"%s", args=(title,))
+        else:
+            result = vsprintf(self.process.space, title, args=(),
+                              vararg_base=buffer)
+        self.process.stack.pop_frame()
+        return TitleResult(wrote_memory=result.wrote_memory,
+                           output_length=len(result.output))
+
+    def refresh(self, slot: int = 0) -> RefreshResult:
+        """Dispatch a screen refresh through the handler table."""
+        address = self.handler_table + slot * WORD_SIZE
+        pointer = self.process.space.read_word(address)
+        legitimate = pointer in self._legitimate.values()
+        if self.variant is SplitvtVariant.GUARDED and not legitimate:
+            return RefreshResult(dispatched=False,
+                                 reason="handler pointer failed verification")
+        if legitimate:
+            return RefreshResult(dispatched=True, handler=pointer)
+        return RefreshResult(dispatched=True, handler=pointer, hijacked=True,
+                             reason="refresh through corrupted handler")
+
+    def handler_slot_address(self, slot: int = 0) -> int:
+        """Address of a handler-table entry (the %n target)."""
+        return self.handler_table + slot * WORD_SIZE
+
+    def handler_consistent(self, slot: int = 0) -> bool:
+        """Reference-consistency predicate over one handler slot."""
+        pointer = self.process.space.read_word(self.handler_slot_address(slot))
+        return pointer == self._legitimate[slot]
+
+
+def craft_handler_overwrite(app: Splitvt, slot: int = 0) -> bytes:
+    """A title whose ``%n`` rewrites handler ``slot`` to planted Mcode
+    (same single-write layout as the statd exploit: filler word, target
+    word, padded %x, %n)."""
+    mcode = app.process.plant_mcode()
+    target = app.handler_slot_address(slot)
+    width = mcode - 8
+    if width <= 0:
+        raise RuntimeError("layout places Mcode too low for a single write")
+    payload = b"AAAA" + target.to_bytes(4, "little")
+    payload += b"%" + str(width).encode() + b"x%n"
+    return payload

@@ -1,0 +1,127 @@
+"""wu-ftpd SITE EXEC remote format string (Bugtraq #1387).
+
+The first of the paper's format-string classification trio (Observation
+1): "#1387 wu-ftpd remote format string stack overwrite vulnerability",
+assigned to *input validation* because the anchoring activity is
+getting the user's input string.
+
+The historical bug: ``SITE EXEC`` arguments flowed into
+``lreply(200, cmd)`` — user input as the format.  The model parses FTP
+command lines, routes ``SITE EXEC`` arguments into the reply formatter,
+and (in the vulnerable variant) interprets them, so a ``%n`` payload
+rewrites the command handler's saved return address exactly as in
+rpc.statd.
+
+Variants:
+
+``VULNERABLE``
+    ``lreply(200, args)`` — user input as format.
+``PATCHED``
+    ``lreply(200, "%s", args)`` — the upstream fix.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..memory import Process, StackSmashed, strcpy, vsprintf
+
+__all__ = ["WuFtpdVariant", "FtpReply", "WuFtpd", "craft_site_exec_exploit"]
+
+#: Stack buffer the reply line is composed in.
+REPLY_BUFFER_SIZE = 256
+
+
+class WuFtpdVariant(enum.Enum):
+    """The lreply call shape."""
+
+    VULNERABLE = "lreply(200, args): user input as format"
+    PATCHED = 'lreply(200, "%s", args): input as data'
+
+
+@dataclass(frozen=True)
+class FtpReply:
+    """Outcome of one FTP command."""
+
+    code: int
+    text: bytes = b""
+    hijacked: bool = False
+    returned_to: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        """2xx reply."""
+        return 200 <= self.code < 300
+
+
+class WuFtpd:
+    """The SITE EXEC path of the FTP daemon."""
+
+    RETURN_SITE = 0x1500
+
+    def __init__(self, variant: WuFtpdVariant = WuFtpdVariant.VULNERABLE
+                 ) -> None:
+        self.variant = variant
+        self.process = Process(symbols=("exit",))
+
+    def handle_command(self, line: bytes) -> FtpReply:
+        """Parse and execute one FTP command line."""
+        verb, _sep, rest = line.partition(b" ")
+        verb = verb.upper()
+        if verb == b"SITE":
+            sub, _sep, args = rest.partition(b" ")
+            if sub.upper() == b"EXEC":
+                return self._site_exec(args)
+            return FtpReply(code=500, text=b"unknown SITE command")
+        if verb in (b"USER", b"PASS", b"QUIT", b"NOOP"):
+            return FtpReply(code=200, text=b"ok")
+        return FtpReply(code=502, text=b"command not implemented")
+
+    def _site_exec(self, args: bytes) -> FtpReply:
+        """The vulnerable reply path: format the arguments back to the
+        client through lreply()."""
+        frame = self.process.stack.push_frame(
+            "lreply",
+            return_address=self.RETURN_SITE,
+            local_buffers={"reply": REPLY_BUFFER_SIZE},
+        )
+        buffer = frame.local_address("reply")
+        strcpy(self.process.space, buffer, args, label="stack")
+        if self.variant is WuFtpdVariant.PATCHED:
+            result = vsprintf(self.process.space, b"200-%s", args=(args,))
+        else:
+            result = vsprintf(self.process.space, args, args=(),
+                              vararg_base=buffer)
+        try:
+            returned_to = self.process.stack.pop_frame()
+        except StackSmashed as smash:
+            return FtpReply(code=200, text=result.output, hijacked=True,
+                            returned_to=smash.hijacked_target)
+        return FtpReply(code=200, text=result.output,
+                        returned_to=returned_to)
+
+    def lreply_return_slot(self) -> int:
+        """The return-address slot the next lreply frame will use."""
+        frame = self.process.stack.push_frame(
+            "probe", return_address=0,
+            local_buffers={"reply": REPLY_BUFFER_SIZE},
+        )
+        slot = frame.return_address_slot
+        self.process.stack.pop_frame()
+        return slot
+
+
+def craft_site_exec_exploit(app: WuFtpd) -> bytes:
+    """A ``SITE EXEC`` line whose arguments rewrite lreply's return
+    address to planted Mcode (same single-write %n shape as the
+    rpc.statd exploit)."""
+    mcode = app.process.plant_mcode()
+    slot = app.lreply_return_slot()
+    width = mcode - 8
+    if width <= 0:
+        raise RuntimeError("layout places Mcode too low for a single write")
+    payload = b"AAAA" + slot.to_bytes(4, "little")
+    payload += b"%" + str(width).encode() + b"x%n"
+    return b"SITE EXEC " + payload

@@ -1,0 +1,169 @@
+"""xterm log-file race condition (the paper's Figure 5).
+
+Scenario: xterm (running privileged) logs user Tom's messages to
+``/usr/tom/x``.  The security predicate (pFSM1) — Tom must have write
+permission to the file — is checked correctly.  But between the check
+and the privileged ``open`` there is a timing window (pFSM2): Tom can
+replace ``/usr/tom/x`` with a symbolic link to ``/etc/passwd``, and the
+privileged open then writes through the link.
+
+The model expresses both the victim and the attacker as scheduler
+scripts so the race window becomes an enumerable set of interleavings
+(see :mod:`repro.osmodel.scheduler`), and offers the two classic fixes:
+
+``PATCHED_NOFOLLOW``
+    The privileged open refuses to follow a symlink in the final
+    component — the reference can no longer be redirected.
+``PATCHED_RECHECK``
+    After opening, re-verify that the opened object is the same one the
+    permission check saw (re-binding check) before writing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..osmodel import (
+    FileSystem,
+    FileType,
+    Inode,
+    Mode,
+    ROOT,
+    Scheduler,
+    Step,
+    ThreadScript,
+    User,
+)
+
+__all__ = ["XtermVariant", "XtermWorld", "XtermLogger", "build_race_scheduler"]
+
+#: The paths of the paper's scenario.
+LOG_PATH = "/usr/tom/x"
+TARGET_PATH = "/etc/passwd"
+LOG_MESSAGE = b"Tom's log message\n"
+
+
+class XtermVariant(enum.Enum):
+    """Implementation variants of the logging open."""
+
+    VULNERABLE = "check by path, then open following symlinks"
+    PATCHED_NOFOLLOW = "open refuses final-component symlinks"
+    PATCHED_RECHECK = "re-verify the opened object is the checked object"
+
+
+@dataclass
+class XtermWorld:
+    """World state for one interleaving run."""
+
+    fs: FileSystem
+    tom: User
+    checked_ok: bool = False
+    checked_inode: Optional[Inode] = None
+    handle: Optional[Inode] = None
+    open_error: str = ""
+
+
+def make_world() -> XtermWorld:
+    """The paper's initial filesystem: Tom owns a writable log file; the
+    password file is root-owned."""
+    fs = FileSystem()
+    tom = User.regular("tom", 1000)
+    fs.mkdirs("/usr", ROOT)
+    fs.mkdir("/usr/tom", tom)
+    fs.mkdirs("/etc", ROOT)
+    fs.create_file(TARGET_PATH, ROOT, 0o644, data=b"root:x:0:0:...\n")
+    fs.create_file(LOG_PATH, tom, 0o644)
+    return XtermWorld(fs=fs, tom=tom)
+
+
+class XtermLogger:
+    """The privileged logging routine, split into scheduler-visible
+    atomic steps (check / open / write)."""
+
+    def __init__(self, variant: XtermVariant = XtermVariant.VULNERABLE) -> None:
+        self.variant = variant
+
+    # -- the three elementary steps --------------------------------------------
+
+    def check(self, world: XtermWorld) -> None:
+        """pFSM1: does Tom have write permission to the log file?"""
+        world.checked_ok = world.fs.access(LOG_PATH, world.tom, Mode.W)
+        if world.checked_ok:
+            try:
+                world.checked_inode = world.fs.lookup(LOG_PATH)
+            except Exception:
+                world.checked_ok = False
+
+    def open(self, world: XtermWorld) -> None:
+        """The privileged open (xterm runs as root)."""
+        if not world.checked_ok:
+            return
+        follow = self.variant is not XtermVariant.PATCHED_NOFOLLOW
+        try:
+            inode = world.fs.open_write(LOG_PATH, ROOT, follow_symlinks=follow)
+        except Exception as error:
+            world.open_error = str(error)
+            return
+        if not follow and inode.file_type is FileType.SYMLINK:
+            world.open_error = "refusing to open a symlink"
+            return
+        if (
+            self.variant is XtermVariant.PATCHED_RECHECK
+            and inode is not world.checked_inode
+        ):
+            world.open_error = "object changed between check and open"
+            return
+        world.handle = inode
+
+    def write(self, world: XtermWorld) -> None:
+        """Write the log message through the handle."""
+        if world.handle is not None:
+            world.fs.write(world.handle, LOG_MESSAGE)
+
+    def script(self) -> ThreadScript[XtermWorld]:
+        """The victim's step sequence."""
+        return ThreadScript.of(
+            "xterm",
+            Step("check", self.check),
+            Step("open", self.open),
+            Step("write", self.write),
+        )
+
+
+def attacker_script() -> ThreadScript[XtermWorld]:
+    """Tom's race: delete the log file and re-create it as a symlink to
+    ``/etc/passwd`` — both legal operations in his own directory."""
+
+    def unlink(world: XtermWorld) -> None:
+        world.fs.unlink(LOG_PATH, world.tom)
+
+    def symlink(world: XtermWorld) -> None:
+        world.fs.symlink(LOG_PATH, TARGET_PATH, world.tom)
+
+    return ThreadScript.of(
+        "tom", Step("unlink", unlink), Step("symlink", symlink)
+    )
+
+
+def security_violated(world: XtermWorld) -> bool:
+    """Tom's data landed in ``/etc/passwd``."""
+    try:
+        inode = world.fs.lookup(TARGET_PATH)
+    except Exception:
+        return False
+    return LOG_MESSAGE in bytes(inode.data)
+
+
+def build_race_scheduler(
+    variant: XtermVariant = XtermVariant.VULNERABLE,
+) -> Scheduler[XtermWorld]:
+    """Scheduler enumerating all check/open/write × unlink/symlink
+    interleavings for the given variant."""
+    logger = XtermLogger(variant)
+    return Scheduler(
+        world_factory=make_world,
+        scripts_factory=lambda _world: [logger.script(), attacker_script()],
+        violation=security_violated,
+    )

@@ -1,0 +1,72 @@
+"""Bugtraq-style vulnerability data: schema, curated corpus, synthetic
+full-scale database, queries, and the Section 3 statistics.
+
+The real Securityfocus database is not redistributable; the synthetic
+generator reproduces its category marginals (Figure 1) and the studied
+family's 22% share exactly, deterministically.  The curated corpus holds
+the ~15 vulnerabilities the paper names, with their real Bugtraq IDs and
+elementary-activity decompositions.
+"""
+
+from .corpus import (
+    BUFFER_OVERFLOW_CHAIN,
+    CORPUS,
+    FORMAT_STRING_TRIO,
+    STUDIED_CLASSES,
+    TABLE1_REPORTS,
+    corpus_report,
+)
+from .database import BugtraqDatabase
+from .io import (
+    database_from_json,
+    database_to_json,
+    dump_database,
+    load_database,
+    report_from_dict,
+    report_to_dict,
+)
+from .generator import (
+    FIGURE1_COUNTS,
+    FIGURE1_PERCENTAGES,
+    STUDIED_CLASS_QUOTAS,
+    TOTAL_REPORTS,
+    generate_reports,
+)
+from .schema import ActivityAnnotation, VulnerabilityReport
+from .stats import (
+    CategoryRow,
+    Table1Row,
+    dominant_categories,
+    figure1_breakdown,
+    studied_family_share,
+    table1_ambiguity,
+)
+
+__all__ = [
+    "BUFFER_OVERFLOW_CHAIN",
+    "CORPUS",
+    "FORMAT_STRING_TRIO",
+    "STUDIED_CLASSES",
+    "TABLE1_REPORTS",
+    "corpus_report",
+    "BugtraqDatabase",
+    "database_from_json",
+    "database_to_json",
+    "dump_database",
+    "load_database",
+    "report_from_dict",
+    "report_to_dict",
+    "FIGURE1_COUNTS",
+    "FIGURE1_PERCENTAGES",
+    "STUDIED_CLASS_QUOTAS",
+    "TOTAL_REPORTS",
+    "generate_reports",
+    "ActivityAnnotation",
+    "VulnerabilityReport",
+    "CategoryRow",
+    "Table1Row",
+    "dominant_categories",
+    "figure1_breakdown",
+    "studied_family_share",
+    "table1_ambiguity",
+]

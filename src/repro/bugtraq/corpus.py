@@ -1,0 +1,291 @@
+"""The curated corpus: every vulnerability the paper names, with its
+real Bugtraq identity, assigned category, and elementary-activity
+decomposition.
+
+This is the data side of the paper's in-depth analysis (Section 3.2):
+Table 1's three signed-integer-overflow reports that land in three
+different categories, the buffer-overflow activity chain
+(#6157 / #5960 / #4479), the format-string trio (#1387 / #2210 / #2264),
+and the case studies of Sections 4-5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..core.classification import ActivityKind, BugtraqCategory
+from .schema import ActivityAnnotation, VulnerabilityReport
+
+__all__ = [
+    "CORPUS",
+    "corpus_report",
+    "TABLE1_REPORTS",
+    "BUFFER_OVERFLOW_CHAIN",
+    "FORMAT_STRING_TRIO",
+    "STUDIED_CLASSES",
+]
+
+#: The vulnerability classes the paper's FSM study covers; Section 1
+#: states this family constitutes 22% of all Bugtraq vulnerabilities.
+STUDIED_CLASSES = (
+    "stack buffer overflow",
+    "signed integer overflow",
+    "heap overflow",
+    "input validation",
+    "format string",
+)
+
+
+def _report(
+    bugtraq_id,
+    title,
+    category,
+    vulnerability_class,
+    software,
+    activities,
+    remote=False,
+    version="",
+    published="",
+    exploit_available=False,
+) -> VulnerabilityReport:
+    return VulnerabilityReport(
+        bugtraq_id=bugtraq_id,
+        title=title,
+        category=category,
+        vulnerability_class=vulnerability_class,
+        software=software,
+        version=version,
+        published=published,
+        remote=remote,
+        exploit_available=exploit_available,
+        activities=tuple(
+            ActivityAnnotation(kind, desc) for kind, desc in activities
+        ),
+    )
+
+
+CORPUS: List[VulnerabilityReport] = [
+    # ---- Table 1: the signed-integer-overflow ambiguity ------------------
+    _report(
+        3163,
+        "Sendmail Debugging Function Signed Integer Overflow",
+        BugtraqCategory.INPUT_VALIDATION,
+        "signed integer overflow",
+        "Sendmail",
+        [
+            (ActivityKind.GET_INPUT,
+             "a negative input integer accepted as an array index"),
+            (ActivityKind.USE_AS_INDEX, "write debug level i to tTvect[x]"),
+            (ActivityKind.TRANSFER_CONTROL,
+             "call setuid() through the corrupted GOT entry"),
+        ],
+        version="8.11.x",
+        published="2001-08-17",
+        exploit_available=True,
+    ),
+    _report(
+        5493,
+        "FreeBSD System Call Signed Integer Buffer Overflow",
+        BugtraqCategory.BOUNDARY_CONDITION,
+        "signed integer overflow",
+        "FreeBSD",
+        [
+            (ActivityKind.GET_INPUT, "a negative value supplied for the argument"),
+            (ActivityKind.USE_AS_INDEX,
+             "use the integer as the index to an array, exceeding its boundary"),
+        ],
+        published="2002-08-12",
+    ),
+    _report(
+        3958,
+        "rsync Signed Array Index Remote Code Execution",
+        BugtraqCategory.ACCESS_VALIDATION,
+        "signed integer overflow",
+        "rsync",
+        [
+            (ActivityKind.GET_INPUT, "a remotely supplied signed value"),
+            (ActivityKind.USE_AS_INDEX, "used as an array index"),
+            (ActivityKind.TRANSFER_CONTROL,
+             "corruption of a function pointer or a return address"),
+        ],
+        remote=True,
+        published="2002-01-14",
+    ),
+    # ---- The buffer-overflow activity chain (Observation 1) ---------------
+    _report(
+        6157,
+        "Buffer overflow interpreted as an input validation error",
+        BugtraqCategory.INPUT_VALIDATION,
+        "stack buffer overflow",
+        "(various)",
+        [(ActivityKind.GET_INPUT, "get input string")],
+    ),
+    _report(
+        5960,
+        "GHTTPD Log() Function Buffer Overflow",
+        BugtraqCategory.BOUNDARY_CONDITION,
+        "stack buffer overflow",
+        "GHTTPD",
+        [
+            (ActivityKind.COPY_TO_BUFFER, "copy the string to a 200-byte buffer"),
+            (ActivityKind.TRANSFER_CONTROL,
+             "return through the smashed return address"),
+        ],
+        remote=True,
+        published="2002-10-28",
+        exploit_available=True,
+    ),
+    _report(
+        4479,
+        "Buffer overflow interpreted as failure to handle exceptional conditions",
+        BugtraqCategory.EXCEPTIONAL_CONDITIONS,
+        "stack buffer overflow",
+        "(various)",
+        [(ActivityKind.HANDLE_ADJACENT_DATA,
+          "handle data (e.g. return address) following the buffer")],
+    ),
+    # ---- The format-string trio -------------------------------------------
+    _report(
+        1387,
+        "wu-ftpd Remote Format String Stack Overwrite",
+        BugtraqCategory.INPUT_VALIDATION,
+        "format string",
+        "wu-ftpd",
+        [(ActivityKind.GET_INPUT, "user input string containing format directives")],
+        remote=True,
+        published="2000-06-22",
+        exploit_available=True,
+    ),
+    _report(
+        2210,
+        "splitvt Format String Vulnerability",
+        BugtraqCategory.ACCESS_VALIDATION,
+        "format string",
+        "splitvt",
+        [(ActivityKind.TRANSFER_CONTROL,
+          "write through %n to a chosen location")],
+        published="2001-01-23",
+    ),
+    _report(
+        2264,
+        "icecast print_client() Format String Vulnerability",
+        BugtraqCategory.BOUNDARY_CONDITION,
+        "format string",
+        "icecast",
+        [(ActivityKind.COPY_TO_BUFFER,
+          "expand directives into a fixed-size buffer")],
+        remote=True,
+        published="2001-02-02",
+    ),
+    _report(
+        1480,
+        "Multiple Linux Vendor rpc.statd Remote Format String",
+        BugtraqCategory.INPUT_VALIDATION,
+        "format string",
+        "rpc.statd",
+        [
+            (ActivityKind.GET_INPUT,
+             "remotely supplied filename containing format directives"),
+            (ActivityKind.TRANSFER_CONTROL,
+             "return address rewritten via %n"),
+        ],
+        remote=True,
+        published="2000-07-16",
+        exploit_available=True,
+    ),
+    # ---- NULL HTTPD ----------------------------------------------------------
+    _report(
+        5774,
+        "Null HTTPD Remote Heap Overflow",
+        BugtraqCategory.BOUNDARY_CONDITION,
+        "heap overflow",
+        "Null HTTPD",
+        [
+            (ActivityKind.GET_INPUT, "negative Content-Length accepted"),
+            (ActivityKind.COPY_TO_BUFFER,
+             "copy oversized input into the undersized heap buffer"),
+            (ActivityKind.TRANSFER_CONTROL,
+             "unlink write corrupts the GOT entry of free()"),
+        ],
+        remote=True,
+        version="0.5",
+        published="2002-09-23",
+        exploit_available=True,
+    ),
+    _report(
+        6255,
+        "Null HTTPD ReadPOSTData recv Termination Heap Overflow",
+        BugtraqCategory.BOUNDARY_CONDITION,
+        "heap overflow",
+        "Null HTTPD",
+        [
+            (ActivityKind.COPY_TO_BUFFER,
+             "|| instead of && lets the copy run past contentLen"),
+            (ActivityKind.TRANSFER_CONTROL,
+             "unlink write corrupts the GOT entry of free()"),
+        ],
+        remote=True,
+        version="0.5.1",
+        published="2002-11-21",
+    ),
+    # ---- IIS ---------------------------------------------------------------------
+    _report(
+        2708,
+        "Microsoft IIS Superfluous Filename Decoding",
+        BugtraqCategory.INPUT_VALIDATION,
+        "input validation",
+        "Microsoft IIS",
+        [
+            (ActivityKind.GET_INPUT, "percent-encoded CGI filepath"),
+            (ActivityKind.ACCESS_OBJECT,
+             "execute a program outside /wwwroot/scripts"),
+        ],
+        remote=True,
+        published="2001-05-15",
+        exploit_available=True,
+    ),
+    # ---- Cases without Bugtraq IDs in the paper -------------------------------------
+    _report(
+        None,
+        "xterm Log File Race Condition",
+        BugtraqCategory.RACE_CONDITION,
+        "file race condition",
+        "xterm",
+        [
+            (ActivityKind.ACCESS_OBJECT, "verify write permission on the log file"),
+            (ActivityKind.CHECK_THEN_USE,
+             "symlink swapped in between check and open"),
+        ],
+    ),
+    _report(
+        None,
+        "Solaris Rwall Arbitrary File Corruption (CERT CA-1994-06)",
+        BugtraqCategory.ACCESS_VALIDATION,
+        "input validation",
+        "rwalld",
+        [
+            (ActivityKind.ACCESS_OBJECT, "regular user edits /etc/utmp"),
+            (ActivityKind.GET_INPUT, "daemon reads entries from /etc/utmp"),
+        ],
+    ),
+]
+
+#: Table 1's three rows in order.
+TABLE1_REPORTS = (3163, 5493, 3958)
+
+#: The buffer-overflow activity chain of Observation 1.
+BUFFER_OVERFLOW_CHAIN = (6157, 5960, 4479)
+
+#: The format-string classification spread of Observation 1.
+FORMAT_STRING_TRIO = (1387, 2210, 2264)
+
+_BY_ID: Dict[int, VulnerabilityReport] = {
+    report.bugtraq_id: report
+    for report in CORPUS
+    if report.bugtraq_id is not None
+}
+
+
+def corpus_report(bugtraq_id: int) -> VulnerabilityReport:
+    """Look up a curated report by Bugtraq ID."""
+    return _BY_ID[bugtraq_id]

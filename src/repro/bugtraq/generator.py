@@ -1,0 +1,200 @@
+"""Synthetic Bugtraq database generator.
+
+The paper's statistical base is the Bugtraq list as of 2002-11-30: 5925
+reports across 12 categories, with the Figure 1 breakdown.  The live
+database is not redistributable, so this generator synthesizes a
+deterministic corpus whose *category marginals match Figure 1 exactly*
+(to the displayed integer percentages) and whose finer vulnerability
+classes reproduce the Section 1 claim that the studied family — stack
+buffer overflow, signed integer overflow, heap overflow, input
+validation, format string — constitutes 22% of all reports.
+
+Everything is seeded: the same call always produces the same database,
+so benchmark output is stable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+from ..core.classification import BugtraqCategory
+from .schema import VulnerabilityReport
+
+__all__ = [
+    "TOTAL_REPORTS",
+    "FIGURE1_COUNTS",
+    "FIGURE1_PERCENTAGES",
+    "STUDIED_CLASS_QUOTAS",
+    "generate_reports",
+]
+
+#: Database size as of the paper's snapshot (2002-11-30).
+TOTAL_REPORTS = 5925
+
+#: Category counts chosen so that count/5925 rounds to Figure 1's
+#: displayed percentage for every category and the counts sum to 5925.
+FIGURE1_COUNTS: Dict[BugtraqCategory, int] = {
+    BugtraqCategory.INPUT_VALIDATION: 1363,  # 23%
+    BugtraqCategory.BOUNDARY_CONDITION: 1244,  # 21%
+    BugtraqCategory.DESIGN: 1055,  # 18%
+    BugtraqCategory.EXCEPTIONAL_CONDITIONS: 644,  # 11%
+    BugtraqCategory.ACCESS_VALIDATION: 593,  # 10%
+    BugtraqCategory.RACE_CONDITION: 356,  # 6%
+    BugtraqCategory.CONFIGURATION: 296,  # 5%
+    BugtraqCategory.ORIGIN_VALIDATION: 178,  # 3%
+    BugtraqCategory.ATOMICITY: 119,  # 2%
+    BugtraqCategory.ENVIRONMENT: 59,  # 1%
+    BugtraqCategory.SERIALIZATION: 10,  # 0%
+    BugtraqCategory.UNKNOWN: 8,  # 0%
+}
+
+#: The percentages as printed in Figure 1.
+FIGURE1_PERCENTAGES: Dict[BugtraqCategory, int] = {
+    BugtraqCategory.INPUT_VALIDATION: 23,
+    BugtraqCategory.BOUNDARY_CONDITION: 21,
+    BugtraqCategory.DESIGN: 18,
+    BugtraqCategory.EXCEPTIONAL_CONDITIONS: 11,
+    BugtraqCategory.ACCESS_VALIDATION: 10,
+    BugtraqCategory.RACE_CONDITION: 6,
+    BugtraqCategory.CONFIGURATION: 5,
+    BugtraqCategory.ORIGIN_VALIDATION: 3,
+    BugtraqCategory.ATOMICITY: 2,
+    BugtraqCategory.ENVIRONMENT: 1,
+    BugtraqCategory.SERIALIZATION: 0,
+    BugtraqCategory.UNKNOWN: 0,
+}
+
+#: Counts for the studied vulnerability classes, totalling 1304 of 5925
+#: = 22.0% (the Section 1 coverage claim).  Each class is drawn from the
+#: Bugtraq category it predominantly lives in.
+STUDIED_CLASS_QUOTAS: Dict[str, Tuple[int, BugtraqCategory]] = {
+    "stack buffer overflow": (700, BugtraqCategory.BOUNDARY_CONDITION),
+    "heap overflow": (160, BugtraqCategory.BOUNDARY_CONDITION),
+    "signed integer overflow": (90, BugtraqCategory.BOUNDARY_CONDITION),
+    "format string": (200, BugtraqCategory.INPUT_VALIDATION),
+    "input validation": (154, BugtraqCategory.INPUT_VALIDATION),
+}
+
+_SOFTWARE_POOL = [
+    "Sendmail", "wu-ftpd", "Apache", "BIND", "OpenSSH", "ProFTPD",
+    "Microsoft IIS", "Null HTTPD", "GHTTPD", "rpc.statd", "xterm",
+    "rwalld", "lpd", "telnetd", "imapd", "Squid", "Samba", "inn",
+    "Kerberos", "mod_ssl", "CVS", "sudo", "at", "crontab",
+]
+
+_TITLE_VERBS = {
+    BugtraqCategory.INPUT_VALIDATION: "Input Validation",
+    BugtraqCategory.BOUNDARY_CONDITION: "Buffer Overflow",
+    BugtraqCategory.DESIGN: "Design Flaw",
+    BugtraqCategory.EXCEPTIONAL_CONDITIONS: "Exception Handling",
+    BugtraqCategory.ACCESS_VALIDATION: "Access Validation",
+    BugtraqCategory.RACE_CONDITION: "Race Condition",
+    BugtraqCategory.CONFIGURATION: "Default Configuration",
+    BugtraqCategory.ORIGIN_VALIDATION: "Origin Validation",
+    BugtraqCategory.ATOMICITY: "Partial Update",
+    BugtraqCategory.ENVIRONMENT: "Environment Interaction",
+    BugtraqCategory.SERIALIZATION: "Serialization",
+    BugtraqCategory.UNKNOWN: "Unclassified",
+}
+
+_CLASS_BY_CATEGORY = {
+    BugtraqCategory.INPUT_VALIDATION: "input validation (other)",
+    BugtraqCategory.BOUNDARY_CONDITION: "buffer overflow (other)",
+    BugtraqCategory.DESIGN: "design error",
+    BugtraqCategory.EXCEPTIONAL_CONDITIONS: "exception handling",
+    BugtraqCategory.ACCESS_VALIDATION: "access validation",
+    BugtraqCategory.RACE_CONDITION: "race condition",
+    BugtraqCategory.CONFIGURATION: "configuration",
+    BugtraqCategory.ORIGIN_VALIDATION: "origin validation",
+    BugtraqCategory.ATOMICITY: "atomicity",
+    BugtraqCategory.ENVIRONMENT: "environment",
+    BugtraqCategory.SERIALIZATION: "serialization",
+    BugtraqCategory.UNKNOWN: "unknown",
+}
+
+
+def _random_date(rng: random.Random) -> str:
+    year = rng.randint(1996, 2002)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def generate_reports(
+    total: int = TOTAL_REPORTS, seed: int = 20021130
+) -> List[VulnerabilityReport]:
+    """Synthesize ``total`` reports with Figure 1 marginals.
+
+    For ``total != TOTAL_REPORTS`` the category and class quotas are
+    scaled proportionally (largest-remainder rounding keeps the sum
+    exact), so smaller corpora remain distribution-faithful for fast
+    tests.
+    """
+    rng = random.Random(seed)
+    category_counts = _scale_counts(FIGURE1_COUNTS, total)
+    class_quotas = {
+        cls: (_scale_one(count, total), category)
+        for cls, (count, category) in STUDIED_CLASS_QUOTAS.items()
+    }
+
+    reports: List[VulnerabilityReport] = []
+    next_id = 1
+    for category, count in category_counts.items():
+        # Carve the studied classes out of their host categories first.
+        remaining = count
+        for cls, (quota, host) in class_quotas.items():
+            if host is not category:
+                continue
+            for _ in range(min(quota, remaining)):
+                reports.append(_make_report(rng, next_id, category, cls))
+                next_id += 1
+            remaining -= min(quota, remaining)
+        default_class = _CLASS_BY_CATEGORY[category]
+        for _ in range(remaining):
+            reports.append(_make_report(rng, next_id, category, default_class))
+            next_id += 1
+    rng.shuffle(reports)
+    return reports
+
+
+def _make_report(
+    rng: random.Random, report_id: int, category: BugtraqCategory, cls: str
+) -> VulnerabilityReport:
+    software = rng.choice(_SOFTWARE_POOL)
+    return VulnerabilityReport(
+        bugtraq_id=report_id,
+        title=f"{software} {_TITLE_VERBS[category]} Vulnerability",
+        category=category,
+        vulnerability_class=cls,
+        software=software,
+        version=f"{rng.randint(1, 9)}.{rng.randint(0, 9)}",
+        published=_random_date(rng),
+        remote=rng.random() < 0.55,
+        exploit_available=rng.random() < 0.2,
+    )
+
+
+def _scale_one(count: int, total: int) -> int:
+    return round(count * total / TOTAL_REPORTS)
+
+
+def _scale_counts(
+    counts: Dict[BugtraqCategory, int], total: int
+) -> Dict[BugtraqCategory, int]:
+    """Proportional scaling with largest-remainder correction so the
+    scaled counts sum exactly to ``total``."""
+    if total == TOTAL_REPORTS:
+        return dict(counts)
+    raw = {
+        category: count * total / TOTAL_REPORTS
+        for category, count in counts.items()
+    }
+    floored = {category: int(value) for category, value in raw.items()}
+    shortfall = total - sum(floored.values())
+    by_remainder = sorted(
+        raw, key=lambda category: raw[category] - floored[category], reverse=True
+    )
+    for category in by_remainder[:shortfall]:
+        floored[category] += 1
+    return floored

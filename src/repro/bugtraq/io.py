@@ -1,0 +1,100 @@
+"""Report serialization: dict/JSON round-trips for the Bugtraq schema.
+
+Supports exporting a database (synthetic or curated) to a JSON corpus
+file and loading it back — the storage format downstream analyses or
+external tools would consume.  Round-trips are exact, including the
+elementary-activity annotations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable
+
+from ..core.classification import ActivityKind, BugtraqCategory
+from .database import BugtraqDatabase
+from .schema import ActivityAnnotation, VulnerabilityReport
+
+__all__ = [
+    "report_to_dict",
+    "report_from_dict",
+    "database_to_json",
+    "database_from_json",
+    "dump_database",
+    "load_database",
+]
+
+_CATEGORY_BY_VALUE = {category.value: category for category in BugtraqCategory}
+_ACTIVITY_BY_VALUE = {activity.value: activity for activity in ActivityKind}
+
+
+def report_to_dict(report: VulnerabilityReport) -> Dict[str, Any]:
+    """Plain-dict form of one report."""
+    return {
+        "bugtraq_id": report.bugtraq_id,
+        "title": report.title,
+        "category": report.category.value,
+        "vulnerability_class": report.vulnerability_class,
+        "software": report.software,
+        "version": report.version,
+        "published": report.published,
+        "remote": report.remote,
+        "exploit_available": report.exploit_available,
+        "activities": [
+            {"activity": annotation.activity.value,
+             "description": annotation.description}
+            for annotation in report.activities
+        ],
+    }
+
+
+def report_from_dict(data: Dict[str, Any]) -> VulnerabilityReport:
+    """Rebuild a report from its dict form."""
+    category = _CATEGORY_BY_VALUE.get(data["category"])
+    if category is None:
+        raise ValueError(f"unknown category {data['category']!r}")
+    activities = []
+    for annotation in data.get("activities", ()):
+        activity = _ACTIVITY_BY_VALUE.get(annotation["activity"])
+        if activity is None:
+            raise ValueError(f"unknown activity {annotation['activity']!r}")
+        activities.append(
+            ActivityAnnotation(activity=activity,
+                               description=annotation["description"])
+        )
+    return VulnerabilityReport(
+        bugtraq_id=data.get("bugtraq_id"),
+        title=data["title"],
+        category=category,
+        vulnerability_class=data["vulnerability_class"],
+        software=data.get("software", ""),
+        version=data.get("version", ""),
+        published=data.get("published", ""),
+        remote=bool(data.get("remote", False)),
+        exploit_available=bool(data.get("exploit_available", False)),
+        activities=tuple(activities),
+    )
+
+
+def database_to_json(db: Iterable[VulnerabilityReport], indent: int = 2) -> str:
+    """JSON text of a whole database."""
+    return json.dumps([report_to_dict(report) for report in db],
+                      indent=indent, sort_keys=True)
+
+
+def database_from_json(text: str) -> BugtraqDatabase:
+    """Database from JSON text."""
+    records = json.loads(text)
+    return BugtraqDatabase(report_from_dict(record) for record in records)
+
+
+def dump_database(db: Iterable[VulnerabilityReport], path: str) -> None:
+    """Write a database to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(database_to_json(db))
+
+
+def load_database(path: str) -> BugtraqDatabase:
+    """Read a database from a JSON file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return database_from_json(handle.read())

@@ -1,0 +1,61 @@
+"""Record schema for Bugtraq-style vulnerability reports.
+
+Each report in the real database provides "version number of the
+vulnerable software, date of discovery, an assigned vulnerability ID,
+cause of the vulnerability, and possible exploits" (Section 3.1).  The
+schema mirrors those fields plus the finer *vulnerability class*
+(e.g. "stack buffer overflow") the paper's statistics and Table 1 use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from ..core.classification import ActivityKind, BugtraqCategory
+
+__all__ = ["VulnerabilityReport", "ActivityAnnotation"]
+
+
+@dataclass(frozen=True)
+class ActivityAnnotation:
+    """One elementary activity of a report's exploit chain, with the
+    category an analyst anchoring on it would assign (Table 1)."""
+
+    activity: ActivityKind
+    description: str
+
+
+@dataclass(frozen=True)
+class VulnerabilityReport:
+    """A Bugtraq-style vulnerability report."""
+
+    bugtraq_id: Optional[int]
+    title: str
+    category: BugtraqCategory
+    vulnerability_class: str
+    software: str = ""
+    version: str = ""
+    published: str = ""  # ISO date
+    remote: bool = False
+    exploit_available: bool = False
+    activities: Tuple[ActivityAnnotation, ...] = field(default_factory=tuple)
+
+    @property
+    def identifier(self) -> str:
+        """Displayable identifier (``#3163`` or the title for reports
+        without a Bugtraq ID, like the CERT-advisory rwall case)."""
+        if self.bugtraq_id is not None:
+            return f"#{self.bugtraq_id}"
+        return self.title
+
+    def anchored_category(self, activity: ActivityKind) -> BugtraqCategory:
+        """The category an analyst assigns when anchoring on one of this
+        report's elementary activities (the Table 1 mechanism)."""
+        from ..core.classification import categorize_by_activity
+
+        if activity not in {a.activity for a in self.activities}:
+            raise ValueError(
+                f"{self.identifier} has no elementary activity {activity}"
+            )
+        return categorize_by_activity(activity)

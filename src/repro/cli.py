@@ -1,0 +1,281 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    The prebuilt paper models and their Bugtraq identities.
+``stats``
+    Figure 1's category breakdown and the 22% studied-family share.
+``table1``
+    The category-ambiguity demonstration.
+``model NAME``
+    Render a model (ASCII by default, ``--dot`` for Graphviz,
+    ``--json`` for the structural serialization).
+``trace NAME``
+    Run the model's exploit (or ``--benign``) and print the trace.
+``foil NAME``
+    The single-activity fixes that stop the model's exploit.
+``statespace NAME``
+    Unroll the model, report reachability, exploit paths, and the cut
+    set (``--dot`` for the graph).
+``table2``
+    The generic pFSM type grid.
+``discover``
+    Re-run the §5.1 sweep that found Bugtraq #6255.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, Optional, Sequence
+
+from .bugtraq import (
+    BugtraqDatabase,
+    figure1_breakdown,
+    studied_family_share,
+    table1_ambiguity,
+)
+from .core import (
+    build_state_space,
+    minimal_foil_points,
+    model_to_json,
+    render_model,
+    to_dot,
+)
+from .models import (
+    all_extended_benign_inputs as all_benign_inputs,
+    all_extended_exploit_inputs as all_exploit_inputs,
+    all_extended_models as all_paper_models,
+    all_extended_pfsm_domains as all_pfsm_domains,
+    table2_grid,
+)
+
+__all__ = ["main"]
+
+#: Short CLI keys for the modeled vulnerabilities (the paper's seven
+#: Table 2 rows plus the three additional named cases).
+_MODEL_KEYS: Dict[str, str] = {
+    "sendmail": "Sendmail Signed Integer Overflow",
+    "nullhttpd": "NULL HTTPD Heap Overflow",
+    "rwall": "Rwall File Corruption",
+    "iis": "IIS Filename Decoding Vulnerability",
+    "xterm": "Xterm File Race Condition",
+    "ghttpd": "GHTTPD Buffer Overflow on Stack",
+    "rpc_statd": "rpc.statd Format String Vulnerability",
+    "freebsd": "FreeBSD Signed Integer Buffer Overflow",
+    "rsync": "rsync Signed Array Index",
+    "wuftpd": "wu-ftpd SITE EXEC Format String",
+    "icecast": "icecast print_client() Format String",
+    "splitvt": "splitvt Format String Vulnerability",
+    "pathhijack": "Setuid Utility PATH Hijack",
+}
+
+
+def _resolve(key: str):
+    label = _MODEL_KEYS.get(key)
+    if label is None:
+        raise SystemExit(
+            f"unknown model {key!r}; choose from: {', '.join(_MODEL_KEYS)}"
+        )
+    return label, all_paper_models()[label]
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    models = all_paper_models()
+    for key, label in _MODEL_KEYS.items():
+        model = models[label]
+        ids = ", ".join(f"#{i}" for i in model.bugtraq_ids) or "n/a"
+        print(f"{key:<10} {label:<45} Bugtraq {ids:<14} "
+              f"{model.pfsm_count} pFSMs")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    db = BugtraqDatabase.synthetic(total=args.total)
+    print(f"Figure 1 — breakdown of {len(db)} reports")
+    for row in figure1_breakdown(db):
+        print(f"  {row}")
+    count, share = studied_family_share(db)
+    print(f"\nstudied family: {count} reports ({share:.1%}); paper: 22%")
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    for row in table1_ambiguity():
+        print(f"#{row.bugtraq_id}: {row.description}")
+        print(f"    anchor: {row.elementary_activity.value}")
+        print(f"    category: {row.anchored_category.value}")
+    return 0
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    _label, model = _resolve(args.name)
+    if args.dot:
+        print(to_dot(model))
+    elif args.json:
+        print(model_to_json(model))
+    else:
+        print(render_model(model))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    label, model = _resolve(args.name)
+    inputs = all_benign_inputs() if args.benign else all_exploit_inputs()
+    result = model.run(inputs[label])
+    if args.json:
+        from .core import result_to_dict
+
+        print(json.dumps(result_to_dict(result), indent=2, default=str))
+    else:
+        print(result.trace.to_text())
+        verdict = "COMPROMISED" if result.compromised and \
+            result.hidden_path_count else "safe"
+        print(f"\nverdict: {verdict} "
+              f"({result.hidden_path_count} hidden transitions)")
+    return 0
+
+
+def _cmd_foil(args: argparse.Namespace) -> int:
+    label, model = _resolve(args.name)
+    exploit = all_exploit_inputs()[label]
+    points = minimal_foil_points(model, exploit)
+    if not points:
+        print("input does not compromise the model; nothing to foil")
+        return 0
+    print(f"single-activity fixes that foil the exploit of {label}:")
+    for point in points:
+        print(f"  - {point}")
+    return 0
+
+
+def _cmd_statespace(args: argparse.Namespace) -> int:
+    label, model = _resolve(args.name)
+    domains = all_pfsm_domains()[label]
+    space = build_state_space(model, domains)
+    if args.dot:
+        print(space.to_dot())
+        return 0
+    print(f"state space of {label}: {space.node_count} nodes, "
+          f"{space.edge_count} edges, {len(space.hidden_edges())} hidden")
+    print(f"compromise reachable via hidden paths: "
+          f"{space.compromise_reachable()}")
+    print(f"benign completion possible: {space.benign_path_exists()}")
+    paths = space.exploit_paths(limit=10)
+    print(f"distinct exploit paths (≤10 shown): {len(paths)}")
+    cut = space.cut_set()
+    print("cut set (checks whose installation disconnects the exploit):")
+    for edge in cut:
+        operation, pfsm = space.edge_owner(edge)
+        print(f"  - {pfsm} in {operation!r}")
+    return 0
+
+
+def _cmd_table2(_args: argparse.Namespace) -> int:
+    from .models import all_paper_models as paper_seven
+
+    for cell in table2_grid(paper_seven()):
+        print(f"{cell.vulnerability:<45} {cell.pfsm_name:<6} "
+              f"{cell.check_type.value}")
+    return 0
+
+
+def _cmd_discover(_args: argparse.Namespace) -> int:
+    from .apps import NullHttpd, NullHttpdVariant, RECV_CHUNK
+    from .core import DiscoveryEngine, Domain, Predicate
+
+    spec_len = Predicate(lambda n: n >= 0, "contentLen >= 0")
+    spec_fit = Predicate(
+        lambda r: r["input_len"] <= r["content_len"] + 1024,
+        "length(input) <= size(PostData)",
+    )
+
+    def probe_len(content_len: int) -> bool:
+        app = NullHttpd(NullHttpdVariant.V0_5_1)
+        return app.handle_post(content_len,
+                               b"x" * max(content_len, 0)).accepted
+
+    def probe_fit(request: Dict[str, int]) -> bool:
+        app = NullHttpd(NullHttpdVariant.V0_5_1)
+        outcome = app.handle_post(request["content_len"],
+                                  b"x" * request["input_len"])
+        return outcome.accepted and \
+            outcome.bytes_copied == request["input_len"]
+
+    engine = DiscoveryEngine(known_vulnerable=["pFSM1"])
+    findings = engine.sweep_probed(
+        "Read postdata from socket to PostData",
+        [("pFSM1", "validate contentLen", spec_len, probe_len),
+         ("pFSM2", "terminate the copy at the buffer size", spec_fit,
+          probe_fit)],
+        {"pFSM1": Domain.of(-800, -1, 0, 100, 4096),
+         "pFSM2": Domain.records(
+             content_len=Domain.of(0, 100, 500),
+             input_len=Domain.of(0, 100, 1024, 1500, 2 * RECV_CHUNK + 200))},
+    )
+    print("discovery sweep over NULL HTTPD 0.5.1:")
+    for finding in findings:
+        print(f"  {finding}")
+    if not findings:
+        print("  (no findings)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="pFSM vulnerability modeling (Chen et al., DSN 2003)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the prebuilt paper models") \
+        .set_defaults(fn=_cmd_list)
+
+    stats = sub.add_parser("stats", help="Figure 1 statistics")
+    stats.add_argument("--total", type=int, default=5925)
+    stats.set_defaults(fn=_cmd_stats)
+
+    sub.add_parser("table1", help="Table 1 category ambiguity") \
+        .set_defaults(fn=_cmd_table1)
+
+    model = sub.add_parser("model", help="render a model")
+    model.add_argument("name")
+    model.add_argument("--dot", action="store_true")
+    model.add_argument("--json", action="store_true")
+    model.set_defaults(fn=_cmd_model)
+
+    trace = sub.add_parser("trace", help="run a model and print the trace")
+    trace.add_argument("name")
+    trace.add_argument("--benign", action="store_true")
+    trace.add_argument("--json", action="store_true")
+    trace.set_defaults(fn=_cmd_trace)
+
+    foil = sub.add_parser("foil", help="single-activity foil points")
+    foil.add_argument("name")
+    foil.set_defaults(fn=_cmd_foil)
+
+    space = sub.add_parser("statespace", help="unrolled graph analysis")
+    space.add_argument("name")
+    space.add_argument("--dot", action="store_true")
+    space.set_defaults(fn=_cmd_statespace)
+
+    sub.add_parser("table2", help="the generic pFSM type grid") \
+        .set_defaults(fn=_cmd_table2)
+
+    sub.add_parser("discover", help="re-run the §5.1 sweep (#6255)") \
+        .set_defaults(fn=_cmd_discover)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

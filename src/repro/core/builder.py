@@ -1,0 +1,137 @@
+"""Fluent builder for vulnerability models.
+
+Assembling a Figure 3-style model by hand means nesting pFSMs inside
+operations inside a cascade with gates — workable but noisy.  The
+builder linearises it::
+
+    model = (
+        ModelBuilder("Sendmail Signed Integer Overflow", bugtraq_ids=[3163])
+        .operation("Write debug level i to tTvect[x]", obj="input integer")
+            .pfsm("pFSM1", activity="get and convert str_x",
+                  object_name="str_x",
+                  spec=represents_int, impl=None,
+                  transform=to_int,
+                  check_type=PfsmType.OBJECT_TYPE)
+            .pfsm("pFSM2", ...)
+        .gate(".GOT entry of setuid points to Mcode", carry=...)
+        .operation("Manipulate the GOT entry of setuid", obj="addr_setuid")
+            .pfsm("pFSM3", ...)
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+from .classification import PfsmType
+from .machine import PropagationGate, VulnerabilityModel
+from .operation import Operation, OperationResult
+from .pfsm import PrimitiveFSM
+from .predicates import Predicate
+
+__all__ = ["ModelBuilder"]
+
+
+class ModelBuilder:
+    """Accumulates operations, pFSMs, and gates; ``build()`` validates."""
+
+    def __init__(
+        self,
+        name: str,
+        bugtraq_ids: Sequence[int] = (),
+        final_consequence: str = "security compromised",
+    ) -> None:
+        self._name = name
+        self._bugtraq_ids = tuple(bugtraq_ids)
+        self._final_consequence = final_consequence
+        self._operations: List[Operation] = []
+        self._gates: List[PropagationGate] = []
+        self._pending_name: Optional[str] = None
+        self._pending_obj: str = ""
+        self._pending_pfsms: List[PrimitiveFSM] = []
+
+    # -- operations -------------------------------------------------------
+
+    def operation(self, name: str, obj: str = "") -> "ModelBuilder":
+        """Start a new operation; closes the previous one."""
+        self._flush_operation()
+        self._pending_name = name
+        self._pending_obj = obj
+        self._pending_pfsms = []
+        return self
+
+    def _flush_operation(self) -> None:
+        if self._pending_name is None:
+            return
+        if not self._pending_pfsms:
+            raise ValueError(
+                f"operation {self._pending_name!r} has no pFSMs"
+            )
+        self._operations.append(
+            Operation(self._pending_name, self._pending_obj,
+                      self._pending_pfsms)
+        )
+        self._pending_name = None
+        self._pending_pfsms = []
+
+    # -- pFSMs ----------------------------------------------------------------
+
+    def pfsm(
+        self,
+        name: str,
+        activity: str,
+        object_name: str,
+        spec: Predicate,
+        impl: Optional[Predicate] = None,
+        action: str = "",
+        transform: Optional[Callable[[Any], Any]] = None,
+        check_type: Optional[PfsmType] = None,
+    ) -> "ModelBuilder":
+        """Add a pFSM to the current operation."""
+        if self._pending_name is None:
+            raise ValueError("pfsm() before any operation()")
+        self._pending_pfsms.append(
+            PrimitiveFSM(
+                name=name,
+                activity=activity,
+                object_name=object_name,
+                spec_accepts=spec,
+                impl_accepts=impl,
+                accept_action=action,
+                transform=transform,
+                check_type=check_type,
+            )
+        )
+        return self
+
+    # -- gates ------------------------------------------------------------------
+
+    def gate(
+        self,
+        description: str,
+        carry: Optional[Callable[[OperationResult], Any]] = None,
+    ) -> "ModelBuilder":
+        """Add the propagation gate between the previous operation and
+        the next one."""
+        self._flush_operation()
+        if not self._operations:
+            raise ValueError("gate() before any completed operation")
+        if carry is None:
+            self._gates.append(PropagationGate(description))
+        else:
+            self._gates.append(PropagationGate(description, carry))
+        return self
+
+    # -- terminal ------------------------------------------------------------------
+
+    def build(self) -> VulnerabilityModel:
+        """Validate and assemble the model."""
+        self._flush_operation()
+        return VulnerabilityModel(
+            name=self._name,
+            operations=self._operations,
+            gates=self._gates,
+            bugtraq_ids=self._bugtraq_ids,
+            final_consequence=self._final_consequence,
+        )

@@ -1,0 +1,195 @@
+"""A catalog of reusable security predicates.
+
+The paper's conclusion points at "the security predicates specific to
+different software ... in addition to the generic predicates discussed
+in this paper (e.g., buffer boundary and array index checks)" and hopes
+a comprehensive catalog "will enable us to build an automatic tool for
+the vulnerability analysis."  This module is that catalog: each entry
+packages a parametrised predicate constructor, its generic pFSM type,
+the elementary-activity archetype it usually guards, and a default
+probe domain generator — everything the automatic analyzer
+(:mod:`repro.core.autotool`) needs to try it against an implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List
+
+from .classification import ActivityKind, PfsmType
+from .predicates import Predicate
+from .witness import Domain
+
+__all__ = ["CatalogEntry", "PREDICATE_CATALOG", "entries_for_activity"]
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One reusable predicate pattern."""
+
+    key: str
+    summary: str
+    check_type: PfsmType
+    usual_activity: ActivityKind
+    build: Callable[..., Predicate]
+    default_domain: Callable[..., Domain]
+
+    def instantiate(self, **params: Any) -> Predicate:
+        """Build the predicate with concrete parameters."""
+        return self.build(**params)
+
+
+def _non_negative() -> Predicate:
+    return Predicate(lambda n: int(n) >= 0, "value >= 0")
+
+
+def _int_range(low: int, high: int) -> Predicate:
+    return Predicate(lambda n: low <= int(n) <= high,
+                     f"{low} <= value <= {high}")
+
+
+def _fits_int32() -> Predicate:
+    return Predicate(
+        lambda s: -(2**31) <= int(s) <= 2**31 - 1,
+        "string represents a 32-bit integer",
+    )
+
+
+def _length_bound(limit: int) -> Predicate:
+    return Predicate(lambda obj: len(obj) <= limit, f"length <= {limit}")
+
+
+def _no_substring(needle: Any) -> Predicate:
+    return Predicate(lambda obj: needle not in obj,
+                     f"does not contain {needle!r}")
+
+
+def _no_format_directives() -> Predicate:
+    from ..memory import contains_directives
+
+    return Predicate(
+        lambda obj: not contains_directives(
+            obj if isinstance(obj, bytes) else str(obj).encode("latin-1")
+        ),
+        "contains no format directives (%n, %x, %d, ...)",
+    )
+
+
+def _no_traversal_after_decoding(decoder: Callable[[str], str],
+                                 rounds: int = 8) -> Predicate:
+    def safe(path: str) -> bool:
+        current = path
+        for _round in range(rounds):
+            decoded = decoder(current)
+            if decoded == current:
+                break
+            current = decoded
+        return "../" not in current and not current.startswith("/")
+
+    return Predicate(safe, "fully decoded path stays inside the root")
+
+
+def _reference_unchanged(key: str = "unchanged") -> Predicate:
+    def check(obj: Any) -> bool:
+        if isinstance(obj, dict):
+            return bool(obj[key])
+        return bool(obj)
+
+    return Predicate(check, "reference binding unchanged since check time")
+
+
+PREDICATE_CATALOG: Dict[str, CatalogEntry] = {
+    entry.key: entry
+    for entry in [
+        CatalogEntry(
+            key="non-negative",
+            summary="sizes/lengths/counts must not be negative "
+                    "(NULL HTTPD contentLen)",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+            usual_activity=ActivityKind.GET_INPUT,
+            build=lambda: _non_negative(),
+            default_domain=lambda: Domain.integer_probes(),
+        ),
+        CatalogEntry(
+            key="int-range",
+            summary="array index within declared bounds (Sendmail tTvect)",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+            usual_activity=ActivityKind.USE_AS_INDEX,
+            build=lambda low=0, high=100: _int_range(low, high),
+            default_domain=lambda: Domain.integer_probes(),
+        ),
+        CatalogEntry(
+            key="fits-int32",
+            summary="decimal string representable without wrapping "
+                    "(Table 1's type check)",
+            check_type=PfsmType.OBJECT_TYPE,
+            usual_activity=ActivityKind.GET_INPUT,
+            build=lambda: _fits_int32(),
+            default_domain=lambda: Domain.integer_strings(),
+        ),
+        CatalogEntry(
+            key="length-bound",
+            summary="input length bounded by the destination buffer "
+                    "(GHTTPD 200 bytes)",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+            usual_activity=ActivityKind.COPY_TO_BUFFER,
+            build=lambda limit=200: _length_bound(limit),
+            default_domain=lambda limit=200: Domain.byte_strings(
+                [0, 1, limit - 1, limit, limit + 1, 2 * limit]
+            ),
+        ),
+        CatalogEntry(
+            key="no-substring",
+            summary="content must not contain a dangerous token "
+                    "(IIS '../')",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+            usual_activity=ActivityKind.GET_INPUT,
+            build=lambda needle="../": _no_substring(needle),
+            default_domain=lambda: Domain.of(
+                "a/b", "../x", "..%2fx", "..%252fx"
+            ),
+        ),
+        CatalogEntry(
+            key="no-format-directives",
+            summary="user input carries no printf conversions "
+                    "(rpc.statd filenames)",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+            usual_activity=ActivityKind.GET_INPUT,
+            build=lambda: _no_format_directives(),
+            default_domain=lambda: Domain.of(
+                b"host", b"%n", b"%x%x", b"100%%"
+            ),
+        ),
+        CatalogEntry(
+            key="decoded-path-inside-root",
+            summary="path stays inside the served root after decoding "
+                    "reaches a fixed point (the IIS spec)",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+            usual_activity=ActivityKind.GET_INPUT,
+            build=_no_traversal_after_decoding,
+            default_domain=lambda: Domain.of(
+                "a/b.exe", "../c.exe", "..%2fc.exe", "..%252fc.exe"
+            ),
+        ),
+        CatalogEntry(
+            key="reference-unchanged",
+            summary="object-to-reference binding preserved from check "
+                    "to use (return address, GOT entry, free links, path)",
+            check_type=PfsmType.REFERENCE_CONSISTENCY,
+            usual_activity=ActivityKind.CHECK_THEN_USE,
+            build=lambda key="unchanged": _reference_unchanged(key),
+            default_domain=lambda key="unchanged": Domain.of(
+                {key: True}, {key: False}
+            ),
+        ),
+    ]
+}
+
+
+def entries_for_activity(activity: ActivityKind) -> List[CatalogEntry]:
+    """Catalog entries whose usual activity matches."""
+    return [
+        entry
+        for entry in PREDICATE_CATALOG.values()
+        if entry.usual_activity is activity
+    ]

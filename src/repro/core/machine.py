@@ -1,0 +1,218 @@
+"""The full FSM model: cascaded operations joined by propagation gates.
+
+Section 4's third step: "we cascade the operations to model the
+vulnerable implementation."  The triangle between operations in Figures
+3–7 is the **propagation gate**: exploiting operation *i* is the
+precondition for exploiting operation *i+1* (e.g. overwriting
+``addr_setuid`` in Figure 3's Operation 1 is the precondition for
+executing ``Mcode`` in Operation 2).
+
+A gate carries the exploited state forward: its ``carry`` function maps
+the completed :class:`~repro.core.operation.OperationResult` to the
+input object of the next operation.  Running a model therefore yields an
+end-to-end :class:`~repro.core.trace.ExploitTrace` whose success means
+the exploit traversed *every* operation — which, by the paper's Lemma,
+requires a hidden path in each of them unless the input was benign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .operation import Operation, OperationResult
+from .pfsm import PrimitiveFSM
+from .trace import EventKind, ExploitTrace
+
+__all__ = ["PropagationGate", "VulnerabilityModel", "ModelResult"]
+
+
+@dataclass(frozen=True)
+class PropagationGate:
+    """The causality triangle between two operations.
+
+    Parameters
+    ----------
+    description:
+        What the gate denotes, e.g. ``".GOT entry of setuid points to
+        Mcode"`` (upper gate of Figure 3).
+    carry:
+        Maps the upstream :class:`OperationResult` to the downstream
+        operation's input object.  Defaults to passing the final object
+        through unchanged.
+    """
+
+    description: str
+    carry: Callable[[OperationResult], Any] = field(
+        default=lambda result: result.final_object
+    )
+
+
+@dataclass(frozen=True)
+class ModelResult:
+    """Outcome of traversing a vulnerability model end to end."""
+
+    model_name: str
+    compromised: bool
+    trace: ExploitTrace
+    operation_results: Tuple[OperationResult, ...]
+
+    @property
+    def foiled_at(self) -> Optional[str]:
+        """pFSM that stopped the exploit, if any."""
+        return self.trace.foiled_at
+
+    @property
+    def hidden_path_count(self) -> int:
+        """Total dotted transitions used across all operations."""
+        return self.trace.hidden_path_count
+
+
+class VulnerabilityModel:
+    """A named cascade of operations modeling one vulnerability.
+
+    Parameters
+    ----------
+    name:
+        e.g. ``"Sendmail Debugging Function Signed Integer Overflow"``.
+    bugtraq_ids:
+        The Bugtraq identifiers this model covers (e.g. ``(3163,)``).
+    operations:
+        The vulnerable operations, in exploitation order.
+    gates:
+        ``len(operations) - 1`` propagation gates joining them.
+    final_consequence:
+        What end-to-end success means, e.g. ``"Execute Mcode"``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        operations: Sequence[Operation],
+        gates: Sequence[PropagationGate] = (),
+        bugtraq_ids: Sequence[int] = (),
+        final_consequence: str = "security compromised",
+    ) -> None:
+        operations = tuple(operations)
+        gates = tuple(gates)
+        if not operations:
+            raise ValueError("a model needs at least one operation")
+        if len(gates) != len(operations) - 1:
+            raise ValueError(
+                f"need {len(operations) - 1} gates for "
+                f"{len(operations)} operations, got {len(gates)}"
+            )
+        names = [op.name for op in operations]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate operation names: {names}")
+        self.name = name
+        self.operations = operations
+        self.gates = gates
+        self.bugtraq_ids = tuple(bugtraq_ids)
+        self.final_consequence = final_consequence
+
+    # -- lookup -----------------------------------------------------------
+
+    def operation(self, name: str) -> Operation:
+        """Find an operation by name."""
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise KeyError(f"no operation named {name!r} in model {self.name!r}")
+
+    def all_pfsms(self) -> List[Tuple[Operation, PrimitiveFSM]]:
+        """Every (operation, pFSM) pair in cascade order."""
+        return [(op, pfsm) for op in self.operations for pfsm in op.pfsms]
+
+    @property
+    def pfsm_count(self) -> int:
+        """Total number of elementary activities modeled."""
+        return sum(len(op.pfsms) for op in self.operations)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, initial_object: Any) -> ModelResult:
+        """Traverse the cascade with ``initial_object`` as the first
+        operation's input; gates carry state across operations."""
+        trace = ExploitTrace(model_name=self.name)
+        results: List[OperationResult] = []
+        current = initial_object
+        for index, operation in enumerate(self.operations):
+            trace.record(EventKind.OPERATION_START, operation.name,
+                         detail=f"object: {operation.object_description}")
+            result = operation.run(current)
+            results.append(result)
+            for outcome in result.outcomes:
+                trace.record(
+                    EventKind.PFSM_STEP, outcome.pfsm_name, outcome=outcome
+                )
+            if not result.completed:
+                trace.record(EventKind.OPERATION_FOILED, result.foiled_by or "?",
+                             detail=f"in operation {operation.name!r}")
+                trace.record(EventKind.EXPLOIT_FOILED, self.name)
+                return ModelResult(self.name, False, trace, tuple(results))
+            trace.record(EventKind.OPERATION_COMPLETE, operation.name)
+            if index < len(self.gates):
+                gate = self.gates[index]
+                current = gate.carry(result)
+                trace.record(EventKind.GATE_CROSSED, gate.description)
+        trace.record(EventKind.EXPLOIT_SUCCEEDED, self.name,
+                     detail=self.final_consequence)
+        return ModelResult(self.name, True, trace, tuple(results))
+
+    def is_compromised_by(self, initial_object: Any) -> bool:
+        """Convenience: does this input drive the exploit end to end
+        *through at least one hidden path*?  (A benign input completing
+        every operation without hidden paths is correct behaviour, not a
+        compromise.)"""
+        result = self.run(initial_object)
+        return result.compromised and result.hidden_path_count > 0
+
+    # -- securing -----------------------------------------------------------------
+
+    def with_pfsm_secured(self, operation_name: str, pfsm_name: str
+                          ) -> "VulnerabilityModel":
+        """Copy of the model with one elementary activity's check fixed."""
+        new_ops = tuple(
+            op.with_pfsm_secured(pfsm_name) if op.name == operation_name else op
+            for op in self.operations
+        )
+        return VulnerabilityModel(
+            self.name, new_ops, self.gates, self.bugtraq_ids,
+            self.final_consequence,
+        )
+
+    def with_operation_secured(self, operation_name: str) -> "VulnerabilityModel":
+        """Copy with every pFSM of one operation secured — the Lemma
+        part 2 hypothesis."""
+        if operation_name not in {op.name for op in self.operations}:
+            raise KeyError(f"no operation named {operation_name!r}")
+        new_ops = tuple(
+            op.fully_secured() if op.name == operation_name else op
+            for op in self.operations
+        )
+        return VulnerabilityModel(
+            self.name, new_ops, self.gates, self.bugtraq_ids,
+            self.final_consequence,
+        )
+
+    def fully_secured(self) -> "VulnerabilityModel":
+        """Copy with every pFSM in every operation secured."""
+        return VulnerabilityModel(
+            self.name,
+            tuple(op.fully_secured() for op in self.operations),
+            self.gates,
+            self.bugtraq_ids,
+            self.final_consequence,
+        )
+
+    def describe(self) -> str:
+        """Multi-line structural summary."""
+        ids = ", ".join(f"#{i}" for i in self.bugtraq_ids) or "n/a"
+        lines = [f"Model: {self.name} (Bugtraq {ids})"]
+        for index, op in enumerate(self.operations):
+            lines.append(op.describe())
+            if index < len(self.gates):
+                lines.append(f"  ▷ gate: {self.gates[index].description}")
+        lines.append(f"  consequence: {self.final_consequence}")
+        return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""Quantitative security metrics over pFSM models.
+
+The paper's related-work section surveys stochastic models (Ortalo's
+METF Markov model [17], Madan's semi-Markov intrusion tolerance [20])
+and notes they "require that parameters, e.g., probabilities of
+transitions ... be available or estimated."  A pFSM model makes those
+parameters *derivable*: given a distribution over the input domain, the
+probability of each Figure 2 transition is just the measure of the
+objects taking it.
+
+This module computes, for a model and a weighted domain:
+
+* per-pFSM transition probabilities (SPEC_ACPT / IMPL_REJ / hidden
+  IMPL_ACPT),
+* the end-to-end compromise probability (an input drives the exploit
+  through every operation),
+* exposure ratios (what fraction of spec-rejected inputs leak through),
+* and the **mean effort to foil** — the expected number of
+  single-activity fixes an engineer applies (in a given priority order)
+  before the model stops being compromisable by the domain, a concrete
+  analogue of [17]'s mean-effort-to-failure framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Optional, Sequence, Tuple
+
+from .machine import VulnerabilityModel
+from .pfsm import PrimitiveFSM
+from .witness import Domain
+
+__all__ = [
+    "WeightedDomain",
+    "PfsmRates",
+    "pfsm_rates",
+    "compromise_probability",
+    "exposure_ratio",
+    "mean_effort_to_foil",
+    "ModelMetrics",
+    "evaluate_model",
+]
+
+
+class WeightedDomain:
+    """A finite input distribution: objects with non-negative weights.
+
+    Uniform over a plain :class:`Domain` by default.
+    """
+
+    def __init__(self, items: Iterable[Tuple[Any, float]]) -> None:
+        self._items = [(obj, float(w)) for obj, w in items]
+        total = sum(w for _obj, w in self._items)
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        self._total = total
+
+    @staticmethod
+    def uniform(domain: Domain) -> "WeightedDomain":
+        """Equal weight on every domain element."""
+        return WeightedDomain((obj, 1.0) for obj in domain)
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def probability(self, event: Callable[[Any], bool]) -> float:
+        """Measure of the objects satisfying ``event``."""
+        hit = sum(w for obj, w in self._items if event(obj))
+        return hit / self._total
+
+
+@dataclass(frozen=True)
+class PfsmRates:
+    """Transition probabilities of one pFSM under a distribution."""
+
+    pfsm_name: str
+    spec_accept: float
+    impl_reject: float
+    hidden_accept: float
+
+    @property
+    def total(self) -> float:
+        """Sanity: the three outcomes partition the distribution."""
+        return self.spec_accept + self.impl_reject + self.hidden_accept
+
+
+def pfsm_rates(pfsm: PrimitiveFSM, inputs: WeightedDomain) -> PfsmRates:
+    """Probability of each Figure 2 outcome for one pFSM."""
+    spec_accept = inputs.probability(pfsm.spec_accepts.evaluate)
+    hidden = inputs.probability(pfsm.takes_hidden_path)
+    reject = 1.0 - spec_accept - hidden
+    return PfsmRates(
+        pfsm_name=pfsm.name,
+        spec_accept=spec_accept,
+        impl_reject=max(reject, 0.0),
+        hidden_accept=hidden,
+    )
+
+
+def compromise_probability(
+    model: VulnerabilityModel, inputs: WeightedDomain
+) -> float:
+    """Measure of inputs that drive the exploit end to end through at
+    least one hidden path."""
+    return inputs.probability(model.is_compromised_by)
+
+
+def exposure_ratio(pfsm: PrimitiveFSM, inputs: WeightedDomain) -> float:
+    """Of the inputs the *spec* rejects, the fraction the implementation
+    lets through — 1.0 means the check is entirely missing, 0.0 means
+    it is complete."""
+    rejected = inputs.probability(
+        lambda obj: not pfsm.spec_accepts.evaluate(obj)
+    )
+    if rejected == 0:
+        return 0.0
+    leaked = inputs.probability(pfsm.takes_hidden_path)
+    return leaked / rejected
+
+
+def mean_effort_to_foil(
+    model: VulnerabilityModel,
+    inputs: WeightedDomain,
+    fix_order: Optional[Sequence[Tuple[str, str]]] = None,
+) -> int:
+    """Number of single-activity fixes, applied in ``fix_order``
+    (default: cascade order), until no input in the distribution
+    compromises the model.  Returns the count; 0 when the model is
+    already safe for the distribution.
+
+    The deterministic analogue of mean effort to (security) failure:
+    with fixes applied in the engineer's priority order, how many are
+    needed before the attacker's input distribution is fully foiled.
+    """
+    order = list(fix_order) if fix_order is not None else [
+        (operation.name, pfsm.name) for operation, pfsm in model.all_pfsms()
+    ]
+    current = model
+    effort = 0
+    if compromise_probability(current, inputs) == 0.0:
+        return 0
+    for operation_name, pfsm_name in order:
+        current = current.with_pfsm_secured(operation_name, pfsm_name)
+        effort += 1
+        if compromise_probability(current, inputs) == 0.0:
+            return effort
+    raise ValueError(
+        "fix order exhausted but the model is still compromisable"
+    )
+
+
+@dataclass
+class ModelMetrics:
+    """Aggregated quantitative evaluation of one model."""
+
+    model_name: str
+    per_pfsm: Dict[str, PfsmRates]
+    per_pfsm_exposure: Dict[str, float]
+    compromise_probability: float
+    effort_to_foil: int
+
+    def to_text(self) -> str:
+        """Readable summary."""
+        lines = [f"metrics for {self.model_name}"]
+        for name, rates in self.per_pfsm.items():
+            lines.append(
+                f"  {name}: spec-accept={rates.spec_accept:.2f} "
+                f"impl-reject={rates.impl_reject:.2f} "
+                f"hidden={rates.hidden_accept:.2f} "
+                f"exposure={self.per_pfsm_exposure[name]:.2f}"
+            )
+        lines.append(
+            f"  P(compromise) = {self.compromise_probability:.3f}; "
+            f"fixes to foil (cascade order) = {self.effort_to_foil}"
+        )
+        return "\n".join(lines)
+
+
+def evaluate_model(
+    model: VulnerabilityModel,
+    model_inputs: WeightedDomain,
+    pfsm_inputs: Dict[str, WeightedDomain],
+) -> ModelMetrics:
+    """Compute the full metric set.
+
+    ``model_inputs`` feeds the end-to-end probability and effort;
+    ``pfsm_inputs`` supplies each pFSM's own object distribution (the
+    objects later activities see are transforms/gate products, so they
+    need their own domains).
+    """
+    per_pfsm: Dict[str, PfsmRates] = {}
+    exposure: Dict[str, float] = {}
+    for _operation, pfsm in model.all_pfsms():
+        inputs = pfsm_inputs.get(pfsm.name)
+        if inputs is None:
+            continue
+        per_pfsm[pfsm.name] = pfsm_rates(pfsm, inputs)
+        exposure[pfsm.name] = exposure_ratio(pfsm, inputs)
+    probability = compromise_probability(model, model_inputs)
+    effort = mean_effort_to_foil(model, model_inputs) if probability else 0
+    return ModelMetrics(
+        model_name=model.name,
+        per_pfsm=per_pfsm,
+        per_pfsm_exposure=exposure,
+        compromise_probability=probability,
+        effort_to_foil=effort,
+    )

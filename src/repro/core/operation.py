@@ -1,0 +1,162 @@
+"""Operations: series of pFSMs applied to one object.
+
+Observation 2: "Multiple activities performed on the same object form an
+operation, which is modeled as a FSM consisting of multiple pFSMs in
+series."  The object flows through the pFSMs in order; each pFSM may
+transform it (e.g. activity 1 of Figure 3 converts the strings
+``str_x``/``str_i`` into the integers ``x``/``i``).  The operation is
+*exploited* when a malicious object reaches the final accept state —
+which requires riding a hidden path somewhere — and *foiled* the moment
+any pFSM's IMPL_REJ fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from .pfsm import PfsmOutcome, PrimitiveFSM
+
+__all__ = ["Operation", "OperationResult"]
+
+
+@dataclass(frozen=True)
+class OperationResult:
+    """Outcome of pushing one object through an operation."""
+
+    operation_name: str
+    completed: bool
+    outcomes: Tuple[PfsmOutcome, ...]
+    final_object: Any
+    foiled_by: Optional[str] = None
+
+    @property
+    def used_hidden_path(self) -> bool:
+        """Did the object ride any dotted transition?"""
+        return any(outcome.via_hidden_path for outcome in self.outcomes)
+
+    @property
+    def hidden_steps(self) -> List[PfsmOutcome]:
+        """The outcomes that took the hidden path."""
+        return [o for o in self.outcomes if o.via_hidden_path]
+
+    @property
+    def exploited(self) -> bool:
+        """Completed *via* at least one hidden path — a malicious object
+        got through a check that should have stopped it."""
+        return self.completed and self.used_hidden_path
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A named series of pFSMs over one object.
+
+    Parameters
+    ----------
+    name:
+        e.g. ``"Write debug level i to tTvect[x]"`` (Figure 3 Op. 1).
+    object_description:
+        The object manipulated, e.g. ``"the input integer"``.
+    pfsms:
+        The constituent primitive FSMs, in activity order.
+    """
+
+    name: str
+    object_description: str
+    pfsms: Tuple[PrimitiveFSM, ...]
+
+    def __init__(
+        self,
+        name: str,
+        object_description: str,
+        pfsms: Sequence[PrimitiveFSM],
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "object_description", object_description)
+        object.__setattr__(self, "pfsms", tuple(pfsms))
+        names = [p.name for p in self.pfsms]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate pFSM names in operation {name!r}: {names}")
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, obj: Any) -> OperationResult:
+        """Push ``obj`` through the pFSM chain."""
+        outcomes: List[PfsmOutcome] = []
+        current = obj
+        for pfsm in self.pfsms:
+            outcome = pfsm.step(current)
+            outcomes.append(outcome)
+            if outcome.foiled:
+                return OperationResult(
+                    operation_name=self.name,
+                    completed=False,
+                    outcomes=tuple(outcomes),
+                    final_object=current,
+                    foiled_by=pfsm.name,
+                )
+            current = outcome.transformed
+        return OperationResult(
+            operation_name=self.name,
+            completed=True,
+            outcomes=tuple(outcomes),
+            final_object=current,
+        )
+
+    # -- analysis ------------------------------------------------------------
+
+    def pfsm(self, name: str) -> PrimitiveFSM:
+        """Look up a constituent pFSM by name."""
+        for pfsm in self.pfsms:
+            if pfsm.name == name:
+                return pfsm
+        raise KeyError(f"no pFSM named {name!r} in operation {self.name!r}")
+
+    def is_secure(self, domain: Iterable[Any]) -> bool:
+        """The Lemma part 1 condition for this operation: every
+        constituent pFSM is correctly implemented over the domain.
+
+        Note the domain is the *input* domain of the first activity;
+        transforms are applied along accepting paths.
+        """
+        for obj in domain:
+            result = self.run(obj)
+            if result.used_hidden_path:
+                return False
+        return True
+
+    def exploit_witnesses(self, domain: Iterable[Any], limit: int = 10) -> List[Any]:
+        """Inputs that complete the operation via a hidden path."""
+        found: List[Any] = []
+        for obj in domain:
+            if self.run(obj).exploited:
+                found.append(obj)
+                if len(found) >= limit:
+                    break
+        return found
+
+    # -- securing ----------------------------------------------------------------
+
+    def with_pfsm_secured(self, pfsm_name: str) -> "Operation":
+        """Copy with one pFSM's implementation fixed to its spec — the
+        single-elementary-activity fix of Observation 1."""
+        if pfsm_name not in {p.name for p in self.pfsms}:
+            raise KeyError(f"no pFSM named {pfsm_name!r} in operation {self.name!r}")
+        new = tuple(
+            p.secured() if p.name == pfsm_name else p for p in self.pfsms
+        )
+        return Operation(self.name, self.object_description, new)
+
+    def fully_secured(self) -> "Operation":
+        """Copy with every pFSM secured (Lemma part 1's hypothesis)."""
+        return Operation(
+            self.name,
+            self.object_description,
+            tuple(p.secured() for p in self.pfsms),
+        )
+
+    def describe(self) -> str:
+        """Multi-line summary of the chain."""
+        lines = [f"Operation: {self.name} (object: {self.object_description})"]
+        lines.extend(f"  {pfsm.describe()}" for pfsm in self.pfsms)
+        return "\n".join(lines)

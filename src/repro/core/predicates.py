@@ -1,0 +1,224 @@
+"""Predicate algebra for pFSM conditions.
+
+Observation 3 of the paper: for each elementary activity, the
+vulnerability data and code inspection allow deriving a *predicate*
+which, if violated, results in a security vulnerability.  A pFSM is then
+"a predicate for accepting an input object with respect to the
+specification and implementation".
+
+This module makes predicates first-class: named, composable (``&``,
+``|``, ``~``), evaluable over arbitrary analysis objects, and queryable
+over finite domains (for hidden-path witness search).  A small library of
+constructors covers the checks appearing in the paper's Table 2 —
+numeric ranges (``0 <= x <= 100``), length bounds
+(``length(input) <= size(buffer)``), content checks (contains ``../``,
+contains format directives), type checks, and reference-consistency
+comparisons.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Iterable, List, Mapping, Optional
+
+__all__ = [
+    "Predicate",
+    "predicate",
+    "always",
+    "never",
+    "attr",
+    "equals",
+    "in_range",
+    "less_equal",
+    "greater_equal",
+    "length_le",
+    "contains",
+    "not_contains",
+    "matches",
+    "is_instance",
+    "satisfies_all",
+    "satisfies_any",
+]
+
+
+class Predicate:
+    """A named boolean condition over analysis objects.
+
+    Wraps a callable and a human-readable description.  Combinators build
+    new predicates; descriptions compose so rendered FSMs stay legible.
+    Evaluation errors are treated as *rejection* (a predicate that cannot
+    be established does not hold) — matching the fail-secure reading the
+    paper gives to checks.
+    """
+
+    def __init__(self, fn: Callable[[Any], bool], description: str) -> None:
+        self._fn = fn
+        self.description = description
+
+    def __call__(self, obj: Any) -> bool:
+        return self.evaluate(obj)
+
+    def evaluate(self, obj: Any) -> bool:
+        """Evaluate over ``obj``; exceptions count as False."""
+        try:
+            return bool(self._fn(obj))
+        except Exception:
+            return False
+
+    def holds_raising(self, obj: Any) -> bool:
+        """Evaluate without the exception shield (for debugging models)."""
+        return bool(self._fn(obj))
+
+    # -- combinators --------------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return Predicate(
+            lambda obj: self.evaluate(obj) and other.evaluate(obj),
+            f"({self.description}) and ({other.description})",
+        )
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Predicate(
+            lambda obj: self.evaluate(obj) or other.evaluate(obj),
+            f"({self.description}) or ({other.description})",
+        )
+
+    def __invert__(self) -> "Predicate":
+        return Predicate(
+            lambda obj: not self.evaluate(obj), f"not ({self.description})"
+        )
+
+    def implies(self, other: "Predicate") -> "Predicate":
+        """Material implication, useful for stating spec ⊆ impl facts."""
+        return (~self) | other
+
+    def renamed(self, description: str) -> "Predicate":
+        """Same condition, new display name."""
+        return Predicate(self._fn, description)
+
+    # -- domain queries -------------------------------------------------------
+
+    def witnesses(self, domain: Iterable[Any], limit: int = 10) -> List[Any]:
+        """Up to ``limit`` objects from ``domain`` satisfying the predicate."""
+        found: List[Any] = []
+        for candidate in domain:
+            if self.evaluate(candidate):
+                found.append(candidate)
+                if len(found) >= limit:
+                    break
+        return found
+
+    def holds_over(self, domain: Iterable[Any]) -> bool:
+        """True when the predicate holds for every element of ``domain``."""
+        return all(self.evaluate(candidate) for candidate in domain)
+
+    def __repr__(self) -> str:
+        return f"Predicate({self.description!r})"
+
+
+def predicate(description: str) -> Callable[[Callable[[Any], bool]], Predicate]:
+    """Decorator form: ``@predicate("0 <= x <= 100")``."""
+
+    def wrap(fn: Callable[[Any], bool]) -> Predicate:
+        return Predicate(fn, description)
+
+    return wrap
+
+
+#: The vacuous check — accepts everything.  An implementation predicate
+#: of ``always`` is the paper's "no check performed" (IMPL_REJ absent).
+always = Predicate(lambda _obj: True, "true")
+
+#: Rejects everything.
+never = Predicate(lambda _obj: False, "false")
+
+
+def _get(obj: Any, name: str) -> Any:
+    """Attribute access that also understands mappings."""
+    if isinstance(obj, Mapping):
+        return obj[name]
+    return getattr(obj, name)
+
+
+def attr(name: str, inner: Predicate) -> Predicate:
+    """Apply ``inner`` to a named attribute/key of the object."""
+    return Predicate(
+        lambda obj: inner.evaluate(_get(obj, name)),
+        inner.description.replace("·", name)
+        if "·" in inner.description
+        else f"{name}: {inner.description}",
+    )
+
+
+def equals(expected: Any) -> Predicate:
+    """``· == expected``."""
+    return Predicate(lambda obj: obj == expected, f"· == {expected!r}")
+
+
+def in_range(low: int, high: int) -> Predicate:
+    """``low <= · <= high`` — the corrected Sendmail predicate is
+    ``in_range(0, 100)``."""
+    return Predicate(lambda obj: low <= int(obj) <= high,
+                     f"{low} <= · <= {high}")
+
+
+def less_equal(bound: int) -> Predicate:
+    """``· <= bound`` — the *incomplete* Sendmail check is
+    ``less_equal(100)``."""
+    return Predicate(lambda obj: int(obj) <= bound, f"· <= {bound}")
+
+
+def greater_equal(bound: int) -> Predicate:
+    """``· >= bound`` — e.g. ``contentLen >= 0`` (Figure 4 pFSM1)."""
+    return Predicate(lambda obj: int(obj) >= bound, f"· >= {bound}")
+
+
+def length_le(bound: int) -> Predicate:
+    """``length(·) <= bound`` — buffer-copy content checks."""
+    return Predicate(lambda obj: len(obj) <= bound, f"length(·) <= {bound}")
+
+
+def contains(substring: Any) -> Predicate:
+    """``substring in ·`` — e.g. the IIS ``../`` content check."""
+    return Predicate(lambda obj: substring in obj, f"· contains {substring!r}")
+
+
+def not_contains(substring: Any) -> Predicate:
+    """``substring not in ·``."""
+    return Predicate(
+        lambda obj: substring not in obj, f"· does not contain {substring!r}"
+    )
+
+
+def matches(pattern: str) -> Predicate:
+    """Regex search over strings/bytes."""
+    compiled = re.compile(pattern)
+
+    def check(obj: Any) -> bool:
+        if isinstance(obj, bytes):
+            return bool(re.search(pattern.encode("latin-1"), obj))
+        return bool(compiled.search(obj))
+
+    return Predicate(check, f"· matches /{pattern}/")
+
+
+def is_instance(*types: type) -> Predicate:
+    """Python-level object type check."""
+    names = ", ".join(t.__name__ for t in types)
+    return Predicate(lambda obj: isinstance(obj, types), f"· is a {names}")
+
+
+def satisfies_all(*preds: Predicate) -> Predicate:
+    """Conjunction of many predicates."""
+    result: Optional[Predicate] = None
+    for pred in preds:
+        result = pred if result is None else (result & pred)
+    return result if result is not None else always
+
+
+def satisfies_any(*preds: Predicate) -> Predicate:
+    """Disjunction of many predicates."""
+    result: Optional[Predicate] = None
+    for pred in preds:
+        result = pred if result is None else (result | pred)
+    return result if result is not None else never

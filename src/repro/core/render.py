@@ -1,0 +1,139 @@
+"""Rendering pFSMs and models: ASCII reports and Graphviz DOT.
+
+The paper communicates its models as annotated state diagrams (Figures
+2–8).  This module regenerates those artifacts from model objects:
+``render_pfsm`` prints one primitive FSM with its four transitions
+(missing IMPL_REJ marked ``?``, hidden IMPL_ACPT marked dotted), and
+``to_dot`` emits a Graphviz digraph of a whole model — solid edges for
+specified behaviour, dashed red edges for hidden paths, triangle nodes
+for propagation gates.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .machine import VulnerabilityModel
+from .operation import Operation
+from .pfsm import PrimitiveFSM
+from .transitions import TransitionKind
+
+__all__ = ["render_pfsm", "render_operation", "render_model", "to_dot"]
+
+
+def render_pfsm(pfsm: PrimitiveFSM) -> str:
+    """ASCII rendering of one primitive FSM (the Figure 2 shape)."""
+    lines = [
+        f"pFSM {pfsm.name}: {pfsm.activity}",
+        f"  object: {pfsm.object_name}",
+    ]
+    if pfsm.check_type is not None:
+        lines.append(f"  type: {pfsm.check_type.value}")
+    lines.append("  states: SPEC check -> (accept | reject)")
+    for transition in pfsm.transitions_spec():
+        lines.append(f"    {transition.render()}")
+    return "\n".join(lines)
+
+
+def render_operation(operation: Operation) -> str:
+    """ASCII rendering of an operation: its pFSMs in series."""
+    lines = [
+        f"Operation: {operation.name}",
+        f"  object: {operation.object_description}",
+    ]
+    for pfsm in operation.pfsms:
+        body = render_pfsm(pfsm)
+        lines.extend("  " + line for line in body.splitlines())
+    return "\n".join(lines)
+
+
+def render_model(model: VulnerabilityModel) -> str:
+    """ASCII rendering of the full cascade with gates."""
+    ids = ", ".join(f"#{i}" for i in model.bugtraq_ids) or "n/a"
+    lines = [f"=== {model.name} (Bugtraq {ids}) ==="]
+    for index, operation in enumerate(model.operations):
+        lines.append(render_operation(operation))
+        if index < len(model.gates):
+            lines.append(f"  ▽ propagation gate: {model.gates[index].description}")
+    lines.append(f"terminal consequence: {model.final_consequence}")
+    return "\n".join(lines)
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace('"', '\\"').replace("\n", "\\n")
+
+
+def to_dot(model: VulnerabilityModel) -> str:
+    """Graphviz DOT for the whole model.
+
+    Each pFSM becomes a three-state cluster; hidden IMPL_ACPT edges are
+    dashed red; missing IMPL_REJ edges are drawn grey and labeled '?';
+    gates are triangles linking operation clusters.
+    """
+    lines: List[str] = [
+        f'digraph "{_dot_escape(model.name)}" {{',
+        "  rankdir=TB;",
+        '  node [fontname="Helvetica", fontsize=10];',
+        '  edge [fontname="Helvetica", fontsize=9];',
+    ]
+    previous_exit: str = ""
+    for op_index, operation in enumerate(model.operations):
+        cluster = f"cluster_op{op_index}"
+        lines.append(f"  subgraph {cluster} {{")
+        lines.append(f'    label="{_dot_escape(operation.name)}";')
+        entry_of_first = ""
+        exit_of_last = ""
+        for pf_index, pfsm in enumerate(operation.pfsms):
+            prefix = f"op{op_index}_pf{pf_index}"
+            check = f"{prefix}_check"
+            accept = f"{prefix}_accept"
+            reject = f"{prefix}_reject"
+            lines.append(
+                f'    {check} [shape=circle, label="{_dot_escape(pfsm.name)}\\nSPEC check"];'
+            )
+            lines.append(f'    {accept} [shape=doublecircle, label="accept"];')
+            lines.append(f'    {reject} [shape=circle, label="reject"];')
+            for transition in pfsm.transitions_spec():
+                label = _dot_escape(f"{transition.kind.value}: {transition.label}")
+                if transition.kind is TransitionKind.SPEC_ACPT:
+                    lines.append(f'    {check} -> {accept} [label="{label}"];')
+                elif transition.kind is TransitionKind.SPEC_REJ:
+                    lines.append(f'    {check} -> {reject} [label="{label}"];')
+                elif transition.kind is TransitionKind.IMPL_REJ:
+                    style = (
+                        'color=grey, label="? (missing)"'
+                        if not transition.exists
+                        else f'label="{label}"'
+                    )
+                    lines.append(f"    {reject} -> {reject} [{style}];")
+                else:  # IMPL_ACPT
+                    lines.append(
+                        f'    {reject} -> {accept} '
+                        f'[style=dashed, color=red, label="{label}"];'
+                    )
+            if pf_index == 0:
+                entry_of_first = check
+            if pf_index > 0:
+                prev_accept = f"op{op_index}_pf{pf_index - 1}_accept"
+                lines.append(f"    {prev_accept} -> {check};")
+            exit_of_last = accept
+        lines.append("  }")
+        if previous_exit:
+            gate = model.gates[op_index - 1]
+            gate_node = f"gate{op_index - 1}"
+            lines.append(
+                f'  {gate_node} [shape=triangle, '
+                f'label="{_dot_escape(gate.description)}"];'
+            )
+            lines.append(f"  {previous_exit} -> {gate_node};")
+            lines.append(f"  {gate_node} -> {entry_of_first};")
+        previous_exit = exit_of_last
+    terminal = "terminal"
+    lines.append(
+        f'  {terminal} [shape=box, style=filled, fillcolor="#ffdddd", '
+        f'label="{_dot_escape(model.final_consequence)}"];'
+    )
+    if previous_exit:
+        lines.append(f"  {previous_exit} -> {terminal};")
+    lines.append("}")
+    return "\n".join(lines)

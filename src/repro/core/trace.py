@@ -1,0 +1,126 @@
+"""Exploit traces: the recorded path of an object through a model.
+
+Traversing a :class:`~repro.core.machine.VulnerabilityModel` produces a
+trace of every pFSM outcome, operation boundary, and propagation-gate
+crossing.  Traces are what benchmarks assert on ("the exploit reached
+Mcode via two hidden paths") and what :mod:`repro.core.render` prints.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .pfsm import PfsmOutcome
+
+__all__ = ["EventKind", "TraceEvent", "ExploitTrace"]
+
+
+class EventKind(enum.Enum):
+    """What a trace event records."""
+
+    OPERATION_START = "operation start"
+    PFSM_STEP = "pFSM step"
+    OPERATION_FOILED = "operation foiled"
+    OPERATION_COMPLETE = "operation complete"
+    GATE_CROSSED = "propagation gate crossed"
+    EXPLOIT_SUCCEEDED = "exploit succeeded"
+    EXPLOIT_FOILED = "exploit foiled"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of a model traversal."""
+
+    kind: EventKind
+    subject: str  # operation/pFSM/gate name
+    detail: str = ""
+    outcome: Optional[PfsmOutcome] = None
+
+
+@dataclass
+class ExploitTrace:
+    """The full record of one model traversal."""
+
+    model_name: str
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        kind: EventKind,
+        subject: str,
+        detail: str = "",
+        outcome: Optional[PfsmOutcome] = None,
+    ) -> None:
+        """Append an event."""
+        self.events.append(TraceEvent(kind, subject, detail, outcome))
+
+    # -- queries ---------------------------------------------------------
+
+    @property
+    def succeeded(self) -> bool:
+        """Did the exploit reach the end of the model?"""
+        return any(e.kind is EventKind.EXPLOIT_SUCCEEDED for e in self.events)
+
+    @property
+    def foiled_at(self) -> Optional[str]:
+        """Name of the pFSM whose reject foiled the exploit, if any."""
+        for event in self.events:
+            if event.kind is EventKind.OPERATION_FOILED:
+                return event.subject
+        return None
+
+    def hidden_path_steps(self) -> List[TraceEvent]:
+        """Events where an object rode the dotted IMPL_ACPT transition."""
+        return [
+            e
+            for e in self.events
+            if e.outcome is not None and e.outcome.via_hidden_path
+        ]
+
+    @property
+    def hidden_path_count(self) -> int:
+        """How many hidden transitions the traversal used."""
+        return len(self.hidden_path_steps())
+
+    def pfsm_outcomes(self) -> List[PfsmOutcome]:
+        """All pFSM step outcomes in order."""
+        return [e.outcome for e in self.events if e.outcome is not None]
+
+    def operations_completed(self) -> List[str]:
+        """Names of operations whose exploitation completed."""
+        return [
+            e.subject
+            for e in self.events
+            if e.kind is EventKind.OPERATION_COMPLETE
+        ]
+
+    # -- rendering --------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Human-readable multi-line trace."""
+        lines = [f"trace of {self.model_name}"]
+        for event in self.events:
+            marker = {
+                EventKind.OPERATION_START: "»",
+                EventKind.PFSM_STEP: " ",
+                EventKind.OPERATION_FOILED: "✗",
+                EventKind.OPERATION_COMPLETE: "✓",
+                EventKind.GATE_CROSSED: "▷",
+                EventKind.EXPLOIT_SUCCEEDED: "!!",
+                EventKind.EXPLOIT_FOILED: "--",
+            }[event.kind]
+            suffix = ""
+            if event.outcome is not None:
+                path = "hidden" if event.outcome.via_hidden_path else (
+                    "accept" if event.outcome.accepted else "reject"
+                )
+                suffix = f" [{path}]"
+            lines.append(f"  {marker} {event.kind.value}: {event.subject}"
+                         f"{' — ' + event.detail if event.detail else ''}{suffix}")
+        return "\n".join(lines)
+
+    def summary(self) -> Tuple[bool, int, Optional[str]]:
+        """``(succeeded, hidden_path_count, foiled_at)``."""
+        return (self.succeeded, self.hidden_path_count, self.foiled_at)

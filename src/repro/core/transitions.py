@@ -1,0 +1,112 @@
+"""States, transitions, and Condition♦Action labels of the pFSM formalism.
+
+Figure 2 of the paper defines the primitive FSM: three states (the SPEC
+check state, the reject state, the accept state) and four transitions:
+
+* ``SPEC_ACPT`` — the specification's accept predicate holds;
+* ``SPEC_REJ`` — the specification's reject predicate holds;
+* ``IMPL_REJ`` — the implementation rejects what the specification
+  rejects (the correct behaviour, drawn solid);
+* ``IMPL_ACPT`` — the implementation *accepts* what the specification
+  rejects (drawn dotted: the hidden path representing the vulnerability).
+
+Transitions carry ``Condition♦Action`` labels; the paper replaces the
+canonical slash with ``♦`` because several examples need slashes in
+filenames.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["StateKind", "TransitionKind", "Label", "Transition", "DIAMOND"]
+
+#: The separator glyph of the paper's transition labels.
+DIAMOND = "♦"  # ♦
+
+
+class StateKind(enum.Enum):
+    """The three states of a primitive FSM (Figure 2)."""
+
+    SPEC_CHECK = "SPEC check state"
+    ACCEPT = "accept state"
+    REJECT = "reject state"
+
+
+class TransitionKind(enum.Enum):
+    """The four transitions of a primitive FSM (Figure 2)."""
+
+    SPEC_ACPT = "SPEC_ACPT"
+    SPEC_REJ = "SPEC_REJ"
+    IMPL_REJ = "IMPL_REJ"
+    IMPL_ACPT = "IMPL_ACPT"
+
+    @property
+    def is_hidden(self) -> bool:
+        """True for the dotted vulnerability transition."""
+        return self is TransitionKind.IMPL_ACPT
+
+    @property
+    def source(self) -> StateKind:
+        """State the transition leaves from."""
+        if self in (TransitionKind.SPEC_ACPT, TransitionKind.SPEC_REJ):
+            return StateKind.SPEC_CHECK
+        return StateKind.REJECT
+
+    @property
+    def target(self) -> StateKind:
+        """State the transition enters."""
+        if self in (TransitionKind.SPEC_ACPT, TransitionKind.IMPL_ACPT):
+            return StateKind.ACCEPT
+        return StateKind.REJECT
+
+
+@dataclass(frozen=True)
+class Label:
+    """A ``Condition♦Action`` transition label.
+
+    Either side may be empty; the paper renders an absent side as ``-``
+    (e.g. the missing-check transition ``-♦-``).
+    """
+
+    condition: str = ""
+    action: str = ""
+
+    def render(self) -> str:
+        """The paper's notation, e.g. ``x > 100 ♦ -``."""
+        left = self.condition or "-"
+        right = self.action or "-"
+        return f"{left} {DIAMOND} {right}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A concrete transition of a concrete pFSM.
+
+    ``exists`` captures the paper's "the transition of IMPL_REJ (marked
+    by ?) does not exist" — a missing check is modeled as a transition
+    that is *absent*, which forces the complementary hidden transition.
+    """
+
+    kind: TransitionKind
+    label: Label
+    exists: bool = True
+
+    @property
+    def is_hidden(self) -> bool:
+        """True for an IMPL_ACPT (dotted) transition."""
+        return self.kind.is_hidden
+
+    def render(self) -> str:
+        """Readable one-line form, marking missing transitions with '?'
+        and hidden ones as dotted."""
+        marker = ""
+        if not self.exists:
+            marker = " [missing: ?]"
+        elif self.is_hidden:
+            marker = " [hidden/dotted]"
+        return f"{self.kind.value}: {self.label}{marker}"

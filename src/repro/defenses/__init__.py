@@ -1,0 +1,39 @@
+"""Defenses: the security checks the paper maps to elementary activities.
+
+Each defense implements one of the three generic pFSM types at one
+elementary-activity archetype; the defense-evaluation harness injects
+them one at a time to demonstrate Observation 1 (any single activity can
+foil the exploit) and the Lemma quantitatively.
+"""
+
+from .bounds_checked import BufferBoundsError, safe_append, safe_memcpy, safe_strcpy
+from .catalog import DEFENSE_CATALOG, Defense, defenses_for_activity
+from .format_guard import (
+    FormatDirectiveError,
+    is_clean,
+    neutralise,
+    reject_directives,
+)
+from .heap_integrity import ChunkAudit, audit_free_list
+from .splitstack import ShadowReturn, ShadowStack
+from .stackguard import CanaryPolicy, TERMINATOR_CANARY
+
+__all__ = [
+    "BufferBoundsError",
+    "safe_append",
+    "safe_memcpy",
+    "safe_strcpy",
+    "DEFENSE_CATALOG",
+    "Defense",
+    "defenses_for_activity",
+    "FormatDirectiveError",
+    "is_clean",
+    "neutralise",
+    "reject_directives",
+    "ChunkAudit",
+    "audit_free_list",
+    "ShadowReturn",
+    "ShadowStack",
+    "CanaryPolicy",
+    "TERMINATOR_CANARY",
+]

@@ -1,0 +1,64 @@
+"""Bounds-checked copy primitives — the activity-2 defense family.
+
+These wrap the raw :mod:`repro.memory.strings` operations with an
+explicit destination capacity, refusing (``BufferBoundsError``) instead
+of overflowing.  They are the executable form of the paper's
+"use boundary-checked string functions (e.g., getns, strncpy)".
+"""
+
+from __future__ import annotations
+
+from ..memory import AddressSpace, strncpy
+
+__all__ = ["BufferBoundsError", "safe_strcpy", "safe_memcpy", "safe_append"]
+
+
+class BufferBoundsError(Exception):
+    """Raised when a checked copy would exceed the destination."""
+
+    def __init__(self, needed: int, capacity: int) -> None:
+        super().__init__(
+            f"copy of {needed} bytes exceeds buffer capacity {capacity}"
+        )
+        self.needed = needed
+        self.capacity = capacity
+
+
+def safe_strcpy(
+    space: AddressSpace, dest: int, dest_size: int, src: bytes, label: str = ""
+) -> int:
+    """strcpy with an explicit capacity: refuses when ``src`` plus its
+    NUL terminator would not fit."""
+    if len(src) + 1 > dest_size:
+        raise BufferBoundsError(len(src) + 1, dest_size)
+    space.write_cstring(dest, src, label=label)
+    return len(src) + 1
+
+
+def safe_memcpy(
+    space: AddressSpace, dest: int, dest_size: int, src: bytes, count: int,
+    label: str = "",
+) -> int:
+    """memcpy with an explicit capacity."""
+    if count > dest_size:
+        raise BufferBoundsError(count, dest_size)
+    payload = src[:count] + b"\x00" * max(0, count - len(src))
+    space.write(dest, payload, label=label)
+    return count
+
+
+def safe_append(
+    space: AddressSpace,
+    dest: int,
+    dest_size: int,
+    used: int,
+    src: bytes,
+    label: str = "",
+) -> int:
+    """Append ``src`` after ``used`` bytes, bounded by ``dest_size``;
+    returns the new used length.  The checked form of NULL HTTPD's
+    incremental ``pPostData += rc`` copy loop."""
+    if used + len(src) > dest_size:
+        raise BufferBoundsError(used + len(src), dest_size)
+    space.write(dest + used, src, label=label)
+    return used + len(src)

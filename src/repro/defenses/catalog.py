@@ -1,0 +1,112 @@
+"""Catalog of the defenses the paper maps to elementary activities.
+
+Observation 1's practical payoff: "each elementary activity provides an
+opportunity to apply a security check."  For the buffer-overflow chain
+the paper names the options explicitly — check the input length at
+activity 1, use boundary-checked string functions (getns, strncpy) at
+activity 2, or deploy return-address protection (StackGuard [15],
+split-stack [16]) at activity 3.
+
+Each catalog entry records which generic pFSM type (Figure 8) the
+defense implements and which elementary-activity archetype it attaches
+to, so the defense-evaluation harness can inject defenses by activity
+and verify the Lemma quantitatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.classification import ActivityKind, PfsmType
+
+__all__ = ["Defense", "DEFENSE_CATALOG", "defenses_for_activity"]
+
+
+@dataclass(frozen=True)
+class Defense:
+    """One deployable security check."""
+
+    name: str
+    description: str
+    implements: PfsmType
+    attaches_to: ActivityKind
+    citation: str = ""
+
+
+DEFENSE_CATALOG: Dict[str, Defense] = {
+    defense.name: defense
+    for defense in [
+        Defense(
+            name="input-length-check",
+            description="validate the input length/range before use",
+            implements=PfsmType.CONTENT_ATTRIBUTE,
+            attaches_to=ActivityKind.GET_INPUT,
+        ),
+        Defense(
+            name="bounds-checked-copy",
+            description="boundary-checked string functions (getns, strncpy)",
+            implements=PfsmType.CONTENT_ATTRIBUTE,
+            attaches_to=ActivityKind.COPY_TO_BUFFER,
+        ),
+        Defense(
+            name="index-range-check",
+            description="two-sided array index validation (0 <= x <= n)",
+            implements=PfsmType.CONTENT_ATTRIBUTE,
+            attaches_to=ActivityKind.USE_AS_INDEX,
+        ),
+        Defense(
+            name="stackguard",
+            description="canary word between locals and the return address",
+            implements=PfsmType.REFERENCE_CONSISTENCY,
+            attaches_to=ActivityKind.TRANSFER_CONTROL,
+            citation="[15] StackGuard",
+        ),
+        Defense(
+            name="split-stack",
+            description="return addresses kept on a protected shadow stack",
+            implements=PfsmType.REFERENCE_CONSISTENCY,
+            attaches_to=ActivityKind.TRANSFER_CONTROL,
+            citation="[16] Xu et al., EASY 2002",
+        ),
+        Defense(
+            name="safe-unlink",
+            description="verify fd->bk == chunk and bk->fd == chunk before unlink",
+            implements=PfsmType.REFERENCE_CONSISTENCY,
+            attaches_to=ActivityKind.HANDLE_ADJACENT_DATA,
+        ),
+        Defense(
+            name="got-consistency-check",
+            description="verify a GOT entry is unchanged before dispatching",
+            implements=PfsmType.REFERENCE_CONSISTENCY,
+            attaches_to=ActivityKind.TRANSFER_CONTROL,
+        ),
+        Defense(
+            name="format-directive-filter",
+            description="reject user input containing format directives",
+            implements=PfsmType.CONTENT_ATTRIBUTE,
+            attaches_to=ActivityKind.GET_INPUT,
+        ),
+        Defense(
+            name="file-type-check",
+            description="verify the object is of the expected type (e.g. a terminal)",
+            implements=PfsmType.OBJECT_TYPE,
+            attaches_to=ActivityKind.ACCESS_OBJECT,
+        ),
+        Defense(
+            name="no-follow-open",
+            description="refuse to follow symlinks in privileged opens",
+            implements=PfsmType.REFERENCE_CONSISTENCY,
+            attaches_to=ActivityKind.CHECK_THEN_USE,
+        ),
+    ]
+}
+
+
+def defenses_for_activity(activity: ActivityKind) -> List[Defense]:
+    """All cataloged defenses attachable to one activity archetype."""
+    return [
+        defense
+        for defense in DEFENSE_CATALOG.values()
+        if defense.attaches_to is activity
+    ]

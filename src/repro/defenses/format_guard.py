@@ -1,0 +1,42 @@
+"""Format-string input filtering — the content check of Table 2's
+rpc.statd row ("does the filename contain format directives?").
+
+Two strategies: reject outright, or neutralise by escaping every ``%``
+so the input prints literally.  Both implement the Content/Attribute
+Check pFSM type at the get-input activity.
+"""
+
+from __future__ import annotations
+
+from ..memory import contains_directives, parse_directives
+
+__all__ = ["FormatDirectiveError", "reject_directives", "neutralise"]
+
+
+class FormatDirectiveError(Exception):
+    """Raised when user input carries format conversion directives."""
+
+    def __init__(self, directives) -> None:
+        shown = ", ".join(d.text for d in directives)
+        super().__init__(f"input contains format directives: {shown}")
+        self.directives = tuple(directives)
+
+
+def reject_directives(user_input: bytes) -> bytes:
+    """Pass the input through only if it holds no conversion directive;
+    raise :class:`FormatDirectiveError` otherwise."""
+    directives = parse_directives(user_input)
+    if directives:
+        raise FormatDirectiveError(directives)
+    return user_input
+
+
+def neutralise(user_input: bytes) -> bytes:
+    """Escape every ``%`` as ``%%`` so the string prints literally even
+    when (incorrectly) used as a format argument."""
+    return user_input.replace(b"%", b"%%")
+
+
+def is_clean(user_input: bytes) -> bool:
+    """Predicate form: no conversion directives present."""
+    return not contains_directives(user_input)

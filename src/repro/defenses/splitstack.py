@@ -1,0 +1,54 @@
+"""Split-stack / shadow return stack (the paper's reference [16],
+Xu, Kalbarczyk, Patel & Iyer, EASY 2002).
+
+Return addresses are duplicated onto a stack the overflowing data path
+cannot reach; on return, the shadow copy is authoritative.  Unlike a
+canary, this *recovers* — the function returns to the legitimate site
+even after the in-memory word was smashed — and also detects the
+tampering, so the event can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..memory import AddressSpace, CallStack, StackFrame
+
+__all__ = ["ShadowStack", "ShadowReturn"]
+
+
+@dataclass(frozen=True)
+class ShadowReturn:
+    """Outcome of a shadow-checked return."""
+
+    returned_to: int
+    tampering_detected: bool
+
+
+@dataclass
+class ShadowStack:
+    """A protected stack of return addresses, paired with a CallStack."""
+
+    _addresses: List[int] = field(default_factory=list)
+
+    def on_call(self, frame: StackFrame) -> None:
+        """Record the saved return address at call time."""
+        self._addresses.append(frame.saved_return_address)
+
+    def on_return(self, space: AddressSpace, frame: StackFrame) -> ShadowReturn:
+        """Resolve the return target: the shadow word wins; a mismatch
+        with the in-memory word is reported as tampering."""
+        if not self._addresses:
+            raise RuntimeError("shadow stack underflow")
+        legitimate = self._addresses.pop()
+        in_memory = space.read_word(frame.return_address_slot)
+        return ShadowReturn(
+            returned_to=legitimate,
+            tampering_detected=in_memory != legitimate,
+        )
+
+    @property
+    def depth(self) -> int:
+        """Current shadow depth."""
+        return len(self._addresses)

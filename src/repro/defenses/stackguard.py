@@ -1,0 +1,61 @@
+"""StackGuard-style canary protection (the paper's reference [15]).
+
+A random canary word is placed between a frame's locals and its saved
+return address; a linear overflow must clobber the canary to reach the
+return word, and the epilogue check aborts before the corrupted return
+executes.  :class:`~repro.memory.stack.CallStack` provides the slot;
+this module supplies canary generation and the policy object used by
+the defense-evaluation harness.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..memory import CallStack, StackFrame
+
+__all__ = ["CanaryPolicy", "TERMINATOR_CANARY"]
+
+#: The classic terminator canary: NUL, CR, LF, -1 — bytes that string
+#: functions cannot write past or reproduce.
+TERMINATOR_CANARY = 0x000AFF0D
+
+
+@dataclass(frozen=True)
+class CanaryPolicy:
+    """Canary selection policy.
+
+    ``random_per_process`` mirrors StackGuard's per-execution random
+    canary; otherwise the terminator canary is used.  Seeded for
+    reproducibility.
+    """
+
+    random_per_process: bool = False
+    seed: int = 0x57AC
+
+    def canary_value(self) -> int:
+        """The canary word for a new process."""
+        if self.random_per_process:
+            return random.Random(self.seed).getrandbits(32)
+        return TERMINATOR_CANARY
+
+    def protect_frame(
+        self,
+        stack: CallStack,
+        function: str,
+        return_address: int,
+        local_buffers,
+    ) -> StackFrame:
+        """Push a frame with this policy's canary installed."""
+        return stack.push_frame(
+            function,
+            return_address=return_address,
+            local_buffers=local_buffers,
+            canary=self.canary_value(),
+        )
+
+    @staticmethod
+    def check(stack: CallStack) -> bool:
+        """Is the innermost frame's canary intact?"""
+        return stack.canary_intact()

@@ -1,0 +1,120 @@
+"""Simulated process memory: the substrate on which exploits execute.
+
+The paper's exploit consequences are memory effects — GOT corruption,
+free-chunk unlink writes, return-address smashes, ``%n`` stores.  This
+package reproduces them on a byte-addressable simulated address space
+with C integer semantics, so FSM models can be validated against
+*executable* exploits rather than prose.
+"""
+
+from .address_space import AddressSpace, MemoryFault, Region, WriteRecord, WORD_SIZE
+from .faults import (
+    CoverageReport,
+    FaultInjector,
+    FaultKind,
+    FaultRecord,
+    measure_detection_coverage,
+)
+from .format_string import (
+    FormatDirective,
+    FormatResult,
+    contains_directives,
+    parse_directives,
+    vsprintf,
+)
+from .got import ControlFlowHijack, GlobalOffsetTable, GotEntry
+from .heap import (
+    BK_OFFSET,
+    CHUNK_HEADER_SIZE,
+    FD_OFFSET,
+    Heap,
+    HeapChunk,
+    HeapCorruptionDetected,
+    HeapError,
+    MIN_CHUNK_SIZE,
+)
+from .integers import (
+    CInt,
+    Int8,
+    Int16,
+    Int32,
+    Int64,
+    UInt8,
+    UInt16,
+    UInt32,
+    UInt64,
+    atoi,
+    int8,
+    int16,
+    int32,
+    int64,
+    strtol,
+    uint8,
+    uint16,
+    uint32,
+    uint64,
+)
+from .process import MCODE_MAGIC, Process
+from .stack import CallStack, StackFrame, StackSmashed
+from .strings import gets, getns, memcpy, memset, strcat, strcpy, strlen, strncpy
+
+__all__ = [
+    "AddressSpace",
+    "MemoryFault",
+    "Region",
+    "WriteRecord",
+    "WORD_SIZE",
+    "CoverageReport",
+    "FaultInjector",
+    "FaultKind",
+    "FaultRecord",
+    "measure_detection_coverage",
+    "FormatDirective",
+    "FormatResult",
+    "contains_directives",
+    "parse_directives",
+    "vsprintf",
+    "ControlFlowHijack",
+    "GlobalOffsetTable",
+    "GotEntry",
+    "Heap",
+    "HeapChunk",
+    "HeapCorruptionDetected",
+    "HeapError",
+    "BK_OFFSET",
+    "FD_OFFSET",
+    "CHUNK_HEADER_SIZE",
+    "MIN_CHUNK_SIZE",
+    "CInt",
+    "Int8",
+    "Int16",
+    "Int32",
+    "Int64",
+    "UInt8",
+    "UInt16",
+    "UInt32",
+    "UInt64",
+    "atoi",
+    "strtol",
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "uint8",
+    "uint16",
+    "uint32",
+    "uint64",
+    "MCODE_MAGIC",
+    "Process",
+    "CallStack",
+    "StackFrame",
+    "StackSmashed",
+    "gets",
+    "getns",
+    "memcpy",
+    "memset",
+    "strcat",
+    "strcpy",
+    "strlen",
+    "strncpy",
+]

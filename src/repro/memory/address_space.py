@@ -1,0 +1,284 @@
+"""A flat, byte-addressable simulated address space.
+
+Every exploit consequence in the paper is a memory effect — overwriting
+the GOT entry of ``setuid()`` (Figure 3), corrupting free-chunk links and
+the GOT entry of ``free()`` (Figure 4), smashing a stack return address
+(GHTTPD #5960), or writing through ``%n`` (rpc.statd #1480).  This module
+provides the substrate on which those effects are reproduced: a sparse
+dictionary of byte values with region bookkeeping, watchpoints, and
+little-endian word access matching the paper's x86 context.
+
+Unlike real memory, the space records which *region* each address belongs
+to, so analyses can detect out-of-bounds writes (the hidden IMPL_ACPT
+path) without preventing them — the point of the model is to let the
+overflow happen and observe its propagation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "MemoryError_",
+    "MemoryFault",
+    "Region",
+    "WriteRecord",
+    "AddressSpace",
+    "WORD_SIZE",
+]
+
+#: Word size in bytes; the paper's platforms (x86/SPARC32) are 32-bit.
+WORD_SIZE = 4
+
+
+class MemoryError_(Exception):
+    """Base class for simulated-memory errors (named to avoid shadowing
+    the builtin :class:`MemoryError`)."""
+
+
+class MemoryFault(MemoryError_):
+    """Raised for accesses to unmapped addresses (a simulated SIGSEGV)."""
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named, mapped range ``[start, start + size)`` of the space."""
+
+    name: str
+    start: int
+    size: int
+    writable: bool = True
+
+    @property
+    def end(self) -> int:
+        """One past the last address of the region."""
+        return self.start + self.size
+
+    def contains(self, address: int) -> bool:
+        """True when ``address`` falls inside the region."""
+        return self.start <= address < self.end
+
+    def overlaps(self, other: "Region") -> bool:
+        """True when the two regions share at least one address."""
+        return self.start < other.end and other.start < self.end
+
+
+@dataclass(frozen=True)
+class WriteRecord:
+    """An audit-trail entry for one write to the space."""
+
+    address: int
+    length: int
+    region: Optional[str]
+    out_of_bounds: bool
+    label: str = ""
+
+
+class AddressSpace:
+    """Sparse byte-addressable memory with region and audit bookkeeping.
+
+    Parameters
+    ----------
+    size:
+        Total span of addressable bytes.  Addresses outside ``[0, size)``
+        fault.  Defaults to a 16 MiB span, ample for the modeled exploits.
+    track_writes:
+        When true (default) every write appends a :class:`WriteRecord`,
+        which the FSM analysis layer uses to observe hidden-path effects.
+    """
+
+    def __init__(self, size: int = 16 * 1024 * 1024, track_writes: bool = True) -> None:
+        if size <= 0:
+            raise ValueError("address space size must be positive")
+        self.size = size
+        self._bytes: Dict[int, int] = {}
+        self._regions: Dict[str, Region] = {}
+        self._track = track_writes
+        self.write_log: List[WriteRecord] = []
+        self._watchpoints: Dict[int, List[Callable[[int, int], None]]] = {}
+
+    # -- region management ----------------------------------------------
+
+    def map_region(
+        self, name: str, start: int, size: int, writable: bool = True
+    ) -> Region:
+        """Register a named region; overlapping an existing one is an error."""
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already mapped")
+        region = Region(name, start, size, writable)
+        if start < 0 or region.end > self.size:
+            raise ValueError(f"region {name!r} exceeds address space")
+        for existing in self._regions.values():
+            if region.overlaps(existing):
+                raise ValueError(
+                    f"region {name!r} overlaps existing region {existing.name!r}"
+                )
+        self._regions[name] = region
+        return region
+
+    def unmap_region(self, name: str) -> None:
+        """Remove a region registration (contents are preserved)."""
+        del self._regions[name]
+
+    def region(self, name: str) -> Region:
+        """Look up a region by name."""
+        return self._regions[name]
+
+    def regions(self) -> Iterator[Region]:
+        """All mapped regions, in ascending start order."""
+        return iter(sorted(self._regions.values(), key=lambda r: r.start))
+
+    def region_at(self, address: int) -> Optional[Region]:
+        """The region containing ``address``, or None if unmapped."""
+        for region in self._regions.values():
+            if region.contains(address):
+                return region
+        return None
+
+    def find_free_range(self, size: int, align: int = WORD_SIZE) -> int:
+        """First-fit search for an unmapped gap of at least ``size`` bytes."""
+        cursor = align
+        for region in self.regions():
+            if cursor + size <= region.start:
+                return cursor
+            cursor = max(cursor, region.end)
+            cursor = (cursor + align - 1) // align * align
+        if cursor + size <= self.size:
+            return cursor
+        raise MemoryError_("no free range large enough")
+
+    # -- watchpoints ------------------------------------------------------
+
+    def add_watchpoint(
+        self, address: int, callback: Callable[[int, int], None]
+    ) -> None:
+        """Invoke ``callback(address, new_byte)`` whenever ``address`` is
+        written.  Used by analyses to observe reference-consistency
+        violations (e.g. a GOT entry changing underneath the program)."""
+        self._watchpoints.setdefault(address, []).append(callback)
+
+    def clear_watchpoints(self) -> None:
+        """Remove all watchpoints."""
+        self._watchpoints.clear()
+
+    # -- byte access -------------------------------------------------------
+
+    def _check_bounds(self, address: int, length: int = 1) -> None:
+        if address < 0 or address + length > self.size:
+            raise MemoryFault(
+                f"access at {address:#x}+{length} outside address space"
+            )
+
+    def read_byte(self, address: int) -> int:
+        """Read one byte (unmapped bytes read as zero-fill)."""
+        self._check_bounds(address)
+        return self._bytes.get(address, 0)
+
+    def write_byte(self, address: int, value: int, label: str = "") -> None:
+        """Write one byte, honouring bookkeeping but not protection —
+        out-of-region writes are recorded, not blocked."""
+        self._check_bounds(address)
+        self._bytes[address] = value & 0xFF
+        region = self.region_at(address)
+        if self._track:
+            self.write_log.append(
+                WriteRecord(
+                    address=address,
+                    length=1,
+                    region=region.name if region else None,
+                    out_of_bounds=region is None,
+                    label=label,
+                )
+            )
+        for callback in self._watchpoints.get(address, ()):
+            callback(address, value & 0xFF)
+
+    def read(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes."""
+        self._check_bounds(address, length)
+        return bytes(self._bytes.get(address + i, 0) for i in range(length))
+
+    def write(self, address: int, data: bytes, label: str = "") -> None:
+        """Write a byte string starting at ``address``."""
+        self._check_bounds(address, len(data))
+        for offset, byte in enumerate(data):
+            self.write_byte(address + offset, byte, label=label)
+
+    # -- word access (little-endian, 32-bit) --------------------------------
+
+    def read_word(self, address: int) -> int:
+        """Read an unsigned 32-bit little-endian word."""
+        return int.from_bytes(self.read(address, WORD_SIZE), "little")
+
+    def write_word(self, address: int, value: int, label: str = "") -> None:
+        """Write an unsigned 32-bit little-endian word."""
+        self.write(
+            address, (value & 0xFFFFFFFF).to_bytes(WORD_SIZE, "little"), label=label
+        )
+
+    # -- strings --------------------------------------------------------------
+
+    def read_cstring(self, address: int, limit: int = 1 << 16) -> bytes:
+        """Read a NUL-terminated C string (without the terminator)."""
+        out = bytearray()
+        cursor = address
+        while len(out) < limit:
+            byte = self.read_byte(cursor)
+            if byte == 0:
+                break
+            out.append(byte)
+            cursor += 1
+        return bytes(out)
+
+    def write_cstring(self, address: int, data: bytes, label: str = "") -> None:
+        """Write ``data`` followed by a NUL terminator."""
+        self.write(address, data + b"\x00", label=label)
+
+    # -- audit helpers ----------------------------------------------------------
+
+    def writes_outside(self, region_name: str) -> List[WriteRecord]:
+        """Writes logged with a label naming ``region_name`` as intent but
+        landing outside it — the raw signal of a buffer overflow."""
+        region = self._regions[region_name]
+        return [
+            record
+            for record in self.write_log
+            if record.label == region_name
+            and not region.contains(record.address)
+        ]
+
+    def overlapping_writes(self, start: int, size: int) -> List[WriteRecord]:
+        """All logged writes that touched ``[start, start + size)``."""
+        return [
+            record
+            for record in self.write_log
+            if record.address < start + size and start < record.address + record.length
+        ]
+
+    def snapshot(self, address: int, length: int) -> Tuple[int, bytes]:
+        """Capture ``(address, bytes)`` for later consistency comparison."""
+        return (address, self.read(address, length))
+
+    def unchanged_since(self, snapshot: Tuple[int, bytes]) -> bool:
+        """True when the snapshotted range holds the same bytes now.
+
+        This is exactly the Reference Consistency Check predicate of the
+        paper's Figure 8 applied to raw memory.
+        """
+        address, data = snapshot
+        return self.read(address, len(data)) == data
+
+
+@dataclass
+class _RegionCursor:
+    """Internal helper for sequential region carving (used by Process)."""
+
+    space: AddressSpace
+    cursor: int = field(default=WORD_SIZE)
+
+    def carve(self, name: str, size: int, writable: bool = True) -> Region:
+        """Map the next ``size`` bytes as region ``name`` and advance."""
+        region = self.space.map_region(name, self.cursor, size, writable)
+        self.cursor = region.end
+        return region

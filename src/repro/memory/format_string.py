@@ -1,0 +1,207 @@
+"""A printf interpreter with ``%n`` — the format-string write primitive.
+
+Format string vulnerabilities (the paper's #1480 rpc.statd, #1387 wu-ftpd,
+#2210 splitvt, #2264 icecast) arise when attacker input is passed as the
+*format* argument: directives like ``%x`` walk the argument list (leaking
+stack words) and ``%n`` stores the number of bytes printed so far through
+the next argument word — which, for a format string on the stack, the
+attacker controls.  That store is how rpc.statd's return address gets
+redirected.
+
+The interpreter models the C varargs convention on a 32-bit stack: when
+the caller supplies fewer arguments than the format consumes, subsequent
+arguments are read from the simulated stack memory at ``vararg_base`` —
+which is also where the format string's own bytes sit, closing the loop
+the real exploit uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from .address_space import AddressSpace, WORD_SIZE
+
+__all__ = [
+    "FormatDirective",
+    "FormatResult",
+    "parse_directives",
+    "contains_directives",
+    "vsprintf",
+]
+
+#: Conversion characters the interpreter understands.
+_CONVERSIONS = "dioxXucsn%"
+
+
+@dataclass(frozen=True)
+class FormatDirective:
+    """One parsed ``%`` directive."""
+
+    text: str  # the full directive, e.g. "%08x"
+    conversion: str  # the conversion character, e.g. "x"
+    width: int = 0
+
+    @property
+    def is_write(self) -> bool:
+        """True for ``%n`` — the directive that writes memory."""
+        return self.conversion == "n"
+
+
+@dataclass
+class FormatResult:
+    """Outcome of interpreting a format string."""
+
+    output: bytes
+    writes: List[int] = field(default_factory=list)  # addresses written by %n
+    words_consumed: int = 0
+
+    @property
+    def wrote_memory(self) -> bool:
+        """True when any ``%n`` store occurred."""
+        return bool(self.writes)
+
+
+def parse_directives(fmt: bytes) -> List[FormatDirective]:
+    """Extract all ``%`` directives from a format string.
+
+    This is the Content/Attribute Check of the paper's Table 2 row for
+    rpc.statd ("Does the filename contain format directives?") made
+    executable: a sanitizer rejects input when this list is non-empty.
+    """
+    directives: List[FormatDirective] = []
+    index = 0
+    length = len(fmt)
+    while index < length:
+        if fmt[index : index + 1] != b"%":
+            index += 1
+            continue
+        start = index
+        index += 1
+        width_digits = b""
+        while index < length and fmt[index : index + 1] in b"0123456789.-+# ":
+            if fmt[index : index + 1].isdigit():
+                width_digits += fmt[index : index + 1]
+            index += 1
+        # length modifiers
+        while index < length and fmt[index : index + 1] in b"hlLqjzt":
+            index += 1
+        if index >= length:
+            break
+        conversion = chr(fmt[index])
+        index += 1
+        if conversion in _CONVERSIONS:
+            directives.append(
+                FormatDirective(
+                    text=fmt[start:index].decode("latin-1"),
+                    conversion=conversion,
+                    width=int(width_digits) if width_digits else 0,
+                )
+            )
+    return [d for d in directives if d.conversion != "%"]
+
+
+def contains_directives(fmt: bytes) -> bool:
+    """True when the string holds any conversion directive (excluding
+    the literal ``%%``)."""
+    return bool(parse_directives(fmt))
+
+
+def vsprintf(
+    space: AddressSpace,
+    fmt: bytes,
+    args: Sequence[Union[int, bytes]] = (),
+    vararg_base: Optional[int] = None,
+) -> FormatResult:
+    """Interpret ``fmt`` with C varargs semantics.
+
+    Parameters
+    ----------
+    space:
+        Address space for ``%s`` dereferences and ``%n`` stores.
+    fmt:
+        The format string (possibly attacker-controlled — the bug).
+    args:
+        Explicitly supplied arguments, consumed first.
+    vararg_base:
+        Stack address from which *excess* argument words are fetched,
+        modeling a varargs walk past the supplied arguments.  Required
+        for the classic exploit where ``%n`` pops an attacker word.
+        When None, excess fetches read as zero and ``%n`` through them
+        faults at address 0 — also a faithful outcome (a crash).
+    """
+    output = bytearray()
+    writes: List[int] = []
+    arg_index = 0
+
+    def next_word() -> int:
+        nonlocal arg_index
+        if arg_index < len(args):
+            value = args[arg_index]
+            arg_index += 1
+            if isinstance(value, bytes):
+                raise TypeError("string argument consumed as integer word")
+            return value & 0xFFFFFFFF
+        # Walk the stack past the supplied arguments.
+        offset = arg_index - len(args)
+        arg_index += 1
+        if vararg_base is None:
+            return 0
+        return space.read_word(vararg_base + offset * WORD_SIZE)
+
+    def next_string() -> bytes:
+        nonlocal arg_index
+        if arg_index < len(args):
+            value = args[arg_index]
+            arg_index += 1
+            if isinstance(value, bytes):
+                return value
+            return space.read_cstring(value & 0xFFFFFFFF)
+        return space.read_cstring(next_word())
+
+    index = 0
+    length = len(fmt)
+    while index < length:
+        byte = fmt[index : index + 1]
+        if byte != b"%":
+            output += byte
+            index += 1
+            continue
+        # Re-parse this single directive.
+        sub = parse_directives(fmt[index:])
+        literal_percent = fmt[index : index + 2] == b"%%"
+        if literal_percent:
+            output += b"%"
+            index += 2
+            continue
+        if not sub or not fmt[index:].startswith(sub[0].text.encode("latin-1")):
+            output += byte
+            index += 1
+            continue
+        directive = sub[0]
+        index += len(directive.text)
+        if directive.conversion in "dioxXuc":
+            word = next_word()
+            if directive.conversion in "di":
+                if word >= 1 << 31:
+                    word -= 1 << 32
+                rendered = str(word)
+            elif directive.conversion == "o":
+                rendered = format(word, "o")
+            elif directive.conversion in "xX":
+                rendered = format(word, directive.conversion)
+            elif directive.conversion == "u":
+                rendered = str(word)
+            else:  # c
+                rendered = chr(word & 0xFF)
+            rendered = rendered.rjust(directive.width)
+            output += rendered.encode("latin-1")
+        elif directive.conversion == "s":
+            output += next_string()
+        elif directive.conversion == "n":
+            target = next_word()
+            space.write_word(target, len(output), label="format-%n")
+            writes.append(target)
+    return FormatResult(
+        output=bytes(output), writes=writes, words_consumed=arg_index
+    )

@@ -1,0 +1,147 @@
+"""Global Offset Table model.
+
+The paper's footnote 4: in position-independent code every absolute symbol
+lives in the GOT; a GOT lookup resolves the callee each time a library
+function is called.  Both headline exploits corrupt a GOT entry —
+``setuid()`` in Sendmail (Figure 3) and ``free()`` in NULL HTTPD
+(Figure 4) — so that the next call to the library function transfers
+control to attacker code (``Mcode``).
+
+The table is backed by the simulated address space: each entry is a
+32-bit function-pointer word at a real simulated address, so heap-unlink
+or integer-overflow writes can corrupt entries *through memory*, not via
+a privileged API.  Loading snapshots the legitimate targets, which is
+what the Reference Consistency Check predicate compares against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from .address_space import AddressSpace, WORD_SIZE
+
+__all__ = ["GotEntry", "GlobalOffsetTable", "ControlFlowHijack"]
+
+
+class ControlFlowHijack(Exception):
+    """Raised when a call dispatches through a corrupted GOT entry.
+
+    Carries the attacker-controlled target so harnesses can confirm that
+    control reached ``Mcode``.
+    """
+
+    def __init__(self, symbol: str, target: int, legitimate: int) -> None:
+        super().__init__(
+            f"call to {symbol} dispatched to {target:#x} "
+            f"(legitimate target {legitimate:#x})"
+        )
+        self.symbol = symbol
+        self.target = target
+        self.legitimate = legitimate
+
+
+@dataclass(frozen=True)
+class GotEntry:
+    """One GOT slot: a symbol name bound to an entry address whose stored
+    word is the function pointer."""
+
+    symbol: str
+    address: int
+    legitimate_target: int
+
+
+class GlobalOffsetTable:
+    """A loader-initialised table of function-pointer words in memory.
+
+    Parameters
+    ----------
+    space:
+        The address space the table lives in.
+    base:
+        Start address for the table region; chosen automatically if None.
+    """
+
+    REGION_NAME = "got"
+
+    def __init__(self, space: AddressSpace, base: Optional[int] = None,
+                 capacity: int = 64) -> None:
+        self.space = space
+        size = capacity * WORD_SIZE
+        if base is None:
+            base = space.find_free_range(size)
+        self.region = space.map_region(self.REGION_NAME, base, size, writable=True)
+        self._entries: Dict[str, GotEntry] = {}
+        self._next_slot = 0
+        self._capacity = capacity
+
+    # -- loader interface -----------------------------------------------
+
+    def load_symbol(self, symbol: str, target: int) -> GotEntry:
+        """Bind ``symbol`` to ``target`` in the next free slot.
+
+        Mirrors program initialisation ("Load addr_setuid to the memory
+        during program initialization" in Figure 3): the legitimate target
+        is recorded for later consistency checks.
+        """
+        if symbol in self._entries:
+            raise ValueError(f"symbol {symbol!r} already loaded")
+        if self._next_slot >= self._capacity:
+            raise ValueError("GOT is full")
+        address = self.region.start + self._next_slot * WORD_SIZE
+        self._next_slot += 1
+        self.space.write_word(address, target, label=self.REGION_NAME)
+        entry = GotEntry(symbol, address, target)
+        self._entries[symbol] = entry
+        return entry
+
+    def entry(self, symbol: str) -> GotEntry:
+        """The entry record for ``symbol``."""
+        return self._entries[symbol]
+
+    def entry_address(self, symbol: str) -> int:
+        """Address of the GOT slot for ``symbol`` (what the paper writes
+        as ``&addr_setuid`` / ``&addr_free``)."""
+        return self._entries[symbol].address
+
+    def symbols(self) -> Iterator[str]:
+        """All loaded symbol names."""
+        return iter(self._entries)
+
+    # -- runtime interface ------------------------------------------------
+
+    def current_target(self, symbol: str) -> int:
+        """The function pointer currently stored for ``symbol`` — read
+        from memory, so corruption through any write primitive shows up."""
+        return self.space.read_word(self._entries[symbol].address)
+
+    def is_consistent(self, symbol: str) -> bool:
+        """Reference Consistency Check: is the stored pointer still the
+        loader-bound target?  (pFSM3 of Figure 3 / pFSM4 of Figure 4.)"""
+        entry = self._entries[symbol]
+        return self.current_target(symbol) == entry.legitimate_target
+
+    def call(self, symbol: str, check_consistency: bool = False) -> int:
+        """Dispatch a call through the GOT.
+
+        Returns the legitimate target when the entry is intact.  When the
+        entry has been corrupted the behaviour models the two arms of
+        pFSM3/pFSM4:
+
+        * ``check_consistency=False`` (the real 2003 implementations) —
+          the hidden IMPL_ACPT transition: control transfers to the
+          attacker target, signalled by :class:`ControlFlowHijack`.
+        * ``check_consistency=True`` (the predicate's IMPL_REJ arm) —
+          the call is refused with :class:`ReferenceViolation` semantics
+          via ``ValueError``, foiling the exploit.
+        """
+        entry = self._entries[symbol]
+        target = self.current_target(symbol)
+        if target == entry.legitimate_target:
+            return target
+        if check_consistency:
+            raise ValueError(
+                f"GOT entry for {symbol} changed "
+                f"({entry.legitimate_target:#x} -> {target:#x}); call refused"
+            )
+        raise ControlFlowHijack(symbol, target, entry.legitimate_target)

@@ -1,0 +1,372 @@
+"""A dlmalloc-style heap with doubly-linked free chunks and the unlink
+write primitive.
+
+Figure 4 of the paper turns on GNU libc's free-chunk bookkeeping: free
+chunks carry forward (``fd``) and backward (``bk``) links *inside the
+chunk itself*, and consolidating a freed buffer with an adjacent free
+chunk executes the unlink macro::
+
+    B->fd->bk = B->bk
+    B->bk->fd = B->fd
+
+When a heap overflow has replaced ``B->fd`` and ``B->bk`` with attacker
+values, the first assignment becomes an arbitrary 4-byte write — the
+paper's attacker sets ``B->fd = &addr_free - (offset of field bk)`` and
+``B->bk = Mcode`` so the GOT entry of ``free()`` ends up pointing at the
+malicious code.
+
+This module reproduces that machinery faithfully enough that the exploit
+*executes*: the free list is threaded through simulated memory (a
+sentinel bin plus per-chunk ``fd``/``bk`` words), consolidation reads the
+links back from memory, and the unlink writes go through the address
+space where they can land on a GOT entry.
+
+Simplifications relative to 2003 glibc, none of which affect the modeled
+behaviour: a single free bin instead of size-segregated bins; forward
+(next-chunk) consolidation only; the in-use flag lives in bit 0 of the
+chunk's own size word rather than the successor's ``PREV_INUSE`` bit.
+
+Chunk layout (offsets from the chunk start)::
+
+    +0   size word (chunk size | IN_USE bit)
+    +4   (reserved, matches dlmalloc's prev_size slot)
+    +8   user data ...          when free: fd link
+    +12  user data ...          when free: bk link
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .address_space import AddressSpace
+
+__all__ = [
+    "Heap",
+    "HeapChunk",
+    "HeapError",
+    "HeapCorruptionDetected",
+    "CHUNK_HEADER_SIZE",
+    "FD_OFFSET",
+    "BK_OFFSET",
+    "MIN_CHUNK_SIZE",
+]
+
+#: Bytes of per-chunk metadata preceding user data.
+CHUNK_HEADER_SIZE = 8
+#: Offset of the forward link within a free chunk.
+FD_OFFSET = 8
+#: Offset of the backward link within a free chunk (the paper's
+#: "offset of field bk").
+BK_OFFSET = 12
+#: Smallest chunk: header + room for fd/bk.
+MIN_CHUNK_SIZE = 16
+
+_IN_USE = 0x1
+_SIZE_MASK = ~0x7 & 0xFFFFFFFF
+
+
+class HeapError(Exception):
+    """Allocator usage or state error (double free, bad pointer, OOM)."""
+
+
+class HeapCorruptionDetected(Exception):
+    """Raised by the safe-unlink integrity check when free-list links do
+    not satisfy ``fd->bk == chunk and bk->fd == chunk`` — the defense the
+    paper's pFSM3 (Figure 4) calls for but 2003 glibc lacked."""
+
+
+def _align(size: int) -> int:
+    return (size + 7) // 8 * 8
+
+
+@dataclass(frozen=True)
+class HeapChunk:
+    """A bookkeeping view of one chunk; all state of record is in memory."""
+
+    address: int  # chunk start (header)
+    size: int  # total size including header
+
+    @property
+    def user_address(self) -> int:
+        """Address returned to callers of malloc."""
+        return self.address + CHUNK_HEADER_SIZE
+
+    @property
+    def user_size(self) -> int:
+        """Usable bytes."""
+        return self.size - CHUNK_HEADER_SIZE
+
+    @property
+    def fd_address(self) -> int:
+        """Address of the forward-link word (valid when free)."""
+        return self.address + FD_OFFSET
+
+    @property
+    def bk_address(self) -> int:
+        """Address of the backward-link word (valid when free)."""
+        return self.address + BK_OFFSET
+
+
+class Heap:
+    """First-fit allocator over a region of the simulated address space.
+
+    Parameters
+    ----------
+    space:
+        Backing address space.
+    base:
+        Region start; chosen automatically if None.
+    size:
+        Region capacity in bytes.
+    check_unlink:
+        When true, ``free`` runs the safe-unlink integrity check before
+        consolidating (the hardened allocator; foils the Figure 4
+        exploit).  Default false, matching the 2003 implementation.
+    """
+
+    REGION_NAME = "heap"
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        base: Optional[int] = None,
+        size: int = 1024 * 1024,
+        check_unlink: bool = False,
+    ) -> None:
+        self.space = space
+        if base is None:
+            base = space.find_free_range(size, align=8)
+        self.region = space.map_region(self.REGION_NAME, base, size)
+        self.check_unlink = check_unlink
+        # Sentinel bin: a pseudo-chunk whose fd/bk delimit the circular
+        # free list.  Lives at the region start, in memory.
+        self._bin = base
+        space.write_word(self._bin + FD_OFFSET, self._bin, label=self.REGION_NAME)
+        space.write_word(self._bin + BK_OFFSET, self._bin, label=self.REGION_NAME)
+        self._wilderness = base + MIN_CHUNK_SIZE
+        self._allocated: dict[int, int] = {}  # user_address -> chunk size
+
+    # -- raw word helpers ------------------------------------------------
+
+    def _read_size_word(self, chunk_address: int) -> int:
+        return self.space.read_word(chunk_address)
+
+    def _chunk_size(self, chunk_address: int) -> int:
+        return self._read_size_word(chunk_address) & _SIZE_MASK
+
+    def _chunk_in_use(self, chunk_address: int) -> bool:
+        return bool(self._read_size_word(chunk_address) & _IN_USE)
+
+    def _write_header(self, chunk_address: int, size: int, in_use: bool) -> None:
+        word = (size & _SIZE_MASK) | (_IN_USE if in_use else 0)
+        self.space.write_word(chunk_address, word, label=self.REGION_NAME)
+
+    # -- free-list plumbing (threaded through memory) ----------------------
+
+    def _fd(self, chunk_address: int) -> int:
+        return self.space.read_word(chunk_address + FD_OFFSET)
+
+    def _bk(self, chunk_address: int) -> int:
+        return self.space.read_word(chunk_address + BK_OFFSET)
+
+    def _link_after_bin(self, chunk_address: int) -> None:
+        """Insert a chunk at the head of the circular free list."""
+        head = self._fd(self._bin)
+        self.space.write_word(
+            chunk_address + FD_OFFSET, head, label=self.REGION_NAME
+        )
+        self.space.write_word(
+            chunk_address + BK_OFFSET, self._bin, label=self.REGION_NAME
+        )
+        self.space.write_word(self._bin + FD_OFFSET, chunk_address,
+                              label=self.REGION_NAME)
+        self.space.write_word(head + BK_OFFSET, chunk_address,
+                              label=self.REGION_NAME)
+
+    def _unlink(self, chunk_address: int) -> None:
+        """The dlmalloc unlink macro, executed against memory.
+
+        With intact links this removes the chunk from the free list.
+        With attacker-corrupted links, ``fd->bk = bk`` is an arbitrary
+        write — the Figure 4 primitive.
+        """
+        fd = self._fd(chunk_address)
+        bk = self._bk(chunk_address)
+        if self.check_unlink:
+            fd_bk = self.space.read_word(fd + BK_OFFSET)
+            bk_fd = self.space.read_word(bk + FD_OFFSET)
+            if fd_bk != chunk_address or bk_fd != chunk_address:
+                raise HeapCorruptionDetected(
+                    f"corrupted double-linked list at chunk {chunk_address:#x}: "
+                    f"fd->bk={fd_bk:#x} bk->fd={bk_fd:#x}"
+                )
+        # B->fd->bk = B->bk
+        self.space.write_word(fd + BK_OFFSET, bk, label="unlink")
+        # B->bk->fd = B->fd
+        self.space.write_word(bk + FD_OFFSET, fd, label="unlink")
+
+    def free_list(self, max_hops: int = 1024) -> List[int]:
+        """Chunk addresses on the free list, walked through memory.
+
+        ``max_hops`` bounds the walk because corrupted links may cycle.
+        """
+        chunks: List[int] = []
+        cursor = self._fd(self._bin)
+        hops = 0
+        while cursor != self._bin and hops < max_hops:
+            chunks.append(cursor)
+            try:
+                cursor = self._fd(cursor)
+            except Exception:
+                # A corrupted link walked off the address space — the
+                # walk ends where a real traversal would fault.
+                break
+            hops += 1
+        return chunks
+
+    # -- allocation interface ------------------------------------------------
+
+    def malloc(self, request: int) -> int:
+        """Allocate ``request`` usable bytes; returns the user address.
+
+        Note that ``request`` is interpreted as C ``size_t`` does *not*
+        happen here — callers model their own size arithmetic (NULL
+        HTTPD computes ``contentLen + 1024`` in a signed int before
+        calling the allocator, which is exactly where its bug lives).
+        """
+        if request < 0:
+            raise HeapError(f"malloc of negative size {request}")
+        size = max(_align(request + CHUNK_HEADER_SIZE), MIN_CHUNK_SIZE)
+        chunk = self._take_from_free_list(size) or self._extend_wilderness(size)
+        self._write_header(chunk.address, chunk.size, in_use=True)
+        self._allocated[chunk.user_address] = chunk.size
+        return chunk.user_address
+
+    def calloc(self, count: int, element_size: int) -> int:
+        """Allocate and zero ``count * element_size`` bytes."""
+        total = count * element_size
+        address = self.malloc(total)
+        if total > 0:
+            self.space.write(address, b"\x00" * total, label=self.REGION_NAME)
+        return address
+
+    def _take_from_free_list(self, size: int) -> Optional[HeapChunk]:
+        for chunk_address in self.free_list():
+            chunk_size = self._chunk_size(chunk_address)
+            if chunk_size >= size:
+                self._unlink(chunk_address)
+                remainder = chunk_size - size
+                if remainder >= MIN_CHUNK_SIZE:
+                    split_address = chunk_address + size
+                    self._write_header(split_address, remainder, in_use=False)
+                    self._link_after_bin(split_address)
+                    chunk_size = size
+                return HeapChunk(chunk_address, chunk_size)
+        return None
+
+    def _extend_wilderness(self, size: int) -> HeapChunk:
+        address = self._wilderness
+        if address + size > self.region.end:
+            raise HeapError("out of heap memory")
+        self._wilderness += size
+        return HeapChunk(address, size)
+
+    def free(self, user_address: int) -> None:
+        """Release an allocation, consolidating forward.
+
+        If the physically-next chunk is free it is unlinked from the free
+        list first — reading its ``fd``/``bk`` from memory.  A preceding
+        overflow that reached into that chunk's links turns this step
+        into the arbitrary write of Figure 4.
+        """
+        if user_address not in self._allocated:
+            raise HeapError(f"free of unallocated pointer {user_address:#x}")
+        chunk_address = user_address - CHUNK_HEADER_SIZE
+        if not self._chunk_in_use(chunk_address):
+            raise HeapError(f"double free at {user_address:#x}")
+        del self._allocated[user_address]
+        size = self._chunk_size(chunk_address)
+
+        next_address = chunk_address + size
+        if (
+            next_address + MIN_CHUNK_SIZE <= self._wilderness
+            and not self._chunk_in_use(next_address)
+        ):
+            next_size = self._chunk_size(next_address)
+            self._unlink(next_address)
+            size += next_size
+
+        self._write_header(chunk_address, size, in_use=False)
+        self._link_after_bin(chunk_address)
+
+    # -- inspection ------------------------------------------------------------
+
+    def allocation_size(self, user_address: int) -> int:
+        """Usable size of a live allocation (for overflow detection)."""
+        return self._allocated[user_address] - CHUNK_HEADER_SIZE
+
+    def allocations(self) -> Iterator[int]:
+        """User addresses of live allocations."""
+        return iter(self._allocated)
+
+    def chunk_for(self, user_address: int) -> HeapChunk:
+        """Bookkeeping view of the chunk backing ``user_address``."""
+        chunk_address = user_address - CHUNK_HEADER_SIZE
+        return HeapChunk(chunk_address, self._chunk_size(chunk_address))
+
+    def next_physical_chunk(self, user_address: int) -> Optional[HeapChunk]:
+        """The chunk physically following an allocation, if any — 'chunk
+        B' in Figure 4's heap layout."""
+        chunk = self.chunk_for(user_address)
+        next_address = chunk.address + chunk.size
+        if next_address >= self._wilderness:
+            return None
+        return HeapChunk(next_address, self._chunk_size(next_address))
+
+    def describe_layout(self, max_chunks: int = 32) -> str:
+        """Textual heap map — the left panel of the paper's Figure 4a.
+
+        Walks the chunks physically from the first allocation to the
+        wilderness edge, annotating size, in-use state, and (for free
+        chunks) the fd/bk links read from memory.
+        """
+        lines = ["heap layout (physical order):"]
+        cursor = self.region.start + MIN_CHUNK_SIZE  # past the bin sentinel
+        shown = 0
+        while cursor < self._wilderness and shown < max_chunks:
+            size = self._chunk_size(cursor)
+            if size < MIN_CHUNK_SIZE:
+                lines.append(f"  {cursor:#x}: corrupt size word "
+                             f"({self._read_size_word(cursor):#x})")
+                break
+            if self._chunk_in_use(cursor):
+                lines.append(f"  {cursor:#x}: chunk size={size} IN USE")
+            else:
+                lines.append(
+                    f"  {cursor:#x}: chunk size={size} free "
+                    f"fd={self._fd(cursor):#x} bk={self._bk(cursor):#x}"
+                )
+            cursor += size
+            shown += 1
+        lines.append(f"  {self._wilderness:#x}: wilderness")
+        return "\n".join(lines)
+
+    def links_intact(self) -> bool:
+        """Global Reference Consistency Check over the free list: every
+        free chunk satisfies ``fd->bk == chunk and bk->fd == chunk``.
+
+        This is pFSM3 of Figure 4 ("Are free-chunk links unchanged?") as
+        a whole-heap predicate.
+        """
+        for chunk_address in self.free_list():
+            try:
+                fd = self._fd(chunk_address)
+                bk = self._bk(chunk_address)
+                if self.space.read_word(fd + BK_OFFSET) != chunk_address:
+                    return False
+                if self.space.read_word(bk + FD_OFFSET) != chunk_address:
+                    return False
+            except Exception:
+                return False
+        return True

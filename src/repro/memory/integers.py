@@ -1,0 +1,386 @@
+"""C integer semantics for exploit modeling.
+
+The vulnerabilities studied in the paper (notably Sendmail #3163, FreeBSD
+#5493, rsync #3958, and NULL HTTPD's negative ``contentLen``) hinge on the
+difference between mathematical integers and fixed-width two's-complement
+machine integers.  This module provides value types that reproduce C's
+wraparound, truncation, and signed/unsigned reinterpretation exactly, so
+application models can exhibit the same overflow behaviour as the original
+C code.
+
+The types are immutable value objects: arithmetic returns new instances and
+never raises on overflow (C semantics for unsigned; the de-facto wraparound
+semantics of the 2003-era compilers the paper's applications were built
+with for signed).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+__all__ = [
+    "CInt",
+    "Int8",
+    "Int16",
+    "Int32",
+    "Int64",
+    "UInt8",
+    "UInt16",
+    "UInt32",
+    "UInt64",
+    "int32",
+    "uint32",
+    "int16",
+    "uint16",
+    "int8",
+    "uint8",
+    "int64",
+    "uint64",
+    "atoi",
+    "strtol",
+]
+
+_IntLike = Union[int, "CInt"]
+
+
+class CInt:
+    """A fixed-width two's-complement integer with C arithmetic.
+
+    Subclasses fix :attr:`BITS` and :attr:`SIGNED`.  All arithmetic wraps
+    modulo ``2**BITS`` and reinterprets the result in the type's range, as
+    a C compiler of the paper's era would.
+    """
+
+    BITS: int = 32
+    SIGNED: bool = True
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: _IntLike = 0) -> None:
+        self._value = self._wrap(int(value))
+
+    # -- range helpers -------------------------------------------------
+
+    @classmethod
+    def _mask(cls) -> int:
+        return (1 << cls.BITS) - 1
+
+    @classmethod
+    def min_value(cls) -> int:
+        """Smallest representable value of this type."""
+        return -(1 << (cls.BITS - 1)) if cls.SIGNED else 0
+
+    @classmethod
+    def max_value(cls) -> int:
+        """Largest representable value of this type."""
+        if cls.SIGNED:
+            return (1 << (cls.BITS - 1)) - 1
+        return (1 << cls.BITS) - 1
+
+    @classmethod
+    def _wrap(cls, raw: int) -> int:
+        raw &= cls._mask()
+        if cls.SIGNED and raw >= 1 << (cls.BITS - 1):
+            raw -= 1 << cls.BITS
+        return raw
+
+    @classmethod
+    def in_range(cls, value: int) -> bool:
+        """True when ``value`` is representable without wrapping."""
+        return cls.min_value() <= value <= cls.max_value()
+
+    @classmethod
+    def would_overflow(cls, value: int) -> bool:
+        """True when converting ``value`` changes its mathematical value."""
+        return not cls.in_range(value)
+
+    # -- value access --------------------------------------------------
+
+    @property
+    def value(self) -> int:
+        """The represented value as a Python int."""
+        return self._value
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __index__(self) -> int:
+        return self._value
+
+    def __bool__(self) -> bool:
+        return self._value != 0
+
+    # -- conversions ---------------------------------------------------
+
+    def cast(self, target: type) -> "CInt":
+        """Reinterpret/truncate this value as another C integer type.
+
+        Mirrors a C cast: the bit pattern is truncated to the target width
+        and reinterpreted under the target's signedness.
+        """
+        return target(self._value)
+
+    def as_unsigned(self) -> int:
+        """The raw bit pattern read as an unsigned integer."""
+        return self._value & self._mask()
+
+    def to_bytes_le(self) -> bytes:
+        """Little-endian byte representation (the paper's x86 context)."""
+        return self.as_unsigned().to_bytes(self.BITS // 8, "little")
+
+    @classmethod
+    def from_bytes_le(cls, data: bytes) -> "CInt":
+        """Build a value from little-endian bytes (must match width)."""
+        if len(data) != cls.BITS // 8:
+            raise ValueError(
+                f"{cls.__name__} needs {cls.BITS // 8} bytes, got {len(data)}"
+            )
+        return cls(int.from_bytes(data, "little"))
+
+    # -- arithmetic (wrapping) ------------------------------------------
+
+    def _coerce(self, other: _IntLike) -> int:
+        if isinstance(other, CInt):
+            return other._value
+        return int(other)
+
+    def __add__(self, other: _IntLike) -> "CInt":
+        return type(self)(self._value + self._coerce(other))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: _IntLike) -> "CInt":
+        return type(self)(self._value - self._coerce(other))
+
+    def __rsub__(self, other: _IntLike) -> "CInt":
+        return type(self)(self._coerce(other) - self._value)
+
+    def __mul__(self, other: _IntLike) -> "CInt":
+        return type(self)(self._value * self._coerce(other))
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other: _IntLike) -> "CInt":
+        divisor = self._coerce(other)
+        if divisor == 0:
+            raise ZeroDivisionError("C integer division by zero")
+        # C division truncates toward zero, unlike Python floor division.
+        quotient = abs(self._value) // abs(divisor)
+        if (self._value < 0) != (divisor < 0):
+            quotient = -quotient
+        return type(self)(quotient)
+
+    def __mod__(self, other: _IntLike) -> "CInt":
+        divisor = self._coerce(other)
+        if divisor == 0:
+            raise ZeroDivisionError("C integer modulo by zero")
+        remainder = abs(self._value) % abs(divisor)
+        if self._value < 0:
+            remainder = -remainder
+        return type(self)(remainder)
+
+    def __neg__(self) -> "CInt":
+        return type(self)(-self._value)
+
+    def __lshift__(self, other: _IntLike) -> "CInt":
+        return type(self)(self._value << self._coerce(other))
+
+    def __rshift__(self, other: _IntLike) -> "CInt":
+        # Arithmetic shift for signed, logical for unsigned (C behaviour).
+        if self.SIGNED:
+            return type(self)(self._value >> self._coerce(other))
+        return type(self)(self.as_unsigned() >> self._coerce(other))
+
+    def __and__(self, other: _IntLike) -> "CInt":
+        return type(self)(self.as_unsigned() & (self._coerce(other) & self._mask()))
+
+    def __or__(self, other: _IntLike) -> "CInt":
+        return type(self)(self.as_unsigned() | (self._coerce(other) & self._mask()))
+
+    def __xor__(self, other: _IntLike) -> "CInt":
+        return type(self)(self.as_unsigned() ^ (self._coerce(other) & self._mask()))
+
+    def __invert__(self) -> "CInt":
+        return type(self)(~self._value)
+
+    # -- comparisons (by represented value) ------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (CInt, int)):
+            return self._value == self._coerce(other)  # type: ignore[arg-type]
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __lt__(self, other: _IntLike) -> bool:
+        return self._value < self._coerce(other)
+
+    def __le__(self, other: _IntLike) -> bool:
+        return self._value <= self._coerce(other)
+
+    def __gt__(self, other: _IntLike) -> bool:
+        return self._value > self._coerce(other)
+
+    def __ge__(self, other: _IntLike) -> bool:
+        return self._value >= self._coerce(other)
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._value})"
+
+
+class Int8(CInt):
+    """Signed 8-bit integer (C ``char``)."""
+
+    BITS = 8
+    SIGNED = True
+
+
+class UInt8(CInt):
+    """Unsigned 8-bit integer (C ``unsigned char``)."""
+
+    BITS = 8
+    SIGNED = False
+
+
+class Int16(CInt):
+    """Signed 16-bit integer (C ``short``)."""
+
+    BITS = 16
+    SIGNED = True
+
+
+class UInt16(CInt):
+    """Unsigned 16-bit integer (C ``unsigned short``)."""
+
+    BITS = 16
+    SIGNED = False
+
+
+class Int32(CInt):
+    """Signed 32-bit integer (C ``int`` on the paper's platforms)."""
+
+    BITS = 32
+    SIGNED = True
+
+
+class UInt32(CInt):
+    """Unsigned 32-bit integer (C ``unsigned int`` / ``size_t``)."""
+
+    BITS = 32
+    SIGNED = False
+
+
+class Int64(CInt):
+    """Signed 64-bit integer (C ``long long``)."""
+
+    BITS = 64
+    SIGNED = True
+
+
+class UInt64(CInt):
+    """Unsigned 64-bit integer (C ``unsigned long long``)."""
+
+    BITS = 64
+    SIGNED = False
+
+
+def int8(value: _IntLike) -> Int8:
+    """Shorthand constructor for :class:`Int8`."""
+    return Int8(value)
+
+
+def uint8(value: _IntLike) -> UInt8:
+    """Shorthand constructor for :class:`UInt8`."""
+    return UInt8(value)
+
+
+def int16(value: _IntLike) -> Int16:
+    """Shorthand constructor for :class:`Int16`."""
+    return Int16(value)
+
+
+def uint16(value: _IntLike) -> UInt16:
+    """Shorthand constructor for :class:`UInt16`."""
+    return UInt16(value)
+
+
+def int32(value: _IntLike) -> Int32:
+    """Shorthand constructor for :class:`Int32`."""
+    return Int32(value)
+
+
+def uint32(value: _IntLike) -> UInt32:
+    """Shorthand constructor for :class:`UInt32`."""
+    return UInt32(value)
+
+
+def int64(value: _IntLike) -> Int64:
+    """Shorthand constructor for :class:`Int64`."""
+    return Int64(value)
+
+
+def uint64(value: _IntLike) -> UInt64:
+    """Shorthand constructor for :class:`UInt64`."""
+    return UInt64(value)
+
+
+def atoi(text: str) -> Int32:
+    """C ``atoi``: parse a decimal prefix into a wrapping 32-bit int.
+
+    This is the conversion through which Sendmail #3163 turns the attacker
+    string ``str_x`` into a (possibly negative, possibly wrapped) array
+    index.  Leading whitespace is skipped, an optional sign is consumed,
+    then the longest decimal digit prefix is read.  Values outside the
+    ``int`` range wrap, matching glibc's 2003 behaviour of unchecked
+    accumulation into a machine register.
+    """
+    index = 0
+    length = len(text)
+    while index < length and text[index] in " \t\n\r\v\f":
+        index += 1
+    sign = 1
+    if index < length and text[index] in "+-":
+        if text[index] == "-":
+            sign = -1
+        index += 1
+    accumulator = Int32(0)
+    saw_digit = False
+    while index < length and text[index].isdigit():
+        saw_digit = True
+        accumulator = accumulator * 10 + int(text[index])
+        index += 1
+    if not saw_digit:
+        return Int32(0)
+    return Int32(sign) * accumulator
+
+
+def strtol(text: str, base: int = 10) -> Int32:
+    """Simplified C ``strtol`` clamped to ``long`` (32-bit on the paper's
+    platforms): saturates instead of wrapping, per the C standard."""
+    text = text.strip()
+    sign = 1
+    if text[:1] in {"+", "-"}:
+        if text[0] == "-":
+            sign = -1
+        text = text[1:]
+    digits = ""
+    valid = "0123456789abcdef"[:base]
+    for char in text:
+        if char.lower() not in valid:
+            break
+        digits += char
+    if not digits:
+        return Int32(0)
+    value = sign * int(digits, base)
+    if value > Int32.max_value():
+        return Int32(Int32.max_value())
+    if value < Int32.min_value():
+        return Int32(Int32.min_value())
+    return Int32(value)

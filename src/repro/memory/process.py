@@ -1,0 +1,147 @@
+"""A simulated process: address space + code + GOT + stack + heap.
+
+Application models (``repro.apps``) run inside a :class:`Process`.  The
+process wires the pieces the paper's exploits traverse:
+
+* a read-only *code* region holding legitimate function entry points,
+* a writable region holding attacker shellcode (``Mcode``) once planted,
+* the GOT, loaded at startup with the symbols the application calls,
+* a downward-growing stack and a dlmalloc-style heap.
+
+The process also exposes the three generic predicates of Figure 8 as
+memory-level queries (type/content checks live with the data; the
+reference-consistency checks live here), so FSM models can bind their
+pFSM conditions to live process state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from .address_space import AddressSpace
+from .got import GlobalOffsetTable
+from .heap import Heap
+from .stack import CallStack
+
+__all__ = ["Process", "MCODE_MAGIC"]
+
+#: Recognisable first word of planted attacker code, used by harnesses to
+#: confirm control-flow arrival.
+MCODE_MAGIC = 0x4D434F44  # "MCOD"
+
+
+@dataclass(frozen=True)
+class _Layout:
+    """Default region sizes for a simulated process."""
+
+    code_size: int = 64 * 1024
+    scratch_size: int = 64 * 1024
+    heap_size: int = 1024 * 1024
+    stack_size: int = 256 * 1024
+
+
+class Process:
+    """A minimal process image for exploit execution.
+
+    Parameters
+    ----------
+    symbols:
+        Library symbols to load into the GOT at startup (each gets a
+        distinct legitimate entry point in the code region).
+    check_unlink:
+        Enable the hardened allocator (safe unlink).
+    """
+
+    def __init__(
+        self,
+        symbols: Iterable[str] = ("setuid", "free", "exit"),
+        check_unlink: bool = False,
+        layout: Optional[_Layout] = None,
+    ) -> None:
+        layout = layout or _Layout()
+        self.space = AddressSpace()
+        cursor = 0x1000
+        self.code = self.space.map_region("code", cursor, layout.code_size,
+                                          writable=False)
+        cursor = self.code.end
+        # The GOT sits below the data/BSS globals, matching the ELF layout
+        # the Sendmail exploit relies on: a *negative* array index from a
+        # global like tTvect reaches the GOT.
+        self.got = GlobalOffsetTable(self.space, base=cursor)
+        cursor = self.got.region.end
+        self.scratch = self.space.map_region("scratch", cursor,
+                                             layout.scratch_size)
+        cursor = self.scratch.end
+        self.heap = Heap(self.space, base=cursor, size=layout.heap_size,
+                         check_unlink=check_unlink)
+        cursor = self.heap.region.end
+        self.stack = CallStack(self.space, base=cursor + layout.stack_size,
+                               size=layout.stack_size)
+
+        self._function_entries: Dict[str, int] = {}
+        entry = self.code.start + 0x100
+        for symbol in symbols:
+            self._function_entries[symbol] = entry
+            self.got.load_symbol(symbol, entry)
+            entry += 0x40
+        self._mcode_address: Optional[int] = None
+        self._scratch_cursor = self.scratch.start
+
+    # -- attacker facilities ------------------------------------------------
+
+    def plant_mcode(self) -> int:
+        """Place attacker code in the scratch region; returns its address.
+
+        The paper calls this ``Mcode`` — the malicious payload both GOT
+        exploits ultimately jump to.
+        """
+        address = self._alloc_scratch(64)
+        self.space.write_word(address, MCODE_MAGIC, label="mcode")
+        self._mcode_address = address
+        return address
+
+    @property
+    def mcode_address(self) -> Optional[int]:
+        """Address of planted attacker code, if any."""
+        return self._mcode_address
+
+    def is_mcode(self, address: int) -> bool:
+        """True when ``address`` points at the planted payload."""
+        return (
+            self._mcode_address is not None
+            and address == self._mcode_address
+            and self.space.read_word(address) == MCODE_MAGIC
+        )
+
+    # -- utility ----------------------------------------------------------------
+
+    def _alloc_scratch(self, size: int) -> int:
+        address = self._scratch_cursor
+        if address + size > self.scratch.end:
+            raise MemoryError("scratch region exhausted")
+        self._scratch_cursor += size
+        return address
+
+    def place_global(self, name: str, size: int) -> int:
+        """Reserve a pseudo-global (e.g. Sendmail's ``tTvect``) in the
+        scratch region and return its address."""
+        return self._alloc_scratch(size)
+
+    def function_entry(self, symbol: str) -> int:
+        """Legitimate entry point of a loaded library function."""
+        return self._function_entries[symbol]
+
+    # -- reference-consistency predicates (Figure 8, third pFSM type) -----------
+
+    def got_consistent(self, symbol: str) -> bool:
+        """Is the GOT entry for ``symbol`` unchanged since load?"""
+        return self.got.is_consistent(symbol)
+
+    def return_address_consistent(self) -> bool:
+        """Is the innermost frame's return address unchanged?"""
+        return self.stack.return_address_intact()
+
+    def heap_links_consistent(self) -> bool:
+        """Are all free-chunk links on the heap intact?"""
+        return self.heap.links_intact()

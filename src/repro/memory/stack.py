@@ -1,0 +1,212 @@
+"""Call-stack model with in-memory return addresses.
+
+The stack buffer overflow chain (GHTTPD #5960 in the paper's Table 2, and
+the classic #6157/#5960/#4479 decomposition of Observation 1) needs a
+stack whose frames hold local buffers *below* a saved return address in
+real simulated memory, so an unchecked ``strcpy`` into a local buffer can
+reach and replace the return word.
+
+Layout (addresses grow upward in our space; the stack grows downward,
+matching x86):
+
+    higher addresses
+        [ caller's frame ... ]
+        [ return address ]        <- frame.return_address_slot
+        [ saved frame pointer ]
+        [ local buffer N ]
+        [ ... ]
+        [ local buffer 0 ]        <- lowest local, closest overflow source
+    lower addresses
+
+A ``strcpy`` into a local buffer with an over-long payload therefore walks
+upward through the saved frame pointer into the return address, exactly
+the smash the paper models with its Reference Consistency pFSM ("Is the
+return address unchanged?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .address_space import AddressSpace, WORD_SIZE
+
+__all__ = ["StackFrame", "CallStack", "StackSmashed"]
+
+
+class StackSmashed(Exception):
+    """Raised on return when the saved return address was overwritten and
+    no protection rejected it — control transfers to the attacker word."""
+
+    def __init__(self, function: str, hijacked_target: int, legitimate: int) -> None:
+        super().__init__(
+            f"return from {function} to {hijacked_target:#x} "
+            f"(saved return address was {legitimate:#x})"
+        )
+        self.function = function
+        self.hijacked_target = hijacked_target
+        self.legitimate = legitimate
+
+
+@dataclass
+class StackFrame:
+    """One activation record carved from the stack region."""
+
+    function: str
+    base: int  # lowest address of the frame (top of used stack)
+    size: int
+    return_address_slot: int
+    saved_return_address: int
+    locals: Dict[str, int] = field(default_factory=dict)
+    local_sizes: Dict[str, int] = field(default_factory=dict)
+    canary_slot: Optional[int] = None
+    canary_value: Optional[int] = None
+
+    def local_address(self, name: str) -> int:
+        """Address of a named local buffer."""
+        return self.locals[name]
+
+    def local_size(self, name: str) -> int:
+        """Declared size of a named local buffer."""
+        return self.local_sizes[name]
+
+
+class CallStack:
+    """A downward-growing call stack in the simulated address space.
+
+    Parameters
+    ----------
+    space:
+        Backing address space.
+    base:
+        *Highest* address of the stack region (the stack grows down from
+        here).  Chosen automatically if None.
+    size:
+        Total stack capacity in bytes.
+    """
+
+    REGION_NAME = "stack"
+
+    def __init__(
+        self, space: AddressSpace, base: Optional[int] = None, size: int = 64 * 1024
+    ) -> None:
+        self.space = space
+        if base is None:
+            start = space.find_free_range(size)
+        else:
+            start = base - size
+        self.region = space.map_region(self.REGION_NAME, start, size)
+        self._top = self.region.end  # grows downward
+        self.frames: List[StackFrame] = []
+
+    # -- frame management ---------------------------------------------------
+
+    def push_frame(
+        self,
+        function: str,
+        return_address: int,
+        local_buffers: Optional[Dict[str, int]] = None,
+        canary: Optional[int] = None,
+    ) -> StackFrame:
+        """Enter ``function``: lay out return address, optional canary,
+        saved frame pointer, and named local buffers (dict of name ->
+        size, declared first = placed highest, i.e. C declaration order).
+        """
+        local_buffers = dict(local_buffers or {})
+        locals_size = sum(local_buffers.values())
+        frame_size = (
+            WORD_SIZE  # return address
+            + WORD_SIZE  # saved frame pointer
+            + (WORD_SIZE if canary is not None else 0)
+            + locals_size
+        )
+        # Word-align.
+        frame_size = (frame_size + WORD_SIZE - 1) // WORD_SIZE * WORD_SIZE
+        new_top = self._top - frame_size
+        if new_top < self.region.start:
+            raise OverflowError(f"stack overflow entering {function}")
+
+        cursor = self._top - WORD_SIZE
+        return_slot = cursor
+        self.space.write_word(return_slot, return_address, label=self.REGION_NAME)
+
+        canary_slot = None
+        if canary is not None:
+            cursor -= WORD_SIZE
+            canary_slot = cursor
+            self.space.write_word(canary_slot, canary, label=self.REGION_NAME)
+
+        cursor -= WORD_SIZE  # saved frame pointer slot (value irrelevant)
+        self.space.write_word(cursor, 0xDEADBEEF, label=self.REGION_NAME)
+
+        locals_map: Dict[str, int] = {}
+        sizes_map: Dict[str, int] = {}
+        for name, buf_size in local_buffers.items():
+            cursor -= buf_size
+            locals_map[name] = cursor
+            sizes_map[name] = buf_size
+
+        frame = StackFrame(
+            function=function,
+            base=new_top,
+            size=frame_size,
+            return_address_slot=return_slot,
+            saved_return_address=return_address,
+            locals=locals_map,
+            local_sizes=sizes_map,
+            canary_slot=canary_slot,
+            canary_value=canary,
+        )
+        self._top = new_top
+        self.frames.append(frame)
+        return frame
+
+    @property
+    def current_frame(self) -> StackFrame:
+        """The innermost frame."""
+        if not self.frames:
+            raise IndexError("no active frames")
+        return self.frames[-1]
+
+    # -- predicates (the pFSM checks) ------------------------------------------
+
+    def return_address_intact(self, frame: Optional[StackFrame] = None) -> bool:
+        """Reference Consistency Check for the return address: is the
+        in-memory word still the saved value?"""
+        frame = frame or self.current_frame
+        return (
+            self.space.read_word(frame.return_address_slot)
+            == frame.saved_return_address
+        )
+
+    def canary_intact(self, frame: Optional[StackFrame] = None) -> bool:
+        """StackGuard's proxy predicate: is the canary word unchanged?
+        True also when the frame has no canary (nothing to violate)."""
+        frame = frame or self.current_frame
+        if frame.canary_slot is None:
+            return True
+        return self.space.read_word(frame.canary_slot) == frame.canary_value
+
+    # -- control flow --------------------------------------------------------------
+
+    def pop_frame(self, check_canary: bool = True) -> int:
+        """Return from the innermost function.
+
+        * Canary present and clobbered (and ``check_canary``): the process
+          aborts — modeled as ``ValueError`` — foiling the exploit
+          (IMPL_REJ of the reference-consistency pFSM).
+        * Return address clobbered, no protection: control transfers to
+          the attacker word — :class:`StackSmashed` (the hidden
+          IMPL_ACPT transition).
+        * Otherwise: the legitimate return address is returned.
+        """
+        frame = self.frames.pop()
+        self._top = frame.base + frame.size
+        if check_canary and not self.canary_intact(frame):
+            raise ValueError(
+                f"stack smashing detected in {frame.function}: canary clobbered"
+            )
+        stored = self.space.read_word(frame.return_address_slot)
+        if stored != frame.saved_return_address:
+            raise StackSmashed(frame.function, stored, frame.saved_return_address)
+        return stored

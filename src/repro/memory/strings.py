@@ -1,0 +1,130 @@
+"""C string and buffer routines over the simulated address space.
+
+The elementary activity "copy the string to a buffer" (Observation 1,
+activity 2 of the buffer-overflow chain) is realised here.  The unchecked
+functions (``strcpy``, ``sprintf_s_append``, ``memcpy`` with an attacker
+length) write past the destination region exactly as their C originals
+would; the bounds-checked variants (``strncpy``, ``snprintf``-style) are
+the defenses the paper cites for that activity (getns/strncpy).
+
+All functions operate on an :class:`~repro.memory.address_space.AddressSpace`
+and label their writes with the destination region name when given, so the
+audit log can attribute out-of-bounds bytes to the responsible copy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .address_space import AddressSpace
+
+__all__ = [
+    "strcpy",
+    "strncpy",
+    "strcat",
+    "memcpy",
+    "memset",
+    "strlen",
+    "gets",
+    "getns",
+]
+
+
+def strlen(space: AddressSpace, address: int) -> int:
+    """Length of the NUL-terminated string at ``address``."""
+    return len(space.read_cstring(address))
+
+
+def strcpy(
+    space: AddressSpace, dest: int, src: bytes, label: str = ""
+) -> int:
+    """Unchecked C ``strcpy``: copies ``src`` plus NUL regardless of the
+    destination's capacity.  Returns the number of bytes written.
+
+    This is the vulnerable copy of the classic stack smash (#5960) — the
+    caller's buffer size never enters the signature.
+    """
+    space.write_cstring(dest, src, label=label)
+    return len(src) + 1
+
+
+def strncpy(
+    space: AddressSpace, dest: int, src: bytes, count: int, label: str = ""
+) -> int:
+    """C ``strncpy``: copies at most ``count`` bytes, zero-padding.
+
+    The paper names ``strncpy`` as the elementary-activity-2 defense for
+    buffer overflows.  Note the C wart is preserved: when ``len(src) >=
+    count`` the result is *not* NUL-terminated.
+    """
+    if count < 0:
+        raise ValueError("strncpy count must be non-negative")
+    payload = src[:count]
+    space.write(dest, payload, label=label)
+    padding = count - len(payload)
+    if padding:
+        space.write(dest + len(payload), b"\x00" * padding, label=label)
+    return count
+
+
+def strcat(space: AddressSpace, dest: int, src: bytes, label: str = "") -> int:
+    """Unchecked C ``strcat``: append ``src`` at the destination's NUL."""
+    offset = strlen(space, dest)
+    space.write_cstring(dest + offset, src, label=label)
+    return offset + len(src) + 1
+
+
+def memcpy(
+    space: AddressSpace, dest: int, src: bytes, count: int, label: str = ""
+) -> int:
+    """C ``memcpy`` with an explicit (attacker-controllable) count.
+
+    ``count`` larger than ``len(src)`` reads zero-fill, mirroring a read
+    past the source; ``count`` is never clamped to the destination.
+    """
+    if count < 0:
+        raise ValueError("memcpy count must be non-negative")
+    payload = src[:count] + b"\x00" * max(0, count - len(src))
+    space.write(dest, payload, label=label)
+    return count
+
+
+def memset(
+    space: AddressSpace, dest: int, byte: int, count: int, label: str = ""
+) -> int:
+    """C ``memset``."""
+    if count < 0:
+        raise ValueError("memset count must be non-negative")
+    space.write(dest, bytes([byte & 0xFF]) * count, label=label)
+    return count
+
+
+def gets(space: AddressSpace, dest: int, line: bytes, label: str = "") -> int:
+    """C ``gets``: the canonical unbounded read into a buffer.
+
+    ``line`` plays the role of stdin input up to the newline; everything
+    is copied, no matter the destination size.
+    """
+    payload = line.split(b"\n", 1)[0]
+    space.write_cstring(dest, payload, label=label)
+    return len(payload)
+
+
+def getns(
+    space: AddressSpace, dest: int, size: int, line: bytes, label: str = ""
+) -> int:
+    """Bounded line read (the ``getns`` the paper cites as a defense for
+    elementary activity 1): copies at most ``size - 1`` bytes + NUL."""
+    if size <= 0:
+        raise ValueError("getns size must be positive")
+    payload = line.split(b"\n", 1)[0][: size - 1]
+    space.write_cstring(dest, payload, label=label)
+    return len(payload)
+
+
+def bounded_copy_fits(dest_size: Optional[int], src_len: int) -> bool:
+    """Predicate form of the content/attribute check for a string copy:
+    ``length(input) <= size(buffer)`` (pFSM2 of Figure 4)."""
+    if dest_size is None:
+        return False
+    return src_len <= dest_size

@@ -1,0 +1,117 @@
+"""The PATH-hijack environment error as a pFSM model — covering Figure
+1's Environment Error category beyond the five studied classes.
+
+* Operation 1, pFSM1 (Content and Attribute Check): the environment's
+  ``PATH`` must contain only trusted system directories before a
+  privileged spawn; the vulnerable utility inherits it unchecked.
+* Gate: an attacker-controlled PATH entry shadows the helper binary.
+* Operation 2, pFSM2 (Reference Consistency Check): the binding between
+  the helper's *name* ("date") and the *binary the loader resolved*
+  must be the intended system binary; the bare implementation executes
+  whatever resolution produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import (
+    Domain,
+    ModelBuilder,
+    PfsmType,
+    Predicate,
+    VulnerabilityModel,
+    attr,
+)
+from ..osmodel.environment import TRUSTED_PATH
+
+__all__ = ["build_model", "exploit_input", "benign_input", "pfsm_domains",
+           "operation_domains"]
+
+OPERATION_1 = "Inherit the caller's environment for the privileged spawn"
+OPERATION_2 = "Execute the resolved helper binary as root"
+
+_trusted_path = attr(
+    "path_entries",
+    Predicate(
+        lambda entries: all(entry in TRUSTED_PATH for entry in entries),
+        "every PATH entry is a trusted system directory",
+    ),
+)
+
+_intended_binary = attr(
+    "resolved_is_intended",
+    Predicate(bool, "the resolved binary is the intended system binary"),
+)
+
+
+def _carry_resolution(result) -> Dict[str, bool]:
+    """Gate: an untrusted leading PATH entry shadows the helper."""
+    entries = result.final_object["path_entries"]
+    shadowed = any(entry not in TRUSTED_PATH for entry in entries)
+    return {"resolved_is_intended": not shadowed}
+
+
+def build_model(sanitize_path: bool = False, verify_binary: bool = False
+                ) -> VulnerabilityModel:
+    """The environment-error model with the two standard fixes."""
+    return (
+        ModelBuilder(
+            "Setuid Utility PATH Hijack (Environment Error)",
+            final_consequence="the attacker's binary runs with uid 0",
+        )
+        .operation(OPERATION_1, obj="the caller's environment")
+        .pfsm(
+            "pFSM1",
+            activity="accept the ambient PATH for command resolution",
+            object_name="PATH",
+            spec=_trusted_path,
+            impl=_trusted_path if sanitize_path else None,
+            action="resolve 'date' through PATH",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+        )
+        .gate("an attacker directory shadows the system binary",
+              carry=_carry_resolution)
+        .operation(OPERATION_2, obj="the resolved binary")
+        .pfsm(
+            "pFSM2",
+            activity="execute the resolved binary with root privilege",
+            object_name="the helper binary",
+            spec=_intended_binary,
+            impl=_intended_binary if verify_binary else None,
+            action="system('date')",
+            check_type=PfsmType.REFERENCE_CONSISTENCY,
+        )
+        .build()
+    )
+
+
+def exploit_input() -> Dict[str, tuple]:
+    """A PATH with the attacker's directory first."""
+    return {"path_entries": ("/tmp/evil", "/bin", "/usr/bin")}
+
+
+def benign_input() -> Dict[str, tuple]:
+    """The standard trusted PATH."""
+    return {"path_entries": ("/bin", "/usr/bin")}
+
+
+def pfsm_domains() -> Dict[str, Domain]:
+    """PATH shapes plus resolution states."""
+    paths = Domain.of(
+        ("/bin", "/usr/bin"),
+        ("/bin",),
+        ("/tmp/evil", "/bin"),
+        ("/home/mallory/bin", "/usr/bin"),
+        (".", "/bin"),
+    ).map(lambda entries: {"path_entries": entries},
+          description="PATH layouts")
+    states = Domain.of({"resolved_is_intended": True},
+                       {"resolved_is_intended": False})
+    return {"pFSM1": paths, "pFSM2": states}
+
+
+def operation_domains() -> Dict[str, Domain]:
+    """Input domains per operation."""
+    domains = pfsm_domains()
+    return {OPERATION_1: domains["pFSM1"], OPERATION_2: domains["pFSM2"]}

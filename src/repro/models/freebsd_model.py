@@ -1,0 +1,97 @@
+"""FreeBSD #5493 (Table 1, row 2) as a pFSM model.
+
+One operation, two pFSMs — the boundary-condition anchoring the Table 1
+analyst used lives in pFSM2:
+
+* pFSM1 (Object Type Check): the supplied length must be interpretable
+  as a small non-negative count, not a sign-flipped huge ``size_t``.
+* pFSM2 (Content and Attribute Check): ``0 <= len <= MAX_REQUEST``; the
+  implementation checks only ``len <= MAX_REQUEST``, so negative
+  lengths flow into the unsigned copy and cross into the credential
+  word.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..apps.freebsd_syscall import MAX_REQUEST
+from ..core import (
+    Domain,
+    ModelBuilder,
+    PfsmType,
+    Predicate,
+    VulnerabilityModel,
+    attr,
+    in_range,
+    less_equal,
+)
+
+__all__ = ["build_model", "exploit_input", "benign_input", "pfsm_domains",
+           "operation_domains"]
+
+OPERATION = "Copy the user request into the kernel buffer"
+
+_non_wrapping = attr(
+    "length",
+    Predicate(lambda n: 0 <= n < 2**31,
+              "length reads the same as signed and as size_t"),
+)
+
+
+def build_model(patched: bool = False) -> VulnerabilityModel:
+    """The #5493 model; ``patched`` installs the two-sided bound."""
+    spec_bound = attr("length", in_range(0, MAX_REQUEST))
+    impl_bound = spec_bound if patched else attr(
+        "length", less_equal(MAX_REQUEST)
+    )
+    return (
+        ModelBuilder(
+            "FreeBSD System Call Signed Integer Buffer Overflow",
+            bugtraq_ids=[5493],
+            final_consequence="adjacent kernel state (ucred) overwritten",
+        )
+        .operation(OPERATION, obj="the length argument")
+        .pfsm(
+            "pFSM1",
+            activity="receive the length argument from user space",
+            object_name="length",
+            spec=_non_wrapping,
+            impl=None,
+            check_type=PfsmType.OBJECT_TYPE,
+        )
+        .pfsm(
+            "pFSM2",
+            activity="bound the copy by the buffer size",
+            object_name="length",
+            spec=spec_bound,
+            impl=impl_bound,
+            action="copyin(data, length as size_t)",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+        )
+        .build()
+    )
+
+
+def exploit_input() -> Dict[str, int]:
+    """A negative length: passes the signed check, wraps unsigned."""
+    return {"length": -1}
+
+
+def benign_input() -> Dict[str, int]:
+    """A well-formed request."""
+    return {"length": 32}
+
+
+def pfsm_domains() -> Dict[str, Domain]:
+    """Boundary probes around 0, MAX_REQUEST, and the sign edges."""
+    lengths = Domain.of(-(2**31), -800, -1, 0, 1, 32, MAX_REQUEST,
+                        MAX_REQUEST + 1, 2**31 - 1).map(
+        lambda n: {"length": n}, description="length records"
+    )
+    return {"pFSM1": lengths, "pFSM2": lengths}
+
+
+def operation_domains() -> Dict[str, Domain]:
+    """Input domain for the single operation."""
+    return {OPERATION: pfsm_domains()["pFSM1"]}

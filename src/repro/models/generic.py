@@ -1,0 +1,195 @@
+"""Figure 8 and Table 2: the three generic pFSM types and the
+classification grid over every studied vulnerability.
+
+Section 6 asks: "Are there a few pFSMs which allow us to model the bulk
+if not all of the studied data?" and answers with three — Object Type
+Check, Content and Attribute Check, Reference Consistency Check.  This
+module provides:
+
+* constructors for the three generic pFSM shapes (:func:`object_type_check`,
+  :func:`content_attribute_check`, :func:`reference_consistency_check`);
+* :func:`generic_operation` — the Figure 8 "typical operation P"
+  encompassing all three predicates;
+* :func:`table2_grid` — the reproduction of Table 2: every pFSM of
+  every prebuilt model, classified by its generic type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core import (
+    Operation,
+    PfsmType,
+    Predicate,
+    PrimitiveFSM,
+    VulnerabilityModel,
+)
+
+__all__ = [
+    "object_type_check",
+    "content_attribute_check",
+    "reference_consistency_check",
+    "generic_operation",
+    "Table2Cell",
+    "table2_grid",
+    "TABLE2_EXPECTED",
+]
+
+
+def object_type_check(
+    name: str,
+    object_name: str,
+    is_expected_type: Predicate,
+    impl: Optional[Predicate] = None,
+    activity: str = "",
+) -> PrimitiveFSM:
+    """An OBJECT TYPE CHECK pFSM (left of Figure 8): is the input object
+    of the type the operation is defined on?"""
+    return PrimitiveFSM(
+        name=name,
+        activity=activity or f"verify the type of {object_name}",
+        object_name=object_name,
+        spec_accepts=is_expected_type,
+        impl_accepts=impl,
+        check_type=PfsmType.OBJECT_TYPE,
+    )
+
+
+def content_attribute_check(
+    name: str,
+    object_name: str,
+    meets_guarantee: Predicate,
+    impl: Optional[Predicate] = None,
+    activity: str = "",
+) -> PrimitiveFSM:
+    """A CONTENT/ATTRIBUTE CHECK pFSM (middle of Figure 8): do the
+    content and attributes of the object meet the security guarantee?"""
+    return PrimitiveFSM(
+        name=name,
+        activity=activity or f"verify content/attributes of {object_name}",
+        object_name=object_name,
+        spec_accepts=meets_guarantee,
+        impl_accepts=impl,
+        check_type=PfsmType.CONTENT_ATTRIBUTE,
+    )
+
+
+def reference_consistency_check(
+    name: str,
+    object_name: str,
+    binding_preserved: Predicate,
+    impl: Optional[Predicate] = None,
+    activity: str = "",
+) -> PrimitiveFSM:
+    """A REFERENCE CONSISTENCY CHECK pFSM (right of Figure 8): is the
+    binding between the object and its reference preserved from check
+    time to use time?"""
+    return PrimitiveFSM(
+        name=name,
+        activity=activity or f"verify the reference binding of {object_name}",
+        object_name=object_name,
+        spec_accepts=binding_preserved,
+        impl_accepts=impl,
+        check_type=PfsmType.REFERENCE_CONSISTENCY,
+    )
+
+
+def generic_operation(
+    type_pred: Predicate,
+    content_pred: Predicate,
+    consistency_pred: Predicate,
+    secure: bool = True,
+    name: str = "Operation P",
+) -> Operation:
+    """The Figure 8 "typical operation P" encompassing all three generic
+    predicates, in check order.  ``secure=False`` drops every
+    implementation check (all three hidden paths open)."""
+    impl = (lambda p: p) if secure else (lambda _p: None)
+    return Operation(
+        name,
+        "the object of operation P",
+        [
+            object_type_check("TYPE", "object", type_pred, impl(type_pred)),
+            content_attribute_check(
+                "CONTENT", "object", content_pred, impl(content_pred)
+            ),
+            reference_consistency_check(
+                "CONSISTENCY", "object", consistency_pred,
+                impl(consistency_pred),
+            ),
+        ],
+    )
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    """One cell of the Table 2 grid: a pFSM of a studied vulnerability,
+    with its generic type and the question it asks."""
+
+    vulnerability: str
+    pfsm_name: str
+    check_type: PfsmType
+    question: str
+
+
+#: The expected Table 2 layout, straight from the paper: vulnerability →
+#: {pFSM name → generic type}.
+TABLE2_EXPECTED: Dict[str, Dict[str, PfsmType]] = {
+    "Sendmail Signed Integer Overflow": {
+        "pFSM1": PfsmType.OBJECT_TYPE,
+        "pFSM2": PfsmType.CONTENT_ATTRIBUTE,
+        "pFSM3": PfsmType.REFERENCE_CONSISTENCY,
+    },
+    "NULL HTTPD Heap Overflow": {
+        "pFSM1": PfsmType.CONTENT_ATTRIBUTE,
+        "pFSM2": PfsmType.CONTENT_ATTRIBUTE,
+        "pFSM3": PfsmType.REFERENCE_CONSISTENCY,
+        "pFSM4": PfsmType.REFERENCE_CONSISTENCY,
+    },
+    "Rwall File Corruption": {
+        "pFSM1": PfsmType.CONTENT_ATTRIBUTE,
+        "pFSM2": PfsmType.OBJECT_TYPE,
+    },
+    "IIS Filename Decoding Vulnerability": {
+        "pFSM1": PfsmType.CONTENT_ATTRIBUTE,
+    },
+    "Xterm File Race Condition": {
+        "pFSM1": PfsmType.CONTENT_ATTRIBUTE,
+        "pFSM2": PfsmType.REFERENCE_CONSISTENCY,
+    },
+    "GHTTPD Buffer Overflow on Stack": {
+        "pFSM1": PfsmType.CONTENT_ATTRIBUTE,
+        "pFSM2": PfsmType.REFERENCE_CONSISTENCY,
+    },
+    "rpc.statd Format String Vulnerability": {
+        "pFSM1": PfsmType.CONTENT_ATTRIBUTE,
+        "pFSM2": PfsmType.REFERENCE_CONSISTENCY,
+    },
+}
+
+
+def table2_grid(
+    models: Dict[str, VulnerabilityModel]
+) -> List[Table2Cell]:
+    """Classify every pFSM of the given models by its generic type.
+
+    ``models`` maps the Table 2 row label to the built model; the cells
+    come from the models' own ``check_type`` annotations, so the grid is
+    derived, not hard-coded.
+    """
+    cells: List[Table2Cell] = []
+    for label, model in models.items():
+        for _operation, pfsm in model.all_pfsms():
+            if pfsm.check_type is None:
+                continue
+            cells.append(
+                Table2Cell(
+                    vulnerability=label,
+                    pfsm_name=pfsm.name,
+                    check_type=pfsm.check_type,
+                    question=pfsm.spec_accepts.description,
+                )
+            )
+    return cells

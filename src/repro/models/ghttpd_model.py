@@ -1,0 +1,127 @@
+"""GHTTPD Log() stack buffer overflow (#5960) — the stack-smash model
+of the paper's extended report [21], summarised in Table 2.
+
+Operation 1 — *Log the request line* (object: the request message):
+
+* pFSM1 (Content and Attribute Check): ``size(message) <= 200`` (the
+  buffer's capacity).  The implementation performs no length check.
+
+Propagation gate — an over-long message walks up the frame and replaces
+the saved return address.
+
+Operation 2 — *Return from Log()* (object: the return address):
+
+* pFSM2 (Reference Consistency Check): the return address must be
+  unchanged; the bare 2002 build performs no check (StackGuard or a
+  split stack would provide the IMPL_REJ arm).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import (
+    Domain,
+    ModelBuilder,
+    PfsmType,
+    Predicate,
+    VulnerabilityModel,
+    attr,
+    length_le,
+)
+
+__all__ = [
+    "build_model",
+    "exploit_input",
+    "benign_input",
+    "pfsm_domains",
+    "operation_domains",
+    "LOG_BUFFER_SIZE",
+]
+
+LOG_BUFFER_SIZE = 200
+
+OPERATION_1 = "Log the request line into temp[200]"
+OPERATION_2 = "Return from Log()"
+
+_fits = attr("message", length_le(LOG_BUFFER_SIZE)).renamed(
+    "size(message) <= 200"
+)
+
+_return_intact = attr(
+    "return_address_unchanged",
+    Predicate(bool, "the return address is unchanged"),
+)
+
+
+def _carry_return_state(result) -> Dict[str, bool]:
+    """Gate: an overflowing copy reaches the return-address slot."""
+    message = result.final_object["message"]
+    return {"return_address_unchanged": len(message) <= LOG_BUFFER_SIZE}
+
+
+def build_model(
+    length_check: bool = False, return_protection: bool = False
+) -> VulnerabilityModel:
+    """The #5960 model; either elementary activity can be given its
+    correct implementation."""
+    return (
+        ModelBuilder(
+            "GHTTPD Log() Function Buffer Overflow",
+            bugtraq_ids=[5960],
+            final_consequence="control transfers to the injected code",
+        )
+        .operation(OPERATION_1, obj="the request message")
+        .pfsm(
+            "pFSM1",
+            activity="copy the request line into the 200-byte buffer",
+            object_name="message",
+            spec=_fits,
+            impl=_fits if length_check else None,
+            action="strcpy(temp, message)",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+        )
+        .gate(
+            "the saved return address now holds an attacker word",
+            carry=_carry_return_state,
+        )
+        .operation(OPERATION_2, obj="the return address")
+        .pfsm(
+            "pFSM2",
+            activity="return through the saved return address",
+            object_name="return address",
+            spec=_return_intact,
+            impl=_return_intact if return_protection else None,
+            action="ret",
+            check_type=PfsmType.REFERENCE_CONSISTENCY,
+        )
+        .build()
+    )
+
+
+def exploit_input() -> Dict[str, bytes]:
+    """An over-long request line."""
+    return {"message": b"GET /" + b"A" * 300 + b" HTTP/1.0"}
+
+
+def benign_input() -> Dict[str, bytes]:
+    """An ordinary request line."""
+    return {"message": b"GET /index.html HTTP/1.0"}
+
+
+def pfsm_domains() -> Dict[str, Domain]:
+    """Message-length probes around the 200-byte boundary."""
+    messages = Domain.byte_strings([0, 1, 100, 199, 200, 201, 240, 512]).map(
+        lambda m: {"message": m}, description="request messages"
+    )
+    states = Domain.of(
+        {"return_address_unchanged": True},
+        {"return_address_unchanged": False},
+    )
+    return {"pFSM1": messages, "pFSM2": states}
+
+
+def operation_domains() -> Dict[str, Domain]:
+    """Input domains per operation."""
+    domains = pfsm_domains()
+    return {OPERATION_1: domains["pFSM1"], OPERATION_2: domains["pFSM2"]}

@@ -1,0 +1,123 @@
+"""icecast #2264 (the format-trio's boundary-condition anchor) as a
+pFSM model.
+
+* Operation 1, pFSM1 (Content and Attribute Check): the *rendered*
+  reply must fit the 256-byte buffer — equivalently, the client string
+  must not contain expanding directives.  No implementation check.
+* Gate: an expanded reply longer than the buffer walks over the saved
+  return address.
+* Operation 2, pFSM2 (Reference Consistency Check): return address
+  unchanged; no implementation check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import (
+    Domain,
+    ModelBuilder,
+    PfsmType,
+    Predicate,
+    VulnerabilityModel,
+    attr,
+)
+from ..memory import AddressSpace, vsprintf
+
+__all__ = ["build_model", "exploit_input", "benign_input", "pfsm_domains",
+           "operation_domains", "rendered_length", "CLIENT_BUFFER_SIZE"]
+
+CLIENT_BUFFER_SIZE = 256
+
+OPERATION_1 = "Format the client string into the reply buffer"
+OPERATION_2 = "Return from print_client"
+
+_scratch = AddressSpace(size=1 << 20)
+
+
+def rendered_length(client_info: bytes) -> int:
+    """Length of the formatted reply (what the buffer must hold)."""
+    return len(vsprintf(_scratch, client_info, args=(),
+                        vararg_base=0x1000).output)
+
+
+_fits_after_expansion = attr(
+    "client_info",
+    Predicate(lambda info: rendered_length(info) <= CLIENT_BUFFER_SIZE,
+              "rendered reply fits the 256-byte buffer"),
+)
+
+_return_intact = attr(
+    "return_address_unchanged",
+    Predicate(bool, "the return address is unchanged"),
+)
+
+
+def _carry_return_state(result) -> Dict[str, bool]:
+    """Gate: an over-long expansion reaches the return slot."""
+    info = result.final_object["client_info"]
+    return {"return_address_unchanged":
+            rendered_length(info) <= CLIENT_BUFFER_SIZE}
+
+
+def build_model(expansion_check: bool = False,
+                return_protection: bool = False) -> VulnerabilityModel:
+    """The #2264 model with optional fixes at either activity."""
+    return (
+        ModelBuilder(
+            "icecast print_client() Format String",
+            bugtraq_ids=[2264],
+            final_consequence="control transfers to the injected code",
+        )
+        .operation(OPERATION_1, obj="the client identification string")
+        .pfsm(
+            "pFSM1",
+            activity="expand directives while formatting the reply",
+            object_name="client_info",
+            spec=_fits_after_expansion,
+            impl=_fits_after_expansion if expansion_check else None,
+            action="strcpy(buf, rendered)",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+        )
+        .gate("the expanded reply overwrites the saved return address",
+              carry=_carry_return_state)
+        .operation(OPERATION_2, obj="the return address")
+        .pfsm(
+            "pFSM2",
+            activity="return through the saved return address",
+            object_name="return address",
+            spec=_return_intact,
+            impl=_return_intact if return_protection else None,
+            action="ret",
+            check_type=PfsmType.REFERENCE_CONSISTENCY,
+        )
+        .build()
+    )
+
+
+def exploit_input() -> Dict[str, bytes]:
+    """A tiny input expanding past the buffer."""
+    return {"client_info": b"%300x" + b"\xef\xbe\xad\xde"}
+
+
+def benign_input() -> Dict[str, bytes]:
+    """An ordinary client identification."""
+    return {"client_info": b"client-007 mp3 stream"}
+
+
+def pfsm_domains() -> Dict[str, Domain]:
+    """Client strings around the expansion boundary, plus return states."""
+    infos = Domain.of(
+        b"short", b"A" * 200, b"A" * 255, b"A" * 257,
+        b"%100x", b"%256x", b"%300x", b"%500d",
+    ).map(lambda info: {"client_info": info},
+          description="client strings")
+    states = Domain.of({"return_address_unchanged": True},
+                       {"return_address_unchanged": False})
+    return {"pFSM1": infos, "pFSM2": states}
+
+
+def operation_domains() -> Dict[str, Domain]:
+    """Input domains per operation."""
+    domains = pfsm_domains()
+    return {OPERATION_1: domains["pFSM1"], OPERATION_2: domains["pFSM2"]}

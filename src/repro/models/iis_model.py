@@ -1,0 +1,114 @@
+"""Figure 7: IIS decodes filenames superfluously after applying security
+checks (Bugtraq #2708).
+
+Object: the percent-encoded CGI filepath, relative to
+``/wwwroot/scripts``.
+
+* pFSM1 (Content and Attribute Check): the *executed* file must reside
+  under ``/wwwroot/scripts`` — equivalently, the fully decoded path
+  must not contain ``../``.  The implementation checks a *different*
+  predicate: "no ``../`` after the **first** decoding".  Because a
+  second decode runs after the check, ``..%252f`` (→ ``..%2f`` →
+  ``../``) is spec-rejected but impl-accepted — the inconsistency the
+  paper draws as the transition from the reject state to the accept
+  state.
+
+This is the one case study where the implementation *does* check
+something (IMPL_REJ exists) but checks the wrong predicate — the model
+therefore has a non-trivial ``impl_accepts`` rather than a missing one.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..apps.iis import IisServer
+from ..core import (
+    Domain,
+    ModelBuilder,
+    PfsmType,
+    Predicate,
+    VulnerabilityModel,
+)
+
+__all__ = [
+    "build_model",
+    "exploit_input",
+    "benign_input",
+    "pfsm_domains",
+    "operation_domains",
+]
+
+OPERATION = "Execute the requested CGI program"
+
+_spec = Predicate(
+    IisServer.spec_safe,
+    "the target file resides in /wwwroot/scripts "
+    "(no '../' in the fully decoded path)",
+)
+
+_impl = Predicate(
+    IisServer.impl_accepts,
+    "no '../' after the first decoding",
+)
+
+
+def build_model(patched: bool = False) -> VulnerabilityModel:
+    """The Figure 7 model.
+
+    ``patched`` makes the implementation check the fully decoded path —
+    the predicate the spec actually requires.
+    """
+    return (
+        ModelBuilder(
+            "IIS Decodes Filenames Superfluously after Applying Security Checks",
+            bugtraq_ids=[2708],
+            final_consequence=(
+                "execute arbitrary programs, even those out of "
+                "/wwwroot/scripts (Nimda's vector)"
+            ),
+        )
+        .operation(OPERATION, obj="the CGI filepath")
+        .pfsm(
+            "pFSM1",
+            activity="decode the filename; check it; decode a second time",
+            object_name="filepath",
+            spec=_spec,
+            impl=_spec if patched else _impl,
+            action="execute the target CGI program",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+        )
+        .build()
+    )
+
+
+def exploit_input() -> str:
+    """The Nimda-style double-encoded traversal."""
+    return "..%252fwinnt/system32/cmd.exe"
+
+
+def benign_input() -> str:
+    """A legitimate script request."""
+    return "tools/query.exe"
+
+
+def pfsm_domains() -> Dict[str, Domain]:
+    """Encoded-path probes: clean, directly traversing, singly encoded,
+    doubly encoded, and mixed."""
+    return {
+        "pFSM1": Domain.of(
+            "tools/query.exe",
+            "a/b/c.exe",
+            "../winnt/system32/cmd.exe",
+            "..%2fwinnt/system32/cmd.exe",
+            "..%252fwinnt/system32/cmd.exe",
+            "..%25252fwinnt/system32/cmd.exe",
+            "%2e%2e/winnt/cmd.exe",
+            "..%255cwinnt/cmd.exe",
+        )
+    }
+
+
+def operation_domains() -> Dict[str, Domain]:
+    """Input domain for the single operation."""
+    return {OPERATION: pfsm_domains()["pFSM1"]}

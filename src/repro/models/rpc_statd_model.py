@@ -1,0 +1,140 @@
+"""rpc.statd remote format string (#1480) — the format-string model of
+the paper's extended report [21], summarised in Table 2.
+
+Operation 1 — *Log the notification* (object: the remotely supplied
+filename):
+
+* pFSM1 (Content and Attribute Check): the filename must not contain
+  format directives (%n, %x, %d, ...).  statd passes the filename as
+  the format argument with no filtering.
+
+Propagation gate — a ``%n`` directive writes the printed-byte count
+through an attacker-chosen pointer; aimed at the saved return address,
+it redirects control.
+
+Operation 2 — *Return from the logging function* (object: the return
+address):
+
+* pFSM2 (Reference Consistency Check): the return address must be
+  unchanged; no implementation check exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import (
+    Domain,
+    ModelBuilder,
+    PfsmType,
+    Predicate,
+    VulnerabilityModel,
+    attr,
+)
+from ..memory import contains_directives
+
+__all__ = [
+    "build_model",
+    "exploit_input",
+    "benign_input",
+    "pfsm_domains",
+    "operation_domains",
+]
+
+OPERATION_1 = "Log the SM_NOTIFY filename via syslog"
+OPERATION_2 = "Return from the logging function"
+
+_no_directives = attr(
+    "filename",
+    Predicate(
+        lambda name: not contains_directives(name),
+        "the filename contains no format directives (%n, %x, %d, ...)",
+    ),
+)
+
+_return_intact = attr(
+    "return_address_unchanged",
+    Predicate(bool, "the return address is unchanged"),
+)
+
+
+def _carry_return_state(result) -> Dict[str, bool]:
+    """Gate: a %n in the format string rewrites a chosen word — the
+    model abstracts 'the return address survives' as 'no write directive
+    was interpreted'."""
+    filename = result.final_object["filename"]
+    wrote = b"%n" in filename
+    return {"return_address_unchanged": not wrote}
+
+
+def build_model(
+    sanitize: bool = False, return_protection: bool = False
+) -> VulnerabilityModel:
+    """The #1480 model with optional fixes at either activity."""
+    return (
+        ModelBuilder(
+            "Multiple Linux Vendor rpc.statd Remote Format String",
+            bugtraq_ids=[1480],
+            final_consequence="control transfers to the injected code",
+        )
+        .operation(OPERATION_1, obj="the remotely supplied filename")
+        .pfsm(
+            "pFSM1",
+            activity="pass the filename to syslog as the format argument",
+            object_name="filename",
+            spec=_no_directives,
+            impl=_no_directives if sanitize else None,
+            action="vsprintf(buffer, filename, ...)",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+        )
+        .gate(
+            "%n stores the output length through an attacker word",
+            carry=_carry_return_state,
+        )
+        .operation(OPERATION_2, obj="the return address")
+        .pfsm(
+            "pFSM2",
+            activity="return through the saved return address",
+            object_name="return address",
+            spec=_return_intact,
+            impl=_return_intact if return_protection else None,
+            action="ret",
+            check_type=PfsmType.REFERENCE_CONSISTENCY,
+        )
+        .build()
+    )
+
+
+def exploit_input() -> Dict[str, bytes]:
+    """A classic %n payload shape."""
+    return {"filename": b"AAAA\x10\x11\x01\x00%69632x%n"}
+
+
+def benign_input() -> Dict[str, bytes]:
+    """A legitimate statmon filename."""
+    return {"filename": b"/var/statmon/sm/client7"}
+
+
+def pfsm_domains() -> Dict[str, Domain]:
+    """Filename probes with and without directives."""
+    filenames = Domain.of(
+        b"/var/statmon/sm/client7",
+        b"hostname.example.com",
+        b"100%% legit",
+        b"%x%x%x%x",
+        b"%n",
+        b"AAAA%69632x%n",
+        b"%s%s%s",
+        b"%08x.%08x",
+    ).map(lambda name: {"filename": name}, description="notify filenames")
+    states = Domain.of(
+        {"return_address_unchanged": True},
+        {"return_address_unchanged": False},
+    )
+    return {"pFSM1": filenames, "pFSM2": states}
+
+
+def operation_domains() -> Dict[str, Domain]:
+    """Input domains per operation."""
+    domains = pfsm_domains()
+    return {OPERATION_1: domains["pFSM1"], OPERATION_2: domains["pFSM2"]}

@@ -1,0 +1,117 @@
+"""rsync #3958 (Table 1, row 3) as a pFSM model.
+
+Two operations — the Access Validation anchoring the Table 1 analyst
+used lives in the second:
+
+* Operation 1, pFSM1 (Content and Attribute Check): the opcode must be
+  a valid table index (``0 <= opcode < TABLE_SIZE``); the implementation
+  checks only the upper bound.
+* Gate: a negative opcode makes the table fetch read from the
+  attacker-filled request buffer.
+* Operation 2, pFSM2 (Reference Consistency Check): the fetched word
+  must be a registered handler pointer; the implementation dispatches
+  through whatever it fetched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..apps.rsync_daemon import TABLE_SIZE
+from ..core import (
+    Domain,
+    ModelBuilder,
+    PfsmType,
+    Predicate,
+    VulnerabilityModel,
+    attr,
+    in_range,
+    less_equal,
+)
+
+__all__ = ["build_model", "exploit_input", "benign_input", "pfsm_domains",
+           "operation_domains"]
+
+OPERATION_1 = "Select the protocol handler by opcode"
+OPERATION_2 = "Dispatch through the fetched handler pointer"
+
+_pointer_registered = attr(
+    "pointer_registered",
+    Predicate(bool, "the fetched pointer names a registered handler"),
+)
+
+
+def _carry_pointer(result) -> Dict[str, bool]:
+    """Gate: a negative opcode fetches from attacker-controlled bytes."""
+    opcode = result.final_object["opcode"]
+    return {"pointer_registered": opcode >= 0}
+
+
+def build_model(patched: bool = False, guarded: bool = False
+                ) -> VulnerabilityModel:
+    """The #3958 model.
+
+    ``patched`` installs the two-sided opcode bound (fixing operation
+    1); ``guarded`` installs the handler-pointer consistency check
+    (fixing operation 2) — either forecloses (Lemma part 2).
+    """
+    spec_opcode = attr("opcode", in_range(0, TABLE_SIZE - 1))
+    impl_opcode = spec_opcode if patched else attr(
+        "opcode", less_equal(TABLE_SIZE - 1)
+    )
+    return (
+        ModelBuilder(
+            "rsync Signed Array Index Remote Code Execution",
+            bugtraq_ids=[3958],
+            final_consequence="control transfers to the attacker's code",
+        )
+        .operation(OPERATION_1, obj="the remotely supplied opcode")
+        .pfsm(
+            "pFSM1",
+            activity="use the opcode as the handler-table index",
+            object_name="opcode",
+            spec=spec_opcode,
+            impl=impl_opcode,
+            action="pointer = handlers[opcode]",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+        )
+        .gate("the table fetch lands in the attacker's request bytes",
+              carry=_carry_pointer)
+        .operation(OPERATION_2, obj="the handler pointer")
+        .pfsm(
+            "pFSM2",
+            activity="execute the code referred to by the pointer",
+            object_name="pointer",
+            spec=_pointer_registered,
+            impl=_pointer_registered if guarded else None,
+            action="call pointer",
+            check_type=PfsmType.REFERENCE_CONSISTENCY,
+        )
+        .build()
+    )
+
+
+def exploit_input() -> Dict[str, int]:
+    """A negative opcode reaching back into the request buffer."""
+    return {"opcode": -16}
+
+
+def benign_input() -> Dict[str, int]:
+    """A legitimate protocol opcode."""
+    return {"opcode": 3}
+
+
+def pfsm_domains() -> Dict[str, Domain]:
+    """Opcode boundary probes plus pointer states."""
+    opcodes = Domain.of(-16, -1, 0, 3, TABLE_SIZE - 1, TABLE_SIZE, 100).map(
+        lambda n: {"opcode": n}, description="opcode records"
+    )
+    pointers = Domain.of({"pointer_registered": True},
+                         {"pointer_registered": False})
+    return {"pFSM1": opcodes, "pFSM2": pointers}
+
+
+def operation_domains() -> Dict[str, Domain]:
+    """Input domains per operation."""
+    domains = pfsm_domains()
+    return {OPERATION_1: domains["pFSM1"], OPERATION_2: domains["pFSM2"]}

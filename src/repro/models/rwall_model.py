@@ -1,0 +1,144 @@
+"""Figure 6: Solaris rwall arbitrary file corruption as two operations.
+
+Operation 1 — *Write to /etc/utmp* (object: the requesting user):
+
+* pFSM1 (Content and Attribute Check): only root may edit
+  ``/etc/utmp``.  The shipped configuration leaves the file
+  world-writable, so the implementation accepts regular users — the
+  hidden path through which the attacker adds the entry
+  ``../etc/passwd``.
+
+Propagation gate — the malicious entry is now among the "terminals" the
+daemon will write to.
+
+Operation 2 — *Rwall daemon writes messages* (object: the utmp entry):
+
+* pFSM2 (Object Type Check): the entry must name a terminal device
+  (e.g. ``pts/25``); a non-terminal like ``../etc/passwd`` must be
+  rejected.  The daemon performs no file-type check, so the message —
+  the attacker's new password file — is written to ``/etc/passwd``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import (
+    Domain,
+    ModelBuilder,
+    PfsmType,
+    Predicate,
+    VulnerabilityModel,
+    attr,
+)
+from ..osmodel import normalize_path
+
+__all__ = [
+    "build_model",
+    "exploit_input",
+    "benign_input",
+    "pfsm_domains",
+    "operation_domains",
+    "entry_is_terminal",
+]
+
+OPERATION_1 = "Write to /etc/utmp"
+OPERATION_2 = "Rwall daemon writes messages"
+
+#: Terminal devices of the modeled host (matches repro.apps.rwalld's world).
+_KNOWN_TERMINALS = frozenset({"/dev/pts/25", "/dev/pts/26"})
+
+
+def entry_is_terminal(entry: str) -> bool:
+    """Does a utmp entry (resolved relative to /dev) name a terminal?"""
+    return normalize_path(f"/dev/{entry}") in _KNOWN_TERMINALS
+
+
+_is_root = attr("is_root", Predicate(bool, "the user has root privilege"))
+
+_terminal_entry = attr(
+    "entry", Predicate(entry_is_terminal, "the entry names a terminal device")
+).renamed("the target file is a terminal")
+
+
+def _carry_entry(result) -> Dict[str, str]:
+    """The gate: the written entry becomes the daemon's target."""
+    return {"entry": result.final_object["entry"]}
+
+
+def build_model(
+    utmp_root_only: bool = False, type_check: bool = False
+) -> VulnerabilityModel:
+    """The Figure 6 model.
+
+    ``utmp_root_only`` fixes pFSM1 (correct utmp permissions);
+    ``type_check`` fixes pFSM2 (the daemon verifies terminal-ness).
+    """
+    return (
+        ModelBuilder(
+            "Solaris Rwall Arbitrary File Corruption",
+            final_consequence=(
+                "rwall daemon writes user messages to the regular file "
+                "/etc/passwd"
+            ),
+        )
+        .operation(OPERATION_1, obj="the /etc/utmp file")
+        .pfsm(
+            "pFSM1",
+            activity="user request of writing /etc/utmp",
+            object_name="the requesting user",
+            spec=_is_root,
+            impl=_is_root if utmp_root_only else None,  # world-writable utmp
+            action="open /etc/utmp for the user; add the entry",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+        )
+        .gate('"../etc/passwd" entry added to the file /etc/utmp',
+              carry=_carry_entry)
+        .operation(OPERATION_2, obj="the utmp entry")
+        .pfsm(
+            "pFSM2",
+            activity="get a file from /etc/utmp; write the user message",
+            object_name="the target file",
+            spec=_terminal_entry,
+            impl=_terminal_entry if type_check else None,  # no type check
+            action="write user message to the terminal or file",
+            check_type=PfsmType.OBJECT_TYPE,
+        )
+        .build()
+    )
+
+
+def exploit_input() -> Dict[str, object]:
+    """A regular user planting the password-file entry."""
+    return {"is_root": False, "entry": "../etc/passwd"}
+
+
+def benign_input() -> Dict[str, object]:
+    """Root maintaining utmp with a genuine terminal."""
+    return {"is_root": True, "entry": "pts/25"}
+
+
+def pfsm_domains() -> Dict[str, Domain]:
+    """Candidate objects: user/entry combinations and bare entries."""
+    requests = Domain(
+        [
+            {"is_root": is_root, "entry": entry}
+            for is_root in (True, False)
+            for entry in ("pts/25", "pts/26", "../etc/passwd", "../etc/shadow")
+        ],
+        description="utmp write requests",
+    )
+    entries = Domain(
+        [
+            {"entry": entry}
+            for entry in ("pts/25", "pts/26", "../etc/passwd", "../etc/shadow")
+        ],
+        description="utmp entries",
+    )
+    return {"pFSM1": requests, "pFSM2": entries}
+
+
+def operation_domains() -> Dict[str, Domain]:
+    """Input domains per operation."""
+    domains = pfsm_domains()
+    return {OPERATION_1: domains["pFSM1"], OPERATION_2: domains["pFSM2"]}

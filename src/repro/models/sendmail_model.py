@@ -1,0 +1,188 @@
+"""Figure 3: the Sendmail Debugging Function Signed Integer Overflow
+(#3163) as a two-operation, three-pFSM cascade.
+
+Operation 1 — *Write debug level i to tTvect[x]* (object: the input
+integer):
+
+* pFSM1 (Object Type Check): the strings ``str_x``/``str_i`` must
+  represent 32-bit integers; anything beyond 2³¹ must be rejected.  The
+  implementation performs no check (IMPL_REJ marked ``?`` in the
+  figure), and the accepted strings are converted by ``atoi`` — where
+  oversized values wrap.
+* pFSM2 (Content and Attribute Check): the index must satisfy
+  ``0 <= x <= 100``; the implementation checks only ``x <= 100``, so
+  negative indexes ride the hidden path into ``tTvect[x] = i``.
+
+Propagation gate — a negative ``x`` reaching the write primitive lets
+the attacker aim ``tTvect + x`` at the GOT entry of ``setuid()``.
+
+Operation 2 — *Manipulate the GOT entry of setuid* (object:
+``addr_setuid``):
+
+* pFSM3 (Reference Consistency Check): ``addr_setuid`` must be
+  unchanged since program initialisation; Sendmail performs no such
+  check (``IMPL_ACPT = -♦-``), so the call jumps to Mcode.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import (
+    Domain,
+    ModelBuilder,
+    PfsmType,
+    Predicate,
+    VulnerabilityModel,
+    attr,
+    in_range,
+    less_equal,
+)
+from ..memory import Int32, atoi
+
+__all__ = [
+    "build_model",
+    "exploit_input",
+    "wrapping_exploit_input",
+    "benign_input",
+    "pfsm_domains",
+    "operation_domains",
+]
+
+#: The array bound in tTflag().
+TTVECT_BOUND = 100
+
+OPERATION_1 = "Write debug level i to tTvect[x]"
+OPERATION_2 = "Manipulate the GOT entry of setuid"
+
+
+def _fits_int32(text: str) -> bool:
+    try:
+        return Int32.in_range(int(text))
+    except (TypeError, ValueError):
+        return False
+
+
+#: pFSM1's specification: both strings represent 32-bit integers.
+_represents_int32 = Predicate(
+    lambda obj: _fits_int32(obj["str_x"]) and _fits_int32(obj["str_i"]),
+    "str_x and str_i represent 32-bit integers (|value| < 2^31)",
+)
+
+
+def _convert(obj: Dict[str, str]) -> Dict[str, int]:
+    """Activity 1's action: convert str_i and str_x to integers i and x
+    (with atoi's wrapping, as in the original)."""
+    return {"x": atoi(obj["str_x"]).value, "i": atoi(obj["str_i"]).value}
+
+
+def _carry_addr_setuid(result) -> Dict[str, bool]:
+    """The gate: a hidden-path write with negative x lands on
+    addr_setuid, leaving it changed."""
+    x = result.final_object["x"]
+    return {"addr_setuid_unchanged": not x < 0}
+
+
+def build_model(patched: bool = False, got_check: bool = False
+                ) -> VulnerabilityModel:
+    """The Figure 3 model.
+
+    ``patched`` installs the derived predicate (``0 <= x <= 100``) as
+    pFSM2's implementation — the Observation 3 fix.  ``got_check``
+    installs pFSM3's consistency check instead (the GUARDED application
+    variant): the later elementary activity also foils.
+    """
+    if patched:
+        impl_index = attr("x", in_range(0, TTVECT_BOUND))
+    else:
+        impl_index = attr("x", less_equal(TTVECT_BOUND))
+    return (
+        ModelBuilder(
+            "Sendmail Debugging Function Signed Integer Overflow",
+            bugtraq_ids=[3163],
+            final_consequence="Execute Mcode",
+        )
+        .operation(OPERATION_1, obj="the input integer")
+        .pfsm(
+            "pFSM1",
+            activity="get text strings str_x and str_i; convert to integers",
+            object_name="str_x, str_i",
+            spec=_represents_int32,
+            impl=None,  # no check: the ? transition of the figure
+            action="convert str_i and str_x to integer i and x",
+            transform=_convert,
+            check_type=PfsmType.OBJECT_TYPE,
+        )
+        .pfsm(
+            "pFSM2",
+            activity="write i to tTvect[x]",
+            object_name="x",
+            spec=attr("x", in_range(0, TTVECT_BOUND)),
+            impl=impl_index,
+            action="tTvect[x] = i",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+        )
+        .gate(
+            ".GOT entry of function setuid (addr_setuid) points to Mcode",
+            carry=_carry_addr_setuid,
+        )
+        .operation(OPERATION_2, obj="addr_setuid")
+        .pfsm(
+            "pFSM3",
+            activity="execute code referred by addr_setuid",
+            object_name="addr_setuid",
+            spec=attr(
+                "addr_setuid_unchanged",
+                Predicate(bool, "addr_setuid unchanged since load"),
+            ),
+            # IMPL_ACPT = -♦- in the figure; GUARDED installs the check.
+            impl=attr(
+                "addr_setuid_unchanged",
+                Predicate(bool, "addr_setuid unchanged since load"),
+            ) if got_check else None,
+            action="call the function referred by addr_setuid",
+            check_type=PfsmType.REFERENCE_CONSISTENCY,
+        )
+        .build()
+    )
+
+
+def exploit_input() -> Dict[str, str]:
+    """The published exploit's shape: a negative index reaching back
+    from tTvect to addr_setuid (the exact offset is layout-specific;
+    the model needs only x < 0)."""
+    return {"str_x": "-3772", "str_i": "120"}
+
+
+def wrapping_exploit_input() -> Dict[str, str]:
+    """A variant that also rides pFSM1's hidden path: the decimal string
+    exceeds 2^31 and wraps negative through atoi."""
+    return {"str_x": str(2**32 - 3772), "str_i": "120"}
+
+
+def benign_input() -> Dict[str, str]:
+    """A legitimate debug flag."""
+    return {"str_x": "7", "str_i": "1"}
+
+
+def pfsm_domains() -> Dict[str, Domain]:
+    """Candidate-object domains per pFSM, for hidden-path search."""
+    pairs = Domain.records(
+        str_x=Domain.integer_strings(),
+        str_i=Domain.of("1", "120"),
+    )
+    indexes = Domain.integer_probes().map(
+        lambda x: {"x": x, "i": 120}, description="index records"
+    )
+    states = Domain.of(
+        {"addr_setuid_unchanged": True}, {"addr_setuid_unchanged": False}
+    )
+    return {"pFSM1": pairs, "pFSM2": indexes, "pFSM3": states}
+
+
+def operation_domains() -> Dict[str, Domain]:
+    """Input domains per operation, for Lemma part 1 checks."""
+    return {
+        OPERATION_1: pfsm_domains()["pFSM1"],
+        OPERATION_2: pfsm_domains()["pFSM3"],
+    }

@@ -1,0 +1,112 @@
+"""splitvt #2210 (the format-trio's access-validation anchor) as a pFSM
+model.
+
+* Operation 1, pFSM1 (Content and Attribute Check): the window title
+  must carry no format directives; none are filtered.
+* Gate: a %n in the title rewrites a screen-handler pointer — an object
+  outside the user's access domain.
+* Operation 2, pFSM2 (Reference Consistency Check): the handler pointer
+  must still name a registered handler at dispatch time; the bare
+  implementation dispatches unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import (
+    Domain,
+    ModelBuilder,
+    PfsmType,
+    Predicate,
+    VulnerabilityModel,
+    attr,
+)
+from ..memory import contains_directives
+
+__all__ = ["build_model", "exploit_input", "benign_input", "pfsm_domains",
+           "operation_domains"]
+
+OPERATION_1 = "Render the user-controlled window title"
+OPERATION_2 = "Dispatch the screen refresh through the handler pointer"
+
+_no_directives = attr(
+    "title",
+    Predicate(lambda t: not contains_directives(t),
+              "the title contains no format directives"),
+)
+
+_handler_intact = attr(
+    "handler_registered",
+    Predicate(bool, "the handler pointer names a registered handler"),
+)
+
+
+def _carry_handler_state(result) -> Dict[str, bool]:
+    """Gate: a %n in the title rewrote the handler slot."""
+    return {"handler_registered":
+            b"%n" not in result.final_object["title"]}
+
+
+def build_model(sanitize: bool = False, guarded: bool = False
+                ) -> VulnerabilityModel:
+    """The #2210 model with optional fixes at either activity."""
+    return (
+        ModelBuilder(
+            "splitvt Format String Vulnerability",
+            bugtraq_ids=[2210],
+            final_consequence=(
+                "the refresh dispatches to code outside the user's "
+                "access domain"
+            ),
+        )
+        .operation(OPERATION_1, obj="the window title")
+        .pfsm(
+            "pFSM1",
+            activity="pass the title to the formatter",
+            object_name="title",
+            spec=_no_directives,
+            impl=_no_directives if sanitize else None,
+            action="vsprintf(out, title, ...)",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+        )
+        .gate("%n rewrites a screen-handler pointer",
+              carry=_carry_handler_state)
+        .operation(OPERATION_2, obj="the handler pointer")
+        .pfsm(
+            "pFSM2",
+            activity="call the handler on the next refresh",
+            object_name="handler pointer",
+            spec=_handler_intact,
+            impl=_handler_intact if guarded else None,
+            action="call handlers[slot]",
+            check_type=PfsmType.REFERENCE_CONSISTENCY,
+        )
+        .build()
+    )
+
+
+def exploit_input() -> Dict[str, bytes]:
+    """A %n title aimed at the handler table."""
+    return {"title": b"AAAA\x20\x11\x01\x00%70000x%n"}
+
+
+def benign_input() -> Dict[str, bytes]:
+    """An ordinary window title."""
+    return {"title": b"session 1: vi notes.txt"}
+
+
+def pfsm_domains() -> Dict[str, Domain]:
+    """Titles with and without directives, plus handler states."""
+    titles = Domain.of(
+        b"plain title", b"100%%", b"%x", b"%n", b"AAAA%70000x%n",
+    ).map(lambda t: {"title": t}, description="window titles")
+    states = Domain.of({"handler_registered": True},
+                       {"handler_registered": False})
+    return {"pFSM1": titles, "pFSM2": states}
+
+
+def operation_domains() -> Dict[str, Domain]:
+    """Input domains per operation."""
+    domains = pfsm_domains()
+    return {OPERATION_1: domains["pFSM1"], OPERATION_2: domains["pFSM2"]}

@@ -1,0 +1,109 @@
+"""wu-ftpd #1387 (the format-trio's input-validation anchor) as a pFSM
+model — structurally the rpc.statd model with the FTP command surface
+in front.
+
+* Operation 1, pFSM1 (Content and Attribute Check): SITE EXEC arguments
+  must carry no format directives; the implementation passes them to
+  ``lreply`` unfiltered.
+* Gate: a %n in the arguments rewrites a chosen word.
+* Operation 2, pFSM2 (Reference Consistency Check): the return address
+  must be unchanged on return from lreply; no check exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import (
+    Domain,
+    ModelBuilder,
+    PfsmType,
+    Predicate,
+    VulnerabilityModel,
+    attr,
+)
+from ..memory import contains_directives
+
+__all__ = ["build_model", "exploit_input", "benign_input", "pfsm_domains",
+           "operation_domains"]
+
+OPERATION_1 = "Format the SITE EXEC arguments through lreply"
+OPERATION_2 = "Return from lreply"
+
+_no_directives = attr(
+    "args",
+    Predicate(lambda a: not contains_directives(a),
+              "the arguments contain no format directives"),
+)
+
+_return_intact = attr(
+    "return_address_unchanged",
+    Predicate(bool, "the return address is unchanged"),
+)
+
+
+def _carry_return_state(result) -> Dict[str, bool]:
+    """Gate: %n in the arguments means the write fired."""
+    return {"return_address_unchanged": b"%n" not in result.final_object["args"]}
+
+
+def build_model(sanitize: bool = False, return_protection: bool = False
+                ) -> VulnerabilityModel:
+    """The #1387 model with optional fixes at either activity."""
+    return (
+        ModelBuilder(
+            "wu-ftpd SITE EXEC Remote Format String",
+            bugtraq_ids=[1387],
+            final_consequence="control transfers to the injected code",
+        )
+        .operation(OPERATION_1, obj="the SITE EXEC arguments")
+        .pfsm(
+            "pFSM1",
+            activity="pass the arguments to lreply as the format",
+            object_name="args",
+            spec=_no_directives,
+            impl=_no_directives if sanitize else None,
+            action="vsprintf(reply, args, ...)",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+        )
+        .gate("%n stores the output length through an attacker word",
+              carry=_carry_return_state)
+        .operation(OPERATION_2, obj="the return address")
+        .pfsm(
+            "pFSM2",
+            activity="return through the saved return address",
+            object_name="return address",
+            spec=_return_intact,
+            impl=_return_intact if return_protection else None,
+            action="ret",
+            check_type=PfsmType.REFERENCE_CONSISTENCY,
+        )
+        .build()
+    )
+
+
+def exploit_input() -> Dict[str, bytes]:
+    """A %n payload in the SITE EXEC arguments."""
+    return {"args": b"AAAA\x10\x11\x01\x00%70000x%n"}
+
+
+def benign_input() -> Dict[str, bytes]:
+    """Ordinary SITE EXEC arguments."""
+    return {"args": b"/bin/ls -l"}
+
+
+def pfsm_domains() -> Dict[str, Domain]:
+    """Argument probes with and without directives."""
+    args = Domain.of(
+        b"/bin/ls", b"hello world", b"100%%", b"%x%x", b"%n",
+        b"AAAA%70000x%n",
+    ).map(lambda a: {"args": a}, description="SITE EXEC arguments")
+    states = Domain.of({"return_address_unchanged": True},
+                       {"return_address_unchanged": False})
+    return {"pFSM1": args, "pFSM2": states}
+
+
+def operation_domains() -> Dict[str, Domain]:
+    """Input domains per operation."""
+    domains = pfsm_domains()
+    return {OPERATION_1: domains["pFSM1"], OPERATION_2: domains["pFSM2"]}

@@ -1,0 +1,130 @@
+"""Figure 5: the xterm log-file race condition as two pFSMs.
+
+Object: the log-file reference ``/usr/tom/x`` at the moment xterm logs
+for user Tom.
+
+* pFSM1 (Content and Attribute Check): Tom must have write permission
+  to the file, and the file must not (already) be a symbolic link to
+  something else.  The paper notes this check is *secure* — "the reject
+  condition of the predicate matches the implementation" — so pFSM1's
+  implementation equals its spec.
+* pFSM2 (Reference Consistency Check): the binding between the checked
+  path and the opened file must persist until the open completes; Tom
+  must not be able to interpose a symlink in the window.  The
+  implementation performs no such check — the hidden path is the race.
+
+The executable counterpart (interleaving enumeration over a real
+simulated filesystem) lives in :mod:`repro.apps.xterm`; this model is
+the figure's predicate-level abstraction, with the window condition as
+an object attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core import (
+    Domain,
+    ModelBuilder,
+    PfsmType,
+    Predicate,
+    VulnerabilityModel,
+    attr,
+)
+
+__all__ = [
+    "build_model",
+    "exploit_input",
+    "benign_input",
+    "pfsm_domains",
+    "operation_domains",
+]
+
+OPERATION = "Writing the log file of user Tom"
+
+_permission_ok = Predicate(
+    lambda obj: obj["has_write_permission"] and not obj["is_symlink_at_check"],
+    "Tom has write permission and the file is not a symbolic link",
+)
+
+_binding_preserved = attr(
+    "symlink_created_in_window",
+    Predicate(lambda created: not created,
+              "no symlink interposed before the open completes"),
+).renamed("the filename still refers to the checked file")
+
+
+def build_model(recheck: bool = False) -> VulnerabilityModel:
+    """The Figure 5 model.
+
+    ``recheck`` installs pFSM2's specification as its implementation —
+    the no-follow / re-verify fix.
+    """
+    return (
+        ModelBuilder(
+            "xterm Log File Race Condition",
+            final_consequence="Tom appends his own data to /etc/passwd",
+        )
+        .operation(OPERATION, obj="the log file /usr/tom/x")
+        .pfsm(
+            "pFSM1",
+            activity="get the filename of Tom's log file; check permission",
+            object_name="/usr/tom/x",
+            spec=_permission_ok,
+            impl=_permission_ok,  # secure: implementation matches spec
+            action="proceed to open the log file",
+            check_type=PfsmType.CONTENT_ATTRIBUTE,
+        )
+        .pfsm(
+            "pFSM2",
+            activity="open /usr/tom/x with write permission",
+            object_name="the file reference",
+            spec=_binding_preserved,
+            impl=_binding_preserved if recheck else None,
+            action="write Tom's messages through the opened handle",
+            check_type=PfsmType.REFERENCE_CONSISTENCY,
+        )
+        .build()
+    )
+
+
+def exploit_input() -> Dict[str, bool]:
+    """Tom's race: legitimate permissions, symlink swapped in the
+    check-to-open window."""
+    return {
+        "has_write_permission": True,
+        "is_symlink_at_check": False,
+        "symlink_created_in_window": True,
+    }
+
+
+def benign_input() -> Dict[str, bool]:
+    """An ordinary logging call."""
+    return {
+        "has_write_permission": True,
+        "is_symlink_at_check": False,
+        "symlink_created_in_window": False,
+    }
+
+
+def pfsm_domains() -> Dict[str, Domain]:
+    """All eight boolean combinations, for both pFSMs."""
+    states = Domain(
+        [
+            {
+                "has_write_permission": permission,
+                "is_symlink_at_check": symlink,
+                "symlink_created_in_window": window,
+            }
+            for permission in (True, False)
+            for symlink in (True, False)
+            for window in (True, False)
+        ],
+        description="log-file reference states",
+    )
+    return {"pFSM1": states, "pFSM2": states}
+
+
+def operation_domains() -> Dict[str, Domain]:
+    """Input domain for the single operation."""
+    return {OPERATION: pfsm_domains()["pFSM1"]}

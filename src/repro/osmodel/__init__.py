@@ -1,0 +1,58 @@
+"""Simulated operating-system substrate: filesystem, users, scheduling,
+and sockets.
+
+These are the environments in which the paper's non-memory
+vulnerabilities live: the xterm race needs symlinks and a timing window,
+rwall needs terminals versus regular files and a world-writable utmp,
+and NULL HTTPD needs ``recv`` chunk semantics.
+"""
+
+from .environment import Environment, TRUSTED_PATH, resolve_command
+from .filesystem import (
+    FileNotFound,
+    FileSystem,
+    FileType,
+    FsError,
+    Inode,
+    Mode,
+    NotADirectory,
+    PermissionDenied,
+    SymlinkLoop,
+    normalize_path,
+)
+from .scheduler import (
+    InterleavingResult,
+    RaceAnalysis,
+    Scheduler,
+    Step,
+    ThreadScript,
+)
+from .sockets import RECV_ERROR, RecvResult, SimulatedSocket
+from .users import NOBODY, ROOT, User
+
+__all__ = [
+    "Environment",
+    "TRUSTED_PATH",
+    "resolve_command",
+    "FileNotFound",
+    "FileSystem",
+    "FileType",
+    "FsError",
+    "Inode",
+    "Mode",
+    "NotADirectory",
+    "PermissionDenied",
+    "SymlinkLoop",
+    "normalize_path",
+    "InterleavingResult",
+    "RaceAnalysis",
+    "Scheduler",
+    "Step",
+    "ThreadScript",
+    "RECV_ERROR",
+    "RecvResult",
+    "SimulatedSocket",
+    "NOBODY",
+    "ROOT",
+    "User",
+]

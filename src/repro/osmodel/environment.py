@@ -1,0 +1,94 @@
+"""Process environment and command resolution.
+
+Support for modeling *Environment Errors* — Figure 1's category defined
+as "an interaction in a specific environment between functionally
+correct modules".  The classic instance: a privileged program spawns a
+helper by bare name, the loader resolves the name through the *caller's*
+``PATH``, and a directory the attacker controls shadows the system
+binary.  Both modules (the program and the loader) behave correctly in
+isolation; the environment wires them into a vulnerability.
+
+:class:`Environment` is a small mapping with PATH conveniences;
+:func:`resolve_command` performs the loader's walk over the simulated
+filesystem, honouring execute permission bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .filesystem import FileSystem, FileType, Mode
+from .users import User
+
+__all__ = ["Environment", "resolve_command", "TRUSTED_PATH"]
+
+#: The sanitized PATH privileged programs should reset to.
+TRUSTED_PATH = ("/bin", "/usr/bin")
+
+
+@dataclass
+class Environment:
+    """A process environment (the attacker-controllable ambient state)."""
+
+    variables: Dict[str, str] = field(default_factory=dict)
+
+    @staticmethod
+    def default() -> "Environment":
+        """A typical login environment."""
+        return Environment({"PATH": "/bin:/usr/bin", "HOME": "/root",
+                            "IFS": " \t\n"})
+
+    def get(self, name: str, fallback: str = "") -> str:
+        """Variable lookup with default."""
+        return self.variables.get(name, fallback)
+
+    def set(self, name: str, value: str) -> None:
+        """Set a variable (what the attacker does before exec)."""
+        self.variables[name] = value
+
+    def path_entries(self) -> List[str]:
+        """The PATH split into directories, in resolution order."""
+        return [entry for entry in self.get("PATH").split(":") if entry]
+
+    def with_sanitized_path(self) -> "Environment":
+        """Copy with PATH reset to the trusted directories — the
+        standard setuid hygiene fix."""
+        clean = dict(self.variables)
+        clean["PATH"] = ":".join(TRUSTED_PATH)
+        return Environment(clean)
+
+    def path_is_trusted(self) -> bool:
+        """Content/attribute predicate: every PATH entry is a trusted
+        system directory."""
+        return all(entry in TRUSTED_PATH for entry in self.path_entries())
+
+
+def resolve_command(
+    fs: FileSystem, env: Environment, command: str, invoker: User
+) -> Optional[str]:
+    """The loader's PATH walk: first executable regular file named
+    ``command`` in PATH order, or None.
+
+    Absolute command names bypass the walk (and the vulnerability).
+    """
+    if command.startswith("/"):
+        return command if _is_executable(fs, command, invoker) else None
+    for directory in env.path_entries():
+        candidate = f"{directory.rstrip('/')}/{command}"
+        if _is_executable(fs, candidate, invoker):
+            return candidate
+    return None
+
+
+def _is_executable(fs: FileSystem, path: str, invoker: User) -> bool:
+    try:
+        inode = fs.lookup(path)
+    except Exception:
+        return False
+    if inode.file_type is not FileType.REGULAR:
+        return False
+    # POSIX nuance: even root needs at least one execute bit set.
+    if not inode.mode & 0o111:
+        return False
+    return inode.permits(invoker, Mode.X)

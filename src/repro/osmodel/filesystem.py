@@ -1,0 +1,331 @@
+"""An inode filesystem with permissions, symlinks, and terminal devices.
+
+Two of the paper's case studies live here:
+
+* **xterm log-file race (Figure 5)** — needs symbolic links that can be
+  swapped in between a permission check and the subsequent ``open`` (the
+  reference-consistency violation), and per-user write-permission bits
+  (the content/attribute check).
+* **rwall /etc/utmp corruption (Figure 6)** — needs a world-writable
+  ``/etc/utmp``, terminal device files versus regular files (the object
+  type check rwalld omits), and message appends that land in whatever
+  the utmp entry names.
+
+Paths are resolved UNIX-style: each component walks a directory inode;
+symlink components substitute their target.  ``open`` can resolve with
+or without following the final symlink (``follow_symlinks``), which is
+what distinguishes a safe reopen from the vulnerable one.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .users import User
+
+__all__ = [
+    "FileType",
+    "Mode",
+    "Inode",
+    "FileSystem",
+    "FsError",
+    "PermissionDenied",
+    "FileNotFound",
+    "NotADirectory",
+    "SymlinkLoop",
+    "normalize_path",
+]
+
+
+class FsError(Exception):
+    """Base filesystem error."""
+
+
+class PermissionDenied(FsError):
+    """EACCES."""
+
+
+class FileNotFound(FsError):
+    """ENOENT."""
+
+
+class NotADirectory(FsError):
+    """ENOTDIR."""
+
+
+class SymlinkLoop(FsError):
+    """ELOOP — too many levels of symbolic links."""
+
+
+class FileType(enum.Enum):
+    """Inode types; TERMINAL is the device type rwalld should check for."""
+
+    REGULAR = "regular"
+    DIRECTORY = "directory"
+    SYMLINK = "symlink"
+    TERMINAL = "terminal"
+
+
+class Mode:
+    """Permission bit constants (octal UNIX semantics)."""
+
+    R = 4
+    W = 2
+    X = 1
+
+    @staticmethod
+    def bits(mode: int, who: str) -> int:
+        """Extract the 3-bit field for 'user', 'group', or 'other'."""
+        shift = {"user": 6, "group": 3, "other": 0}[who]
+        return (mode >> shift) & 0o7
+
+
+@dataclass
+class Inode:
+    """One filesystem object."""
+
+    file_type: FileType
+    owner_uid: int
+    group_gid: int
+    mode: int
+    data: bytearray = field(default_factory=bytearray)
+    link_target: Optional[str] = None  # for SYMLINK
+    children: Dict[str, "Inode"] = field(default_factory=dict)  # for DIRECTORY
+    terminal_output: List[bytes] = field(default_factory=list)  # for TERMINAL
+
+    def permits(self, user: User, want: int) -> bool:
+        """POSIX permission check: root bypasses; otherwise owner, group,
+        then other bits apply."""
+        if user.is_root:
+            return True
+        if user.uid == self.owner_uid:
+            granted = Mode.bits(self.mode, "user")
+        elif user.in_group(self.group_gid):
+            granted = Mode.bits(self.mode, "group")
+        else:
+            granted = Mode.bits(self.mode, "other")
+        return (granted & want) == want
+
+
+def normalize_path(path: str) -> str:
+    """Collapse ``.``/``..``/double slashes without touching symlinks.
+
+    Note this is *lexical* normalization — exactly the operation the IIS
+    example (Figure 7) warns may disagree with what the server executes
+    when decoding happens after checking.
+    """
+    parts: List[str] = []
+    for component in path.split("/"):
+        if component in ("", "."):
+            continue
+        if component == "..":
+            if parts:
+                parts.pop()
+            continue
+        parts.append(component)
+    return "/" + "/".join(parts)
+
+
+_MAX_SYMLINK_HOPS = 16
+
+
+class FileSystem:
+    """A rooted tree of inodes with UNIX path resolution."""
+
+    def __init__(self) -> None:
+        self.root = Inode(
+            file_type=FileType.DIRECTORY, owner_uid=0, group_gid=0, mode=0o755
+        )
+
+    # -- resolution ---------------------------------------------------------
+
+    def _components(self, path: str) -> List[str]:
+        if not path.startswith("/"):
+            raise FsError(f"paths must be absolute, got {path!r}")
+        return [part for part in path.split("/") if part]
+
+    def _resolve(
+        self, path: str, follow_final: bool = True, _hops: int = 0
+    ) -> Tuple[Inode, str, Inode]:
+        """Resolve to ``(parent_dir, final_name, inode)``.
+
+        Raises :class:`FileNotFound` when the final component is missing;
+        the parent and name are still meaningful to callers that create.
+        """
+        if _hops > _MAX_SYMLINK_HOPS:
+            raise SymlinkLoop(path)
+        components = self._components(path)
+        node = self.root
+        parent = self.root
+        if not components:
+            return (self.root, "", self.root)
+        for index, name in enumerate(components):
+            if node.file_type is not FileType.DIRECTORY:
+                raise NotADirectory("/".join(components[:index]))
+            child = node.children.get(name)
+            is_final = index == len(components) - 1
+            if child is None:
+                if is_final:
+                    raise FileNotFound(path)
+                raise FileNotFound("/" + "/".join(components[: index + 1]))
+            if child.file_type is FileType.SYMLINK and (not is_final or follow_final):
+                target = child.link_target or "/"
+                remainder = "/".join(components[index + 1 :])
+                new_path = target if not remainder else target.rstrip("/") + "/" + remainder
+                return self._resolve(new_path, follow_final, _hops + 1)
+            parent, node = node, child
+        return (parent, components[-1], node)
+
+    def lookup(self, path: str, follow_symlinks: bool = True) -> Inode:
+        """Resolve ``path`` to an inode."""
+        return self._resolve(path, follow_final=follow_symlinks)[2]
+
+    def exists(self, path: str, follow_symlinks: bool = True) -> bool:
+        """True when the path resolves."""
+        try:
+            self.lookup(path, follow_symlinks)
+            return True
+        except FsError:
+            return False
+
+    def resolve_path(self, path: str) -> str:
+        """The canonical path an open of ``path`` would actually touch —
+        symlinks followed.  Comparing this against the checked path is
+        the reference-consistency predicate of Figure 5."""
+        inode = self.lookup(path)
+        found = self._find_inode(self.root, "/", inode)
+        return found if found is not None else normalize_path(path)
+
+    def _find_inode(self, node: Inode, prefix: str, needle: Inode) -> Optional[str]:
+        if node is needle:
+            return "/" if prefix == "/" else prefix.rstrip("/")
+        if node.file_type is FileType.DIRECTORY:
+            for name, child in node.children.items():
+                hit = self._find_inode(
+                    child, prefix.rstrip("/") + "/" + name, needle
+                )
+                if hit:
+                    return hit
+        return None
+
+    # -- creation --------------------------------------------------------------
+
+    def _parent_of(self, path: str) -> Tuple[Inode, str]:
+        components = self._components(path)
+        if not components:
+            raise FsError("cannot create root")
+        parent_path = "/" + "/".join(components[:-1])
+        parent = self.lookup(parent_path)
+        if parent.file_type is not FileType.DIRECTORY:
+            raise NotADirectory(parent_path)
+        return parent, components[-1]
+
+    def mkdir(self, path: str, owner: User, mode: int = 0o755) -> Inode:
+        """Create a directory."""
+        parent, name = self._parent_of(path)
+        if name in parent.children:
+            raise FsError(f"{path} exists")
+        inode = Inode(FileType.DIRECTORY, owner.uid, owner.gid, mode)
+        parent.children[name] = inode
+        return inode
+
+    def mkdirs(self, path: str, owner: User, mode: int = 0o755) -> None:
+        """Create all missing ancestors plus the directory itself."""
+        components = self._components(path)
+        current = ""
+        for name in components:
+            current += "/" + name
+            if not self.exists(current):
+                self.mkdir(current, owner, mode)
+
+    def create_file(
+        self, path: str, owner: User, mode: int = 0o644, data: bytes = b""
+    ) -> Inode:
+        """Create a regular file."""
+        parent, name = self._parent_of(path)
+        if name in parent.children:
+            raise FsError(f"{path} exists")
+        inode = Inode(FileType.REGULAR, owner.uid, owner.gid, mode,
+                      data=bytearray(data))
+        parent.children[name] = inode
+        return inode
+
+    def create_terminal(self, path: str, owner: User, mode: int = 0o620) -> Inode:
+        """Create a terminal device file (e.g. ``/dev/pts/25``)."""
+        parent, name = self._parent_of(path)
+        if name in parent.children:
+            raise FsError(f"{path} exists")
+        inode = Inode(FileType.TERMINAL, owner.uid, owner.gid, mode)
+        parent.children[name] = inode
+        return inode
+
+    def symlink(self, link_path: str, target: str, owner: User) -> Inode:
+        """Create a symbolic link — the attacker's move in Figure 5."""
+        parent, name = self._parent_of(link_path)
+        if name in parent.children:
+            raise FsError(f"{link_path} exists")
+        inode = Inode(FileType.SYMLINK, owner.uid, owner.gid, 0o777,
+                      link_target=target)
+        parent.children[name] = inode
+        return inode
+
+    def unlink(self, path: str, user: User) -> None:
+        """Remove a directory entry (requires write on the parent)."""
+        parent, name, _node = self._resolve(path, follow_final=False)
+        if not parent.permits(user, Mode.W):
+            raise PermissionDenied(f"unlink {path} as {user.name}")
+        del parent.children[name]
+
+    # -- access & I/O ---------------------------------------------------------------
+
+    def access(self, path: str, user: User, want: int,
+               follow_symlinks: bool = True) -> bool:
+        """The ``access(2)``-style permission probe — the *check* half of
+        a time-of-check-to-time-of-use pair."""
+        try:
+            inode = self.lookup(path, follow_symlinks)
+        except FsError:
+            return False
+        return inode.permits(user, want)
+
+    def open_write(self, path: str, user: User,
+                   follow_symlinks: bool = True) -> Inode:
+        """The *use* half: open for writing, enforcing permissions at the
+        moment of open against whatever the path resolves to *now*."""
+        inode = self.lookup(path, follow_symlinks)
+        if not inode.permits(user, Mode.W):
+            raise PermissionDenied(f"open {path} for write as {user.name}")
+        return inode
+
+    def write(self, inode: Inode, data: bytes) -> None:
+        """Append to an open inode (terminal writes go to the scrollback)."""
+        if inode.file_type is FileType.TERMINAL:
+            inode.terminal_output.append(data)
+        elif inode.file_type is FileType.REGULAR:
+            inode.data.extend(data)
+        else:
+            raise FsError(f"cannot write a {inode.file_type.value}")
+
+    def read(self, path: str, user: User) -> bytes:
+        """Read a regular file's contents."""
+        inode = self.lookup(path)
+        if not inode.permits(user, Mode.R):
+            raise PermissionDenied(f"read {path} as {user.name}")
+        return bytes(inode.data)
+
+    def is_terminal(self, path: str) -> bool:
+        """Object Type Check of Figure 6's pFSM2: does the path name a
+        terminal device?"""
+        try:
+            return self.lookup(path).file_type is FileType.TERMINAL
+        except FsError:
+            return False
+
+    def listdir(self, path: str) -> Iterator[str]:
+        """Directory entry names."""
+        inode = self.lookup(path)
+        if inode.file_type is not FileType.DIRECTORY:
+            raise NotADirectory(path)
+        return iter(sorted(inode.children))

@@ -1,0 +1,211 @@
+"""Deterministic interleaving scheduler for race-condition analysis.
+
+File race conditions (Figure 5; "time-of-check-to-time-of-use") are
+timing windows between two operations.  The paper's pFSM2 predicate is
+"Tom cannot create a symbolic link until the open operation is complete"
+— a statement about *orderings*.  To make that checkable we model each
+participant as a sequence of labeled atomic steps and enumerate every
+interleaving of the participants, running each from a fresh world state.
+
+The result object reports, per interleaving, whether the run violated a
+caller-supplied security predicate, and which orderings (e.g. attacker's
+``symlink`` landing between victim's ``check`` and ``open``) did so —
+turning the race window into an enumerable, assertable artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Callable, Dict, Generic, List, Sequence, Tuple, TypeVar
+
+__all__ = ["Step", "ThreadScript", "InterleavingResult", "RaceAnalysis", "Scheduler"]
+
+W = TypeVar("W")  # world-state type
+
+
+@dataclass(frozen=True)
+class Step(Generic[W]):
+    """One atomic action of a participant: a label plus an effect on the
+    world.  The effect may raise; the exception is recorded and ends
+    that participant's script for the interleaving."""
+
+    label: str
+    effect: Callable[[W], None]
+
+
+@dataclass(frozen=True)
+class ThreadScript(Generic[W]):
+    """A named, ordered list of steps."""
+
+    name: str
+    steps: Tuple[Step[W], ...]
+
+    @staticmethod
+    def of(name: str, *steps: Step[W]) -> "ThreadScript[W]":
+        """Build a script from steps."""
+        return ThreadScript(name=name, steps=tuple(steps))
+
+
+@dataclass
+class InterleavingResult(Generic[W]):
+    """Outcome of running one interleaving."""
+
+    order: Tuple[str, ...]  # "thread:label" in execution order
+    world: W
+    violated: bool
+    errors: Dict[str, str] = field(default_factory=dict)
+
+    def position(self, qualified_label: str) -> int:
+        """Index of a step in the executed order (-1 if skipped)."""
+        try:
+            return self.order.index(qualified_label)
+        except ValueError:
+            return -1
+
+    def happened_between(self, label: str, after: str, before: str) -> bool:
+        """True when ``label`` executed strictly between ``after`` and
+        ``before`` — the shape of a TOCTTOU window hit."""
+        i, j, k = (self.position(after), self.position(label),
+                   self.position(before))
+        return 0 <= i < j < k or (0 <= i < j and k == -1)
+
+
+@dataclass
+class RaceAnalysis(Generic[W]):
+    """Aggregate over all interleavings."""
+
+    results: List[InterleavingResult[W]]
+
+    @property
+    def total(self) -> int:
+        """Number of interleavings executed."""
+        return len(self.results)
+
+    @property
+    def violations(self) -> List[InterleavingResult[W]]:
+        """Interleavings where the security predicate was violated."""
+        return [r for r in self.results if r.violated]
+
+    @property
+    def has_race(self) -> bool:
+        """True when at least one interleaving violates security — the
+        hidden-path existence statement for a race-condition pFSM."""
+        return bool(self.violations)
+
+    @property
+    def violation_ratio(self) -> float:
+        """Fraction of interleavings that violate (window width)."""
+        if not self.results:
+            return 0.0
+        return len(self.violations) / len(self.results)
+
+
+def _merges(lengths: Sequence[int]) -> List[Tuple[int, ...]]:
+    """All interleavings of ``len(lengths)`` sequences given their
+    lengths, as tuples of thread indexes.  Two threads of lengths n, m
+    yield C(n+m, n) interleavings."""
+    if len(lengths) == 1:
+        return [tuple([0] * lengths[0])]
+    if len(lengths) == 2:
+        n, m = lengths
+        total = n + m
+        orders: List[Tuple[int, ...]] = []
+        for first_positions in combinations(range(total), n):
+            order = [1] * total
+            for position in first_positions:
+                order[position] = 0
+            orders.append(tuple(order))
+        return orders
+    # General case by recursion: merge thread 0 into every merge of the rest.
+    rest = _merges(lengths[1:])
+    orders = []
+    n = lengths[0]
+    for sub in rest:
+        total = n + len(sub)
+        for positions in combinations(range(total), n):
+            order: List[int] = []
+            sub_iter = iter(sub)
+            position_set = set(positions)
+            for slot in range(total):
+                if slot in position_set:
+                    order.append(0)
+                else:
+                    order.append(next(sub_iter) + 1)
+            orders.append(tuple(order))
+    return orders
+
+
+class Scheduler(Generic[W]):
+    """Enumerates and executes interleavings of thread scripts.
+
+    Parameters
+    ----------
+    world_factory:
+        Builds a fresh world for each interleaving (so runs are
+        independent).
+    scripts_factory:
+        Given the fresh world, returns the participant scripts.  (A
+        factory because step effects usually close over the world.)
+    violation:
+        Predicate over the final world: True means security violated.
+    """
+
+    def __init__(
+        self,
+        world_factory: Callable[[], W],
+        scripts_factory: Callable[[W], Sequence[ThreadScript[W]]],
+        violation: Callable[[W], bool],
+    ) -> None:
+        self._world_factory = world_factory
+        self._scripts_factory = scripts_factory
+        self._violation = violation
+
+    def run_order(self, thread_order: Sequence[int]) -> InterleavingResult[W]:
+        """Execute one interleaving given a sequence of thread indexes."""
+        world = self._world_factory()
+        scripts = list(self._scripts_factory(world))
+        cursors = [0] * len(scripts)
+        executed: List[str] = []
+        errors: Dict[str, str] = {}
+        dead = set()
+        for thread_index in thread_order:
+            if thread_index in dead:
+                continue
+            script = scripts[thread_index]
+            cursor = cursors[thread_index]
+            if cursor >= len(script.steps):
+                continue
+            step = script.steps[cursor]
+            cursors[thread_index] += 1
+            qualified = f"{script.name}:{step.label}"
+            try:
+                step.effect(world)
+                executed.append(qualified)
+            except Exception as error:  # recorded, ends this script
+                errors[qualified] = f"{type(error).__name__}: {error}"
+                dead.add(thread_index)
+        return InterleavingResult(
+            order=tuple(executed),
+            world=world,
+            violated=self._violation(world),
+            errors=errors,
+        )
+
+    def explore(self) -> RaceAnalysis[W]:
+        """Run every interleaving and aggregate."""
+        probe_world = self._world_factory()
+        scripts = list(self._scripts_factory(probe_world))
+        lengths = [len(s.steps) for s in scripts]
+        results = [self.run_order(order) for order in _merges(lengths)]
+        return RaceAnalysis(results=results)
+
+    def run_sequential(self) -> InterleavingResult[W]:
+        """The no-concurrency baseline: each script runs to completion in
+        order.  A secure implementation must at least pass this."""
+        probe_world = self._world_factory()
+        scripts = list(self._scripts_factory(probe_world))
+        order: List[int] = []
+        for index, script in enumerate(scripts):
+            order.extend([index] * len(script.steps))
+        return self.run_order(order)

@@ -1,0 +1,87 @@
+"""Socket model with ``recv`` chunking semantics.
+
+The NULL HTTPD vulnerabilities (Figure 4 and the newly-discovered #6255)
+live in a ``recv`` loop: the server reads the POST body in chunks of up
+to 1024 bytes and decides when to stop based on the chunk size (``rc ==
+1024``) and a byte counter against ``contentLen``.  The paper's footnote
+on the socket programming style is the key constraint this model keeps:
+*the socket has no way of determining the length of the input* — length
+and data arrive separately, and only the programmer's loop condition
+bounds the copy.
+
+:class:`SimulatedSocket` therefore delivers exactly the attacker-supplied
+byte stream in ``recv``-sized chunks and reports closure with ``-1``-style
+sentinels the way the 2003 code expected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["SimulatedSocket", "RECV_ERROR"]
+
+#: C-style error return of ``recv`` (the ``rc == -1`` branch in the
+#: paper's Figure 4b source listing).
+RECV_ERROR = -1
+
+
+class SimulatedSocket:
+    """A one-directional byte stream from attacker to server.
+
+    Parameters
+    ----------
+    payload:
+        The full byte stream the remote peer will send.
+    error_after:
+        When set, ``recv`` returns :data:`RECV_ERROR` once this many
+        bytes have been consumed — models a mid-request connection error.
+    """
+
+    def __init__(self, payload: bytes, error_after: Optional[int] = None) -> None:
+        self._payload = payload
+        self._cursor = 0
+        self._error_after = error_after
+        self.closed = False
+
+    @property
+    def remaining(self) -> int:
+        """Bytes the peer still has queued."""
+        return len(self._payload) - self._cursor
+
+    def recv(self, max_bytes: int) -> "RecvResult":
+        """Receive up to ``max_bytes``.
+
+        Returns a :class:`RecvResult` whose ``count`` mirrors the C return
+        convention: positive byte count, ``0`` on orderly shutdown with
+        nothing queued, ``-1`` on error.
+        """
+        if self.closed:
+            return RecvResult(RECV_ERROR, b"")
+        if self._error_after is not None and self._cursor >= self._error_after:
+            self.closed = True
+            return RecvResult(RECV_ERROR, b"")
+        if max_bytes <= 0:
+            return RecvResult(0, b"")
+        chunk = self._payload[self._cursor : self._cursor + max_bytes]
+        self._cursor += len(chunk)
+        return RecvResult(len(chunk), chunk)
+
+    def close(self) -> None:
+        """Close the connection (subsequent recv errors)."""
+        self.closed = True
+
+
+class RecvResult:
+    """Return of :meth:`SimulatedSocket.recv` — count plus data."""
+
+    __slots__ = ("count", "data")
+
+    def __init__(self, count: int, data: bytes) -> None:
+        self.count = count
+        self.data = data
+
+    def __iter__(self):
+        return iter((self.count, self.data))
+
+    def __repr__(self) -> str:
+        return f"RecvResult(count={self.count}, data={self.data[:16]!r}...)"

@@ -1,0 +1,49 @@
+"""Users, groups, and privilege for the simulated OS.
+
+The rwall vulnerability (Figure 6) is a privilege question — "does the
+user have root privilege?" is the Content/Attribute Check of its pFSM1 —
+and the xterm race (Figure 5) is about a specific user's write permission
+on a specific file.  This module provides just enough identity machinery
+to express both predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable
+
+__all__ = ["User", "ROOT", "NOBODY"]
+
+
+@dataclass(frozen=True)
+class User:
+    """A UNIX-style principal."""
+
+    name: str
+    uid: int
+    gid: int = 100
+    groups: FrozenSet[int] = field(default_factory=frozenset)
+
+    @property
+    def is_root(self) -> bool:
+        """Root privilege — uid 0 (pFSM1 of Figure 6 checks exactly this)."""
+        return self.uid == 0
+
+    def in_group(self, gid: int) -> bool:
+        """True when ``gid`` is the primary or a supplementary group."""
+        return gid == self.gid or gid in self.groups
+
+    @staticmethod
+    def regular(name: str, uid: int, gid: int = 100,
+                groups: Iterable[int] = ()) -> "User":
+        """Convenience constructor for an unprivileged user."""
+        if uid == 0:
+            raise ValueError("regular users must not have uid 0")
+        return User(name=name, uid=uid, gid=gid, groups=frozenset(groups))
+
+
+#: The superuser.
+ROOT = User(name="root", uid=0, gid=0, groups=frozenset({0}))
+
+#: A generic unprivileged principal.
+NOBODY = User(name="nobody", uid=65534, gid=65534, groups=frozenset())

@@ -1,0 +1,153 @@
+"""Environment-error case study tests: PATH hijack against a setuid
+utility, plus the osmodel environment substrate."""
+
+import pytest
+
+from repro.apps import (
+    EnvUtilVariant,
+    SetuidUtility,
+    make_env_world,
+    plant_trojan,
+)
+from repro.core import check_lemma_part1, check_lemma_part2, minimal_foil_points
+from repro.models import envutil_model
+from repro.osmodel import Environment, ROOT, TRUSTED_PATH, User, resolve_command
+
+
+@pytest.fixture
+def world():
+    return make_env_world()
+
+
+@pytest.fixture
+def hostile_env(world):
+    plant_trojan(world)
+    env = Environment.default()
+    env.set("PATH", "/tmp/evil:/bin:/usr/bin")
+    return env
+
+
+class TestEnvironment:
+    def test_default_path(self):
+        env = Environment.default()
+        assert env.path_entries() == ["/bin", "/usr/bin"]
+        assert env.path_is_trusted()
+
+    def test_hostile_path_not_trusted(self, hostile_env):
+        assert not hostile_env.path_is_trusted()
+
+    def test_sanitized_copy(self, hostile_env):
+        clean = hostile_env.with_sanitized_path()
+        assert clean.path_is_trusted()
+        assert not hostile_env.path_is_trusted()  # original untouched
+
+    def test_get_with_fallback(self):
+        assert Environment().get("NOPE", "fallback") == "fallback"
+
+
+class TestResolution:
+    def test_resolves_system_binary(self, world):
+        env = Environment.default()
+        assert resolve_command(world.fs, env, "date", ROOT) == "/bin/date"
+
+    def test_path_order_decides(self, world, hostile_env):
+        assert resolve_command(world.fs, hostile_env, "date", ROOT) == \
+            "/tmp/evil/date"
+
+    def test_absolute_name_bypasses_path(self, world, hostile_env):
+        assert resolve_command(world.fs, hostile_env, "/bin/date", ROOT) == \
+            "/bin/date"
+
+    def test_missing_command(self, world):
+        assert resolve_command(world.fs, Environment.default(), "nosuch",
+                               ROOT) is None
+
+    def test_non_executable_skipped(self, world):
+        world.fs.create_file("/bin/plainfile", ROOT, 0o644)
+        assert resolve_command(world.fs, Environment.default(),
+                               "plainfile", ROOT) is None
+
+    def test_directory_not_resolved(self, world):
+        world.fs.mkdirs("/bin/datefolder", ROOT)
+        assert resolve_command(world.fs, Environment.default(),
+                               "datefolder", ROOT) is None
+
+
+class TestSetuidUtility:
+    def test_vulnerable_runs_trojan_as_root(self, world, hostile_env):
+        record = SetuidUtility(world, EnvUtilVariant.VULNERABLE).run_report(
+            hostile_env
+        )
+        assert record.executed
+        assert record.binary == "/tmp/evil/date"
+        assert record.ran_untrusted_as_root
+
+    def test_patched_sanitizes(self, world, hostile_env):
+        record = SetuidUtility(world, EnvUtilVariant.PATCHED).run_report(
+            hostile_env
+        )
+        assert record.binary == "/bin/date"
+        assert not record.ran_untrusted_as_root
+
+    def test_guarded_refuses(self, world, hostile_env):
+        record = SetuidUtility(world, EnvUtilVariant.GUARDED).run_report(
+            hostile_env
+        )
+        assert not record.executed
+        assert "trusted" in record.reason
+
+    @pytest.mark.parametrize("variant", list(EnvUtilVariant))
+    def test_benign_env_works_everywhere(self, world, variant):
+        record = SetuidUtility(world, variant).run_report(
+            Environment.default()
+        )
+        assert record.executed
+        assert record.binary == "/bin/date"
+
+
+class TestEnvutilModel:
+    def test_exploit(self):
+        model = envutil_model.build_model()
+        result = model.run(envutil_model.exploit_input())
+        assert result.compromised
+        assert result.hidden_path_count == 2
+
+    def test_benign(self):
+        model = envutil_model.build_model()
+        assert not model.is_compromised_by(envutil_model.benign_input())
+
+    def test_either_fix_forecloses(self):
+        exploit = envutil_model.exploit_input()
+        assert not envutil_model.build_model(
+            sanitize_path=True).is_compromised_by(exploit)
+        assert not envutil_model.build_model(
+            verify_binary=True).is_compromised_by(exploit)
+
+    def test_foil_points(self):
+        model = envutil_model.build_model()
+        points = minimal_foil_points(model, envutil_model.exploit_input())
+        assert {p.pfsm_name for p in points} == {"pFSM1", "pFSM2"}
+
+    def test_lemma(self):
+        model = envutil_model.build_model()
+        assert check_lemma_part2(model, envutil_model.exploit_input())
+        domains = envutil_model.operation_domains()
+        for operation in model.operations:
+            assert check_lemma_part1(operation, domains[operation.name])
+
+    def test_model_agrees_with_execution(self):
+        world = make_env_world()
+        plant_trojan(world)
+        env = Environment.default()
+        env.set("PATH", "/tmp/evil:/bin:/usr/bin")
+        for variant, kwargs, expected in [
+            (EnvUtilVariant.VULNERABLE, {}, True),
+            (EnvUtilVariant.PATCHED, {"sanitize_path": True}, False),
+            (EnvUtilVariant.GUARDED, {"verify_binary": True}, False),
+        ]:
+            record = SetuidUtility(world, variant).run_report(env)
+            executed = record.ran_untrusted_as_root
+            modeled = envutil_model.build_model(**kwargs).is_compromised_by(
+                envutil_model.exploit_input()
+            )
+            assert executed == modeled == expected

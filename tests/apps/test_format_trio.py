@@ -1,0 +1,138 @@
+"""Tests for the format-string trio executables (icecast #2264, splitvt
+#2210; wu-ftpd #1387 is covered in test_freebsd_rsync_wuftpd) and the
+Observation 1 claim that the same mechanism lands in three categories
+via three distinct consequences."""
+
+import pytest
+
+from repro.apps import (
+    Icecast,
+    IcecastVariant,
+    Splitvt,
+    SplitvtVariant,
+    WuFtpd,
+    WuFtpdVariant,
+    craft_expansion_smash,
+    craft_handler_overwrite,
+    craft_site_exec_exploit,
+)
+
+
+class TestIcecast:
+    def test_benign_client_logged(self):
+        app = Icecast()
+        result = app.print_client(b"client-007 mp3 stream")
+        assert not result.hijacked
+        assert result.returned_to == Icecast.RETURN_SITE
+
+    def test_expansion_inflates_output(self):
+        app = Icecast(IcecastVariant.VULNERABLE)
+        result = app.print_client(b"%500x")
+        assert result.formatted_length >= 500
+
+    def test_expansion_smash_hijacks(self):
+        app = Icecast(IcecastVariant.VULNERABLE)
+        result = app.print_client(craft_expansion_smash(app))
+        assert result.hijacked
+        assert app.process.is_mcode(result.returned_to)
+
+    def test_payload_is_tiny_but_expansion_is_not(self):
+        # The distinguishing trait: a few input bytes smash the stack
+        # through expansion, not through input length.
+        app = Icecast(IcecastVariant.VULNERABLE)
+        payload = craft_expansion_smash(app)
+        assert len(payload) < 32
+        result = app.print_client(payload)
+        assert result.formatted_length > 200
+
+    def test_patched_no_expansion(self):
+        app = Icecast(IcecastVariant.PATCHED)
+        result = app.print_client(craft_expansion_smash(app))
+        assert not result.hijacked
+        assert result.returned_to == Icecast.RETURN_SITE
+
+    def test_patched_bounds_copy(self):
+        app = Icecast(IcecastVariant.PATCHED)
+        result = app.print_client(b"A" * 1000)
+        assert not result.hijacked
+
+
+class TestSplitvt:
+    def test_benign_title(self):
+        app = Splitvt()
+        result = app.set_title(b"my session")
+        assert not result.wrote_memory
+        assert app.handler_consistent(0)
+
+    def test_handler_overwrite(self):
+        app = Splitvt(SplitvtVariant.VULNERABLE)
+        result = app.set_title(craft_handler_overwrite(app))
+        assert result.wrote_memory
+        assert not app.handler_consistent(0)
+
+    def test_hijack_fires_on_refresh_not_return(self):
+        # The access-validation trait: control is taken at the next
+        # dispatch, not at function return.
+        app = Splitvt(SplitvtVariant.VULNERABLE)
+        title = app.set_title(craft_handler_overwrite(app))
+        assert title.wrote_memory  # set_title itself returned normally
+        refresh = app.refresh(0)
+        assert refresh.hijacked
+        assert app.process.is_mcode(refresh.handler)
+
+    def test_other_slots_unaffected(self):
+        app = Splitvt(SplitvtVariant.VULNERABLE)
+        app.set_title(craft_handler_overwrite(app, slot=0))
+        result = app.refresh(1)
+        assert result.dispatched and not result.hijacked
+
+    def test_patched_inert(self):
+        app = Splitvt(SplitvtVariant.PATCHED)
+        app.set_title(craft_handler_overwrite(app))
+        assert app.handler_consistent(0)
+        assert not app.refresh(0).hijacked
+
+    def test_guarded_refuses_corrupted_dispatch(self):
+        app = Splitvt(SplitvtVariant.GUARDED)
+        app.set_title(craft_handler_overwrite(app))
+        result = app.refresh(0)
+        assert not result.dispatched
+        assert "verification" in result.reason
+
+
+class TestTrioConsequences:
+    """One mechanism (user input as format), three distinct observable
+    consequences — matching the trio's three Bugtraq categories."""
+
+    def test_wuftpd_input_validation_consequence(self):
+        # #1387 (Input Validation anchor): the malicious *input* rewrites
+        # the return address through %n.
+        app = WuFtpd(WuFtpdVariant.VULNERABLE)
+        reply = app.handle_command(craft_site_exec_exploit(app))
+        assert reply.hijacked
+
+    def test_icecast_boundary_consequence(self):
+        # #2264 (Boundary Condition anchor): directive *expansion*
+        # overflows a fixed buffer.
+        app = Icecast(IcecastVariant.VULNERABLE)
+        result = app.print_client(craft_expansion_smash(app))
+        assert result.hijacked
+        assert result.formatted_length > 256  # the boundary violation
+
+    def test_splitvt_access_validation_consequence(self):
+        # #2210 (Access Validation anchor): a write lands on an object
+        # (the handler pointer) outside the user's access domain.
+        app = Splitvt(SplitvtVariant.VULNERABLE)
+        app.set_title(craft_handler_overwrite(app))
+        assert not app.handler_consistent(0)
+
+    def test_three_distinct_fix_sites(self):
+        # Each consequence has its own natural fix location.
+        ftpd = WuFtpd(WuFtpdVariant.PATCHED)
+        assert not ftpd.handle_command(
+            craft_site_exec_exploit(ftpd)).hijacked
+        ice = Icecast(IcecastVariant.PATCHED)
+        assert not ice.print_client(craft_expansion_smash(ice)).hijacked
+        svt = Splitvt(SplitvtVariant.GUARDED)
+        svt.set_title(craft_handler_overwrite(svt))
+        assert not svt.refresh(0).dispatched

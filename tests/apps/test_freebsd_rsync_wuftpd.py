@@ -1,0 +1,161 @@
+"""Tests for the three additional named vulnerabilities: FreeBSD #5493,
+rsync #3958 (completing Table 1 with executables), wu-ftpd #1387."""
+
+import pytest
+
+from repro.apps import (
+    FreebsdKernel,
+    FreebsdVariant,
+    MAX_REQUEST,
+    RsyncDaemon,
+    RsyncVariant,
+    TABLE_SIZE,
+    WuFtpd,
+    WuFtpdVariant,
+    craft_cred_overwrite,
+    craft_negative_opcode,
+    craft_site_exec_exploit,
+)
+
+
+class TestFreebsdBenign:
+    @pytest.mark.parametrize("variant", list(FreebsdVariant))
+    def test_valid_request_staged(self, variant):
+        kernel = FreebsdKernel(variant)
+        result = kernel.copy_request(b"hello", 5)
+        assert result.accepted
+        assert kernel.space.read(kernel.buffer.start, 5) == b"hello"
+        assert kernel.cred_intact()
+
+    @pytest.mark.parametrize("variant", list(FreebsdVariant))
+    def test_oversized_rejected(self, variant):
+        kernel = FreebsdKernel(variant)
+        assert not kernel.copy_request(b"x" * 100, MAX_REQUEST + 1).accepted
+
+    def test_boundary_length_accepted(self):
+        kernel = FreebsdKernel()
+        assert kernel.copy_request(b"x" * MAX_REQUEST, MAX_REQUEST).accepted
+        assert kernel.cred_intact()
+
+
+class TestFreebsdExploit:
+    def test_negative_length_passes_signed_check(self):
+        kernel = FreebsdKernel(FreebsdVariant.VULNERABLE)
+        result = kernel.copy_request(craft_cred_overwrite(kernel), -1)
+        assert result.accepted
+        assert result.bytes_copied > MAX_REQUEST
+
+    def test_privilege_escalation(self):
+        kernel = FreebsdKernel(FreebsdVariant.VULNERABLE)
+        kernel.copy_request(craft_cred_overwrite(kernel), -1)
+        assert kernel.escalated
+        assert kernel.getuid() == 0
+        assert not kernel.cred_intact()
+
+    def test_patched_rejects_negative(self):
+        kernel = FreebsdKernel(FreebsdVariant.PATCHED)
+        assert not kernel.copy_request(craft_cred_overwrite(kernel),
+                                       -1).accepted
+        assert kernel.cred_intact()
+
+    def test_very_negative_length(self):
+        kernel = FreebsdKernel(FreebsdVariant.VULNERABLE)
+        result = kernel.copy_request(craft_cred_overwrite(kernel), -(2**31))
+        assert result.accepted  # signed check passes; unsigned wraps huge
+        assert kernel.escalated
+
+
+class TestRsyncBenign:
+    @pytest.mark.parametrize("variant", list(RsyncVariant))
+    def test_valid_opcode_dispatches(self, variant):
+        daemon = RsyncDaemon(variant)
+        result = daemon.dispatch(3)
+        assert result.accepted and not result.hijacked
+        assert result.handler == daemon.legitimate_handler(3)
+
+    @pytest.mark.parametrize("variant", list(RsyncVariant))
+    def test_out_of_range_rejected(self, variant):
+        daemon = RsyncDaemon(variant)
+        assert not daemon.dispatch(TABLE_SIZE).accepted
+        assert not daemon.dispatch(1000).accepted
+
+
+class TestRsyncExploit:
+    def _armed(self, variant):
+        daemon = RsyncDaemon(variant)
+        mcode = daemon.process.plant_mcode()
+        daemon.receive_request(mcode.to_bytes(4, "little") + b"padding")
+        return daemon
+
+    def test_negative_opcode_hijacks(self):
+        daemon = self._armed(RsyncVariant.VULNERABLE)
+        result = daemon.dispatch(craft_negative_opcode(daemon))
+        assert result.accepted and result.hijacked
+        assert daemon.process.is_mcode(result.handler)
+
+    def test_patched_rejects_negative(self):
+        daemon = self._armed(RsyncVariant.PATCHED)
+        assert not daemon.dispatch(craft_negative_opcode(daemon)).accepted
+
+    def test_guarded_refuses_unregistered_pointer(self):
+        daemon = self._armed(RsyncVariant.GUARDED)
+        result = daemon.dispatch(craft_negative_opcode(daemon))
+        assert not result.accepted
+        assert "consistency" in result.reason
+
+    def test_request_buffer_below_table(self):
+        daemon = RsyncDaemon()
+        assert daemon.request_buffer < daemon.table
+        assert craft_negative_opcode(daemon) < 0
+
+    def test_unplanted_buffer_dispatch_is_not_mcode(self):
+        daemon = RsyncDaemon(RsyncVariant.VULNERABLE)
+        daemon.receive_request(b"\x00" * 8)
+        result = daemon.dispatch(craft_negative_opcode(daemon))
+        assert result.accepted and result.hijacked
+        assert not daemon.process.is_mcode(result.handler)  # a crash, not Mcode
+
+
+class TestWuFtpdCommands:
+    def test_basic_commands(self):
+        ftpd = WuFtpd()
+        assert ftpd.handle_command(b"USER anonymous").ok
+        assert ftpd.handle_command(b"NOOP").ok
+        assert not ftpd.handle_command(b"XYZZY").ok
+        assert not ftpd.handle_command(b"SITE CHMOD 777 f").ok
+
+    def test_site_exec_echoes(self):
+        ftpd = WuFtpd()
+        reply = ftpd.handle_command(b"SITE EXEC hello")
+        assert reply.ok and b"hello" in reply.text
+        assert reply.returned_to == WuFtpd.RETURN_SITE
+
+    def test_case_insensitive_verbs(self):
+        ftpd = WuFtpd()
+        assert ftpd.handle_command(b"site exec hi").ok
+
+
+class TestWuFtpdExploit:
+    def test_vulnerable_hijacked(self):
+        ftpd = WuFtpd(WuFtpdVariant.VULNERABLE)
+        reply = ftpd.handle_command(craft_site_exec_exploit(ftpd))
+        assert reply.hijacked
+        assert ftpd.process.is_mcode(reply.returned_to)
+
+    def test_leak_without_write(self):
+        ftpd = WuFtpd(WuFtpdVariant.VULNERABLE)
+        reply = ftpd.handle_command(b"SITE EXEC %x.%x")
+        assert reply.ok and not reply.hijacked
+        assert b"." in reply.text
+
+    def test_patched_inert(self):
+        ftpd = WuFtpd(WuFtpdVariant.PATCHED)
+        reply = ftpd.handle_command(craft_site_exec_exploit(ftpd))
+        assert not reply.hijacked
+        assert reply.returned_to == WuFtpd.RETURN_SITE
+
+    def test_stack_balanced_across_requests(self):
+        ftpd = WuFtpd(WuFtpdVariant.PATCHED)
+        for _ in range(4):
+            ftpd.handle_command(b"SITE EXEC ls")
+        assert ftpd.process.stack.frames == []

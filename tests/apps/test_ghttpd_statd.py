@@ -1,0 +1,124 @@
+"""GHTTPD (#5960) and rpc.statd (#1480) application-model tests."""
+
+import pytest
+
+from repro.apps import (
+    Ghttpd,
+    GhttpdVariant,
+    RpcStatd,
+    StatdVariant,
+    craft_format_exploit,
+    craft_stack_smash,
+)
+from repro.apps.ghttpd import LOG_BUFFER_SIZE
+
+
+class TestGhttpdBenign:
+    @pytest.mark.parametrize("variant", list(GhttpdVariant))
+    def test_short_request_returns_normally(self, variant):
+        app = Ghttpd(variant)
+        result = app.serve(b"GET / HTTP/1.0")
+        assert result.accepted
+        assert not result.hijacked
+        assert result.returned_to == Ghttpd.RETURN_SITE
+
+    def test_stack_balanced_after_requests(self):
+        app = Ghttpd()
+        for _ in range(5):
+            app.serve(b"GET /x HTTP/1.0")
+        assert app.process.stack.frames == []
+
+
+class TestGhttpdExploit:
+    def test_vulnerable_hijacked(self):
+        app = Ghttpd(GhttpdVariant.VULNERABLE)
+        result = app.serve(craft_stack_smash(app))
+        assert result.hijacked
+        assert app.process.is_mcode(result.returned_to)
+
+    def test_boundary_exact_size_no_hijack(self):
+        app = Ghttpd(GhttpdVariant.VULNERABLE)
+        # A request exactly at buffer size overflows by only the NUL.
+        result = app.serve(b"A" * (LOG_BUFFER_SIZE - 1))
+        assert not result.hijacked
+
+    def test_patched_rejects_long_request(self):
+        app = Ghttpd(GhttpdVariant.PATCHED)
+        result = app.serve(craft_stack_smash(app))
+        assert not result.accepted
+        assert "too long" in result.reason
+
+    def test_patched_accepts_at_boundary(self):
+        app = Ghttpd(GhttpdVariant.PATCHED)
+        assert app.serve(b"A" * (LOG_BUFFER_SIZE - 1)).accepted
+        assert not app.serve(b"A" * LOG_BUFFER_SIZE).accepted
+
+    def test_stackguard_aborts(self):
+        app = Ghttpd(GhttpdVariant.STACKGUARD)
+        result = app.serve(craft_stack_smash(app))
+        assert not result.accepted
+        assert "canary" in result.reason
+
+    def test_stackguard_transparent_for_benign(self):
+        app = Ghttpd(GhttpdVariant.STACKGUARD)
+        assert app.serve(b"GET / HTTP/1.0").returned_to == Ghttpd.RETURN_SITE
+
+    def test_splitstack_recovers(self):
+        app = Ghttpd(GhttpdVariant.SPLITSTACK)
+        result = app.serve(craft_stack_smash(app))
+        assert result.accepted
+        assert not result.hijacked
+        assert result.returned_to == Ghttpd.RETURN_SITE
+        assert "shadow" in result.reason
+
+
+class TestStatdBenign:
+    @pytest.mark.parametrize("variant", list(StatdVariant))
+    def test_plain_filename_logged(self, variant):
+        app = RpcStatd(variant)
+        result = app.notify(b"/var/statmon/sm/host1")
+        assert result.accepted
+        assert not result.hijacked
+        assert b"/var/statmon/sm/host1" in result.output
+
+    def test_literal_percent_is_safe(self):
+        app = RpcStatd(StatdVariant.VULNERABLE)
+        result = app.notify(b"100%% done")
+        assert not result.wrote_memory
+
+
+class TestStatdExploit:
+    def test_vulnerable_hijacked(self):
+        app = RpcStatd(StatdVariant.VULNERABLE)
+        result = app.notify(craft_format_exploit(app))
+        assert result.wrote_memory
+        assert result.hijacked
+        assert app.process.is_mcode(result.returned_to)
+
+    def test_directives_leak_stack_words(self):
+        app = RpcStatd(StatdVariant.VULNERABLE)
+        result = app.notify(b"%x.%x.%x")
+        assert result.accepted and not result.hijacked
+        assert b"." in result.output  # hex words leaked
+
+    def test_patched_prints_input_as_data(self):
+        app = RpcStatd(StatdVariant.PATCHED)
+        payload = craft_format_exploit(app)
+        result = app.notify(payload)
+        assert not result.wrote_memory
+        assert not result.hijacked
+        assert payload in result.output  # the %n printed literally
+
+    def test_sanitized_rejects(self):
+        app = RpcStatd(StatdVariant.SANITIZED)
+        result = app.notify(craft_format_exploit(app))
+        assert not result.accepted
+        assert "directives" in result.reason
+
+    def test_sanitized_accepts_clean(self):
+        app = RpcStatd(StatdVariant.SANITIZED)
+        assert app.notify(b"hostname.example.com").accepted
+
+    def test_return_address_slot_stable(self):
+        app = RpcStatd()
+        assert app.return_address_slot() == app.return_address_slot()

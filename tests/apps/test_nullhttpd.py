@@ -1,0 +1,163 @@
+"""NULL HTTPD application-model tests: #5774, #6255, and the fixes."""
+
+import pytest
+
+from repro.apps import (
+    NullHttpd,
+    NullHttpdVariant,
+    RECV_CHUNK,
+    craft_unlink_body,
+)
+from repro.memory import ControlFlowHijack, HeapCorruptionDetected
+from repro.osmodel import SimulatedSocket
+
+
+class TestBenignRequests:
+    @pytest.mark.parametrize("variant", list(NullHttpdVariant))
+    def test_wellformed_post_accepted(self, variant):
+        app = NullHttpd(variant)
+        outcome = app.handle_post(300, b"f" * 300)
+        assert outcome.accepted
+        assert not outcome.overflowed
+        assert outcome.bytes_copied == 300
+
+    @pytest.mark.parametrize("variant", list(NullHttpdVariant))
+    def test_body_lands_in_buffer(self, variant):
+        app = NullHttpd(variant)
+        outcome = app.handle_post(10, b"payload=ok")
+        data = app.process.space.read(outcome.post_data_address, 10)
+        assert data == b"payload=ok"
+
+    def test_multi_chunk_read(self):
+        app = NullHttpd(NullHttpdVariant.FIXED)
+        body = b"x" * (RECV_CHUNK * 2 + 100)
+        outcome = app.handle_post(len(body), body)
+        assert outcome.bytes_copied == len(body)
+        assert not outcome.overflowed
+
+    def test_recv_error_aborts(self):
+        app = NullHttpd(NullHttpdVariant.V0_5)
+        socket = SimulatedSocket(b"x" * 100, error_after=0)
+        outcome = app.read_post_data(socket, 100)
+        assert not outcome.accepted
+        assert outcome.reason == "recv error"
+
+
+class TestKnown5774:
+    def test_negative_contentlen_shrinks_buffer(self):
+        app = NullHttpd(NullHttpdVariant.V0_5)
+        outcome = app.handle_post(-800, b"y" * 100)
+        assert outcome.buffer_size == 224
+
+    def test_v05_overflow(self):
+        app = NullHttpd(NullHttpdVariant.V0_5)
+        outcome = app.handle_post(-800, b"y" * 1024)
+        assert outcome.overflowed
+
+    def test_v051_blocks_negative_contentlen(self):
+        app = NullHttpd(NullHttpdVariant.V0_5_1)
+        outcome = app.handle_post(-800, b"y" * 1024)
+        assert not outcome.accepted
+        assert outcome.reason == "bad Content-Length"
+
+    def test_fixed_blocks_negative_contentlen(self):
+        app = NullHttpd(NullHttpdVariant.FIXED)
+        assert not app.handle_post(-800, b"y" * 1024).accepted
+
+    def test_unlink_exploit_corrupts_got(self):
+        app = NullHttpd(NullHttpdVariant.V0_5)
+        body = craft_unlink_body(app, content_len=-800)
+        outcome = app.handle_post(-800, body)
+        assert outcome.overflowed
+        assert not app.heap_links_consistent()
+        app.free_post_data()
+        assert not app.got_free_consistent()
+        assert app.process.got.current_target("free") == app.process.mcode_address
+
+    def test_unlink_exploit_hijacks_free(self):
+        app = NullHttpd(NullHttpdVariant.V0_5)
+        app.handle_post(-800, craft_unlink_body(app, content_len=-800))
+        app.free_post_data()
+        with pytest.raises(ControlFlowHijack) as exc:
+            app.call_free()
+        assert app.process.is_mcode(exc.value.target)
+
+
+class TestDiscovered6255:
+    def test_v051_overflows_with_correct_contentlen(self):
+        # The paper's discovery: 0.5.1 still copies past the buffer.
+        app = NullHttpd(NullHttpdVariant.V0_5_1)
+        body = craft_unlink_body(app, content_len=100)
+        outcome = app.handle_post(100, body)
+        assert outcome.accepted
+        assert outcome.overflowed
+        assert outcome.bytes_copied > outcome.buffer_size
+
+    def test_or_loop_reads_past_contentlen(self):
+        app = NullHttpd(NullHttpdVariant.V0_5_1)
+        body = b"z" * (RECV_CHUNK * 3)
+        outcome = app.handle_post(10, body)
+        assert outcome.bytes_copied == len(body)  # the || keeps reading
+
+    def test_and_loop_stops_at_chunk_boundary(self):
+        app = NullHttpd(NullHttpdVariant.FIXED)
+        body = b"z" * (RECV_CHUNK * 3)
+        outcome = app.handle_post(10, body)
+        assert outcome.bytes_copied == RECV_CHUNK  # first chunk satisfies x >= len
+        assert not outcome.overflowed
+
+    def test_6255_full_chain(self):
+        app = NullHttpd(NullHttpdVariant.V0_5_1)
+        app.handle_post(100, craft_unlink_body(app, content_len=100))
+        app.free_post_data()
+        with pytest.raises(ControlFlowHijack):
+            app.call_free()
+
+    def test_fixed_forecloses_6255(self):
+        app = NullHttpd(NullHttpdVariant.FIXED)
+        outcome = app.handle_post(100, craft_unlink_body(app, content_len=100))
+        assert not outcome.overflowed
+        assert app.heap_links_consistent()
+        app.free_post_data()
+        assert app.got_free_consistent()
+
+
+class TestDefenses:
+    def test_safe_unlink_detects_5774(self):
+        app = NullHttpd(NullHttpdVariant.V0_5, check_unlink=True)
+        app.handle_post(-800, craft_unlink_body(app, content_len=-800))
+        with pytest.raises(HeapCorruptionDetected):
+            app.free_post_data()
+
+    def test_safe_unlink_detects_6255(self):
+        app = NullHttpd(NullHttpdVariant.V0_5_1, check_unlink=True)
+        app.handle_post(100, craft_unlink_body(app, content_len=100))
+        with pytest.raises(HeapCorruptionDetected):
+            app.free_post_data()
+
+    def test_got_consistency_check_refuses_call(self):
+        app = NullHttpd(NullHttpdVariant.V0_5)
+        app.handle_post(-800, craft_unlink_body(app, content_len=-800))
+        app.free_post_data()
+        with pytest.raises(ValueError, match="refused"):
+            app.call_free(check_consistency=True)
+
+    def test_safe_unlink_transparent_for_benign(self):
+        app = NullHttpd(NullHttpdVariant.FIXED, check_unlink=True)
+        app.handle_post(300, b"f" * 300)
+        app.free_post_data()  # must not raise
+
+
+class TestApiEdges:
+    def test_free_without_allocation(self):
+        app = NullHttpd()
+        with pytest.raises(RuntimeError):
+            app.free_post_data()
+
+    def test_clean_free_call(self):
+        app = NullHttpd()
+        assert app.call_free() == app.process.function_entry("free")
+
+    def test_oversized_contentlen_rejected_by_051(self):
+        app = NullHttpd(NullHttpdVariant.V0_5_1)
+        assert not app.handle_post(NullHttpd.MAX_CONTENT_LEN + 1, b"").accepted

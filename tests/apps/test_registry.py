@@ -1,0 +1,46 @@
+"""Application registry tests."""
+
+import importlib
+
+import pytest
+
+from repro.apps import APP_REGISTRY, by_bugtraq_id
+from repro.core import BugtraqCategory
+
+
+class TestRegistry:
+    def test_all_case_studies_present(self):
+        assert set(APP_REGISTRY) == {
+            "sendmail", "nullhttpd", "xterm", "rwall", "iis",
+            "ghttpd", "rpc_statd", "freebsd", "rsync", "wuftpd",
+            "icecast", "splitvt",
+        }
+
+    def test_modules_importable(self):
+        for record in APP_REGISTRY.values():
+            importlib.import_module(record.module)
+
+    def test_bugtraq_lookup(self):
+        assert by_bugtraq_id(3163).key == "sendmail"
+        assert by_bugtraq_id(5774).key == "nullhttpd"
+        assert by_bugtraq_id(6255).key == "nullhttpd"
+        assert by_bugtraq_id(5960).key == "ghttpd"
+        assert by_bugtraq_id(1480).key == "rpc_statd"
+        assert by_bugtraq_id(2708).key == "iis"
+        assert by_bugtraq_id(5493).key == "freebsd"
+        assert by_bugtraq_id(3958).key == "rsync"
+        assert by_bugtraq_id(1387).key == "wuftpd"
+        assert by_bugtraq_id(2264).key == "icecast"
+        assert by_bugtraq_id(2210).key == "splitvt"
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            by_bugtraq_id(99999)
+
+    def test_categories_valid(self):
+        for record in APP_REGISTRY.values():
+            assert isinstance(record.assigned_category, BugtraqCategory)
+
+    def test_paper_references_present(self):
+        for record in APP_REGISTRY.values():
+            assert record.paper_reference

@@ -1,0 +1,101 @@
+"""Sendmail #3163 application-model tests."""
+
+import pytest
+
+from repro.apps import Sendmail, SendmailVariant, craft_got_exploit
+from repro.apps.sendmail import TTVECT_SIZE
+from repro.memory import ControlFlowHijack
+
+
+class TestTTflag:
+    def test_valid_flag_writes_vector(self):
+        app = Sendmail()
+        result = app.tTflag("7.42")
+        assert result.accepted
+        assert app.read_ttvect(7) == 42
+
+    def test_default_level(self):
+        app = Sendmail()
+        app.tTflag("3")
+        assert app.read_ttvect(3) == 1
+
+    def test_wrapping_input_parsed_negative(self):
+        app = Sendmail()
+        result = app.tTflag(f"{2**32 - 5}.9")
+        assert result.x == -5
+
+    def test_vulnerable_accepts_negative_index(self):
+        app = Sendmail(SendmailVariant.VULNERABLE)
+        assert app.tTflag("-5.9").accepted
+
+    def test_vulnerable_rejects_above_bound(self):
+        app = Sendmail(SendmailVariant.VULNERABLE)
+        assert not app.tTflag(f"{TTVECT_SIZE + 1}.9").accepted
+
+    def test_patched_rejects_negative(self):
+        app = Sendmail(SendmailVariant.PATCHED)
+        assert not app.tTflag("-5.9").accepted
+
+    def test_patched_accepts_valid_range(self):
+        app = Sendmail(SendmailVariant.PATCHED)
+        assert app.tTflag("0.1").accepted
+        assert app.tTflag(f"{TTVECT_SIZE}.1").accepted
+
+    def test_level_byte_masked(self):
+        app = Sendmail()
+        app.tTflag("2.300")
+        assert app.read_ttvect(2) == 300 & 0xFF
+
+    def test_read_ttvect_bounds(self):
+        app = Sendmail()
+        with pytest.raises(IndexError):
+            app.read_ttvect(-1)
+        with pytest.raises(IndexError):
+            app.read_ttvect(TTVECT_SIZE)
+
+
+class TestExploit:
+    def test_exploit_corrupts_got(self):
+        app = Sendmail(SendmailVariant.VULNERABLE)
+        for flag in craft_got_exploit(app):
+            assert app.tTflag(flag).accepted
+        assert not app.got_setuid_consistent()
+
+    def test_exploit_hijacks_setuid(self):
+        app = Sendmail(SendmailVariant.VULNERABLE)
+        for flag in craft_got_exploit(app):
+            app.tTflag(flag)
+        with pytest.raises(ControlFlowHijack) as exc:
+            app.call_setuid()
+        assert app.process.is_mcode(exc.value.target)
+
+    def test_wrapped_inputs_equivalent(self):
+        app = Sendmail(SendmailVariant.VULNERABLE)
+        for flag in craft_got_exploit(app, wrap_inputs=True):
+            assert app.tTflag(flag).accepted
+        assert not app.got_setuid_consistent()
+
+    def test_patched_forecloses(self):
+        app = Sendmail(SendmailVariant.PATCHED)
+        for flag in craft_got_exploit(app):
+            assert not app.tTflag(flag).accepted
+        assert app.got_setuid_consistent()
+        assert app.call_setuid() == app.process.function_entry("setuid")
+
+    def test_guarded_variant_refuses_corrupted_call(self):
+        app = Sendmail(SendmailVariant.GUARDED)
+        for flag in craft_got_exploit(app):
+            app.tTflag(flag)  # corruption succeeds (check still wrong)
+        assert not app.got_setuid_consistent()
+        with pytest.raises(ValueError):
+            app.call_setuid()  # but the dispatch check foils it
+
+    def test_clean_setuid_call(self):
+        app = Sendmail()
+        assert app.call_setuid() == app.process.function_entry("setuid")
+
+    def test_exploit_flags_use_negative_indexes(self):
+        app = Sendmail()
+        flags = craft_got_exploit(app)
+        assert len(flags) == 4
+        assert all(flag.startswith("-") for flag in flags)

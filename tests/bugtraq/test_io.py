@@ -1,0 +1,83 @@
+"""Report serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.bugtraq import (
+    BugtraqDatabase,
+    corpus_report,
+    database_from_json,
+    database_to_json,
+    dump_database,
+    load_database,
+    report_from_dict,
+    report_to_dict,
+    studied_family_share,
+)
+
+
+class TestReportRoundTrip:
+    def test_full_round_trip(self):
+        report = corpus_report(3163)
+        rebuilt = report_from_dict(report_to_dict(report))
+        assert rebuilt == report
+
+    def test_activities_preserved(self):
+        report = corpus_report(5774)
+        rebuilt = report_from_dict(report_to_dict(report))
+        assert rebuilt.activities == report.activities
+
+    def test_none_id_preserved(self):
+        db = BugtraqDatabase.curated()
+        xterm = next(r for r in db if r.bugtraq_id is None)
+        rebuilt = report_from_dict(report_to_dict(xterm))
+        assert rebuilt.bugtraq_id is None
+
+    def test_unknown_category_rejected(self):
+        data = report_to_dict(corpus_report(3163))
+        data["category"] = "Nonsense Error"
+        with pytest.raises(ValueError):
+            report_from_dict(data)
+
+    def test_unknown_activity_rejected(self):
+        data = report_to_dict(corpus_report(3163))
+        data["activities"][0]["activity"] = "nonsense"
+        with pytest.raises(ValueError):
+            report_from_dict(data)
+
+    def test_defaults_applied(self):
+        minimal = {
+            "title": "t",
+            "category": "Design Error",
+            "vulnerability_class": "design error",
+        }
+        report = report_from_dict(minimal)
+        assert report.bugtraq_id is None
+        assert not report.remote
+        assert report.activities == ()
+
+
+class TestDatabaseRoundTrip:
+    def test_curated_round_trip(self):
+        db = BugtraqDatabase.curated()
+        rebuilt = database_from_json(database_to_json(db))
+        assert list(rebuilt) == list(db)
+
+    def test_synthetic_statistics_survive(self):
+        db = BugtraqDatabase.synthetic(total=500, seed=9)
+        rebuilt = database_from_json(database_to_json(db))
+        assert studied_family_share(rebuilt) == studied_family_share(db)
+        assert rebuilt.category_counts() == db.category_counts()
+
+    def test_json_is_valid(self):
+        text = database_to_json(BugtraqDatabase.curated())
+        json.loads(text)
+
+    def test_file_round_trip(self, tmp_path):
+        db = BugtraqDatabase.synthetic(total=100, seed=2)
+        path = tmp_path / "corpus.json"
+        dump_database(db, str(path))
+        loaded = load_database(str(path))
+        assert len(loaded) == 100
+        assert loaded.category_counts() == db.category_counts()

@@ -1,0 +1,176 @@
+"""Builder and renderer tests."""
+
+import pytest
+
+from repro.core import (
+    DIAMOND,
+    Label,
+    ModelBuilder,
+    PfsmType,
+    StateKind,
+    Transition,
+    TransitionKind,
+    in_range,
+    less_equal,
+    render_model,
+    render_operation,
+    render_pfsm,
+    to_dot,
+)
+from repro.core import Predicate
+
+
+def _build():
+    return (
+        ModelBuilder("demo", bugtraq_ids=[1], final_consequence="boom")
+        .operation("op1", obj="index")
+        .pfsm("pFSM1", activity="check", object_name="x",
+              spec=in_range(0, 100), impl=less_equal(100),
+              action="tTvect[x]=i", check_type=PfsmType.CONTENT_ATTRIBUTE)
+        .gate("corrupted", carry=lambda r: {"ok": r.final_object >= 0})
+        .operation("op2", obj="pointer")
+        .pfsm("pFSM2", activity="dispatch", object_name="ptr",
+              spec=Predicate(lambda s: s["ok"], "intact"), impl=None,
+              check_type=PfsmType.REFERENCE_CONSISTENCY)
+        .build()
+    )
+
+
+class TestBuilder:
+    def test_builds_working_model(self):
+        model = _build()
+        assert model.pfsm_count == 2
+        assert model.is_compromised_by(-5)
+        assert not model.is_compromised_by(50)
+
+    def test_metadata_carried(self):
+        model = _build()
+        assert model.bugtraq_ids == (1,)
+        assert model.final_consequence == "boom"
+
+    def test_pfsm_before_operation_rejected(self):
+        with pytest.raises(ValueError):
+            ModelBuilder("m").pfsm("p", "a", "o", spec=in_range(0, 1))
+
+    def test_empty_operation_rejected(self):
+        with pytest.raises(ValueError):
+            ModelBuilder("m").operation("op").build()
+
+    def test_gate_before_operation_rejected(self):
+        builder = ModelBuilder("m")
+        with pytest.raises(ValueError):
+            builder.gate("g")
+
+    def test_default_gate_carry(self):
+        model = (
+            ModelBuilder("m")
+            .operation("op1").pfsm("p1", "a", "o", spec=in_range(0, 100),
+                                   impl=less_equal(100))
+            .gate("pass")
+            .operation("op2").pfsm("p2", "a", "o", spec=in_range(0, 100),
+                                   impl=less_equal(100))
+            .build()
+        )
+        assert model.run(-1).hidden_path_count == 2  # object passed through
+
+
+class TestTransitions:
+    def test_label_render(self):
+        assert Label("x > 100", "reject").render() == f"x > 100 {DIAMOND} reject"
+
+    def test_empty_sides_render_dash(self):
+        assert Label().render() == f"- {DIAMOND} -"
+
+    def test_kind_geometry(self):
+        assert TransitionKind.SPEC_ACPT.source is StateKind.SPEC_CHECK
+        assert TransitionKind.SPEC_ACPT.target is StateKind.ACCEPT
+        assert TransitionKind.IMPL_ACPT.source is StateKind.REJECT
+        assert TransitionKind.IMPL_ACPT.target is StateKind.ACCEPT
+        assert TransitionKind.IMPL_REJ.target is StateKind.REJECT
+
+    def test_hidden_flag(self):
+        assert TransitionKind.IMPL_ACPT.is_hidden
+        assert not TransitionKind.IMPL_REJ.is_hidden
+
+    def test_transition_render_markers(self):
+        missing = Transition(TransitionKind.IMPL_REJ, Label(), exists=False)
+        assert "?" in missing.render()
+        hidden = Transition(TransitionKind.IMPL_ACPT, Label())
+        assert "hidden" in hidden.render()
+
+
+class TestAsciiRender:
+    def test_pfsm_render(self):
+        model = _build()
+        text = render_pfsm(model.operations[0].pfsms[0])
+        assert "pFSM1" in text
+        assert "SPEC_ACPT" in text
+        assert "Content and Attribute Check" in text
+
+    def test_missing_check_marked(self):
+        model = _build()
+        text = render_pfsm(model.operations[1].pfsms[0])
+        assert "missing" in text
+
+    def test_operation_render(self):
+        model = _build()
+        text = render_operation(model.operations[0])
+        assert "op1" in text and "pFSM1" in text
+
+    def test_model_render(self):
+        text = render_model(_build())
+        assert "#1" in text
+        assert "propagation gate: corrupted" in text
+        assert "boom" in text
+
+
+class TestDotRender:
+    def test_valid_digraph(self):
+        dot = to_dot(_build())
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+
+    def test_hidden_edges_dashed_red(self):
+        dot = to_dot(_build())
+        assert "style=dashed, color=red" in dot
+
+    def test_missing_impl_rej_grey(self):
+        dot = to_dot(_build())
+        assert "? (missing)" in dot
+
+    def test_gate_triangle(self):
+        dot = to_dot(_build())
+        assert "shape=triangle" in dot
+
+    def test_terminal_box(self):
+        dot = to_dot(_build())
+        assert "boom" in dot
+
+
+class TestDescribeMethods:
+    def test_model_describe_lists_gates_and_consequence(self):
+        model = _build()
+        text = model.describe()
+        assert "gate: corrupted" in text
+        assert "consequence: boom" in text
+
+    def test_operation_describe(self):
+        model = _build()
+        text = model.operations[0].describe()
+        assert "op1" in text and "pFSM1" in text
+
+    def test_trace_markers_cover_all_event_kinds(self):
+        from repro.core import EventKind
+
+        model = _build()
+        texts = [
+            model.run(-5).trace.to_text(),    # success path markers
+            model.run(500).trace.to_text(),   # foiled path markers
+        ]
+        combined = "\n".join(texts)
+        for kind in (EventKind.OPERATION_START, EventKind.PFSM_STEP,
+                     EventKind.OPERATION_COMPLETE, EventKind.GATE_CROSSED,
+                     EventKind.EXPLOIT_SUCCEEDED, EventKind.OPERATION_FOILED,
+                     EventKind.EXPLOIT_FOILED):
+            assert kind.value in combined

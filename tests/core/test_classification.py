@@ -1,0 +1,80 @@
+"""Taxonomy tests: Bugtraq categories, pFSM types, activity anchoring."""
+
+from repro.core import (
+    ActivityKind,
+    BugtraqCategory,
+    CATEGORY_DEFINITIONS,
+    PfsmType,
+    categorize_by_activity,
+)
+
+
+class TestBugtraqCategories:
+    def test_twelve_categories(self):
+        assert len(BugtraqCategory) == 12
+
+    def test_all_have_definitions(self):
+        assert set(CATEGORY_DEFINITIONS) == set(BugtraqCategory)
+
+    def test_paper_definitions_present(self):
+        assert "buffer overflow" in CATEGORY_DEFINITIONS[
+            BugtraqCategory.BOUNDARY_CONDITION
+        ]
+        assert "syntactically incorrect" in CATEGORY_DEFINITIONS[
+            BugtraqCategory.INPUT_VALIDATION
+        ]
+        assert "timing window" in CATEGORY_DEFINITIONS[
+            BugtraqCategory.RACE_CONDITION
+        ]
+
+    def test_undefined_categories_marked(self):
+        assert CATEGORY_DEFINITIONS[BugtraqCategory.DESIGN] == "not defined"
+        assert CATEGORY_DEFINITIONS[BugtraqCategory.ORIGIN_VALIDATION] == \
+            "not defined"
+
+
+class TestPfsmTypes:
+    def test_exactly_three(self):
+        assert len(PfsmType) == 3
+
+    def test_names_match_figure8(self):
+        assert PfsmType.OBJECT_TYPE.value == "Object Type Check"
+        assert PfsmType.CONTENT_ATTRIBUTE.value == "Content and Attribute Check"
+        assert PfsmType.REFERENCE_CONSISTENCY.value == \
+            "Reference Consistency Check"
+
+
+class TestActivityAnchoring:
+    def test_table1_mechanism(self):
+        # The three Table 1 anchors map to the three assigned categories.
+        assert categorize_by_activity(ActivityKind.GET_INPUT) is \
+            BugtraqCategory.INPUT_VALIDATION
+        assert categorize_by_activity(ActivityKind.USE_AS_INDEX) is \
+            BugtraqCategory.BOUNDARY_CONDITION
+        assert categorize_by_activity(ActivityKind.TRANSFER_CONTROL) is \
+            BugtraqCategory.ACCESS_VALIDATION
+
+    def test_buffer_overflow_chain(self):
+        # #6157 / #5960 / #4479: the same chain, three categories.
+        assert categorize_by_activity(ActivityKind.GET_INPUT) is \
+            BugtraqCategory.INPUT_VALIDATION
+        assert categorize_by_activity(ActivityKind.COPY_TO_BUFFER) is \
+            BugtraqCategory.BOUNDARY_CONDITION
+        assert categorize_by_activity(ActivityKind.HANDLE_ADJACENT_DATA) is \
+            BugtraqCategory.EXCEPTIONAL_CONDITIONS
+
+    def test_race_anchor(self):
+        assert categorize_by_activity(ActivityKind.CHECK_THEN_USE) is \
+            BugtraqCategory.RACE_CONDITION
+
+    def test_every_activity_maps(self):
+        for activity in ActivityKind:
+            assert isinstance(categorize_by_activity(activity), BugtraqCategory)
+
+    def test_same_type_three_categories(self):
+        # The core Table 1 observation: one vulnerability type, three
+        # distinct categories, purely from the anchoring activity.
+        anchors = [ActivityKind.GET_INPUT, ActivityKind.USE_AS_INDEX,
+                   ActivityKind.TRANSFER_CONTROL]
+        categories = {categorize_by_activity(a) for a in anchors}
+        assert len(categories) == 3

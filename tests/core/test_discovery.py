@@ -1,0 +1,125 @@
+"""Discovery engine tests: probing implementations, flagging new hidden
+paths."""
+
+import pytest
+
+from repro.core import (
+    DiscoveryEngine,
+    Domain,
+    Operation,
+    Predicate,
+    PrimitiveFSM,
+    in_range,
+    probe_implementation,
+)
+
+
+class TestProbeImplementation:
+    def test_probe_partitions_domain(self):
+        probe = probe_implementation(
+            lambda x: x <= 100, Domain.integers(-3, 103)
+        )
+        assert -3 in probe.accepted
+        assert 103 in probe.rejected
+
+    def test_probe_predicate_usable(self):
+        probe = probe_implementation(lambda x: x <= 100, Domain.integers(0, 5))
+        assert probe.predicate(50)
+        assert not probe.predicate(500)
+
+    def test_exception_counts_as_rejection(self):
+        def accepts(x):
+            if x < 0:
+                raise ValueError("negative")
+            return True
+
+        probe = probe_implementation(accepts, Domain.integers(-2, 2))
+        assert -2 in probe.rejected
+        assert 2 in probe.accepted
+
+    def test_checks_anything(self):
+        everything = probe_implementation(lambda _x: True, Domain.integers(0, 5))
+        assert not everything.checks_anything
+        some = probe_implementation(lambda x: x > 2, Domain.integers(0, 5))
+        assert some.checks_anything
+
+
+class TestSweepOperation:
+    def _operation(self):
+        return Operation(
+            "read", "the request",
+            [
+                PrimitiveFSM("pFSM1", "check length", "n",
+                             spec_accepts=in_range(0, 100),
+                             impl_accepts=in_range(0, 100)),  # fixed
+                PrimitiveFSM("pFSM2", "copy", "n",
+                             spec_accepts=in_range(0, 100),
+                             impl_accepts=None),  # the undiscovered bug
+            ],
+        )
+
+    def test_finds_only_divergent_activity(self):
+        engine = DiscoveryEngine()
+        findings = engine.sweep_operation(
+            self._operation(),
+            {"pFSM1": Domain.integers(-5, 105),
+             "pFSM2": Domain.integers(-5, 105)},
+        )
+        assert [f.pfsm_name for f in findings] == ["pFSM2"]
+
+    def test_known_flagging(self):
+        engine = DiscoveryEngine(known_vulnerable=["pFSM2"])
+        findings = engine.sweep_operation(
+            self._operation(), {"pFSM2": Domain.integers(-5, 105)}
+        )
+        assert findings[0].known
+        assert not findings[0].is_new
+
+    def test_new_findings_filter(self):
+        engine = DiscoveryEngine(known_vulnerable=["pFSM1"])
+        findings = engine.sweep_operation(
+            self._operation(),
+            {"pFSM1": Domain.integers(-5, 105),
+             "pFSM2": Domain.integers(-5, 105)},
+        )
+        new = DiscoveryEngine.new_findings(findings)
+        assert [f.pfsm_name for f in new] == ["pFSM2"]
+
+    def test_missing_domain_skipped(self):
+        engine = DiscoveryEngine()
+        assert engine.sweep_operation(self._operation(), {}) == []
+
+    def test_finding_str(self):
+        engine = DiscoveryEngine()
+        (finding,) = engine.sweep_operation(
+            self._operation(), {"pFSM2": Domain.integers(-2, -1)}
+        )
+        assert "NEW" in str(finding)
+
+
+class TestSweepProbed:
+    def test_probed_sweep_discovers_logic_bug(self):
+        # An implementation whose accept set exceeds the spec's: the ||
+        # vs && shape, abstracted.
+        def buggy_accepts(n):
+            return n == 1024 or n < 100  # should be `and`-ish narrowing
+
+        spec = Predicate(lambda n: 0 <= n < 100, "0 <= n < 100")
+        engine = DiscoveryEngine()
+        findings = engine.sweep_probed(
+            "read loop",
+            [("pFSM2", "terminate the copy", spec, buggy_accepts)],
+            {"pFSM2": Domain.of(-5, 0, 50, 99, 100, 512, 1024)},
+        )
+        assert len(findings) == 1
+        assert 1024 in findings[0].witnesses or -5 in findings[0].witnesses
+
+    def test_probed_sweep_clean_implementation(self):
+        spec = Predicate(lambda n: 0 <= n < 100, "0 <= n < 100")
+        engine = DiscoveryEngine()
+        findings = engine.sweep_probed(
+            "read loop",
+            [("pFSM1", "check", spec, lambda n: 0 <= n < 100)],
+            {"pFSM1": Domain.integers(-10, 110)},
+        )
+        assert findings == []

@@ -1,0 +1,185 @@
+"""VulnerabilityModel tests: cascading, gates, traces, securing."""
+
+import pytest
+
+from repro.core import (
+    EventKind,
+    Operation,
+    Predicate,
+    PrimitiveFSM,
+    PropagationGate,
+    VulnerabilityModel,
+    in_range,
+    less_equal,
+)
+
+
+def _op1():
+    return Operation(
+        "op1", "the index",
+        [PrimitiveFSM("pFSM1", "index", "x",
+                      spec_accepts=in_range(0, 100),
+                      impl_accepts=less_equal(100))],
+    )
+
+
+def _op2():
+    return Operation(
+        "op2", "the pointer",
+        [PrimitiveFSM("pFSM2", "dispatch", "ptr",
+                      spec_accepts=Predicate(
+                          lambda state: state["unchanged"], "ptr unchanged"),
+                      impl_accepts=None)],
+    )
+
+
+def _gate():
+    return PropagationGate(
+        "pointer corrupted",
+        carry=lambda result: {"unchanged": result.final_object >= 0},
+    )
+
+
+@pytest.fixture
+def model():
+    return VulnerabilityModel(
+        "test model", [_op1(), _op2()], [_gate()],
+        bugtraq_ids=[9999], final_consequence="Mcode executed",
+    )
+
+
+class TestConstruction:
+    def test_gate_count_validated(self):
+        with pytest.raises(ValueError, match="gates"):
+            VulnerabilityModel("m", [_op1(), _op2()], [])
+
+    def test_needs_operations(self):
+        with pytest.raises(ValueError):
+            VulnerabilityModel("m", [], [])
+
+    def test_duplicate_operation_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            VulnerabilityModel("m", [_op1(), _op1()], [_gate()])
+
+    def test_lookup(self, model):
+        assert model.operation("op1").name == "op1"
+        with pytest.raises(KeyError):
+            model.operation("nosuch")
+
+    def test_all_pfsms(self, model):
+        pairs = model.all_pfsms()
+        assert [(op.name, p.name) for op, p in pairs] == [
+            ("op1", "pFSM1"), ("op2", "pFSM2"),
+        ]
+        assert model.pfsm_count == 2
+
+
+class TestTraversal:
+    def test_exploit_traverses_both_operations(self, model):
+        result = model.run(-5)
+        assert result.compromised
+        assert result.hidden_path_count == 2
+        assert result.trace.succeeded
+
+    def test_benign_completes_without_hidden_paths(self, model):
+        result = model.run(50)
+        assert result.compromised  # it completes...
+        assert result.hidden_path_count == 0  # ...but legitimately
+
+    def test_is_compromised_by_requires_hidden_path(self, model):
+        assert model.is_compromised_by(-5)
+        assert not model.is_compromised_by(50)  # benign completion
+
+    def test_foiled_input_stops_early(self, model):
+        result = model.run(500)  # impl rejects at pFSM1
+        assert not result.compromised
+        assert result.foiled_at == "pFSM1"
+        assert len(result.operation_results) == 1
+
+    def test_gate_carries_state(self, model):
+        result = model.run(-5)
+        op2_result = result.operation_results[1]
+        assert op2_result.outcomes[0].obj == {"unchanged": False}
+
+
+class TestTrace:
+    def test_event_sequence_for_exploit(self, model):
+        trace = model.run(-5).trace
+        kinds = [e.kind for e in trace.events]
+        assert kinds == [
+            EventKind.OPERATION_START,
+            EventKind.PFSM_STEP,
+            EventKind.OPERATION_COMPLETE,
+            EventKind.GATE_CROSSED,
+            EventKind.OPERATION_START,
+            EventKind.PFSM_STEP,
+            EventKind.OPERATION_COMPLETE,
+            EventKind.EXPLOIT_SUCCEEDED,
+        ]
+
+    def test_event_sequence_for_foiled(self, model):
+        trace = model.run(500).trace
+        assert trace.events[-1].kind is EventKind.EXPLOIT_FOILED
+        assert trace.foiled_at == "pFSM1"
+
+    def test_hidden_path_steps(self, model):
+        trace = model.run(-5).trace
+        assert [e.subject for e in trace.hidden_path_steps()] == [
+            "pFSM1", "pFSM2",
+        ]
+
+    def test_operations_completed(self, model):
+        assert model.run(-5).trace.operations_completed() == ["op1", "op2"]
+
+    def test_to_text(self, model):
+        text = model.run(-5).trace.to_text()
+        assert "exploit succeeded" in text
+        assert "[hidden]" in text
+
+    def test_summary(self, model):
+        assert model.run(-5).trace.summary() == (True, 2, None)
+        succeeded, hidden, foiled = model.run(500).trace.summary()
+        assert not succeeded and foiled == "pFSM1"
+
+
+class TestSecuring:
+    def test_with_pfsm_secured(self, model):
+        hardened = model.with_pfsm_secured("op1", "pFSM1")
+        assert not hardened.is_compromised_by(-5)
+
+    def test_with_operation_secured(self, model):
+        hardened = model.with_operation_secured("op2")
+        assert not hardened.is_compromised_by(-5)
+
+    def test_with_operation_secured_missing(self, model):
+        with pytest.raises(KeyError):
+            model.with_operation_secured("nosuch")
+
+    def test_fully_secured(self, model):
+        hardened = model.fully_secured()
+        assert not hardened.is_compromised_by(-5)
+        assert hardened.run(50).compromised  # benign still completes
+
+    def test_securing_preserves_metadata(self, model):
+        hardened = model.fully_secured()
+        assert hardened.bugtraq_ids == (9999,)
+        assert hardened.final_consequence == "Mcode executed"
+
+    def test_original_unchanged(self, model):
+        model.fully_secured()
+        assert model.is_compromised_by(-5)
+
+
+class TestDescribe:
+    def test_describe_contains_structure(self, model):
+        text = model.describe()
+        assert "#9999" in text
+        assert "op1" in text and "op2" in text
+        assert "pointer corrupted" in text
+        assert "Mcode executed" in text
+
+    def test_default_gate_passes_object(self):
+        gate = PropagationGate("pass-through")
+        op = _op1()
+        result = op.run(7)
+        assert gate.carry(result) == 7

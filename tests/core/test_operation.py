@@ -1,0 +1,139 @@
+"""Operation tests: pFSM chaining, transforms, foiling, securing."""
+
+import pytest
+
+from repro.core import (
+    Operation,
+    Predicate,
+    PrimitiveFSM,
+    in_range,
+    less_equal,
+)
+from repro.memory import atoi
+
+
+def _convert_pfsm():
+    return PrimitiveFSM(
+        "pFSM1", "get and convert", "str_x",
+        spec_accepts=Predicate(
+            lambda s: abs(int(s)) < 2**31, "fits in int32"
+        ),
+        impl_accepts=None,
+        transform=lambda s: atoi(s).value,
+    )
+
+
+def _index_pfsm():
+    return PrimitiveFSM(
+        "pFSM2", "index the array", "x",
+        spec_accepts=in_range(0, 100),
+        impl_accepts=less_equal(100),
+    )
+
+
+@pytest.fixture
+def operation():
+    return Operation("write tTvect[x]", "the input integer",
+                     [_convert_pfsm(), _index_pfsm()])
+
+
+class TestExecution:
+    def test_benign_completes_cleanly(self, operation):
+        result = operation.run("42")
+        assert result.completed
+        assert not result.used_hidden_path
+        assert result.final_object == 42
+
+    def test_transform_chains_between_pfsms(self, operation):
+        # The string is converted before pFSM2 sees it.
+        result = operation.run("100")
+        assert result.completed
+        assert result.final_object == 100
+
+    def test_hidden_path_recorded(self, operation):
+        result = operation.run("-5")
+        assert result.completed
+        assert result.used_hidden_path
+        assert [o.pfsm_name for o in result.hidden_steps] == ["pFSM2"]
+
+    def test_double_hidden_path(self, operation):
+        # A wrapping string rides pFSM1's hidden path, lands negative,
+        # then rides pFSM2's.
+        result = operation.run(str(2**32 - 7))
+        assert result.exploited
+        assert len(result.hidden_steps) == 2
+
+    def test_foiled_stops_chain(self, operation):
+        result = operation.run("500")  # impl rejects at pFSM2
+        assert not result.completed
+        assert result.foiled_by == "pFSM2"
+        assert len(result.outcomes) == 2
+
+    def test_exploited_requires_hidden_path(self, operation):
+        assert not operation.run("42").exploited
+        assert operation.run("-5").exploited
+
+    def test_outcomes_in_order(self, operation):
+        result = operation.run("42")
+        assert [o.pfsm_name for o in result.outcomes] == ["pFSM1", "pFSM2"]
+
+
+class TestAnalysis:
+    def test_is_secure_over_benign_domain(self, operation):
+        assert operation.is_secure([str(v) for v in range(0, 101)])
+
+    def test_insecure_over_adversarial_domain(self, operation):
+        assert not operation.is_secure(["-1"])
+
+    def test_exploit_witnesses(self, operation):
+        witnesses = operation.exploit_witnesses(["5", "-3", "700", "-9"])
+        assert witnesses == ["-3", "-9"]
+
+    def test_pfsm_lookup(self, operation):
+        assert operation.pfsm("pFSM1").name == "pFSM1"
+
+    def test_pfsm_lookup_missing(self, operation):
+        with pytest.raises(KeyError):
+            operation.pfsm("pFSM9")
+
+
+class TestSecuring:
+    def test_with_pfsm_secured(self, operation):
+        fixed = operation.with_pfsm_secured("pFSM2")
+        assert not fixed.run("-5").completed
+
+    def test_securing_one_leaves_other(self, operation):
+        fixed = operation.with_pfsm_secured("pFSM2")
+        # pFSM1 still has no check: a wrapping string is rejected only
+        # at pFSM2 now (after wrapping negative).
+        result = fixed.run(str(2**32 - 7))
+        assert not result.completed
+        assert result.foiled_by == "pFSM2"
+
+    def test_fully_secured(self, operation):
+        fixed = operation.fully_secured()
+        assert not fixed.run("-5").completed
+        assert not fixed.run(str(2**32 - 7)).completed
+        assert fixed.run("50").completed
+
+    def test_secure_missing_pfsm_raises(self, operation):
+        with pytest.raises(KeyError):
+            operation.with_pfsm_secured("pFSM9")
+
+    def test_securing_already_secure_pfsm_is_noop_not_error(self):
+        pred = in_range(0, 10)
+        pfsm = PrimitiveFSM("p", "a", "o", spec_accepts=pred, impl_accepts=pred)
+        op = Operation("op", "obj", [pfsm])
+        fixed = op.with_pfsm_secured("p")
+        assert fixed.run(5).completed
+
+
+class TestValidation:
+    def test_duplicate_pfsm_names_rejected(self):
+        with pytest.raises(ValueError):
+            Operation("op", "obj", [_index_pfsm(), _index_pfsm()])
+
+    def test_describe(self, operation):
+        text = operation.describe()
+        assert "write tTvect[x]" in text
+        assert "pFSM1" in text and "pFSM2" in text

@@ -1,0 +1,178 @@
+"""Primitive FSM tests: Figure 2 semantics."""
+
+import pytest
+
+from repro.core import (
+    PfsmType,
+    Predicate,
+    PrimitiveFSM,
+    StateKind,
+    TransitionKind,
+    in_range,
+    less_equal,
+)
+
+
+@pytest.fixture
+def sendmail_pfsm2():
+    """The paper's Observation 3 example: spec 0<=x<=100, impl x<=100."""
+    return PrimitiveFSM(
+        name="pFSM2",
+        activity="write i to tTvect[x]",
+        object_name="x",
+        spec_accepts=in_range(0, 100),
+        impl_accepts=less_equal(100),
+        accept_action="tTvect[x]=i",
+        check_type=PfsmType.CONTENT_ATTRIBUTE,
+    )
+
+
+@pytest.fixture
+def unchecked_pfsm():
+    """A pFSM whose implementation performs no check at all."""
+    return PrimitiveFSM(
+        name="pFSM1",
+        activity="get input",
+        object_name="input",
+        spec_accepts=in_range(0, 100),
+        impl_accepts=None,
+    )
+
+
+class TestStepSemantics:
+    def test_spec_accept_path(self, sendmail_pfsm2):
+        outcome = sendmail_pfsm2.step(50)
+        assert outcome.accepted
+        assert not outcome.via_hidden_path
+        assert outcome.transitions == (TransitionKind.SPEC_ACPT,)
+        assert outcome.states == (StateKind.SPEC_CHECK, StateKind.ACCEPT)
+
+    def test_impl_reject_path(self, sendmail_pfsm2):
+        outcome = sendmail_pfsm2.step(150)  # spec rejects, impl rejects too
+        assert outcome.foiled
+        assert outcome.transitions == (
+            TransitionKind.SPEC_REJ,
+            TransitionKind.IMPL_REJ,
+        )
+        assert outcome.states[-1] is StateKind.REJECT
+
+    def test_hidden_path(self, sendmail_pfsm2):
+        outcome = sendmail_pfsm2.step(-563)  # spec rejects, impl accepts
+        assert outcome.accepted
+        assert outcome.via_hidden_path
+        assert outcome.transitions == (
+            TransitionKind.SPEC_REJ,
+            TransitionKind.IMPL_ACPT,
+        )
+        assert outcome.states[-1] is StateKind.ACCEPT
+
+    def test_boundary_values(self, sendmail_pfsm2):
+        assert not sendmail_pfsm2.step(0).via_hidden_path
+        assert not sendmail_pfsm2.step(100).via_hidden_path
+        assert sendmail_pfsm2.step(-1).via_hidden_path
+        assert sendmail_pfsm2.step(101).foiled
+
+    def test_no_check_accepts_everything(self, unchecked_pfsm):
+        outcome = unchecked_pfsm.step(10**9)
+        assert outcome.accepted and outcome.via_hidden_path
+
+    def test_no_check_spec_path_still_clean(self, unchecked_pfsm):
+        outcome = unchecked_pfsm.step(50)
+        assert outcome.accepted and not outcome.via_hidden_path
+
+    def test_transform_applied_on_accept(self):
+        pfsm = PrimitiveFSM(
+            "p", "convert", "s",
+            spec_accepts=Predicate(lambda s: True, "any"),
+            transform=int,
+        )
+        assert pfsm.step("42").transformed == 42
+
+    def test_transform_not_applied_on_reject(self):
+        pfsm = PrimitiveFSM(
+            "p", "convert", "s",
+            spec_accepts=Predicate(lambda s: False, "none"),
+            impl_accepts=Predicate(lambda s: False, "none"),
+            transform=int,
+        )
+        outcome = pfsm.step("42")
+        assert outcome.foiled
+        assert outcome.transformed is None or outcome.transformed == "42"
+
+
+class TestHiddenPathAnalysis:
+    def test_takes_hidden_path(self, sendmail_pfsm2):
+        assert sendmail_pfsm2.takes_hidden_path(-5)
+        assert not sendmail_pfsm2.takes_hidden_path(5)
+        assert not sendmail_pfsm2.takes_hidden_path(500)
+
+    def test_hidden_witnesses(self, sendmail_pfsm2):
+        witnesses = sendmail_pfsm2.hidden_witnesses(range(-10, 10))
+        assert witnesses == list(range(-10, 0))
+
+    def test_witness_limit(self, sendmail_pfsm2):
+        assert len(sendmail_pfsm2.hidden_witnesses(range(-100, 0), limit=3)) == 3
+
+    def test_has_hidden_path(self, sendmail_pfsm2):
+        assert sendmail_pfsm2.has_hidden_path(range(-5, 5))
+        assert not sendmail_pfsm2.has_hidden_path(range(0, 101))
+
+    def test_is_secure(self, sendmail_pfsm2):
+        assert sendmail_pfsm2.is_secure(range(0, 200))  # over-rejection is secure
+        assert not sendmail_pfsm2.is_secure(range(-1, 2))
+
+
+class TestSecuring:
+    def test_secured_removes_hidden_path(self, sendmail_pfsm2):
+        fixed = sendmail_pfsm2.secured()
+        assert fixed.is_secure(range(-1000, 1000))
+
+    def test_secured_preserves_identity_fields(self, sendmail_pfsm2):
+        fixed = sendmail_pfsm2.secured()
+        assert fixed.name == "pFSM2"
+        assert fixed.check_type is PfsmType.CONTENT_ATTRIBUTE
+
+    def test_secured_still_accepts_valid(self, sendmail_pfsm2):
+        assert sendmail_pfsm2.secured().step(50).accepted
+
+    def test_with_impl(self, sendmail_pfsm2):
+        loosened = sendmail_pfsm2.with_impl(None)
+        assert not loosened.has_check
+        assert loosened.step(5000).accepted
+
+    def test_original_unmodified(self, sendmail_pfsm2):
+        sendmail_pfsm2.secured()
+        assert sendmail_pfsm2.takes_hidden_path(-1)  # frozen original
+
+
+class TestStructure:
+    def test_has_check(self, sendmail_pfsm2, unchecked_pfsm):
+        assert sendmail_pfsm2.has_check
+        assert not unchecked_pfsm.has_check
+
+    def test_transitions_spec_count(self, sendmail_pfsm2):
+        transitions = sendmail_pfsm2.transitions_spec()
+        assert len(transitions) == 4
+        kinds = [t.kind for t in transitions]
+        assert kinds == [
+            TransitionKind.SPEC_ACPT,
+            TransitionKind.SPEC_REJ,
+            TransitionKind.IMPL_REJ,
+            TransitionKind.IMPL_ACPT,
+        ]
+
+    def test_missing_impl_rej_marked(self, unchecked_pfsm):
+        transitions = {t.kind: t for t in unchecked_pfsm.transitions_spec()}
+        assert not transitions[TransitionKind.IMPL_REJ].exists
+
+    def test_impl_rej_present_when_checked(self, sendmail_pfsm2):
+        transitions = {t.kind: t for t in sendmail_pfsm2.transitions_spec()}
+        assert transitions[TransitionKind.IMPL_REJ].exists
+
+    def test_describe_mentions_spec_and_impl(self, sendmail_pfsm2):
+        text = sendmail_pfsm2.describe()
+        assert "0 <= · <= 100" in text
+        assert "· <= 100" in text
+
+    def test_describe_no_check(self, unchecked_pfsm):
+        assert "(no check)" in unchecked_pfsm.describe()

@@ -1,0 +1,140 @@
+"""Property-based tests over the pFSM core (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Domain,
+    Operation,
+    Predicate,
+    PrimitiveFSM,
+    check_lemma_part1,
+    in_range,
+)
+
+# Strategy: interval predicates over small integers.
+intervals = st.tuples(
+    st.integers(min_value=-20, max_value=20),
+    st.integers(min_value=-20, max_value=20),
+).map(lambda pair: (min(pair), max(pair)))
+
+values = st.integers(min_value=-30, max_value=30)
+
+
+def _pfsm(spec_interval, impl_interval):
+    spec = in_range(*spec_interval)
+    impl = in_range(*impl_interval) if impl_interval is not None else None
+    return PrimitiveFSM("p", "activity", "x", spec_accepts=spec,
+                        impl_accepts=impl)
+
+
+class TestPfsmProperties:
+    @given(intervals, intervals, values)
+    def test_hidden_iff_spec_rejects_and_impl_accepts(self, spec, impl, x):
+        pfsm = _pfsm(spec, impl)
+        expected = (not (spec[0] <= x <= spec[1])) and (impl[0] <= x <= impl[1])
+        assert pfsm.takes_hidden_path(x) == expected
+
+    @given(intervals, intervals, values)
+    def test_step_accept_matches_predicates(self, spec, impl, x):
+        pfsm = _pfsm(spec, impl)
+        outcome = pfsm.step(x)
+        spec_ok = spec[0] <= x <= spec[1]
+        impl_ok = impl[0] <= x <= impl[1]
+        assert outcome.accepted == (spec_ok or impl_ok)
+
+    @given(intervals, intervals)
+    def test_secured_pfsm_never_hidden(self, spec, impl):
+        pfsm = _pfsm(spec, impl).secured()
+        assert pfsm.is_secure(range(-30, 31))
+
+    @given(intervals, values)
+    def test_no_check_hidden_iff_spec_rejects(self, spec, x):
+        pfsm = _pfsm(spec, None)
+        assert pfsm.takes_hidden_path(x) == (not (spec[0] <= x <= spec[1]))
+
+    @given(intervals, intervals, values)
+    def test_impl_subset_of_spec_means_secure(self, spec, impl, x):
+        # If the implementation accepts only a subset of the spec, no
+        # hidden path exists (over-rejection is fail-secure).
+        lo = max(spec[0], impl[0])
+        hi = min(spec[1], impl[1])
+        if lo > hi:
+            narrowed = None  # empty implementation: rejects everything
+            pfsm = PrimitiveFSM(
+                "p", "a", "x", spec_accepts=in_range(*spec),
+                impl_accepts=Predicate(lambda _x: False, "never"),
+            )
+        else:
+            pfsm = _pfsm(spec, (lo, hi))
+        assert not pfsm.takes_hidden_path(x)
+
+    @given(intervals, intervals, values)
+    def test_exactly_one_terminal_state(self, spec, impl, x):
+        outcome = _pfsm(spec, impl).step(x)
+        assert outcome.accepted != outcome.foiled
+
+
+class TestOperationProperties:
+    @given(st.lists(st.tuples(intervals, intervals), min_size=1, max_size=4),
+           values)
+    @settings(max_examples=60)
+    def test_foiled_at_first_rejecting_pfsm(self, shapes, x):
+        pfsms = [
+            PrimitiveFSM(f"p{i}", "a", "x",
+                         spec_accepts=in_range(*spec),
+                         impl_accepts=in_range(*impl))
+            for i, (spec, impl) in enumerate(shapes)
+        ]
+        operation = Operation("op", "obj", pfsms)
+        result = operation.run(x)
+        if result.completed:
+            assert all(o.accepted for o in result.outcomes)
+            assert len(result.outcomes) == len(pfsms)
+        else:
+            assert result.outcomes[-1].foiled
+            assert all(o.accepted for o in result.outcomes[:-1])
+
+    @given(st.lists(st.tuples(intervals, intervals), min_size=1, max_size=3))
+    @settings(max_examples=40)
+    def test_lemma_part1_universal(self, shapes):
+        pfsms = [
+            PrimitiveFSM(f"p{i}", "a", "x",
+                         spec_accepts=in_range(*spec),
+                         impl_accepts=in_range(*impl))
+            for i, (spec, impl) in enumerate(shapes)
+        ]
+        operation = Operation("op", "obj", pfsms)
+        assert check_lemma_part1(operation, Domain.integers(-25, 25))
+
+    @given(st.lists(st.tuples(intervals, intervals), min_size=1, max_size=3),
+           values)
+    @settings(max_examples=40)
+    def test_fully_secured_never_exploited(self, shapes, x):
+        pfsms = [
+            PrimitiveFSM(f"p{i}", "a", "x",
+                         spec_accepts=in_range(*spec),
+                         impl_accepts=in_range(*impl))
+            for i, (spec, impl) in enumerate(shapes)
+        ]
+        operation = Operation("op", "obj", pfsms).fully_secured()
+        assert not operation.run(x).exploited
+
+
+class TestPredicateProperties:
+    @given(intervals, intervals, values)
+    def test_de_morgan(self, a, b, x):
+        p = in_range(*a)
+        q = in_range(*b)
+        assert (~(p & q))(x) == ((~p) | (~q))(x)
+        assert (~(p | q))(x) == ((~p) & (~q))(x)
+
+    @given(intervals, values)
+    def test_double_negation(self, a, x):
+        p = in_range(*a)
+        assert (~~p)(x) == p(x)
+
+    @given(intervals, intervals, values)
+    def test_conjunction_commutative(self, a, b, x):
+        p, q = in_range(*a), in_range(*b)
+        assert (p & q)(x) == (q & p)(x)

@@ -1,0 +1,181 @@
+"""Serialization and quantitative-metrics tests."""
+
+import json
+
+import pytest
+
+from repro.core import (
+    Domain,
+    WeightedDomain,
+    compromise_probability,
+    evaluate_model,
+    exposure_ratio,
+    mean_effort_to_foil,
+    model_fingerprint,
+    model_to_dict,
+    model_to_json,
+    pfsm_rates,
+    pfsm_to_dict,
+    result_to_dict,
+    trace_to_dict,
+)
+from repro.models import sendmail_model
+
+
+@pytest.fixture
+def model():
+    return sendmail_model.build_model()
+
+
+class TestSerialization:
+    def test_model_dict_structure(self, model):
+        data = model_to_dict(model)
+        assert data["bugtraq_ids"] == [3163]
+        assert len(data["operations"]) == 2
+        assert len(data["gates"]) == 1
+        assert data["operations"][0]["pfsms"][1]["name"] == "pFSM2"
+
+    def test_pfsm_dict_transitions(self, model):
+        pfsm = model.operations[0].pfsms[1]
+        data = pfsm_to_dict(pfsm)
+        kinds = {t["kind"]: t for t in data["transitions"]}
+        assert kinds["IMPL_ACPT"]["hidden"]
+        assert kinds["IMPL_REJ"]["exists"]  # pFSM2 does check something
+
+    def test_missing_check_serialized_as_null(self, model):
+        pfsm = model.operations[1].pfsms[0]  # pFSM3: no check
+        data = pfsm_to_dict(pfsm)
+        assert data["impl"] is None
+        assert not data["has_check"]
+
+    def test_json_round_trips_as_json(self, model):
+        parsed = json.loads(model_to_json(model))
+        assert parsed["name"].startswith("Sendmail")
+
+    def test_trace_dict(self, model):
+        result = model.run(sendmail_model.exploit_input())
+        data = trace_to_dict(result.trace)
+        assert data["succeeded"]
+        assert data["hidden_path_count"] == 2
+        hidden_events = [e for e in data["events"]
+                         if e["outcome"] and e["outcome"]["hidden"]]
+        assert [e["subject"] for e in hidden_events] == ["pFSM2", "pFSM3"]
+
+    def test_result_dict(self, model):
+        result = model.run(sendmail_model.exploit_input())
+        data = result_to_dict(result)
+        assert data["compromised"]
+        assert [op["name"] for op in data["operations"]] == [
+            sendmail_model.OPERATION_1, sendmail_model.OPERATION_2,
+        ]
+        json.dumps(data)  # fully JSON-serializable
+
+    def test_fingerprint_stable(self, model):
+        assert model_fingerprint(model) == \
+            model_fingerprint(sendmail_model.build_model())
+
+    def test_fingerprint_changes_on_fix(self, model):
+        patched = sendmail_model.build_model(patched=True)
+        assert model_fingerprint(model) != model_fingerprint(patched)
+
+    def test_fingerprint_changes_on_securing(self, model):
+        assert model_fingerprint(model) != \
+            model_fingerprint(model.fully_secured())
+
+
+def _record(x):
+    return {"str_x": x, "str_i": "1"}
+
+
+@pytest.fixture
+def inputs():
+    return WeightedDomain.uniform(
+        Domain([_record("-5"), _record("5"), _record("50"),
+                _record("200"), _record(str(2**32 - 7))])
+    )
+
+
+class TestWeightedDomain:
+    def test_uniform_probability(self):
+        domain = WeightedDomain.uniform(Domain.integers(1, 4))
+        assert domain.probability(lambda x: x <= 2) == pytest.approx(0.5)
+
+    def test_weights_respected(self):
+        domain = WeightedDomain([(1, 3.0), (2, 1.0)])
+        assert domain.probability(lambda x: x == 1) == pytest.approx(0.75)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedDomain([(1, 0.0)])
+
+    def test_len_and_iter(self):
+        domain = WeightedDomain([(1, 1.0), (2, 2.0)])
+        assert len(domain) == 2
+        assert list(domain) == [(1, 1.0), (2, 2.0)]
+
+
+class TestMetrics:
+    def test_compromise_probability(self, model, inputs):
+        # Of the 5 inputs: -5 and the wrapping one compromise.
+        assert compromise_probability(model, inputs) == pytest.approx(0.4)
+
+    def test_secured_probability_zero(self, model, inputs):
+        assert compromise_probability(model.fully_secured(), inputs) == 0.0
+
+    def test_pfsm_rates_partition(self, model):
+        pfsm = model.operations[0].pfsms[1]  # pFSM2
+        rates = pfsm_rates(pfsm, WeightedDomain.uniform(
+            Domain([{"x": v, "i": 1} for v in (-5, 5, 50, 200)])
+        ))
+        assert rates.total == pytest.approx(1.0)
+        assert rates.hidden_accept == pytest.approx(0.25)  # only -5
+        assert rates.impl_reject == pytest.approx(0.25)  # only 200
+
+    def test_exposure_ratio_missing_check_is_one(self, model):
+        pfsm = model.operations[1].pfsms[0]  # pFSM3: no check
+        domain = WeightedDomain.uniform(Domain.of(
+            {"addr_setuid_unchanged": True},
+            {"addr_setuid_unchanged": False},
+        ))
+        assert exposure_ratio(pfsm, domain) == pytest.approx(1.0)
+
+    def test_exposure_ratio_complete_check_is_zero(self, model):
+        pfsm = model.operations[0].pfsms[1].secured()
+        domain = WeightedDomain.uniform(
+            Domain([{"x": v, "i": 1} for v in (-5, 5, 200)])
+        )
+        assert exposure_ratio(pfsm, domain) == 0.0
+
+    def test_mean_effort_to_foil(self, model, inputs):
+        # Cascade order: pFSM1 (doesn't stop "-5"), pFSM2 (stops both).
+        assert mean_effort_to_foil(model, inputs) == 2
+
+    def test_effort_zero_when_safe(self, model):
+        benign = WeightedDomain.uniform(Domain([_record("5")]))
+        assert mean_effort_to_foil(model, benign) == 0
+
+    def test_effort_with_custom_order(self, model, inputs):
+        order = [(sendmail_model.OPERATION_2, "pFSM3")]
+        assert mean_effort_to_foil(model, inputs, fix_order=order) == 1
+
+    def test_effort_exhausted_order_raises(self, model, inputs):
+        with pytest.raises(ValueError):
+            mean_effort_to_foil(model, inputs,
+                                fix_order=[(sendmail_model.OPERATION_1,
+                                            "pFSM1")])
+
+    def test_evaluate_model(self, model, inputs):
+        pfsm_inputs = {
+            name: WeightedDomain.uniform(domain)
+            for name, domain in sendmail_model.pfsm_domains().items()
+        }
+        metrics = evaluate_model(model, inputs, pfsm_inputs)
+        assert metrics.compromise_probability == pytest.approx(0.4)
+        assert metrics.effort_to_foil == 2
+        assert set(metrics.per_pfsm) == {"pFSM1", "pFSM2", "pFSM3"}
+        assert "P(compromise)" in metrics.to_text()
+
+    def test_evaluate_secured_model(self, model, inputs):
+        metrics = evaluate_model(model.fully_secured(), inputs, {})
+        assert metrics.compromise_probability == 0.0
+        assert metrics.effort_to_foil == 0

@@ -1,0 +1,132 @@
+"""State-space (unrolled graph) tests."""
+
+import pytest
+
+from repro.core import build_state_space
+from repro.core.statespace import COMPROMISED, ENTRY, FOILED
+from repro.models import (
+    all_paper_models,
+    all_pfsm_domains,
+    nullhttpd_model,
+    sendmail_model,
+)
+
+
+@pytest.fixture
+def sendmail_space():
+    return build_state_space(sendmail_model.build_model(),
+                             sendmail_model.pfsm_domains())
+
+
+class TestConstruction:
+    def test_node_count(self, sendmail_space):
+        # 3 pFSMs x 3 states + ENTRY + COMPROMISED + FOILED.
+        assert sendmail_space.node_count == 12
+
+    def test_hidden_edges_match_divergent_pfsms(self, sendmail_space):
+        owners = {sendmail_space.edge_owner(e)
+                  for e in sendmail_space.hidden_edges()}
+        assert {pfsm for _op, pfsm in owners} == {"pFSM1", "pFSM2", "pFSM3"}
+
+    def test_markers_present(self, sendmail_space):
+        nodes = set(sendmail_space.graph.nodes)
+        assert {ENTRY, COMPROMISED, FOILED} <= nodes
+
+    def test_secured_model_has_no_hidden_edges(self):
+        space = build_state_space(
+            sendmail_model.build_model().fully_secured(),
+            sendmail_model.pfsm_domains(),
+        )
+        assert space.hidden_edges() == []
+
+    def test_structural_fallback_without_domains(self):
+        # Without domains, missing/divergent checks are conservatively
+        # assumed divergent.
+        space = build_state_space(sendmail_model.build_model())
+        assert len(space.hidden_edges()) == 3
+
+
+class TestReachability:
+    def test_compromise_reachable_vulnerable(self, sendmail_space):
+        assert sendmail_space.compromise_reachable()
+
+    def test_compromise_unreachable_secured(self):
+        space = build_state_space(
+            sendmail_model.build_model().fully_secured(),
+            sendmail_model.pfsm_domains(),
+        )
+        assert not space.compromise_reachable()
+
+    def test_benign_path_always_exists(self, sendmail_space):
+        assert sendmail_space.benign_path_exists()
+
+    def test_exploit_paths_use_hidden_edges(self, sendmail_space):
+        for path in sendmail_space.exploit_paths():
+            assert path[0] == ENTRY and path[-1] == COMPROMISED
+            assert sendmail_space._uses_hidden(path)
+
+    def test_exploit_path_count_nullhttpd(self):
+        space = build_state_space(
+            nullhttpd_model.build_model(), nullhttpd_model.pfsm_domains()
+        )
+        # 4 divergent pFSMs: each can be passed via spec or hidden,
+        # minus the all-spec path = 2^4 - 1 = 15 exploit paths.
+        assert len(space.exploit_paths(limit=64)) == 15
+
+    def test_all_paper_models_reachable(self):
+        domains = all_pfsm_domains()
+        for label, model in all_paper_models().items():
+            space = build_state_space(model, domains[label])
+            assert space.compromise_reachable(), label
+            assert space.benign_path_exists(), label
+
+
+class TestCuts:
+    def test_cut_disconnects(self, sendmail_space):
+        cut = sendmail_space.cut_set()
+        working = sendmail_space.graph.copy()
+        working.remove_edges_from(cut)
+        from repro.core.statespace import StateSpace
+
+        assert not StateSpace(sendmail_space.model,
+                              working).compromise_reachable()
+
+    def test_cut_is_hidden_edges_only(self, sendmail_space):
+        hidden = set(sendmail_space.hidden_edges())
+        assert set(sendmail_space.cut_set()) <= hidden
+
+    def test_without_hidden_edge(self, sendmail_space):
+        pruned = sendmail_space.without_hidden_edge(
+            "Manipulate the GOT entry of setuid", "pFSM3"
+        )
+        assert len(pruned.hidden_edges()) == 2
+        # The unrolled graph is an over-approximation: it ignores the
+        # gate's data flow, so upstream hidden edges still reach the
+        # terminal through pFSM3's (nondeterministic) SPEC_ACPT edge.
+        # Exact foil reasoning lives in minimal_foil_points; the graph
+        # answer is conservative.
+        assert pruned.compromise_reachable()
+
+    def test_removing_all_hidden_edges_disconnects(self, sendmail_space):
+        working = sendmail_space.graph.copy()
+        working.remove_edges_from(sendmail_space.hidden_edges())
+        from repro.core.statespace import StateSpace
+
+        pruned = StateSpace(sendmail_space.model, working)
+        assert not pruned.compromise_reachable()
+        assert pruned.benign_path_exists()
+
+    def test_secured_cut_is_empty(self):
+        space = build_state_space(
+            sendmail_model.build_model().fully_secured(),
+            sendmail_model.pfsm_domains(),
+        )
+        assert space.cut_set() == []
+
+
+class TestExport:
+    def test_dot_output(self, sendmail_space):
+        dot = sendmail_space.to_dot()
+        assert dot.startswith("digraph")
+        assert "dashed" in dot
+        assert COMPROMISED in dot

@@ -1,0 +1,80 @@
+"""Domain tests: constructors, combinators, determinism."""
+
+from repro.core import Domain
+
+
+class TestConstructors:
+    def test_of(self):
+        assert list(Domain.of(1, 2, 3)) == [1, 2, 3]
+
+    def test_integers(self):
+        assert list(Domain.integers(-2, 2)) == [-2, -1, 0, 1, 2]
+
+    def test_integers_step(self):
+        assert list(Domain.integers(0, 10, step=5)) == [0, 5, 10]
+
+    def test_integer_probes_cover_boundaries(self):
+        probes = set(Domain.integer_probes())
+        assert {0, -1, 2**31 - 1, 2**31, -(2**31), 2**32 - 1, 2**32} <= probes
+
+    def test_integer_strings_are_decimal(self):
+        for text in Domain.integer_strings():
+            int(text)  # must parse
+
+    def test_byte_strings(self):
+        domain = Domain.byte_strings([0, 3], fill=b"B")
+        assert list(domain) == [b"", b"BBB"]
+
+    def test_sampled_strings_deterministic(self):
+        a = list(Domain.sampled_strings(10, 20, seed=7))
+        b = list(Domain.sampled_strings(10, 20, seed=7))
+        assert a == b
+
+    def test_sampled_strings_seed_matters(self):
+        a = list(Domain.sampled_strings(10, 20, seed=1))
+        b = list(Domain.sampled_strings(10, 20, seed=2))
+        assert a != b
+
+
+class TestProtocol:
+    def test_len(self):
+        assert len(Domain.integers(0, 9)) == 10
+
+    def test_contains(self):
+        assert 5 in Domain.integers(0, 9)
+        assert 50 not in Domain.integers(0, 9)
+
+    def test_reiterable(self):
+        domain = Domain.integers(0, 3)
+        assert list(domain) == list(domain)
+
+    def test_repr(self):
+        assert "integers" in repr(Domain.integers(0, 3))
+
+
+class TestCombinators:
+    def test_map(self):
+        assert list(Domain.integers(0, 2).map(str)) == ["0", "1", "2"]
+
+    def test_filter(self):
+        assert list(Domain.integers(0, 9).filter(lambda x: x % 2 == 0)) == \
+            [0, 2, 4, 6, 8]
+
+    def test_union(self):
+        assert list(Domain.of(1).union(Domain.of(2))) == [1, 2]
+
+    def test_records_cartesian(self):
+        domain = Domain.records(a=Domain.of(1, 2), b=Domain.of("x"))
+        assert list(domain) == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_records_size(self):
+        domain = Domain.records(a=Domain.integers(0, 4), b=Domain.integers(0, 2))
+        assert len(domain) == 15
+
+    def test_sample_deterministic(self):
+        big = Domain.integers(0, 999)
+        assert list(big.sample(10, seed=3)) == list(big.sample(10, seed=3))
+
+    def test_sample_larger_than_domain(self):
+        domain = Domain.integers(0, 4)
+        assert len(domain.sample(100)) == 5

@@ -1,0 +1,204 @@
+"""Defense tests: catalog, bounds-checked copies, canaries, shadow
+stack, format guards, heap audits."""
+
+import pytest
+
+from repro.core import ActivityKind, PfsmType
+from repro.defenses import (
+    BufferBoundsError,
+    CanaryPolicy,
+    DEFENSE_CATALOG,
+    FormatDirectiveError,
+    ShadowStack,
+    TERMINATOR_CANARY,
+    audit_free_list,
+    defenses_for_activity,
+    is_clean,
+    neutralise,
+    reject_directives,
+    safe_append,
+    safe_memcpy,
+    safe_strcpy,
+)
+from repro.memory import AddressSpace, CallStack, Heap, strcpy, vsprintf
+
+
+@pytest.fixture
+def space():
+    space = AddressSpace(size=1024 * 1024)
+    space.map_region("buf", 0x100, 16)
+    return space
+
+
+class TestCatalog:
+    def test_paper_defenses_present(self):
+        assert "stackguard" in DEFENSE_CATALOG
+        assert "split-stack" in DEFENSE_CATALOG
+        assert "bounds-checked-copy" in DEFENSE_CATALOG
+        assert "safe-unlink" in DEFENSE_CATALOG
+
+    def test_citations(self):
+        assert "[15]" in DEFENSE_CATALOG["stackguard"].citation
+        assert "[16]" in DEFENSE_CATALOG["split-stack"].citation
+
+    def test_types_are_figure8_types(self):
+        for defense in DEFENSE_CATALOG.values():
+            assert isinstance(defense.implements, PfsmType)
+            assert isinstance(defense.attaches_to, ActivityKind)
+
+    def test_defenses_for_activity(self):
+        transfer = defenses_for_activity(ActivityKind.TRANSFER_CONTROL)
+        names = {d.name for d in transfer}
+        assert {"stackguard", "split-stack", "got-consistency-check"} <= names
+
+    def test_every_buffer_chain_activity_covered(self):
+        # Observation 1: each activity of the overflow chain has a defense.
+        for activity in (ActivityKind.GET_INPUT, ActivityKind.COPY_TO_BUFFER,
+                         ActivityKind.TRANSFER_CONTROL):
+            assert defenses_for_activity(activity)
+
+
+class TestBoundsChecked:
+    def test_safe_strcpy_fits(self, space):
+        safe_strcpy(space, 0x100, 16, b"hello", label="buf")
+        assert space.read_cstring(0x100) == b"hello"
+        assert not space.writes_outside("buf")
+
+    def test_safe_strcpy_refuses_overflow(self, space):
+        with pytest.raises(BufferBoundsError) as exc:
+            safe_strcpy(space, 0x100, 16, b"A" * 16)
+        assert exc.value.needed == 17
+        assert exc.value.capacity == 16
+        assert not space.writes_outside("buf")  # nothing written
+
+    def test_safe_memcpy(self, space):
+        safe_memcpy(space, 0x100, 16, b"abcd", 4)
+        with pytest.raises(BufferBoundsError):
+            safe_memcpy(space, 0x100, 16, b"A" * 32, 32)
+
+    def test_safe_append_accumulates(self, space):
+        used = safe_append(space, 0x100, 16, 0, b"abc")
+        used = safe_append(space, 0x100, 16, used, b"de")
+        assert used == 5
+        assert space.read(0x100, 5) == b"abcde"
+
+    def test_safe_append_refuses_at_capacity(self, space):
+        used = safe_append(space, 0x100, 16, 0, b"A" * 16)
+        with pytest.raises(BufferBoundsError):
+            safe_append(space, 0x100, 16, used, b"B")
+
+
+class TestCanaryPolicy:
+    def test_terminator_default(self):
+        assert CanaryPolicy().canary_value() == TERMINATOR_CANARY
+
+    def test_random_deterministic_by_seed(self):
+        a = CanaryPolicy(random_per_process=True, seed=9).canary_value()
+        b = CanaryPolicy(random_per_process=True, seed=9).canary_value()
+        assert a == b
+        assert a != CanaryPolicy(random_per_process=True, seed=10).canary_value()
+
+    def test_protect_frame_detects_overflow(self):
+        space = AddressSpace(size=1024 * 1024)
+        stack = CallStack(space, size=8192)
+        policy = CanaryPolicy()
+        frame = policy.protect_frame(stack, "f", 0x1000, {"buf": 16})
+        strcpy(space, frame.local_address("buf"), b"A" * 40)
+        assert not CanaryPolicy.check(stack)
+        with pytest.raises(ValueError):
+            stack.pop_frame()
+
+
+class TestShadowStack:
+    def test_recovers_from_smash(self):
+        space = AddressSpace(size=1024 * 1024)
+        stack = CallStack(space, size=8192)
+        shadow = ShadowStack()
+        frame = stack.push_frame("f", 0x1234, {"buf": 16})
+        shadow.on_call(frame)
+        space.write_word(frame.return_address_slot, 0x666)
+        result = shadow.on_return(space, frame)
+        assert result.returned_to == 0x1234
+        assert result.tampering_detected
+
+    def test_clean_return_no_tampering(self):
+        space = AddressSpace(size=1024 * 1024)
+        stack = CallStack(space, size=8192)
+        shadow = ShadowStack()
+        frame = stack.push_frame("f", 0x1234, {})
+        shadow.on_call(frame)
+        result = shadow.on_return(space, frame)
+        assert result.returned_to == 0x1234
+        assert not result.tampering_detected
+        assert shadow.depth == 0
+
+    def test_underflow(self):
+        space = AddressSpace(size=1024 * 1024)
+        stack = CallStack(space, size=8192)
+        frame = stack.push_frame("f", 0x1234, {})
+        with pytest.raises(RuntimeError):
+            ShadowStack().on_return(space, frame)
+
+
+class TestFormatGuard:
+    def test_reject_directives(self):
+        with pytest.raises(FormatDirectiveError) as exc:
+            reject_directives(b"evil%n")
+        assert "%n" in str(exc.value)
+
+    def test_clean_passes(self):
+        assert reject_directives(b"hostname") == b"hostname"
+
+    def test_literal_percent_passes(self):
+        assert reject_directives(b"100%%") == b"100%%"
+
+    def test_neutralise_makes_input_inert(self):
+        space = AddressSpace(size=1024 * 1024)
+        inert = neutralise(b"evil%n")
+        result = vsprintf(space, inert)
+        assert not result.wrote_memory
+        assert result.output == b"evil%n"
+
+    def test_is_clean(self):
+        assert is_clean(b"fine")
+        assert not is_clean(b"%x")
+
+
+class TestHeapAudit:
+    def test_clean_audit(self):
+        space = AddressSpace(size=1024 * 1024)
+        heap = Heap(space, size=64 * 1024)
+        a = heap.malloc(64)
+        heap.malloc(16)
+        heap.free(a)
+        audits = audit_free_list(heap)
+        assert len(audits) == 1
+        assert audits[0].consistent
+
+    def test_corruption_located(self):
+        space = AddressSpace(size=1024 * 1024)
+        heap = Heap(space, size=64 * 1024)
+        a = heap.malloc(64)
+        heap.malloc(16)
+        heap.free(a)
+        chunk = heap.chunk_for(a)
+        # Corrupt the backward link (the walk itself follows fd).
+        space.write_word(chunk.bk_address, 0xDEAD)
+        (audit,) = audit_free_list(heap)
+        assert not audit.consistent
+        assert not audit.bk_forward_ok
+        assert audit.bk == 0xDEAD
+
+    def test_fd_corruption_detected_with_bounded_walk(self):
+        space = AddressSpace(size=1024 * 1024)
+        heap = Heap(space, size=64 * 1024)
+        a = heap.malloc(64)
+        heap.malloc(16)
+        heap.free(a)
+        chunk = heap.chunk_for(a)
+        space.write_word(chunk.fd_address, 0xDEAD)
+        audits = audit_free_list(heap)
+        # The walk follows the corrupted fd into garbage, but the first
+        # chunk's inconsistency is still reported.
+        assert not audits[0].consistent
+        assert audits[0].fd == 0xDEAD

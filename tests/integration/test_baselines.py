@@ -1,0 +1,57 @@
+"""Regression baselines: model structures must not drift silently.
+
+``tests/baselines/model_fingerprints.json`` records the structural
+SHA-256 of every prebuilt model.  A mismatch means a model's predicates,
+activities, gates, or labels changed — which is fine when intentional
+(regenerate the baseline with the snippet in this file's docstring) but
+must never happen as a side effect.
+
+Regenerate after an intentional model change::
+
+    python - <<'PY'
+    import json
+    from repro.core import model_fingerprint
+    from repro.models import all_extended_models
+    prints = {label: model_fingerprint(model)
+              for label, model in sorted(all_extended_models().items())}
+    json.dump(prints, open('tests/baselines/model_fingerprints.json', 'w'),
+              indent=2, sort_keys=True)
+    PY
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core import model_fingerprint
+from repro.models import all_extended_models
+
+_BASELINE = (pathlib.Path(__file__).resolve().parents[1]
+             / "baselines" / "model_fingerprints.json")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return json.loads(_BASELINE.read_text())
+
+
+class TestFingerprintBaselines:
+    def test_every_model_recorded(self, baseline):
+        assert set(baseline) == set(all_extended_models())
+
+    def test_fingerprints_match(self, baseline):
+        current = {label: model_fingerprint(model)
+                   for label, model in all_extended_models().items()}
+        drifted = {label for label in current
+                   if current[label] != baseline.get(label)}
+        assert not drifted, (
+            f"model structure drifted for {sorted(drifted)}; regenerate "
+            f"the baseline if the change was intentional (see module "
+            f"docstring)"
+        )
+
+    def test_fingerprints_are_sha256(self, baseline):
+        for digest in baseline.values():
+            assert len(digest) == 64
+            int(digest, 16)  # hex

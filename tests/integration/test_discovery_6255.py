@@ -1,0 +1,134 @@
+"""Integration: reproduce the paper's §5.1 discovery of Bugtraq #6255.
+
+The historical sequence: the authors modeled the *known* vulnerability
+(#5774, the negative contentLen) in NULL HTTPD 0.5, derived the
+predicates for each elementary activity, and — checking those predicates
+against version 0.5.1, which had fixed the known bug — found that the
+predicate of pFSM2 ("length(input) <= size(PostData)") still had no
+IMPL_REJ: the recv loop's || bug.  That finding became Bugtraq #6255.
+
+These tests run that workflow end to end with the discovery engine and
+the *executable* 0.5.1 server: the implementation predicate is probed,
+not assumed.
+"""
+
+from repro.apps import NullHttpd, NullHttpdVariant, RECV_CHUNK
+from repro.core import Domain, DiscoveryEngine, Predicate
+
+
+def _probe_pfsm1(content_len: int) -> bool:
+    """Does 0.5.1 accept this contentLen?  (Fresh server per probe.)"""
+    app = NullHttpd(NullHttpdVariant.V0_5_1)
+    return app.handle_post(content_len, b"x" * max(content_len, 0)).accepted
+
+
+def _probe_pfsm2(request) -> bool:
+    """Does 0.5.1 copy the entire body (i.e. accept an input longer than
+    the buffer) rather than reject/truncate it?"""
+    app = NullHttpd(NullHttpdVariant.V0_5_1)
+    outcome = app.handle_post(request["content_len"],
+                              b"x" * request["input_len"])
+    if not outcome.accepted:
+        return False
+    return outcome.bytes_copied >= min(request["input_len"],
+                                       outcome.buffer_size + 1) \
+        or outcome.bytes_copied == request["input_len"]
+
+
+def _spec_pfsm1():
+    return Predicate(lambda n: n >= 0, "contentLen >= 0")
+
+
+def _spec_pfsm2():
+    def fits(request):
+        return request["input_len"] <= request["content_len"] + 1024
+
+    return Predicate(fits, "length(input) <= size(PostData)")
+
+
+def _domains():
+    return {
+        "pFSM1": Domain.of(-800, -1, 0, 100, 4096),
+        "pFSM2": Domain.records(
+            content_len=Domain.of(0, 100, 500),
+            input_len=Domain.of(0, 100, 1024, 1124, 1500,
+                                2 * RECV_CHUNK + 200),
+        ),
+    }
+
+
+class TestDiscoveryWorkflow:
+    def test_probed_sweep_finds_6255_and_not_5774(self):
+        engine = DiscoveryEngine(known_vulnerable=["pFSM1"])  # the known bug
+        findings = engine.sweep_probed(
+            "Read postdata from socket to PostData",
+            [
+                ("pFSM1", "validate contentLen", _spec_pfsm1(), _probe_pfsm1),
+                ("pFSM2", "terminate the copy at the buffer size",
+                 _spec_pfsm2(), _probe_pfsm2),
+            ],
+            _domains(),
+        )
+        names = {f.pfsm_name for f in findings}
+        assert "pFSM1" not in names  # 0.5.1 fixed the known check
+        assert "pFSM2" in names  # ...but the copy still violates its spec
+
+    def test_finding_is_flagged_new(self):
+        engine = DiscoveryEngine(known_vulnerable=["pFSM1"])
+        findings = engine.sweep_probed(
+            "read", [("pFSM2", "copy", _spec_pfsm2(), _probe_pfsm2)],
+            _domains(),
+        )
+        new = DiscoveryEngine.new_findings(findings)
+        assert len(new) == 1
+        assert new[0].pfsm_name == "pFSM2"
+
+    def test_witness_is_an_overlong_body(self):
+        engine = DiscoveryEngine()
+        findings = engine.sweep_probed(
+            "read", [("pFSM2", "copy", _spec_pfsm2(), _probe_pfsm2)],
+            _domains(),
+        )
+        witness = findings[0].witnesses[0]
+        assert witness["input_len"] > witness["content_len"] + 1024
+
+    def test_same_sweep_on_fixed_server_is_clean(self):
+        def probe_fixed(request):
+            app = NullHttpd(NullHttpdVariant.FIXED)
+            outcome = app.handle_post(request["content_len"],
+                                      b"x" * request["input_len"])
+            if not outcome.accepted:
+                return False
+            # Accepting means: the whole (over-long) input was copied.
+            return outcome.bytes_copied == request["input_len"]
+
+        engine = DiscoveryEngine()
+        findings = engine.sweep_probed(
+            "read", [("pFSM2", "copy", _spec_pfsm2(), probe_fixed)],
+            _domains(),
+        )
+        assert findings == []
+
+    def test_sweep_on_v05_finds_both(self):
+        def probe1_v05(content_len):
+            app = NullHttpd(NullHttpdVariant.V0_5)
+            return app.handle_post(content_len,
+                                   b"x" * max(content_len, 0)).accepted
+
+        def probe2_v05(request):
+            app = NullHttpd(NullHttpdVariant.V0_5)
+            outcome = app.handle_post(request["content_len"],
+                                      b"x" * request["input_len"])
+            return outcome.accepted and \
+                outcome.bytes_copied == request["input_len"]
+
+        engine = DiscoveryEngine()
+        findings = engine.sweep_probed(
+            "read",
+            [
+                ("pFSM1", "validate contentLen", _spec_pfsm1(), probe1_v05),
+                ("pFSM2", "copy", _spec_pfsm2(), probe2_v05),
+            ],
+            _domains(),
+        )
+        assert {f.pfsm_name for f in findings} == {"pFSM1", "pFSM2"}

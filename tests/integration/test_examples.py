@@ -1,0 +1,45 @@
+"""Every example script must run cleanly end to end.
+
+Examples are part of the public deliverable; running them as
+subprocesses catches import drift and API breakage the unit tests
+might miss.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+_EXAMPLES = sorted(script.name for script in _EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(_EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, (
+        f"{script} failed:\n{completed.stdout[-2000:]}\n"
+        f"{completed.stderr[-2000:]}"
+    )
+    assert completed.stdout  # every example prints its findings
+
+
+def test_expected_examples_present():
+    names = set(_EXAMPLES)
+    assert {
+        "quickstart.py",
+        "analyze_sendmail.py",
+        "discover_nullhttpd.py",
+        "bugtraq_statistics.py",
+        "defense_evaluation.py",
+        "auto_analysis.py",
+        "fault_injection_study.py",
+        "verify_reproduction.py",
+    } <= names

@@ -1,0 +1,112 @@
+"""Integration: model-vs-execution agreement for the five additional
+case studies (#5493, #3958, #1387, #2264, #2210)."""
+
+import pytest
+
+from repro.apps import (
+    FreebsdKernel,
+    FreebsdVariant,
+    Icecast,
+    IcecastVariant,
+    RsyncDaemon,
+    RsyncVariant,
+    Splitvt,
+    SplitvtVariant,
+    WuFtpd,
+    WuFtpdVariant,
+    craft_cred_overwrite,
+    craft_expansion_smash,
+    craft_handler_overwrite,
+    craft_negative_opcode,
+    craft_site_exec_exploit,
+)
+from repro.models import (
+    freebsd_model,
+    icecast_model,
+    rsync_model,
+    splitvt_model,
+    wuftpd_model,
+)
+
+
+class TestFreebsdAgreement:
+    @pytest.mark.parametrize(
+        "variant,patched,expected",
+        [(FreebsdVariant.VULNERABLE, False, True),
+         (FreebsdVariant.PATCHED, True, False)],
+    )
+    def test_escalation_agreement(self, variant, patched, expected):
+        kernel = FreebsdKernel(variant)
+        kernel.copy_request(craft_cred_overwrite(kernel), -1)
+        executed = kernel.escalated
+        modeled = freebsd_model.build_model(
+            patched=patched).is_compromised_by(freebsd_model.exploit_input())
+        assert executed == modeled == expected
+
+
+class TestRsyncAgreement:
+    @pytest.mark.parametrize(
+        "variant,kwargs,expected",
+        [(RsyncVariant.VULNERABLE, {}, True),
+         (RsyncVariant.PATCHED, {"patched": True}, False),
+         (RsyncVariant.GUARDED, {"guarded": True}, False)],
+    )
+    def test_dispatch_agreement(self, variant, kwargs, expected):
+        daemon = RsyncDaemon(variant)
+        mcode = daemon.process.plant_mcode()
+        daemon.receive_request(mcode.to_bytes(4, "little"))
+        result = daemon.dispatch(craft_negative_opcode(daemon))
+        executed = result.hijacked and daemon.process.is_mcode(result.handler)
+        modeled = rsync_model.build_model(**kwargs).is_compromised_by(
+            rsync_model.exploit_input()
+        )
+        assert executed == modeled == expected
+
+
+class TestWuftpdAgreement:
+    @pytest.mark.parametrize(
+        "variant,sanitize,expected",
+        [(WuFtpdVariant.VULNERABLE, False, True),
+         (WuFtpdVariant.PATCHED, True, False)],
+    )
+    def test_format_agreement(self, variant, sanitize, expected):
+        ftpd = WuFtpd(variant)
+        executed = ftpd.handle_command(craft_site_exec_exploit(ftpd)).hijacked
+        modeled = wuftpd_model.build_model(
+            sanitize=sanitize).is_compromised_by(wuftpd_model.exploit_input())
+        assert executed == modeled == expected
+
+
+class TestIcecastAgreement:
+    @pytest.mark.parametrize(
+        "variant,kwargs,expected",
+        [(IcecastVariant.VULNERABLE, {}, True),
+         (IcecastVariant.PATCHED, {"expansion_check": True}, False)],
+    )
+    def test_expansion_agreement(self, variant, kwargs, expected):
+        app = Icecast(variant)
+        executed = app.print_client(craft_expansion_smash(app)).hijacked
+        modeled = icecast_model.build_model(**kwargs).is_compromised_by(
+            icecast_model.exploit_input()
+        )
+        assert executed == modeled == expected
+
+
+class TestSplitvtAgreement:
+    @pytest.mark.parametrize(
+        "variant,kwargs,expected",
+        [(SplitvtVariant.VULNERABLE, {}, True),
+         (SplitvtVariant.PATCHED, {"sanitize": True}, False),
+         (SplitvtVariant.GUARDED, {"guarded": True}, False)],
+    )
+    def test_dispatch_agreement(self, variant, kwargs, expected):
+        app = Splitvt(variant)
+        app.set_title(craft_handler_overwrite(app))
+        result = app.refresh(0)
+        executed = result.hijacked and (
+            result.handler is not None and app.process.is_mcode(result.handler)
+        )
+        modeled = splitvt_model.build_model(**kwargs).is_compromised_by(
+            splitvt_model.exploit_input()
+        )
+        assert executed == modeled == expected

@@ -1,0 +1,119 @@
+"""Integration: the Section 6 Lemma over every paper model, and the
+defense matrix demonstrating Observation 1 quantitatively."""
+
+import pytest
+
+from repro.core import (
+    check_lemma_part1,
+    check_lemma_part2,
+    minimal_foil_points,
+    verify_lemma,
+)
+from repro.models import (
+    all_benign_inputs,
+    all_exploit_inputs,
+    all_operation_domains,
+    all_paper_models,
+)
+
+MODELS = all_paper_models()
+EXPLOITS = all_exploit_inputs()
+BENIGNS = all_benign_inputs()
+DOMAINS = all_operation_domains()
+LABELS = sorted(MODELS)
+
+
+class TestLemmaAcrossAllModels:
+    @pytest.mark.parametrize("label", LABELS)
+    def test_part1_every_operation(self, label):
+        model = MODELS[label]
+        for operation in model.operations:
+            domain = DOMAINS[label].get(operation.name)
+            assert domain is not None, f"missing domain for {operation.name}"
+            assert check_lemma_part1(operation, domain)
+
+    @pytest.mark.parametrize("label", LABELS)
+    def test_part2(self, label):
+        assert check_lemma_part2(MODELS[label], EXPLOITS[label])
+
+    @pytest.mark.parametrize("label", LABELS)
+    def test_full_report(self, label):
+        report = verify_lemma(MODELS[label], DOMAINS[label], EXPLOITS[label])
+        assert report.holds
+        assert report.foil_points  # Observation 1: at least one foil point
+
+    @pytest.mark.parametrize("label", LABELS)
+    def test_fully_secured_still_serves_benign(self, label):
+        hardened = MODELS[label].fully_secured()
+        result = hardened.run(BENIGNS[label])
+        assert result.compromised  # completes...
+        assert result.hidden_path_count == 0  # ...legitimately
+
+
+class TestObservationOne:
+    """Each elementary activity the exploit passes through can foil it."""
+
+    @pytest.mark.parametrize("label", LABELS)
+    def test_every_hidden_step_is_a_foil_point(self, label):
+        model = MODELS[label]
+        exploit = EXPLOITS[label]
+        result = model.run(exploit)
+        hidden_pfsms = {e.subject for e in result.trace.hidden_path_steps()}
+        foil_pfsms = {p.pfsm_name for p in minimal_foil_points(model, exploit)}
+        # Every activity whose hidden path the exploit rides is an
+        # independent foiling opportunity.
+        assert hidden_pfsms <= foil_pfsms | set()
+        assert hidden_pfsms  # the exploit rides at least one hidden path
+
+    @pytest.mark.parametrize("label", LABELS)
+    def test_securing_any_single_operation_foils(self, label):
+        model = MODELS[label]
+        exploit = EXPLOITS[label]
+        for operation in model.operations:
+            hardened = model.with_operation_secured(operation.name)
+            # Lemma part 2: each operation alone is sufficient... when
+            # the exploit's hidden path passes through it; securing an
+            # operation the exploit passes legitimately does not foil.
+            result = hardened.run(exploit)
+            original = model.run(exploit)
+            used_hidden_here = any(
+                outcome.via_hidden_path
+                for op_result in original.operation_results
+                if op_result.operation_name == operation.name
+                for outcome in op_result.outcomes
+            )
+            if used_hidden_here:
+                assert not hardened.is_compromised_by(exploit), (
+                    f"{label}: securing {operation.name} did not foil"
+                )
+
+
+class TestDefenseMatrix:
+    """Sweep: for every model, secure each pFSM in turn and tabulate."""
+
+    def test_matrix_shape_and_totals(self):
+        rows = []
+        for label in LABELS:
+            model = MODELS[label]
+            exploit = EXPLOITS[label]
+            foiled = {p.pfsm_name for p in minimal_foil_points(model, exploit)}
+            for _operation, pfsm in model.all_pfsms():
+                rows.append((label, pfsm.name, pfsm.name in foiled))
+        # 16 pFSMs across the seven models (the Table 2 grid).
+        assert len(rows) == 16
+        # Every model has at least one foil point.
+        by_model = {}
+        for label, _name, foils in rows:
+            by_model.setdefault(label, []).append(foils)
+        assert all(any(flags) for flags in by_model.values())
+
+    def test_benign_traffic_unaffected_by_any_single_fix(self):
+        for label in LABELS:
+            model = MODELS[label]
+            benign = BENIGNS[label]
+            for operation, pfsm in model.all_pfsms():
+                hardened = model.with_pfsm_secured(operation.name, pfsm.name)
+                result = hardened.run(benign)
+                assert result.compromised and result.hidden_path_count == 0, (
+                    f"{label}: fixing {pfsm.name} broke benign traffic"
+                )

@@ -1,0 +1,217 @@
+"""Integration: every model's prediction must match the executable
+application's behaviour.
+
+The paper's claim is that the FSM model *reasons correctly about the
+implementation*.  These tests drive both sides with the same inputs:
+the predicate-level model (repro.models) and the executable application
+(repro.apps on the simulated substrates), and require them to agree on
+exploit success/failure.
+"""
+
+import pytest
+
+from repro.apps import (
+    Ghttpd,
+    GhttpdVariant,
+    IisServer,
+    IisVariant,
+    NullHttpd,
+    NullHttpdVariant,
+    RpcStatd,
+    RwallDaemon,
+    RwallVariant,
+    Sendmail,
+    SendmailVariant,
+    StatdVariant,
+    XtermVariant,
+    add_utmp_entry,
+    build_race_scheduler,
+    craft_format_exploit,
+    craft_got_exploit,
+    craft_stack_smash,
+    craft_unlink_body,
+    make_rwall_world,
+    passwd_corrupted,
+)
+from repro.memory import ControlFlowHijack
+from repro.models import (
+    ghttpd_model,
+    iis_model,
+    nullhttpd_model,
+    rpc_statd_model,
+    rwall_model,
+    sendmail_model,
+    xterm_model,
+)
+
+
+class TestSendmailAgreement:
+    def _execute(self, variant):
+        app = Sendmail(variant)
+        for flag in craft_got_exploit(app):
+            app.tTflag(flag)
+        try:
+            app.call_setuid()
+            return False
+        except ControlFlowHijack:
+            return True
+        except ValueError:
+            return False
+
+    def test_vulnerable_agrees(self):
+        executed = self._execute(SendmailVariant.VULNERABLE)
+        modeled = sendmail_model.build_model().is_compromised_by(
+            sendmail_model.exploit_input()
+        )
+        assert executed == modeled == True  # noqa: E712
+
+    def test_patched_agrees(self):
+        executed = self._execute(SendmailVariant.PATCHED)
+        modeled = sendmail_model.build_model(patched=True).is_compromised_by(
+            sendmail_model.exploit_input()
+        )
+        assert executed == modeled == False  # noqa: E712
+
+    def test_guarded_agrees(self):
+        executed = self._execute(SendmailVariant.GUARDED)
+        modeled = sendmail_model.build_model(
+            got_check=True
+        ).is_compromised_by(sendmail_model.exploit_input())
+        assert executed == modeled == False  # noqa: E712
+
+
+class TestNullHttpdAgreement:
+    def _execute(self, variant, content_len, safe_unlink=False):
+        app = NullHttpd(variant, check_unlink=safe_unlink)
+        body = craft_unlink_body(app, content_len=content_len)
+        outcome = app.handle_post(content_len, body)
+        if not outcome.accepted:
+            return False
+        try:
+            app.free_post_data()
+        except Exception:
+            return False
+        try:
+            app.call_free()
+            return False
+        except ControlFlowHijack:
+            return True
+
+    @pytest.mark.parametrize(
+        "variant,exploit,expected",
+        [
+            (NullHttpdVariant.V0_5, "5774", True),
+            (NullHttpdVariant.V0_5, "6255", True),
+            (NullHttpdVariant.V0_5_1, "5774", False),
+            (NullHttpdVariant.V0_5_1, "6255", True),
+            (NullHttpdVariant.FIXED, "5774", False),
+            (NullHttpdVariant.FIXED, "6255", False),
+        ],
+    )
+    def test_variant_exploit_matrix(self, variant, exploit, expected):
+        inputs = {
+            "5774": nullhttpd_model.exploit_input_5774(),
+            "6255": nullhttpd_model.exploit_input_6255(),
+        }[exploit]
+        executed = self._execute(variant, inputs["content_len"])
+        modeled = nullhttpd_model.build_model(variant).is_compromised_by(inputs)
+        assert executed == modeled == expected
+
+    def test_safe_unlink_agreement(self):
+        executed = self._execute(NullHttpdVariant.V0_5, -800, safe_unlink=True)
+        modeled = nullhttpd_model.build_model(
+            NullHttpdVariant.V0_5, safe_unlink=True
+        ).is_compromised_by(nullhttpd_model.exploit_input_5774())
+        assert executed == modeled == False  # noqa: E712
+
+
+class TestXtermAgreement:
+    @pytest.mark.parametrize(
+        "app_variant,model_recheck,expected",
+        [
+            (XtermVariant.VULNERABLE, False, True),
+            (XtermVariant.PATCHED_NOFOLLOW, True, False),
+            (XtermVariant.PATCHED_RECHECK, True, False),
+        ],
+    )
+    def test_race_agreement(self, app_variant, model_recheck, expected):
+        executed = build_race_scheduler(app_variant).explore().has_race
+        modeled = xterm_model.build_model(
+            recheck=model_recheck
+        ).is_compromised_by(xterm_model.exploit_input())
+        assert executed == modeled == expected
+
+
+class TestRwallAgreement:
+    @pytest.mark.parametrize(
+        "app_variant,kwargs,expected",
+        [
+            (RwallVariant.VULNERABLE, {}, True),
+            (RwallVariant.PATCHED_PERMS, {"utmp_root_only": True}, False),
+            (RwallVariant.PATCHED_TYPECHECK, {"type_check": True}, False),
+        ],
+    )
+    def test_corruption_agreement(self, app_variant, kwargs, expected):
+        from repro.osmodel import User
+
+        world = make_rwall_world(app_variant)
+        mallory = User.regular("mallory", 1001)
+        add_utmp_entry(world, mallory, "../etc/passwd")
+        RwallDaemon(world).broadcast(b"own3d\n")
+        executed = passwd_corrupted(world, b"own3d\n")
+        modeled = rwall_model.build_model(**kwargs).is_compromised_by(
+            rwall_model.exploit_input()
+        )
+        assert executed == modeled == expected
+
+
+class TestIisAgreement:
+    @pytest.mark.parametrize(
+        "app_variant,model_patched,expected",
+        [(IisVariant.VULNERABLE, False, True), (IisVariant.PATCHED, True, False)],
+    )
+    def test_escape_agreement(self, app_variant, model_patched, expected):
+        request = iis_model.exploit_input()
+        outcome = IisServer(app_variant).handle_cgi_request(request)
+        executed = outcome.accepted and outcome.escaped_root
+        modeled = iis_model.build_model(
+            patched=model_patched
+        ).is_compromised_by(request)
+        assert executed == modeled == expected
+
+
+class TestGhttpdAgreement:
+    @pytest.mark.parametrize(
+        "app_variant,model_kwargs,expected",
+        [
+            (GhttpdVariant.VULNERABLE, {}, True),
+            (GhttpdVariant.PATCHED, {"length_check": True}, False),
+            (GhttpdVariant.STACKGUARD, {"return_protection": True}, False),
+            (GhttpdVariant.SPLITSTACK, {"return_protection": True}, False),
+        ],
+    )
+    def test_smash_agreement(self, app_variant, model_kwargs, expected):
+        app = Ghttpd(app_variant)
+        executed = app.serve(craft_stack_smash(app)).hijacked
+        modeled = ghttpd_model.build_model(**model_kwargs).is_compromised_by(
+            ghttpd_model.exploit_input()
+        )
+        assert executed == modeled == expected
+
+
+class TestStatdAgreement:
+    @pytest.mark.parametrize(
+        "app_variant,model_kwargs,expected",
+        [
+            (StatdVariant.VULNERABLE, {}, True),
+            (StatdVariant.SANITIZED, {"sanitize": True}, False),
+            (StatdVariant.PATCHED, {"sanitize": True}, False),
+        ],
+    )
+    def test_format_agreement(self, app_variant, model_kwargs, expected):
+        app = RpcStatd(app_variant)
+        executed = app.notify(craft_format_exploit(app)).hijacked
+        modeled = rpc_statd_model.build_model(
+            **model_kwargs
+        ).is_compromised_by(rpc_statd_model.exploit_input())
+        assert executed == modeled == expected

@@ -1,0 +1,31 @@
+"""The README's python code blocks must actually run.
+
+Extracts every ```python fenced block from README.md and executes it in
+one shared namespace (blocks build on each other), so documentation
+drift breaks the build instead of the reader.
+"""
+
+import pathlib
+import re
+
+_README = pathlib.Path(__file__).resolve().parents[2] / "README.md"
+
+
+def _python_blocks(text):
+    return re.findall(r"```python\n(.*?)```", text, flags=re.S)
+
+
+def test_readme_has_python_blocks():
+    blocks = _python_blocks(_README.read_text())
+    assert blocks, "README lost its python examples"
+
+
+def test_readme_python_blocks_execute():
+    namespace = {}
+    for block in _python_blocks(_README.read_text()):
+        exec(compile(block, "<README>", "exec"), namespace)  # noqa: S102
+    # The quickstart block leaves a model behind; sanity-check it.
+    model = namespace.get("model")
+    assert model is not None
+    assert model.is_compromised_by(-563)
+    assert not model.is_compromised_by(50)

@@ -1,0 +1,191 @@
+"""Address space tests: regions, bounds, audit trail, watchpoints."""
+
+import pytest
+
+from repro.memory import AddressSpace, MemoryFault, WORD_SIZE
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(size=64 * 1024)
+
+
+class TestRegions:
+    def test_map_and_lookup(self, space):
+        region = space.map_region("buf", 0x100, 0x40)
+        assert space.region("buf") is region
+        assert region.end == 0x140
+
+    def test_contains(self, space):
+        region = space.map_region("buf", 0x100, 0x40)
+        assert region.contains(0x100)
+        assert region.contains(0x13F)
+        assert not region.contains(0x140)
+
+    def test_overlap_rejected(self, space):
+        space.map_region("a", 0x100, 0x40)
+        with pytest.raises(ValueError):
+            space.map_region("b", 0x120, 0x40)
+
+    def test_duplicate_name_rejected(self, space):
+        space.map_region("a", 0x100, 0x40)
+        with pytest.raises(ValueError):
+            space.map_region("a", 0x200, 0x40)
+
+    def test_exceeds_space_rejected(self, space):
+        with pytest.raises(ValueError):
+            space.map_region("big", 0, space.size + 1)
+
+    def test_unmap_preserves_contents(self, space):
+        space.map_region("a", 0x100, 0x40)
+        space.write_byte(0x100, 0xAB)
+        space.unmap_region("a")
+        assert space.read_byte(0x100) == 0xAB
+
+    def test_region_at(self, space):
+        space.map_region("a", 0x100, 0x40)
+        assert space.region_at(0x110).name == "a"
+        assert space.region_at(0x200) is None
+
+    def test_regions_sorted(self, space):
+        space.map_region("hi", 0x400, 0x10)
+        space.map_region("lo", 0x100, 0x10)
+        assert [r.name for r in space.regions()] == ["lo", "hi"]
+
+    def test_find_free_range(self, space):
+        space.map_region("a", WORD_SIZE, 0x100)
+        start = space.find_free_range(0x50)
+        region = space.map_region("b", start, 0x50)
+        assert not region.overlaps(space.region("a"))
+
+    def test_find_free_range_exhausted(self):
+        tiny = AddressSpace(size=32)
+        with pytest.raises(Exception):
+            tiny.map_region("a", 4, 28)
+            tiny.find_free_range(64)
+
+
+class TestByteAccess:
+    def test_unwritten_reads_zero(self, space):
+        assert space.read_byte(0x500) == 0
+
+    def test_write_read_roundtrip(self, space):
+        space.write_byte(0x500, 0x7F)
+        assert space.read_byte(0x500) == 0x7F
+
+    def test_byte_masked(self, space):
+        space.write_byte(0x500, 0x1FF)
+        assert space.read_byte(0x500) == 0xFF
+
+    def test_out_of_bounds_read_faults(self, space):
+        with pytest.raises(MemoryFault):
+            space.read_byte(space.size)
+
+    def test_negative_address_faults(self, space):
+        with pytest.raises(MemoryFault):
+            space.read_byte(-1)
+
+    def test_bulk_write_read(self, space):
+        space.write(0x600, b"hello")
+        assert space.read(0x600, 5) == b"hello"
+
+    def test_bulk_straddling_end_faults(self, space):
+        with pytest.raises(MemoryFault):
+            space.write(space.size - 2, b"abcd")
+
+
+class TestWordAccess:
+    def test_little_endian(self, space):
+        space.write_word(0x700, 0x11223344)
+        assert space.read(0x700, 4) == b"\x44\x33\x22\x11"
+
+    def test_word_roundtrip(self, space):
+        space.write_word(0x700, 0xDEADBEEF)
+        assert space.read_word(0x700) == 0xDEADBEEF
+
+    def test_word_masks_to_32_bits(self, space):
+        space.write_word(0x700, 0x1_0000_0001)
+        assert space.read_word(0x700) == 1
+
+
+class TestCStrings:
+    def test_write_read(self, space):
+        space.write_cstring(0x800, b"abc")
+        assert space.read_cstring(0x800) == b"abc"
+
+    def test_terminator_written(self, space):
+        space.write(0x800, b"\xff" * 8)
+        space.write_cstring(0x800, b"ab")
+        assert space.read_byte(0x802) == 0
+
+    def test_read_stops_at_nul(self, space):
+        space.write(0x800, b"ab\x00cd")
+        assert space.read_cstring(0x800) == b"ab"
+
+    def test_read_limit(self, space):
+        space.write(0x800, b"\x41" * 100)
+        assert len(space.read_cstring(0x800, limit=10)) == 10
+
+
+class TestAuditTrail:
+    def test_writes_logged(self, space):
+        space.map_region("buf", 0x100, 4)
+        space.write(0x100, b"ab", label="buf")
+        assert len(space.write_log) == 2
+        assert space.write_log[0].region == "buf"
+
+    def test_out_of_bounds_writes_flagged(self, space):
+        space.map_region("buf", 0x100, 4)
+        space.write(0x100, b"abcdef", label="buf")
+        outside = space.writes_outside("buf")
+        assert len(outside) == 2
+        assert all(record.out_of_bounds for record in outside)
+
+    def test_overlapping_writes(self, space):
+        space.write(0x100, b"xy")
+        space.write(0x200, b"z")
+        hits = space.overlapping_writes(0x100, 4)
+        assert len(hits) == 2
+
+    def test_tracking_disabled(self):
+        space = AddressSpace(size=1024, track_writes=False)
+        space.write(0x10, b"ab")
+        assert space.write_log == []
+
+
+class TestSnapshots:
+    def test_unchanged(self, space):
+        space.write_word(0x100, 42)
+        snap = space.snapshot(0x100, 4)
+        assert space.unchanged_since(snap)
+
+    def test_changed_detected(self, space):
+        space.write_word(0x100, 42)
+        snap = space.snapshot(0x100, 4)
+        space.write_byte(0x102, 9)
+        assert not space.unchanged_since(snap)
+
+
+class TestWatchpoints:
+    def test_fires_on_write(self, space):
+        hits = []
+        space.add_watchpoint(0x100, lambda addr, val: hits.append((addr, val)))
+        space.write_byte(0x100, 5)
+        assert hits == [(0x100, 5)]
+
+    def test_not_fired_elsewhere(self, space):
+        hits = []
+        space.add_watchpoint(0x100, lambda addr, val: hits.append(addr))
+        space.write_byte(0x101, 5)
+        assert hits == []
+
+    def test_clear(self, space):
+        hits = []
+        space.add_watchpoint(0x100, lambda addr, val: hits.append(addr))
+        space.clear_watchpoints()
+        space.write_byte(0x100, 5)
+        assert hits == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            AddressSpace(size=0)

@@ -1,0 +1,148 @@
+"""printf interpreter tests: parsing, rendering, varargs walking, %n."""
+
+import pytest
+
+from repro.memory import (
+    AddressSpace,
+    contains_directives,
+    parse_directives,
+    vsprintf,
+)
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(size=1024 * 1024)
+
+
+class TestParsing:
+    def test_simple_directives(self):
+        directives = parse_directives(b"%d %x %s %n")
+        assert [d.conversion for d in directives] == ["d", "x", "s", "n"]
+
+    def test_literal_percent_excluded(self):
+        assert parse_directives(b"100%% done") == []
+
+    def test_width_parsed(self):
+        (directive,) = parse_directives(b"%08x")
+        assert directive.width == 8
+
+    def test_length_modifiers_skipped(self):
+        (directive,) = parse_directives(b"%ld")
+        assert directive.conversion == "d"
+
+    def test_is_write_flag(self):
+        d_read, d_write = parse_directives(b"%x%n")
+        assert not d_read.is_write
+        assert d_write.is_write
+
+    def test_no_directives(self):
+        assert parse_directives(b"/var/statmon/sm/host") == []
+
+    def test_contains_directives(self):
+        assert contains_directives(b"evil%n")
+        assert not contains_directives(b"benign")
+        assert not contains_directives(b"100%%")
+
+    def test_trailing_bare_percent(self):
+        assert parse_directives(b"50%") == []
+
+
+class TestRendering:
+    def test_plain_text(self, space):
+        result = vsprintf(space, b"hello")
+        assert result.output == b"hello"
+
+    def test_decimal(self, space):
+        assert vsprintf(space, b"%d", args=(42,)).output == b"42"
+
+    def test_negative_decimal_from_bit_pattern(self, space):
+        assert vsprintf(space, b"%d", args=(0xFFFFFFFF,)).output == b"-1"
+
+    def test_unsigned(self, space):
+        assert vsprintf(space, b"%u", args=(0xFFFFFFFF,)).output == b"4294967295"
+
+    def test_hex(self, space):
+        assert vsprintf(space, b"%x", args=(255,)).output == b"ff"
+
+    def test_hex_upper(self, space):
+        assert vsprintf(space, b"%X", args=(255,)).output == b"FF"
+
+    def test_octal(self, space):
+        assert vsprintf(space, b"%o", args=(8,)).output == b"10"
+
+    def test_char(self, space):
+        assert vsprintf(space, b"%c", args=(65,)).output == b"A"
+
+    def test_width_padding(self, space):
+        assert vsprintf(space, b"%8x", args=(0xAB,)).output == b"      ab"
+
+    def test_string_inline(self, space):
+        assert vsprintf(space, b"[%s]", args=(b"abc",)).output == b"[abc]"
+
+    def test_string_by_pointer(self, space):
+        space.write_cstring(0x500, b"ptr")
+        assert vsprintf(space, b"%s", args=(0x500,)).output == b"ptr"
+
+    def test_literal_percent(self, space):
+        assert vsprintf(space, b"100%%").output == b"100%"
+
+    def test_mixed(self, space):
+        result = vsprintf(space, b"%d+%d", args=(1, 2))
+        assert result.output == b"1+2"
+        assert result.words_consumed == 2
+
+
+class TestVarargsWalk:
+    def test_excess_args_read_from_stack(self, space):
+        space.write_word(0x600, 0xDEAD)
+        result = vsprintf(space, b"%x", args=(), vararg_base=0x600)
+        assert result.output == b"dead"
+
+    def test_walk_is_sequential(self, space):
+        space.write_word(0x600, 1)
+        space.write_word(0x604, 2)
+        result = vsprintf(space, b"%d%d", args=(), vararg_base=0x600)
+        assert result.output == b"12"
+
+    def test_explicit_args_consumed_first(self, space):
+        space.write_word(0x600, 99)
+        result = vsprintf(space, b"%d%d", args=(7,), vararg_base=0x600)
+        assert result.output == b"799"
+
+    def test_no_vararg_base_reads_zero(self, space):
+        assert vsprintf(space, b"%d").output == b"0"
+
+    def test_stack_leak_signature(self, space):
+        # The classic %x%x%x information leak.
+        for offset, word in enumerate((0xAAAA, 0xBBBB, 0xCCCC)):
+            space.write_word(0x600 + 4 * offset, word)
+        result = vsprintf(space, b"%x.%x.%x", args=(), vararg_base=0x600)
+        assert result.output == b"aaaa.bbbb.cccc"
+
+
+class TestPercentN:
+    def test_writes_output_length(self, space):
+        result = vsprintf(space, b"AAAA%n", args=(0x700,))
+        assert space.read_word(0x700) == 4
+        assert result.writes == [0x700]
+        assert result.wrote_memory
+
+    def test_count_includes_padding(self, space):
+        vsprintf(space, b"%100x%n", args=(1, 0x700))
+        assert space.read_word(0x700) == 100
+
+    def test_target_from_stack_walk(self, space):
+        # The exploit shape: the target address sits among the varargs.
+        space.write_word(0x600, 0x700)
+        vsprintf(space, b"AB%n", args=(), vararg_base=0x600)
+        assert space.read_word(0x700) == 2
+
+    def test_multiple_writes(self, space):
+        result = vsprintf(space, b"a%nbb%n", args=(0x700, 0x710))
+        assert space.read_word(0x700) == 1
+        assert space.read_word(0x710) == 3
+        assert len(result.writes) == 2
+
+    def test_no_write_without_n(self, space):
+        assert not vsprintf(space, b"%x", args=(1,)).wrote_memory

@@ -1,0 +1,101 @@
+"""GOT tests: loading, consistency predicate, hijack-on-call semantics."""
+
+import pytest
+
+from repro.memory import (
+    AddressSpace,
+    ControlFlowHijack,
+    GlobalOffsetTable,
+    WORD_SIZE,
+)
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(size=1024 * 1024)
+
+
+@pytest.fixture
+def got(space):
+    return GlobalOffsetTable(space, base=0x2000, capacity=8)
+
+
+class TestLoading:
+    def test_load_stores_pointer_in_memory(self, got, space):
+        entry = got.load_symbol("setuid", 0x1100)
+        assert space.read_word(entry.address) == 0x1100
+
+    def test_entries_are_adjacent_words(self, got):
+        first = got.load_symbol("a", 0x1)
+        second = got.load_symbol("b", 0x2)
+        assert second.address == first.address + WORD_SIZE
+
+    def test_duplicate_symbol_rejected(self, got):
+        got.load_symbol("a", 0x1)
+        with pytest.raises(ValueError):
+            got.load_symbol("a", 0x2)
+
+    def test_capacity_enforced(self, space):
+        got = GlobalOffsetTable(space, base=0x2000, capacity=1)
+        got.load_symbol("a", 1)
+        with pytest.raises(ValueError, match="full"):
+            got.load_symbol("b", 2)
+
+    def test_symbols_listing(self, got):
+        got.load_symbol("a", 1)
+        got.load_symbol("b", 2)
+        assert set(got.symbols()) == {"a", "b"}
+
+    def test_entry_address(self, got):
+        entry = got.load_symbol("free", 0x1140)
+        assert got.entry_address("free") == entry.address
+
+
+class TestConsistency:
+    def test_fresh_entry_consistent(self, got):
+        got.load_symbol("setuid", 0x1100)
+        assert got.is_consistent("setuid")
+
+    def test_memory_corruption_breaks_consistency(self, got, space):
+        got.load_symbol("setuid", 0x1100)
+        space.write_word(got.entry_address("setuid"), 0x6666)
+        assert not got.is_consistent("setuid")
+
+    def test_single_byte_corruption_detected(self, got, space):
+        got.load_symbol("setuid", 0x1100)
+        space.write_byte(got.entry_address("setuid"), 0x01)
+        assert not got.is_consistent("setuid")
+
+    def test_current_target_reads_memory(self, got, space):
+        got.load_symbol("free", 0x1140)
+        space.write_word(got.entry_address("free"), 0x7777)
+        assert got.current_target("free") == 0x7777
+
+
+class TestCallDispatch:
+    def test_clean_call_returns_target(self, got):
+        got.load_symbol("setuid", 0x1100)
+        assert got.call("setuid") == 0x1100
+
+    def test_corrupted_call_hijacks(self, got, space):
+        got.load_symbol("setuid", 0x1100)
+        space.write_word(got.entry_address("setuid"), 0x6666)
+        with pytest.raises(ControlFlowHijack) as exc:
+            got.call("setuid")
+        assert exc.value.target == 0x6666
+        assert exc.value.legitimate == 0x1100
+        assert exc.value.symbol == "setuid"
+
+    def test_consistency_check_refuses_corrupted_call(self, got, space):
+        got.load_symbol("setuid", 0x1100)
+        space.write_word(got.entry_address("setuid"), 0x6666)
+        with pytest.raises(ValueError, match="refused"):
+            got.call("setuid", check_consistency=True)
+
+    def test_consistency_check_passes_clean_call(self, got):
+        got.load_symbol("setuid", 0x1100)
+        assert got.call("setuid", check_consistency=True) == 0x1100
+
+    def test_unknown_symbol(self, got):
+        with pytest.raises(KeyError):
+            got.call("nosuch")

@@ -1,0 +1,232 @@
+"""Heap allocator tests: allocation invariants, free-list threading,
+consolidation, and the unlink write primitive."""
+
+import pytest
+
+from repro.memory import (
+    AddressSpace,
+    BK_OFFSET,
+    CHUNK_HEADER_SIZE,
+    FD_OFFSET,
+    Heap,
+    HeapCorruptionDetected,
+    HeapError,
+    MIN_CHUNK_SIZE,
+)
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(size=4 * 1024 * 1024)
+
+
+@pytest.fixture
+def heap(space):
+    return Heap(space, size=256 * 1024)
+
+
+class TestAllocation:
+    def test_malloc_returns_usable_address(self, heap, space):
+        address = heap.malloc(64)
+        space.write(address, b"x" * 64)
+        assert space.read(address, 64) == b"x" * 64
+
+    def test_allocations_do_not_overlap(self, heap):
+        chunks = [(heap.malloc(n), n) for n in (16, 64, 128, 8, 256)]
+        ranges = sorted((a, a + heap.allocation_size(a)) for a, _n in chunks)
+        for (s1, e1), (s2, _e2) in zip(ranges, ranges[1:]):
+            assert e1 <= s2
+
+    def test_allocation_size_at_least_request(self, heap):
+        address = heap.malloc(50)
+        assert heap.allocation_size(address) >= 50
+
+    def test_negative_request_rejected(self, heap):
+        with pytest.raises(HeapError):
+            heap.malloc(-8)
+
+    def test_zero_request_gets_minimum(self, heap):
+        address = heap.malloc(0)
+        assert heap.allocation_size(address) >= MIN_CHUNK_SIZE - CHUNK_HEADER_SIZE
+
+    def test_calloc_zeroes(self, heap, space):
+        address = heap.malloc(64)
+        space.write(address, b"\xff" * 64)
+        heap.free(address)
+        address2 = heap.calloc(64, 1)
+        assert space.read(address2, 64) == b"\x00" * 64
+
+    def test_out_of_memory(self, space):
+        heap = Heap(space, size=1024)
+        with pytest.raises(HeapError):
+            heap.malloc(4096)
+
+    def test_alignment(self, heap):
+        for request in (1, 7, 9, 100):
+            address = heap.malloc(request)
+            assert (address - CHUNK_HEADER_SIZE) % 8 == 0
+
+
+class TestFree:
+    def test_free_then_reuse(self, heap):
+        a = heap.malloc(64)
+        heap.free(a)
+        b = heap.malloc(64)
+        assert b == a  # first fit reuses the freed chunk
+
+    def test_double_free_detected(self, heap):
+        a = heap.malloc(64)
+        heap.free(a)
+        with pytest.raises(HeapError, match="unallocated"):
+            heap.free(a)
+
+    def test_free_of_wild_pointer(self, heap):
+        with pytest.raises(HeapError):
+            heap.free(0x123456)
+
+    def test_free_list_threaded_through_memory(self, heap, space):
+        a = heap.malloc(64)
+        b = heap.malloc(64)
+        heap.malloc(64)  # guard
+        heap.free(a)
+        heap.free(b)
+        free_chunks = heap.free_list()
+        assert len(free_chunks) == 2
+        # Links are real words in memory.
+        head = free_chunks[0]
+        assert space.read_word(head + FD_OFFSET) == free_chunks[1]
+
+    def test_split_leaves_remainder_free(self, heap):
+        a = heap.malloc(256)
+        heap.malloc(16)  # guard
+        heap.free(a)
+        b = heap.malloc(64)
+        assert b == a
+        assert len(heap.free_list()) == 1  # the split remainder
+
+
+class TestConsolidation:
+    def test_forward_consolidation_merges(self, heap):
+        a = heap.malloc(64)
+        b = heap.malloc(64)
+        heap.malloc(16)  # guard
+        heap.free(b)
+        size_b = heap.space.read_word(b - CHUNK_HEADER_SIZE) & ~0x7
+        heap.free(a)
+        merged = heap.free_list()
+        assert len(merged) == 1
+        merged_size = heap.space.read_word(merged[0]) & ~0x7
+        assert merged_size >= size_b + 64
+
+    def test_next_physical_chunk(self, heap):
+        a = heap.malloc(64)
+        b = heap.malloc(64)
+        chunk = heap.next_physical_chunk(a)
+        assert chunk.user_address == b
+
+    def test_next_physical_none_at_wilderness(self, heap):
+        a = heap.malloc(64)
+        assert heap.next_physical_chunk(a) is None
+
+
+class TestUnlinkPrimitive:
+    def _stage_corrupted_neighbour(self, heap, space):
+        """PostData-style layout with attacker-controlled fd/bk in B."""
+        a = heap.malloc(64)
+        b = heap.malloc(64)
+        heap.malloc(16)  # guard
+        heap.free(b)
+        chunk_b = heap.next_physical_chunk(a)
+        target = heap.region.end + 0x100  # attacker-chosen slot (e.g. a GOT entry)
+        payload = heap.region.end + 0x200  # attacker code address (must be mapped,
+        # as Mcode is — the mirror write bk->fd lands near it)
+        space.write_word(chunk_b.fd_address, target - BK_OFFSET)
+        space.write_word(chunk_b.bk_address, payload)
+        return a, target, payload
+
+    def test_unlink_writes_attacker_word(self, heap, space):
+        a, target, payload = self._stage_corrupted_neighbour(heap, space)
+        heap.free(a)  # consolidation unlinks B with corrupted links
+        assert space.read_word(target) == payload
+
+    def test_links_intact_detects_corruption(self, heap, space):
+        a, _target, _payload = self._stage_corrupted_neighbour(heap, space)
+        assert not heap.links_intact()
+
+    def test_links_intact_on_clean_heap(self, heap):
+        a = heap.malloc(64)
+        b = heap.malloc(64)
+        heap.malloc(16)
+        heap.free(b)
+        heap.free(a)
+        assert heap.links_intact()
+
+    def test_safe_unlink_detects(self, space):
+        heap = Heap(space, size=256 * 1024, check_unlink=True)
+        a = heap.malloc(64)
+        b = heap.malloc(64)
+        heap.malloc(16)
+        heap.free(b)
+        chunk_b = heap.next_physical_chunk(a)
+        space.write_word(chunk_b.fd_address, 0x1234)
+        space.write_word(chunk_b.bk_address, 0x5678)
+        with pytest.raises(HeapCorruptionDetected):
+            heap.free(a)
+
+    def test_safe_unlink_allows_clean_operations(self, space):
+        heap = Heap(space, size=256 * 1024, check_unlink=True)
+        a = heap.malloc(64)
+        b = heap.malloc(64)
+        heap.malloc(16)
+        heap.free(b)
+        heap.free(a)  # clean consolidation must pass the check
+        c = heap.malloc(32)
+        heap.free(c)
+
+    def test_free_list_walk_bounded_on_cycles(self, heap, space):
+        a = heap.malloc(64)
+        heap.malloc(16)
+        heap.free(a)
+        # Create a self-loop in the free list.
+        space.write_word(a - CHUNK_HEADER_SIZE + FD_OFFSET,
+                         a - CHUNK_HEADER_SIZE)
+        chunks = heap.free_list(max_hops=50)
+        assert len(chunks) == 50  # bounded, no hang
+
+
+class TestInspection:
+    def test_allocations_iterator(self, heap):
+        a = heap.malloc(16)
+        b = heap.malloc(16)
+        assert set(heap.allocations()) == {a, b}
+        heap.free(a)
+        assert set(heap.allocations()) == {b}
+
+    def test_chunk_for(self, heap):
+        a = heap.malloc(24)
+        chunk = heap.chunk_for(a)
+        assert chunk.user_address == a
+        assert chunk.user_size >= 24
+
+
+class TestLayoutDescription:
+    def test_shows_chunks_in_physical_order(self, heap):
+        a = heap.malloc(64)
+        b = heap.malloc(64)
+        heap.malloc(16)
+        heap.free(b)
+        text = heap.describe_layout()
+        lines = [l for l in text.splitlines() if "chunk" in l]
+        assert len(lines) == 3
+        assert "IN USE" in lines[0]
+        assert "free" in lines[1] and "fd=" in lines[1]
+        assert text.strip().endswith("wilderness")
+
+    def test_corrupt_size_word_reported(self, heap, space):
+        a = heap.malloc(64)
+        space.write_word(a - CHUNK_HEADER_SIZE, 3)  # size below minimum
+        assert "corrupt size word" in heap.describe_layout()
+
+    def test_empty_heap(self, heap):
+        text = heap.describe_layout()
+        assert "wilderness" in text

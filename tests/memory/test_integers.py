@@ -1,0 +1,221 @@
+"""C integer semantics tests — the arithmetic behind the signed-overflow
+vulnerabilities."""
+
+import pytest
+
+from repro.memory import (
+    Int8,
+    Int16,
+    Int32,
+    UInt8,
+    UInt16,
+    UInt32,
+    Int64,
+    UInt64,
+    atoi,
+    int32,
+    strtol,
+    uint32,
+)
+
+
+class TestRanges:
+    def test_int32_bounds(self):
+        assert Int32.min_value() == -(2**31)
+        assert Int32.max_value() == 2**31 - 1
+
+    def test_uint32_bounds(self):
+        assert UInt32.min_value() == 0
+        assert UInt32.max_value() == 2**32 - 1
+
+    def test_in_range(self):
+        assert Int32.in_range(2**31 - 1)
+        assert not Int32.in_range(2**31)
+        assert Int32.in_range(-(2**31))
+        assert not Int32.in_range(-(2**31) - 1)
+
+    def test_would_overflow(self):
+        assert Int32.would_overflow(2**31)
+        assert not Int32.would_overflow(100)
+
+    def test_int8_bounds(self):
+        assert Int8.min_value() == -128
+        assert Int8.max_value() == 127
+
+
+class TestWraparound:
+    def test_positive_overflow_wraps_negative(self):
+        assert Int32(2**31).value == -(2**31)
+
+    def test_negative_overflow_wraps_positive(self):
+        assert Int32(-(2**31) - 1).value == 2**31 - 1
+
+    def test_unsigned_wraps_modulo(self):
+        assert UInt32(2**32 + 5).value == 5
+
+    def test_addition_wraps(self):
+        assert (Int32(2**31 - 1) + 1).value == -(2**31)
+
+    def test_subtraction_wraps(self):
+        assert (UInt32(0) - 1).value == 2**32 - 1
+
+    def test_multiplication_wraps(self):
+        assert (Int32(2**16) * (2**16)).value == 0  # 2^32 wraps to 0
+
+    def test_nullhttpd_size_arithmetic(self):
+        # The exact arithmetic of calloc(contentLen + 1024, 1).
+        assert (Int32(-800) + 1024).value == 224
+
+    def test_int16_truncation(self):
+        assert Int16(0x12345).value == 0x2345
+
+
+class TestCasts:
+    def test_signed_to_unsigned_reinterpret(self):
+        assert Int32(-1).cast(UInt32).value == 2**32 - 1
+
+    def test_unsigned_to_signed_reinterpret(self):
+        assert UInt32(2**32 - 1).cast(Int32).value == -1
+
+    def test_narrowing_cast(self):
+        assert Int32(0x1FF).cast(Int8).value == -1
+
+    def test_as_unsigned(self):
+        assert Int32(-1).as_unsigned() == 0xFFFFFFFF
+
+    def test_roundtrip_bytes(self):
+        value = Int32(-563)
+        assert Int32.from_bytes_le(value.to_bytes_le()) == value
+
+    def test_from_bytes_wrong_width(self):
+        with pytest.raises(ValueError):
+            Int32.from_bytes_le(b"\x01\x02")
+
+
+class TestDivision:
+    def test_c_division_truncates_toward_zero(self):
+        assert (Int32(-7) // 2).value == -3  # Python would give -4
+
+    def test_c_modulo_sign_follows_dividend(self):
+        assert (Int32(-7) % 2).value == -1  # Python would give 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            Int32(1) // 0
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            Int32(1) % 0
+
+
+class TestShifts:
+    def test_signed_right_shift_is_arithmetic(self):
+        assert (Int32(-8) >> 1).value == -4
+
+    def test_unsigned_right_shift_is_logical(self):
+        assert (UInt32(0x80000000) >> 1).value == 0x40000000
+
+    def test_left_shift_wraps(self):
+        assert (Int32(1) << 31).value == -(2**31)
+
+
+class TestBitwise:
+    def test_and(self):
+        assert (Int32(-1) & 0xFF).value == 0xFF
+
+    def test_or(self):
+        assert (UInt32(0xF0) | 0x0F).value == 0xFF
+
+    def test_xor(self):
+        assert (UInt32(0xFF) ^ 0x0F).value == 0xF0
+
+    def test_invert(self):
+        assert (~Int32(0)).value == -1
+
+
+class TestComparison:
+    def test_equality_across_types_by_value(self):
+        assert Int32(5) == UInt32(5)
+        assert Int32(5) == 5
+
+    def test_negative_not_equal_reinterpretation(self):
+        assert Int32(-1) != UInt32(2**32 - 1)  # values differ
+
+    def test_ordering(self):
+        assert Int32(-1) < Int32(0) < Int32(1)
+
+    def test_hashable(self):
+        assert len({Int32(1), Int32(1), Int32(2)}) == 2
+
+    def test_bool(self):
+        assert Int32(1)
+        assert not Int32(0)
+
+
+class TestAtoi:
+    def test_simple(self):
+        assert atoi("42").value == 42
+
+    def test_negative(self):
+        assert atoi("-800").value == -800
+
+    def test_leading_whitespace(self):
+        assert atoi("   17").value == 17
+
+    def test_trailing_garbage_ignored(self):
+        assert atoi("25.120").value == 25
+
+    def test_no_digits(self):
+        assert atoi("abc").value == 0
+
+    def test_empty(self):
+        assert atoi("").value == 0
+
+    def test_plus_sign(self):
+        assert atoi("+9").value == 9
+
+    def test_wraps_like_the_sendmail_exploit(self):
+        # A huge decimal wraps to a negative index through 32-bit math.
+        assert atoi(str(2**32 - 3772)).value == -3772
+
+    def test_2_31_wraps_negative(self):
+        assert atoi(str(2**31)).value == -(2**31)
+
+
+class TestStrtol:
+    def test_simple(self):
+        assert strtol("123").value == 123
+
+    def test_saturates_high(self):
+        assert strtol(str(2**40)).value == Int32.max_value()
+
+    def test_saturates_low(self):
+        assert strtol("-" + str(2**40)).value == Int32.min_value()
+
+    def test_hex_base(self):
+        assert strtol("ff", base=16).value == 255
+
+    def test_stops_at_invalid(self):
+        assert strtol("12z9").value == 12
+
+    def test_empty(self):
+        assert strtol("").value == 0
+
+
+class TestConstructors:
+    def test_shorthand_constructors(self):
+        assert int32(-1).value == -1
+        assert uint32(-1).value == 2**32 - 1
+
+    def test_repr(self):
+        assert repr(Int32(5)) == "Int32(5)"
+
+    def test_index_protocol(self):
+        assert [10, 20, 30][Int32(1)] == 20
+
+    def test_64_bit(self):
+        assert Int64(2**63).value == -(2**63)
+        assert UInt64(-1).value == 2**64 - 1
+
+    def test_construct_from_cint(self):
+        assert Int32(UInt32(2**32 - 1)).value == -1

@@ -1,0 +1,90 @@
+"""Process image tests: layout, Mcode planting, consistency predicates."""
+
+import pytest
+
+from repro.memory import ControlFlowHijack, MCODE_MAGIC, Process
+
+
+@pytest.fixture
+def process():
+    return Process()
+
+
+class TestLayout:
+    def test_regions_disjoint(self, process):
+        regions = list(process.space.regions())
+        for first, second in zip(regions, regions[1:]):
+            assert first.end <= second.start
+
+    def test_got_below_globals(self, process):
+        # The Sendmail exploit's layout requirement: a negative index
+        # from a data-segment global reaches the GOT.
+        assert process.got.region.end <= process.scratch.start
+
+    def test_symbols_loaded(self, process):
+        assert set(process.got.symbols()) == {"setuid", "free", "exit"}
+
+    def test_function_entries_in_code(self, process):
+        for symbol in ("setuid", "free", "exit"):
+            entry = process.function_entry(symbol)
+            assert process.code.contains(entry)
+
+    def test_entries_distinct(self, process):
+        entries = {process.function_entry(s) for s in ("setuid", "free", "exit")}
+        assert len(entries) == 3
+
+    def test_custom_symbols(self):
+        process = Process(symbols=("open", "close"))
+        assert set(process.got.symbols()) == {"open", "close"}
+
+
+class TestMcode:
+    def test_plant_writes_magic(self, process):
+        address = process.plant_mcode()
+        assert process.space.read_word(address) == MCODE_MAGIC
+
+    def test_is_mcode(self, process):
+        address = process.plant_mcode()
+        assert process.is_mcode(address)
+        assert not process.is_mcode(address + 4)
+
+    def test_no_mcode_before_planting(self, process):
+        assert process.mcode_address is None
+        assert not process.is_mcode(0x5000)
+
+
+class TestGlobals:
+    def test_place_global_in_scratch(self, process):
+        address = process.place_global("tTvect", 100)
+        assert process.scratch.contains(address)
+
+    def test_sequential_globals_disjoint(self, process):
+        first = process.place_global("a", 64)
+        second = process.place_global("b", 64)
+        assert second >= first + 64
+
+
+class TestConsistencyPredicates:
+    def test_got_consistent_fresh(self, process):
+        assert process.got_consistent("setuid")
+
+    def test_got_consistent_after_corruption(self, process):
+        process.space.write_word(process.got.entry_address("setuid"), 0x1)
+        assert not process.got_consistent("setuid")
+
+    def test_return_address_consistent(self, process):
+        process.stack.push_frame("f", 0x1000, {"buf": 16})
+        assert process.return_address_consistent()
+
+    def test_heap_links_consistent_fresh(self, process):
+        a = process.heap.malloc(64)
+        process.heap.malloc(16)
+        process.heap.free(a)
+        assert process.heap_links_consistent()
+
+    def test_hijack_through_corrupted_got(self, process):
+        mcode = process.plant_mcode()
+        process.space.write_word(process.got.entry_address("exit"), mcode)
+        with pytest.raises(ControlFlowHijack) as exc:
+            process.got.call("exit")
+        assert process.is_mcode(exc.value.target)

@@ -1,0 +1,126 @@
+"""Property-based tests over the memory substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory import (
+    AddressSpace,
+    Heap,
+    Int8,
+    Int32,
+    UInt32,
+    atoi,
+)
+
+int32s = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+any_ints = st.integers(min_value=-(2**40), max_value=2**40)
+
+
+class TestIntegerProperties:
+    @given(any_ints)
+    def test_wrap_is_idempotent(self, value):
+        assert Int32(Int32(value)).value == Int32(value).value
+
+    @given(any_ints)
+    def test_value_always_in_range(self, value):
+        assert Int32.min_value() <= Int32(value).value <= Int32.max_value()
+
+    @given(any_ints, any_ints)
+    def test_addition_is_modular(self, a, b):
+        assert (Int32(a) + Int32(b)).value == Int32(a + b).value
+
+    @given(any_ints, any_ints)
+    def test_multiplication_is_modular(self, a, b):
+        assert (Int32(a) * Int32(b)).value == Int32(a * b).value
+
+    @given(int32s)
+    def test_in_range_values_preserved(self, value):
+        assert Int32(value).value == value
+
+    @given(any_ints)
+    def test_signed_unsigned_round_trip(self, value):
+        assert Int32(value).cast(UInt32).cast(Int32).value == Int32(value).value
+
+    @given(int32s)
+    def test_bytes_round_trip(self, value):
+        assert Int32.from_bytes_le(Int32(value).to_bytes_le()).value == value
+
+    @given(any_ints)
+    def test_negation_involution(self, value):
+        x = Int32(value)
+        assert (-(-x)).value == x.value
+
+    @given(st.integers(min_value=-(2**20), max_value=2**20))
+    def test_atoi_matches_int_in_range(self, value):
+        assert atoi(str(value)).value == value
+
+    @given(any_ints)
+    def test_atoi_wraps_like_int32(self, value):
+        assert atoi(str(value)).value == Int32(value).value
+
+    @given(st.integers(min_value=-(2**10), max_value=2**10))
+    def test_int8_truncation_consistent(self, value):
+        assert Int8(value).value == Int8(Int32(value).value & 0xFF).value
+
+
+class TestAddressSpaceProperties:
+    @given(st.binary(min_size=0, max_size=128),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=50)
+    def test_write_read_round_trip(self, data, offset):
+        space = AddressSpace(size=8192)
+        space.write(offset, data)
+        assert space.read(offset, len(data)) == data
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=50)
+    def test_word_round_trip(self, value):
+        space = AddressSpace(size=64)
+        space.write_word(0, value)
+        assert space.read_word(0) == value
+
+    @given(st.binary(min_size=0, max_size=32).filter(lambda b: 0 not in b))
+    @settings(max_examples=50)
+    def test_cstring_round_trip(self, data):
+        space = AddressSpace(size=256)
+        space.write_cstring(0, data)
+        assert space.read_cstring(0) == data
+
+
+class TestHeapProperties:
+    @given(st.lists(st.integers(min_value=1, max_value=256),
+                    min_size=1, max_size=12))
+    @settings(max_examples=50)
+    def test_live_allocations_never_overlap(self, sizes):
+        space = AddressSpace(size=1024 * 1024)
+        heap = Heap(space, size=256 * 1024)
+        addresses = [heap.malloc(size) for size in sizes]
+        ranges = sorted(
+            (addr, addr + heap.allocation_size(addr)) for addr in addresses
+        )
+        for (s1, e1), (s2, _e2) in zip(ranges, ranges[1:]):
+            assert e1 <= s2
+
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=128),
+                              st.booleans()),
+                    min_size=1, max_size=16))
+    @settings(max_examples=50)
+    def test_free_list_consistent_after_any_sequence(self, script):
+        space = AddressSpace(size=1024 * 1024)
+        heap = Heap(space, size=256 * 1024)
+        live = []
+        for size, do_free in script:
+            live.append(heap.malloc(size))
+            if do_free and live:
+                heap.free(live.pop(0))
+        assert heap.links_intact()
+
+    @given(st.integers(min_value=1, max_value=512))
+    @settings(max_examples=50)
+    def test_malloc_free_malloc_reuses(self, size):
+        space = AddressSpace(size=1024 * 1024)
+        heap = Heap(space, size=256 * 1024)
+        a = heap.malloc(size)
+        heap.malloc(16)  # guard against wilderness merge
+        heap.free(a)
+        assert heap.malloc(size) == a

@@ -1,0 +1,127 @@
+"""Call-stack tests: frame layout, smash detection, canary semantics."""
+
+import pytest
+
+from repro.memory import AddressSpace, CallStack, StackSmashed, strcpy
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(size=1024 * 1024)
+
+
+@pytest.fixture
+def stack(space):
+    return CallStack(space, size=16 * 1024)
+
+
+class TestFrameLayout:
+    def test_push_returns_frame(self, stack):
+        frame = stack.push_frame("f", 0x1000, {"buf": 64})
+        assert frame.function == "f"
+        assert frame.local_size("buf") == 64
+
+    def test_return_address_stored_in_memory(self, stack, space):
+        frame = stack.push_frame("f", 0x1234, {})
+        assert space.read_word(frame.return_address_slot) == 0x1234
+
+    def test_locals_below_return_address(self, stack):
+        frame = stack.push_frame("f", 0x1000, {"buf": 64})
+        assert frame.local_address("buf") < frame.return_address_slot
+
+    def test_declaration_order_layout(self, stack):
+        # First-declared local sits highest (closest to the frame data).
+        frame = stack.push_frame("f", 0x1000, {"first": 16, "second": 16})
+        assert frame.local_address("first") > frame.local_address("second")
+
+    def test_stack_grows_downward(self, stack):
+        outer = stack.push_frame("outer", 0x1000, {"a": 32})
+        inner = stack.push_frame("inner", 0x1000, {"b": 32})
+        assert inner.base < outer.base
+
+    def test_overflow_of_stack_region(self, stack):
+        with pytest.raises(OverflowError):
+            stack.push_frame("huge", 0x1000, {"buf": 10**6})
+
+    def test_current_frame(self, stack):
+        stack.push_frame("f", 0x1000, {})
+        assert stack.current_frame.function == "f"
+
+    def test_current_frame_empty_raises(self, stack):
+        with pytest.raises(IndexError):
+            stack.current_frame
+
+
+class TestReturnSemantics:
+    def test_clean_return(self, stack):
+        stack.push_frame("f", 0xBEEF, {})
+        assert stack.pop_frame() == 0xBEEF
+
+    def test_nested_returns(self, stack):
+        stack.push_frame("outer", 0x1111, {})
+        stack.push_frame("inner", 0x2222, {})
+        assert stack.pop_frame() == 0x2222
+        assert stack.pop_frame() == 0x1111
+
+    def test_stack_pointer_restored(self, stack):
+        before = stack._top
+        stack.push_frame("f", 0x1000, {"buf": 64})
+        stack.pop_frame()
+        assert stack._top == before
+
+    def test_smash_detected_on_return(self, stack, space):
+        frame = stack.push_frame("f", 0x1000, {"buf": 16})
+        gap = frame.return_address_slot - frame.local_address("buf")
+        strcpy(space, frame.local_address("buf"),
+               b"A" * gap + (0x41414141).to_bytes(4, "little"))
+        with pytest.raises(StackSmashed) as exc:
+            stack.pop_frame()
+        assert exc.value.hijacked_target == 0x41414141
+        assert exc.value.legitimate == 0x1000
+
+    def test_return_address_intact_predicate(self, stack, space):
+        frame = stack.push_frame("f", 0x1000, {"buf": 16})
+        assert stack.return_address_intact()
+        space.write_word(frame.return_address_slot, 0xBAD)
+        assert not stack.return_address_intact()
+
+
+class TestCanary:
+    def test_canary_between_locals_and_return(self, stack):
+        frame = stack.push_frame("f", 0x1000, {"buf": 16}, canary=0xCAFE)
+        assert frame.local_address("buf") < frame.canary_slot
+        assert frame.canary_slot < frame.return_address_slot
+
+    def test_intact_canary_returns(self, stack):
+        stack.push_frame("f", 0x1000, {"buf": 16}, canary=0xCAFE)
+        assert stack.pop_frame() == 0x1000
+
+    def test_linear_overflow_trips_canary(self, stack, space):
+        frame = stack.push_frame("f", 0x1000, {"buf": 16}, canary=0xCAFE)
+        strcpy(space, frame.local_address("buf"), b"A" * 40)
+        with pytest.raises(ValueError, match="smashing detected"):
+            stack.pop_frame()
+
+    def test_canary_check_can_be_skipped(self, stack, space):
+        frame = stack.push_frame("f", 0x1000, {"buf": 16}, canary=0xCAFE)
+        space.write_word(frame.canary_slot, 0)
+        # Without the check, the (intact) return address still works.
+        assert stack.pop_frame(check_canary=False) == 0x1000
+
+    def test_canary_intact_predicate(self, stack, space):
+        frame = stack.push_frame("f", 0x1000, {"buf": 16}, canary=0xCAFE)
+        assert stack.canary_intact()
+        space.write_word(frame.canary_slot, 1)
+        assert not stack.canary_intact()
+
+    def test_no_canary_is_vacuously_intact(self, stack):
+        stack.push_frame("f", 0x1000, {})
+        assert stack.canary_intact()
+
+    def test_targeted_write_bypasses_canary(self, stack, space):
+        # A non-linear write (e.g. format-string) skips the canary — the
+        # documented limitation of canaries vs %n.
+        frame = stack.push_frame("f", 0x1000, {"buf": 16}, canary=0xCAFE)
+        space.write_word(frame.return_address_slot, 0x666)
+        with pytest.raises(StackSmashed):
+            stack.pop_frame()  # canary passes, smash still detected here

@@ -1,0 +1,135 @@
+"""C string routine tests: unchecked copies overflow; checked ones don't."""
+
+import pytest
+
+from repro.memory import (
+    AddressSpace,
+    gets,
+    getns,
+    memcpy,
+    memset,
+    strcat,
+    strcpy,
+    strlen,
+    strncpy,
+)
+
+
+@pytest.fixture
+def space():
+    space = AddressSpace(size=64 * 1024)
+    space.map_region("buf", 0x100, 16)
+    return space
+
+
+class TestStrcpy:
+    def test_copies_and_terminates(self, space):
+        written = strcpy(space, 0x100, b"hello", label="buf")
+        assert written == 6
+        assert space.read_cstring(0x100) == b"hello"
+
+    def test_overflows_past_region(self, space):
+        strcpy(space, 0x100, b"A" * 32, label="buf")
+        assert space.read_byte(0x110) == ord("A")  # past the 16-byte region
+        assert space.writes_outside("buf")
+
+    def test_empty_source(self, space):
+        strcpy(space, 0x100, b"", label="buf")
+        assert space.read_byte(0x100) == 0
+
+
+class TestStrncpy:
+    def test_bounded(self, space):
+        strncpy(space, 0x100, b"A" * 32, 16, label="buf")
+        assert not space.writes_outside("buf")
+
+    def test_zero_pads(self, space):
+        strncpy(space, 0x100, b"ab", 8)
+        assert space.read(0x100, 8) == b"ab" + b"\x00" * 6
+
+    def test_no_terminator_when_full(self, space):
+        # The classic strncpy wart is preserved.
+        strncpy(space, 0x100, b"ABCDEFGH", 8)
+        assert space.read(0x100, 8) == b"ABCDEFGH"
+        assert space.read_byte(0x108) == 0  # only because memory is zero-fill
+
+    def test_negative_count_rejected(self, space):
+        with pytest.raises(ValueError):
+            strncpy(space, 0x100, b"x", -1)
+
+
+class TestStrcat:
+    def test_appends(self, space):
+        strcpy(space, 0x100, b"ab")
+        strcat(space, 0x100, b"cd")
+        assert space.read_cstring(0x100) == b"abcd"
+
+    def test_append_to_empty(self, space):
+        strcat(space, 0x100, b"xy")
+        assert space.read_cstring(0x100) == b"xy"
+
+
+class TestMemcpy:
+    def test_exact(self, space):
+        memcpy(space, 0x100, b"abcd", 4)
+        assert space.read(0x100, 4) == b"abcd"
+
+    def test_count_exceeds_source_zero_fills(self, space):
+        memcpy(space, 0x100, b"ab", 4)
+        assert space.read(0x100, 4) == b"ab\x00\x00"
+
+    def test_attacker_count_overflows(self, space):
+        memcpy(space, 0x100, b"B" * 64, 64, label="buf")
+        assert space.writes_outside("buf")
+
+    def test_negative_count_rejected(self, space):
+        with pytest.raises(ValueError):
+            memcpy(space, 0x100, b"x", -4)
+
+
+class TestMemset:
+    def test_fills(self, space):
+        memset(space, 0x100, 0xCC, 8)
+        assert space.read(0x100, 8) == b"\xcc" * 8
+
+    def test_masks_byte(self, space):
+        memset(space, 0x100, 0x1FF, 1)
+        assert space.read_byte(0x100) == 0xFF
+
+    def test_negative_count_rejected(self, space):
+        with pytest.raises(ValueError):
+            memset(space, 0x100, 0, -1)
+
+
+class TestGets:
+    def test_unbounded(self, space):
+        gets(space, 0x100, b"A" * 40, label="buf")
+        assert space.writes_outside("buf")
+
+    def test_stops_at_newline(self, space):
+        gets(space, 0x100, b"line1\nline2")
+        assert space.read_cstring(0x100) == b"line1"
+
+
+class TestGetns:
+    def test_bounded(self, space):
+        getns(space, 0x100, 16, b"A" * 40, label="buf")
+        assert not space.writes_outside("buf")
+        assert space.read_cstring(0x100) == b"A" * 15
+
+    def test_short_line(self, space):
+        getns(space, 0x100, 16, b"hi\nrest")
+        assert space.read_cstring(0x100) == b"hi"
+
+    def test_zero_size_rejected(self, space):
+        with pytest.raises(ValueError):
+            getns(space, 0x100, 0, b"x")
+
+
+class TestStrlen:
+    def test_length(self, space):
+        strcpy(space, 0x100, b"four")
+        assert strlen(space, 0x100) == 4
+
+    def test_empty(self, space):
+        assert strlen(space, 0x200) == 0

@@ -1,0 +1,101 @@
+"""Figure 8 generic templates and Table 2 grid tests."""
+
+import pytest
+
+from repro.core import Domain, PfsmType, Predicate, in_range
+from repro.models import (
+    TABLE2_EXPECTED,
+    all_paper_models,
+    content_attribute_check,
+    generic_operation,
+    object_type_check,
+    reference_consistency_check,
+    table2_grid,
+)
+
+
+class TestTemplates:
+    def test_object_type_check(self):
+        pfsm = object_type_check(
+            "T", "the input",
+            Predicate(lambda obj: isinstance(obj, int), "is an integer"),
+        )
+        assert pfsm.check_type is PfsmType.OBJECT_TYPE
+        assert pfsm.step(5).accepted
+        assert pfsm.step("5").via_hidden_path  # no impl: hidden
+
+    def test_content_attribute_check(self):
+        pfsm = content_attribute_check("C", "the index", in_range(0, 100),
+                                       impl=in_range(0, 100))
+        assert pfsm.check_type is PfsmType.CONTENT_ATTRIBUTE
+        assert pfsm.step(-1).foiled
+
+    def test_reference_consistency_check(self):
+        pfsm = reference_consistency_check(
+            "R", "the pointer", Predicate(bool, "unchanged"))
+        assert pfsm.check_type is PfsmType.REFERENCE_CONSISTENCY
+        assert pfsm.step(False).via_hidden_path
+
+    def test_default_activity_text(self):
+        pfsm = object_type_check("T", "obj", Predicate(bool, "x"))
+        assert "type" in pfsm.activity
+
+
+class TestGenericOperation:
+    def _preds(self):
+        return (
+            Predicate(lambda obj: isinstance(obj["value"], int), "int typed"),
+            Predicate(lambda obj: 0 <= obj["value"] <= 10, "in bounds"),
+            Predicate(lambda obj: obj["binding_ok"], "binding preserved"),
+        )
+
+    def test_secure_operation_rejects_each_violation(self):
+        operation = generic_operation(*self._preds(), secure=True)
+        assert operation.run({"value": 5, "binding_ok": True}).completed
+        assert operation.run({"value": "x", "binding_ok": True}).foiled_by \
+            == "TYPE"
+        assert operation.run({"value": 50, "binding_ok": True}).foiled_by \
+            == "CONTENT"
+        assert operation.run({"value": 5, "binding_ok": False}).foiled_by \
+            == "CONSISTENCY"
+
+    def test_insecure_operation_rides_hidden_paths(self):
+        operation = generic_operation(*self._preds(), secure=False)
+        result = operation.run({"value": 50, "binding_ok": False})
+        assert result.completed
+        assert len(result.hidden_steps) == 2
+
+    def test_check_order_matches_figure8(self):
+        operation = generic_operation(*self._preds())
+        assert [p.name for p in operation.pfsms] == \
+            ["TYPE", "CONTENT", "CONSISTENCY"]
+
+
+class TestTable2:
+    def test_grid_matches_paper(self):
+        grid = table2_grid(all_paper_models())
+        derived = {}
+        for cell in grid:
+            derived.setdefault(cell.vulnerability, {})[cell.pfsm_name] = \
+                cell.check_type
+        assert derived == TABLE2_EXPECTED
+
+    def test_sixteen_cells(self):
+        assert len(table2_grid(all_paper_models())) == 16
+
+    def test_content_attribute_most_common(self):
+        # Section 6: "the most common cause ... is an incomplete content
+        # and/or attribute check."
+        grid = table2_grid(all_paper_models())
+        counts = {}
+        for cell in grid:
+            counts[cell.check_type] = counts.get(cell.check_type, 0) + 1
+        assert counts[PfsmType.CONTENT_ATTRIBUTE] == max(counts.values())
+
+    def test_all_three_types_used(self):
+        grid = table2_grid(all_paper_models())
+        assert {cell.check_type for cell in grid} == set(PfsmType)
+
+    def test_questions_populated(self):
+        for cell in table2_grid(all_paper_models()):
+            assert cell.question

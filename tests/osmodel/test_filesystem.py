@@ -1,0 +1,212 @@
+"""Filesystem tests: resolution, permissions, symlinks, terminals."""
+
+import pytest
+
+from repro.osmodel import (
+    FileNotFound,
+    FileSystem,
+    FileType,
+    FsError,
+    Mode,
+    NotADirectory,
+    PermissionDenied,
+    ROOT,
+    SymlinkLoop,
+    User,
+    normalize_path,
+)
+
+
+@pytest.fixture
+def tom():
+    return User.regular("tom", 1000)
+
+
+@pytest.fixture
+def fs(tom):
+    fs = FileSystem()
+    fs.mkdirs("/etc", ROOT)
+    fs.mkdirs("/usr", ROOT)
+    fs.mkdir("/usr/tom", tom)
+    fs.create_file("/etc/passwd", ROOT, 0o644, data=b"root:x:0:0\n")
+    return fs
+
+
+class TestNormalizePath:
+    def test_collapses_dotdot(self):
+        assert normalize_path("/dev/../etc/passwd") == "/etc/passwd"
+
+    def test_collapses_dot_and_slashes(self):
+        assert normalize_path("/a/./b//c") == "/a/b/c"
+
+    def test_dotdot_at_root_clamped(self):
+        assert normalize_path("/../../etc") == "/etc"
+
+    def test_root(self):
+        assert normalize_path("/") == "/"
+
+    def test_idempotent(self):
+        path = normalize_path("/a/b/../c")
+        assert normalize_path(path) == path
+
+
+class TestCreation:
+    def test_create_and_read(self, fs):
+        assert fs.read("/etc/passwd", ROOT) == b"root:x:0:0\n"
+
+    def test_mkdirs_creates_ancestors(self, fs):
+        fs.mkdirs("/var/log/app", ROOT)
+        assert fs.exists("/var/log/app")
+
+    def test_duplicate_create_rejected(self, fs):
+        with pytest.raises(FsError):
+            fs.create_file("/etc/passwd", ROOT)
+
+    def test_create_in_missing_dir(self, fs):
+        with pytest.raises(FileNotFound):
+            fs.create_file("/nosuch/file", ROOT)
+
+    def test_create_under_file_rejected(self, fs):
+        with pytest.raises(NotADirectory):
+            fs.create_file("/etc/passwd/sub", ROOT)
+
+    def test_relative_path_rejected(self, fs):
+        with pytest.raises(FsError):
+            fs.lookup("etc/passwd")
+
+    def test_listdir(self, fs, tom):
+        fs.create_file("/usr/tom/a", tom)
+        fs.create_file("/usr/tom/b", tom)
+        assert list(fs.listdir("/usr/tom")) == ["a", "b"]
+
+    def test_listdir_on_file(self, fs):
+        with pytest.raises(NotADirectory):
+            fs.listdir("/etc/passwd")
+
+
+class TestPermissions:
+    def test_owner_write(self, fs, tom):
+        fs.create_file("/usr/tom/mine", tom, 0o644)
+        assert fs.access("/usr/tom/mine", tom, Mode.W)
+
+    def test_other_cannot_write_644(self, fs, tom):
+        assert not fs.access("/etc/passwd", tom, Mode.W)
+
+    def test_other_can_read_644(self, fs, tom):
+        assert fs.access("/etc/passwd", tom, Mode.R)
+
+    def test_root_bypasses(self, fs):
+        assert fs.access("/etc/passwd", ROOT, Mode.W)
+
+    def test_group_bits(self, fs):
+        member = User.regular("m", 2000, gid=500)
+        fs.create_file("/etc/groupfile", ROOT, 0o660)
+        fs.lookup("/etc/groupfile").group_gid = 500
+        assert fs.access("/etc/groupfile", member, Mode.W)
+
+    def test_supplementary_groups(self, fs):
+        member = User.regular("m", 2000, gid=100, groups=[500])
+        fs.create_file("/etc/groupfile", ROOT, 0o660)
+        fs.lookup("/etc/groupfile").group_gid = 500
+        assert fs.access("/etc/groupfile", member, Mode.W)
+
+    def test_open_write_denied(self, fs, tom):
+        with pytest.raises(PermissionDenied):
+            fs.open_write("/etc/passwd", tom)
+
+    def test_world_writable(self, fs, tom):
+        fs.create_file("/etc/utmp", ROOT, 0o666)
+        inode = fs.open_write("/etc/utmp", tom)
+        fs.write(inode, b"entry\n")
+        assert b"entry" in fs.read("/etc/utmp", ROOT)
+
+    def test_access_on_missing_file_false(self, fs, tom):
+        assert not fs.access("/nosuch", tom, Mode.R)
+
+    def test_read_denied(self, fs, tom):
+        fs.create_file("/etc/shadow", ROOT, 0o600)
+        with pytest.raises(PermissionDenied):
+            fs.read("/etc/shadow", tom)
+
+
+class TestSymlinks:
+    def test_follow_on_lookup(self, fs, tom):
+        fs.symlink("/usr/tom/link", "/etc/passwd", tom)
+        assert fs.lookup("/usr/tom/link") is fs.lookup("/etc/passwd")
+
+    def test_nofollow_sees_the_link(self, fs, tom):
+        fs.symlink("/usr/tom/link", "/etc/passwd", tom)
+        inode = fs.lookup("/usr/tom/link", follow_symlinks=False)
+        assert inode.file_type is FileType.SYMLINK
+
+    def test_intermediate_links_always_followed(self, fs, tom):
+        fs.symlink("/usr/tom/dir", "/etc", tom)
+        assert fs.lookup("/usr/tom/dir/passwd", follow_symlinks=False) \
+            is fs.lookup("/etc/passwd")
+
+    def test_resolve_path(self, fs, tom):
+        fs.symlink("/usr/tom/x", "/etc/passwd", tom)
+        assert fs.resolve_path("/usr/tom/x") == "/etc/passwd"
+
+    def test_loop_detected(self, fs, tom):
+        fs.symlink("/usr/tom/a", "/usr/tom/b", tom)
+        fs.symlink("/usr/tom/b", "/usr/tom/a", tom)
+        with pytest.raises(SymlinkLoop):
+            fs.lookup("/usr/tom/a")
+
+    def test_dangling_link(self, fs, tom):
+        fs.symlink("/usr/tom/dead", "/nosuch", tom)
+        with pytest.raises(FileNotFound):
+            fs.lookup("/usr/tom/dead")
+
+    def test_unlink_then_symlink_swap(self, fs, tom):
+        # The xterm attack sequence as plain fs operations.
+        fs.create_file("/usr/tom/x", tom, 0o666)
+        fs.unlink("/usr/tom/x", tom)
+        fs.symlink("/usr/tom/x", "/etc/passwd", tom)
+        inode = fs.open_write("/usr/tom/x", ROOT)
+        fs.write(inode, b"injected")
+        assert b"injected" in fs.read("/etc/passwd", ROOT)
+
+    def test_unlink_requires_parent_write(self, fs, tom):
+        with pytest.raises(PermissionDenied):
+            fs.unlink("/etc/passwd", tom)
+
+
+class TestTerminals:
+    def test_terminal_type(self, fs):
+        fs.mkdirs("/dev/pts", ROOT)
+        fs.create_terminal("/dev/pts/25", ROOT)
+        assert fs.is_terminal("/dev/pts/25")
+
+    def test_regular_file_not_terminal(self, fs):
+        assert not fs.is_terminal("/etc/passwd")
+
+    def test_missing_path_not_terminal(self, fs):
+        assert not fs.is_terminal("/nosuch")
+
+    def test_terminal_write_goes_to_scrollback(self, fs):
+        fs.mkdirs("/dev/pts", ROOT)
+        inode = fs.create_terminal("/dev/pts/25", ROOT)
+        fs.write(inode, b"wall message")
+        assert inode.terminal_output == [b"wall message"]
+
+    def test_write_to_directory_rejected(self, fs):
+        with pytest.raises(FsError):
+            fs.write(fs.lookup("/etc"), b"x")
+
+
+class TestUsers:
+    def test_root_flag(self):
+        assert ROOT.is_root
+        assert not User.regular("u", 1).is_root
+
+    def test_regular_cannot_be_uid0(self):
+        with pytest.raises(ValueError):
+            User.regular("fake", 0)
+
+    def test_in_group(self):
+        user = User.regular("u", 1, gid=10, groups=[20])
+        assert user.in_group(10)
+        assert user.in_group(20)
+        assert not user.in_group(30)

@@ -1,0 +1,154 @@
+"""Property-based tests over the OS model: path normalization laws,
+permission monotonicity, interleaving-count combinatorics."""
+
+from math import comb, factorial
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.osmodel import (
+    FileSystem,
+    Mode,
+    ROOT,
+    Scheduler,
+    SimulatedSocket,
+    Step,
+    ThreadScript,
+    User,
+    normalize_path,
+)
+
+path_segments = st.lists(
+    st.sampled_from(["a", "b", "usr", "tom", "..", ".", "etc", "x"]),
+    min_size=0, max_size=8,
+)
+
+
+class TestNormalizeProperties:
+    @given(path_segments)
+    def test_idempotent(self, segments):
+        path = "/" + "/".join(segments)
+        assert normalize_path(normalize_path(path)) == normalize_path(path)
+
+    @given(path_segments)
+    def test_no_dots_remain(self, segments):
+        path = "/" + "/".join(segments)
+        normalized = normalize_path(path)
+        parts = [p for p in normalized.split("/") if p]
+        assert ".." not in parts and "." not in parts
+
+    @given(path_segments)
+    def test_always_absolute(self, segments):
+        path = "/" + "/".join(segments)
+        assert normalize_path(path).startswith("/")
+
+    @given(path_segments, path_segments)
+    def test_concatenation_consistency(self, first, second):
+        # normalize(a + b) == normalize(normalize(a) + b) for rooted a
+        # whose normalized form ".." can no longer escape.
+        a = "/" + "/".join(s for s in first if s not in ("..", "."))
+        b = "/".join(second)
+        combined = normalize_path(a.rstrip("/") + "/" + b)
+        recombined = normalize_path(
+            normalize_path(a).rstrip("/") + "/" + b
+        )
+        assert combined == recombined
+
+
+class TestPermissionProperties:
+    @given(st.integers(min_value=0, max_value=0o777))
+    @settings(max_examples=60)
+    def test_root_always_passes(self, mode):
+        fs = FileSystem()
+        fs.mkdirs("/d", ROOT)
+        fs.create_file("/d/f", ROOT, mode)
+        for want in (Mode.R, Mode.W, Mode.X):
+            assert fs.access("/d/f", ROOT, want)
+
+    @given(st.integers(min_value=0, max_value=0o777))
+    @settings(max_examples=60)
+    def test_owner_bits_decide_for_owner(self, mode):
+        fs = FileSystem()
+        owner = User.regular("o", 500)
+        fs.mkdirs("/d", ROOT)
+        fs.create_file("/d/f", owner, mode)
+        expected_write = bool((mode >> 6) & Mode.W)
+        assert fs.access("/d/f", owner, Mode.W) == expected_write
+
+    @given(st.integers(min_value=0, max_value=0o777))
+    @settings(max_examples=60)
+    def test_other_bits_decide_for_stranger(self, mode):
+        fs = FileSystem()
+        stranger = User.regular("s", 600, gid=77)
+        fs.mkdirs("/d", ROOT)
+        fs.create_file("/d/f", ROOT, mode)
+        expected_read = bool(mode & Mode.R)
+        assert fs.access("/d/f", stranger, Mode.R) == expected_read
+
+
+class TestSchedulerProperties:
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=20, deadline=None)
+    def test_two_thread_interleaving_count(self, n, m):
+        def scripts(_world):
+            return [
+                ThreadScript.of(
+                    "a", *[Step(f"s{i}", lambda w: None) for i in range(n)]
+                ),
+                ThreadScript.of(
+                    "b", *[Step(f"s{i}", lambda w: None) for i in range(m)]
+                ),
+            ]
+
+        scheduler = Scheduler(dict, scripts, lambda _w: False)
+        assert scheduler.explore().total == comb(n + m, n)
+
+    @given(st.lists(st.integers(min_value=1, max_value=3),
+                    min_size=1, max_size=3))
+    @settings(max_examples=20, deadline=None)
+    def test_multinomial_interleaving_count(self, lengths):
+        def scripts(_world):
+            return [
+                ThreadScript.of(
+                    f"t{index}",
+                    *[Step(f"s{i}", lambda w: None) for i in range(n)],
+                )
+                for index, n in enumerate(lengths)
+            ]
+
+        scheduler = Scheduler(dict, scripts, lambda _w: False)
+        total = sum(lengths)
+        expected = factorial(total)
+        for n in lengths:
+            expected //= factorial(n)
+        assert scheduler.explore().total == expected
+
+
+class TestSocketProperties:
+    @given(st.binary(min_size=0, max_size=4096),
+           st.integers(min_value=1, max_value=512))
+    @settings(max_examples=60)
+    def test_chunked_recv_reassembles_stream(self, payload, chunk):
+        socket = SimulatedSocket(payload)
+        received = b""
+        while True:
+            result = socket.recv(chunk)
+            if result.count <= 0:
+                break
+            received += result.data
+        assert received == payload
+
+    @given(st.binary(min_size=1, max_size=2048),
+           st.integers(min_value=1, max_value=512))
+    @settings(max_examples=60)
+    def test_all_but_last_chunk_full(self, payload, chunk):
+        socket = SimulatedSocket(payload)
+        counts = []
+        while True:
+            result = socket.recv(chunk)
+            if result.count <= 0:
+                break
+            counts.append(result.count)
+        assert all(c == chunk for c in counts[:-1])
+        assert 0 < counts[-1] <= chunk

@@ -1,0 +1,139 @@
+"""Scheduler tests: interleaving enumeration and race detection."""
+
+from dataclasses import dataclass, field
+from math import comb
+from typing import List
+
+import pytest
+
+from repro.osmodel import Scheduler, Step, ThreadScript
+
+
+@dataclass
+class TraceWorld:
+    log: List[str] = field(default_factory=list)
+
+
+def _recorder(name):
+    def effect(world):
+        world.log.append(name)
+    return effect
+
+
+def _make_scheduler(lengths, violation=lambda world: False):
+    def scripts(_world):
+        return [
+            ThreadScript.of(
+                f"t{i}",
+                *[Step(f"s{j}", _recorder(f"t{i}s{j}")) for j in range(n)],
+            )
+            for i, n in enumerate(lengths)
+        ]
+
+    return Scheduler(TraceWorld, scripts, violation)
+
+
+class TestEnumeration:
+    def test_two_thread_count_is_binomial(self):
+        analysis = _make_scheduler([3, 2]).explore()
+        assert analysis.total == comb(5, 3)
+
+    def test_single_thread_one_order(self):
+        analysis = _make_scheduler([4]).explore()
+        assert analysis.total == 1
+
+    def test_three_threads(self):
+        analysis = _make_scheduler([1, 1, 1]).explore()
+        assert analysis.total == 6
+
+    def test_all_orders_distinct(self):
+        analysis = _make_scheduler([2, 2]).explore()
+        orders = {result.order for result in analysis.results}
+        assert len(orders) == analysis.total
+
+    def test_program_order_preserved_within_thread(self):
+        analysis = _make_scheduler([3, 2]).explore()
+        for result in analysis.results:
+            t0_steps = [s for s in result.order if s.startswith("t0")]
+            assert t0_steps == ["t0:s0", "t0:s1", "t0:s2"]
+
+    def test_every_step_executes(self):
+        analysis = _make_scheduler([2, 3]).explore()
+        for result in analysis.results:
+            assert len(result.order) == 5
+
+
+class TestExecution:
+    def test_run_order_follows_schedule(self):
+        scheduler = _make_scheduler([2, 1])
+        result = scheduler.run_order([1, 0, 0])
+        assert result.order == ("t1:s0", "t0:s0", "t0:s1")
+
+    def test_run_sequential(self):
+        scheduler = _make_scheduler([2, 2])
+        result = scheduler.run_sequential()
+        assert result.order == ("t0:s0", "t0:s1", "t1:s0", "t1:s1")
+
+    def test_errors_recorded_and_thread_stopped(self):
+        def boom(_world):
+            raise RuntimeError("boom")
+
+        def scripts(_world):
+            return [
+                ThreadScript.of("t0", Step("a", boom), Step("b", _recorder("b"))),
+                ThreadScript.of("t1", Step("c", _recorder("c"))),
+            ]
+
+        scheduler = Scheduler(TraceWorld, scripts, lambda _w: False)
+        result = scheduler.run_order([0, 0, 1])
+        assert "t0:a" in result.errors
+        assert "RuntimeError" in result.errors["t0:a"]
+        assert "t0:b" not in result.order  # thread died after the error
+        assert "t1:c" in result.order
+
+    def test_fresh_world_per_interleaving(self):
+        analysis = _make_scheduler([1, 1]).explore()
+        for result in analysis.results:
+            assert len(result.world.log) == 2  # no cross-run accumulation
+
+
+class TestRaceDetection:
+    def _window_scheduler(self):
+        """Violation iff t1's single step lands between t0's two steps."""
+        def violation(world):
+            log = world.log
+            return log.index("t1s0") == 1 if "t1s0" in log else False
+
+        return _make_scheduler([2, 1], violation)
+
+    def test_violations_found(self):
+        analysis = self._window_scheduler().explore()
+        assert analysis.has_race
+        assert len(analysis.violations) == 1
+
+    def test_violation_ratio(self):
+        analysis = self._window_scheduler().explore()
+        assert analysis.violation_ratio == pytest.approx(1 / 3)
+
+    def test_sequential_run_is_safe(self):
+        assert not self._window_scheduler().run_sequential().violated
+
+    def test_happened_between(self):
+        analysis = self._window_scheduler().explore()
+        violation = analysis.violations[0]
+        assert violation.happened_between("t1:s0", "t0:s0", "t0:s1")
+
+    def test_happened_between_false_when_outside(self):
+        scheduler = self._window_scheduler()
+        result = scheduler.run_order([1, 0, 0])
+        assert not result.happened_between("t1:s0", "t0:s0", "t0:s1")
+
+    def test_position_of_missing_step(self):
+        scheduler = self._window_scheduler()
+        result = scheduler.run_order([0, 0, 1])
+        assert result.position("t9:nope") == -1
+
+    def test_no_race_means_empty_violations(self):
+        analysis = _make_scheduler([2, 2]).explore()
+        assert not analysis.has_race
+        assert analysis.violation_ratio == 0.0

@@ -1,0 +1,67 @@
+"""Socket tests: recv chunking, closure, and error semantics."""
+
+from repro.osmodel import RECV_ERROR, SimulatedSocket
+
+
+class TestRecvChunking:
+    def test_full_chunk(self):
+        sock = SimulatedSocket(b"x" * 2000)
+        result = sock.recv(1024)
+        assert result.count == 1024
+        assert result.data == b"x" * 1024
+
+    def test_partial_final_chunk(self):
+        sock = SimulatedSocket(b"x" * 1500)
+        sock.recv(1024)
+        result = sock.recv(1024)
+        assert result.count == 476
+
+    def test_exhausted_returns_zero(self):
+        sock = SimulatedSocket(b"ab")
+        sock.recv(10)
+        assert sock.recv(10).count == 0
+
+    def test_exact_boundary(self):
+        # Exactly one full chunk, then orderly zero.
+        sock = SimulatedSocket(b"y" * 1024)
+        assert sock.recv(1024).count == 1024
+        assert sock.recv(1024).count == 0
+
+    def test_remaining(self):
+        sock = SimulatedSocket(b"z" * 100)
+        sock.recv(30)
+        assert sock.remaining == 70
+
+    def test_zero_max_bytes(self):
+        sock = SimulatedSocket(b"data")
+        assert sock.recv(0).count == 0
+        assert sock.remaining == 4
+
+    def test_data_preserved_in_order(self):
+        sock = SimulatedSocket(b"abcdef")
+        assert sock.recv(3).data == b"abc"
+        assert sock.recv(3).data == b"def"
+
+
+class TestErrors:
+    def test_closed_socket_errors(self):
+        sock = SimulatedSocket(b"data")
+        sock.close()
+        assert sock.recv(4).count == RECV_ERROR
+
+    def test_error_after_threshold(self):
+        sock = SimulatedSocket(b"x" * 100, error_after=50)
+        assert sock.recv(50).count == 50
+        assert sock.recv(50).count == RECV_ERROR
+
+    def test_error_closes(self):
+        sock = SimulatedSocket(b"x" * 100, error_after=0)
+        assert sock.recv(10).count == RECV_ERROR
+        assert sock.closed
+
+    def test_result_tuple_unpacking(self):
+        rc, data = SimulatedSocket(b"hi").recv(2)
+        assert (rc, data) == (2, b"hi")
+
+    def test_repr(self):
+        assert "RecvResult" in repr(SimulatedSocket(b"x").recv(1))

@@ -1,0 +1,89 @@
+"""CLI tests: every subcommand runs and prints the expected shapes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestCli:
+    def test_list(self, capsys):
+        code, out = run(capsys, "list")
+        assert code == 0
+        assert "sendmail" in out and "#3163" in out
+        assert out.count("pFSMs") == 13
+
+    def test_stats(self, capsys):
+        code, out = run(capsys, "stats", "--total", "500")
+        assert code == 0
+        assert "Input Validation Error" in out
+        assert "22" in out
+
+    def test_table1(self, capsys):
+        code, out = run(capsys, "table1")
+        assert code == 0
+        for bid in ("3163", "5493", "3958"):
+            assert bid in out
+
+    def test_model_ascii(self, capsys):
+        code, out = run(capsys, "model", "sendmail")
+        assert code == 0
+        assert "pFSM2" in out and "propagation gate" in out
+
+    def test_model_dot(self, capsys):
+        code, out = run(capsys, "model", "sendmail", "--dot")
+        assert out.startswith("digraph")
+
+    def test_model_json(self, capsys):
+        code, out = run(capsys, "model", "nullhttpd", "--json")
+        data = json.loads(out)
+        assert data["bugtraq_ids"] == [5774, 6255]
+
+    def test_model_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["model", "nosuch"])
+
+    def test_trace_exploit(self, capsys):
+        code, out = run(capsys, "trace", "ghttpd")
+        assert "COMPROMISED" in out
+
+    def test_trace_benign(self, capsys):
+        code, out = run(capsys, "trace", "ghttpd", "--benign")
+        assert "safe" in out
+
+    def test_trace_json(self, capsys):
+        code, out = run(capsys, "trace", "iis", "--json")
+        data = json.loads(out)
+        assert data["compromised"]
+
+    def test_foil(self, capsys):
+        code, out = run(capsys, "foil", "rwall")
+        assert "pFSM1" in out and "pFSM2" in out
+
+    def test_statespace(self, capsys):
+        code, out = run(capsys, "statespace", "sendmail")
+        assert "compromise reachable via hidden paths: True" in out
+        assert "cut set" in out
+
+    def test_statespace_dot(self, capsys):
+        code, out = run(capsys, "statespace", "xterm", "--dot")
+        assert out.startswith("digraph")
+
+    def test_table2(self, capsys):
+        code, out = run(capsys, "table2")
+        assert out.count("Check") >= 16
+
+    def test_discover(self, capsys):
+        code, out = run(capsys, "discover")
+        assert "[NEW]" in out and "pFSM2" in out
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
