@@ -1,0 +1,294 @@
+"""Before/after benchmark of the batched, cached, parallel sweep engine.
+
+Two comparisons, each recorded to ``BENCH_sweep.json`` so the BENCH_*
+trajectory starts recording:
+
+* **hidden-witness search** — the 20k-element integer-domain search of
+  ``bench_scale.py``, seed-style scalar scan vs the closed-form batch
+  path (acceptance: ≥5x);
+* **model sweep** — the full hidden-path sweep over every bundled model,
+  seed-style naive serial engine vs ``sweep_models(workers=4)``
+  (acceptance: parallel+batched+cached beats the serial baseline).
+
+Runs two ways:
+
+* ``python benchmarks/bench_sweep_parallel.py --json BENCH_sweep.json``
+  — the CI perf smoke target.  Exits non-zero if the speedup floors are
+  missed or if serial witness-search throughput regressed more than 2x
+  against the recorded baseline (``benchmarks/baselines/sweep_baseline
+  .json``); refresh the baseline with ``--update-baseline``.
+* ``pytest benchmarks/bench_sweep_parallel.py --benchmark-only`` — the
+  same measurements under pytest-benchmark, like the other bench files.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core import (  # noqa: E402
+    Domain,
+    NO_CACHE,
+    PrimitiveFSM,
+    in_range,
+    less_equal,
+    sweep_models,
+)
+from repro.models import (  # noqa: E402
+    all_extended_models,
+    all_extended_pfsm_domains,
+)
+
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "sweep_baseline.json"
+
+#: Regression gate: fail CI when serial witness-search throughput drops
+#: below 1/REGRESSION_FACTOR of the recorded baseline.
+REGRESSION_FACTOR = 2.0
+
+
+def _witness_pfsm() -> PrimitiveFSM:
+    return PrimitiveFSM(
+        "p", "index", "x",
+        spec_accepts=in_range(0, 100),
+        impl_accepts=less_equal(100),
+    )
+
+
+def _scalar_hidden_witnesses(pfsm, domain, limit):
+    """The seed's scalar witness scan, verbatim — the 'before' engine."""
+    found = []
+    for candidate in domain:
+        if pfsm.takes_hidden_path(candidate):
+            found.append(candidate)
+            if len(found) >= limit:
+                break
+    return found
+
+
+def _closed_form(pfsm) -> bool:
+    return pfsm.spec_accepts.intervals is not None and (
+        pfsm.impl_accepts is None or pfsm.impl_accepts.intervals is not None
+    )
+
+
+def _scaled_domains(models, domains, range_target=100_000, tile_factor=200):
+    """Corpus-scale versions of the bundled pFSM domains.
+
+    The bundled domains are probe sets of a handful of values — fine for
+    correctness, useless for measuring a sweep engine.  This widens each
+    ``range``-backed domain whose pFSM has closed-form predicates to
+    ``range_target`` integers (the batch path answers arithmetically)
+    and tiles every other probe set ``tile_factor``-fold by reference
+    repetition — a corpus that re-probes the same objects over and over,
+    exactly what the engine's per-scan identity memo and shared
+    predicate cache absorb.  Both engines under comparison get the
+    identical scaled corpus.
+    """
+    pfsms = {
+        label: {pfsm.name: pfsm for _op, pfsm in model.all_pfsms()}
+        for label, model in models.items()
+    }
+    scaled = {}
+    for label, per_model in domains.items():
+        scaled_model = {}
+        for name, dom in per_model.items():
+            backing = getattr(dom, "backing", None)
+            pfsm = pfsms.get(label, {}).get(name)
+            if (isinstance(backing, range) and len(backing)
+                    and pfsm is not None and _closed_form(pfsm)):
+                pad = max(0, (range_target - len(backing)) // 2)
+                step = backing.step
+                widened = range(backing.start - pad * step,
+                                backing.stop + pad * step, step)
+                scaled_model[name] = Domain(
+                    widened, description=f"scaled({dom.description})"
+                )
+                continue
+            items = list(dom)
+            scaled_model[name] = Domain(
+                items * tile_factor,
+                description=f"tiled({dom.description})",
+            )
+        scaled[label] = scaled_model
+    return scaled
+
+
+def _naive_serial_sweep(models, domains, limit=5):
+    """The seed's whole-corpus sweep: scalar scans, no cache, no batch."""
+    findings = []
+    for label, model in models.items():
+        model_domains = domains.get(label, {})
+        for operation, pfsm in model.all_pfsms():
+            domain = model_domains.get(pfsm.name)
+            if domain is None:
+                continue
+            witnesses = _scalar_hidden_witnesses(pfsm, domain, limit)
+            if witnesses:
+                findings.append((model.name, operation.name, pfsm.name,
+                                 tuple(witnesses)))
+    return findings
+
+
+def _best_of(fn, repeats=5):
+    """(best wall-clock seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def measure(witness_repeats=5, sweep_repeats=3):
+    """Run both comparisons; returns the BENCH_sweep payload dict."""
+    pfsm = _witness_pfsm()
+    domain = Domain.integers(-10000, 10000)
+
+    scalar_s, scalar_found = _best_of(
+        lambda: _scalar_hidden_witnesses(pfsm, domain, 10**9),
+        repeats=witness_repeats,
+    )
+    batch_s, batch_found = _best_of(
+        lambda: pfsm.hidden_witnesses(domain, limit=10**9),
+        repeats=witness_repeats,
+    )
+    assert batch_found == scalar_found, "batch path diverged from scalar scan"
+    assert len(batch_found) == 10000
+
+    models = all_extended_models()
+    domains = _scaled_domains(models, all_extended_pfsm_domains())
+    # Full witness enumeration: with a truncating limit both engines
+    # early-exit after a handful of hits and nothing is measured.
+    limit = 10**9
+    serial_s, serial_findings = _best_of(
+        lambda: _naive_serial_sweep(models, domains, limit=limit),
+        repeats=sweep_repeats,
+    )
+    parallel_s, sweeps = _best_of(
+        lambda: sweep_models(models, domains, workers=4, limit=limit),
+        repeats=sweep_repeats,
+    )
+    parallel_findings = [
+        (f.model_name, f.operation_name, f.pfsm_name, f.witnesses)
+        for sweep in sweeps for f in sweep.findings
+    ]
+    assert parallel_findings == serial_findings, \
+        "parallel sweep diverged from the serial baseline"
+
+    return {
+        "hidden_witness_search": {
+            "domain_size": len(domain),
+            "witnesses": len(batch_found),
+            "scalar_s": scalar_s,
+            "batch_s": batch_s,
+            "speedup": scalar_s / batch_s if batch_s else float("inf"),
+            "serial_throughput_objs_per_s": len(domain) / scalar_s,
+        },
+        "model_sweep": {
+            "models": len(models),
+            "findings": len(parallel_findings),
+            "workers": 4,
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s else float("inf"),
+        },
+    }
+
+
+def check(payload, update_baseline=False):
+    """Enforce the acceptance floors; returns a list of failure strings."""
+    failures = []
+    witness = payload["hidden_witness_search"]
+    sweep = payload["model_sweep"]
+    if witness["speedup"] < 5.0:
+        failures.append(
+            f"hidden-witness batch path only {witness['speedup']:.1f}x "
+            f"over scalar (need >=5x)"
+        )
+    if sweep["parallel_s"] >= sweep["serial_s"]:
+        failures.append(
+            f"sweep_models(workers=4) ({sweep['parallel_s']:.4f}s) did not "
+            f"beat the serial baseline ({sweep['serial_s']:.4f}s)"
+        )
+
+    throughput = witness["serial_throughput_objs_per_s"]
+    if update_baseline or not BASELINE_PATH.exists():
+        BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(
+            {"serial_witness_throughput_objs_per_s": throughput}, indent=2,
+        ) + "\n")
+        print(f"baseline recorded: {throughput:,.0f} objs/s "
+              f"-> {BASELINE_PATH}")
+    else:
+        baseline = json.loads(BASELINE_PATH.read_text())
+        floor = baseline["serial_witness_throughput_objs_per_s"] / REGRESSION_FACTOR
+        if throughput < floor:
+            failures.append(
+                f"serial witness-search throughput regressed: "
+                f"{throughput:,.0f} objs/s < floor {floor:,.0f} objs/s "
+                f"(baseline / {REGRESSION_FACTOR})"
+            )
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the before/after payload here")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="re-record the serial-throughput baseline")
+    args = parser.parse_args(argv)
+
+    payload = measure()
+    witness, sweep = payload["hidden_witness_search"], payload["model_sweep"]
+    print(f"hidden-witness search over {witness['domain_size']:,} objects: "
+          f"scalar {witness['scalar_s']:.4f}s, batch {witness['batch_s']:.6f}s "
+          f"({witness['speedup']:.0f}x)")
+    print(f"sweep of {sweep['models']} models: serial {sweep['serial_s']:.4f}s, "
+          f"workers=4 {sweep['parallel_s']:.4f}s ({sweep['speedup']:.1f}x)")
+
+    failures = check(payload, update_baseline=args.update_baseline)
+    if args.json:
+        Path(args.json).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+# -- pytest-benchmark entry points (parity with the other bench files) -----
+
+def test_hidden_witness_batch_vs_scalar(benchmark):
+    """Closed-form witness search over the 20k-element integer domain."""
+    pfsm = _witness_pfsm()
+    domain = Domain.integers(-10000, 10000)
+    count = benchmark(lambda: len(pfsm.hidden_witnesses(domain, limit=10**9)))
+    assert count == 10000
+
+
+def test_sweep_models_parallel(benchmark):
+    """Whole-corpus sweep through the parallel batched engine."""
+    models = all_extended_models()
+    domains = _scaled_domains(models, all_extended_pfsm_domains())
+    sweeps = benchmark(
+        lambda: sweep_models(models, domains, workers=4, limit=10**9)
+    )
+    assert sum(len(s.findings) for s in sweeps) > 0
+
+
+def test_engine_beats_naive_serial_baseline():
+    """The acceptance floors, runnable as a plain pytest check."""
+    payload = measure(witness_repeats=3, sweep_repeats=2)
+    witness, sweep = payload["hidden_witness_search"], payload["model_sweep"]
+    assert witness["speedup"] >= 5.0, witness
+    assert sweep["parallel_s"] < sweep["serial_s"], sweep
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,7 @@ from .stats import (
     Table1Row,
     dominant_categories,
     figure1_breakdown,
+    remote_share,
     studied_family_share,
     table1_ambiguity,
 )
@@ -67,6 +68,7 @@ __all__ = [
     "Table1Row",
     "dominant_categories",
     "figure1_breakdown",
+    "remote_share",
     "studied_family_share",
     "table1_ambiguity",
 ]

@@ -9,7 +9,7 @@ database or any subset.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, Iterable, Iterator, List
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 from ..core.classification import BugtraqCategory
 from .corpus import CORPUS
@@ -20,7 +20,13 @@ __all__ = ["BugtraqDatabase"]
 
 
 class BugtraqDatabase:
-    """An in-memory collection of vulnerability reports."""
+    """An in-memory collection of vulnerability reports.
+
+    Aggregations (:meth:`category_counts`, :meth:`class_counts`) are
+    computed once and cached — corpus-scale statistics sweeps re-query
+    them per figure/table, and at 5925 reports the re-scan used to
+    dominate.  The cache is invalidated on :meth:`add`.
+    """
 
     def __init__(self, reports: Iterable[VulnerabilityReport] = ()) -> None:
         self._reports: List[VulnerabilityReport] = list(reports)
@@ -29,6 +35,8 @@ class BugtraqDatabase:
             for report in self._reports
             if report.bugtraq_id is not None
         }
+        self._category_counts: Optional[Counter] = None
+        self._class_counts: Optional[Counter] = None
 
     # -- constructors -----------------------------------------------------
 
@@ -53,11 +61,13 @@ class BugtraqDatabase:
 
     def add(self, report: VulnerabilityReport) -> None:
         """Insert a report (e.g. the newly discovered #6255)."""
+        if report.bugtraq_id is not None and report.bugtraq_id in self._by_id:
+            raise ValueError(f"duplicate Bugtraq ID {report.bugtraq_id}")
         self._reports.append(report)
         if report.bugtraq_id is not None:
-            if report.bugtraq_id in self._by_id:
-                raise ValueError(f"duplicate Bugtraq ID {report.bugtraq_id}")
             self._by_id[report.bugtraq_id] = report
+        self._category_counts = None
+        self._class_counts = None
 
     # -- lookup ----------------------------------------------------------------
 
@@ -95,15 +105,29 @@ class BugtraqDatabase:
     # -- aggregation ---------------------------------------------------------------------
 
     def category_counts(self) -> Counter:
-        """Report count per category."""
-        return Counter(report.category for report in self._reports)
+        """Report count per category (cached; callers get a copy)."""
+        if self._category_counts is None:
+            self._category_counts = Counter(
+                report.category for report in self._reports
+            )
+        return Counter(self._category_counts)
 
     def class_counts(self) -> Counter:
-        """Report count per fine-grained vulnerability class."""
-        return Counter(report.vulnerability_class for report in self._reports)
+        """Report count per fine-grained vulnerability class (cached;
+        callers get a copy)."""
+        if self._class_counts is None:
+            self._class_counts = Counter(
+                report.vulnerability_class for report in self._reports
+            )
+        return Counter(self._class_counts)
 
     def category_share(self, category: BugtraqCategory) -> float:
         """Fraction of the database in one category."""
         if not self._reports:
             return 0.0
         return self.category_counts()[category] / len(self._reports)
+
+    def count_matching(self, pred: Any) -> int:
+        """Reports satisfying a :class:`~repro.core.predicates.Predicate`,
+        counted through its batch path (one call, not N)."""
+        return sum(pred.evaluate_batch(self._reports))

@@ -11,6 +11,11 @@ Regenerates the paper's quantitative artifacts:
   elementary activity anchors the classification.
 * :func:`dominant_categories` — the "pie chart is dominated by five
   categories" observation (Section 3.1).
+
+Aggregates ride the database's cached counters and the predicate batch
+path (:meth:`~repro.bugtraq.database.BugtraqDatabase.count_matching`),
+so repeated figure/table regeneration over the full 5925-report corpus
+costs one scan, not one per query.
 """
 
 from __future__ import annotations
@@ -19,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..core.classification import ActivityKind, BugtraqCategory, categorize_by_activity
+from ..core.predicates import Predicate
 from .corpus import STUDIED_CLASSES, TABLE1_REPORTS, corpus_report
 from .database import BugtraqDatabase
 
@@ -26,10 +32,22 @@ __all__ = [
     "CategoryRow",
     "figure1_breakdown",
     "studied_family_share",
+    "remote_share",
     "dominant_categories",
     "Table1Row",
     "table1_ambiguity",
 ]
+
+#: Remote exploitability as a first-class predicate — evaluated over the
+#: whole corpus through the batch path.
+REMOTE = Predicate(lambda report: report.remote, "remotely exploitable")
+
+
+def remote_share(db: BugtraqDatabase) -> Tuple[int, float]:
+    """(count, fraction) of remotely exploitable reports, counted via
+    the predicate batch path (one sweep over the corpus)."""
+    count = db.count_matching(REMOTE)
+    return count, count / (len(db) or 1)
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,10 @@ Commands
     The generic pFSM type grid.
 ``discover``
     Re-run the §5.1 sweep that found Bugtraq #6255.
+``sweep``
+    Hidden-path sweep across every bundled model via the batched,
+    cached, parallel engine (``--workers N``, ``--no-cache``,
+    ``--json``).
 """
 
 from __future__ import annotations
@@ -34,6 +38,7 @@ from typing import Dict, Optional, Sequence
 from .bugtraq import (
     BugtraqDatabase,
     figure1_breakdown,
+    remote_share,
     studied_family_share,
     table1_ambiguity,
 )
@@ -99,6 +104,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"  {row}")
     count, share = studied_family_share(db)
     print(f"\nstudied family: {count} reports ({share:.1%}); paper: 22%")
+    remote_count, remote_frac = remote_share(db)
+    print(f"remotely exploitable: {remote_count} reports ({remote_frac:.1%})")
     return 0
 
 
@@ -170,6 +177,53 @@ def _cmd_statespace(args: argparse.Namespace) -> int:
     for edge in cut:
         operation, pfsm = space.edge_owner(edge)
         print(f"  - {pfsm} in {operation!r}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .core import NO_CACHE, sweep_models
+
+    models = all_paper_models()
+    domains = all_pfsm_domains()
+    sweeps = sweep_models(
+        models,
+        domains,
+        limit=args.limit,
+        workers=args.workers,
+        cache=NO_CACHE if args.no_cache else None,
+    )
+    if args.json:
+        payload = [
+            {
+                "model": sweep.model_name,
+                "vulnerable": sweep.vulnerable,
+                "findings": [
+                    {
+                        "operation": f.operation_name,
+                        "pfsm": f.pfsm_name,
+                        "activity": f.activity,
+                        "witnesses": list(f.witnesses),
+                    }
+                    for f in sweep.findings
+                ],
+            }
+            for sweep in sweeps
+        ]
+        print(json.dumps(payload, indent=2, default=str))
+        return 0
+    total = 0
+    for sweep in sweeps:
+        verdict = "VULNERABLE" if sweep.vulnerable else "clean"
+        print(f"{sweep.model_name}: {verdict} "
+              f"({len(sweep.findings)} hidden-path pFSMs)")
+        for finding in sweep.findings:
+            total += 1
+            sample = finding.witnesses[0] if finding.witnesses else None
+            print(f"  - {finding.operation_name}/{finding.pfsm_name} "
+                  f"({finding.activity}): e.g. {sample!r}")
+    print(f"\n{total} hidden-path findings across {len(sweeps)} models "
+          f"(workers={args.workers or 1}, "
+          f"cache={'off' if args.no_cache else 'on'})")
     return 0
 
 
@@ -267,6 +321,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("discover", help="re-run the §5.1 sweep (#6255)") \
         .set_defaults(fn=_cmd_discover)
+
+    sweep = sub.add_parser(
+        "sweep", help="hidden-path sweep across all bundled models"
+    )
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="fan per-pFSM scans across N workers")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="disable the shared predicate memo cache")
+    sweep.add_argument("--limit", type=int, default=5,
+                       help="max witnesses recorded per pFSM")
+    sweep.add_argument("--json", action="store_true")
+    sweep.set_defaults(fn=_cmd_sweep)
 
     return parser
 

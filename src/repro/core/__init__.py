@@ -40,6 +40,19 @@ from .serialize import (
     trace_to_dict,
 )
 from .statespace import StateSpace, build_state_space
+from .sweep import (
+    NO_CACHE,
+    ModelSweep,
+    PredicateCache,
+    SweepFinding,
+    cached_evaluate,
+    hidden_witness_count,
+    hidden_witness_scan,
+    shared_cache,
+    sweep_model,
+    sweep_models,
+    sweep_operation,
+)
 from .analysis import (
     FoilPoint,
     minimal_witness,
@@ -111,6 +124,17 @@ __all__ = [
     "trace_to_dict",
     "StateSpace",
     "build_state_space",
+    "NO_CACHE",
+    "ModelSweep",
+    "PredicateCache",
+    "SweepFinding",
+    "cached_evaluate",
+    "hidden_witness_count",
+    "hidden_witness_scan",
+    "shared_cache",
+    "sweep_model",
+    "sweep_models",
+    "sweep_operation",
     "FoilPoint",
     "HiddenPathFinding",
     "LemmaReport",

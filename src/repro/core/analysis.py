@@ -27,6 +27,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from .machine import VulnerabilityModel
 from .operation import Operation
 from .pfsm import PrimitiveFSM
+from .sweep import sweep_model
 from .witness import Domain
 
 __all__ = [
@@ -63,29 +64,33 @@ def hidden_path_report(
     model: VulnerabilityModel,
     domains: Dict[str, Domain],
     limit: int = 5,
+    workers: Optional[int] = None,
+    cache: Any = None,
 ) -> List[HiddenPathFinding]:
     """Search each pFSM's object domain for hidden-path witnesses.
 
     ``domains`` maps pFSM names to candidate-object domains.  pFSMs
     without a domain entry are skipped (their objects may not be
     enumerable, e.g. raw memory states).
+
+    Delegates to :func:`repro.core.sweep.sweep_model`: per-pFSM scans
+    take the closed-form batch path where available, share the sweep
+    predicate cache (``cache=None`` selects the process-wide one,
+    :data:`repro.core.sweep.NO_CACHE` disables it), and fan out across
+    ``workers`` threads with deterministic result order.
     """
-    findings: List[HiddenPathFinding] = []
-    for operation, pfsm in model.all_pfsms():
-        domain = domains.get(pfsm.name)
-        if domain is None:
-            continue
-        witnesses = pfsm.hidden_witnesses(domain, limit=limit)
-        if witnesses:
-            findings.append(
-                HiddenPathFinding(
-                    operation_name=operation.name,
-                    pfsm_name=pfsm.name,
-                    activity=pfsm.activity,
-                    witnesses=tuple(witnesses),
-                )
-            )
-    return findings
+    sweep = sweep_model(
+        model, domains, limit=limit, workers=workers, cache=cache,
+    )
+    return [
+        HiddenPathFinding(
+            operation_name=finding.operation_name,
+            pfsm_name=finding.pfsm_name,
+            activity=finding.activity,
+            witnesses=finding.witnesses,
+        )
+        for finding in sweep.findings
+    ]
 
 
 @dataclass(frozen=True)
@@ -101,29 +106,55 @@ class FoilPoint:
 
 
 def minimal_foil_points(
-    model: VulnerabilityModel, exploit_input: Any
+    model: VulnerabilityModel, exploit_input: Any, exhaustive: bool = False
 ) -> List[FoilPoint]:
     """Every single-pFSM fix that stops ``exploit_input`` end to end.
 
-    For each elementary activity, secure *only* that pFSM (implementation
-    := specification) and re-run the exploit.  Observation 1 predicts a
-    non-empty result for every real exploit: each elementary activity it
-    passes through is an independent foiling opportunity.
+    Observation 1 predicts a non-empty result for every real exploit:
+    each elementary activity it passes through is an independent foiling
+    opportunity.
+
+    Default strategy: run the exploit *once* and read the foil points
+    off the trace.  The model cascade is deterministic and securing a
+    pFSM only flips its hidden IMPL_ACPT transition to IMPL_REJ, so
+    securing changes the outcome exactly when the original run rode that
+    pFSM's hidden path — no per-pFSM model copy or re-execution needed.
+    ``exhaustive=True`` keeps the seed's brute-force check (secure each
+    pFSM in turn, re-run end to end); both strategies agree and the
+    equivalence is pinned by tests.
     """
-    if not model.is_compromised_by(exploit_input):
-        return []
-    points: List[FoilPoint] = []
-    for operation, pfsm in model.all_pfsms():
-        hardened = model.with_pfsm_secured(operation.name, pfsm.name)
-        if not hardened.is_compromised_by(exploit_input):
-            points.append(
-                FoilPoint(
-                    operation_name=operation.name,
-                    pfsm_name=pfsm.name,
-                    activity=pfsm.activity,
+    if exhaustive:
+        if not model.is_compromised_by(exploit_input):
+            return []
+        points: List[FoilPoint] = []
+        for operation, pfsm in model.all_pfsms():
+            hardened = model.with_pfsm_secured(operation.name, pfsm.name)
+            if not hardened.is_compromised_by(exploit_input):
+                points.append(
+                    FoilPoint(
+                        operation_name=operation.name,
+                        pfsm_name=pfsm.name,
+                        activity=pfsm.activity,
+                    )
                 )
-            )
-    return points
+        return points
+    result = model.run(exploit_input)
+    if not (result.compromised and result.hidden_path_count > 0):
+        return []
+    hidden: set = set()
+    for op_result in result.operation_results:
+        for outcome in op_result.outcomes:
+            if outcome.via_hidden_path:
+                hidden.add((op_result.operation_name, outcome.pfsm_name))
+    return [
+        FoilPoint(
+            operation_name=operation.name,
+            pfsm_name=pfsm.name,
+            activity=pfsm.activity,
+        )
+        for operation, pfsm in model.all_pfsms()
+        if (operation.name, pfsm.name) in hidden
+    ]
 
 
 def check_lemma_part1(operation: Operation, domain: Domain) -> bool:

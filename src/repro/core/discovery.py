@@ -25,11 +25,12 @@ The engine generalises the process:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .operation import Operation
 from .pfsm import PrimitiveFSM
 from .predicates import Predicate
+from .sweep import hidden_witness_scan, sweep_operation as _sweep_operation
 from .witness import Domain
 
 __all__ = [
@@ -68,18 +69,31 @@ def probe_implementation(
     """
     accepted: List[Any] = []
     rejected: List[Any] = []
-    verdicts: Dict[int, bool] = {}
-    for index, obj in enumerate(domain):
+    by_value: Dict[Any, bool] = {}
+    by_identity: Dict[int, bool] = {}
+    for obj in domain:
         try:
             verdict = bool(accepts(obj))
         except Exception:
             verdict = False
-        verdicts[index] = verdict
+        try:
+            by_value[obj] = verdict
+        except TypeError:  # unhashable — fall back to identity
+            by_identity[id(obj)] = verdict
         (accepted if verdict else rejected).append(obj)
 
-    # Memoize by identity within the probed domain; unseen objects are
-    # re-probed live.
+    # Memoize within the probed domain (hashable objects by value,
+    # unhashable by identity — the accepted/rejected tuples pin those
+    # identities alive); unseen objects are re-probed live.
+    missing = object()
+
     def impl(obj: Any) -> bool:
+        try:
+            recorded = by_value.get(obj, missing)
+        except TypeError:
+            recorded = by_identity.get(id(obj), missing)
+        if recorded is not missing:
+            return recorded
         try:
             return bool(accepts(obj))
         except Exception:
@@ -137,26 +151,30 @@ class DiscoveryEngine:
         operation: Operation,
         domains: Dict[str, Domain],
         limit: int = 5,
+        workers: Optional[int] = None,
+        cache: Any = None,
     ) -> List[Finding]:
-        """Check every pFSM of ``operation`` against its object domain."""
-        findings: List[Finding] = []
-        for pfsm in operation.pfsms:
-            domain = domains.get(pfsm.name)
-            if domain is None:
-                continue
-            witnesses = pfsm.hidden_witnesses(domain, limit=limit)
-            if witnesses:
-                findings.append(
-                    Finding(
-                        operation_name=operation.name,
-                        pfsm_name=pfsm.name,
-                        activity=pfsm.activity,
-                        spec_description=pfsm.spec_accepts.description,
-                        witnesses=tuple(witnesses),
-                        known=pfsm.name in self._known,
-                    )
-                )
-        return findings
+        """Check every pFSM of ``operation`` against its object domain.
+
+        Scans ride the sweep engine: closed-form batch paths, a shared
+        predicate cache (``cache=None`` selects the process-wide one),
+        and optional fan-out across ``workers`` threads — results stay
+        in activity order either way.
+        """
+        specs = {pfsm.name: pfsm for pfsm in operation.pfsms}
+        return [
+            Finding(
+                operation_name=found.operation_name,
+                pfsm_name=found.pfsm_name,
+                activity=found.activity,
+                spec_description=specs[found.pfsm_name].spec_accepts.description,
+                witnesses=found.witnesses,
+                known=found.pfsm_name in self._known,
+            )
+            for found in _sweep_operation(
+                operation, domains, limit=limit, workers=workers, cache=cache,
+            )
+        ]
 
     def sweep_probed(
         self,

@@ -122,14 +122,32 @@ class StateSpace:
             and nx.has_path(self.graph, v, COMPROMISED)
         )
 
-    def exploit_paths(self, limit: int = 64) -> List[List[str]]:
-        """All loop-free ENTRY→COMPROMISED paths using ≥1 hidden edge."""
+    def exploit_paths(
+        self,
+        limit: int = 64,
+        cutoff: Optional[int] = None,
+        max_paths: Optional[int] = None,
+    ) -> List[List[str]]:
+        """All loop-free ENTRY→COMPROMISED paths using ≥1 hidden edge.
+
+        ``limit`` caps the *returned* hidden paths; on gate-rich graphs
+        that alone cannot stop ``nx.all_simple_paths`` from enumerating
+        an exponential sea of benign candidates, so two guards bound the
+        enumeration itself: ``cutoff`` (max path length in edges, passed
+        straight to networkx so longer paths are never generated) and
+        ``max_paths`` (max candidate paths examined, hidden or not).
+        """
         paths: List[List[str]] = []
-        for path in nx.all_simple_paths(self.graph, ENTRY, COMPROMISED):
-            if len(paths) >= limit:
-                break
+        examined = 0
+        for path in nx.all_simple_paths(self.graph, ENTRY, COMPROMISED,
+                                        cutoff=cutoff):
             if self._uses_hidden(path):
                 paths.append(path)
+                if len(paths) >= limit:
+                    break
+            examined += 1
+            if max_paths is not None and examined >= max_paths:
+                break
         return paths
 
     def _uses_hidden(self, path: Sequence[str]) -> bool:
@@ -141,13 +159,17 @@ class StateSpace:
     def benign_path_exists(self) -> bool:
         """Is the terminal reachable without any hidden edge?  (Securing
         must not break legitimate completion.)"""
-        pruned = self.graph.copy()
-        pruned.remove_edges_from(self.hidden_edges())
+        pruned = nx.restricted_view(self.graph, [], self.hidden_edges())
         return nx.has_path(pruned, ENTRY, COMPROMISED)
 
     # -- cuts (the Lemma, graph-theoretically) -------------------------------------
 
-    def cut_set(self) -> List[Tuple[str, str]]:
+    def cut_set(
+        self,
+        limit: int = 64,
+        cutoff: Optional[int] = None,
+        max_paths: Optional[int] = None,
+    ) -> List[Tuple[str, str]]:
         """A minimal set of hidden edges whose removal makes the
         compromise unreachable-via-hidden-paths.
 
@@ -155,31 +177,53 @@ class StateSpace:
         surviving exploit paths.  For the paper's chain-shaped models
         this yields singleton cuts per independent chain — Observation 1
         in graph form.
+
+        The greedy loop mutates a single working graph and covers the
+        enumerated path set in memory — removing an edge only ever
+        *shrinks* the path set, so surviving paths are re-derived by a
+        list filter instead of re-running ``nx.all_simple_paths`` per
+        removed edge; the enumerator runs once per drained batch.
+        ``limit``/``cutoff``/``max_paths`` thread through to
+        :meth:`exploit_paths` so the enumeration stays bounded on
+        gate-rich graphs.
         """
         working = self.graph.copy()
         removed: List[Tuple[str, str]] = []
         while True:
             space = StateSpace(self.model, working)
-            paths = space.exploit_paths()
+            paths = space.exploit_paths(limit=limit, cutoff=cutoff,
+                                        max_paths=max_paths)
             if not paths:
                 return removed
-            tally: Dict[Tuple[str, str], int] = {}
-            for path in paths:
-                for u, v in zip(path, path[1:]):
-                    if working.edges[u, v].get("hidden"):
-                        tally[(u, v)] = tally.get((u, v), 0) + 1
-            best = max(tally, key=lambda e: tally[e])
-            working.remove_edge(*best)
-            removed.append(best)
+            while paths:
+                tally: Dict[Tuple[str, str], int] = {}
+                for path in paths:
+                    for u, v in zip(path, path[1:]):
+                        if working.edges[u, v].get("hidden"):
+                            tally[(u, v)] = tally.get((u, v), 0) + 1
+                if not tally:
+                    break  # defensive: exploit paths always use a hidden edge
+                best = max(tally, key=lambda e: tally[e])
+                working.remove_edge(*best)
+                removed.append(best)
+                paths = [
+                    path for path in paths
+                    if best not in zip(path, path[1:])
+                ]
 
     def without_hidden_edge(self, operation: str, pfsm: str) -> "StateSpace":
-        """Copy of the space with one pFSM's hidden edge removed —
-        equivalent to installing that check."""
-        pruned = self.graph.copy()
-        for u, v, data in list(self.graph.edges(data=True)):
-            if data.get("hidden") and data.get("operation") == operation \
-                    and data.get("pfsm") == pfsm:
-                pruned.remove_edge(u, v)
+        """The space with one pFSM's hidden edge removed — equivalent to
+        installing that check.  Backed by a read-only restricted view of
+        the same graph (no copy); reachability and path queries work
+        unchanged, and mutating operations like :meth:`cut_set` take
+        their own working copy anyway."""
+        blocked = [
+            (u, v)
+            for u, v, data in self.graph.edges(data=True)
+            if data.get("hidden") and data.get("operation") == operation
+            and data.get("pfsm") == pfsm
+        ]
+        pruned = nx.restricted_view(self.graph, [], blocked)
         return StateSpace(self.model, pruned)
 
     # -- export ---------------------------------------------------------------------

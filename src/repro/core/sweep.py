@@ -1,0 +1,455 @@
+"""Batched, cached, parallel analysis sweeps — the domain-scale engine.
+
+The paper's future-work vision (and this repo's north star) is a tool
+that sweeps derived predicates over whole input corpora and
+vulnerability databases.  The primitives in :mod:`repro.core.pfsm` and
+:mod:`repro.core.analysis` answer one query at a time; this module makes
+the *sweep* — many pFSMs × many domains × many models — the unit of
+work, with three cooperating layers:
+
+1. **Closed-form batch paths.**  A pFSM's hidden set is
+   ``¬spec ∧ impl`` over its object domain.  When both predicates carry
+   a closed-form integer denotation (see
+   :mod:`repro.core.predicates`) and the domain is ``range``-backed,
+   the hidden set is computed by interval algebra: witness *counting*
+   is O(1) and witness *listing* is O(limit), independent of domain
+   size.
+2. **A shared, bounded predicate cache.**  :class:`PredicateCache`
+   memoizes ``(predicate, object) → bool`` with an LRU bound, keyed on
+   each predicate's :attr:`~repro.core.predicates.Predicate.cache_key`
+   (which changes when the predicate is rebound, so mutated predicates
+   are never served stale verdicts).  One cache instance is shared
+   across :func:`hidden_witness_scan`,
+   :meth:`repro.core.pfsm.PrimitiveFSM.hidden_witnesses`,
+   :func:`repro.core.analysis.hidden_path_report`, and
+   :class:`repro.core.discovery.DiscoveryEngine` sweeps, so repeated
+   sweeps of the same domain do not re-call user predicates.
+3. **A parallel executor.**  :func:`sweep_models` fans the per-pFSM
+   witness searches across workers (`concurrent.futures`), process pool
+   when every task is picklable, thread pool otherwise, and reassembles
+   results in deterministic (model, operation, pFSM) order.
+
+The module deliberately duck-types models and operations (anything with
+``all_pfsms()`` / ``pfsms``) so it sits below
+:mod:`repro.core.analysis` in the import graph.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .predicates import (
+    Predicate,
+    _clipped_subranges,
+    _complement_intervals,
+    _intersect_intervals,
+    _FULL_LINE,
+    _range_backing,
+)
+
+__all__ = [
+    "PredicateCache",
+    "shared_cache",
+    "cached_evaluate",
+    "hidden_witness_scan",
+    "hidden_witness_count",
+    "SweepFinding",
+    "ModelSweep",
+    "sweep_operation",
+    "sweep_model",
+    "sweep_models",
+]
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: the memoized predicate cache.
+# ---------------------------------------------------------------------------
+
+#: Shared miss sentinel (``None`` and ``False`` are real verdicts).
+_MISS = object()
+
+
+class PredicateCache:
+    """A bounded, thread-safe LRU memo of predicate verdicts.
+
+    Keys combine the predicate's stable :attr:`cache_key` (token +
+    mutation version) with the evaluated object; unhashable objects are
+    simply not cached.  The LRU bound keeps memory flat across
+    arbitrarily long sweep sessions.
+    """
+
+    _MISS = _MISS
+
+    def __init__(self, maxsize: int = 1 << 17) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Tuple[Any, ...], bool]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def clear(self) -> None:
+        """Drop every memoized verdict (counters survive)."""
+        with self._lock:
+            self._data.clear()
+
+    def evaluate(self, pred: Predicate, obj: Any) -> bool:
+        """``pred.evaluate(obj)``, memoized when ``obj`` is hashable."""
+        try:
+            key = (pred.cache_key, obj)
+            hash(key)
+        except TypeError:
+            return pred.evaluate(obj)
+        with self._lock:
+            verdict = self._data.get(key, self._MISS)
+            if verdict is not self._MISS:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return verdict
+            self.misses += 1
+        verdict = pred.evaluate(obj)
+        with self._lock:
+            self._data[key] = verdict
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+        return verdict
+
+
+#: The process-wide default cache shared by every sweep entry point that
+#: is not handed an explicit cache.
+_SHARED_CACHE = PredicateCache()
+
+#: Sentinel: pass as ``cache=`` to disable memoization entirely.
+NO_CACHE = "no-cache"
+
+
+def shared_cache() -> PredicateCache:
+    """The process-wide default :class:`PredicateCache`."""
+    return _SHARED_CACHE
+
+
+def _resolve_cache(cache: Any) -> Optional[PredicateCache]:
+    if cache is None:
+        return _SHARED_CACHE
+    if cache is NO_CACHE or cache is False:
+        return None
+    return cache
+
+
+def cached_evaluate(pred: Predicate, obj: Any,
+                    cache: Optional[PredicateCache] = None) -> bool:
+    """Evaluate ``pred`` on ``obj`` through a cache (shared by default)."""
+    resolved = _resolve_cache(cache)
+    if resolved is None:
+        return pred.evaluate(obj)
+    return resolved.evaluate(pred, obj)
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: closed-form and batched hidden-path scans.
+# ---------------------------------------------------------------------------
+
+def _hidden_intervals(pfsm: Any):
+    """The interval set of ``¬spec ∧ impl``, or None if either predicate
+    is opaque."""
+    spec_iv = pfsm.spec_accepts.intervals
+    if spec_iv is None:
+        return None
+    impl = pfsm.impl_accepts
+    if impl is None:
+        impl_iv = _FULL_LINE  # no check at all accepts everything
+    else:
+        impl_iv = impl.intervals
+        if impl_iv is None:
+            return None
+    return _intersect_intervals(_complement_intervals(spec_iv), impl_iv)
+
+
+def hidden_witness_count(pfsm: Any, domain: Iterable[Any]) -> int:
+    """How many domain objects ride the hidden path — O(1) per interval
+    on the closed-form path, an O(n) scan otherwise."""
+    backing = _range_backing(domain)
+    if backing is not None:
+        hidden = _hidden_intervals(pfsm)
+        if hidden is not None:
+            return sum(
+                len(sub) for sub in _clipped_subranges(backing, hidden)
+            )
+    takes = pfsm.takes_hidden_path
+    return sum(1 for obj in domain if takes(obj))
+
+
+def hidden_witness_scan(
+    pfsm: Any,
+    domain: Iterable[Any],
+    limit: int = 10,
+    cache: Any = NO_CACHE,
+) -> List[Any]:
+    """Hidden-path witnesses of one pFSM over one domain.
+
+    Three strategies, fastest applicable wins:
+
+    * closed-form interval algebra when both predicates have one and the
+      domain is ``range``-backed (O(limit), not O(n));
+    * cached scalar scan when a :class:`PredicateCache` is supplied
+      (``cache=None`` selects the shared cache) — repeated *references*
+      within the domain are additionally memoized per scan by identity
+      (each distinct object is judged once, however often it recurs),
+      with every memoized object pinned so ids stay unique for the
+      scan's duration;
+    * plain scalar scan otherwise — bit-identical to the seed behaviour.
+
+    Witness order always matches domain iteration order, and repeated
+    occurrences of a witness are reported per occurrence, exactly as the
+    scalar scan would.  Objects are assumed value-stable for the
+    duration of one scan (predicates are pure).  ``limit <= 0`` returns
+    no witnesses.
+    """
+    if limit <= 0:
+        return []
+    backing = _range_backing(domain)
+    if backing is not None:
+        hidden = _hidden_intervals(pfsm)
+        if hidden is not None:
+            found: List[Any] = []
+            for sub in _clipped_subranges(backing, hidden):
+                take = min(limit - len(found), len(sub))
+                found.extend(sub[:take])
+                if len(found) >= limit:
+                    break
+            return found
+    resolved = _resolve_cache(cache)
+    found = []
+    if resolved is None:
+        takes = pfsm.takes_hidden_path
+        for candidate in domain:
+            if takes(candidate):
+                found.append(candidate)
+                if len(found) >= limit:
+                    break
+        return found
+    spec, impl = pfsm.spec_accepts, pfsm.impl_accepts
+    _miss = _MISS
+    verdicts: Dict[int, bool] = {}  # id(obj) -> rides the hidden path
+    pinned: List[Any] = []  # keep memoized objects alive: no id reuse
+    for candidate in domain:
+        ident = id(candidate)
+        hidden = verdicts.get(ident, _miss)
+        if hidden is _miss:
+            hidden = not resolved.evaluate(spec, candidate) and (
+                impl is None or resolved.evaluate(impl, candidate)
+            )
+            verdicts[ident] = hidden
+            pinned.append(candidate)
+        if hidden:
+            found.append(candidate)
+            if len(found) >= limit:
+                break
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Layer 3: the parallel sweep executor.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepFinding:
+    """One pFSM with hidden-path witnesses, located within a sweep."""
+
+    model_name: str
+    operation_name: str
+    pfsm_name: str
+    activity: str
+    witnesses: Tuple[Any, ...]
+
+    def __str__(self) -> str:
+        sample = self.witnesses[0] if self.witnesses else None
+        return (
+            f"{self.model_name}/{self.operation_name}/{self.pfsm_name} "
+            f"({self.activity}): hidden path, e.g. {sample!r}"
+        )
+
+
+@dataclass(frozen=True)
+class ModelSweep:
+    """All findings for one model, in cascade order."""
+
+    model_name: str
+    findings: Tuple[SweepFinding, ...]
+
+    @property
+    def vulnerable(self) -> bool:
+        """Did any pFSM admit a hidden-path witness?"""
+        return bool(self.findings)
+
+
+def _scan_task(task: Tuple[str, str, Any, Any, int, Any]) -> Optional[SweepFinding]:
+    """One unit of sweep work: scan a single pFSM's domain."""
+    model_name, operation_name, pfsm, domain, limit, cache = task
+    witnesses = hidden_witness_scan(pfsm, domain, limit=limit, cache=cache)
+    if not witnesses:
+        return None
+    return SweepFinding(
+        model_name=model_name,
+        operation_name=operation_name,
+        pfsm_name=pfsm.name,
+        activity=pfsm.activity,
+        witnesses=tuple(witnesses),
+    )
+
+
+def _picklable(tasks: Sequence[Any]) -> bool:
+    try:
+        pickle.dumps(tasks)
+        return True
+    except Exception:
+        return False
+
+
+def _run_tasks(
+    tasks: Sequence[Tuple[str, str, Any, Any, int, Any]],
+    workers: Optional[int],
+    mode: str,
+) -> List[Optional[SweepFinding]]:
+    """Execute scan tasks, preserving submission order in the results.
+
+    ``mode``: ``"auto"`` tries a process pool when every task pickles
+    (predicate specs built from the closed-form constructors do) and
+    falls back to threads; ``"thread"``/``"process"`` force a pool;
+    ``workers`` of ``None`` or ``<= 1`` runs inline.
+    """
+    if not workers or workers <= 1 or len(tasks) <= 1:
+        return [_scan_task(task) for task in tasks]
+    use_processes = mode == "process" or (mode == "auto" and _picklable(tasks))
+    if use_processes:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(_scan_task, tasks))
+        except Exception:
+            pass  # pickling raced or pool unavailable — fall back to threads
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_scan_task, tasks))
+
+
+def sweep_operation(
+    operation: Any,
+    domains: Mapping[str, Any],
+    *,
+    model_name: str = "",
+    limit: int = 5,
+    workers: Optional[int] = None,
+    cache: Any = None,
+    mode: str = "thread",
+) -> List[SweepFinding]:
+    """Witness-scan every pFSM of one operation (see :func:`sweep_models`)."""
+    resolved = _resolve_cache(cache)
+    tasks = [
+        (model_name, operation.name, pfsm, domains[pfsm.name], limit, resolved)
+        for pfsm in operation.pfsms
+        if domains.get(pfsm.name) is not None
+    ]
+    return [f for f in _run_tasks(tasks, workers, mode) if f is not None]
+
+
+def sweep_model(
+    model: Any,
+    domains: Mapping[str, Any],
+    *,
+    limit: int = 5,
+    workers: Optional[int] = None,
+    cache: Any = None,
+    mode: str = "thread",
+) -> ModelSweep:
+    """Witness-scan every pFSM of one model (see :func:`sweep_models`)."""
+    resolved = _resolve_cache(cache)
+    tasks = [
+        (model.name, operation.name, pfsm, domains[pfsm.name], limit, resolved)
+        for operation, pfsm in model.all_pfsms()
+        if domains.get(pfsm.name) is not None
+    ]
+    findings = [f for f in _run_tasks(tasks, workers, mode) if f is not None]
+    return ModelSweep(model_name=model.name, findings=tuple(findings))
+
+
+def sweep_models(
+    models: Mapping[str, Any],
+    domains: Mapping[str, Mapping[str, Any]],
+    *,
+    limit: int = 5,
+    workers: Optional[int] = None,
+    cache: Any = None,
+    mode: str = "thread",
+) -> List[ModelSweep]:
+    """Hidden-path sweep across a whole corpus of models.
+
+    Parameters
+    ----------
+    models:
+        Label → model mapping (e.g. ``repro.models.all_extended_models()``).
+    domains:
+        Label → (pFSM name → domain) mapping, matching
+        ``all_extended_pfsm_domains()``.  pFSMs without a domain entry
+        are skipped.
+    limit:
+        Max witnesses recorded per pFSM.
+    workers:
+        ``None``/``0``/``1`` runs inline; otherwise the per-pFSM scans
+        fan out across this many workers.
+    cache:
+        A :class:`PredicateCache` to share, ``None`` for the process-wide
+        shared cache, or :data:`NO_CACHE` to disable memoization.
+    mode:
+        ``"thread"`` (default), ``"process"``, or ``"auto"`` (process
+        pool when every task pickles).
+
+    Results are deterministic: one :class:`ModelSweep` per input model in
+    mapping order, findings in cascade order — identical to the serial
+    sweep regardless of worker count.
+    """
+    resolved = _resolve_cache(cache)
+    tasks: List[Tuple[str, str, Any, Any, int, Any]] = []
+    boundaries: List[Tuple[str, int]] = []  # (label, task count) per model
+    for label, model in models.items():
+        model_domains = domains.get(label, {})
+        start = len(tasks)
+        for operation, pfsm in model.all_pfsms():
+            domain = model_domains.get(pfsm.name)
+            if domain is None:
+                continue
+            tasks.append(
+                (model.name, operation.name, pfsm, domain, limit, resolved)
+            )
+        boundaries.append((label, len(tasks) - start))
+    results = _run_tasks(tasks, workers, mode)
+    sweeps: List[ModelSweep] = []
+    cursor = 0
+    for (label, count), model in zip(boundaries, models.values()):
+        chunk = results[cursor:cursor + count]
+        cursor += count
+        sweeps.append(
+            ModelSweep(
+                model_name=model.name,
+                findings=tuple(f for f in chunk if f is not None),
+            )
+        )
+    return sweeps

@@ -8,6 +8,13 @@ enumerating or sampling a :class:`Domain` and exhibiting witnesses.
 Domains are finite, iterable, composable, and deterministic — property
 tests and benchmarks need reproducibility, so samplers take explicit
 seeds.
+
+Domains are also *lazy where laziness is free*: integer domains keep
+their ``range`` backing unmaterialized (so the closed-form batch paths
+in :mod:`repro.core.predicates` can answer witness queries
+arithmetically), and :meth:`Domain.records` holds a re-iterable
+Cartesian product instead of the full list of dicts — O(∑|fields|)
+memory instead of O(∏|fields|) before any predicate runs.
 """
 
 from __future__ import annotations
@@ -15,17 +22,50 @@ from __future__ import annotations
 import itertools
 import random
 import string
-from typing import Any, Callable, Iterable, Iterator, List, Sequence
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Set
 
 __all__ = ["Domain"]
+
+
+class _LazyProduct:
+    """Re-iterable Cartesian product of named field values, yielding one
+    dict per combination without ever materializing the full product."""
+
+    def __init__(self, names: Sequence[str], columns: Sequence[List[Any]]) -> None:
+        self._names = tuple(names)
+        self._columns = [list(column) for column in columns]
+
+    def __iter__(self) -> Iterator[dict]:
+        names = self._names
+        for combo in itertools.product(*self._columns):
+            yield dict(zip(names, combo))
+
+    def __len__(self) -> int:
+        size = 1
+        for column in self._columns:
+            size *= len(column)
+        return size
 
 
 class Domain:
     """A finite, re-iterable collection of candidate objects."""
 
     def __init__(self, items: Iterable[Any], description: str = "") -> None:
-        self._items: List[Any] = list(items)
+        if isinstance(items, (range, tuple, _LazyProduct)):
+            self._items = items  # already re-iterable and sized; keep lazy
+        else:
+            self._items = list(items)
         self.description = description or f"{len(self._items)} objects"
+        # Built on first membership query: hashable items go in a set
+        # (O(1) lookups), the unhashable remainder in a list.
+        self._member_set: Optional[Set[Any]] = None
+        self._member_rest: Optional[List[Any]] = None
+
+    @property
+    def backing(self) -> Any:
+        """The raw container behind the domain (``range`` for integer
+        domains — the hook the closed-form predicate paths key on)."""
+        return self._items
 
     def __iter__(self) -> Iterator[Any]:
         return iter(self._items)
@@ -34,7 +74,31 @@ class Domain:
         return len(self._items)
 
     def __contains__(self, obj: Any) -> bool:
-        return obj in self._items
+        items = self._items
+        if isinstance(items, range):
+            try:
+                return obj in items  # O(1) arithmetic membership
+            except TypeError:
+                return False
+        if isinstance(items, _LazyProduct):
+            # Do not materialize giant products for one lookup.
+            return any(item == obj for item in items)
+        if self._member_set is None:
+            member_set: Set[Any] = set()
+            member_rest: List[Any] = []
+            for item in items:
+                try:
+                    member_set.add(item)
+                except TypeError:
+                    member_rest.append(item)
+            self._member_set = member_set
+            self._member_rest = member_rest
+        try:
+            if obj in self._member_set:
+                return True
+        except TypeError:
+            pass
+        return obj in self._member_rest
 
     def __repr__(self) -> str:
         return f"Domain({self.description})"
@@ -48,7 +112,7 @@ class Domain:
 
     @staticmethod
     def integers(low: int, high: int, step: int = 1) -> "Domain":
-        """All integers in ``[low, high]``."""
+        """All integers in ``[low, high]`` (kept as a lazy ``range``)."""
         return Domain(range(low, high + 1, step),
                       description=f"integers [{low}, {high}]")
 
@@ -121,12 +185,15 @@ class Domain:
     @staticmethod
     def records(**fields: "Domain") -> "Domain":
         """Cartesian product of named domains as dicts — multi-attribute
-        objects like Figure 3's ``{str_x, str_i}`` pairs."""
+        objects like Figure 3's ``{str_x, str_i}`` pairs.
+
+        The product is lazy and re-iterable with a computed ``len``; only
+        the per-field value lists are held in memory.
+        """
         names = list(fields)
-        combos = itertools.product(*(list(fields[name]) for name in names))
-        items = [dict(zip(names, combo)) for combo in combos]
+        product = _LazyProduct(names, [list(fields[name]) for name in names])
         return Domain(
-            items,
+            product,
             description="records(" + ", ".join(
                 f"{n}={fields[n].description}" for n in names) + ")",
         )
@@ -134,9 +201,14 @@ class Domain:
     def sample(self, count: int, seed: int = 0) -> "Domain":
         """Deterministic subsample (without replacement when possible)."""
         rng = random.Random(seed)
-        if count >= len(self._items):
-            return Domain(list(self._items), description=self.description)
+        items = (
+            self._items
+            if isinstance(self._items, (range, list, tuple))
+            else list(self._items)
+        )
+        if count >= len(items):
+            return Domain(list(items), description=self.description)
         return Domain(
-            rng.sample(self._items, count),
+            rng.sample(items, count),
             description=f"sample({count}) of {self.description}",
         )
