@@ -10,6 +10,11 @@ trajectory starts recording:
   seed-style naive serial engine vs ``sweep_models(workers=4)``
   (acceptance: parallel+batched+cached beats the serial baseline).
 
+Alongside throughput, the payload now records two quality dimensions
+measured through :mod:`repro.obs` (``cache_hit_rate``,
+``fastpath_fraction``) — derived from an untimed instrumented re-run of
+both workloads, so the timed numbers stay telemetry-free.
+
 Runs two ways:
 
 * ``python benchmarks/bench_sweep_parallel.py --json BENCH_sweep.json``
@@ -31,9 +36,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import obs  # noqa: E402
 from repro.core import (  # noqa: E402
     Domain,
     NO_CACHE,
+    PredicateCache,
     PrimitiveFSM,
     in_range,
     less_equal,
@@ -134,6 +141,40 @@ def _naive_serial_sweep(models, domains, limit=5):
     return findings
 
 
+def _instrumented_metrics(models, domains, limit, witness_pfsm,
+                          witness_domain):
+    """The bench's quality dimensions, measured via the telemetry layer.
+
+    Re-runs both workloads under an enabled registry — the closed-form
+    hidden-witness search (which rides the interval fast path) and the
+    corpus sweep twice, cold then warm, with a fresh
+    :class:`PredicateCache` — then derives the cache hit rate and the
+    interval fast-path coverage from the standard ``sweep.*`` counters.
+    Untimed: the throughput comparisons all run with telemetry disabled.
+    """
+    registry = obs.get_registry()
+    cache = PredicateCache()
+    registry.reset()
+    registry.enable()
+    try:
+        witness_pfsm.hidden_witnesses(witness_domain, limit=10**9)
+        sweep_models(models, domains, workers=4, limit=limit, cache=cache)
+        sweep_models(models, domains, workers=4, limit=limit, cache=cache)
+        counters = registry.counters()
+    finally:
+        registry.disable()
+        registry.reset()
+    derived = obs.derived_metrics(counters)
+    return {
+        "cache_hit_rate": derived.get("cache_hit_rate", 0.0),
+        "fastpath_fraction": derived.get("fastpath_fraction", 0.0),
+        "counters": {
+            name: value for name, value in sorted(counters.items())
+            if name.startswith("sweep.")
+        },
+    }
+
+
 def _best_of(fn, repeats=5):
     """(best wall-clock seconds, last result) over ``repeats`` runs."""
     best = float("inf")
@@ -181,7 +222,12 @@ def measure(witness_repeats=5, sweep_repeats=3):
     assert parallel_findings == serial_findings, \
         "parallel sweep diverged from the serial baseline"
 
+    quality = _instrumented_metrics(models, domains, limit, pfsm, domain)
+
     return {
+        "cache_hit_rate": quality["cache_hit_rate"],
+        "fastpath_fraction": quality["fastpath_fraction"],
+        "observability": quality,
         "hidden_witness_search": {
             "domain_size": len(domain),
             "witnesses": len(batch_found),
@@ -252,6 +298,8 @@ def main(argv=None):
           f"({witness['speedup']:.0f}x)")
     print(f"sweep of {sweep['models']} models: serial {sweep['serial_s']:.4f}s, "
           f"workers=4 {sweep['parallel_s']:.4f}s ({sweep['speedup']:.1f}x)")
+    print(f"quality: cache hit rate {payload['cache_hit_rate']:.1%}, "
+          f"interval fast-path coverage {payload['fastpath_fraction']:.1%}")
 
     failures = check(payload, update_baseline=args.update_baseline)
     if args.json:

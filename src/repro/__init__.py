@@ -27,9 +27,12 @@ Packages
     heap integrity — the checks the paper maps to elementary activities.
 ``repro.models``
     Prebuilt models for every figure and Table 2 row.
+``repro.obs``
+    Engine telemetry: hierarchical spans, counters/gauges, and pluggable
+    sinks (memory, JSONL, console) behind a disabled-by-default registry.
 """
 
-from . import apps, bugtraq, core, defenses, memory, models, osmodel
+from . import apps, bugtraq, core, defenses, memory, models, obs, osmodel
 
 __version__ = "1.0.0"
 
@@ -40,6 +43,7 @@ __all__ = [
     "defenses",
     "memory",
     "models",
+    "obs",
     "osmodel",
     "__version__",
 ]

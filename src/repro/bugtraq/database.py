@@ -12,6 +12,7 @@ from collections import Counter
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional
 
 from ..core.classification import BugtraqCategory
+from ..obs import DEFAULT as _OBS
 from .corpus import CORPUS
 from .generator import generate_reports
 from .schema import VulnerabilityReport
@@ -73,6 +74,8 @@ class BugtraqDatabase:
 
     def get(self, bugtraq_id: int) -> VulnerabilityReport:
         """Report by Bugtraq ID."""
+        if _OBS.enabled:
+            _OBS.incr("bugtraq.queries.lookup")
         return self._by_id[bugtraq_id]
 
     def __contains__(self, bugtraq_id: object) -> bool:
@@ -84,6 +87,8 @@ class BugtraqDatabase:
         self, keep: Callable[[VulnerabilityReport], bool]
     ) -> "BugtraqDatabase":
         """Filtered copy."""
+        if _OBS.enabled:
+            _OBS.incr("bugtraq.queries.filter")
         return BugtraqDatabase(r for r in self._reports if keep(r))
 
     def in_category(self, category: BugtraqCategory) -> "BugtraqDatabase":
@@ -107,18 +112,26 @@ class BugtraqDatabase:
     def category_counts(self) -> Counter:
         """Report count per category (cached; callers get a copy)."""
         if self._category_counts is None:
+            if _OBS.enabled:
+                _OBS.incr("bugtraq.agg.computed")
             self._category_counts = Counter(
                 report.category for report in self._reports
             )
+        elif _OBS.enabled:
+            _OBS.incr("bugtraq.agg.cache_hits")
         return Counter(self._category_counts)
 
     def class_counts(self) -> Counter:
         """Report count per fine-grained vulnerability class (cached;
         callers get a copy)."""
         if self._class_counts is None:
+            if _OBS.enabled:
+                _OBS.incr("bugtraq.agg.computed")
             self._class_counts = Counter(
                 report.vulnerability_class for report in self._reports
             )
+        elif _OBS.enabled:
+            _OBS.incr("bugtraq.agg.cache_hits")
         return Counter(self._class_counts)
 
     def category_share(self, category: BugtraqCategory) -> float:
@@ -130,4 +143,6 @@ class BugtraqDatabase:
     def count_matching(self, pred: Any) -> int:
         """Reports satisfying a :class:`~repro.core.predicates.Predicate`,
         counted through its batch path (one call, not N)."""
+        if _OBS.enabled:
+            _OBS.incr("bugtraq.queries.count_matching")
         return sum(pred.evaluate_batch(self._reports))

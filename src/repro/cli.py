@@ -26,6 +26,18 @@ Commands
     Hidden-path sweep across every bundled model via the batched,
     cached, parallel engine (``--workers N``, ``--no-cache``,
     ``--json``).
+
+Every subcommand also understands the telemetry flags:
+
+``--profile``
+    Record spans/counters during the command and print a
+    human-readable summary (span aggregates, counters, cache hit rate,
+    interval fast-path coverage) afterwards.
+``--trace-file PATH``
+    Write every telemetry event as one JSON line to ``PATH``, ending
+    with a ``{"type": "summary"}`` counter snapshot.
+
+``repro --version`` prints the package version.
 """
 
 from __future__ import annotations
@@ -181,34 +193,41 @@ def _cmd_statespace(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from .core import NO_CACHE, sweep_models
+    from .core import NO_CACHE, PredicateCache, sweep_models
 
     models = all_paper_models()
     domains = all_pfsm_domains()
+    # A per-invocation cache so the reported stats cover exactly this
+    # sweep (the process-wide shared cache would fold in prior history).
+    cache = None if args.no_cache else PredicateCache()
     sweeps = sweep_models(
         models,
         domains,
         limit=args.limit,
         workers=args.workers,
-        cache=NO_CACHE if args.no_cache else None,
+        cache=NO_CACHE if args.no_cache else cache,
     )
+    cache_stats = cache.stats() if cache is not None else None
     if args.json:
-        payload = [
-            {
-                "model": sweep.model_name,
-                "vulnerable": sweep.vulnerable,
-                "findings": [
-                    {
-                        "operation": f.operation_name,
-                        "pfsm": f.pfsm_name,
-                        "activity": f.activity,
-                        "witnesses": list(f.witnesses),
-                    }
-                    for f in sweep.findings
-                ],
-            }
-            for sweep in sweeps
-        ]
+        payload = {
+            "models": [
+                {
+                    "model": sweep.model_name,
+                    "vulnerable": sweep.vulnerable,
+                    "findings": [
+                        {
+                            "operation": f.operation_name,
+                            "pfsm": f.pfsm_name,
+                            "activity": f.activity,
+                            "witnesses": list(f.witnesses),
+                        }
+                        for f in sweep.findings
+                    ],
+                }
+                for sweep in sweeps
+            ],
+            "cache": cache_stats,
+        }
         print(json.dumps(payload, indent=2, default=str))
         return 0
     total = 0
@@ -224,6 +243,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"\n{total} hidden-path findings across {len(sweeps)} models "
           f"(workers={args.workers or 1}, "
           f"cache={'off' if args.no_cache else 'on'})")
+    if cache_stats is not None:
+        print(f"cache: {cache_stats['hits']} hits, "
+              f"{cache_stats['misses']} misses, "
+              f"{cache_stats['evictions']} evictions "
+              f"(hit rate {cache_stats['hit_rate']:.1%})")
     return 0
 
 
@@ -283,47 +307,70 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="pFSM vulnerability modeling (Chen et al., DSN 2003)",
     )
+    from . import __version__
+
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+
+    # Telemetry flags shared by every subcommand (as a parent parser, so
+    # they are accepted after the subcommand: ``repro sweep --profile``).
+    obs_flags = argparse.ArgumentParser(add_help=False)
+    obs_flags.add_argument(
+        "--profile", action="store_true",
+        help="record telemetry and print a span/counter summary",
+    )
+    obs_flags.add_argument(
+        "--trace-file", metavar="PATH", default=None,
+        help="write telemetry events to PATH as JSON lines",
+    )
+
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list the prebuilt paper models") \
-        .set_defaults(fn=_cmd_list)
+    sub.add_parser("list", help="list the prebuilt paper models",
+                   parents=[obs_flags]).set_defaults(fn=_cmd_list)
 
-    stats = sub.add_parser("stats", help="Figure 1 statistics")
+    stats = sub.add_parser("stats", help="Figure 1 statistics",
+                           parents=[obs_flags])
     stats.add_argument("--total", type=int, default=5925)
     stats.set_defaults(fn=_cmd_stats)
 
-    sub.add_parser("table1", help="Table 1 category ambiguity") \
-        .set_defaults(fn=_cmd_table1)
+    sub.add_parser("table1", help="Table 1 category ambiguity",
+                   parents=[obs_flags]).set_defaults(fn=_cmd_table1)
 
-    model = sub.add_parser("model", help="render a model")
+    model = sub.add_parser("model", help="render a model",
+                           parents=[obs_flags])
     model.add_argument("name")
     model.add_argument("--dot", action="store_true")
     model.add_argument("--json", action="store_true")
     model.set_defaults(fn=_cmd_model)
 
-    trace = sub.add_parser("trace", help="run a model and print the trace")
+    trace = sub.add_parser("trace", help="run a model and print the trace",
+                           parents=[obs_flags])
     trace.add_argument("name")
     trace.add_argument("--benign", action="store_true")
     trace.add_argument("--json", action="store_true")
     trace.set_defaults(fn=_cmd_trace)
 
-    foil = sub.add_parser("foil", help="single-activity foil points")
+    foil = sub.add_parser("foil", help="single-activity foil points",
+                          parents=[obs_flags])
     foil.add_argument("name")
     foil.set_defaults(fn=_cmd_foil)
 
-    space = sub.add_parser("statespace", help="unrolled graph analysis")
+    space = sub.add_parser("statespace", help="unrolled graph analysis",
+                           parents=[obs_flags])
     space.add_argument("name")
     space.add_argument("--dot", action="store_true")
     space.set_defaults(fn=_cmd_statespace)
 
-    sub.add_parser("table2", help="the generic pFSM type grid") \
-        .set_defaults(fn=_cmd_table2)
+    sub.add_parser("table2", help="the generic pFSM type grid",
+                   parents=[obs_flags]).set_defaults(fn=_cmd_table2)
 
-    sub.add_parser("discover", help="re-run the §5.1 sweep (#6255)") \
-        .set_defaults(fn=_cmd_discover)
+    sub.add_parser("discover", help="re-run the §5.1 sweep (#6255)",
+                   parents=[obs_flags]).set_defaults(fn=_cmd_discover)
 
     sweep = sub.add_parser(
-        "sweep", help="hidden-path sweep across all bundled models"
+        "sweep", help="hidden-path sweep across all bundled models",
+        parents=[obs_flags],
     )
     sweep.add_argument("--workers", type=int, default=None,
                        help="fan per-pFSM scans across N workers")
@@ -337,9 +384,40 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_with_observability(args: argparse.Namespace) -> int:
+    """Execute a subcommand with the telemetry registry live, then
+    report (``--profile``) and/or persist (``--trace-file``)."""
+    from . import obs
+
+    registry = obs.get_registry()
+    sinks = []
+    reporter = jsonl = None
+    if args.profile:
+        reporter = obs.ConsoleReporter()
+        sinks.append(reporter)
+    if args.trace_file:
+        jsonl = obs.JsonlSink(args.trace_file)
+        sinks.append(jsonl)
+    registry.enable(*sinks)
+    try:
+        code = args.fn(args)
+    finally:
+        registry.disable()
+        if jsonl is not None:
+            jsonl.write_summary(registry)
+            jsonl.close()
+        if reporter is not None:
+            reporter.report(registry)
+        registry.clear_sinks()
+        registry.reset()
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    if getattr(args, "profile", False) or getattr(args, "trace_file", None):
+        return _run_with_observability(args)
     return args.fn(args)
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..obs import DEFAULT as _OBS
 from .operation import Operation
 from .pfsm import PrimitiveFSM
 from .predicates import Predicate
@@ -71,16 +72,21 @@ def probe_implementation(
     rejected: List[Any] = []
     by_value: Dict[Any, bool] = {}
     by_identity: Dict[int, bool] = {}
-    for obj in domain:
-        try:
-            verdict = bool(accepts(obj))
-        except Exception:
-            verdict = False
-        try:
-            by_value[obj] = verdict
-        except TypeError:  # unhashable — fall back to identity
-            by_identity[id(obj)] = verdict
-        (accepted if verdict else rejected).append(obj)
+    with _OBS.span("discovery.probe", description=description) as span:
+        for obj in domain:
+            try:
+                verdict = bool(accepts(obj))
+            except Exception:
+                verdict = False
+            try:
+                by_value[obj] = verdict
+            except TypeError:  # unhashable — fall back to identity
+                by_identity[id(obj)] = verdict
+            (accepted if verdict else rejected).append(obj)
+        span.set(probes=len(accepted) + len(rejected),
+                 rejected=len(rejected))
+    if _OBS.enabled:
+        _OBS.incr("discovery.probes", len(accepted) + len(rejected))
 
     # Memoize within the probed domain (hashable objects by value,
     # unhashable by identity — the accepted/rejected tuples pin those
@@ -162,19 +168,29 @@ class DiscoveryEngine:
         in activity order either way.
         """
         specs = {pfsm.name: pfsm for pfsm in operation.pfsms}
-        return [
-            Finding(
-                operation_name=found.operation_name,
-                pfsm_name=found.pfsm_name,
-                activity=found.activity,
-                spec_description=specs[found.pfsm_name].spec_accepts.description,
-                witnesses=found.witnesses,
-                known=found.pfsm_name in self._known,
-            )
-            for found in _sweep_operation(
-                operation, domains, limit=limit, workers=workers, cache=cache,
-            )
-        ]
+        with _OBS.span("discovery.sweep", operation=operation.name,
+                       pfsms=len(operation.pfsms)) as span:
+            findings = [
+                Finding(
+                    operation_name=found.operation_name,
+                    pfsm_name=found.pfsm_name,
+                    activity=found.activity,
+                    spec_description=specs[found.pfsm_name]
+                    .spec_accepts.description,
+                    witnesses=found.witnesses,
+                    known=found.pfsm_name in self._known,
+                )
+                for found in _sweep_operation(
+                    operation, domains, limit=limit, workers=workers,
+                    cache=cache,
+                )
+            ]
+            span.set(findings=len(findings))
+        if _OBS.enabled:
+            _OBS.incr("discovery.findings", len(findings))
+            _OBS.incr("discovery.findings.new",
+                      sum(1 for f in findings if f.is_new))
+        return findings
 
     def sweep_probed(
         self,
@@ -191,31 +207,39 @@ class DiscoveryEngine:
         then compared to the spec — the full §5.1 discovery workflow.
         """
         findings: List[Finding] = []
-        for pfsm_name, activity, spec, accepts in activities:
-            domain = domains.get(pfsm_name)
-            if domain is None:
-                continue
-            probe = probe_implementation(accepts, domain,
-                                         description=f"probed({pfsm_name})")
-            pfsm = PrimitiveFSM(
-                name=pfsm_name,
-                activity=activity,
-                object_name=pfsm_name,
-                spec_accepts=spec,
-                impl_accepts=probe.predicate,
-            )
-            witnesses = pfsm.hidden_witnesses(domain, limit=limit)
-            if witnesses:
-                findings.append(
-                    Finding(
-                        operation_name=operation_name,
-                        pfsm_name=pfsm_name,
-                        activity=activity,
-                        spec_description=spec.description,
-                        witnesses=tuple(witnesses),
-                        known=pfsm_name in self._known,
-                    )
+        with _OBS.span("discovery.sweep_probed", operation=operation_name,
+                       activities=len(activities)) as span:
+            for pfsm_name, activity, spec, accepts in activities:
+                domain = domains.get(pfsm_name)
+                if domain is None:
+                    continue
+                probe = probe_implementation(
+                    accepts, domain, description=f"probed({pfsm_name})"
                 )
+                pfsm = PrimitiveFSM(
+                    name=pfsm_name,
+                    activity=activity,
+                    object_name=pfsm_name,
+                    spec_accepts=spec,
+                    impl_accepts=probe.predicate,
+                )
+                witnesses = pfsm.hidden_witnesses(domain, limit=limit)
+                if witnesses:
+                    findings.append(
+                        Finding(
+                            operation_name=operation_name,
+                            pfsm_name=pfsm_name,
+                            activity=activity,
+                            spec_description=spec.description,
+                            witnesses=tuple(witnesses),
+                            known=pfsm_name in self._known,
+                        )
+                    )
+            span.set(findings=len(findings))
+        if _OBS.enabled:
+            _OBS.incr("discovery.findings", len(findings))
+            _OBS.incr("discovery.findings.new",
+                      sum(1 for f in findings if f.is_new))
         return findings
 
     @staticmethod

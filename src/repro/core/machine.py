@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..obs import DEFAULT as _OBS
 from .operation import Operation, OperationResult
 from .pfsm import PrimitiveFSM
 from .trace import EventKind, ExploitTrace
@@ -133,30 +134,65 @@ class VulnerabilityModel:
 
     def run(self, initial_object: Any) -> ModelResult:
         """Traverse the cascade with ``initial_object`` as the first
-        operation's input; gates carry state across operations."""
+        operation's input; gates carry state across operations.
+
+        With telemetry enabled the traversal is wrapped in a
+        ``model.run`` span with one ``model.operation`` child per
+        operation, and every :class:`ExploitTrace` event is bridged to
+        the registry as a ``trace.*`` point event — the same record the
+        trace keeps, visible to live sinks.
+        """
+        with _OBS.span("model.run", model=self.name) as span:
+            result = self._traverse(initial_object)
+            span.set(compromised=result.compromised,
+                     hidden=result.hidden_path_count)
+        if _OBS.enabled:
+            _OBS.incr("model.runs")
+            _OBS.incr("model.hidden_transitions", result.hidden_path_count)
+            if result.compromised:
+                _OBS.incr("model.compromised")
+        return result
+
+    def _record(self, trace: ExploitTrace, kind: EventKind, subject: str,
+                detail: str = "", outcome: Any = None) -> None:
+        """Append to the trace and mirror the event to the registry."""
+        trace.record(kind, subject, detail=detail, outcome=outcome)
+        if _OBS.enabled:
+            attrs = {"model": self.name, "subject": subject}
+            if detail:
+                attrs["detail"] = detail
+            if outcome is not None:
+                attrs["hidden"] = outcome.via_hidden_path
+                attrs["accepted"] = outcome.accepted
+            _OBS.event(f"trace.{kind.name.lower()}", **attrs)
+
+    def _traverse(self, initial_object: Any) -> ModelResult:
         trace = ExploitTrace(model_name=self.name)
         results: List[OperationResult] = []
         current = initial_object
         for index, operation in enumerate(self.operations):
-            trace.record(EventKind.OPERATION_START, operation.name,
-                         detail=f"object: {operation.object_description}")
-            result = operation.run(current)
-            results.append(result)
-            for outcome in result.outcomes:
-                trace.record(
-                    EventKind.PFSM_STEP, outcome.pfsm_name, outcome=outcome
-                )
+            with _OBS.span("model.operation", model=self.name,
+                           operation=operation.name) as op_span:
+                self._record(trace, EventKind.OPERATION_START, operation.name,
+                             detail=f"object: {operation.object_description}")
+                result = operation.run(current)
+                results.append(result)
+                for outcome in result.outcomes:
+                    self._record(trace, EventKind.PFSM_STEP,
+                                 outcome.pfsm_name, outcome=outcome)
+                op_span.set(completed=result.completed)
             if not result.completed:
-                trace.record(EventKind.OPERATION_FOILED, result.foiled_by or "?",
+                self._record(trace, EventKind.OPERATION_FOILED,
+                             result.foiled_by or "?",
                              detail=f"in operation {operation.name!r}")
-                trace.record(EventKind.EXPLOIT_FOILED, self.name)
+                self._record(trace, EventKind.EXPLOIT_FOILED, self.name)
                 return ModelResult(self.name, False, trace, tuple(results))
-            trace.record(EventKind.OPERATION_COMPLETE, operation.name)
+            self._record(trace, EventKind.OPERATION_COMPLETE, operation.name)
             if index < len(self.gates):
                 gate = self.gates[index]
                 current = gate.carry(result)
-                trace.record(EventKind.GATE_CROSSED, gate.description)
-        trace.record(EventKind.EXPLOIT_SUCCEEDED, self.name,
+                self._record(trace, EventKind.GATE_CROSSED, gate.description)
+        self._record(trace, EventKind.EXPLOIT_SUCCEEDED, self.name,
                      detail=self.final_consequence)
         return ModelResult(self.name, True, trace, tuple(results))
 

@@ -32,6 +32,16 @@ work, with three cooperating layers:
 The module deliberately duck-types models and operations (anything with
 ``all_pfsms()`` / ``pfsms``) so it sits below
 :mod:`repro.core.analysis` in the import graph.
+
+Every layer reports through :mod:`repro.obs` when telemetry is enabled:
+per-task spans, scan-strategy counters (``sweep.scans.fastpath`` /
+``.cached`` / ``.plain``), executor decisions (``sweep.pool.*``), and
+per-sweep cache-counter deltas (``sweep.cache.*``).  The checks are
+hoisted to once per scan/task — the per-object loops are untouched, so
+a disabled registry costs nothing measurable.  (Process-pool children
+carry their own disabled registries, so per-task telemetry under
+``mode="process"`` stays in the children; the parent still records the
+pool decision and queue size.)
 """
 
 from __future__ import annotations
@@ -53,6 +63,7 @@ from typing import (
     Tuple,
 )
 
+from ..obs import DEFAULT as _OBS
 from .predicates import (
     Predicate,
     _clipped_subranges,
@@ -91,6 +102,10 @@ class PredicateCache:
     mutation version) with the evaluated object; unhashable objects are
     simply not cached.  The LRU bound keeps memory flat across
     arbitrarily long sweep sessions.
+
+    ``hits``/``misses``/``evictions`` count since construction;
+    :meth:`stats` packages them (plus occupancy and hit rate) for the
+    CLI, the benchmark, and the telemetry layer.
     """
 
     _MISS = _MISS
@@ -103,6 +118,7 @@ class PredicateCache:
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -111,6 +127,22 @@ class PredicateCache:
         """Drop every memoized verdict (counters survive)."""
         with self._lock:
             self._data.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot: hits, misses, evictions, size, maxsize,
+        and the hit rate over every lookup so far."""
+        with self._lock:
+            hits, misses = self.hits, self.misses
+            evictions, size = self.evictions, len(self._data)
+        total = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "size": size,
+            "maxsize": self.maxsize,
+            "hit_rate": hits / total if total else 0.0,
+        }
 
     def evaluate(self, pred: Predicate, obj: Any) -> bool:
         """``pred.evaluate(obj)``, memoized when ``obj`` is hashable."""
@@ -132,6 +164,7 @@ class PredicateCache:
             self._data.move_to_end(key)
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
+                self.evictions += 1
         return verdict
 
 
@@ -192,9 +225,13 @@ def hidden_witness_count(pfsm: Any, domain: Iterable[Any]) -> int:
     if backing is not None:
         hidden = _hidden_intervals(pfsm)
         if hidden is not None:
+            if _OBS.enabled:
+                _OBS.incr("sweep.counts.fastpath")
             return sum(
                 len(sub) for sub in _clipped_subranges(backing, hidden)
             )
+    if _OBS.enabled:
+        _OBS.incr("sweep.counts.scan")
     takes = pfsm.takes_hidden_path
     return sum(1 for obj in domain if takes(obj))
 
@@ -237,6 +274,9 @@ def hidden_witness_scan(
                 found.extend(sub[:take])
                 if len(found) >= limit:
                     break
+            if _OBS.enabled:
+                _OBS.incr("sweep.scans.fastpath")
+                _OBS.incr("sweep.witnesses", len(found))
             return found
     resolved = _resolve_cache(cache)
     found = []
@@ -247,6 +287,9 @@ def hidden_witness_scan(
                 found.append(candidate)
                 if len(found) >= limit:
                     break
+        if _OBS.enabled:
+            _OBS.incr("sweep.scans.plain")
+            _OBS.incr("sweep.witnesses", len(found))
         return found
     spec, impl = pfsm.spec_accepts, pfsm.impl_accepts
     _miss = _MISS
@@ -265,6 +308,10 @@ def hidden_witness_scan(
             found.append(candidate)
             if len(found) >= limit:
                 break
+    if _OBS.enabled:
+        _OBS.incr("sweep.scans.cached")
+        _OBS.incr("sweep.objects.judged", len(verdicts))
+        _OBS.incr("sweep.witnesses", len(found))
     return found
 
 
@@ -306,7 +353,12 @@ class ModelSweep:
 def _scan_task(task: Tuple[str, str, Any, Any, int, Any]) -> Optional[SweepFinding]:
     """One unit of sweep work: scan a single pFSM's domain."""
     model_name, operation_name, pfsm, domain, limit, cache = task
-    witnesses = hidden_witness_scan(pfsm, domain, limit=limit, cache=cache)
+    with _OBS.span("sweep.task", model=model_name,
+                   operation=operation_name, pfsm=pfsm.name) as span:
+        witnesses = hidden_witness_scan(pfsm, domain, limit=limit, cache=cache)
+        span.set(witnesses=len(witnesses))
+    if _OBS.enabled:
+        _OBS.incr("sweep.tasks.completed")
     if not witnesses:
         return None
     return SweepFinding(
@@ -316,6 +368,21 @@ def _scan_task(task: Tuple[str, str, Any, Any, int, Any]) -> Optional[SweepFindi
         activity=pfsm.activity,
         witnesses=tuple(witnesses),
     )
+
+
+def _scan_task_under(parent_id: Optional[int]
+                     ) -> Callable[[Tuple[str, str, Any, Any, int, Any]],
+                                   Optional[SweepFinding]]:
+    """A :func:`_scan_task` wrapper that parents worker-thread spans
+    under the submitting thread's live span."""
+    def run(task: Tuple[str, str, Any, Any, int, Any]
+            ) -> Optional[SweepFinding]:
+        previous = _OBS.set_inherited_parent(parent_id)
+        try:
+            return _scan_task(task)
+        finally:
+            _OBS.set_inherited_parent(previous)
+    return run
 
 
 def _picklable(tasks: Sequence[Any]) -> bool:
@@ -337,18 +404,69 @@ def _run_tasks(
     (predicate specs built from the closed-form constructors do) and
     falls back to threads; ``"thread"``/``"process"`` force a pool;
     ``workers`` of ``None`` or ``<= 1`` runs inline.
+
+    Each executor decision is recorded as a ``sweep.pool`` telemetry
+    event (kind inline/process/thread, plus a ``fallback`` marker when a
+    process pool was attempted and abandoned).
     """
+    obs_on = _OBS.enabled
+    if obs_on:
+        _OBS.incr("sweep.tasks.queued", len(tasks))
     if not workers or workers <= 1 or len(tasks) <= 1:
+        if obs_on:
+            _OBS.incr("sweep.pool.inline")
+            _OBS.event("sweep.pool", kind="inline", tasks=len(tasks))
         return [_scan_task(task) for task in tasks]
     use_processes = mode == "process" or (mode == "auto" and _picklable(tasks))
     if use_processes:
         try:
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(_scan_task, tasks))
+                results = list(pool.map(_scan_task, tasks))
+            if obs_on:
+                _OBS.incr("sweep.pool.process")
+                _OBS.event("sweep.pool", kind="process", workers=workers,
+                           tasks=len(tasks))
+            return results
         except Exception:
-            pass  # pickling raced or pool unavailable — fall back to threads
+            # pickling raced or pool unavailable — fall back to threads
+            if obs_on:
+                _OBS.incr("sweep.pool.fallback")
+                _OBS.event("sweep.pool", kind="fallback",
+                           detail="process pool failed; using threads")
+    worker_fn = _scan_task
+    if obs_on:
+        parent = _OBS.current_span()
+        if parent is not None:
+            worker_fn = _scan_task_under(parent.span_id)
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_scan_task, tasks))
+        results = list(pool.map(worker_fn, tasks))
+    if obs_on:
+        _OBS.incr("sweep.pool.thread")
+        _OBS.event("sweep.pool", kind="thread", workers=workers,
+                   tasks=len(tasks))
+    return results
+
+
+def _record_cache_delta(before: Optional[Mapping[str, Any]],
+                        cache: Optional[PredicateCache]) -> None:
+    """Fold the cache-counter movement of one sweep into the registry.
+
+    Recorded at sweep granularity (not per lookup) so the memoized hot
+    path never touches the registry; with a shared cache under
+    concurrent sweeps the deltas are attributed to whichever sweep reads
+    them first — totals stay exact.
+    """
+    if before is None or cache is None:
+        return
+    after = cache.stats()
+    _OBS.incr("sweep.cache.hits", after["hits"] - before["hits"])
+    _OBS.incr("sweep.cache.misses", after["misses"] - before["misses"])
+    _OBS.incr("sweep.cache.evictions",
+              after["evictions"] - before["evictions"])
+    # every cache miss is one real predicate evaluation
+    _OBS.incr("sweep.predicates.evaluated",
+              after["misses"] - before["misses"])
+    _OBS.gauge("sweep.cache.size", after["size"])
 
 
 def sweep_operation(
@@ -368,7 +486,14 @@ def sweep_operation(
         for pfsm in operation.pfsms
         if domains.get(pfsm.name) is not None
     ]
-    return [f for f in _run_tasks(tasks, workers, mode) if f is not None]
+    with _OBS.span("sweep.operation", operation=operation.name,
+                   tasks=len(tasks)) as span:
+        before = resolved.stats() if _OBS.enabled and resolved is not None else None
+        findings = [f for f in _run_tasks(tasks, workers, mode)
+                    if f is not None]
+        _record_cache_delta(before, resolved)
+        span.set(findings=len(findings))
+    return findings
 
 
 def sweep_model(
@@ -387,7 +512,13 @@ def sweep_model(
         for operation, pfsm in model.all_pfsms()
         if domains.get(pfsm.name) is not None
     ]
-    findings = [f for f in _run_tasks(tasks, workers, mode) if f is not None]
+    with _OBS.span("sweep.model", model=model.name,
+                   tasks=len(tasks)) as span:
+        before = resolved.stats() if _OBS.enabled and resolved is not None else None
+        findings = [f for f in _run_tasks(tasks, workers, mode)
+                    if f is not None]
+        _record_cache_delta(before, resolved)
+        span.set(findings=len(findings))
     return ModelSweep(model_name=model.name, findings=tuple(findings))
 
 
@@ -440,16 +571,21 @@ def sweep_models(
                 (model.name, operation.name, pfsm, domain, limit, resolved)
             )
         boundaries.append((label, len(tasks) - start))
-    results = _run_tasks(tasks, workers, mode)
-    sweeps: List[ModelSweep] = []
-    cursor = 0
-    for (label, count), model in zip(boundaries, models.values()):
-        chunk = results[cursor:cursor + count]
-        cursor += count
-        sweeps.append(
-            ModelSweep(
-                model_name=model.name,
-                findings=tuple(f for f in chunk if f is not None),
+    with _OBS.span("sweep.models", models=len(models), tasks=len(tasks),
+                   workers=workers or 1, mode=mode) as span:
+        before = resolved.stats() if _OBS.enabled and resolved is not None else None
+        results = _run_tasks(tasks, workers, mode)
+        _record_cache_delta(before, resolved)
+        sweeps: List[ModelSweep] = []
+        cursor = 0
+        for (label, count), model in zip(boundaries, models.values()):
+            chunk = results[cursor:cursor + count]
+            cursor += count
+            sweeps.append(
+                ModelSweep(
+                    model_name=model.name,
+                    findings=tuple(f for f in chunk if f is not None),
+                )
             )
-        )
+        span.set(findings=sum(len(s.findings) for s in sweeps))
     return sweeps

@@ -24,6 +24,8 @@ import random
 import string
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Set
 
+from ..obs import DEFAULT as _OBS
+
 __all__ = ["Domain"]
 
 
@@ -55,6 +57,8 @@ class Domain:
             self._items = items  # already re-iterable and sized; keep lazy
         else:
             self._items = list(items)
+            if _OBS.enabled:
+                _OBS.incr("domain.materialized")
         self.description = description or f"{len(self._items)} objects"
         # Built on first membership query: hashable items go in a set
         # (O(1) lookups), the unhashable remainder in a list.
@@ -82,6 +86,8 @@ class Domain:
                 return False
         if isinstance(items, _LazyProduct):
             # Do not materialize giant products for one lookup.
+            if _OBS.enabled:
+                _OBS.incr("domain.membership.scans")
             return any(item == obj for item in items)
         if self._member_set is None:
             member_set: Set[Any] = set()
@@ -93,6 +99,8 @@ class Domain:
                     member_rest.append(item)
             self._member_set = member_set
             self._member_rest = member_rest
+            if _OBS.enabled:
+                _OBS.incr("domain.membership.index_built")
         try:
             if obj in self._member_set:
                 return True
@@ -200,6 +208,8 @@ class Domain:
 
     def sample(self, count: int, seed: int = 0) -> "Domain":
         """Deterministic subsample (without replacement when possible)."""
+        if _OBS.enabled:
+            _OBS.incr("domain.sampled")
         rng = random.Random(seed)
         items = (
             self._items

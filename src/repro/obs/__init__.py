@@ -1,0 +1,118 @@
+"""repro.obs — engine telemetry: spans, counters, and profiling hooks.
+
+The paper's method is observational — transition probabilities and
+mean-effort-to-foil are *measured*, not assumed — so the engine that
+computes those measurements is itself measurable.  This package is the
+instrumentation layer the analysis engine reports through:
+
+* **Spans** — hierarchical, timed regions (``sweep.models`` →
+  ``sweep.task``; ``model.run`` → ``model.operation``), each closing
+  into one event with wall time, duration, attributes, and parent id.
+* **Counters / gauges** — monotonic aggregates (cache hits/misses/
+  evictions, interval fast-path vs. per-object scans, tasks queued and
+  completed, pool kind chosen, witnesses found, probes run) held in the
+  registry and snapshotted at report time.
+* **Sinks** — pluggable event consumers: :class:`MemorySink` for tests,
+  :class:`JsonlSink` for offline analysis, :class:`ConsoleReporter` for
+  the ``--profile`` summary.
+
+Instrumented code targets the module-level default registry::
+
+    from repro import obs
+
+    obs.enable(obs.MemorySink())
+    with obs.span("sweep.model", model="Sendmail"):
+        obs.incr("sweep.witnesses", 3)
+    obs.disable()
+
+Everything is off by default: while disabled, ``span`` returns a shared
+no-op singleton and ``incr``/``gauge``/``event`` return after a single
+flag check, so an uninstrumented run pays effectively nothing.  The
+engine's hot loops hoist the check further (one test per scan, none per
+object) — see :mod:`repro.core.sweep`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .counters import CounterSet
+from .registry import Registry
+from .sinks import ConsoleReporter, JsonlSink, MemorySink, Sink, derived_metrics
+from .span import NOOP_SPAN, Span
+
+__all__ = [
+    "Registry",
+    "Span",
+    "NOOP_SPAN",
+    "CounterSet",
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "ConsoleReporter",
+    "derived_metrics",
+    "DEFAULT",
+    "get_registry",
+    "enable",
+    "disable",
+    "enabled",
+    "span",
+    "incr",
+    "gauge",
+    "event",
+    "counters",
+    "gauges",
+]
+
+#: The process-wide default registry every instrumented module reports to.
+DEFAULT = Registry()
+
+
+def get_registry() -> Registry:
+    """The module-level default :class:`Registry`."""
+    return DEFAULT
+
+
+def enable(*sinks: Any) -> None:
+    """Enable the default registry, attaching ``sinks`` if given."""
+    DEFAULT.enable(*sinks)
+
+
+def disable() -> None:
+    """Disable the default registry (sinks and aggregates survive)."""
+    DEFAULT.disable()
+
+
+def enabled() -> bool:
+    """Is the default registry recording?"""
+    return DEFAULT.enabled
+
+
+def span(name: str, **attrs: Any) -> Any:
+    """``DEFAULT.span(...)`` — a timed ``with`` block."""
+    return DEFAULT.span(name, **attrs)
+
+
+def incr(name: str, n: int = 1) -> None:
+    """``DEFAULT.incr(...)``."""
+    DEFAULT.incr(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """``DEFAULT.gauge(...)``."""
+    DEFAULT.gauge(name, value)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """``DEFAULT.event(...)``."""
+    DEFAULT.event(name, **attrs)
+
+
+def counters() -> dict:
+    """Counter snapshot of the default registry."""
+    return DEFAULT.counters()
+
+
+def gauges() -> dict:
+    """Gauge snapshot of the default registry."""
+    return DEFAULT.gauges()

@@ -1,0 +1,56 @@
+"""Thread-safe counter and gauge aggregation.
+
+Counters are monotonic within a :class:`CounterSet`'s lifetime (they only
+move by the deltas handed to :meth:`CounterSet.incr`, and sweeps only
+hand in non-negative deltas); gauges are last-write-wins point-in-time
+values.  Both live in the registry, not in sinks: per-increment events
+would swamp a JSONL trace, so sinks see counters only as end-of-run
+summary snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+__all__ = ["CounterSet"]
+
+
+class CounterSet:
+    """A named bag of counters and gauges behind one lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+
+    def incr(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record the current value of gauge ``name``."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def counter(self, name: str) -> int:
+        """Current value of one counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot copy of every counter."""
+        with self._lock:
+            return dict(self._counters)
+
+    def gauges(self) -> Dict[str, float]:
+        """Snapshot copy of every gauge."""
+        with self._lock:
+            return dict(self._gauges)
+
+    def reset(self) -> None:
+        """Zero everything."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()

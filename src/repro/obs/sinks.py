@@ -1,0 +1,182 @@
+"""Event sinks: where closed spans and point events go.
+
+Anything with an ``emit(event: dict) -> None`` method is a sink
+(:class:`Sink` documents the protocol).  Three implementations cover the
+three consumers:
+
+* :class:`MemorySink` — keeps events in a list; what tests assert on.
+* :class:`JsonlSink` — one ``json.dumps`` line per event, for offline
+  analysis (``repro <cmd> --trace-file out.jsonl``).
+* :class:`ConsoleReporter` — a :class:`MemorySink` that can print a
+  human-readable span/counter summary (``repro <cmd> --profile``).
+
+:func:`derived_metrics` computes the quality ratios — cache hit rate,
+interval fast-path coverage — from a counter snapshot; the console
+report, the JSONL summary line, and the sweep benchmark all share it.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import threading
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, TextIO
+
+__all__ = [
+    "Sink",
+    "MemorySink",
+    "JsonlSink",
+    "ConsoleReporter",
+    "derived_metrics",
+]
+
+
+class Sink:
+    """The sink protocol (subclassing is optional — duck typing works)."""
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Receive one event dict.  Must be thread-safe."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further ``emit`` calls are undefined."""
+
+
+class MemorySink(Sink):
+    """In-memory event collector for tests and ad-hoc inspection."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """Snapshot copy of everything emitted so far."""
+        with self._lock:
+            return list(self._events)
+
+    def spans(self, name: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Span events, optionally filtered by span name."""
+        return [
+            e for e in self.events
+            if e.get("type") == "span" and (name is None or e["name"] == name)
+        ]
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink(Sink):
+    """Append events to a file, one JSON object per line."""
+
+    def __init__(self, target: Any) -> None:
+        self._lock = threading.Lock()
+        if hasattr(target, "write"):
+            self._file: TextIO = target
+            self._owns_file = False
+        else:
+            self._file = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        line = json.dumps(event, default=str)
+        with self._lock:
+            self._file.write(line + "\n")
+
+    def write_summary(self, registry: Any) -> None:
+        """Append a final ``{"type": "summary"}`` line with the
+        registry's counter/gauge snapshot and the derived metrics."""
+        counters = registry.counters()
+        self.emit({
+            "type": "summary",
+            "counters": counters,
+            "gauges": registry.gauges(),
+            "derived": derived_metrics(counters),
+        })
+
+    def close(self) -> None:
+        with self._lock:
+            self._file.flush()
+            if self._owns_file:
+                self._file.close()
+
+
+def derived_metrics(counters: Dict[str, int]) -> Dict[str, float]:
+    """Quality ratios computed from the standard sweep counters.
+
+    ``cache_hit_rate``
+        ``sweep.cache.hits / (hits + misses)`` — how much predicate work
+        the shared :class:`~repro.core.sweep.PredicateCache` absorbed.
+    ``fastpath_fraction``
+        Interval fast-path scans over all witness scans — the share of
+        the corpus answered by closed-form interval algebra instead of
+        per-object evaluation.
+
+    Ratios whose denominators are zero are omitted.
+    """
+    derived: Dict[str, float] = {}
+    hits = counters.get("sweep.cache.hits", 0)
+    misses = counters.get("sweep.cache.misses", 0)
+    if hits + misses:
+        derived["cache_hit_rate"] = hits / (hits + misses)
+    fast = counters.get("sweep.scans.fastpath", 0)
+    scans = fast + counters.get("sweep.scans.cached", 0) \
+        + counters.get("sweep.scans.plain", 0)
+    if scans:
+        derived["fastpath_fraction"] = fast / scans
+    return derived
+
+
+class ConsoleReporter(MemorySink):
+    """Collects events and renders an end-of-run profile summary."""
+
+    def report(self, registry: Any, file: Optional[TextIO] = None) -> None:
+        """Print span aggregates, counters, gauges, and derived metrics."""
+        out = file or sys.stdout
+        out.write(self.render(registry))
+
+    def render(self, registry: Any) -> str:
+        buf = io.StringIO()
+        spans = self.spans()
+        buf.write("== profile ==\n")
+        if spans:
+            agg: Dict[str, List[float]] = defaultdict(list)
+            for span in spans:
+                agg[span["name"]].append(span["duration"])
+            buf.write(f"{'span':<28} {'count':>6} {'total_s':>10} "
+                      f"{'mean_s':>10} {'max_s':>10}\n")
+            for name in sorted(agg, key=lambda n: -sum(agg[n])):
+                durations = agg[name]
+                total = sum(durations)
+                buf.write(
+                    f"{name:<28} {len(durations):>6} {total:>10.4f} "
+                    f"{total / len(durations):>10.4f} "
+                    f"{max(durations):>10.4f}\n"
+                )
+        else:
+            buf.write("(no spans recorded)\n")
+        counters = registry.counters()
+        if counters:
+            buf.write("-- counters --\n")
+            for name in sorted(counters):
+                buf.write(f"{name:<44} {counters[name]:>12,}\n")
+        gauges = registry.gauges()
+        if gauges:
+            buf.write("-- gauges --\n")
+            for name in sorted(gauges):
+                buf.write(f"{name:<44} {gauges[name]:>12,}\n")
+        derived = derived_metrics(counters)
+        if derived:
+            buf.write("-- derived --\n")
+            if "cache_hit_rate" in derived:
+                buf.write(f"cache hit rate: {derived['cache_hit_rate']:.1%}\n")
+            if "fastpath_fraction" in derived:
+                buf.write("interval fast-path coverage: "
+                          f"{derived['fastpath_fraction']:.1%} of scans\n")
+        return buf.getvalue()

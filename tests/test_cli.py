@@ -87,3 +87,70 @@ class TestCli:
     def test_no_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweepCommand:
+    def test_sweep_text_reports_cache_stats(self, capsys):
+        code, out = run(capsys, "sweep")
+        assert code == 0
+        assert "hidden-path findings" in out
+        assert "cache:" in out and "hit rate" in out
+
+    def test_sweep_json_includes_cache_stats(self, capsys):
+        code, out = run(capsys, "sweep", "--json")
+        data = json.loads(out)
+        assert data["models"], "expected at least one swept model"
+        cache = data["cache"]
+        assert set(cache) >= {"hits", "misses", "evictions", "hit_rate"}
+
+    def test_sweep_json_no_cache_nulls_stats(self, capsys):
+        code, out = run(capsys, "sweep", "--json", "--no-cache")
+        data = json.loads(out)
+        assert data["cache"] is None
+
+
+class TestObservabilityFlags:
+    def test_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_profile_prints_summary(self, capsys):
+        code, out = run(capsys, "sweep", "--profile")
+        assert code == 0
+        assert "== profile ==" in out
+        assert "sweep.task" in out
+        assert "cache hit rate" in out
+        assert "interval fast-path coverage" in out
+
+    def test_profile_on_trace_subcommand(self, capsys):
+        code, out = run(capsys, "trace", "sendmail", "--profile")
+        assert code == 0
+        assert "model.run" in out and "model.operation" in out
+
+    def test_trace_file_writes_valid_jsonl(self, capsys, tmp_path):
+        path = tmp_path / "events.jsonl"
+        code, _out = run(capsys, "sweep", "--trace-file", str(path))
+        assert code == 0
+        lines = path.read_text().splitlines()
+        assert lines, "trace file is empty"
+        events = [json.loads(line) for line in lines]
+        assert events[-1]["type"] == "summary"
+        assert any(e["type"] == "span" for e in events)
+
+    def test_registry_left_clean_after_profiled_run(self, capsys):
+        from repro import obs
+
+        run(capsys, "sweep", "--profile")
+        assert not obs.enabled()
+        assert obs.counters() == {}
+
+    def test_plain_run_records_nothing(self, capsys):
+        from repro import obs
+
+        run(capsys, "sweep")
+        assert not obs.enabled()
+        assert obs.counters() == {}
