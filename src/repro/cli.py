@@ -25,7 +25,11 @@ Commands
 ``sweep``
     Hidden-path sweep across every bundled model via the batched,
     cached, parallel engine (``--workers N``, ``--no-cache``,
-    ``--json``).
+    ``--json``).  ``--backend {thread,process,queue,auto}`` selects the
+    executor — process and queue run on the distributed scheduler in
+    ``repro.core.dist`` — and ``--resume-from PATH`` reuses results
+    recorded in a JSONL store keyed by model fingerprint and
+    predicate-spec hash.
 
 Every subcommand also understands the telemetry flags:
 
@@ -206,6 +210,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         limit=args.limit,
         workers=args.workers,
         cache=NO_CACHE if args.no_cache else cache,
+        mode=args.backend,
+        resume_from=args.resume_from,
     )
     cache_stats = cache.stats() if cache is not None else None
     if args.json:
@@ -241,7 +247,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"  - {finding.operation_name}/{finding.pfsm_name} "
                   f"({finding.activity}): e.g. {sample!r}")
     print(f"\n{total} hidden-path findings across {len(sweeps)} models "
-          f"(workers={args.workers or 1}, "
+          f"(workers={args.workers or 1}, backend={args.backend}, "
           f"cache={'off' if args.no_cache else 'on'})")
     if cache_stats is not None:
         print(f"cache: {cache_stats['hits']} hits, "
@@ -372,6 +378,16 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="hidden-path sweep across all bundled models",
         parents=[obs_flags],
     )
+    sweep.add_argument("--backend", choices=("thread", "process", "queue",
+                                             "auto"),
+                       default="thread",
+                       help="execution backend for the sweep tasks "
+                            "(process/queue use the distributed scheduler "
+                            "in repro.core.dist)")
+    sweep.add_argument("--resume-from", metavar="PATH", default=None,
+                       help="JSONL result store; previously computed "
+                            "(model fingerprint, predicate-spec) results "
+                            "are reused and new ones appended")
     sweep.add_argument("--workers", type=int, default=None,
                        help="fan per-pFSM scans across N workers")
     sweep.add_argument("--no-cache", action="store_true",

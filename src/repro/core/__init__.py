@@ -30,6 +30,19 @@ from .metrics import (
     mean_effort_to_foil,
     pfsm_rates,
 )
+from .dist import (
+    InProcessQueue,
+    ResultStore,
+    domain_digest,
+    task_key,
+)
+from .predspec import (
+    UnknownPredicateError,
+    from_spec,
+    named_predicate,
+    spec_digest,
+    to_spec,
+)
 from .serialize import (
     model_fingerprint,
     model_to_dict,
@@ -37,6 +50,7 @@ from .serialize import (
     operation_to_dict,
     pfsm_to_dict,
     result_to_dict,
+    sweep_task_fingerprint,
     trace_to_dict,
 )
 from .statespace import StateSpace, build_state_space
@@ -93,6 +107,7 @@ from .predicates import (
     predicate,
     satisfies_all,
     satisfies_any,
+    truthy,
 )
 from .render import render_model, render_operation, render_pfsm, to_dot
 from .trace import EventKind, ExploitTrace, TraceEvent
@@ -121,7 +136,17 @@ __all__ = [
     "operation_to_dict",
     "pfsm_to_dict",
     "result_to_dict",
+    "sweep_task_fingerprint",
     "trace_to_dict",
+    "InProcessQueue",
+    "ResultStore",
+    "domain_digest",
+    "task_key",
+    "UnknownPredicateError",
+    "from_spec",
+    "named_predicate",
+    "spec_digest",
+    "to_spec",
     "StateSpace",
     "build_state_space",
     "NO_CACHE",
@@ -177,6 +202,7 @@ __all__ = [
     "predicate",
     "satisfies_all",
     "satisfies_any",
+    "truthy",
     "render_model",
     "render_operation",
     "render_pfsm",

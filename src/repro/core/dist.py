@@ -1,0 +1,629 @@
+"""Chunked, resumable, process-distributed sweep scheduling.
+
+:func:`repro.core.sweep.sweep_models` turns a corpus into a flat list of
+``(model, operation, pfsm, domain, limit)`` scan tasks; this module is
+the scheduler that runs that list across process boundaries.  It adds
+three layers on top of the plain executor in :mod:`repro.core.sweep`:
+
+**Chunked dispatch over a warm pool.**  Tasks are grouped into
+size-balanced chunks (greedy longest-processing-time packing, with
+domain cardinality as the cost estimate) so a handful of huge domains
+cannot serialize the sweep behind one worker.  Chunks are dispatched to
+a persistent, module-level :class:`~concurrent.futures.ProcessPoolExecutor`
+that survives across ``sweep_models`` calls — fork/spawn cost is paid
+once per session, not once per sweep (``dist.pool.created`` vs
+``dist.pool.reused`` counters).  A chunk whose worker crashes is retried
+on a fresh pool, then — still failing — run inline in the parent, so a
+poisoned worker degrades throughput, never correctness.
+
+**A pluggable queue front-end.**  Chunk dispatch flows through a work
+queue with ``put``/``claim`` semantics (:class:`InProcessQueue` today).
+The scheduler only ever *claims* work, so a file- or socket-backed queue
+spanning hosts slots in without touching the execution path — the
+ROADMAP's distribution-scale step.
+
+**Fingerprint-keyed result reuse.**  Every task whose components have a
+stable cross-run identity (predicate spec hashes, domain digest, model
+fingerprint — see :func:`repro.core.serialize.sweep_task_fingerprint`)
+gets a result key.  Keyed results are memoized in-process (the warm tier
+— repeated corpus sweeps in one session skip re-scanning unchanged
+tasks, ``dist.memo.hits``) and can be persisted to a JSONL
+:class:`ResultStore` (the cold tier — ``sweep_models(resume_from=...)``
+re-runs only the delta after a corpus change, ``dist.resume.skips``).
+Keys are purely semantic: a rebound predicate, an edited domain, or a
+different witness limit all change the key, so reuse is never stale.
+
+Serialized task bytes are produced once by the per-task picklability
+probe and reused verbatim for dispatch; a task that does not pickle
+(an unregistered opaque predicate) runs inline in the parent instead of
+dragging the whole sweep onto threads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from heapq import heappop, heappush
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import DEFAULT as _OBS
+from .predspec import decode_value, encode_value, spec_digest
+from .sweep import NO_CACHE, SweepFinding, _scan_task, shared_cache
+
+__all__ = [
+    "InProcessQueue",
+    "ResultStore",
+    "chunk_tasks",
+    "domain_digest",
+    "task_key",
+    "run_tasks",
+    "clear_memo",
+    "shutdown_pool",
+    "reset",
+]
+
+#: Result slot not yet filled (``None`` is a real "no finding" result).
+_PENDING = object()
+
+#: Chunks per worker — mild oversubscription so LPT imbalance and
+#: straggler chunks backfill instead of idling the pool.
+_CHUNKS_PER_WORKER = 4
+
+
+# ---------------------------------------------------------------------------
+# Stable task identity.
+# ---------------------------------------------------------------------------
+
+def _digest_items(items: Sequence[Any]) -> str:
+    """Incremental digest of a materialized item sequence.
+
+    Corpus-scale domains are routinely built by tiling a small probe set
+    (the same objects repeated by reference), so the canonical encoding
+    is memoized by object identity — each distinct object is encoded
+    once, and repeats cost a dict lookup plus a hash update.  ``items``
+    must be a realized sequence (it keeps every id alive for the scan).
+    """
+    hasher = hashlib.sha256(b"items\x1f")
+    by_id: Dict[int, bytes] = {}
+    for item in items:
+        key = id(item)
+        encoded = by_id.get(key)
+        if encoded is None:
+            encoded = json.dumps(
+                encode_value(item), sort_keys=True, separators=(",", ":"),
+            ).encode("utf-8")
+            by_id[key] = encoded
+        hasher.update(encoded)
+        hasher.update(b"\x1f")
+    return hasher.hexdigest()
+
+
+def domain_digest(domain: Any) -> Optional[str]:
+    """Stable digest of a domain's contents, or ``None`` when the
+    contents have no canonical encodable form.
+
+    Works from the raw backing container (``Domain.backing``): ranges
+    digest from their arithmetic triple in O(1), lazy record products
+    from their field columns (never materializing the product), anything
+    else from the materialized item sequence via the spec value codec.
+    The digest is memoized on the domain object.
+    """
+    cached = getattr(domain, "_dist_digest", None)
+    if cached is not None:
+        return cached or None  # "" marks a known-undigestable domain
+    backing = getattr(domain, "backing", domain)
+    digest = ""
+    try:
+        if isinstance(backing, range):
+            digest = spec_digest(["range", backing.start, backing.stop,
+                                  backing.step])
+        else:
+            from .witness import _LazyProduct
+
+            if isinstance(backing, _LazyProduct):
+                digest = spec_digest(encode_value(
+                    ["records", list(backing._names),
+                     [list(column) for column in backing._columns]]
+                ))
+            else:
+                digest = _digest_items(list(backing))
+    except (ValueError, TypeError):
+        digest = ""
+    try:
+        setattr(domain, "_dist_digest", digest)
+    except Exception:
+        pass
+    return digest or None
+
+
+def _model_fingerprint(model: Any) -> str:
+    """:func:`repro.core.serialize.model_fingerprint`, memoized on the
+    model object (corpus models are long-lived; the canonical-JSON dump
+    is not free at sweep frequency)."""
+    cached = getattr(model, "_dist_fingerprint", None)
+    if cached is None:
+        from .serialize import model_fingerprint
+
+        cached = model_fingerprint(model)
+        try:
+            setattr(model, "_dist_fingerprint", cached)
+        except Exception:
+            try:
+                object.__setattr__(model, "_dist_fingerprint", cached)
+            except Exception:
+                pass
+    return cached
+
+
+def task_key(model: Any, task: Sequence[Any]) -> Optional[str]:
+    """The resumable-result key of one sweep task, or ``None`` when the
+    task has no stable cross-run identity (see
+    :func:`repro.core.serialize.sweep_task_fingerprint`)."""
+    _model_name, operation_name, pfsm, domain, limit = task
+    digest = domain_digest(domain)
+    if digest is None:
+        return None
+    from .serialize import sweep_task_fingerprint
+
+    # The model fingerprint dominates the cost; hand over the memoized
+    # digest instead of the model.
+    return sweep_task_fingerprint(
+        _model_fingerprint(model), operation_name, pfsm, digest, limit,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The persistent result store (cold tier).
+# ---------------------------------------------------------------------------
+
+def _encode_finding(finding: Optional[SweepFinding]) -> Any:
+    """Tagged-JSON form of a finding (``None`` stays ``None``).  Raises
+    :class:`ValueError` for witnesses outside the value codec."""
+    if finding is None:
+        return None
+    return {
+        "model_name": finding.model_name,
+        "operation_name": finding.operation_name,
+        "pfsm_name": finding.pfsm_name,
+        "activity": finding.activity,
+        "witnesses": [encode_value(w) for w in finding.witnesses],
+    }
+
+
+def _decode_finding(payload: Any) -> Optional[SweepFinding]:
+    if payload is None:
+        return None
+    return SweepFinding(
+        model_name=payload["model_name"],
+        operation_name=payload["operation_name"],
+        pfsm_name=payload["pfsm_name"],
+        activity=payload["activity"],
+        witnesses=tuple(decode_value(w) for w in payload["witnesses"]),
+    )
+
+
+class ResultStore:
+    """Append-only JSONL store of sweep results keyed by task fingerprint.
+
+    One record per line: ``{"key": <fingerprint>, "finding": <tagged
+    JSON or null>}``.  ``load`` returns the last record per key (so
+    re-recording a key supersedes, no compaction needed); malformed
+    lines are skipped and counted (``dist.store.malformed``), keeping a
+    store that died mid-write usable for resume.
+    """
+
+    def __init__(self, path: Any) -> None:
+        self.path = str(path)
+
+    def load(self) -> Dict[str, Optional[SweepFinding]]:
+        """Every stored ``key → finding`` (``None`` = scanned, clean)."""
+        import json
+        import os
+
+        results: Dict[str, Optional[SweepFinding]] = {}
+        if not os.path.exists(self.path):
+            return results
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    results[key] = _decode_finding(record["finding"])
+                except Exception:
+                    if _OBS.enabled:
+                        _OBS.incr("dist.store.malformed")
+        return results
+
+    def record(self, key: str, finding: Optional[SweepFinding]) -> bool:
+        """Append one result; ``False`` (not an error) when the finding's
+        witnesses fall outside the value codec."""
+        import json
+
+        try:
+            payload = _encode_finding(finding)
+        except ValueError:
+            if _OBS.enabled:
+                _OBS.incr("dist.store.unencodable")
+            return False
+        with open(self.path, "a", encoding="utf-8") as handle:
+            # No sort_keys: record-shaped witnesses must round-trip with
+            # their field order intact.
+            handle.write(json.dumps({"key": key, "finding": payload}) + "\n")
+        return True
+
+    def record_many(
+        self, items: Sequence[Tuple[str, Optional[SweepFinding]]]
+    ) -> int:
+        """Batch append; returns how many results were recordable."""
+        import json
+
+        lines: List[str] = []
+        for key, finding in items:
+            try:
+                payload = _encode_finding(finding)
+            except ValueError:
+                if _OBS.enabled:
+                    _OBS.incr("dist.store.unencodable")
+                continue
+            # No sort_keys: see record().
+            lines.append(json.dumps({"key": key, "finding": payload}))
+        if lines:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write("\n".join(lines) + "\n")
+        return len(lines)
+
+
+# ---------------------------------------------------------------------------
+# In-memory result memo (warm tier).
+# ---------------------------------------------------------------------------
+
+_MEMO_MAX = 1 << 12
+_MEMO_LOCK = threading.Lock()
+_RESULT_MEMO: "OrderedDict[str, Optional[SweepFinding]]" = OrderedDict()
+
+
+def _memo_get(key: str) -> Any:
+    with _MEMO_LOCK:
+        if key in _RESULT_MEMO:
+            _RESULT_MEMO.move_to_end(key)
+            return _RESULT_MEMO[key]
+        return _PENDING
+
+
+def _memo_put(key: str, finding: Optional[SweepFinding]) -> None:
+    with _MEMO_LOCK:
+        _RESULT_MEMO[key] = finding
+        _RESULT_MEMO.move_to_end(key)
+        while len(_RESULT_MEMO) > _MEMO_MAX:
+            _RESULT_MEMO.popitem(last=False)
+
+
+def clear_memo() -> None:
+    """Drop every memoized task result (the in-process warm tier)."""
+    with _MEMO_LOCK:
+        _RESULT_MEMO.clear()
+
+
+# ---------------------------------------------------------------------------
+# The warm process pool.
+# ---------------------------------------------------------------------------
+
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS: Optional[int] = None
+_POOL_LOCK = threading.Lock()
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    """The session's persistent pool, recreated only when the requested
+    width changes (or after :func:`shutdown_pool`)."""
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL is not None and _POOL_WORKERS == workers:
+            if _OBS.enabled:
+                _OBS.incr("dist.pool.reused")
+            return _POOL
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = ProcessPoolExecutor(max_workers=workers)
+        _POOL_WORKERS = workers
+        if _OBS.enabled:
+            _OBS.incr("dist.pool.created")
+        return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the warm pool (tests, benches, session end)."""
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        if _POOL is not None:
+            _POOL.shutdown(wait=True)
+        _POOL = None
+        _POOL_WORKERS = None
+
+
+def reset() -> None:
+    """Fresh-session state: no warm pool, no memoized results."""
+    shutdown_pool()
+    clear_memo()
+
+
+# ---------------------------------------------------------------------------
+# Chunking.
+# ---------------------------------------------------------------------------
+
+def _task_cost(task: Sequence[Any]) -> int:
+    """Domain cardinality as the scan-cost estimate."""
+    try:
+        return max(1, len(task[3]))
+    except TypeError:
+        return 1
+
+
+def chunk_tasks(tasks: Sequence[Any], indexes: Sequence[int],
+                n_chunks: int) -> List[List[int]]:
+    """Pack ``indexes`` (into ``tasks``) into ``n_chunks`` size-balanced
+    chunks — greedy LPT on domain cardinality, deterministic ties.
+
+    Never returns empty chunks: with fewer tasks than chunks, the chunk
+    count shrinks.
+    """
+    n_chunks = max(1, min(n_chunks, len(indexes)))
+    ordered = sorted(indexes, key=lambda i: (-_task_cost(tasks[i]), i))
+    chunks: List[List[int]] = [[] for _ in range(n_chunks)]
+    heap: List[Tuple[int, int]] = [(0, c) for c in range(n_chunks)]
+    for index in ordered:
+        load, chunk_id = heappop(heap)
+        chunks[chunk_id].append(index)
+        heappush(heap, (load + _task_cost(tasks[index]), chunk_id))
+    # Tasks inside a chunk run in submission order for determinism of
+    # any per-chunk telemetry; results are reassembled by index anyway.
+    for chunk in chunks:
+        chunk.sort()
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# The pluggable queue front-end.
+# ---------------------------------------------------------------------------
+
+class InProcessQueue:
+    """Minimal work queue: FIFO ``put``/``claim`` over an in-process
+    deque.  The scheduler only touches this protocol, so a file- or
+    socket-backed queue (tasks spanning hosts) is a drop-in
+    replacement — implement ``put(item)`` and ``claim() -> item | None``.
+    """
+
+    def __init__(self) -> None:
+        self._items: "deque[Any]" = deque()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def put(self, item: Any) -> None:
+        with self._lock:
+            self._items.append(item)
+
+    def claim(self) -> Optional[Any]:
+        """Next unclaimed item, or ``None`` when the queue is drained."""
+        with self._lock:
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+
+# ---------------------------------------------------------------------------
+# Worker side.
+# ---------------------------------------------------------------------------
+
+def _chunk_worker(
+    chunk: List[Tuple[int, bytes]]
+) -> List[Tuple[int, Optional[SweepFinding]]]:
+    """Run one chunk of serialized tasks in a worker process.
+
+    Tasks rebuild through predicate specs (see
+    :mod:`repro.core.predspec`); scans share the *worker's* process-wide
+    predicate cache, whose spec-hash keys make verdicts memoized by one
+    chunk reusable by every later chunk in the same worker.
+    """
+    cache = shared_cache()
+    return [
+        (index, _scan_task(pickle.loads(raw), cache=cache))
+        for index, raw in chunk
+    ]
+
+
+# ---------------------------------------------------------------------------
+# The scheduler.
+# ---------------------------------------------------------------------------
+
+def _serialize_task(task: Any) -> Optional[bytes]:
+    try:
+        return pickle.dumps(task)
+    except Exception:
+        return None
+
+
+def run_tasks(
+    tasks: Sequence[Any],
+    workers: int,
+    *,
+    backend: str = "process",
+    keys: Optional[Sequence[Optional[str]]] = None,
+    payloads: Optional[Sequence[Optional[bytes]]] = None,
+    queue: Optional[Any] = None,
+    max_retries: int = 2,
+) -> List[Optional[SweepFinding]]:
+    """Execute scan tasks through the chunked process scheduler.
+
+    Parameters
+    ----------
+    tasks:
+        ``(model_name, operation_name, pfsm, domain, limit)`` tuples (the
+        :mod:`repro.core.sweep` task shape).
+    workers:
+        Process-pool width.
+    backend:
+        ``"process"`` dispatches chunks directly; ``"queue"`` routes them
+        through the pluggable work queue first (same execution, claimed
+        dispatch — the seam for cross-host queues).
+    keys:
+        Optional per-task result keys (from :func:`task_key`).  Keyed
+        tasks hit the in-memory result memo; ``None`` entries always
+        compute.
+    payloads:
+        Optional pre-serialized task bytes (the per-task picklability
+        probe's output, reused for dispatch).  Missing entries are
+        serialized here; unpicklable tasks run inline in the parent.
+    queue:
+        Queue instance for ``backend="queue"`` (default
+        :class:`InProcessQueue`).
+    max_retries:
+        Per-chunk resubmissions after a worker crash before the chunk
+        falls back to inline execution.
+
+    Returns results in task order, exactly like the inline executor.
+    """
+    obs_on = _OBS.enabled
+    count = len(tasks)
+    results: List[Any] = [_PENDING] * count
+
+    # Warm tier: reuse fingerprint-keyed results computed earlier in the
+    # session.
+    if keys is not None:
+        memo_hits = 0
+        for index, key in enumerate(keys):
+            if key is None:
+                continue
+            memoized = _memo_get(key)
+            if memoized is not _PENDING:
+                results[index] = memoized
+                memo_hits += 1
+        if obs_on and memo_hits:
+            _OBS.incr("dist.memo.hits", memo_hits)
+
+    # Per-task probe; serialized bytes are the dispatch payload.
+    if payloads is None:
+        payloads = [None] * count
+    payload_list: List[Optional[bytes]] = list(payloads)
+    pending: List[int] = []
+    inline_indexes: List[int] = []
+    for index in range(count):
+        if results[index] is not _PENDING:
+            continue
+        if payload_list[index] is None:
+            payload_list[index] = _serialize_task(tasks[index])
+        if payload_list[index] is None:
+            inline_indexes.append(index)
+        else:
+            pending.append(index)
+    if obs_on and inline_indexes:
+        _OBS.incr("dist.tasks.unpicklable", len(inline_indexes))
+
+    with _OBS.span("dist.run", backend=backend, tasks=count,
+                   pending=len(pending), workers=workers) as span:
+        if pending:
+            chunks = chunk_tasks(tasks, pending,
+                                 workers * _CHUNKS_PER_WORKER)
+            if obs_on:
+                _OBS.incr("dist.chunks", len(chunks))
+            if backend == "queue":
+                front = queue if queue is not None else InProcessQueue()
+                for chunk in chunks:
+                    front.put(chunk)
+                claimed: List[List[int]] = []
+                while True:
+                    item = front.claim()
+                    if item is None:
+                        break
+                    claimed.append(item)
+                chunks = claimed
+                if obs_on:
+                    _OBS.incr("dist.queue.claimed", len(chunks))
+            _execute_chunks(tasks, payload_list, chunks, workers, results,
+                            max_retries)
+
+        # Parent-side inline degrade for tasks that never pickled.
+        for index in inline_indexes:
+            results[index] = _scan_task(tasks[index], cache=NO_CACHE)
+
+        memoized = 0
+        if keys is not None:
+            computed_indexes = set(pending).union(inline_indexes)
+            for index, key in enumerate(keys):
+                if key is not None and index in computed_indexes:
+                    _memo_put(key, results[index])
+                    memoized += 1
+        span.set(computed=len(pending) + len(inline_indexes),
+                 memoized=memoized)
+    return [None if r is _PENDING else r for r in results]
+
+
+def _execute_chunks(
+    tasks: Sequence[Any],
+    payloads: Sequence[Optional[bytes]],
+    chunks: List[List[int]],
+    workers: int,
+    results: List[Any],
+    max_retries: int,
+) -> None:
+    """Dispatch chunks to the warm pool; retry crashed chunks on a fresh
+    pool; last resort runs the chunk inline in the parent."""
+    obs_on = _OBS.enabled
+    pending_chunks = chunks
+    attempt = 0
+    while pending_chunks and attempt <= max_retries:
+        pool = _get_pool(workers)
+        failed: List[List[int]] = []
+        futures = {}
+        submit_at: Dict[Any, float] = {}
+        for position, chunk in enumerate(pending_chunks):
+            payload = [(i, payloads[i]) for i in chunk]
+            try:
+                future = pool.submit(_chunk_worker, payload)
+            except Exception:
+                # Pool broke at submission time; this chunk and every
+                # later one join the retry set.
+                failed.extend(pending_chunks[position:])
+                break
+            futures[future] = chunk
+            submit_at[future] = time.monotonic()
+        outstanding = set(futures)
+        while outstanding:
+            done, outstanding = wait(outstanding,
+                                     return_when=FIRST_COMPLETED)
+            for future in done:
+                chunk = futures[future]
+                try:
+                    for index, finding in future.result():
+                        results[index] = finding
+                    if obs_on:
+                        _OBS.incr("dist.chunk.completed")
+                        _OBS.event(
+                            "dist.chunk",
+                            tasks=len(chunk),
+                            seconds=time.monotonic() - submit_at[future],
+                        )
+                except Exception:
+                    failed.append(chunk)
+        if failed:
+            # A crashed worker poisons the whole pool; start fresh.
+            shutdown_pool()
+            if attempt < max_retries and obs_on:
+                _OBS.incr("dist.chunk.retries", len(failed))
+        pending_chunks = failed
+        attempt += 1
+    for chunk in pending_chunks:
+        if obs_on:
+            _OBS.incr("dist.chunk.inline_fallback")
+        for index in chunk:
+            results[index] = _scan_task(tasks[index], cache=NO_CACHE)

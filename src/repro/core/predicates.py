@@ -14,6 +14,17 @@ numeric ranges (``0 <= x <= 100``), length bounds
 (``length(input) <= size(buffer)``), content checks (contains ``../``,
 contains format directives), type checks, and reference-consistency
 comparisons.
+
+Alongside the callable, every library constructor carries a declarative
+*spec* — a JSON-serializable term describing how to rebuild the
+predicate (see :mod:`repro.core.predspec`).  Specs make predicates
+picklable (pickling ships the spec, unpickling re-runs the
+constructor), hashable by meaning (``spec_hash`` — the key the
+distributed sweep runner and the spec-keyed :class:`PredicateCache`
+use), and transportable to worker processes and, eventually, other
+hosts.  Predicates built from raw callables are *opaque* (``spec`` is
+``None``) unless registered by name through
+:func:`repro.core.predspec.named_predicate`.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ __all__ = [
     "predicate",
     "always",
     "never",
+    "truthy",
     "attr",
     "equals",
     "in_range",
@@ -185,12 +197,17 @@ class Predicate:
         fn: Callable[[Any], bool],
         description: str,
         intervals: Optional[IntervalSet] = None,
+        spec: Optional[Any] = None,
     ) -> None:
         self._fn = fn
         self.description = description
         #: Closed-form integer denotation, when one exists (see module
         #: header).  ``None`` means "opaque — evaluate the callable".
         self._intervals = intervals
+        #: Declarative rebuild term (see :mod:`repro.core.predspec`);
+        #: ``None`` means the predicate cannot be serialized by meaning.
+        self._spec = spec
+        self._spec_hash: Optional[str] = None
         #: Stable cache identity: unique per instance, never reused
         #: (unlike ``id``), so memoization keys survive garbage
         #: collection of unrelated predicates.
@@ -210,18 +227,50 @@ class Predicate:
         """The closed-form integer denotation, or ``None`` if opaque."""
         return self._intervals
 
+    @property
+    def spec(self) -> Optional[Any]:
+        """The declarative rebuild term, or ``None`` if opaque."""
+        return self._spec
+
+    @property
+    def spec_hash(self) -> Optional[str]:
+        """Stable digest of :attr:`spec` — equal for semantically equal
+        predicates built in different processes or runs — or ``None``
+        for opaque predicates.  Computed once, lazily."""
+        if self._spec is None:
+            return None
+        if self._spec_hash is None:
+            from .predspec import spec_digest
+
+            self._spec_hash = spec_digest(self._spec)
+        return self._spec_hash
+
+    def __reduce_ex__(self, protocol: int):
+        """Spec-carrying predicates pickle as their spec (plus display
+        description), so any library-built predicate crosses process
+        boundaries regardless of the lambdas inside.  Opaque predicates
+        fall back to default pickling — which works exactly when the
+        raw callable itself is picklable."""
+        if self._spec is not None:
+            from .predspec import _rebuild_predicate
+
+            return (_rebuild_predicate, (self._spec, self.description))
+        return super().__reduce_ex__(protocol)
+
     def rebind(self, fn: Callable[[Any], bool],
                description: Optional[str] = None) -> "Predicate":
         """Mutate this predicate in place to a new condition.
 
         Bumps the cache version so any memoized verdicts for the old
-        callable are invalidated; drops the closed form (the new callable
-        is opaque).  Returns ``self`` for chaining.
+        callable are invalidated; drops the closed form and the spec
+        (the new callable is opaque).  Returns ``self`` for chaining.
         """
         self._fn = fn
         if description is not None:
             self.description = description
         self._intervals = None
+        self._spec = None
+        self._spec_hash = None
         self._cache_version += 1
         return self
 
@@ -245,20 +294,28 @@ class Predicate:
         intervals = None
         if self._intervals is not None and other._intervals is not None:
             intervals = _intersect_intervals(self._intervals, other._intervals)
+        spec = None
+        if self._spec is not None and other._spec is not None:
+            spec = ["and", self._spec, other._spec]
         return Predicate(
             lambda obj: self.evaluate(obj) and other.evaluate(obj),
             f"({self.description}) and ({other.description})",
             intervals=intervals,
+            spec=spec,
         )
 
     def __or__(self, other: "Predicate") -> "Predicate":
         intervals = None
         if self._intervals is not None and other._intervals is not None:
             intervals = _union_intervals(self._intervals, other._intervals)
+        spec = None
+        if self._spec is not None and other._spec is not None:
+            spec = ["or", self._spec, other._spec]
         return Predicate(
             lambda obj: self.evaluate(obj) or other.evaluate(obj),
             f"({self.description}) or ({other.description})",
             intervals=intervals,
+            spec=spec,
         )
 
     def __invert__(self) -> "Predicate":
@@ -269,6 +326,7 @@ class Predicate:
             lambda obj: not self.evaluate(obj),
             f"not ({self.description})",
             intervals=intervals,
+            spec=None if self._spec is None else ["not", self._spec],
         )
 
     def implies(self, other: "Predicate") -> "Predicate":
@@ -276,8 +334,10 @@ class Predicate:
         return (~self) | other
 
     def renamed(self, description: str) -> "Predicate":
-        """Same condition, new display name."""
-        return Predicate(self._fn, description, intervals=self._intervals)
+        """Same condition, new display name (and, being semantically
+        identical, the same spec and spec hash)."""
+        return Predicate(self._fn, description, intervals=self._intervals,
+                         spec=self._spec)
 
     # -- batch evaluation -----------------------------------------------------
 
@@ -353,10 +413,17 @@ def predicate(description: str) -> Callable[[Callable[[Any], bool]], Predicate]:
 
 #: The vacuous check — accepts everything.  An implementation predicate
 #: of ``always`` is the paper's "no check performed" (IMPL_REJ absent).
-always = Predicate(lambda _obj: True, "true", intervals=_FULL_LINE)
+always = Predicate(lambda _obj: True, "true", intervals=_FULL_LINE,
+                   spec=["true"])
 
 #: Rejects everything.
-never = Predicate(lambda _obj: False, "false", intervals=())
+never = Predicate(lambda _obj: False, "false", intervals=(), spec=["false"])
+
+
+def truthy(description: str = "the object is truthy") -> Predicate:
+    """``bool(·)`` — the state-flag checks of the reference-consistency
+    pFSMs (``addr_free unchanged``, ``handler registered``, ...)."""
+    return Predicate(bool, description, spec=["truthy"])
 
 
 def _get(obj: Any, name: str) -> Any:
@@ -373,7 +440,17 @@ def attr(name: str, inner: Predicate) -> Predicate:
         inner.description.replace("·", name)
         if "·" in inner.description
         else f"{name}: {inner.description}",
+        spec=None if inner.spec is None else ["attr", name, inner.spec],
     )
+
+
+def _value_spec(op: str, value: Any) -> Optional[List[Any]]:
+    """``[op, encoded value]`` when the value survives the spec value
+    codec, else ``None`` (the predicate stays opaque)."""
+    from .predspec import try_encode_value
+
+    encoded, ok = try_encode_value(value)
+    return [op, encoded] if ok else None
 
 
 def equals(expected: Any) -> Predicate:
@@ -382,7 +459,7 @@ def equals(expected: Any) -> Predicate:
     if isinstance(expected, int) and not isinstance(expected, bool):
         intervals = ((expected, expected),)
     return Predicate(lambda obj: obj == expected, f"· == {expected!r}",
-                     intervals=intervals)
+                     intervals=intervals, spec=_value_spec("eq", expected))
 
 
 def in_range(low: int, high: int) -> Predicate:
@@ -390,36 +467,40 @@ def in_range(low: int, high: int) -> Predicate:
     ``in_range(0, 100)``."""
     return Predicate(lambda obj: low <= int(obj) <= high,
                      f"{low} <= · <= {high}",
-                     intervals=_normalize_intervals([(low, high)]))
+                     intervals=_normalize_intervals([(low, high)]),
+                     spec=["range", low, high])
 
 
 def less_equal(bound: int) -> Predicate:
     """``· <= bound`` — the *incomplete* Sendmail check is
     ``less_equal(100)``."""
     return Predicate(lambda obj: int(obj) <= bound, f"· <= {bound}",
-                     intervals=((None, bound),))
+                     intervals=((None, bound),), spec=["le", bound])
 
 
 def greater_equal(bound: int) -> Predicate:
     """``· >= bound`` — e.g. ``contentLen >= 0`` (Figure 4 pFSM1)."""
     return Predicate(lambda obj: int(obj) >= bound, f"· >= {bound}",
-                     intervals=((bound, None),))
+                     intervals=((bound, None),), spec=["ge", bound])
 
 
 def length_le(bound: int) -> Predicate:
     """``length(·) <= bound`` — buffer-copy content checks."""
-    return Predicate(lambda obj: len(obj) <= bound, f"length(·) <= {bound}")
+    return Predicate(lambda obj: len(obj) <= bound, f"length(·) <= {bound}",
+                     spec=["lenle", bound])
 
 
 def contains(substring: Any) -> Predicate:
     """``substring in ·`` — e.g. the IIS ``../`` content check."""
-    return Predicate(lambda obj: substring in obj, f"· contains {substring!r}")
+    return Predicate(lambda obj: substring in obj, f"· contains {substring!r}",
+                     spec=_value_spec("contains", substring))
 
 
 def not_contains(substring: Any) -> Predicate:
     """``substring not in ·``."""
     return Predicate(
-        lambda obj: substring not in obj, f"· does not contain {substring!r}"
+        lambda obj: substring not in obj, f"· does not contain {substring!r}",
+        spec=_value_spec("ncontains", substring),
     )
 
 
@@ -432,13 +513,16 @@ def matches(pattern: str) -> Predicate:
             return bool(re.search(pattern.encode("latin-1"), obj))
         return bool(compiled.search(obj))
 
-    return Predicate(check, f"· matches /{pattern}/")
+    return Predicate(check, f"· matches /{pattern}/",
+                     spec=["matches", pattern])
 
 
 def is_instance(*types: type) -> Predicate:
     """Python-level object type check."""
     names = ", ".join(t.__name__ for t in types)
-    return Predicate(lambda obj: isinstance(obj, types), f"· is a {names}")
+    return Predicate(lambda obj: isinstance(obj, types), f"· is a {names}",
+                     spec=["isa", [[t.__module__, t.__qualname__]
+                                   for t in types]])
 
 
 def satisfies_all(*preds: Predicate) -> Predicate:

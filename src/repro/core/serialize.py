@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from .machine import ModelResult, VulnerabilityModel
 from .operation import Operation
@@ -28,6 +28,7 @@ __all__ = [
     "trace_to_dict",
     "result_to_dict",
     "model_fingerprint",
+    "sweep_task_fingerprint",
 ]
 
 
@@ -137,3 +138,63 @@ def model_fingerprint(model: VulnerabilityModel) -> str:
     """
     canonical = json.dumps(model_to_dict(model), sort_keys=True)
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _stable_callable_ref(fn: Any) -> Optional[str]:
+    """``module:qualname`` when that names ``fn`` unambiguously (an
+    importable module-level callable or class), ``None`` for lambdas
+    and local closures — those have no cross-run identity."""
+    if fn is None:
+        return ""
+    qualname = getattr(fn, "__qualname__", None)
+    module = getattr(fn, "__module__", None)
+    if not qualname or not module or "<" in qualname:
+        return None
+    return f"{module}:{qualname}"
+
+
+def sweep_task_fingerprint(
+    model: Any,
+    operation_name: str,
+    pfsm: PrimitiveFSM,
+    domain_digest: str,
+    limit: int,
+) -> Optional[str]:
+    """Stable identity of one sweep task's *result* — the key of the
+    resumable result store (see :mod:`repro.core.dist`).
+
+    Combines the model fingerprint (``model`` may be the
+    :class:`VulnerabilityModel` itself or an already-computed
+    fingerprint string) with everything the hidden-witness scan depends
+    on: the pFSM's predicate **spec hashes** (semantic identity — see
+    :mod:`repro.core.predspec`), its transform/check-type references,
+    the domain digest, and the witness limit.  Returns ``None`` when any
+    component has no stable cross-run form (opaque predicates, lambda
+    transforms) — such tasks are always recomputed, never resumed.
+    """
+    spec_hash = pfsm.spec_accepts.spec_hash
+    if spec_hash is None:
+        return None
+    impl = pfsm.impl_accepts
+    if impl is None:
+        impl_hash = "<no-check>"
+    else:
+        impl_hash = impl.spec_hash
+        if impl_hash is None:
+            return None
+    transform_ref = _stable_callable_ref(pfsm.transform)
+    if transform_ref is None:
+        return None
+    parts = [
+        model if isinstance(model, str) else model_fingerprint(model),
+        operation_name,
+        pfsm.name,
+        pfsm.activity,
+        spec_hash,
+        impl_hash,
+        transform_ref,
+        pfsm.check_type.value if pfsm.check_type is not None else "",
+        domain_digest,
+        str(limit),
+    ]
+    return hashlib.sha256("\x1f".join(parts).encode("utf-8")).hexdigest()

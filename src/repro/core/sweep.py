@@ -25,9 +25,14 @@ work, with three cooperating layers:
    :class:`repro.core.discovery.DiscoveryEngine` sweeps, so repeated
    sweeps of the same domain do not re-call user predicates.
 3. **A parallel executor.**  :func:`sweep_models` fans the per-pFSM
-   witness searches across workers (`concurrent.futures`), process pool
-   when every task is picklable, thread pool otherwise, and reassembles
-   results in deterministic (model, operation, pFSM) order.
+   witness searches across workers and reassembles results in
+   deterministic (model, operation, pFSM) order.  Thread pools share
+   the caller's cache; ``mode="process"``/``"queue"`` route through the
+   chunked warm-pool scheduler in :mod:`repro.core.dist` (predicate
+   specs make the tasks picklable — see :mod:`repro.core.predspec`);
+   ``mode="auto"`` probes each task individually and splits the list.
+   ``resume_from`` persists fingerprint-keyed results to a JSONL store
+   so re-running a corpus sweep only computes the delta.
 
 The module deliberately duck-types models and operations (anything with
 ``all_pfsms()`` / ``pfsms``) so it sits below
@@ -49,7 +54,7 @@ from __future__ import annotations
 import pickle
 import threading
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -98,14 +103,18 @@ _MISS = object()
 class PredicateCache:
     """A bounded, thread-safe LRU memo of predicate verdicts.
 
-    Keys combine the predicate's stable :attr:`cache_key` (token +
-    mutation version) with the evaluated object; unhashable objects are
-    simply not cached.  The LRU bound keeps memory flat across
-    arbitrarily long sweep sessions.
+    Keys prefer the predicate's **spec hash** (semantic identity — see
+    :mod:`repro.core.predspec`) so equivalent predicates built in
+    different runs, sweeps, or processes share entries; opaque
+    predicates fall back to the per-instance :attr:`cache_key` (token +
+    mutation version).  Unhashable objects are simply not cached.  The
+    LRU bound keeps memory flat across arbitrarily long sweep sessions.
 
-    ``hits``/``misses``/``evictions`` count since construction;
-    :meth:`stats` packages them (plus occupancy and hit rate) for the
-    CLI, the benchmark, and the telemetry layer.
+    ``hits``/``misses``/``evictions`` count since construction —
+    ``spec_hits`` is the subset of hits served under spec-hash keys (the
+    cross-instance hit class); :meth:`stats` packages them (plus
+    occupancy and hit rate) for the CLI, the benchmark, and the
+    telemetry layer.
     """
 
     _MISS = _MISS
@@ -117,6 +126,7 @@ class PredicateCache:
         self._data: "OrderedDict[Tuple[Any, ...], bool]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
+        self.spec_hits = 0
         self.misses = 0
         self.evictions = 0
 
@@ -129,14 +139,17 @@ class PredicateCache:
             self._data.clear()
 
     def stats(self) -> Dict[str, Any]:
-        """Counter snapshot: hits, misses, evictions, size, maxsize,
-        and the hit rate over every lookup so far."""
+        """Counter snapshot: hits (and the spec-keyed subset), misses,
+        evictions, size, maxsize, and the hit rate over every lookup so
+        far."""
         with self._lock:
             hits, misses = self.hits, self.misses
+            spec_hits = self.spec_hits
             evictions, size = self.evictions, len(self._data)
         total = hits + misses
         return {
             "hits": hits,
+            "spec_hits": spec_hits,
             "misses": misses,
             "evictions": evictions,
             "size": size,
@@ -146,8 +159,12 @@ class PredicateCache:
 
     def evaluate(self, pred: Predicate, obj: Any) -> bool:
         """``pred.evaluate(obj)``, memoized when ``obj`` is hashable."""
+        spec_hash = pred.spec_hash
         try:
-            key = (pred.cache_key, obj)
+            # Spec-hash keys (str) and cache keys (int pair) cannot
+            # collide, so both classes share one table.
+            key = ((spec_hash, obj) if spec_hash is not None
+                   else (pred.cache_key, obj))
             hash(key)
         except TypeError:
             return pred.evaluate(obj)
@@ -156,6 +173,8 @@ class PredicateCache:
             if verdict is not self._MISS:
                 self._data.move_to_end(key)
                 self.hits += 1
+                if spec_hash is not None:
+                    self.spec_hits += 1
                 return verdict
             self.misses += 1
         verdict = pred.evaluate(obj)
@@ -350,9 +369,16 @@ class ModelSweep:
         return bool(self.findings)
 
 
-def _scan_task(task: Tuple[str, str, Any, Any, int, Any]) -> Optional[SweepFinding]:
+#: The sweep task shape: ``(model_name, operation_name, pfsm, domain,
+#: limit)``.  Caches are *not* part of the tuple (they hold locks, so
+#: they would poison picklability); each executor decides its own cache.
+SweepTask = Tuple[str, str, Any, Any, int]
+
+
+def _scan_task(task: SweepTask, cache: Any = NO_CACHE
+               ) -> Optional[SweepFinding]:
     """One unit of sweep work: scan a single pFSM's domain."""
-    model_name, operation_name, pfsm, domain, limit, cache = task
+    model_name, operation_name, pfsm, domain, limit = task
     with _OBS.span("sweep.task", model=model_name,
                    operation=operation_name, pfsm=pfsm.name) as span:
         witnesses = hidden_witness_scan(pfsm, domain, limit=limit, cache=cache)
@@ -370,80 +396,121 @@ def _scan_task(task: Tuple[str, str, Any, Any, int, Any]) -> Optional[SweepFindi
     )
 
 
-def _scan_task_under(parent_id: Optional[int]
-                     ) -> Callable[[Tuple[str, str, Any, Any, int, Any]],
-                                   Optional[SweepFinding]]:
-    """A :func:`_scan_task` wrapper that parents worker-thread spans
-    under the submitting thread's live span."""
-    def run(task: Tuple[str, str, Any, Any, int, Any]
-            ) -> Optional[SweepFinding]:
+def _scan_task_with(cache: Any, parent_id: Optional[int] = None
+                    ) -> Callable[[SweepTask], Optional[SweepFinding]]:
+    """A :func:`_scan_task` closure binding the executor's cache and —
+    for worker threads — parenting spans under the submitting thread's
+    live span."""
+    def run(task: SweepTask) -> Optional[SweepFinding]:
+        if parent_id is None:
+            return _scan_task(task, cache=cache)
         previous = _OBS.set_inherited_parent(parent_id)
         try:
-            return _scan_task(task)
+            return _scan_task(task, cache=cache)
         finally:
             _OBS.set_inherited_parent(previous)
     return run
 
 
-def _picklable(tasks: Sequence[Any]) -> bool:
-    try:
-        pickle.dumps(tasks)
-        return True
-    except Exception:
-        return False
+def _serialize_tasks(tasks: Sequence[Any]) -> List[Optional[bytes]]:
+    """Per-task picklability probe.
+
+    Returns each task's serialized bytes (reused verbatim as the
+    dispatch payload by :mod:`repro.core.dist`) or ``None`` for the
+    tasks that do not pickle — one opaque predicate no longer drags the
+    whole sweep onto threads.
+    """
+    payloads: List[Optional[bytes]] = []
+    for task in tasks:
+        try:
+            payloads.append(pickle.dumps(task))
+        except Exception:
+            payloads.append(None)
+    return payloads
 
 
 def _run_tasks(
-    tasks: Sequence[Tuple[str, str, Any, Any, int, Any]],
+    tasks: Sequence[SweepTask],
     workers: Optional[int],
     mode: str,
+    cache: Any = NO_CACHE,
+    keys: Optional[Sequence[Optional[str]]] = None,
 ) -> List[Optional[SweepFinding]]:
     """Execute scan tasks, preserving submission order in the results.
 
-    ``mode``: ``"auto"`` tries a process pool when every task pickles
-    (predicate specs built from the closed-form constructors do) and
-    falls back to threads; ``"thread"``/``"process"`` force a pool;
-    ``workers`` of ``None`` or ``<= 1`` runs inline.
+    ``mode`` selects the executor:
+
+    * ``"thread"`` — thread pool sharing ``cache``; ``workers`` of
+      ``None``/``<= 1`` runs inline.
+    * ``"process"`` / ``"queue"`` — the chunked warm-pool scheduler in
+      :mod:`repro.core.dist` (workers use their own per-process shared
+      caches; ``keys`` enables fingerprint-keyed result reuse).
+    * ``"auto"`` — probes each task individually: picklable tasks go to
+      the process scheduler, the opaque remainder to threads, results
+      reassembled in order.
 
     Each executor decision is recorded as a ``sweep.pool`` telemetry
-    event (kind inline/process/thread, plus a ``fallback`` marker when a
-    process pool was attempted and abandoned).
+    event.
     """
     obs_on = _OBS.enabled
     if obs_on:
         _OBS.incr("sweep.tasks.queued", len(tasks))
+    if mode in ("process", "queue"):
+        from . import dist
+
+        results = dist.run_tasks(tasks, workers or 1, backend=mode,
+                                 keys=keys)
+        if obs_on:
+            _OBS.incr("sweep.pool.process")
+            _OBS.event("sweep.pool", kind=mode, workers=workers or 1,
+                       tasks=len(tasks))
+        return results
     if not workers or workers <= 1 or len(tasks) <= 1:
         if obs_on:
             _OBS.incr("sweep.pool.inline")
             _OBS.event("sweep.pool", kind="inline", tasks=len(tasks))
-        return [_scan_task(task) for task in tasks]
-    use_processes = mode == "process" or (mode == "auto" and _picklable(tasks))
-    if use_processes:
-        try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_scan_task, tasks))
+        return [_scan_task(task, cache=cache) for task in tasks]
+    threaded = list(range(len(tasks)))
+    results: List[Optional[SweepFinding]] = [None] * len(tasks)
+    if mode == "auto":
+        payloads = _serialize_tasks(tasks)
+        distributable = [i for i, p in enumerate(payloads) if p is not None]
+        if distributable:
+            from . import dist
+
+            sub_results = dist.run_tasks(
+                [tasks[i] for i in distributable],
+                workers,
+                backend="process",
+                keys=[keys[i] for i in distributable] if keys else None,
+                payloads=[payloads[i] for i in distributable],
+            )
+            for i, finding in zip(distributable, sub_results):
+                results[i] = finding
+            threaded = [i for i, p in enumerate(payloads) if p is None]
             if obs_on:
                 _OBS.incr("sweep.pool.process")
-                _OBS.event("sweep.pool", kind="process", workers=workers,
-                           tasks=len(tasks))
-            return results
-        except Exception:
-            # pickling raced or pool unavailable — fall back to threads
-            if obs_on:
-                _OBS.incr("sweep.pool.fallback")
-                _OBS.event("sweep.pool", kind="fallback",
-                           detail="process pool failed; using threads")
-    worker_fn = _scan_task
+                _OBS.event("sweep.pool", kind="auto", workers=workers,
+                           tasks=len(tasks),
+                           distributed=len(distributable),
+                           threaded=len(threaded))
+            if not threaded:
+                return results
+    parent_id = None
     if obs_on:
         parent = _OBS.current_span()
         if parent is not None:
-            worker_fn = _scan_task_under(parent.span_id)
+            parent_id = parent.span_id
+    worker_fn = _scan_task_with(cache, parent_id)
     with ThreadPoolExecutor(max_workers=workers) as pool:
-        results = list(pool.map(worker_fn, tasks))
+        for i, finding in zip(threaded,
+                              pool.map(worker_fn,
+                                       [tasks[i] for i in threaded])):
+            results[i] = finding
     if obs_on:
         _OBS.incr("sweep.pool.thread")
         _OBS.event("sweep.pool", kind="thread", workers=workers,
-                   tasks=len(tasks))
+                   tasks=len(threaded))
     return results
 
 
@@ -481,16 +548,20 @@ def sweep_operation(
 ) -> List[SweepFinding]:
     """Witness-scan every pFSM of one operation (see :func:`sweep_models`)."""
     resolved = _resolve_cache(cache)
-    tasks = [
-        (model_name, operation.name, pfsm, domains[pfsm.name], limit, resolved)
+    tasks: List[SweepTask] = [
+        (model_name, operation.name, pfsm, domains[pfsm.name], limit)
         for pfsm in operation.pfsms
         if domains.get(pfsm.name) is not None
     ]
     with _OBS.span("sweep.operation", operation=operation.name,
                    tasks=len(tasks)) as span:
         before = resolved.stats() if _OBS.enabled and resolved is not None else None
-        findings = [f for f in _run_tasks(tasks, workers, mode)
-                    if f is not None]
+        findings = [
+            f for f in _run_tasks(tasks, workers, mode,
+                                  cache=NO_CACHE if resolved is None
+                                  else resolved)
+            if f is not None
+        ]
         _record_cache_delta(before, resolved)
         span.set(findings=len(findings))
     return findings
@@ -507,16 +578,20 @@ def sweep_model(
 ) -> ModelSweep:
     """Witness-scan every pFSM of one model (see :func:`sweep_models`)."""
     resolved = _resolve_cache(cache)
-    tasks = [
-        (model.name, operation.name, pfsm, domains[pfsm.name], limit, resolved)
+    tasks: List[SweepTask] = [
+        (model.name, operation.name, pfsm, domains[pfsm.name], limit)
         for operation, pfsm in model.all_pfsms()
         if domains.get(pfsm.name) is not None
     ]
     with _OBS.span("sweep.model", model=model.name,
                    tasks=len(tasks)) as span:
         before = resolved.stats() if _OBS.enabled and resolved is not None else None
-        findings = [f for f in _run_tasks(tasks, workers, mode)
-                    if f is not None]
+        findings = [
+            f for f in _run_tasks(tasks, workers, mode,
+                                  cache=NO_CACHE if resolved is None
+                                  else resolved)
+            if f is not None
+        ]
         _record_cache_delta(before, resolved)
         span.set(findings=len(findings))
     return ModelSweep(model_name=model.name, findings=tuple(findings))
@@ -530,6 +605,7 @@ def sweep_models(
     workers: Optional[int] = None,
     cache: Any = None,
     mode: str = "thread",
+    resume_from: Optional[str] = None,
 ) -> List[ModelSweep]:
     """Hidden-path sweep across a whole corpus of models.
 
@@ -544,21 +620,33 @@ def sweep_models(
     limit:
         Max witnesses recorded per pFSM.
     workers:
-        ``None``/``0``/``1`` runs inline; otherwise the per-pFSM scans
-        fan out across this many workers.
+        ``None``/``0``/``1`` runs inline (thread mode); otherwise the
+        per-pFSM scans fan out across this many workers.
     cache:
         A :class:`PredicateCache` to share, ``None`` for the process-wide
-        shared cache, or :data:`NO_CACHE` to disable memoization.
+        shared cache, or :data:`NO_CACHE` to disable memoization
+        (thread/inline executors; process workers always use their own
+        per-process shared cache).
     mode:
-        ``"thread"`` (default), ``"process"``, or ``"auto"`` (process
-        pool when every task pickles).
+        ``"thread"`` (default), ``"process"`` / ``"queue"`` (the chunked
+        warm-pool scheduler of :mod:`repro.core.dist`, which also reuses
+        fingerprint-keyed results within the session), or ``"auto"``
+        (per-task probe: picklable tasks to the process scheduler, the
+        rest to threads).
+    resume_from:
+        Path to a JSONL :class:`~repro.core.dist.ResultStore`.  Tasks
+        whose fingerprint key is already stored are *not* re-scanned
+        (``dist.resume.skips``); newly computed keyed results are
+        appended, so a corpus sweep re-run after adding one model only
+        computes the delta.  Works with every mode.
 
     Results are deterministic: one :class:`ModelSweep` per input model in
     mapping order, findings in cascade order — identical to the serial
-    sweep regardless of worker count.
+    sweep regardless of worker count or how many results were resumed.
     """
     resolved = _resolve_cache(cache)
-    tasks: List[Tuple[str, str, Any, Any, int, Any]] = []
+    tasks: List[SweepTask] = []
+    task_models: List[Any] = []  # the model behind tasks[i], for keying
     boundaries: List[Tuple[str, int]] = []  # (label, task count) per model
     for label, model in models.items():
         model_domains = domains.get(label, {})
@@ -567,15 +655,51 @@ def sweep_models(
             domain = model_domains.get(pfsm.name)
             if domain is None:
                 continue
-            tasks.append(
-                (model.name, operation.name, pfsm, domain, limit, resolved)
-            )
+            tasks.append((model.name, operation.name, pfsm, domain, limit))
+            task_models.append(model)
         boundaries.append((label, len(tasks) - start))
+
+    keys: Optional[List[Optional[str]]] = None
+    if resume_from is not None or mode in ("process", "queue"):
+        from . import dist
+
+        keys = [dist.task_key(model, task)
+                for model, task in zip(task_models, tasks)]
+    store = None
+    known: Mapping[str, Any] = {}
+    resumed: Dict[int, Optional[SweepFinding]] = {}
+    if resume_from is not None:
+        from . import dist
+
+        store = dist.ResultStore(resume_from)
+        known = store.load()
+        for index, key in enumerate(keys or []):
+            if key is not None and key in known:
+                resumed[index] = known[key]
+        if _OBS.enabled and resumed:
+            _OBS.incr("dist.resume.skips", len(resumed))
+    remaining = [i for i in range(len(tasks)) if i not in resumed]
+
     with _OBS.span("sweep.models", models=len(models), tasks=len(tasks),
-                   workers=workers or 1, mode=mode) as span:
+                   workers=workers or 1, mode=mode,
+                   resumed=len(resumed)) as span:
         before = resolved.stats() if _OBS.enabled and resolved is not None else None
-        results = _run_tasks(tasks, workers, mode)
+        computed = _run_tasks(
+            [tasks[i] for i in remaining], workers, mode,
+            cache=NO_CACHE if resolved is None else resolved,
+            keys=[keys[i] for i in remaining] if keys is not None else None,
+        )
         _record_cache_delta(before, resolved)
+        results: List[Optional[SweepFinding]] = [None] * len(tasks)
+        for index, finding in resumed.items():
+            results[index] = finding
+        for index, finding in zip(remaining, computed):
+            results[index] = finding
+        if store is not None and keys is not None:
+            store.record_many([
+                (keys[i], results[i]) for i in remaining
+                if keys[i] is not None and keys[i] not in known
+            ])
         sweeps: List[ModelSweep] = []
         cursor = 0
         for (label, count), model in zip(boundaries, models.values()):

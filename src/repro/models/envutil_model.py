@@ -19,9 +19,10 @@ from ..core import (
     Domain,
     ModelBuilder,
     PfsmType,
-    Predicate,
     VulnerabilityModel,
     attr,
+    named_predicate,
+    truthy,
 )
 from ..osmodel.environment import TRUSTED_PATH
 
@@ -31,9 +32,12 @@ __all__ = ["build_model", "exploit_input", "benign_input", "pfsm_domains",
 OPERATION_1 = "Inherit the caller's environment for the privileged spawn"
 OPERATION_2 = "Execute the resolved helper binary as root"
 
+#: Registered by name so sweep tasks over this model pickle across
+#: process boundaries (see repro.core.predspec).
 _trusted_path = attr(
     "path_entries",
-    Predicate(
+    named_predicate(
+        "trusted_path_entries",
         lambda entries: all(entry in TRUSTED_PATH for entry in entries),
         "every PATH entry is a trusted system directory",
     ),
@@ -41,7 +45,7 @@ _trusted_path = attr(
 
 _intended_binary = attr(
     "resolved_is_intended",
-    Predicate(bool, "the resolved binary is the intended system binary"),
+    truthy("the resolved binary is the intended system binary"),
 )
 
 

@@ -20,11 +20,11 @@ from ..core import (
     Domain,
     ModelBuilder,
     PfsmType,
-    Predicate,
     VulnerabilityModel,
     attr,
     in_range,
     less_equal,
+    named_predicate,
 )
 
 __all__ = ["build_model", "exploit_input", "benign_input", "pfsm_domains",
@@ -32,10 +32,13 @@ __all__ = ["build_model", "exploit_input", "benign_input", "pfsm_domains",
 
 OPERATION = "Copy the user request into the kernel buffer"
 
+#: Registered by name so sweep tasks over this model pickle across
+#: process boundaries (see repro.core.predspec).
 _non_wrapping = attr(
     "length",
-    Predicate(lambda n: 0 <= n < 2**31,
-              "length reads the same as signed and as size_t"),
+    named_predicate("non_wrapping_length",
+                    lambda n: 0 <= n < 2**31,
+                    "length reads the same as signed and as size_t"),
 )
 
 

@@ -24,10 +24,10 @@ from ..core import (
     Domain,
     ModelBuilder,
     PfsmType,
-    Predicate,
     VulnerabilityModel,
     attr,
     length_le,
+    truthy,
 )
 
 __all__ = [
@@ -50,7 +50,7 @@ _fits = attr("message", length_le(LOG_BUFFER_SIZE)).renamed(
 
 _return_intact = attr(
     "return_address_unchanged",
-    Predicate(bool, "the return address is unchanged"),
+    truthy("the return address is unchanged"),
 )
 
 

@@ -18,9 +18,10 @@ from ..core import (
     Domain,
     ModelBuilder,
     PfsmType,
-    Predicate,
     VulnerabilityModel,
     attr,
+    named_predicate,
+    truthy,
 )
 from ..memory import AddressSpace, vsprintf
 
@@ -41,15 +42,18 @@ def rendered_length(client_info: bytes) -> int:
                         vararg_base=0x1000).output)
 
 
+#: Registered by name so sweep tasks over this model pickle across
+#: process boundaries (see repro.core.predspec).
 _fits_after_expansion = attr(
     "client_info",
-    Predicate(lambda info: rendered_length(info) <= CLIENT_BUFFER_SIZE,
-              "rendered reply fits the 256-byte buffer"),
+    named_predicate("fits_after_expansion",
+                    lambda info: rendered_length(info) <= CLIENT_BUFFER_SIZE,
+                    "rendered reply fits the 256-byte buffer"),
 )
 
 _return_intact = attr(
     "return_address_unchanged",
-    Predicate(bool, "the return address is unchanged"),
+    truthy("the return address is unchanged"),
 )
 
 

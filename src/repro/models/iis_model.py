@@ -27,8 +27,8 @@ from ..core import (
     Domain,
     ModelBuilder,
     PfsmType,
-    Predicate,
     VulnerabilityModel,
+    named_predicate,
 )
 
 __all__ = [
@@ -41,13 +41,17 @@ __all__ = [
 
 OPERATION = "Execute the requested CGI program"
 
-_spec = Predicate(
+#: Registered by name so sweep tasks over this model carry a stable
+#: cross-process identity (see repro.core.predspec).
+_spec = named_predicate(
+    "iis_spec_safe",
     IisServer.spec_safe,
     "the target file resides in /wwwroot/scripts "
     "(no '../' in the fully decoded path)",
 )
 
-_impl = Predicate(
+_impl = named_predicate(
+    "iis_first_decode_clean",
     IisServer.impl_accepts,
     "no '../' after the first decoding",
 )

@@ -41,10 +41,11 @@ from ..core import (
     Domain,
     ModelBuilder,
     PfsmType,
-    Predicate,
     VulnerabilityModel,
     attr,
     greater_equal,
+    named_predicate,
+    truthy,
 )
 from ..memory import Int32
 
@@ -70,7 +71,10 @@ def _buffer_size(content_len: int) -> int:
     return (Int32(content_len) + SLACK).value
 
 
-_fits_buffer = Predicate(
+#: Registered by name so sweep tasks over this model pickle across
+#: process boundaries (see repro.core.predspec).
+_fits_buffer = named_predicate(
+    "fits_buffer",
     lambda obj: obj["input_len"] <= _buffer_size(obj["content_len"]),
     "length(input) <= size(PostData)",
 )
@@ -109,10 +113,10 @@ def build_model(
         impl_fit = None  # || loop: everything gets copied (#6255)
 
     links_spec = attr(
-        "links_unchanged", Predicate(bool, "B->fd and B->bk unchanged")
+        "links_unchanged", truthy("B->fd and B->bk unchanged")
     )
     addr_free_spec = attr(
-        "addr_free_unchanged", Predicate(bool, "addr_free unchanged since load")
+        "addr_free_unchanged", truthy("addr_free unchanged since load")
     )
     return (
         ModelBuilder(

@@ -27,9 +27,10 @@ from ..core import (
     Domain,
     ModelBuilder,
     PfsmType,
-    Predicate,
     VulnerabilityModel,
     attr,
+    named_predicate,
+    truthy,
 )
 from ..memory import contains_directives
 
@@ -44,9 +45,12 @@ __all__ = [
 OPERATION_1 = "Log the SM_NOTIFY filename via syslog"
 OPERATION_2 = "Return from the logging function"
 
+#: Registered by name so sweep tasks over this model pickle across
+#: process boundaries (see repro.core.predspec).
 _no_directives = attr(
     "filename",
-    Predicate(
+    named_predicate(
+        "filename_no_directives",
         lambda name: not contains_directives(name),
         "the filename contains no format directives (%n, %x, %d, ...)",
     ),
@@ -54,7 +58,7 @@ _no_directives = attr(
 
 _return_intact = attr(
     "return_address_unchanged",
-    Predicate(bool, "the return address is unchanged"),
+    truthy("the return address is unchanged"),
 )
 
 

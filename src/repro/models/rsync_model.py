@@ -22,11 +22,11 @@ from ..core import (
     Domain,
     ModelBuilder,
     PfsmType,
-    Predicate,
     VulnerabilityModel,
     attr,
     in_range,
     less_equal,
+    truthy,
 )
 
 __all__ = ["build_model", "exploit_input", "benign_input", "pfsm_domains",
@@ -37,7 +37,7 @@ OPERATION_2 = "Dispatch through the fetched handler pointer"
 
 _pointer_registered = attr(
     "pointer_registered",
-    Predicate(bool, "the fetched pointer names a registered handler"),
+    truthy("the fetched pointer names a registered handler"),
 )
 
 

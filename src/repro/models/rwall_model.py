@@ -27,9 +27,10 @@ from ..core import (
     Domain,
     ModelBuilder,
     PfsmType,
-    Predicate,
     VulnerabilityModel,
     attr,
+    named_predicate,
+    truthy,
 )
 from ..osmodel import normalize_path
 
@@ -54,10 +55,13 @@ def entry_is_terminal(entry: str) -> bool:
     return normalize_path(f"/dev/{entry}") in _KNOWN_TERMINALS
 
 
-_is_root = attr("is_root", Predicate(bool, "the user has root privilege"))
+_is_root = attr("is_root", truthy("the user has root privilege"))
 
+#: Registered by name so sweep tasks over this model carry a stable
+#: cross-process identity (see repro.core.predspec).
 _terminal_entry = attr(
-    "entry", Predicate(entry_is_terminal, "the entry names a terminal device")
+    "entry", named_predicate("entry_is_terminal", entry_is_terminal,
+                             "the entry names a terminal device")
 ).renamed("the target file is a terminal")
 
 

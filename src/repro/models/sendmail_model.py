@@ -32,11 +32,12 @@ from ..core import (
     Domain,
     ModelBuilder,
     PfsmType,
-    Predicate,
     VulnerabilityModel,
     attr,
     in_range,
     less_equal,
+    named_predicate,
+    truthy,
 )
 from ..memory import Int32, atoi
 
@@ -64,7 +65,10 @@ def _fits_int32(text: str) -> bool:
 
 
 #: pFSM1's specification: both strings represent 32-bit integers.
-_represents_int32 = Predicate(
+#: Registered by name so sweep tasks over this model pickle across
+#: process boundaries (see repro.core.predspec).
+_represents_int32 = named_predicate(
+    "represents_int32",
     lambda obj: _fits_int32(obj["str_x"]) and _fits_int32(obj["str_i"]),
     "str_x and str_i represent 32-bit integers (|value| < 2^31)",
 )
@@ -133,12 +137,12 @@ def build_model(patched: bool = False, got_check: bool = False
             object_name="addr_setuid",
             spec=attr(
                 "addr_setuid_unchanged",
-                Predicate(bool, "addr_setuid unchanged since load"),
+                truthy("addr_setuid unchanged since load"),
             ),
             # IMPL_ACPT = -♦- in the figure; GUARDED installs the check.
             impl=attr(
                 "addr_setuid_unchanged",
-                Predicate(bool, "addr_setuid unchanged since load"),
+                truthy("addr_setuid unchanged since load"),
             ) if got_check else None,
             action="call the function referred by addr_setuid",
             check_type=PfsmType.REFERENCE_CONSISTENCY,

@@ -18,9 +18,10 @@ from ..core import (
     Domain,
     ModelBuilder,
     PfsmType,
-    Predicate,
     VulnerabilityModel,
     attr,
+    named_predicate,
+    truthy,
 )
 from ..memory import contains_directives
 
@@ -30,15 +31,18 @@ __all__ = ["build_model", "exploit_input", "benign_input", "pfsm_domains",
 OPERATION_1 = "Render the user-controlled window title"
 OPERATION_2 = "Dispatch the screen refresh through the handler pointer"
 
+#: Registered by name so sweep tasks over this model pickle across
+#: process boundaries (see repro.core.predspec).
 _no_directives = attr(
     "title",
-    Predicate(lambda t: not contains_directives(t),
-              "the title contains no format directives"),
+    named_predicate("title_no_directives",
+                    lambda t: not contains_directives(t),
+                    "the title contains no format directives"),
 )
 
 _handler_intact = attr(
     "handler_registered",
-    Predicate(bool, "the handler pointer names a registered handler"),
+    truthy("the handler pointer names a registered handler"),
 )
 
 

@@ -18,9 +18,10 @@ from ..core import (
     Domain,
     ModelBuilder,
     PfsmType,
-    Predicate,
     VulnerabilityModel,
     attr,
+    named_predicate,
+    truthy,
 )
 from ..memory import contains_directives
 
@@ -30,15 +31,18 @@ __all__ = ["build_model", "exploit_input", "benign_input", "pfsm_domains",
 OPERATION_1 = "Format the SITE EXEC arguments through lreply"
 OPERATION_2 = "Return from lreply"
 
+#: Registered by name so sweep tasks over this model pickle across
+#: process boundaries (see repro.core.predspec).
 _no_directives = attr(
     "args",
-    Predicate(lambda a: not contains_directives(a),
-              "the arguments contain no format directives"),
+    named_predicate("args_no_directives",
+                    lambda a: not contains_directives(a),
+                    "the arguments contain no format directives"),
 )
 
 _return_intact = attr(
     "return_address_unchanged",
-    Predicate(bool, "the return address is unchanged"),
+    truthy("the return address is unchanged"),
 )
 
 

@@ -27,9 +27,9 @@ from ..core import (
     Domain,
     ModelBuilder,
     PfsmType,
-    Predicate,
     VulnerabilityModel,
     attr,
+    named_predicate,
 )
 
 __all__ = [
@@ -42,15 +42,19 @@ __all__ = [
 
 OPERATION = "Writing the log file of user Tom"
 
-_permission_ok = Predicate(
+#: Registered by name so sweep tasks over this model pickle across
+#: process boundaries (see repro.core.predspec).
+_permission_ok = named_predicate(
+    "permission_ok",
     lambda obj: obj["has_write_permission"] and not obj["is_symlink_at_check"],
     "Tom has write permission and the file is not a symbolic link",
 )
 
 _binding_preserved = attr(
     "symlink_created_in_window",
-    Predicate(lambda created: not created,
-              "no symlink interposed before the open completes"),
+    named_predicate("no_symlink_in_window",
+                    lambda created: not created,
+                    "no symlink interposed before the open completes"),
 ).renamed("the filename still refers to the checked file")
 
 

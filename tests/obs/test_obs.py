@@ -269,7 +269,7 @@ class TestEngineTelemetry:
         hidden_witness_scan(pfsm, domain, limit=10, cache=cache)
         stats = cache.stats()
         assert set(stats) == {"hits", "misses", "evictions", "size",
-                              "maxsize", "hit_rate"}
+                              "maxsize", "hit_rate", "spec_hits"}
         assert stats["misses"] == 3  # 1, 2, 3 (repeat of 1 memoized per scan)
         assert stats["evictions"] == 1  # maxsize 2, three insertions
         assert stats["maxsize"] == 2 and stats["size"] == 2
