@@ -30,9 +30,13 @@ Packages
 ``repro.obs``
     Engine telemetry: hierarchical spans, counters/gauges, and pluggable
     sinks (memory, JSONL, console) behind a disabled-by-default registry.
+``repro.serve``
+    The analysis service: a resident asyncio server with admission
+    control, single-flight coalescing, micro-batched dispatch, a tiered
+    result cache, and graceful drain (``repro serve`` / ``repro query``).
 """
 
-from . import apps, bugtraq, core, defenses, memory, models, obs, osmodel
+from . import apps, bugtraq, core, defenses, memory, models, obs, osmodel, serve
 
 __version__ = "1.0.0"
 
@@ -45,5 +49,6 @@ __all__ = [
     "models",
     "obs",
     "osmodel",
+    "serve",
     "__version__",
 ]

@@ -29,7 +29,21 @@ Commands
     executor — process and queue run on the distributed scheduler in
     ``repro.core.dist`` — and ``--resume-from PATH`` reuses results
     recorded in a JSONL store keyed by model fingerprint and
-    predicate-spec hash.
+    predicate-spec hash.  ``--fail-on-witness`` exits nonzero when any
+    hidden-path witness is found, so CI can gate on "no hidden paths".
+``serve``
+    Run the long-lived analysis service (``repro.serve``): bounded
+    admission queue (``--max-depth``), micro-batching window
+    (``--batch-window``/``--max-batch``), engine backend/workers, an
+    optional JSONL result store (``--store``), and a graceful
+    SIGTERM/SIGINT drain.  ``GET /healthz`` and ``GET /metrics`` answer
+    on the same port.
+``query``
+    Client for ``repro serve``: query one or more models (or ``all``)
+    with per-request ``--deadline-ms``; ``--metrics`` prints the
+    server's metrics snapshot instead.  Exit code 0 = all ok, 2 = at
+    least one request was shed (overloaded/timeout/draining), 1 =
+    error.
 
 Every subcommand also understands the telemetry flags:
 
@@ -72,26 +86,9 @@ from .models import (
     all_extended_pfsm_domains as all_pfsm_domains,
     table2_grid,
 )
+from .serve.corpus import MODEL_KEYS as _MODEL_KEYS
 
 __all__ = ["main"]
-
-#: Short CLI keys for the modeled vulnerabilities (the paper's seven
-#: Table 2 rows plus the three additional named cases).
-_MODEL_KEYS: Dict[str, str] = {
-    "sendmail": "Sendmail Signed Integer Overflow",
-    "nullhttpd": "NULL HTTPD Heap Overflow",
-    "rwall": "Rwall File Corruption",
-    "iis": "IIS Filename Decoding Vulnerability",
-    "xterm": "Xterm File Race Condition",
-    "ghttpd": "GHTTPD Buffer Overflow on Stack",
-    "rpc_statd": "rpc.statd Format String Vulnerability",
-    "freebsd": "FreeBSD Signed Integer Buffer Overflow",
-    "rsync": "rsync Signed Array Index",
-    "wuftpd": "wu-ftpd SITE EXEC Format String",
-    "icecast": "icecast print_client() Format String",
-    "splitvt": "splitvt Format String Vulnerability",
-    "pathhijack": "Setuid Utility PATH Hijack",
-}
 
 
 def _resolve(key: str):
@@ -214,6 +211,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         resume_from=args.resume_from,
     )
     cache_stats = cache.stats() if cache is not None else None
+    total = sum(len(sweep.findings) for sweep in sweeps)
+    # --fail-on-witness: CI gates on "no hidden paths" via the exit code.
+    exit_code = 1 if args.fail_on_witness and total else 0
     if args.json:
         payload = {
             "models": [
@@ -233,16 +233,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 for sweep in sweeps
             ],
             "cache": cache_stats,
+            "total_findings": total,
         }
         print(json.dumps(payload, indent=2, default=str))
-        return 0
-    total = 0
+        return exit_code
     for sweep in sweeps:
         verdict = "VULNERABLE" if sweep.vulnerable else "clean"
         print(f"{sweep.model_name}: {verdict} "
               f"({len(sweep.findings)} hidden-path pFSMs)")
         for finding in sweep.findings:
-            total += 1
             sample = finding.witnesses[0] if finding.witnesses else None
             print(f"  - {finding.operation_name}/{finding.pfsm_name} "
                   f"({finding.activity}): e.g. {sample!r}")
@@ -254,7 +253,94 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{cache_stats['misses']} misses, "
               f"{cache_stats['evictions']} evictions "
               f"(hit rate {cache_stats['hit_rate']:.1%})")
+    if exit_code:
+        print("failing: hidden-path witnesses found (--fail-on-witness)")
+    return exit_code
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .serve import AnalysisServer, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        max_depth=args.max_depth,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        backend=args.backend,
+        store_path=args.store,
+    )
+    server = AnalysisServer(config)
+
+    async def run() -> None:
+        await server.start()
+        print(f"repro serve listening on {server.host}:{server.port} "
+              f"(backend={config.backend}, workers={config.workers}, "
+              f"depth={config.max_depth}, "
+              f"store={config.store_path or 'none'})", flush=True)
+        server.install_signal_handlers()
+        await server.serve_until_stopped()
+
+    asyncio.run(run())
+    served = server.stats.counter("requests.query")
+    shed = server.stats.counter("shed.overload") + \
+        server.stats.counter("shed.deadline") + \
+        server.stats.counter("shed.draining")
+    print(f"drained cleanly: {served} queries served, {shed} shed, "
+          f"{server.stats.counter('coalesced')} coalesced, "
+          f"{server.stats.counter('requests.cached')} cache-answered")
     return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .serve import SHED_STATUSES, STATUS_OK
+    from .serve.client import ServeClient
+
+    keys = list(_MODEL_KEYS) if args.models == ["all"] else args.models
+    saw_shed = saw_error = False
+    try:
+        with ServeClient(args.host, args.port, timeout=args.timeout) \
+                as client:
+            if args.metrics:
+                print(json.dumps(client.metrics(), indent=2))
+                return 0
+            for key in keys:
+                response = client.query(key, limit=args.limit,
+                                        deadline_ms=args.deadline_ms)
+                status = response.get("status")
+                saw_shed |= status in SHED_STATUSES
+                saw_error |= status not in SHED_STATUSES and \
+                    status != STATUS_OK
+                if args.json:
+                    print(json.dumps(response))
+                    continue
+                if status != STATUS_OK:
+                    print(f"{key}: {status} "
+                          f"({response.get('error', 'no detail')})")
+                    continue
+                verdict = ("VULNERABLE" if response["vulnerable"]
+                           else "clean")
+                origin = ("cached" if response.get("cached")
+                          else "coalesced" if response.get("coalesced")
+                          else "computed")
+                print(f"{response['model_name']}: {verdict} "
+                      f"({len(response['findings'])} hidden-path pFSMs, "
+                      f"{origin}, {response.get('elapsed_ms', '?')} ms)")
+                for finding in response["findings"]:
+                    sample = (finding["witnesses"][0]
+                              if finding["witnesses"] else None)
+                    print(f"  - {finding['operation']}/{finding['pfsm']} "
+                          f"({finding['activity']}): e.g. {sample!r}")
+    except (OSError, ConnectionError) as exc:
+        print(f"cannot reach repro serve at {args.host}:{args.port}: "
+              f"{exc}", file=sys.stderr)
+        return 1
+    if saw_error:
+        return 1
+    return 2 if saw_shed else 0
 
 
 def _cmd_table2(_args: argparse.Namespace) -> int:
@@ -394,8 +480,59 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the shared predicate memo cache")
     sweep.add_argument("--limit", type=int, default=5,
                        help="max witnesses recorded per pFSM")
+    sweep.add_argument("--fail-on-witness", action="store_true",
+                       help="exit nonzero if any hidden-path witness is "
+                            "found (CI gate)")
     sweep.add_argument("--json", action="store_true")
     sweep.set_defaults(fn=_cmd_sweep)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived analysis service (repro.serve)",
+        parents=[obs_flags],
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7337,
+                       help="TCP port (0 picks an ephemeral port, "
+                            "announced on stdout)")
+    serve.add_argument("--max-depth", type=int, default=64,
+                       help="admission queue bound; overflow is answered "
+                            "with status 'overloaded'")
+    serve.add_argument("--batch-window", type=float, default=0.01,
+                       metavar="SECONDS",
+                       help="how long the micro-batcher waits to coalesce "
+                            "and pack requests")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="max requests folded into one engine dispatch")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="engine workers per dispatch")
+    serve.add_argument("--backend", choices=("thread", "process", "queue"),
+                       default="thread",
+                       help="engine backend (process/queue keep a warm "
+                            "repro.core.dist pool)")
+    serve.add_argument("--store", metavar="PATH", default=None,
+                       help="JSONL result store for the cold cache tier "
+                            "(compatible with repro sweep --resume-from)")
+    serve.set_defaults(fn=_cmd_serve)
+
+    query = sub.add_parser(
+        "query", help="query a running repro serve instance",
+        parents=[obs_flags],
+    )
+    query.add_argument("models", nargs="*", default=["all"],
+                       help="model keys to query (default: all)")
+    query.add_argument("--host", default="127.0.0.1")
+    query.add_argument("--port", type=int, default=7337)
+    query.add_argument("--limit", type=int, default=5,
+                       help="max witnesses per pFSM")
+    query.add_argument("--deadline-ms", type=float, default=None,
+                       help="shed the request (status 'timeout') if it is "
+                            "still queued after this many milliseconds")
+    query.add_argument("--timeout", type=float, default=60.0,
+                       help="client socket timeout in seconds")
+    query.add_argument("--metrics", action="store_true",
+                       help="print the server metrics snapshot and exit")
+    query.add_argument("--json", action="store_true")
+    query.set_defaults(fn=_cmd_query)
 
     return parser
 

@@ -62,7 +62,10 @@ __all__ = [
     "domain_digest",
     "task_key",
     "run_tasks",
+    "memo_lookup",
+    "memo_store",
     "clear_memo",
+    "prewarm",
     "shutdown_pool",
     "reset",
 ]
@@ -215,10 +218,40 @@ class ResultStore:
     re-recording a key supersedes, no compaction needed); malformed
     lines are skipped and counted (``dist.store.malformed``), keeping a
     store that died mid-write usable for resume.
+
+    A process that crashes mid-append leaves a truncated trailing line
+    with no newline.  Both halves of the failure are tolerated: ``load``
+    skips the partial tail (counted as ``dist.store.truncated``, with an
+    event naming the path), and the append paths heal the file by
+    prefixing a newline before the next record — without the repair,
+    the next append would glue onto the partial line and silently
+    swallow one valid record.
     """
 
     def __init__(self, path: Any) -> None:
         self.path = str(path)
+
+    def _tail_truncated(self) -> bool:
+        """Does the file end mid-record (non-empty, no final newline)?"""
+        import os
+
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (OSError, ValueError):
+            return False  # missing or empty file
+
+    def _append_prefix(self) -> str:
+        """``"\\n"`` when the previous append died mid-line, else ``""``
+        (counting and reporting the repair)."""
+        if not self._tail_truncated():
+            return ""
+        if _OBS.enabled:
+            _OBS.incr("dist.store.truncated")
+            _OBS.event("dist.store.truncated", path=self.path,
+                       action="repaired")
+        return "\n"
 
     def load(self) -> Dict[str, Optional[SweepFinding]]:
         """Every stored ``key → finding`` (``None`` = scanned, clean)."""
@@ -229,17 +262,26 @@ class ResultStore:
         if not os.path.exists(self.path):
             return results
         with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
+            raw = handle.read()
+        truncated_tail = bool(raw) and not raw.endswith("\n")
+        lines = raw.split("\n")
+        for position, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key = record["key"]
+                results[key] = _decode_finding(record["finding"])
+            except Exception:
+                if not _OBS.enabled:
                     continue
-                try:
-                    record = json.loads(line)
-                    key = record["key"]
-                    results[key] = _decode_finding(record["finding"])
-                except Exception:
-                    if _OBS.enabled:
-                        _OBS.incr("dist.store.malformed")
+                if truncated_tail and position == len(lines) - 1:
+                    _OBS.incr("dist.store.truncated")
+                    _OBS.event("dist.store.truncated", path=self.path,
+                               action="skipped")
+                else:
+                    _OBS.incr("dist.store.malformed")
         return results
 
     def record(self, key: str, finding: Optional[SweepFinding]) -> bool:
@@ -253,10 +295,13 @@ class ResultStore:
             if _OBS.enabled:
                 _OBS.incr("dist.store.unencodable")
             return False
+        prefix = self._append_prefix()
         with open(self.path, "a", encoding="utf-8") as handle:
             # No sort_keys: record-shaped witnesses must round-trip with
             # their field order intact.
-            handle.write(json.dumps({"key": key, "finding": payload}) + "\n")
+            handle.write(
+                prefix + json.dumps({"key": key, "finding": payload}) + "\n"
+            )
         return True
 
     def record_many(
@@ -276,8 +321,9 @@ class ResultStore:
             # No sort_keys: see record().
             lines.append(json.dumps({"key": key, "finding": payload}))
         if lines:
+            prefix = self._append_prefix()
             with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write("\n".join(lines) + "\n")
+                handle.write(prefix + "\n".join(lines) + "\n")
         return len(lines)
 
 
@@ -304,6 +350,27 @@ def _memo_put(key: str, finding: Optional[SweepFinding]) -> None:
         _RESULT_MEMO.move_to_end(key)
         while len(_RESULT_MEMO) > _MEMO_MAX:
             _RESULT_MEMO.popitem(last=False)
+
+
+def memo_lookup(key: str) -> Tuple[bool, Optional[SweepFinding]]:
+    """``(hit, finding)`` for one fingerprint key in the warm tier.
+
+    The public face of the in-process result memo, shared with external
+    front-ends (the :mod:`repro.serve` tiered cache): a hit refreshes
+    the key's LRU position exactly like scheduler-internal reuse, and
+    ``None`` findings ("scanned, clean") are distinguishable from
+    misses by the boolean.
+    """
+    found = _memo_get(key)
+    if found is _PENDING:
+        return False, None
+    return True, found
+
+
+def memo_store(key: str, finding: Optional[SweepFinding]) -> None:
+    """Install one fingerprint-keyed result into the warm tier, making
+    it visible to every scheduler and service sharing this process."""
+    _memo_put(key, finding)
 
 
 def clear_memo() -> None:
@@ -337,6 +404,16 @@ def _get_pool(workers: int) -> ProcessPoolExecutor:
         if _OBS.enabled:
             _OBS.incr("dist.pool.created")
         return _POOL
+
+
+def prewarm(workers: int) -> None:
+    """Spin up the warm pool ahead of the first sweep.
+
+    Long-running front-ends (``repro serve``) call this at startup so
+    the fork/spawn cost is paid before readiness is reported, not inside
+    the first client request.
+    """
+    _get_pool(workers)
 
 
 def shutdown_pool() -> None:

@@ -1,0 +1,89 @@
+"""repro.serve — the long-running, batched analysis service.
+
+The ROADMAP's serving step: instead of paying pool spin-up, corpus
+construction, and predicate evaluation per CLI invocation, a resident
+asyncio server keeps the engine warm and answers "does model X have a
+hidden path?" queries over a line-delimited JSON protocol, with a thin
+HTTP façade for ``/healthz`` and ``/metrics``.
+
+The pipeline, front to back:
+
+* :mod:`~repro.serve.protocol` — the wire format and status contract
+  (explicit ``overloaded``/``timeout``/``draining`` refusals, never
+  unbounded waits);
+* :mod:`~repro.serve.admission` — the bounded request queue with
+  per-request deadlines (admission control);
+* :mod:`~repro.serve.batcher` — single-flight coalescing by request
+  fingerprint plus micro-batched, task-deduplicated dispatch to the
+  engine (thread executor or the warm :mod:`repro.core.dist` pool);
+* :mod:`~repro.serve.cache` — the tiered result cache: the scheduler's
+  in-process fingerprint memo (warm) over an optional JSONL
+  :class:`~repro.core.dist.ResultStore` (cold, shared with
+  ``repro sweep --resume-from``);
+* :mod:`~repro.serve.server` — lifecycle (starting → ready → draining
+  → stopped), graceful SIGTERM drain, the HTTP façade, and the
+  :class:`~repro.serve.server.ServerThread` embedding;
+* :mod:`~repro.serve.client` — the small synchronous client the CLI,
+  tests, and ``benchmarks/bench_serve.py`` drive the server with;
+* :mod:`~repro.serve.stats` — always-on service counters/gauges and
+  latency percentiles, mirrored to :mod:`repro.obs` as ``serve.*``.
+
+CLI: ``repro serve`` runs the server; ``repro query`` is the client.
+"""
+
+from .admission import AdmissionQueue, AdmittedRequest
+from .batcher import MicroBatcher
+from .cache import TieredResultCache
+from .client import ServeClient, wait_until_ready
+from .corpus import MODEL_KEYS, AnalysisCorpus, ExpandedQuery
+from .protocol import (
+    ProtocolError,
+    SHED_STATUSES,
+    STATUS_DRAINING,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_TIMEOUT,
+    decode_request,
+    encode_line,
+)
+from .server import (
+    DRAINING,
+    READY,
+    STARTING,
+    STOPPED,
+    AnalysisServer,
+    ServeConfig,
+    ServerThread,
+)
+from .stats import LatencyWindow, ServeStats
+
+__all__ = [
+    "AdmissionQueue",
+    "AdmittedRequest",
+    "MicroBatcher",
+    "TieredResultCache",
+    "ServeClient",
+    "wait_until_ready",
+    "MODEL_KEYS",
+    "AnalysisCorpus",
+    "ExpandedQuery",
+    "ProtocolError",
+    "SHED_STATUSES",
+    "STATUS_OK",
+    "STATUS_OVERLOADED",
+    "STATUS_TIMEOUT",
+    "STATUS_DRAINING",
+    "STATUS_ERROR",
+    "decode_request",
+    "encode_line",
+    "AnalysisServer",
+    "ServeConfig",
+    "ServerThread",
+    "STARTING",
+    "READY",
+    "DRAINING",
+    "STOPPED",
+    "LatencyWindow",
+    "ServeStats",
+]

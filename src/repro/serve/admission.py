@@ -1,0 +1,109 @@
+"""Admission control: the bounded request queue.
+
+The queue is the server's only buffer, and it is *bounded*: when the
+batcher falls behind and the queue fills, :meth:`AdmissionQueue.offer`
+refuses immediately and the caller answers ``overloaded`` — the client
+gets an explicit refusal in microseconds instead of a response whose
+latency grows without bound.  Depth is the knob that trades queueing
+latency for shed rate.
+
+Per-request deadlines ride on the queued item: an
+:class:`AdmittedRequest` whose ``deadline_at`` passed while it waited is
+shed (status ``timeout``) by the batcher at dequeue time, so a burst
+cannot make old requests consume compute their clients have already
+given up on.
+
+The implementation is asyncio-native and single-consumer (the batcher),
+multi-producer (connection handlers — all on the event loop thread).
+``close()`` starts drain semantics: no further offers are accepted, and
+``get`` returns ``None`` once the backlog is fully consumed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["AdmittedRequest", "AdmissionQueue"]
+
+
+@dataclass
+class AdmittedRequest:
+    """One admitted query waiting for (or undergoing) dispatch."""
+
+    query: Any  # ExpandedQuery
+    future: "asyncio.Future[Any]"
+    enqueued_at: float  # loop.time() at admission
+    deadline_at: Optional[float] = None  # loop.time() bound, or None
+    #: Per-task result tokens, filled at batch-formation time.
+    tokens: list = field(default_factory=list)
+
+    def expired(self, now: float) -> bool:
+        return self.deadline_at is not None and now > self.deadline_at
+
+
+class AdmissionQueue:
+    """Bounded FIFO with refuse-on-full offers and closeable drain."""
+
+    def __init__(self, max_depth: int) -> None:
+        if max_depth <= 0:
+            raise ValueError("max_depth must be positive")
+        self.max_depth = max_depth
+        self._items: "deque[Any]" = deque()
+        self._closed = False
+        self._event: Optional[asyncio.Event] = None
+
+    def _signal(self) -> asyncio.Event:
+        # Created lazily so the queue can be constructed off-loop.
+        if self._event is None:
+            self._event = asyncio.Event()
+        return self._event
+
+    def depth(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def offer(self, item: Any) -> bool:
+        """Admit ``item`` or refuse (``False``) — full or closed queues
+        never block the caller."""
+        if self._closed or len(self._items) >= self.max_depth:
+            return False
+        self._items.append(item)
+        self._signal().set()
+        return True
+
+    def get_nowait(self) -> Optional[Any]:
+        """Pop the head if one is ready (``None`` otherwise)."""
+        if self._items:
+            item = self._items.popleft()
+            if not self._items:
+                self._signal().clear()
+            return item
+        return None
+
+    async def get(self) -> Optional[Any]:
+        """Await the next item; ``None`` means closed *and* drained.
+
+        Cancellation-safe: an item is only removed atomically after the
+        wait completes, so a timed-out waiter (``asyncio.wait_for``)
+        never loses work.
+        """
+        while True:
+            item = self.get_nowait()
+            if item is not None:
+                return item
+            if self._closed:
+                return None
+            await self._signal().wait()
+            # Loop: the event may have been set by close() or the item
+            # may already be consumed in a race with get_nowait callers.
+
+    def close(self) -> None:
+        """Refuse all future offers; wake the consumer to drain."""
+        self._closed = True
+        self._signal().set()

@@ -1,0 +1,315 @@
+"""The micro-batcher: single-flight coalescing + batched dispatch.
+
+Three mechanisms stack between admission and the engine:
+
+**Single-flight coalescing.**  Every query has a request fingerprint
+(model key + limit + per-task ``sweep_task_fingerprint``s — see
+:mod:`repro.serve.corpus`).  The first request with a given fingerprint
+is the *leader*; identical requests arriving while the leader is in
+flight attach to the leader's future instead of being admitted again —
+they consume no queue depth and no compute, and every waiter receives
+the leader's response (including its sheds; a coalesced request shares
+its leader's fate).
+
+**Cache fast path.**  A query whose every task key hits the tiered
+cache is answered inline — it never touches the queue, so warm traffic
+cannot crowd out cold traffic at admission.
+
+**Batched, deduplicated dispatch.**  The batcher claims a batch from
+the admission queue (up to ``max_batch`` requests or ``batch_window``
+seconds, whichever first), expires overdue deadlines, dedupes the
+union of their tasks by fingerprint key (two *different* requests that
+share a pFSM×domain compute it once), and hands the remaining unique
+tasks to the engine in one dispatch — the thread executor shares the
+process-wide predicate cache; the process backend rides the warm
+:mod:`repro.core.dist` pool, whose LPT chunker size-balances the batch
+across workers.  One dispatch runs at a time: while it computes, new
+identical requests coalesce and new distinct requests accumulate into
+the next batch (or shed, once the queue fills — that is admission
+control doing its job).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from functools import partial
+from typing import Any, Dict, List, Optional
+
+from ..core.sweep import NO_CACHE, _run_tasks, shared_cache
+from ..obs import DEFAULT as _OBS
+from .admission import AdmissionQueue, AdmittedRequest
+from .protocol import (
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_TIMEOUT,
+    finding_payload,
+)
+
+__all__ = ["MicroBatcher"]
+
+#: Token placeholder for "scheduled for compute in this batch".
+_PENDING = object()
+
+
+def _engine_compute(tasks: List[Any], keys: List[Optional[str]],
+                    workers: int, backend: str) -> List[Any]:
+    """The default compute function: one engine dispatch (runs on an
+    executor thread, never the event loop)."""
+    if backend in ("process", "queue"):
+        # Worker processes keep their own predicate caches; the keys
+        # let the dist scheduler memoize by fingerprint as well.
+        return _run_tasks(tasks, workers, backend, cache=NO_CACHE,
+                          keys=keys)
+    return _run_tasks(tasks, workers, "thread", cache=shared_cache())
+
+
+class MicroBatcher:
+    """Coalesces, batches, and dispatches admitted queries.
+
+    Construct and :meth:`start` on the event loop; submit from
+    connection handlers; :meth:`stop` drains the backlog and returns
+    once every admitted request has been resolved.
+    """
+
+    def __init__(
+        self,
+        cache: Any,
+        stats: Any,
+        *,
+        max_depth: int = 64,
+        batch_window: float = 0.01,
+        max_batch: int = 16,
+        workers: int = 2,
+        backend: str = "thread",
+        compute_fn: Any = None,
+    ) -> None:
+        self._cache = cache
+        self._stats = stats
+        self._queue = AdmissionQueue(max_depth)
+        self._batch_window = batch_window
+        self._max_batch = max(1, max_batch)
+        self._workers = max(1, workers)
+        self._backend = backend
+        self._compute_fn = compute_fn or partial(
+            _engine_compute, workers=self._workers, backend=backend,
+        )
+        self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
+        self._task: Optional["asyncio.Task[Any]"] = None
+        self._serial = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the batch loop on the running event loop."""
+        self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Close admission, drain the backlog, flush the cold store."""
+        self._queue.close()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        self._cache.flush()
+
+    def queue_depth(self) -> int:
+        return self._queue.depth()
+
+    def inflight_count(self) -> int:
+        return len(self._inflight)
+
+    # -- the request path --------------------------------------------------
+
+    async def submit(self, query: Any,
+                     deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+        """Resolve one expanded query to a response payload.
+
+        Fast paths (coalesce, full cache hit) answer inline; otherwise
+        the query is admitted (or refused) and awaited.  The returned
+        dict is freshly owned by the caller.
+        """
+        loop = asyncio.get_running_loop()
+        fingerprint = query.fingerprint
+
+        leader = self._inflight.get(fingerprint)
+        if leader is not None:
+            self._stats.incr("coalesced")
+            response = dict(await leader)
+            response["coalesced"] = True
+            return response
+
+        cached = self._lookup_all(query)
+        if cached is not None:
+            self._stats.incr("requests.cached")
+            cached["cached"] = True
+            return cached
+
+        now = loop.time()
+        item = AdmittedRequest(
+            query=query,
+            future=loop.create_future(),
+            enqueued_at=now,
+            deadline_at=(now + deadline_ms / 1000.0)
+            if deadline_ms is not None else None,
+        )
+        # No awaits between registering the leader and offering — the
+        # single-flight map and the queue stay consistent.
+        self._inflight[fingerprint] = item.future
+        if not self._queue.offer(item):
+            del self._inflight[fingerprint]
+            self._stats.incr("shed.overload")
+            return {
+                "status": STATUS_OVERLOADED,
+                "model": query.model_key,
+                "error": f"admission queue full "
+                         f"(depth {self._queue.max_depth})",
+            }
+        self._stats.incr("admitted")
+        self._stats.gauge("queue.depth", self._queue.depth())
+        return dict(await item.future)
+
+    def _lookup_all(self, query: Any) -> Optional[Dict[str, Any]]:
+        """The full response if *every* task key is cached, else None
+        (recording tier hits only on full success — partial probes are
+        re-counted at batch time)."""
+        if not query.task_keys or any(k is None for k in query.task_keys):
+            return None if query.task_keys else self._ok_response(query, [])
+        findings = []
+        tiers = []
+        for key in query.task_keys:
+            tier, finding = self._cache.lookup(key)
+            if tier is None:
+                return None
+            tiers.append(tier)
+            findings.append(finding)
+        for tier in tiers:
+            self._stats.incr(f"cache.{tier}_hits")
+        return self._ok_response(query, findings)
+
+    def _ok_response(self, query: Any, findings: List[Any]) -> Dict[str, Any]:
+        present = [f for f in findings if f is not None]
+        return {
+            "status": STATUS_OK,
+            "model": query.model_key,
+            "model_name": query.model_name,
+            "limit": query.limit,
+            "vulnerable": bool(present),
+            "findings": [finding_payload(f) for f in present],
+            "cached": False,
+            "coalesced": False,
+        }
+
+    def _resolve(self, item: AdmittedRequest,
+                 response: Dict[str, Any]) -> None:
+        # Drop the single-flight entry *before* resolving so a request
+        # arriving after resolution starts fresh (and hits the cache).
+        self._inflight.pop(item.query.fingerprint, None)
+        if not item.future.done():
+            item.future.set_result(response)
+
+    # -- the batch loop ----------------------------------------------------
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            if first is None:
+                break
+            batch = [first]
+            window_end = loop.time() + self._batch_window
+            while len(batch) < self._max_batch:
+                remaining = window_end - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(),
+                                                 remaining)
+                except asyncio.TimeoutError:
+                    break
+                if nxt is None:
+                    break
+                batch.append(nxt)
+            await self._process(batch)
+            self._stats.gauge("queue.depth", self._queue.depth())
+        self._cache.flush()
+
+    async def _process(self, batch: List[AdmittedRequest]) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live: List[AdmittedRequest] = []
+        for item in batch:
+            if item.expired(now):
+                self._stats.incr("shed.deadline")
+                self._resolve(item, {
+                    "status": STATUS_TIMEOUT,
+                    "model": item.query.model_key,
+                    "error": "deadline expired while queued",
+                })
+            else:
+                live.append(item)
+        if not live:
+            return
+
+        # Union the batch's tasks, deduped by fingerprint key; keyless
+        # tasks get a unique token and always compute.
+        resolved: Dict[Any, Any] = {}
+        compute_tasks: List[Any] = []
+        compute_tokens: List[Any] = []
+        compute_keys: List[Optional[str]] = []
+        for item in live:
+            item.tokens = []
+            for task, key in zip(item.query.tasks, item.query.task_keys):
+                if key is None:
+                    self._serial += 1
+                    token: Any = ("!", self._serial)
+                else:
+                    token = key
+                item.tokens.append(token)
+                if token in resolved:
+                    continue
+                if key is not None:
+                    tier, finding = self._cache.lookup(key)
+                    if tier is not None:
+                        self._stats.incr(f"cache.{tier}_hits")
+                        resolved[token] = finding
+                        continue
+                    self._stats.incr("cache.misses")
+                resolved[token] = _PENDING
+                compute_tasks.append(task)
+                compute_tokens.append(token)
+                compute_keys.append(key)
+
+        self._stats.incr("batches")
+        self._stats.incr("batch.requests", len(live))
+        self._stats.incr("batch.tasks", len(compute_tasks))
+        if _OBS.enabled:
+            _OBS.event("serve.batch", requests=len(live),
+                       unique_tasks=len(compute_tasks),
+                       queue_depth=self._queue.depth())
+
+        if compute_tasks:
+            try:
+                findings = await loop.run_in_executor(
+                    None, partial(self._compute_fn, compute_tasks,
+                                  compute_keys),
+                )
+            except Exception as exc:  # engine failure, not protocol
+                self._stats.incr("errors.compute")
+                for item in live:
+                    self._resolve(item, {
+                        "status": "error",
+                        "model": item.query.model_key,
+                        "error": f"analysis failed: {exc!r}",
+                    })
+                return
+            for token, key, finding in zip(compute_tokens, compute_keys,
+                                           findings):
+                resolved[token] = finding
+                if key is not None:
+                    self._cache.insert(key, finding)
+            self._cache.flush()
+
+        for item in live:
+            findings = [resolved[token] for token in item.tokens]
+            response = self._ok_response(item.query, findings)
+            self._stats.incr("requests.computed")
+            self._resolve(item, response)

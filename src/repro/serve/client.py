@@ -1,0 +1,91 @@
+"""A small synchronous client for the analysis service.
+
+Used by the CLI (``repro query``), the test suite, and the serve
+benchmark.  One client wraps one connection and is internally locked,
+so sharing an instance across threads serializes its requests — for
+concurrent load (and for coalescing to have anything to coalesce), give
+each thread its own client.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from .protocol import MAX_LINE
+
+__all__ = ["ServeClient", "wait_until_ready"]
+
+
+class ServeClient:
+    """Blocking line-JSON client over one TCP connection."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._serial = 0
+
+    def request(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object, return its response object."""
+        with self._lock:
+            if payload.get("id") is None:
+                self._serial += 1
+                payload = dict(payload, id=self._serial)
+            self._file.write(
+                (json.dumps(payload, separators=(",", ":")) + "\n")
+                .encode("utf-8"))
+            self._file.flush()
+            line = self._file.readline(MAX_LINE)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def query(self, model: str, limit: int = 5,
+              deadline_ms: Optional[float] = None,
+              request_id: Any = None) -> Dict[str, Any]:
+        """Hidden-path analysis of one model (see the protocol doc)."""
+        payload: Dict[str, Any] = {"op": "query", "model": model,
+                                   "limit": limit, "id": request_id}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return self.request(payload)
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's counters/gauges/latency snapshot."""
+        return self.request({"op": "metrics"})["metrics"]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+def wait_until_ready(host: str, port: int, timeout: float = 30.0,
+                     interval: float = 0.05) -> bool:
+    """Poll until the server answers a ping with state ``ready``."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(host, port, timeout=5.0) as client:
+                if client.ping().get("state") == "ready":
+                    return True
+        except (OSError, ValueError):
+            pass
+        time.sleep(interval)
+    return False

@@ -1,0 +1,131 @@
+"""The served corpus: query keys, task expansion, request fingerprints.
+
+A query names a model by its short key (the same keys the CLI has
+always used — ``sendmail``, ``nullhttpd``, ...).  This module owns that
+key → label mapping and turns ``(key, limit)`` into the engine's sweep
+task shape once, memoizing the expansion: the corpus is fixed for the
+server's lifetime, so task tuples, per-task fingerprint keys
+(:func:`repro.core.dist.task_key`) and the request-level fingerprint are
+all computed on first use and reused for every later request.
+
+The request fingerprint folds the model key, the witness limit, and
+every task's :func:`~repro.core.serialize.sweep_task_fingerprint` into
+one digest — it is the single-flight coalescing identity in
+:mod:`repro.serve.batcher`: two requests with the same fingerprint are
+provably the same computation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core import dist
+from ..core.predspec import spec_digest
+
+__all__ = ["MODEL_KEYS", "ExpandedQuery", "AnalysisCorpus"]
+
+#: Short CLI/service keys for the modeled vulnerabilities (the paper's
+#: seven Table 2 rows plus the additional named cases).
+MODEL_KEYS: Dict[str, str] = {
+    "sendmail": "Sendmail Signed Integer Overflow",
+    "nullhttpd": "NULL HTTPD Heap Overflow",
+    "rwall": "Rwall File Corruption",
+    "iis": "IIS Filename Decoding Vulnerability",
+    "xterm": "Xterm File Race Condition",
+    "ghttpd": "GHTTPD Buffer Overflow on Stack",
+    "rpc_statd": "rpc.statd Format String Vulnerability",
+    "freebsd": "FreeBSD Signed Integer Buffer Overflow",
+    "rsync": "rsync Signed Array Index",
+    "wuftpd": "wu-ftpd SITE EXEC Format String",
+    "icecast": "icecast print_client() Format String",
+    "splitvt": "splitvt Format String Vulnerability",
+    "pathhijack": "Setuid Utility PATH Hijack",
+}
+
+
+@dataclass(frozen=True)
+class ExpandedQuery:
+    """One model query lowered to engine terms, ready to dispatch."""
+
+    model_key: str
+    model_name: str
+    limit: int
+    #: ``(model_name, operation_name, pfsm, domain, limit)`` tuples.
+    tasks: Tuple[Any, ...]
+    #: Per-task fingerprint keys (``None`` = no stable identity).
+    task_keys: Tuple[Optional[str], ...]
+    #: The request-level single-flight / cache identity.
+    fingerprint: str = field(compare=False)
+
+
+class AnalysisCorpus:
+    """The fixed model/domain set one server instance answers over."""
+
+    def __init__(
+        self,
+        models: Optional[Dict[str, Any]] = None,
+        domains: Optional[Dict[str, Any]] = None,
+        keys: Optional[Dict[str, str]] = None,
+    ) -> None:
+        if models is None or domains is None:
+            from ..models import (
+                all_extended_models,
+                all_extended_pfsm_domains,
+            )
+
+            models = all_extended_models() if models is None else models
+            domains = (all_extended_pfsm_domains() if domains is None
+                       else domains)
+        self._models = models
+        self._domains = domains
+        self._keys = dict(keys if keys is not None else MODEL_KEYS)
+        self._expanded: Dict[Tuple[str, int], ExpandedQuery] = {}
+        self._lock = threading.Lock()
+
+    def keys(self) -> List[str]:
+        """Every servable model key, in registration order."""
+        return list(self._keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def expand(self, key: str, limit: int) -> ExpandedQuery:
+        """The memoized task expansion of ``(key, limit)``.
+
+        Raises :class:`KeyError` for unknown model keys.
+        """
+        memo_key = (key, limit)
+        with self._lock:
+            cached = self._expanded.get(memo_key)
+        if cached is not None:
+            return cached
+        label = self._keys.get(key)
+        if label is None:
+            raise KeyError(key)
+        model = self._models[label]
+        model_domains = self._domains.get(label, {})
+        tasks: List[Any] = []
+        task_keys: List[Optional[str]] = []
+        for operation, pfsm in model.all_pfsms():
+            domain = model_domains.get(pfsm.name)
+            if domain is None:
+                continue
+            task = (model.name, operation.name, pfsm, domain, limit)
+            tasks.append(task)
+            task_keys.append(dist.task_key(model, task))
+        fingerprint = spec_digest(
+            ["serve.query", key, limit,
+             [k if k is not None else "" for k in task_keys]]
+        )
+        expanded = ExpandedQuery(
+            model_key=key,
+            model_name=model.name,
+            limit=limit,
+            tasks=tuple(tasks),
+            task_keys=tuple(task_keys),
+            fingerprint=fingerprint,
+        )
+        with self._lock:
+            return self._expanded.setdefault(memo_key, expanded)

@@ -1,0 +1,369 @@
+"""The long-running analysis server: lifecycle, connections, drain.
+
+A single asyncio event loop front-ends the engine.  Each connection
+speaks the line-JSON protocol of :mod:`repro.serve.protocol` — except
+that a first line starting with an HTTP method gets the thin HTTP
+façade instead: ``GET /healthz`` (readiness: 200 while ``ready``, 503
+otherwise; always includes liveness) and ``GET /metrics`` (the
+counters/gauges/latency snapshot), so orchestration probes need no
+custom client.
+
+Lifecycle is a strict state machine::
+
+    starting → ready → draining → stopped
+
+``drain()`` (wired to SIGTERM/SIGINT by the CLI) is the graceful half
+of the contract: the listener closes (no new connections), requests
+arriving on open connections are answered with status ``draining``
+(an explicit response, never a dropped byte), the admission queue is
+closed and the batcher finishes every admitted request, the cold store
+is flushed, and only then — after in-flight responses hit their
+sockets and clients close, bounded by a grace period — does the server
+stop.  ``zero dropped responses`` is the invariant the serve benchmark
+measures.
+
+Embedding: :class:`ServerThread` runs the whole thing on a daemon
+thread for tests and benchmarks; ``repro serve`` runs it on the main
+thread with signal handlers installed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Set
+
+from ..core import dist
+from ..obs import DEFAULT as _OBS
+from .batcher import MicroBatcher
+from .cache import TieredResultCache
+from .corpus import AnalysisCorpus
+from .protocol import (
+    MAX_LINE,
+    ProtocolError,
+    STATUS_DRAINING,
+    STATUS_ERROR,
+    STATUS_OK,
+    decode_request,
+    encode_line,
+)
+from .stats import ServeStats
+
+__all__ = ["ServeConfig", "AnalysisServer", "ServerThread",
+           "STARTING", "READY", "DRAINING", "STOPPED"]
+
+STARTING = "starting"
+READY = "ready"
+DRAINING = "draining"
+STOPPED = "stopped"
+
+
+@dataclass
+class ServeConfig:
+    """Every serving knob in one place (the CLI maps flags 1:1)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is announced
+    max_depth: int = 64  # admission queue bound
+    batch_window: float = 0.01  # seconds the batcher waits to coalesce
+    max_batch: int = 16  # requests per dispatch
+    workers: int = 2
+    backend: str = "thread"  # thread | process | queue
+    store_path: Optional[str] = None  # cold-tier JSONL (optional)
+    max_limit: int = 1000  # witness-limit clamp per query
+    drain_grace: float = 5.0  # seconds to wait for sockets to flush
+
+
+class AnalysisServer:
+    """One corpus, one admission queue, one batcher, one event loop."""
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 corpus: Optional[AnalysisCorpus] = None) -> None:
+        self.config = config or ServeConfig()
+        self.corpus = corpus or AnalysisCorpus()
+        self.stats = ServeStats()
+        self.cache = TieredResultCache(self.config.store_path,
+                                       stats=self.stats)
+        self.state = STARTING
+        self.host = self.config.host
+        self.port: Optional[int] = None
+        self.batcher: Optional[MicroBatcher] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._conn_tasks: Set["asyncio.Task[Any]"] = set()
+        self._pending_responses = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind, warm up, and report ready.  Must run on the loop that
+        will serve."""
+        self._stopped = asyncio.Event()
+        if self.config.backend in ("process", "queue"):
+            # Pay fork/spawn cost before readiness, not inside the
+            # first request.
+            dist.prewarm(self.config.workers)
+        self.batcher = MicroBatcher(
+            self.cache,
+            self.stats,
+            max_depth=self.config.max_depth,
+            batch_window=self.config.batch_window,
+            max_batch=self.config.max_batch,
+            workers=self.config.workers,
+            backend=self.config.backend,
+        )
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.config.host, self.config.port,
+            limit=MAX_LINE,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.state = READY
+        if _OBS.enabled:
+            _OBS.event("serve.started", host=self.host, port=self.port,
+                       backend=self.config.backend,
+                       store=bool(self.config.store_path))
+
+    async def serve_until_stopped(self) -> None:
+        """Block until :meth:`drain` completes, then reap connections."""
+        assert self._stopped is not None, "start() first"
+        await self._stopped.wait()
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new work, finish admitted work,
+        flush the store, release waiters."""
+        if self.state in (DRAINING, STOPPED):
+            return
+        self.state = DRAINING
+        self.stats.incr("lifecycle.drains")
+        if _OBS.enabled:
+            _OBS.event("serve.drain", phase="begin",
+                       queue_depth=self.batcher.queue_depth()
+                       if self.batcher else 0)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.batcher is not None:
+            await self.batcher.stop()  # runs the backlog dry, flushes
+        # Let in-flight responses reach their sockets and clients hang
+        # up on their own; the grace bound keeps shutdown finite even
+        # against a client that never closes.
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_grace
+        while loop.time() < deadline:
+            if self._pending_responses == 0 and not self._conn_tasks:
+                break
+            await asyncio.sleep(0.01)
+        self.cache.flush()
+        self.state = STOPPED
+        if _OBS.enabled:
+            _OBS.event("serve.drain", phase="complete")
+        if self._stopped is not None:
+            self._stopped.set()
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → drain (where the platform allows it)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: asyncio.ensure_future(self.drain()))
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix event loops
+
+    # -- metrics -----------------------------------------------------------
+
+    def metrics(self) -> Dict[str, Any]:
+        snapshot = self.stats.snapshot()
+        snapshot["state"] = self.state
+        snapshot["queue_depth"] = (self.batcher.queue_depth()
+                                   if self.batcher is not None else 0)
+        snapshot["inflight"] = (self.batcher.inflight_count()
+                                if self.batcher is not None else 0)
+        snapshot["store_keys"] = self.cache.store_keys
+        snapshot["config"] = {
+            "max_depth": self.config.max_depth,
+            "batch_window": self.config.batch_window,
+            "max_batch": self.config.max_batch,
+            "workers": self.config.workers,
+            "backend": self.config.backend,
+        }
+        return snapshot
+
+    # -- connections -------------------------------------------------------
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        self.stats.incr("connections")
+        try:
+            raw = await reader.readline()
+            if not raw:
+                return
+            first = raw.decode("utf-8", "replace").rstrip("\r\n")
+            if first.split(" ", 1)[0] in ("GET", "HEAD", "POST"):
+                await self._serve_http(first, reader, writer)
+                return
+            line: Optional[str] = first
+            while True:
+                if line:
+                    self._pending_responses += 1
+                    try:
+                        response = await self._dispatch(line)
+                        writer.write(encode_line(response))
+                        await writer.drain()
+                    finally:
+                        self._pending_responses -= 1
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8", "replace").strip()
+        except (ConnectionError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError):
+            self.stats.incr("connections.aborted")
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _dispatch(self, line: str) -> Dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        try:
+            request = decode_request(line)
+        except ProtocolError as exc:
+            self.stats.incr("errors.protocol")
+            return {"id": None, "status": STATUS_ERROR, "error": str(exc)}
+        rid = request.get("id")
+        op = request["op"]
+        if op == "ping":
+            return {"id": rid, "status": STATUS_OK, "op": "ping",
+                    "state": self.state}
+        if op == "metrics":
+            return {"id": rid, "status": STATUS_OK, "op": "metrics",
+                    "metrics": self.metrics()}
+        self.stats.incr("requests.query")
+        if self.state != READY:
+            self.stats.incr("shed.draining")
+            return {"id": rid, "status": STATUS_DRAINING,
+                    "error": "server is draining; no new work admitted"}
+        try:
+            query = self.corpus.expand(
+                request["model"],
+                min(request["limit"], self.config.max_limit),
+            )
+        except KeyError:
+            self.stats.incr("errors.request")
+            return {"id": rid, "status": STATUS_ERROR,
+                    "error": f"unknown model {request['model']!r}",
+                    "models": self.corpus.keys()}
+        assert self.batcher is not None
+        response = await self.batcher.submit(query, request["deadline_ms"])
+        response["id"] = rid
+        elapsed = loop.time() - started
+        response["elapsed_ms"] = round(elapsed * 1000.0, 3)
+        if response["status"] == STATUS_OK:
+            self.stats.record_latency(elapsed)
+        return response
+
+    async def _serve_http(self, first_line: str,
+                          reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        """The two-endpoint HTTP façade (one request per connection)."""
+        while True:  # consume headers
+            raw = await reader.readline()
+            if not raw or raw in (b"\r\n", b"\n"):
+                break
+        parts = first_line.split()
+        path = parts[1] if len(parts) > 1 else "/"
+        if path.startswith("/healthz"):
+            ready = self.state == READY
+            code, reason = (200, "OK") if ready else (503, "Unavailable")
+            body: Dict[str, Any] = {"state": self.state, "ready": ready,
+                                    "live": self.state != STOPPED}
+        elif path.startswith("/metrics"):
+            code, reason, body = 200, "OK", self.metrics()
+        else:
+            code, reason, body = 404, "Not Found", {"error": "not found"}
+        payload = json.dumps(body).encode("utf-8")
+        head = (
+            f"HTTP/1.1 {code} {reason}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        writer.write(head + payload)
+        await writer.drain()
+        self.stats.incr("http.requests")
+
+
+class ServerThread:
+    """An :class:`AnalysisServer` running on a daemon thread.
+
+    The embedding used by tests and the benchmark: ``start()`` blocks
+    until the server is ready (host/port resolved), ``shutdown()``
+    drains it from any thread.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None,
+                 corpus: Optional[AnalysisCorpus] = None) -> None:
+        self.server = AnalysisServer(config, corpus=corpus)
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread = threading.Thread(target=self._main, daemon=True,
+                                        name="repro-serve")
+        self._error: Optional[BaseException] = None
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # surfaced by start()/join()
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        await self.server.start()
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.server.serve_until_stopped()
+
+    def start(self, timeout: float = 30.0) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server did not become ready in time")
+        if self._error is not None:
+            raise RuntimeError(f"server failed to start: {self._error!r}")
+        return self
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        assert self.server.port is not None
+        return self.server.port
+
+    def shutdown(self, timeout: float = 30.0) -> None:
+        """Drain and join; idempotent."""
+        if self._loop is not None and self._thread.is_alive():
+            future = asyncio.run_coroutine_threadsafe(
+                self.server.drain(), self._loop)
+            try:
+                future.result(timeout)
+            except Exception:
+                pass
+        self._thread.join(timeout)

@@ -1,0 +1,132 @@
+"""Always-on service statistics, mirrored into :mod:`repro.obs`.
+
+The engine's telemetry registry is disabled by default (and per-command
+in the CLI), but a serving process must answer ``/metrics`` whether or
+not anyone attached a profiling sink.  :class:`ServeStats` therefore
+keeps its own thread-safe counters/gauges and a bounded latency window
+unconditionally — the per-request cost is a dict update under a lock —
+and *additionally* forwards every movement to the default obs registry
+under the ``serve.*`` namespace whenever that registry is enabled, so
+``repro serve --profile``/``--trace-file`` see the service exactly like
+any other instrumented subsystem.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Dict, Optional
+
+from ..obs import DEFAULT as _OBS
+
+__all__ = ["LatencyWindow", "ServeStats"]
+
+
+class LatencyWindow:
+    """A bounded sliding window of request latencies (seconds).
+
+    Percentiles are computed on demand over the last ``maxlen`` samples
+    — recording stays O(1) on the serving path, and the window bounds
+    memory for arbitrarily long-lived servers.
+    """
+
+    def __init__(self, maxlen: int = 4096) -> None:
+        self._samples: "deque[float]" = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+            self._count += 1
+
+    def percentile(self, pct: float) -> Optional[float]:
+        """The ``pct``-th percentile (nearest-rank) in seconds, or
+        ``None`` before the first sample."""
+        with self._lock:
+            data = sorted(self._samples)
+        if not data:
+            return None
+        rank = max(1, int(round(pct / 100.0 * len(data) + 0.5)))
+        return data[min(rank, len(data)) - 1]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """``count`` plus p50/p95/max over the window, in milliseconds."""
+        with self._lock:
+            data = sorted(self._samples)
+            count = self._count
+
+        def at(pct: float) -> Optional[float]:
+            if not data:
+                return None
+            rank = max(1, int(round(pct / 100.0 * len(data) + 0.5)))
+            return round(data[min(rank, len(data)) - 1] * 1000.0, 3)
+
+        return {
+            "count": count,
+            "p50_ms": at(50),
+            "p95_ms": at(95),
+            "max_ms": round(data[-1] * 1000.0, 3) if data else None,
+        }
+
+
+class ServeStats:
+    """Thread-safe counters/gauges + latency window for one server."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self.latency = LatencyWindow()
+
+    def incr(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+        if _OBS.enabled:
+            _OBS.incr(f"serve.{name}", n)
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+        if _OBS.enabled:
+            _OBS.gauge(f"serve.{name}", value)
+
+    def counter(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def record_latency(self, seconds: float) -> None:
+        self.latency.record(seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Counters, gauges, latency percentiles, and the derived rates
+        the admission/coalescing contract is judged by."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+        latency = self.latency.snapshot()
+        queries = counters.get("requests.query", 0)
+        coalesced = counters.get("coalesced", 0)
+        cached = counters.get("requests.cached", 0)
+        shed = sum(v for k, v in counters.items() if k.startswith("shed."))
+        task_hits = (counters.get("cache.memo_hits", 0)
+                     + counters.get("cache.store_hits", 0))
+        task_lookups = task_hits + counters.get("cache.misses", 0)
+        if _OBS.enabled:
+            if latency["p50_ms"] is not None:
+                _OBS.gauge("serve.latency.p50_ms", latency["p50_ms"])
+            if latency["p95_ms"] is not None:
+                _OBS.gauge("serve.latency.p95_ms", latency["p95_ms"])
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "latency": latency,
+            "derived": {
+                "coalesce_rate": coalesced / queries if queries else 0.0,
+                "request_cache_hit_rate": cached / queries if queries
+                else 0.0,
+                "task_cache_hit_rate": task_hits / task_lookups
+                if task_lookups else 0.0,
+                "shed_total": shed,
+            },
+        }

@@ -235,3 +235,243 @@ class TestResume:
         base = (model.name, op.name, pfsm, domains[pfsm.name], 5)
         other = (model.name, op.name, pfsm, domains[pfsm.name], 6)
         assert task_key(model, base) != task_key(model, other)
+
+
+class TestTruncatedStore:
+    """A crash mid-append leaves a partial trailing line; the store must
+    skip it on load and heal it on the next append (satellite: truncated
+    stores must not poison resume)."""
+
+    def _truncate_tail(self, path, fragment='{"key": "partial", "findi'):
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(fragment)  # no trailing newline: torn write
+
+    def test_truncated_tail_is_skipped_on_load(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.record("good", None)
+        self._truncate_tail(path)
+        assert set(store.load()) == {"good"}
+
+    def test_truncation_counted_distinct_from_malformed(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.record("good", None)
+        self._truncate_tail(path)
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            store.load()
+            counters = registry.counters()
+        finally:
+            registry.disable()
+            registry.reset()
+        assert counters.get("dist.store.truncated") == 1
+        assert "dist.store.malformed" not in counters
+
+    def test_append_after_truncation_heals_the_file(self, tmp_path):
+        # Without healing, the next append glues onto the partial line
+        # and a *valid* record is silently swallowed.
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.record("good", None)
+        self._truncate_tail(path)
+        store.record("next", None)
+        loaded = store.load()
+        assert set(loaded) == {"good", "next"}
+
+    def test_record_many_heals_too(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        self._truncate_tail(path, '{"key": "torn"')
+        assert store.record_many([("a", None), ("b", None)]) == 2
+        assert set(store.load()) == {"a", "b"}
+
+    def test_heal_emits_repair_event(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.record("good", None)
+        self._truncate_tail(path)
+        sink = obs.MemorySink()
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable(sink)
+        try:
+            store.record("next", None)
+        finally:
+            registry.disable()
+            registry.reset()
+        repaired = [e for e in sink.events
+                    if e["name"] == "dist.store.truncated"]
+        assert repaired and repaired[0]["attrs"]["action"] == "repaired"
+
+    def test_clean_appends_add_no_blank_lines(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.record("a", None)
+        store.record("b", None)
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 2 and all(lines)
+
+    def test_empty_and_missing_files_are_not_truncated(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        assert store.load() == {}  # missing file
+        open(path, "w").close()
+        assert store.load() == {}  # empty file
+        store.record("a", None)
+        assert set(store.load()) == {"a"}
+
+
+class TestMemoHooks:
+    """The public warm-tier hooks the serve cache layers on."""
+
+    def test_lookup_miss_then_store_then_hit(self):
+        assert dist.memo_lookup("k") == (False, None)
+        dist.memo_store("k", None)
+        assert dist.memo_lookup("k") == (True, None)
+
+    def test_none_finding_distinguished_from_miss(self):
+        dist.memo_store("clean", None)
+        hit, finding = dist.memo_lookup("clean")
+        assert hit is True and finding is None
+
+    def test_scheduler_reuses_externally_stored_results(self):
+        tasks = [_task(Domain.integers(-5, 20))]
+        expected = dist.run_tasks(tasks, 1, backend="process",
+                                  keys=["hook-key"])
+        dist.clear_memo()
+        dist.memo_store("hook-key", expected[0])
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            got = dist.run_tasks(tasks, 1, backend="process",
+                                 keys=["hook-key"])
+            counters = registry.counters()
+        finally:
+            registry.disable()
+            registry.reset()
+        assert _witnesses(got) == _witnesses(expected)
+        assert counters.get("dist.memo.hits") == 1
+
+    def test_prewarm_creates_the_pool_once(self):
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            dist.prewarm(2)
+            dist.prewarm(2)  # same width: reused, not recreated
+            counters = registry.counters()
+        finally:
+            registry.disable()
+            registry.reset()
+        assert counters.get("dist.pool.created") == 1
+        assert counters.get("dist.pool.reused") == 1
+
+
+class TestConcurrentSweeps:
+    """Thread-safety of the shared warm tiers (satellite: concurrent
+    sweeps over one process's pool and memo)."""
+
+    def test_concurrent_pool_acquisition_builds_one_pool(self):
+        import threading
+
+        pools = []
+        barrier = threading.Barrier(8)
+
+        def grab():
+            barrier.wait()
+            pools.append(dist._get_pool(2))
+
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            threads = [threading.Thread(target=grab) for _ in range(8)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            counters = registry.counters()
+        finally:
+            registry.disable()
+            registry.reset()
+        assert len(set(id(p) for p in pools)) == 1
+        assert counters.get("dist.pool.created") == 1
+
+    def test_concurrent_sweep_models_share_pool_and_agree(self):
+        import threading
+
+        from repro.models import sendmail_model
+
+        models = {"sendmail": sendmail_model.build_model()}
+        domains = {"sendmail": sendmail_model.pfsm_domains()}
+        baseline = sweep_models(models, domains, limit=3, mode="process",
+                                workers=2)
+
+        def flat(sweeps):
+            return [(f.pfsm_name, tuple(f.witnesses))
+                    for s in sweeps for f in s.findings]
+
+        expected = flat(baseline)
+        results = {}
+        barrier = threading.Barrier(4)
+
+        def run(slot):
+            barrier.wait()
+            results[slot] = flat(sweep_models(
+                models, domains, limit=3, mode="process", workers=2))
+
+        threads = [threading.Thread(target=run, args=(i,))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(results) == 4
+        for slot in results:
+            assert results[slot] == expected
+
+    def test_memo_race_hammering_stays_consistent(self):
+        import threading
+
+        finding = dist.run_tasks(
+            [_task(Domain.integers(-5, 20))], 1, backend="process")[0]
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                dist.memo_store(f"key-{i % 50}", finding if i % 2 else None)
+                i += 1
+
+        def reader():
+            while not stop.is_set():
+                for i in range(50):
+                    hit, got = dist.memo_lookup(f"key-{i}")
+                    if hit and got is not None:
+                        try:
+                            assert tuple(got.witnesses) == \
+                                tuple(finding.witnesses)
+                        except AssertionError as exc:  # pragma: no cover
+                            errors.append(exc)
+
+        def clearer():
+            while not stop.is_set():
+                dist.clear_memo()
+
+        threads = ([threading.Thread(target=writer) for _ in range(2)]
+                   + [threading.Thread(target=reader) for _ in range(2)]
+                   + [threading.Thread(target=clearer)])
+        for t in threads:
+            t.start()
+        import time
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors

@@ -1,0 +1,102 @@
+"""Admission control: the bounded queue and per-request deadlines."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import AdmissionQueue, AdmittedRequest
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestOffer:
+    def test_fifo_until_full_then_refuse(self):
+        queue = AdmissionQueue(2)
+        assert queue.offer("a") is True
+        assert queue.offer("b") is True
+        assert queue.offer("c") is False  # refuse, never block
+        assert queue.depth() == 2
+        assert queue.get_nowait() == "a"
+        assert queue.offer("c") is True  # space freed → admitted again
+
+    def test_closed_queue_refuses(self):
+        queue = AdmissionQueue(8)
+        queue.close()
+        assert queue.closed
+        assert queue.offer("a") is False
+
+    def test_depth_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0)
+
+
+class TestAsyncGet:
+    def test_get_drains_backlog_then_none_after_close(self):
+        async def scenario():
+            queue = AdmissionQueue(4)
+            queue.offer("a")
+            queue.offer("b")
+            queue.close()
+            return [await queue.get(), await queue.get(), await queue.get()]
+
+        assert run(scenario()) == ["a", "b", None]
+
+    def test_get_wakes_on_offer(self):
+        async def scenario():
+            queue = AdmissionQueue(4)
+            waiter = asyncio.get_running_loop().create_task(queue.get())
+            await asyncio.sleep(0.01)
+            assert not waiter.done()  # parked, nothing queued
+            queue.offer("x")
+            return await asyncio.wait_for(waiter, 1.0)
+
+        assert run(scenario()) == "x"
+
+    def test_get_wakes_on_close(self):
+        async def scenario():
+            queue = AdmissionQueue(4)
+            waiter = asyncio.get_running_loop().create_task(queue.get())
+            await asyncio.sleep(0.01)
+            queue.close()
+            return await asyncio.wait_for(waiter, 1.0)
+
+        assert run(scenario()) is None
+
+    def test_timed_out_waiter_loses_no_work(self):
+        # The batcher wraps get() in wait_for; a timeout must not eat
+        # an item that arrives later.
+        async def scenario():
+            queue = AdmissionQueue(4)
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(queue.get(), 0.05)
+            queue.offer("survivor")
+            return await asyncio.wait_for(queue.get(), 1.0)
+
+        assert run(scenario()) == "survivor"
+
+
+class TestDeadlines:
+    def test_expired(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            item = AdmittedRequest(
+                query=None, future=loop.create_future(),
+                enqueued_at=loop.time(), deadline_at=loop.time() + 10.0,
+            )
+            assert not item.expired(loop.time())
+            assert item.expired(item.deadline_at + 0.001)
+
+        run(scenario())
+
+    def test_no_deadline_never_expires(self):
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            item = AdmittedRequest(
+                query=None, future=loop.create_future(),
+                enqueued_at=loop.time(),
+            )
+            assert not item.expired(loop.time() + 1e9)
+
+        run(scenario())

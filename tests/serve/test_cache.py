@@ -1,0 +1,108 @@
+"""The tiered result cache: memo over JSONL store, shared with dist."""
+
+import pytest
+
+from repro.core import dist
+from repro.core.sweep import SweepFinding
+from repro.serve import TieredResultCache
+from repro.serve.stats import ServeStats
+
+
+@pytest.fixture(autouse=True)
+def _fresh_scheduler():
+    dist.reset()
+    yield
+    dist.reset()
+
+
+def _finding(tag="w"):
+    return SweepFinding(model_name="M", operation_name="op",
+                        pfsm_name="p", activity="scan", witnesses=(tag,))
+
+
+class TestMemoTier:
+    def test_insert_then_memo_hit(self):
+        cache = TieredResultCache()
+        assert cache.lookup("k1") == (None, None)
+        finding = _finding()
+        cache.insert("k1", finding)
+        assert cache.lookup("k1") == ("memo", finding)
+
+    def test_none_finding_is_a_hit_not_a_miss(self):
+        # "Scanned, clean" must be cacheable — a None result is not
+        # the same as never having computed.
+        cache = TieredResultCache()
+        cache.insert("clean", None)
+        assert cache.lookup("clean") == ("memo", None)
+
+    def test_shared_with_dist_memo(self):
+        # The warm tier IS the scheduler's memo: results installed by
+        # either side are visible to the other.
+        cache = TieredResultCache()
+        finding = _finding()
+        dist.memo_store("shared", finding)
+        assert cache.lookup("shared") == ("memo", finding)
+        cache.insert("mine", finding)
+        assert dist.memo_lookup("mine") == (True, finding)
+
+    def test_none_key_misses(self):
+        assert TieredResultCache().lookup(None) == (None, None)
+
+
+class TestStoreTier:
+    def test_flush_persists_and_reloads(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        cache = TieredResultCache(path)
+        finding = _finding()
+        cache.insert("k1", finding)
+        cache.insert("k2", None)
+        assert cache.flush() == 2
+        assert cache.flush() == 0  # buffer drained
+
+        dist.clear_memo()
+        reloaded = TieredResultCache(path)
+        assert reloaded.store_keys == 2
+        tier, got = reloaded.lookup("k1")
+        assert tier == "store"
+        assert got.witnesses == finding.witnesses
+
+    def test_store_hit_promotes_to_memo(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        cache = TieredResultCache(path)
+        cache.insert("k1", _finding())
+        cache.flush()
+
+        dist.clear_memo()
+        warm = TieredResultCache(path)
+        assert warm.lookup("k1")[0] == "store"
+        assert warm.lookup("k1")[0] == "memo"  # promoted
+
+    def test_duplicate_insert_not_rewritten(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        cache = TieredResultCache(path)
+        cache.insert("k1", _finding())
+        cache.insert("k1", _finding())
+        assert cache.flush() == 1
+
+    def test_flush_counts_to_stats(self, tmp_path):
+        stats = ServeStats()
+        cache = TieredResultCache(str(tmp_path / "r.jsonl"), stats=stats)
+        cache.insert("k1", _finding())
+        cache.flush()
+        assert stats.snapshot()["counters"]["cache.flushed"] == 1
+
+    def test_storeless_cache_flush_is_noop(self):
+        cache = TieredResultCache()
+        cache.insert("k1", _finding())
+        assert cache.flush() == 0
+        assert cache.store_keys == 0
+
+    def test_interoperates_with_sweep_resume_store(self, tmp_path):
+        # A store the server wrote is a valid --resume-from store.
+        path = str(tmp_path / "results.jsonl")
+        cache = TieredResultCache(path)
+        cache.insert("k1", _finding())
+        cache.flush()
+        loaded = dist.ResultStore(path).load()
+        assert set(loaded) == {"k1"}
+        assert loaded["k1"].witnesses == ("w",)

@@ -1,0 +1,348 @@
+"""The analysis server end to end: correctness, coalescing, admission
+control, deadlines, graceful drain, and the HTTP façade.
+
+Every test runs against a tiny toy corpus (one model, two pFSMs, small
+integer domains) so the serving machinery — not the engine — dominates
+the runtime.  ``pytest-asyncio`` is not a dependency; the server runs
+on its own daemon thread (:class:`ServerThread`) and tests drive it
+with the blocking client, exactly as the CLI and benchmark do.
+"""
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.core import (
+    Domain,
+    Operation,
+    PrimitiveFSM,
+    VulnerabilityModel,
+    in_range,
+    less_equal,
+)
+from repro.core import dist
+from repro.core.sweep import sweep_model
+from repro.serve import (
+    AnalysisCorpus,
+    AnalysisServer,
+    DRAINING,
+    STOPPED,
+    ServeClient,
+    ServeConfig,
+    ServerThread,
+)
+
+TOY_NAME = "Toy Overflow"
+
+
+@pytest.fixture(autouse=True)
+def _fresh_scheduler():
+    dist.reset()
+    yield
+    dist.reset()
+
+
+def toy_model():
+    pfsm1 = PrimitiveFSM("pFSM1", "accept input x", "x",
+                         spec_accepts=in_range(0, 5),
+                         impl_accepts=less_equal(10))
+    pfsm2 = PrimitiveFSM("pFSM2", "store x", "x",
+                         spec_accepts=in_range(0, 5),
+                         impl_accepts=less_equal(50))
+    op = Operation("write x", "the input integer", [pfsm1, pfsm2])
+    return VulnerabilityModel(TOY_NAME, [op])
+
+
+def toy_domains():
+    return {TOY_NAME: {"pFSM1": Domain(range(-5, 20)),
+                       "pFSM2": Domain(range(-5, 60))}}
+
+
+def toy_corpus():
+    model = toy_model()
+    return AnalysisCorpus(models={TOY_NAME: model},
+                          domains=toy_domains(),
+                          keys={"toy": TOY_NAME})
+
+
+@pytest.fixture
+def server():
+    handle = ServerThread(
+        ServeConfig(port=0, batch_window=0.005, drain_grace=2.0),
+        corpus=toy_corpus(),
+    ).start()
+    yield handle
+    handle.shutdown()
+
+
+def client_for(handle):
+    return ServeClient(handle.host, handle.port, timeout=30.0)
+
+
+class TestQuery:
+    def test_matches_direct_sweep(self, server):
+        with client_for(server) as client:
+            response = client.query("toy", limit=5)
+        assert response["status"] == "ok"
+        assert response["vulnerable"] is True
+        assert response["model_name"] == TOY_NAME
+        reference = sweep_model(toy_model(), toy_domains()[TOY_NAME],
+                                limit=5)
+        assert len(response["findings"]) == len(reference.findings)
+        for got, want in zip(response["findings"], reference.findings):
+            assert got["pfsm"] == want.pfsm_name
+            assert got["witnesses"] == list(want.witnesses)
+
+    def test_repeat_query_is_cached(self, server):
+        with client_for(server) as client:
+            first = client.query("toy", limit=3)
+            second = client.query("toy", limit=3)
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["findings"] == first["findings"]
+
+    def test_id_echo_and_latency(self, server):
+        with client_for(server) as client:
+            response = client.query("toy", limit=2, request_id="req-9")
+        assert response["id"] == "req-9"
+        assert response["elapsed_ms"] >= 0
+
+    def test_unknown_model(self, server):
+        with client_for(server) as client:
+            response = client.query("nosuch")
+        assert response["status"] == "error"
+        assert "unknown model" in response["error"]
+        assert response["models"] == ["toy"]
+
+    def test_malformed_line(self, server):
+        with client_for(server) as client:
+            response = client.request({"op": "query", "limit": 5})
+        assert response["status"] == "error"
+        assert "model" in response["error"]
+
+    def test_limit_clamped_to_max(self):
+        handle = ServerThread(
+            ServeConfig(port=0, max_limit=2), corpus=toy_corpus(),
+        ).start()
+        try:
+            with client_for(handle) as client:
+                response = client.query("toy", limit=999)
+            assert response["limit"] == 2
+            assert all(len(f["witnesses"]) <= 2
+                       for f in response["findings"])
+        finally:
+            handle.shutdown()
+
+    def test_ping_and_metrics_ops(self, server):
+        with client_for(server) as client:
+            assert client.ping()["state"] == "ready"
+            client.query("toy", limit=4)
+            metrics = client.metrics()
+        counters = metrics["counters"]
+        assert counters["requests.query"] >= 1
+        assert counters["batches"] >= 1
+        assert metrics["state"] == "ready"
+        assert metrics["config"]["backend"] == "thread"
+        assert set(metrics["derived"]) >= {"coalesce_rate",
+                                           "request_cache_hit_rate"}
+
+
+def _slow_compute(handle, delay, calls):
+    """Wrap the server's compute so dispatches are observable and slow
+    enough to hold requests in flight."""
+    original = handle.server.batcher._compute_fn
+
+    def wrapped(tasks, keys):
+        calls.append(len(tasks))
+        time.sleep(delay)
+        return original(tasks, keys)
+
+    handle.server.batcher._compute_fn = wrapped
+
+
+class TestCoalescing:
+    def test_identical_concurrent_queries_coalesce(self, server):
+        calls = []
+        _slow_compute(server, 0.2, calls)
+        barrier = threading.Barrier(6)
+        responses = []
+
+        def fire():
+            with client_for(server) as client:
+                barrier.wait()
+                responses.append(client.query("toy", limit=7))
+
+        threads = [threading.Thread(target=fire) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert all(r["status"] == "ok" for r in responses)
+        assert len(calls) == 1  # one engine dispatch for six clients
+        coalesced = [r for r in responses if r["coalesced"]]
+        leaders = [r for r in responses if not r["coalesced"]]
+        assert len(leaders) == 1
+        assert len(coalesced) == 5
+        assert all(r["findings"] == leaders[0]["findings"]
+                   for r in coalesced)
+        with client_for(server) as client:
+            assert client.metrics()["counters"]["coalesced"] == 5
+
+    def test_distinct_queries_share_common_tasks(self, server):
+        # limit is part of the task, so distinct limits never share
+        # compute — but identical (pfsm, domain, limit) tasks reached
+        # through two requests in one batch are computed once.
+        calls = []
+        _slow_compute(server, 0.0, calls)
+        with client_for(server) as client:
+            client.query("toy", limit=9)
+            client.query("toy", limit=9)
+        # second request was answered by cache, not recomputed
+        assert sum(calls) == 2  # two pFSM tasks, once
+
+
+class TestAdmissionControl:
+    def test_overload_sheds_with_explicit_status(self):
+        handle = ServerThread(
+            ServeConfig(port=0, max_depth=1, max_batch=1,
+                        batch_window=0.005),
+            corpus=toy_corpus(),
+        ).start()
+        calls = []
+        _slow_compute(handle, 0.3, calls)
+        try:
+            responses = []
+            lock = threading.Lock()
+
+            def fire(limit):
+                with client_for(handle) as client:
+                    response = client.query("toy", limit=limit)
+                with lock:
+                    responses.append(response)
+
+            threads = [threading.Thread(target=fire, args=(limit,))
+                       for limit in range(1, 7)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            statuses = sorted(r["status"] for r in responses)
+            assert len(statuses) == 6  # every request got a response
+            assert set(statuses) <= {"ok", "overloaded"}
+            shed = [r for r in responses if r["status"] == "overloaded"]
+            assert shed, f"expected sheds, got {statuses}"
+            assert all("queue full" in r["error"] for r in shed)
+            with client_for(handle) as client:
+                counters = client.metrics()["counters"]
+            assert counters["shed.overload"] == len(shed)
+        finally:
+            handle.shutdown()
+
+    def test_expired_deadline_sheds_as_timeout(self, server):
+        calls = []
+        _slow_compute(server, 0.4, calls)
+        responses = {}
+
+        def fire(name, limit, deadline_ms=None, delay=0.0):
+            time.sleep(delay)
+            with client_for(server) as client:
+                responses[name] = client.query("toy", limit=limit,
+                                               deadline_ms=deadline_ms)
+
+        blocker = threading.Thread(target=fire, args=("blocker", 11))
+        doomed = threading.Thread(
+            target=fire, args=("doomed", 12), kwargs={
+                "deadline_ms": 50, "delay": 0.1})
+        blocker.start()
+        doomed.start()
+        blocker.join()
+        doomed.join()
+
+        assert responses["blocker"]["status"] == "ok"
+        assert responses["doomed"]["status"] == "timeout"
+        assert "deadline" in responses["doomed"]["error"]
+        with client_for(server) as client:
+            assert client.metrics()["counters"]["shed.deadline"] == 1
+
+
+class TestDrain:
+    def test_draining_requests_get_explicit_refusal(self):
+        # Unit-level: a query dispatched while not READY is answered
+        # with status "draining", never dropped.
+        import asyncio
+
+        async def scenario():
+            analysis = AnalysisServer(corpus=toy_corpus())
+            analysis.state = DRAINING
+            return await analysis._dispatch(
+                '{"op": "query", "model": "toy", "id": 4}')
+
+        response = asyncio.run(scenario())
+        assert response["status"] == "draining"
+        assert response["id"] == 4
+
+    def test_shutdown_reaches_stopped(self, server):
+        with client_for(server) as client:
+            client.query("toy", limit=6)
+        server.shutdown()
+        assert server.server.state == STOPPED
+        assert server.server._pending_responses == 0
+
+    def test_inflight_request_survives_drain(self, server):
+        # The invariant the bench measures: SIGTERM with work in
+        # flight drops zero responses.
+        calls = []
+        _slow_compute(server, 0.3, calls)
+        result = {}
+
+        def fire():
+            with client_for(server) as client:
+                result["response"] = client.query("toy", limit=13)
+
+        worker = threading.Thread(target=fire)
+        worker.start()
+        time.sleep(0.1)  # request admitted, compute in progress
+        server.shutdown()
+        worker.join(10.0)
+
+        assert result["response"]["status"] == "ok"
+        assert result["response"]["vulnerable"] is True
+        assert server.server.state == STOPPED
+
+    def test_new_connections_refused_after_drain(self, server):
+        server.shutdown()
+        with pytest.raises(OSError):
+            client_for(server).ping()
+
+
+class TestHttpFacade:
+    def _get(self, server, path):
+        url = f"http://{server.host}:{server.port}{path}"
+        try:
+            with urllib.request.urlopen(url) as response:
+                return response.status, json.load(response)
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.load(exc)
+
+    def test_healthz_ready(self, server):
+        code, body = self._get(server, "/healthz")
+        assert code == 200
+        assert body == {"state": "ready", "ready": True, "live": True}
+
+    def test_metrics_endpoint(self, server):
+        with client_for(server) as client:
+            client.query("toy", limit=8)
+        code, body = self._get(server, "/metrics")
+        assert code == 200
+        assert body["counters"]["requests.query"] >= 1
+        assert "latency" in body
+
+    def test_unknown_path_404(self, server):
+        code, body = self._get(server, "/nope")
+        assert code == 404
+        assert body == {"error": "not found"}

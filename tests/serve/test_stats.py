@@ -1,0 +1,89 @@
+"""Service statistics: latency percentiles, derived rates, obs mirror."""
+
+from repro import obs
+from repro.serve import LatencyWindow, ServeStats
+
+
+class TestLatencyWindow:
+    def test_empty_window(self):
+        window = LatencyWindow()
+        assert window.percentile(50) is None
+        assert window.snapshot() == {"count": 0, "p50_ms": None,
+                                     "p95_ms": None, "max_ms": None}
+
+    def test_nearest_rank_percentiles(self):
+        window = LatencyWindow()
+        for ms in range(1, 101):  # 1..100 ms
+            window.record(ms / 1000.0)
+        snapshot = window.snapshot()
+        assert snapshot["count"] == 100
+        assert snapshot["p50_ms"] == 50.0  # nearest-rank, not midpoint
+        assert snapshot["p95_ms"] == 96.0
+        assert snapshot["max_ms"] == 100.0
+
+    def test_window_is_bounded_but_count_is_total(self):
+        window = LatencyWindow(maxlen=8)
+        for _ in range(100):
+            window.record(0.001)
+        window.record(1.0)
+        snapshot = window.snapshot()
+        assert snapshot["count"] == 101
+        assert snapshot["max_ms"] == 1000.0
+        assert len(window._samples) == 8
+
+
+class TestServeStats:
+    def test_counters_and_gauges(self):
+        stats = ServeStats()
+        stats.incr("requests.query")
+        stats.incr("requests.query", 2)
+        stats.gauge("queue.depth", 7)
+        snapshot = stats.snapshot()
+        assert snapshot["counters"]["requests.query"] == 3
+        assert snapshot["gauges"]["queue.depth"] == 7
+        assert stats.counter("requests.query") == 3
+        assert stats.counter("never") == 0
+
+    def test_derived_rates(self):
+        stats = ServeStats()
+        for _ in range(10):
+            stats.incr("requests.query")
+        stats.incr("coalesced", 2)
+        stats.incr("requests.cached", 5)
+        stats.incr("cache.memo_hits", 3)
+        stats.incr("cache.store_hits", 1)
+        stats.incr("cache.misses", 4)
+        stats.incr("shed.overload", 2)
+        stats.incr("shed.deadline")
+        derived = stats.snapshot()["derived"]
+        assert derived["coalesce_rate"] == 0.2
+        assert derived["request_cache_hit_rate"] == 0.5
+        assert derived["task_cache_hit_rate"] == 0.5
+        assert derived["shed_total"] == 3
+
+    def test_zero_queries_zero_rates(self):
+        derived = ServeStats().snapshot()["derived"]
+        assert derived["coalesce_rate"] == 0.0
+        assert derived["request_cache_hit_rate"] == 0.0
+        assert derived["task_cache_hit_rate"] == 0.0
+
+    def test_mirrored_to_obs_when_enabled(self):
+        stats = ServeStats()
+        stats.incr("before.enable")  # not mirrored: registry disabled
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            stats.incr("requests.query")
+            stats.gauge("queue.depth", 3)
+            stats.record_latency(0.002)
+            stats.snapshot()
+            counters = registry.counters()
+            gauges = registry.gauges()
+        finally:
+            registry.disable()
+            registry.reset()
+        assert counters["serve.requests.query"] == 1
+        assert "serve.before.enable" not in counters
+        assert gauges["serve.queue.depth"] == 3
+        assert gauges["serve.latency.p50_ms"] == 2.0

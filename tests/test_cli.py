@@ -154,3 +154,67 @@ class TestObservabilityFlags:
         run(capsys, "sweep")
         assert not obs.enabled()
         assert obs.counters() == {}
+
+
+class TestFailOnWitness:
+    def test_witnesses_fail_the_run(self, capsys):
+        # The bundled corpus is all vulnerabilities: witnesses exist,
+        # so the CI gate must exit nonzero and say why.
+        code, out = run(capsys, "sweep", "--limit", "1",
+                        "--fail-on-witness")
+        assert code == 1
+        assert "--fail-on-witness" in out
+
+    def test_json_mode_reports_total_and_fails(self, capsys):
+        code, out = run(capsys, "sweep", "--limit", "1",
+                        "--fail-on-witness", "--json")
+        assert code == 1
+        data = json.loads(out)
+        assert data["total_findings"] > 0
+
+    def test_without_flag_witnesses_still_pass(self, capsys):
+        code, _ = run(capsys, "sweep", "--limit", "1")
+        assert code == 0
+
+
+class TestServeCli:
+    def test_query_against_live_server(self, capsys):
+        from repro.serve import ServeConfig, ServerThread
+
+        handle = ServerThread(ServeConfig(port=0)).start()
+        try:
+            code, out = run(capsys, "query", "sendmail",
+                            "--port", str(handle.port))
+            assert code == 0
+            assert "VULNERABLE" in out
+            code, out = run(capsys, "query", "sendmail", "--json",
+                            "--port", str(handle.port))
+            assert code == 0
+            payload = json.loads(out)
+            assert payload["status"] == "ok"
+            assert payload["cached"] is True  # second hit on one server
+            code, out = run(capsys, "query", "--metrics",
+                            "--port", str(handle.port))
+            assert code == 0
+            assert json.loads(out)["counters"]["requests.query"] >= 2
+        finally:
+            handle.shutdown()
+
+    def test_query_connection_refused_exits_nonzero(self, capsys):
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        free_port = sock.getsockname()[1]
+        sock.close()
+        code = main(["query", "sendmail", "--port", str(free_port),
+                     "--timeout", "2"])
+        capsys.readouterr()
+        assert code == 1
+
+    def test_serve_flags_parse(self):
+        # The serve subcommand's knobs map 1:1 onto ServeConfig; a
+        # parse-only probe (bad flag) must exit via argparse, code 2.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--no-such-flag"])
+        assert excinfo.value.code == 2
