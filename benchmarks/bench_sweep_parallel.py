@@ -23,7 +23,16 @@ trajectory keeps recording:
 * **resume** — one corpus sweep recording to a JSONL result store, then
   the identical sweep resumed from that store with a cold scheduler
   (acceptance: the resumed sweep skips every task and beats the cold
-  sweep).
+  sweep);
+* **plan** — a repeated-predicate corpus (several models whose specs
+  share deep sub-predicate DAGs, over distinct string corpora — no
+  interval fast path, no identity-memo shortcuts) swept with the
+  predicate compiler disabled vs enabled (acceptance: the compiled
+  path, including compile time, is ≥2x the uncompiled throughput).
+  The compiled path wins three ways: flat fused closures instead of
+  nested shielded combinator calls, selectivity-ordered short-circuit
+  evaluation, and cross-task CSE — the shared sub-DAG is judged once
+  per object per sweep, not once per model.
 
 Alongside throughput, the payload now records two quality dimensions
 measured through :mod:`repro.obs` (``cache_hit_rate``,
@@ -56,13 +65,21 @@ from repro import obs  # noqa: E402
 from repro.core import (  # noqa: E402
     Domain,
     NO_CACHE,
+    Operation,
     PredicateCache,
     PrimitiveFSM,
+    VulnerabilityModel,
     in_range,
+    is_instance,
+    length_le,
     less_equal,
+    matches,
+    not_contains,
+    satisfies_all,
     sweep_models,
 )
 from repro.core import dist  # noqa: E402
+from repro.core import plan  # noqa: E402
 from repro.models import (  # noqa: E402
     all_extended_models,
     all_extended_pfsm_domains,
@@ -85,6 +102,11 @@ SESSION_TILE_FACTOR = 5000
 
 #: Acceptance floor for the backend-session comparison.
 PROCESS_SESSION_FLOOR = 2.0
+
+#: Models in the repeated-predicate plan corpus and the acceptance
+#: floor for compiled-over-uncompiled sweep throughput.
+PLAN_MODELS = 6
+PLAN_FLOOR = 2.0
 
 
 def _witness_pfsm() -> PrimitiveFSM:
@@ -197,9 +219,10 @@ def _instrumented_metrics(models, domains, limit, witness_pfsm,
     return {
         "cache_hit_rate": derived.get("cache_hit_rate", 0.0),
         "fastpath_fraction": derived.get("fastpath_fraction", 0.0),
+        "compiled_fraction": derived.get("compiled_fraction", 0.0),
         "counters": {
             name: value for name, value in sorted(counters.items())
-            if name.startswith("sweep.")
+            if name.startswith(("sweep.", "plan."))
         },
     }
 
@@ -252,6 +275,87 @@ def _resume_scenario(models, domains, limit):
     assert _findings_of(warm) == _findings_of(cold), \
         "resumed sweep diverged from the cold sweep"
     return cold_s, warm_s, records
+
+
+def _plan_corpus(tile=120):
+    """The repeated-predicate corpus for the plan scenario.
+
+    ``PLAN_MODELS`` models, two pFSMs each, whose specs are written the
+    way validation predicates read naturally — sanity regexes first,
+    cheap bound checks last.  Interpreted evaluation runs that source
+    order, so it pays for two regex scans on every object; the compiler
+    reorders leaves by estimated selectivity and cost, so the many
+    malformed objects (over-long or ``%n``-bearing — most of the corpus)
+    are rejected by a length or substring check before any regex runs.
+    The specs also embed one shared guard sub-DAG, structurally
+    identical across every model, so cross-task CSE judges it once per
+    object per sweep.  Every domain object is a *distinct* string (no
+    identity-memo shortcuts, no interval fast path): the engines must
+    evaluate per object, which is exactly what the compiler accelerates.
+    """
+    base = ["GET /index.html", "%n%n" * 30, "a" * 200, "user=admin",
+            ("%s" * 20) + "%n", "b" * 150, "x" * 90 + "%n", "c" * 300,
+            "ok", "d" * 120 + "%n%n"]
+    models, domains = {}, {}
+    for k in range(PLAN_MODELS):
+        def guard():
+            return satisfies_all(
+                matches(r"^[\x20-\x7e]*$"),          # printable ASCII
+                matches(r"^[^%]*(?:%[ns][^%]*)*$"),  # only %n/%s escapes
+                matches(r"^(?:[^=]*=?[^=]*)$"),      # at most one '='
+                is_instance(str), length_le(64), not_contains("%n"))
+        spec1 = satisfies_all(guard(), not_contains("%s"))
+        spec2 = satisfies_all(guard(), matches(r"^[-/=A-Za-z0-9 .:]*$"))
+        p1 = PrimitiveFSM("p1", "format string", "s", spec_accepts=spec1,
+                          impl_accepts=length_le(250))
+        p2 = PrimitiveFSM("p2", "parse request", "s", spec_accepts=spec2,
+                          impl_accepts=length_le(220))
+        label = f"plan-model-{k}"
+        models[label] = VulnerabilityModel(
+            label, [Operation("handle input", "s", [p1, p2])])
+        corpus = [f"{k}:{i}:{item}"
+                  for i in range(tile) for item in base]
+        shared_domain = Domain(corpus, description=f"plan corpus {k}")
+        domains[label] = {"p1": shared_domain, "p2": shared_domain}
+    objects = PLAN_MODELS * 2 * len(base) * tile
+    return models, domains, objects
+
+
+def _plan_scenario(repeats=3):
+    """Uncompiled vs compiled sweep over the repeated-predicate corpus.
+
+    Both sides run the identical engine with a fresh
+    :class:`PredicateCache`; the only variable is the planner.  The
+    compiled side starts from a cold plan cache (``plan.reset()``), so
+    compile time is inside the measurement.
+    """
+    models, domains, objects = _plan_corpus()
+    limit = 10**9
+
+    def uncompiled():
+        with plan.disabled():
+            return sweep_models(models, domains, workers=4, limit=limit,
+                                cache=PredicateCache())
+
+    def compiled():
+        plan.reset()
+        return sweep_models(models, domains, workers=4, limit=limit,
+                            cache=PredicateCache())
+
+    uncompiled_s, baseline = _best_of(uncompiled, repeats=repeats)
+    compiled_s, sweeps = _best_of(compiled, repeats=repeats)
+    assert _findings_of(sweeps) == _findings_of(baseline), \
+        "compiled sweep diverged from the uncompiled engine"
+    return {
+        "models": PLAN_MODELS,
+        "objects_per_sweep": objects,
+        "uncompiled_s": uncompiled_s,
+        "compiled_s": compiled_s,
+        "speedup": (uncompiled_s / compiled_s
+                    if compiled_s else float("inf")),
+        "uncompiled_objs_per_s": objects / uncompiled_s,
+        "compiled_objs_per_s": objects / compiled_s,
+    }
 
 
 def _best_of(fn, repeats=5):
@@ -312,11 +416,14 @@ def measure(witness_repeats=5, sweep_repeats=3):
     resume_cold_s, resume_warm_s, resume_records = _resume_scenario(
         models, domains, limit)
 
+    plan_stats = _plan_scenario()
+
     quality = _instrumented_metrics(models, domains, limit, pfsm, domain)
 
     return {
         "cache_hit_rate": quality["cache_hit_rate"],
         "fastpath_fraction": quality["fastpath_fraction"],
+        "compiled_fraction": quality["compiled_fraction"],
         "observability": quality,
         "hidden_witness_search": {
             "domain_size": len(domain),
@@ -351,6 +458,7 @@ def measure(witness_repeats=5, sweep_repeats=3):
             "speedup": (resume_cold_s / resume_warm_s
                         if resume_warm_s else float("inf")),
         },
+        "plan": plan_stats,
     }
 
 
@@ -382,19 +490,28 @@ def check(payload, update_baseline=False):
             f"resumed sweep ({resume['warm_s']:.4f}s) did not beat the "
             f"cold sweep ({resume['cold_s']:.4f}s)"
         )
+    plan_stats = payload["plan"]
+    if plan_stats["speedup"] < PLAN_FLOOR:
+        failures.append(
+            f"compiled sweep only {plan_stats['speedup']:.2f}x over the "
+            f"uncompiled path (need >={PLAN_FLOOR}x)"
+        )
 
     throughput = witness["serial_throughput_objs_per_s"]
     session_throughput = session["process_sweeps_per_s"]
+    plan_throughput = plan_stats["compiled_objs_per_s"]
     if update_baseline or not BASELINE_PATH.exists():
         BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
         BASELINE_PATH.write_text(json.dumps(
             {
                 "serial_witness_throughput_objs_per_s": throughput,
                 "process_session_sweeps_per_s": session_throughput,
+                "plan_compiled_objs_per_s": plan_throughput,
             }, indent=2,
         ) + "\n")
         print(f"baseline recorded: {throughput:,.0f} objs/s, "
-              f"{session_throughput:,.2f} process-session sweeps/s "
+              f"{session_throughput:,.2f} process-session sweeps/s, "
+              f"{plan_throughput:,.0f} compiled objs/s "
               f"-> {BASELINE_PATH}")
     else:
         baseline = json.loads(BASELINE_PATH.read_text())
@@ -413,6 +530,15 @@ def check(payload, update_baseline=False):
                     f"process-session throughput regressed: "
                     f"{session_throughput:,.2f} sweeps/s < floor "
                     f"{floor:,.2f} sweeps/s (baseline / {REGRESSION_FACTOR})"
+                )
+        recorded = baseline.get("plan_compiled_objs_per_s")
+        if recorded is not None:
+            floor = recorded / REGRESSION_FACTOR
+            if plan_throughput < floor:
+                failures.append(
+                    f"compiled-sweep throughput regressed: "
+                    f"{plan_throughput:,.0f} objs/s < floor "
+                    f"{floor:,.0f} objs/s (baseline / {REGRESSION_FACTOR})"
                 )
     return failures
 
@@ -441,8 +567,15 @@ def main(argv=None):
     print(f"resume from a {resume['store_records']}-record store: "
           f"cold {resume['cold_s']:.4f}s, warm {resume['warm_s']:.4f}s "
           f"({resume['speedup']:.1f}x)")
+    plan_stats = payload["plan"]
+    print(f"plan corpus of {plan_stats['models']} models x "
+          f"{plan_stats['objects_per_sweep']:,} objects: "
+          f"uncompiled {plan_stats['uncompiled_s']:.4f}s, "
+          f"compiled {plan_stats['compiled_s']:.4f}s "
+          f"({plan_stats['speedup']:.1f}x)")
     print(f"quality: cache hit rate {payload['cache_hit_rate']:.1%}, "
-          f"interval fast-path coverage {payload['fastpath_fraction']:.1%}")
+          f"interval fast-path coverage {payload['fastpath_fraction']:.1%}, "
+          f"compiled-program coverage {payload['compiled_fraction']:.1%}")
 
     failures = check(payload, update_baseline=args.update_baseline)
     if args.json:
@@ -488,6 +621,20 @@ def test_process_backend_session(benchmark):
     assert sum(len(s.findings) for s in sweeps) > 0
 
 
+def test_compiled_sweep_beats_uncompiled(benchmark):
+    """The compiled single-pass scan over the repeated-predicate corpus."""
+    models, domains, _objects = _plan_corpus()
+
+    def compiled():
+        plan.reset()
+        return sweep_models(models, domains, workers=4, limit=10**9,
+                            cache=PredicateCache())
+
+    sweeps = benchmark.pedantic(compiled, rounds=1, iterations=1) \
+        if hasattr(benchmark, "pedantic") else benchmark(compiled)
+    assert sum(len(s.findings) for s in sweeps) > 0
+
+
 def test_engine_beats_naive_serial_baseline():
     """The acceptance floors, runnable as a plain pytest check."""
     payload = measure(witness_repeats=3, sweep_repeats=2)
@@ -498,6 +645,7 @@ def test_engine_beats_naive_serial_baseline():
     assert session["speedup"] >= PROCESS_SESSION_FLOOR, session
     resume = payload["resume"]
     assert resume["warm_s"] < resume["cold_s"], resume
+    assert payload["plan"]["speedup"] >= PLAN_FLOOR, payload["plan"]
 
 
 if __name__ == "__main__":

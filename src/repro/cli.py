@@ -29,8 +29,12 @@ Commands
     executor — process and queue run on the distributed scheduler in
     ``repro.core.dist`` — and ``--resume-from PATH`` reuses results
     recorded in a JSONL store keyed by model fingerprint and
-    predicate-spec hash.  ``--fail-on-witness`` exits nonzero when any
-    hidden-path witness is found, so CI can gate on "no hidden paths".
+    predicate-spec hash.  ``--explain`` prints each task's chosen scan
+    strategy, estimated cost, and CSE reuse (the decisions of the
+    planner in ``repro.core.plan``; also the ``plans`` block of
+    ``--json``); ``--no-plan`` disables the predicate compiler for the
+    run.  ``--fail-on-witness`` exits nonzero when any hidden-path
+    witness is found, so CI can gate on "no hidden paths".
 ``serve``
     Run the long-lived analysis service (``repro.serve``): bounded
     admission queue (``--max-depth``), micro-batching window
@@ -193,23 +197,82 @@ def _cmd_statespace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _plan_rows(models: dict, domains: dict, limit: int,
+               cache_available: bool) -> list:
+    """Per-task planner decisions (``repro sweep --explain`` / the
+    ``plans`` block of ``--json``)."""
+    from .core import plan as _plan
+
+    rows = []
+    for label, model in models.items():
+        model_domains = domains.get(label, {})
+        for operation, pfsm in model.all_pfsms():
+            domain = model_domains.get(pfsm.name)
+            if domain is None:
+                continue
+            try:
+                info = _plan.describe_plan(
+                    pfsm, domain, limit=limit,
+                    cache_available=cache_available)
+            except Exception:
+                continue
+            rows.append({"model": model.name, "operation": operation.name,
+                         "pfsm": pfsm.name, **info})
+    return rows
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from . import obs
     from .core import NO_CACHE, PredicateCache, sweep_models
+    from .core import plan as _plan
 
     models = all_paper_models()
     domains = all_pfsm_domains()
     # A per-invocation cache so the reported stats cover exactly this
     # sweep (the process-wide shared cache would fold in prior history).
     cache = None if args.no_cache else PredicateCache()
-    sweeps = sweep_models(
-        models,
-        domains,
-        limit=args.limit,
-        workers=args.workers,
-        cache=NO_CACHE if args.no_cache else cache,
-        mode=args.backend,
-        resume_from=args.resume_from,
-    )
+    # Counters are recorded even without --profile so the strategy
+    # breakdown below covers exactly this sweep (delta, not absolute).
+    registry = obs.get_registry()
+    owned_registry = not registry.enabled
+    if owned_registry:
+        registry.enable()  # counters only; no sink attached
+    before = registry.counters()
+    if args.no_plan:
+        _plan.set_enabled(False)
+    try:
+        sweeps = sweep_models(
+            models,
+            domains,
+            limit=args.limit,
+            workers=args.workers,
+            cache=NO_CACHE if args.no_cache else cache,
+            mode=args.backend,
+            resume_from=args.resume_from,
+        )
+        plans = ([] if args.no_plan else
+                 _plan_rows(models, domains, args.limit, not args.no_cache))
+    finally:
+        if args.no_plan:
+            _plan.set_enabled(True)
+        after = registry.counters()
+        if owned_registry:
+            registry.disable()
+            if not before:
+                registry.reset()  # leave no trace of the counting run
+    delta = {key: after.get(key, 0) - before.get(key, 0)
+             for key in set(after) | set(before)}
+    scan_stats = {name: delta.get(f"sweep.scans.{name}", 0)
+                  for name in ("fastpath", "compiled", "cached", "plain")}
+    plan_stats = {
+        "enabled": not args.no_plan,
+        "compiles": delta.get("plan.compiles", 0),
+        "cache_hits": delta.get("plan.cache.hits", 0),
+        "cache_misses": delta.get("plan.cache.misses", 0),
+        "cse_shared": delta.get("plan.cse.shared", 0),
+        "cse_hits": delta.get("plan.cse.hits", 0),
+        "cse_misses": delta.get("plan.cse.misses", 0),
+    }
     cache_stats = cache.stats() if cache is not None else None
     total = sum(len(sweep.findings) for sweep in sweeps)
     # --fail-on-witness: CI gates on "no hidden paths" via the exit code.
@@ -233,10 +296,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 for sweep in sweeps
             ],
             "cache": cache_stats,
+            "scans": scan_stats,
+            "plan": plan_stats,
+            "plans": plans,
             "total_findings": total,
         }
         print(json.dumps(payload, indent=2, default=str))
         return exit_code
+    if args.explain and plans:
+        width = max(len(f"{r['model']}/{r['operation']}/{r['pfsm']}")
+                    for r in plans)
+        print("-- plans --")
+        print(f"{'task':<{width}}  {'strategy':<9} {'est_cost':>10}  "
+              f"reason")
+        for row in plans:
+            name = f"{row['model']}/{row['operation']}/{row['pfsm']}"
+            print(f"{name:<{width}}  {row['strategy']:<9} "
+                  f"{row['est_cost']:>10.1f}  {row['reason']}")
+        cse_nodes = sum(row.get("cse_nodes", 0) for row in plans)
+        print(f"plan cache: {plan_stats['cache_hits']} hits, "
+              f"{plan_stats['compiles']} compiles; "
+              f"{plan_stats['cse_shared']} subtrees promoted to CSE, "
+              f"{cse_nodes} CSE nodes across plans\n")
     for sweep in sweeps:
         verdict = "VULNERABLE" if sweep.vulnerable else "clean"
         print(f"{sweep.model_name}: {verdict} "
@@ -253,6 +334,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{cache_stats['misses']} misses, "
               f"{cache_stats['evictions']} evictions "
               f"(hit rate {cache_stats['hit_rate']:.1%})")
+    print(f"scans: {scan_stats['fastpath']} interval, "
+          f"{scan_stats['compiled']} compiled, "
+          f"{scan_stats['cached']} cached, {scan_stats['plain']} plain")
     if exit_code:
         print("failing: hidden-path witnesses found (--fail-on-witness)")
     return exit_code
@@ -480,6 +564,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the shared predicate memo cache")
     sweep.add_argument("--limit", type=int, default=5,
                        help="max witnesses recorded per pFSM")
+    sweep.add_argument("--explain", action="store_true",
+                       help="print each task's chosen scan strategy, "
+                            "estimated cost, and CSE reuse (the "
+                            "planner's decisions; also in --json as "
+                            "the 'plans' block)")
+    sweep.add_argument("--no-plan", action="store_true",
+                       help="disable the predicate compiler / planner "
+                            "for this sweep (scalar strategies only)")
     sweep.add_argument("--fail-on-witness", action="store_true",
                        help="exit nonzero if any hidden-path witness is "
                             "found (CI gate)")

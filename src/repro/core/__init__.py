@@ -36,6 +36,17 @@ from .dist import (
     domain_digest,
     task_key,
 )
+from .plan import (
+    NodeMemo,
+    PlanCache,
+    ScanPlan,
+    ScanProgram,
+    compile_spec,
+    describe_plan,
+    plan_cache,
+    plan_scan,
+    program_for,
+)
 from .predspec import (
     UnknownPredicateError,
     from_spec,
@@ -142,6 +153,15 @@ __all__ = [
     "ResultStore",
     "domain_digest",
     "task_key",
+    "NodeMemo",
+    "PlanCache",
+    "ScanPlan",
+    "ScanProgram",
+    "compile_spec",
+    "describe_plan",
+    "plan_cache",
+    "plan_scan",
+    "program_for",
     "UnknownPredicateError",
     "from_spec",
     "named_predicate",

@@ -64,6 +64,7 @@ __all__ = [
     "run_tasks",
     "memo_lookup",
     "memo_store",
+    "memo_discard",
     "clear_memo",
     "prewarm",
     "shutdown_pool",
@@ -144,23 +145,44 @@ def domain_digest(domain: Any) -> Optional[str]:
     return digest or None
 
 
+def _model_stamp(model: Any) -> Optional[Tuple[Any, ...]]:
+    """Mutation stamp of a model's predicates: every pFSM predicate's
+    ``cache_key`` (token + rebind version).  Rebinding any check changes
+    the stamp, so fingerprint memos validated against it never go stale
+    (the ROADMAP's cache-invalidation-on-version-bump item)."""
+    try:
+        parts: List[Any] = []
+        for _operation, pfsm in model.all_pfsms():
+            impl = pfsm.impl_accepts
+            parts.append((pfsm.spec_accepts.cache_key,
+                          impl.cache_key if impl is not None else None))
+        return tuple(parts)
+    except Exception:
+        return None
+
+
 def _model_fingerprint(model: Any) -> str:
     """:func:`repro.core.serialize.model_fingerprint`, memoized on the
     model object (corpus models are long-lived; the canonical-JSON dump
-    is not free at sweep frequency)."""
+    is not free at sweep frequency).  The memo is validated against the
+    model's predicate mutation stamp — a rebound check recomputes."""
+    stamp = _model_stamp(model)
     cached = getattr(model, "_dist_fingerprint", None)
-    if cached is None:
-        from .serialize import model_fingerprint
+    if (isinstance(cached, tuple) and len(cached) == 2
+            and stamp is not None and cached[0] == stamp):
+        return cached[1]
+    from .serialize import model_fingerprint
 
-        cached = model_fingerprint(model)
+    fingerprint = model_fingerprint(model)
+    try:
+        setattr(model, "_dist_fingerprint", (stamp, fingerprint))
+    except Exception:
         try:
-            setattr(model, "_dist_fingerprint", cached)
+            object.__setattr__(model, "_dist_fingerprint",
+                               (stamp, fingerprint))
         except Exception:
-            try:
-                object.__setattr__(model, "_dist_fingerprint", cached)
-            except Exception:
-                pass
-    return cached
+            pass
+    return fingerprint
 
 
 def task_key(model: Any, task: Sequence[Any]) -> Optional[str]:
@@ -373,6 +395,14 @@ def memo_store(key: str, finding: Optional[SweepFinding]) -> None:
     _memo_put(key, finding)
 
 
+def memo_discard(key: str) -> bool:
+    """Drop one fingerprint-keyed result from the warm tier; ``True``
+    when an entry was actually evicted.  The invalidation hook of the
+    serving layer's :class:`~repro.serve.cache.TieredResultCache`."""
+    with _MEMO_LOCK:
+        return _RESULT_MEMO.pop(key, _PENDING) is not _PENDING
+
+
 def clear_memo() -> None:
     """Drop every memoized task result (the in-process warm tier)."""
     with _MEMO_LOCK:
@@ -436,30 +466,44 @@ def reset() -> None:
 # Chunking.
 # ---------------------------------------------------------------------------
 
-def _task_cost(task: Sequence[Any]) -> int:
-    """Domain cardinality as the scan-cost estimate."""
+def _task_cost(task: Sequence[Any]) -> float:
+    """Plan-estimated scan cost of one task (see
+    :func:`repro.core.plan.task_cost`): interval-strategy tasks are
+    O(limit)-cheap however large their domain, compiled tasks weigh
+    their program's per-object cost.  Falls back to domain cardinality
+    when the planner is bypassed or cannot size the task."""
+    from . import plan
+
+    cost = None
     try:
-        return max(1, len(task[3]))
+        cost = plan.task_cost(task)
+    except Exception:
+        cost = None
+    if cost is not None:
+        return cost
+    try:
+        return float(max(1, len(task[3])))
     except TypeError:
-        return 1
+        return 1.0
 
 
 def chunk_tasks(tasks: Sequence[Any], indexes: Sequence[int],
                 n_chunks: int) -> List[List[int]]:
     """Pack ``indexes`` (into ``tasks``) into ``n_chunks`` size-balanced
-    chunks — greedy LPT on domain cardinality, deterministic ties.
+    chunks — greedy LPT on the plan cost estimate, deterministic ties.
 
     Never returns empty chunks: with fewer tasks than chunks, the chunk
     count shrinks.
     """
     n_chunks = max(1, min(n_chunks, len(indexes)))
-    ordered = sorted(indexes, key=lambda i: (-_task_cost(tasks[i]), i))
+    costs = {index: _task_cost(tasks[index]) for index in indexes}
+    ordered = sorted(indexes, key=lambda i: (-costs[i], i))
     chunks: List[List[int]] = [[] for _ in range(n_chunks)]
-    heap: List[Tuple[int, int]] = [(0, c) for c in range(n_chunks)]
+    heap: List[Tuple[float, int]] = [(0.0, c) for c in range(n_chunks)]
     for index in ordered:
         load, chunk_id = heappop(heap)
         chunks[chunk_id].append(index)
-        heappush(heap, (load + _task_cost(tasks[index]), chunk_id))
+        heappush(heap, (load + costs[index], chunk_id))
     # Tasks inside a chunk run in submission order for determinism of
     # any per-chunk telemetry; results are reassembled by index anyway.
     for chunk in chunks:
@@ -511,12 +555,27 @@ def _chunk_worker(
     :mod:`repro.core.predspec`); scans share the *worker's* process-wide
     predicate cache, whose spec-hash keys make verdicts memoized by one
     chunk reusable by every later chunk in the same worker.
+
+    Payloads come in two shapes: ``(task, program)`` pairs — the
+    compiled plan primes the worker's plan cache (and imports the
+    parent's CSE marks) as it unpickles — and bare legacy task tuples.
+    All tasks of a chunk share one :class:`~repro.core.plan.NodeMemo`,
+    so subpredicates shared across the chunk's models evaluate once per
+    object.
     """
+    from . import plan
+
     cache = shared_cache()
-    return [
-        (index, _scan_task(pickle.loads(raw), cache=cache))
-        for index, raw in chunk
-    ]
+    memo = plan.NodeMemo() if plan.is_enabled() else None
+    results: List[Tuple[int, Optional[SweepFinding]]] = []
+    for index, raw in chunk:
+        loaded = pickle.loads(raw)
+        if isinstance(loaded, tuple) and len(loaded) == 2:
+            task = loaded[0]  # loaded[1] (the plan) primed the cache
+        else:
+            task = loaded
+        results.append((index, _scan_task(task, cache=cache, memo=memo)))
+    return results
 
 
 # ---------------------------------------------------------------------------
@@ -524,8 +583,23 @@ def _chunk_worker(
 # ---------------------------------------------------------------------------
 
 def _serialize_task(task: Any) -> Optional[bytes]:
+    """Dispatch payload of one task: ``(task, compiled plan)`` — the
+    plan degrades to ``None`` rather than blocking distribution."""
+    from . import plan
+
+    program = None
     try:
-        return pickle.dumps(task)
+        if plan.is_enabled():
+            program = plan.program_for(task[2])
+    except Exception:
+        program = None
+    if program is not None:
+        try:
+            return pickle.dumps((task, program))
+        except Exception:
+            pass
+    try:
+        return pickle.dumps((task, None))
     except Exception:
         return None
 

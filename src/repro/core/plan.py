@@ -1,0 +1,915 @@
+"""Predicate compilation and cost-based scan planning.
+
+The sweep engine evaluates pFSM hidden-path conditions —
+``¬spec ∧ impl`` — interpretively: every :class:`~repro.core.predicates.
+Predicate` node is a Python closure calling ``evaluate`` on its
+children, each call re-paying the exception shield and the attribute
+indirection.  Structurally shared subpredicates across the corpus
+(every model checking ``length(·) <= N`` and ``· does not contain
+"%n"`` over the same probe strings) re-do identical work per model.
+
+This module lowers the declarative *spec* terms of
+:mod:`repro.core.predspec` into fused single-pass scan programs, in the
+spirit of compiled query plans (Neumann, VLDB 2011) over the
+interval-algebra machinery of :mod:`repro.core.predicates`:
+
+* **Constant folding and flattening** — ``and``/``or`` chains become
+  n-ary nodes, ``true``/``false`` units and double negations dissolve,
+  structurally duplicate conjuncts dedupe.
+* **Short-circuit reordering** — conjuncts are ordered by estimated
+  ``cost / (1 - selectivity)`` (cheapest expected rejection first),
+  disjuncts by ``cost / selectivity``; predicates are pure, so order is
+  unobservable except in time.
+* **Interval lowering** — comparison subtrees whose semantics are fully
+  captured by their closed-form integer intervals collapse to a single
+  membership test for ``int`` inputs (non-``int`` objects fall back to
+  the general program, preserving the constructors' coercion rules).
+* **Cross-task common-subexpression elimination** — every compiled node
+  is keyed by its :func:`~repro.core.predspec.spec_digest`-style
+  structural digest; once a digest is seen in two programs (or twice in
+  one), it is promoted to *shared* and evaluated through a
+  ``(digest, object)``-keyed :class:`NodeMemo`, so the shared subtree
+  runs once per object across every task in a sweep.
+
+Compiled :class:`ScanProgram` objects are verdict-equivalent to the
+interpretive path, including its fail-secure exception semantics: the
+interpreter shields every node (``evaluate`` maps exceptions to
+``False``), while programs shield only where a propagating exception
+could change the verdict — the program root, disjunct and negation
+children, and memoized shared nodes.  Inside a pure conjunction an
+exception propagating to the nearest shield yields ``False`` exactly
+where the interpreter's ``False`` would land.
+
+Programs are picklable (they ship as ``(spec, shared digests)`` and
+recompile through the receiving process's :class:`PlanCache`), so
+``mode="process"`` sweeps dispatch compiled plans inside their task
+payloads and workers inherit the parent's CSE marks.
+
+The planner can be bypassed wholesale (``set_enabled`` /
+:func:`disabled` — the benchmark's A/B switch and the CLI's
+``--no-plan``).
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..obs import DEFAULT as _OBS
+from .predicates import (
+    IntervalSet,
+    _FULL_LINE,
+    _complement_intervals,
+    _get,
+    _intersect_intervals,
+    _interval_contains,
+    _normalize_intervals,
+    _range_backing,
+    _union_intervals,
+)
+from .predspec import _lookup_named, _resolve_type, decode_value, spec_digest
+
+__all__ = [
+    "NodeMemo",
+    "PlanCache",
+    "ScanPlan",
+    "ScanProgram",
+    "compile_spec",
+    "describe_plan",
+    "disabled",
+    "hidden_spec",
+    "is_enabled",
+    "plan_cache",
+    "plan_scan",
+    "program_for",
+    "reset",
+    "set_enabled",
+    "stats",
+    "task_cost",
+]
+
+
+# ---------------------------------------------------------------------------
+# Cost model.
+#
+# Units are arbitrary (roughly "one cheap comparison" == 0.4); only the
+# *ordering* they induce matters — for conjunct/disjunct reordering and
+# for the greedy-LPT chunker in :mod:`repro.core.dist`.  Selectivity is
+# the estimated probability a node answers True.
+# ---------------------------------------------------------------------------
+
+_LEAF_COST: Dict[str, float] = {
+    "true": 0.05, "false": 0.05, "truthy": 0.3, "eq": 0.4,
+    "range": 0.5, "le": 0.4, "ge": 0.4, "lenle": 0.4,
+    "contains": 1.0, "ncontains": 1.0, "matches": 3.0,
+    "isa": 0.4, "named": 2.0,
+}
+
+_LEAF_SELECTIVITY: Dict[str, float] = {
+    "true": 1.0, "false": 0.0, "truthy": 0.7, "eq": 0.05,
+    "range": 0.3, "le": 0.5, "ge": 0.5, "lenle": 0.5,
+    "contains": 0.3, "ncontains": 0.7, "matches": 0.3,
+    "isa": 0.6, "named": 0.5,
+}
+
+#: Nodes cheaper than this are never CSE-memoized — the dict probe would
+#: cost more than re-evaluating them.
+_CSE_MIN_COST = 0.9
+
+#: Estimated interpretive cost per object for uncompilable predicates
+#: (two shielded ``Predicate.evaluate`` calls plus cache probes).
+_INTERP_COST = 2.5
+
+
+def _clamp(selectivity: float) -> float:
+    return min(0.99, max(0.01, selectivity))
+
+
+# ---------------------------------------------------------------------------
+# The node tree: parsed, folded, annotated spec terms.
+# ---------------------------------------------------------------------------
+
+class _Node:
+    """One node of a folded spec tree, annotated bottom-up."""
+
+    __slots__ = ("op", "args", "children", "digest", "cost",
+                 "selectivity", "intervals", "closed", "leaves")
+
+    def __init__(self, op: str, args: Tuple[Any, ...] = (),
+                 children: Tuple["_Node", ...] = ()) -> None:
+        self.op = op
+        self.args = args
+        self.children = children
+        self.digest = ""
+        self.cost = 0.0
+        self.selectivity = 0.5
+        #: Closed-form integer denotation of the subtree, or ``None``.
+        self.intervals: Optional[IntervalSet] = None
+        #: True when, for ``int`` inputs, the subtree's verdict is fully
+        #: decided by interval membership (the lowering precondition).
+        self.closed = False
+        self.leaves = 1
+
+
+def _leaf(op: str, args: Tuple[Any, ...]) -> _Node:
+    node = _Node(op, args)
+    node.digest = spec_digest([op] + list(args))
+    node.cost = _LEAF_COST.get(op, 1.0)
+    node.selectivity = _LEAF_SELECTIVITY.get(op, 0.5)
+    if op == "true":
+        node.intervals, node.closed = _FULL_LINE, True
+    elif op == "false":
+        node.intervals, node.closed = (), True
+    elif op == "range":
+        low, high = args
+        node.intervals = _normalize_intervals([(low, high)])
+        node.closed = True
+    elif op == "le":
+        node.intervals, node.closed = ((None, args[0]),), True
+    elif op == "ge":
+        node.intervals, node.closed = ((args[0], None),), True
+    elif op == "eq":
+        expected = decode_value(args[0])
+        if isinstance(expected, int) and not isinstance(expected, bool):
+            node.intervals = ((expected, expected),)
+            node.closed = True
+    return node
+
+
+def _make_not(child: _Node) -> _Node:
+    node = _Node("not", (), (child,))
+    node.digest = spec_digest(["not", child.digest])
+    node.cost = child.cost + 0.02
+    node.selectivity = 1.0 - child.selectivity
+    if child.intervals is not None:
+        node.intervals = _complement_intervals(child.intervals)
+    node.closed = child.closed and node.intervals is not None
+    node.leaves = child.leaves
+    return node
+
+
+def _make_attr(name: str, child: _Node) -> _Node:
+    node = _Node("attr", (name,), (child,))
+    node.digest = spec_digest(["attr", name, child.digest])
+    node.cost = 0.3 + child.cost
+    node.selectivity = child.selectivity
+    node.leaves = child.leaves
+    return node
+
+
+def _make_junction(op: str, kids: List[_Node]) -> _Node:
+    """An n-ary ``and``/``or`` with units folded, duplicates deduped,
+    and children ordered for expected-cost short-circuiting."""
+    absorbing = "false" if op == "and" else "true"
+    identity = "true" if op == "and" else "false"
+    unique: List[_Node] = []
+    seen: Set[str] = set()
+    for child in kids:
+        if child.op == absorbing:
+            return _leaf(absorbing, ())
+        if child.op == identity or child.digest in seen:
+            continue
+        seen.add(child.digest)
+        unique.append(child)
+    if not unique:
+        return _leaf(identity, ())
+    if len(unique) == 1:
+        return unique[0]
+    node = _Node(op, (), ())
+    # Order-insensitive digest: structurally equal junctions share an
+    # identity however their source specs associated or ordered them.
+    node.digest = spec_digest([op] + sorted(c.digest for c in unique))
+    intervals = unique[0].intervals
+    combine = _intersect_intervals if op == "and" else _union_intervals
+    for child in unique[1:]:
+        if intervals is None or child.intervals is None:
+            intervals = None
+            break
+        intervals = combine(intervals, child.intervals)
+    node.intervals = intervals
+    node.closed = intervals is not None and all(c.closed for c in unique)
+    node.leaves = sum(c.leaves for c in unique)
+    if op == "and":
+        unique.sort(key=lambda c: (
+            c.cost / max(1e-6, 1.0 - _clamp(c.selectivity)), c.digest))
+        reach, cost, sel = 1.0, 0.0, 1.0
+        for child in unique:
+            cost += reach * child.cost
+            reach *= _clamp(child.selectivity)
+            sel *= child.selectivity
+    else:
+        unique.sort(key=lambda c: (
+            c.cost / max(1e-6, _clamp(c.selectivity)), c.digest))
+        reach, cost, fail = 1.0, 0.0, 1.0
+        for child in unique:
+            cost += reach * child.cost
+            reach *= 1.0 - _clamp(child.selectivity)
+            fail *= 1.0 - child.selectivity
+        sel = 1.0 - fail
+    node.children = tuple(unique)
+    node.cost = cost + 0.05 * len(unique)
+    node.selectivity = sel
+    return node
+
+
+def _build(spec: Any) -> _Node:
+    """Parse a predspec term into a folded, annotated node tree."""
+    if not isinstance(spec, (list, tuple)) or not spec:
+        raise ValueError(f"malformed spec term: {spec!r}")
+    op = spec[0]
+    if op == "not":
+        child = _build(spec[1])
+        if child.op == "true":
+            return _leaf("false", ())
+        if child.op == "false":
+            return _leaf("true", ())
+        if child.op == "not":
+            return child.children[0]
+        return _make_not(child)
+    if op in ("and", "or"):
+        kids: List[_Node] = []
+        for sub in spec[1:]:
+            child = _build(sub)
+            if child.op == op:  # flatten nested chains into one n-ary node
+                kids.extend(child.children)
+            else:
+                kids.append(child)
+        return _make_junction(op, kids)
+    if op == "attr":
+        return _make_attr(spec[1], _build(spec[2]))
+    return _leaf(op, tuple(spec[1:]))
+
+
+# ---------------------------------------------------------------------------
+# The per-object CSE memo.
+# ---------------------------------------------------------------------------
+
+class NodeMemo:
+    """``(node digest, object) → verdict`` memo shared across the tasks
+    of one sweep (or one dispatch chunk, or one fused serve batch).
+
+    Deliberately lock-free: dict operations are atomic under the GIL and
+    predicates are pure, so a racing double-computation is wasted work,
+    never a wrong verdict.  ``hits``/``misses`` are advisory counters
+    (drained into ``plan.cse.*``); the bound is enforced by a crude
+    clear-on-overflow, keeping memory flat on adversarial domains.
+    """
+
+    __slots__ = ("data", "hits", "misses", "maxsize")
+
+    def __init__(self, maxsize: int = 1 << 16) -> None:
+        self.data: Dict[Tuple[str, Any], bool] = {}
+        self.hits = 0
+        self.misses = 0
+        self.maxsize = maxsize
+
+    def drain(self) -> Tuple[int, int]:
+        """``(hits, misses)`` since the previous drain, resetting both."""
+        hits, misses = self.hits, self.misses
+        self.hits = 0
+        self.misses = 0
+        return hits, misses
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "size": len(self.data), "maxsize": self.maxsize}
+
+
+# ---------------------------------------------------------------------------
+# Emission: node trees → closures.
+#
+# Every emitted callable takes ``(obj, memo)`` where ``memo`` is a
+# :class:`NodeMemo` or ``None``.  ``_emit_node`` returns ``(fn, safe)``
+# — ``safe`` meaning the callable can never raise (already shielded).
+# ---------------------------------------------------------------------------
+
+_EmitFn = Callable[[Any, Optional[NodeMemo]], bool]
+
+
+def _shield(fn: _EmitFn) -> _EmitFn:
+    def shielded(obj: Any, memo: Optional[NodeMemo]) -> bool:
+        try:
+            return fn(obj, memo)
+        except Exception:
+            return False
+    return shielded
+
+
+def _cse_wrap(digest: str, inner: _EmitFn) -> _EmitFn:
+    """Memoize a *shielded* node through the scan's :class:`NodeMemo`."""
+    def memoized(obj: Any, memo: Optional[NodeMemo]) -> bool:
+        if memo is None:
+            return inner(obj, memo)
+        try:
+            key = (digest, obj)
+            data = memo.data
+            if key in data:
+                memo.hits += 1
+                return data[key]
+        except TypeError:  # unhashable object — evaluate directly
+            return inner(obj, memo)
+        value = inner(obj, memo)
+        memo.misses += 1
+        if len(data) >= memo.maxsize:
+            data.clear()
+        data[key] = value
+        return value
+    return memoized
+
+
+def _emit_leaf(node: _Node) -> _EmitFn:
+    op, args = node.op, node.args
+    if op == "true":
+        return lambda obj, memo: True
+    if op == "false":
+        return lambda obj, memo: False
+    if op == "truthy":
+        return lambda obj, memo: bool(obj)
+    if op == "eq":
+        expected = decode_value(args[0])
+        return lambda obj, memo: bool(obj == expected)
+    if op == "range":
+        low, high = args
+        return lambda obj, memo: low <= int(obj) <= high
+    if op == "le":
+        bound = args[0]
+        return lambda obj, memo: int(obj) <= bound
+    if op == "ge":
+        bound = args[0]
+        return lambda obj, memo: int(obj) >= bound
+    if op == "lenle":
+        bound = args[0]
+        return lambda obj, memo: len(obj) <= bound
+    if op == "contains":
+        needle = decode_value(args[0])
+        return lambda obj, memo: needle in obj
+    if op == "ncontains":
+        needle = decode_value(args[0])
+        return lambda obj, memo: needle not in obj
+    if op == "matches":
+        pattern = args[0]
+        compiled = re.compile(pattern)
+        encoded = pattern.encode("latin-1")
+
+        def search(obj: Any, memo: Optional[NodeMemo]) -> bool:
+            if isinstance(obj, bytes):
+                return bool(re.search(encoded, obj))
+            return bool(compiled.search(obj))
+        return search
+    if op == "isa":
+        types = tuple(_resolve_type(mod, qual) for mod, qual in args[0])
+        return lambda obj, memo: isinstance(obj, types)
+    if op == "named":
+        evaluate = _lookup_named(args[0], args[1]).evaluate
+        return lambda obj, memo: evaluate(obj)  # self-shields
+    raise ValueError(f"unknown spec operator: {op!r}")
+
+
+def _emit_raw(node: _Node, shared: Set[str], ctx: Dict[str, int]) -> _EmitFn:
+    """The node's evaluator, *without* CSE wrapping or an own shield."""
+    op = node.op
+    if node.closed and node.children and node.leaves >= 2:
+        # Interval lowering: the whole comparison subtree is one
+        # membership test for exact ints.  The guard is ``type(obj) is
+        # int`` because the comparison constructors coerce (``int(obj)``)
+        # while ``eq`` does not — non-int objects must take the general
+        # program to reproduce that asymmetry (bools included: ``eq``
+        # over bools never gets an interval form).
+        intervals = node.intervals
+        general = _emit_general(node, shared, ctx)
+        ctx["lowered"] += 1
+
+        def fused(obj: Any, memo: Optional[NodeMemo]) -> bool:
+            if type(obj) is int:
+                return _interval_contains(intervals, obj)
+            return general(obj, memo)
+        return fused
+    return _emit_general(node, shared, ctx)
+
+
+def _emit_general(node: _Node, shared: Set[str],
+                  ctx: Dict[str, int]) -> _EmitFn:
+    op = node.op
+    if op == "and":
+        fns = [_emit_node(c, shared, ctx)[0] for c in node.children]
+        if len(fns) == 2:
+            first, second = fns
+            return lambda obj, memo: first(obj, memo) and second(obj, memo)
+
+        def conjunction(obj: Any, memo: Optional[NodeMemo]) -> bool:
+            for fn in fns:
+                if not fn(obj, memo):
+                    return False
+            return True
+        return conjunction
+    if op == "or":
+        fns = [_emit_shielded(c, shared, ctx) for c in node.children]
+        if len(fns) == 2:
+            first, second = fns
+            return lambda obj, memo: first(obj, memo) or second(obj, memo)
+
+        def disjunction(obj: Any, memo: Optional[NodeMemo]) -> bool:
+            for fn in fns:
+                if fn(obj, memo):
+                    return True
+            return False
+        return disjunction
+    if op == "not":
+        inner = _emit_shielded(node.children[0], shared, ctx)
+        return lambda obj, memo: not inner(obj, memo)
+    if op == "attr":
+        inner = _emit_node(node.children[0], shared, ctx)[0]
+        name = node.args[0]
+        return lambda obj, memo: inner(_get(obj, name), memo)
+    return _emit_leaf(node)
+
+
+def _emit_node(node: _Node, shared: Set[str],
+               ctx: Dict[str, int]) -> Tuple[_EmitFn, bool]:
+    """``(fn, safe)`` — shared nodes come back memoized and shielded."""
+    raw = _emit_raw(node, shared, ctx)
+    if node.digest in shared and node.cost >= _CSE_MIN_COST:
+        ctx["cse"] += 1
+        return _cse_wrap(node.digest, _shield(raw)), True
+    return raw, False
+
+
+def _emit_shielded(node: _Node, shared: Set[str],
+                   ctx: Dict[str, int]) -> _EmitFn:
+    fn, safe = _emit_node(node, shared, ctx)
+    return fn if safe else _shield(fn)
+
+
+# ---------------------------------------------------------------------------
+# Compiled programs.
+# ---------------------------------------------------------------------------
+
+class ScanProgram:
+    """A predicate spec fused into one shielded single-pass evaluator.
+
+    ``evaluate(obj, memo)`` is verdict-identical to building the spec's
+    predicate via :func:`repro.core.predspec.from_spec` and calling it
+    — see the module header for the exception-semantics argument.
+    Pickling ships ``(spec, shared digests)`` and recompiles through the
+    receiving process's :class:`PlanCache`, carrying the sender's CSE
+    marks along.
+    """
+
+    __slots__ = ("spec", "digest", "cost", "selectivity", "leaves",
+                 "lowered", "cse_nodes", "shared", "_fn")
+
+    def __init__(self, spec: Any, digest: str, fn: _EmitFn, cost: float,
+                 selectivity: float, leaves: int, lowered: int,
+                 cse_nodes: int, shared: frozenset) -> None:
+        self.spec = spec
+        self.digest = digest
+        self.cost = cost
+        self.selectivity = selectivity
+        self.leaves = leaves
+        self.lowered = lowered
+        self.cse_nodes = cse_nodes
+        self.shared = shared
+        self._fn = fn
+
+    def evaluate(self, obj: Any, memo: Optional[NodeMemo] = None) -> bool:
+        return self._fn(obj, memo)
+
+    def __call__(self, obj: Any) -> bool:
+        return self._fn(obj, None)
+
+    def __reduce__(self):
+        return (_rebuild_program, (self.spec, tuple(sorted(self.shared))))
+
+    def __repr__(self) -> str:
+        return (f"ScanProgram(digest={self.digest[:12]}, "
+                f"cost={self.cost:.2f}, leaves={self.leaves}, "
+                f"cse={self.cse_nodes}, lowered={self.lowered})")
+
+
+class PlanCache:
+    """Bounded, stats-instrumented LRU of compiled programs, keyed by
+    the root node's structural digest."""
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[str, ScanProgram]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.compiles = 0
+        self.cse_promotions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, digest: str) -> Optional[ScanProgram]:
+        with self._lock:
+            program = self._data.get(digest)
+            if program is not None:
+                self._data.move_to_end(digest)
+                self.hits += 1
+            else:
+                self.misses += 1
+        if _OBS.enabled:
+            _OBS.incr("plan.cache.hits" if program is not None
+                      else "plan.cache.misses")
+        return program
+
+    def put(self, digest: str, program: ScanProgram) -> None:
+        evicted = 0
+        with self._lock:
+            self._data[digest] = program
+            self._data.move_to_end(digest)
+            self.compiles += 1
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+                evicted += 1
+        if _OBS.enabled:
+            _OBS.incr("plan.compiles")
+            if evicted:
+                _OBS.incr("plan.cache.evictions", evicted)
+
+    def discard(self, digest: str) -> None:
+        with self._lock:
+            self._data.pop(digest, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "compiles": self.compiles,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "cse_promotions": self.cse_promotions,
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+            }
+
+
+_CACHE = PlanCache()
+
+
+def plan_cache() -> PlanCache:
+    """The process-wide compiled-program cache."""
+    return _CACHE
+
+
+# ---------------------------------------------------------------------------
+# Cross-task CSE registry.
+#
+# Node digests are counted across every compiled root; a digest seen in
+# two distinct roots (or twice inside one) is promoted to *shared*, and
+# stale programs compiled before the promotion are evicted so their next
+# use recompiles with the memo wrapper in place.
+# ---------------------------------------------------------------------------
+
+_STATE_LOCK = threading.RLock()
+_SHARED: Set[str] = set()
+_NODE_ROOTS: Dict[str, Set[str]] = {}
+#: Bumped whenever the shared set changes (promotion, pickle import,
+#: reset) — validates per-pFSM program memos.
+_GENERATION = 0
+
+_ENABLED = True
+
+
+def is_enabled() -> bool:
+    """Is the planner active? (see :func:`set_enabled`)."""
+    return _ENABLED
+
+
+def set_enabled(on: bool) -> None:
+    """Globally enable/bypass the planner (``repro sweep --no-plan``)."""
+    global _ENABLED
+    _ENABLED = bool(on)
+
+
+@contextmanager
+def disabled():
+    """Temporarily bypass the planner — the benchmark's A/B switch."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+def reset() -> None:
+    """Fresh planner state: empty cache, no CSE marks (tests, benches)."""
+    global _GENERATION
+    with _STATE_LOCK:
+        _CACHE.clear()
+        _SHARED.clear()
+        _NODE_ROOTS.clear()
+        _GENERATION += 1  # never reuse a generation: stale memos miss
+
+
+def stats() -> Dict[str, Any]:
+    """PlanCache counters plus the CSE registry's shared-node count."""
+    payload = _CACHE.stats()
+    with _STATE_LOCK:
+        payload["shared_nodes"] = len(_SHARED)
+    return payload
+
+
+def _node_costs(root: _Node) -> Dict[str, Tuple[int, float]]:
+    """``digest → (occurrences within this root, cost)`` for every node
+    expensive enough to be a CSE candidate."""
+    counts: Dict[str, Tuple[int, float]] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.cost >= _CSE_MIN_COST:
+            seen, _cost = counts.get(node.digest, (0, 0.0))
+            counts[node.digest] = (seen + 1, node.cost)
+        stack.extend(node.children)
+    return counts
+
+
+def _register_root(root: _Node) -> Set[str]:
+    """Fold one root's nodes into the CSE registry; returns the digests
+    (of this tree) that are shared and must compile memoized.  Evicts
+    programs made stale by a fresh promotion."""
+    global _GENERATION
+    root_digest = root.digest
+    counts = _node_costs(root)
+    shared_here: Set[str] = set()
+    stale_roots: Set[str] = set()
+    promotions = 0
+    with _STATE_LOCK:
+        for digest, (occurrences, _cost) in counts.items():
+            if digest == root_digest:
+                continue
+            roots = _NODE_ROOTS.setdefault(digest, set())
+            roots.add(root_digest)
+            if digest not in _SHARED and (occurrences >= 2 or len(roots) >= 2):
+                _SHARED.add(digest)
+                promotions += 1
+                stale_roots.update(r for r in roots if r != root_digest)
+            if digest in _SHARED:
+                shared_here.add(digest)
+        if promotions:
+            _GENERATION += 1
+            _CACHE.cse_promotions += promotions
+    for stale in stale_roots:
+        _CACHE.discard(stale)
+    if promotions and _OBS.enabled:
+        _OBS.incr("plan.cse.shared", promotions)
+    return shared_here
+
+
+def compile_spec(spec: Any) -> ScanProgram:
+    """Compile a predspec term into a :class:`ScanProgram` (cached).
+
+    Raises for malformed terms and unresolvable named predicates —
+    callers on hot paths go through :func:`program_for`, which degrades
+    to ``None`` (interpretive fallback) instead.
+    """
+    root = _build(spec)
+    cached = _CACHE.get(root.digest)
+    if cached is not None:
+        return cached
+    shared_here = _register_root(root)
+    ctx = {"lowered": 0, "cse": 0}
+    fn, safe = _emit_node(root, shared_here, ctx)
+    if not safe:
+        fn = _shield(fn)
+    program = ScanProgram(
+        spec=spec, digest=root.digest, fn=fn, cost=root.cost,
+        selectivity=root.selectivity, leaves=root.leaves,
+        lowered=ctx["lowered"], cse_nodes=ctx["cse"],
+        shared=frozenset(shared_here),
+    )
+    _CACHE.put(root.digest, program)
+    return program
+
+
+def _rebuild_program(spec: Any, shared_digests: Sequence[str]
+                     ) -> Optional[ScanProgram]:
+    """Unpickle hook: import the sender's CSE marks, then recompile
+    through this process's cache.  Degrades to ``None`` (the payload's
+    task still runs interpretively) rather than poisoning the chunk."""
+    global _GENERATION
+    if shared_digests:
+        with _STATE_LOCK:
+            before = len(_SHARED)
+            _SHARED.update(shared_digests)
+            if len(_SHARED) != before:
+                _GENERATION += 1
+    try:
+        return compile_spec(spec)
+    except Exception:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# The planner: strategy selection and cost estimation per scan task.
+# ---------------------------------------------------------------------------
+
+def hidden_spec(pfsm: Any) -> Optional[Any]:
+    """The predspec term of the pFSM's hidden set ``¬spec ∧ impl`` —
+    ``None`` when either predicate is opaque (not compilable)."""
+    spec = getattr(pfsm.spec_accepts, "spec", None)
+    if spec is None:
+        return None
+    impl = pfsm.impl_accepts
+    if impl is None:  # no check at all accepts everything
+        return ["not", spec]
+    impl_spec = getattr(impl, "spec", None)
+    if impl_spec is None:
+        return None
+    return ["and", ["not", spec], impl_spec]
+
+
+def program_for(pfsm: Any) -> Optional[ScanProgram]:
+    """The compiled hidden-set program of one pFSM, or ``None`` when the
+    planner is bypassed or the pFSM is not compilable.
+
+    Memoized on the pFSM object, validated against both predicates'
+    mutation-aware cache keys and the CSE generation (a promotion
+    elsewhere in the corpus invalidates the memo so the program picks up
+    its memo wrappers).
+    """
+    if not _ENABLED:
+        return None
+    impl = pfsm.impl_accepts
+    stamp = (pfsm.spec_accepts.cache_key,
+             impl.cache_key if impl is not None else None,
+             _GENERATION)
+    memo = getattr(pfsm, "_plan_program", None)
+    if memo is not None and memo[0] == stamp:
+        return memo[1]
+    term = hidden_spec(pfsm)
+    program: Optional[ScanProgram] = None
+    if term is not None:
+        try:
+            program = compile_spec(term)
+        except Exception:
+            program = None
+    try:
+        object.__setattr__(pfsm, "_plan_program", (stamp, program))
+    except Exception:
+        pass
+    return program
+
+
+def _hidden_interval_set(pfsm: Any) -> Optional[IntervalSet]:
+    """Interval form of ``¬spec ∧ impl`` (the machinery behind
+    ``sweep._hidden_intervals``), or ``None`` if either side is opaque."""
+    spec_iv = pfsm.spec_accepts.intervals
+    if spec_iv is None:
+        return None
+    impl = pfsm.impl_accepts
+    impl_iv = _FULL_LINE if impl is None else impl.intervals
+    if impl_iv is None:
+        return None
+    return _intersect_intervals(_complement_intervals(spec_iv), impl_iv)
+
+
+def _domain_size(domain: Any, default: int = 1024) -> int:
+    try:
+        return len(domain)
+    except TypeError:
+        return default
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """The planner's verdict for one ``(pfsm, domain)`` scan task."""
+
+    strategy: str  # "interval" | "compiled" | "cached" | "plain"
+    program: Optional[ScanProgram]
+    est_cost: float
+    est_objects: int
+    reason: str
+
+
+def plan_scan(pfsm: Any, domain: Any, limit: int = 10,
+              cache_available: bool = True) -> ScanPlan:
+    """Pick the scan strategy and estimate its cost.
+
+    Dominance order: closed-form **interval** algebra (O(limit)) ≻
+    **compiled** program ≻ **cached** interpretive scan ≻ **plain**
+    interpretive scan.  This mirrors the dispatch in
+    :func:`repro.core.sweep.hidden_witness_scan`; the cost estimates
+    additionally size chunks in :mod:`repro.core.dist` and surface
+    through ``repro sweep --explain``.
+    """
+    objects = _domain_size(domain)
+    if _range_backing(domain) is not None:
+        if _hidden_interval_set(pfsm) is not None:
+            return ScanPlan(
+                strategy="interval", program=None,
+                est_cost=float(max(1, min(limit, objects))),
+                est_objects=objects,
+                reason="closed-form interval algebra over a range-backed "
+                       "domain (O(limit), independent of domain size)",
+            )
+    program = program_for(pfsm)
+    if program is not None:
+        return ScanPlan(
+            strategy="compiled", program=program,
+            est_cost=max(1.0, program.cost * objects),
+            est_objects=objects,
+            reason=f"fused single-pass program over {program.leaves} "
+                   f"leaves ({program.cse_nodes} shared, "
+                   f"{program.lowered} interval-lowered)",
+        )
+    strategy = "cached" if cache_available else "plain"
+    return ScanPlan(
+        strategy=strategy, program=None,
+        est_cost=max(1.0, _INTERP_COST * objects),
+        est_objects=objects,
+        reason="opaque predicate — interpretive scan"
+               + (" through the predicate cache" if cache_available else ""),
+    )
+
+
+def task_cost(task: Sequence[Any]) -> Optional[float]:
+    """Plan-estimated cost units of one sweep task, for the greedy-LPT
+    chunker — ``None`` when the planner is bypassed (the chunker falls
+    back to domain cardinality)."""
+    if not _ENABLED:
+        return None
+    try:
+        _model, _operation, pfsm, domain, limit = task
+        return max(1.0, plan_scan(pfsm, domain, limit).est_cost)
+    except Exception:
+        return None
+
+
+def describe_plan(pfsm: Any, domain: Any, limit: int = 10,
+                  cache_available: bool = True) -> Dict[str, Any]:
+    """JSON-ready plan description for ``repro sweep --explain``."""
+    chosen = plan_scan(pfsm, domain, limit, cache_available)
+    payload: Dict[str, Any] = {
+        "strategy": chosen.strategy,
+        "est_cost": round(chosen.est_cost, 2),
+        "objects": chosen.est_objects,
+        "reason": chosen.reason,
+    }
+    program = chosen.program
+    if program is not None:
+        payload.update({
+            "digest": program.digest[:12],
+            "program_cost": round(program.cost, 3),
+            "selectivity": round(program.selectivity, 3),
+            "leaves": program.leaves,
+            "lowered_nodes": program.lowered,
+            "cse_nodes": program.cse_nodes,
+        })
+    return payload

@@ -40,7 +40,8 @@ The module deliberately duck-types models and operations (anything with
 
 Every layer reports through :mod:`repro.obs` when telemetry is enabled:
 per-task spans, scan-strategy counters (``sweep.scans.fastpath`` /
-``.cached`` / ``.plain``), executor decisions (``sweep.pool.*``), and
+``.compiled`` / ``.cached`` / ``.plain``, mirrored as
+``plan.strategy.*`` picks), executor decisions (``sweep.pool.*``), and
 per-sweep cache-counter deltas (``sweep.cache.*``).  The checks are
 hoisted to once per scan/task — the per-object loops are untouched, so
 a disabled registry costs nothing measurable.  (Process-pool children
@@ -54,6 +55,7 @@ from __future__ import annotations
 import pickle
 import threading
 from collections import OrderedDict
+from itertools import islice
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import (
@@ -69,6 +71,7 @@ from typing import (
 )
 
 from ..obs import DEFAULT as _OBS
+from . import plan as _plan
 from .predicates import (
     Predicate,
     _clipped_subranges,
@@ -186,6 +189,97 @@ class PredicateCache:
                 self.evictions += 1
         return verdict
 
+    def evaluate_digest(self, digest: str, obj: Any,
+                        evaluate: Callable[[Any, Any], bool],
+                        memo: Any = None) -> bool:
+        """``evaluate(obj, memo)`` memoized under ``(digest, obj)`` — the
+        compiled-program twin of :meth:`evaluate`.  ``digest`` is a
+        :class:`~repro.core.plan.ScanProgram` structural digest
+        (order-insensitive over folded spec trees), so structurally
+        equal programs compiled from differently-associated source specs
+        share entries; it lives in a separate digest space from the
+        predicate spec hashes sharing this table, so the two key classes
+        never alias.
+        """
+        try:
+            key = (digest, obj)
+            hash(key)
+        except TypeError:
+            return evaluate(obj, memo)
+        with self._lock:
+            verdict = self._data.get(key, self._MISS)
+            if verdict is not self._MISS:
+                self._data.move_to_end(key)
+                self.hits += 1
+                self.spec_hits += 1
+                return verdict
+            self.misses += 1
+        verdict = evaluate(obj, memo)
+        with self._lock:
+            self._data[key] = verdict
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self.evictions += 1
+        return verdict
+
+    def evaluate_digest_many(self, digest: str, chunk: List[Any],
+                             evaluate: Callable[[Any, Any], bool],
+                             memo: Any = None) -> Tuple[List[Any], int]:
+        """Bulk :meth:`evaluate_digest` over ``chunk``: one lock
+        round-trip for all the lookups and one for all the stores,
+        instead of two per object.  Returns ``(verdicts, computed)``
+        where ``verdicts`` matches ``chunk`` order and ``computed`` is
+        how many verdicts were actually evaluated (equal hashable
+        objects repeated within the chunk are judged once; unhashable
+        objects bypass the cache and are always evaluated).
+        """
+        _miss = self._MISS
+        verdicts: List[Any] = [_miss] * len(chunk)
+        keys: List[Any] = [None] * len(chunk)
+        pending: List[int] = []
+        with self._lock:
+            data = self._data
+            for i, obj in enumerate(chunk):
+                try:
+                    key = (digest, obj)
+                    cached = data.get(key, _miss)
+                except TypeError:
+                    pending.append(i)
+                    continue
+                keys[i] = key
+                if cached is _miss:
+                    pending.append(i)
+                else:
+                    data.move_to_end(key)
+                    verdicts[i] = cached
+            hits = len(chunk) - len(pending)
+            self.hits += hits
+            self.spec_hits += hits
+            self.misses += len(pending)
+        firsts: Dict[Any, int] = {}
+        compute: List[int] = []
+        for i in pending:
+            key = keys[i]
+            if key is None or firsts.setdefault(key, i) is i:
+                compute.append(i)
+        for i in compute:
+            verdicts[i] = evaluate(chunk[i], memo)
+        for i in pending:
+            if verdicts[i] is _miss:
+                verdicts[i] = verdicts[firsts[keys[i]]]
+        with self._lock:
+            data = self._data
+            for i in pending:
+                key = keys[i]
+                if key is not None:
+                    data[key] = verdicts[i]
+                    data.move_to_end(key)
+            while len(data) > self.maxsize:
+                data.popitem(last=False)
+                self.evictions += 1
+        return verdicts, len(compute)
+
 
 #: The process-wide default cache shared by every sweep entry point that
 #: is not handed an explicit cache.
@@ -255,18 +349,103 @@ def hidden_witness_count(pfsm: Any, domain: Iterable[Any]) -> int:
     return sum(1 for obj in domain if takes(obj))
 
 
+#: How many domain objects a compiled scan pulls per cache round-trip.
+_COMPILED_CHUNK = 512
+
+
+def _compiled_scan(program: Any, domain: Iterable[Any], limit: int,
+                   resolved: Optional[PredicateCache],
+                   memo: Any) -> List[Any]:
+    """Scan a domain through a compiled hidden-set program.
+
+    With a :class:`PredicateCache` the scan runs in
+    ``_COMPILED_CHUNK``-sized windows through
+    :meth:`PredicateCache.evaluate_digest_many` — two lock round-trips
+    per window instead of two per object — and verdicts stay memoized
+    under the program digest so repeated sweeps are warm across calls.
+    Without a cache it keeps the cached path's per-scan identity memo
+    (each distinct object reference is judged once).  ``memo`` is the
+    cross-task :class:`~repro.core.plan.NodeMemo` carrying CSE verdicts
+    between tasks of one sweep (``None`` gets a scan-local one).
+    """
+    if memo is None:
+        memo = _plan.NodeMemo()
+    evaluate = program.evaluate
+    _miss = _MISS
+    found: List[Any] = []
+    judged = 0
+    seen: Dict[int, Any] = {}  # id(obj) -> rides the hidden path
+    pinned: List[Any] = []  # keep memoized objects alive: no id reuse
+    if resolved is not None:
+        digest = program.digest
+        bulk = resolved.evaluate_digest_many
+        pull = iter(domain)
+        while len(found) < limit:
+            chunk = list(islice(pull, _COMPILED_CHUNK))
+            if not chunk:
+                break
+            # The identity memo screens repeated references lock-free;
+            # only first occurrences pay a cache round-trip.
+            fresh = []
+            for candidate in chunk:
+                ident = id(candidate)
+                if ident not in seen:
+                    seen[ident] = _miss
+                    pinned.append(candidate)
+                    fresh.append(candidate)
+            if fresh:
+                verdicts, computed = bulk(digest, fresh, evaluate, memo)
+                judged += computed
+                for candidate, verdict in zip(fresh, verdicts):
+                    seen[id(candidate)] = verdict
+            for candidate in chunk:
+                if seen[id(candidate)]:
+                    found.append(candidate)
+                    if len(found) >= limit:
+                        break
+    else:
+        for candidate in domain:
+            ident = id(candidate)
+            hidden = seen.get(ident, _miss)
+            if hidden is _miss:
+                hidden = evaluate(candidate, memo)
+                seen[ident] = hidden
+                pinned.append(candidate)
+            if hidden:
+                found.append(candidate)
+                if len(found) >= limit:
+                    break
+        judged = len(seen)
+    if _OBS.enabled:
+        _OBS.incr("sweep.scans.compiled")
+        _OBS.incr("plan.strategy.compiled")
+        _OBS.incr("sweep.objects.judged", judged)
+        _OBS.incr("sweep.witnesses", len(found))
+        hits, misses = memo.drain()
+        if hits or misses:
+            _OBS.incr("plan.cse.hits", hits)
+            _OBS.incr("plan.cse.misses", misses)
+    return found
+
+
 def hidden_witness_scan(
     pfsm: Any,
     domain: Iterable[Any],
     limit: int = 10,
     cache: Any = NO_CACHE,
+    memo: Any = None,
 ) -> List[Any]:
     """Hidden-path witnesses of one pFSM over one domain.
 
-    Three strategies, fastest applicable wins:
+    Four strategies, fastest applicable wins (the dominance order of
+    :func:`repro.core.plan.plan_scan`):
 
     * closed-form interval algebra when both predicates have one and the
       domain is ``range``-backed (O(limit), not O(n));
+    * a compiled single-pass scan program when both predicates carry
+      specs and the planner is enabled (see :mod:`repro.core.plan`) —
+      ``memo`` optionally shares CSE verdicts across the tasks of one
+      sweep;
     * cached scalar scan when a :class:`PredicateCache` is supplied
       (``cache=None`` selects the shared cache) — repeated *references*
       within the domain are additionally memoized per scan by identity
@@ -295,9 +474,13 @@ def hidden_witness_scan(
                     break
             if _OBS.enabled:
                 _OBS.incr("sweep.scans.fastpath")
+                _OBS.incr("plan.strategy.interval")
                 _OBS.incr("sweep.witnesses", len(found))
             return found
     resolved = _resolve_cache(cache)
+    program = _plan.program_for(pfsm)
+    if program is not None:
+        return _compiled_scan(program, domain, limit, resolved, memo)
     found = []
     if resolved is None:
         takes = pfsm.takes_hidden_path
@@ -308,6 +491,7 @@ def hidden_witness_scan(
                     break
         if _OBS.enabled:
             _OBS.incr("sweep.scans.plain")
+            _OBS.incr("plan.strategy.plain")
             _OBS.incr("sweep.witnesses", len(found))
         return found
     spec, impl = pfsm.spec_accepts, pfsm.impl_accepts
@@ -329,6 +513,7 @@ def hidden_witness_scan(
                 break
     if _OBS.enabled:
         _OBS.incr("sweep.scans.cached")
+        _OBS.incr("plan.strategy.cached")
         _OBS.incr("sweep.objects.judged", len(verdicts))
         _OBS.incr("sweep.witnesses", len(found))
     return found
@@ -375,13 +560,14 @@ class ModelSweep:
 SweepTask = Tuple[str, str, Any, Any, int]
 
 
-def _scan_task(task: SweepTask, cache: Any = NO_CACHE
+def _scan_task(task: SweepTask, cache: Any = NO_CACHE, memo: Any = None
                ) -> Optional[SweepFinding]:
     """One unit of sweep work: scan a single pFSM's domain."""
     model_name, operation_name, pfsm, domain, limit = task
     with _OBS.span("sweep.task", model=model_name,
                    operation=operation_name, pfsm=pfsm.name) as span:
-        witnesses = hidden_witness_scan(pfsm, domain, limit=limit, cache=cache)
+        witnesses = hidden_witness_scan(pfsm, domain, limit=limit,
+                                        cache=cache, memo=memo)
         span.set(witnesses=len(witnesses))
     if _OBS.enabled:
         _OBS.incr("sweep.tasks.completed")
@@ -396,17 +582,18 @@ def _scan_task(task: SweepTask, cache: Any = NO_CACHE
     )
 
 
-def _scan_task_with(cache: Any, parent_id: Optional[int] = None
+def _scan_task_with(cache: Any, parent_id: Optional[int] = None,
+                    memo: Any = None
                     ) -> Callable[[SweepTask], Optional[SweepFinding]]:
-    """A :func:`_scan_task` closure binding the executor's cache and —
-    for worker threads — parenting spans under the submitting thread's
-    live span."""
+    """A :func:`_scan_task` closure binding the executor's cache (and
+    shared plan memo) and — for worker threads — parenting spans under
+    the submitting thread's live span."""
     def run(task: SweepTask) -> Optional[SweepFinding]:
         if parent_id is None:
-            return _scan_task(task, cache=cache)
+            return _scan_task(task, cache=cache, memo=memo)
         previous = _OBS.set_inherited_parent(parent_id)
         try:
-            return _scan_task(task, cache=cache)
+            return _scan_task(task, cache=cache, memo=memo)
         finally:
             _OBS.set_inherited_parent(previous)
     return run
@@ -418,14 +605,20 @@ def _serialize_tasks(tasks: Sequence[Any]) -> List[Optional[bytes]]:
     Returns each task's serialized bytes (reused verbatim as the
     dispatch payload by :mod:`repro.core.dist`) or ``None`` for the
     tasks that do not pickle — one opaque predicate no longer drags the
-    whole sweep onto threads.
+    whole sweep onto threads.  Payloads carry ``(task, program)`` pairs:
+    the compiled hidden-set plan ships alongside the task, priming the
+    worker's plan cache (with the parent's CSE marks) on unpickle.
     """
     payloads: List[Optional[bytes]] = []
     for task in tasks:
+        program = _plan.program_for(task[2])
         try:
-            payloads.append(pickle.dumps(task))
+            payloads.append(pickle.dumps((task, program)))
         except Exception:
-            payloads.append(None)
+            try:
+                payloads.append(pickle.dumps((task, None)))
+            except Exception:
+                payloads.append(None)
     return payloads
 
 
@@ -435,6 +628,7 @@ def _run_tasks(
     mode: str,
     cache: Any = NO_CACHE,
     keys: Optional[Sequence[Optional[str]]] = None,
+    memo: Any = None,
 ) -> List[Optional[SweepFinding]]:
     """Execute scan tasks, preserving submission order in the results.
 
@@ -469,7 +663,7 @@ def _run_tasks(
         if obs_on:
             _OBS.incr("sweep.pool.inline")
             _OBS.event("sweep.pool", kind="inline", tasks=len(tasks))
-        return [_scan_task(task, cache=cache) for task in tasks]
+        return [_scan_task(task, cache=cache, memo=memo) for task in tasks]
     threaded = list(range(len(tasks)))
     results: List[Optional[SweepFinding]] = [None] * len(tasks)
     if mode == "auto":
@@ -501,7 +695,7 @@ def _run_tasks(
         parent = _OBS.current_span()
         if parent is not None:
             parent_id = parent.span_id
-    worker_fn = _scan_task_with(cache, parent_id)
+    worker_fn = _scan_task_with(cache, parent_id, memo)
     with ThreadPoolExecutor(max_workers=workers) as pool:
         for i, finding in zip(threaded,
                               pool.map(worker_fn,
@@ -556,10 +750,11 @@ def sweep_operation(
     with _OBS.span("sweep.operation", operation=operation.name,
                    tasks=len(tasks)) as span:
         before = resolved.stats() if _OBS.enabled and resolved is not None else None
+        memo = _plan.NodeMemo() if _plan.is_enabled() else None
         findings = [
             f for f in _run_tasks(tasks, workers, mode,
                                   cache=NO_CACHE if resolved is None
-                                  else resolved)
+                                  else resolved, memo=memo)
             if f is not None
         ]
         _record_cache_delta(before, resolved)
@@ -586,10 +781,11 @@ def sweep_model(
     with _OBS.span("sweep.model", model=model.name,
                    tasks=len(tasks)) as span:
         before = resolved.stats() if _OBS.enabled and resolved is not None else None
+        memo = _plan.NodeMemo() if _plan.is_enabled() else None
         findings = [
             f for f in _run_tasks(tasks, workers, mode,
                                   cache=NO_CACHE if resolved is None
-                                  else resolved)
+                                  else resolved, memo=memo)
             if f is not None
         ]
         _record_cache_delta(before, resolved)
@@ -684,10 +880,12 @@ def sweep_models(
                    workers=workers or 1, mode=mode,
                    resumed=len(resumed)) as span:
         before = resolved.stats() if _OBS.enabled and resolved is not None else None
+        memo = _plan.NodeMemo() if _plan.is_enabled() else None
         computed = _run_tasks(
             [tasks[i] for i in remaining], workers, mode,
             cache=NO_CACHE if resolved is None else resolved,
             keys=[keys[i] for i in remaining] if keys is not None else None,
+            memo=memo,
         )
         _record_cache_delta(before, resolved)
         results: List[Optional[SweepFinding]] = [None] * len(tasks)

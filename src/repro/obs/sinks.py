@@ -117,6 +117,10 @@ def derived_metrics(counters: Dict[str, int]) -> Dict[str, float]:
         Interval fast-path scans over all witness scans — the share of
         the corpus answered by closed-form interval algebra instead of
         per-object evaluation.
+    ``compiled_fraction``
+        Compiled-program scans over all witness scans — the share the
+        predicate compiler (:mod:`repro.core.plan`) fused into
+        single-pass programs.
 
     Ratios whose denominators are zero are omitted.
     """
@@ -126,10 +130,12 @@ def derived_metrics(counters: Dict[str, int]) -> Dict[str, float]:
     if hits + misses:
         derived["cache_hit_rate"] = hits / (hits + misses)
     fast = counters.get("sweep.scans.fastpath", 0)
-    scans = fast + counters.get("sweep.scans.cached", 0) \
+    compiled = counters.get("sweep.scans.compiled", 0)
+    scans = fast + compiled + counters.get("sweep.scans.cached", 0) \
         + counters.get("sweep.scans.plain", 0)
     if scans:
         derived["fastpath_fraction"] = fast / scans
+        derived["compiled_fraction"] = compiled / scans
     return derived
 
 
@@ -179,4 +185,7 @@ class ConsoleReporter(MemorySink):
             if "fastpath_fraction" in derived:
                 buf.write("interval fast-path coverage: "
                           f"{derived['fastpath_fraction']:.1%} of scans\n")
+            if derived.get("compiled_fraction"):
+                buf.write("compiled-program coverage: "
+                          f"{derived['compiled_fraction']:.1%} of scans\n")
         return buf.getvalue()

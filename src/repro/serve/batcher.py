@@ -22,11 +22,21 @@ union of their tasks by fingerprint key (two *different* requests that
 share a pFSM×domain compute it once), and hands the remaining unique
 tasks to the engine in one dispatch — the thread executor shares the
 process-wide predicate cache; the process backend rides the warm
-:mod:`repro.core.dist` pool, whose LPT chunker size-balances the batch
+:mod:`repro.core.dist` pool, whose LPT chunker cost-balances the batch
 across workers.  One dispatch runs at a time: while it computes, new
 identical requests coalesce and new distinct requests accumulate into
 the next batch (or shed, once the queue fills — that is admission
 control doing its job).
+
+**Sub-predicate batch fusion.**  Before the thread executor dispatches,
+compiled-strategy tasks sharing a domain (by content digest) are fused:
+one pass over the shared domain evaluates every member's compiled
+program per object, with one :class:`~repro.core.plan.NodeMemo`
+carrying CSE sub-predicate verdicts *across* the member programs — two
+models in one batch that share ``length_le(64) ∧ contains("%n")``
+evaluate that conjunct once per object, not once per model.  Interval
+fast-path tasks, opaque tasks, and singleton digests fall through to
+the normal dispatch unchanged.
 """
 
 from __future__ import annotations
@@ -51,6 +61,112 @@ __all__ = ["MicroBatcher"]
 _PENDING = object()
 
 
+def _fusion_groups(tasks: List[Any]):
+    """Fusable task groups: compiled-strategy tasks (program available,
+    interval fast path not applicable) bucketed by domain content
+    digest.  Returns ``(groups, programs)`` where groups are index
+    lists of size >= 2 and ``programs`` maps task index to its compiled
+    :class:`~repro.core.plan.ScanProgram`."""
+    from ..core import dist, plan
+    from ..core.sweep import _hidden_intervals, _range_backing
+
+    programs: Dict[int, Any] = {}
+    if not plan.is_enabled():
+        return [], programs
+    buckets: Dict[str, List[int]] = {}
+    for index, task in enumerate(tasks):
+        _model, _op, pfsm, domain, _limit = task
+        if _range_backing(domain) is not None \
+                and _hidden_intervals(pfsm) is not None:
+            continue  # the closed-form scan is already O(limit)
+        try:
+            program = plan.program_for(pfsm)
+        except Exception:
+            program = None
+        if program is None:
+            continue
+        digest = dist.domain_digest(domain)
+        if digest is None:
+            continue
+        buckets.setdefault(digest, []).append(index)
+        programs[index] = program
+    return [group for group in buckets.values() if len(group) >= 2], \
+        programs
+
+
+def _fused_group_scan(tasks: List[Any], indexes: List[int],
+                      programs: Dict[int, Any]) -> Dict[int, Any]:
+    """One pass over a shared domain evaluating every member program
+    per object.  A single shared :class:`~repro.core.plan.NodeMemo`
+    carries CSE sub-predicate verdicts across the member programs; each
+    member keeps its own identity memo and witness limit, so results
+    are exactly what per-task scans would produce."""
+    from ..core import plan
+    from ..core.sweep import SweepFinding
+
+    resolved = shared_cache()
+    memo = plan.NodeMemo()
+    miss = object()
+    members = []
+    for index in indexes:
+        model_name, operation_name, pfsm, _domain, limit = tasks[index]
+        members.append({
+            "index": index, "pfsm": pfsm, "model": model_name,
+            "operation": operation_name, "program": programs[index],
+            "limit": limit, "found": [], "verdicts": {}, "pinned": [],
+        })
+    domain = tasks[indexes[0]][3]  # same content digest: any member's
+    open_members = [m for m in members if m["limit"] > 0]
+    for candidate in domain:
+        if not open_members:
+            break
+        ident = id(candidate)
+        still = []
+        for member in open_members:
+            hidden = member["verdicts"].get(ident, miss)
+            if hidden is miss:
+                program = member["program"]
+                if resolved is not None:
+                    hidden = resolved.evaluate_digest(
+                        program.digest, candidate, program.evaluate, memo)
+                else:
+                    hidden = program.evaluate(candidate, memo)
+                member["verdicts"][ident] = hidden
+                member["pinned"].append(candidate)
+            if hidden:
+                member["found"].append(candidate)
+                if len(member["found"]) >= member["limit"]:
+                    continue  # member filled: drop from the open set
+            still.append(member)
+        open_members = still
+    results: Dict[int, Any] = {}
+    for member in members:
+        found = member["found"]
+        if _OBS.enabled:
+            with _OBS.span("sweep.task", model=member["model"],
+                           operation=member["operation"],
+                           pfsm=member["pfsm"].name) as span:
+                span.set(witnesses=len(found), fused=True)
+            _OBS.incr("sweep.tasks.completed")
+            _OBS.incr("sweep.scans.compiled")
+            _OBS.incr("plan.strategy.compiled")
+            _OBS.incr("sweep.objects.judged", len(member["verdicts"]))
+            _OBS.incr("sweep.witnesses", len(found))
+        results[member["index"]] = None if not found else SweepFinding(
+            model_name=member["model"],
+            operation_name=member["operation"],
+            pfsm_name=member["pfsm"].name,
+            activity=member["pfsm"].activity,
+            witnesses=tuple(found),
+        )
+    if _OBS.enabled:
+        hits, misses = memo.drain()
+        if hits or misses:
+            _OBS.incr("plan.cse.hits", hits)
+            _OBS.incr("plan.cse.misses", misses)
+    return results
+
+
 def _engine_compute(tasks: List[Any], keys: List[Optional[str]],
                     workers: int, backend: str) -> List[Any]:
     """The default compute function: one engine dispatch (runs on an
@@ -60,7 +176,24 @@ def _engine_compute(tasks: List[Any], keys: List[Optional[str]],
         # let the dist scheduler memoize by fingerprint as well.
         return _run_tasks(tasks, workers, backend, cache=NO_CACHE,
                           keys=keys)
-    return _run_tasks(tasks, workers, "thread", cache=shared_cache())
+    groups, programs = _fusion_groups(tasks)
+    if not groups:
+        return _run_tasks(tasks, workers, "thread", cache=shared_cache())
+    fused_total = sum(len(group) for group in groups)
+    if _OBS.enabled:
+        _OBS.incr("sweep.tasks.queued", fused_total)
+        _OBS.incr("serve.batch.fused_groups", len(groups))
+        _OBS.incr("serve.batch.fused_tasks", fused_total)
+    resolved_by_index: Dict[int, Any] = {}
+    for group in groups:
+        resolved_by_index.update(_fused_group_scan(tasks, group, programs))
+    leftover = [i for i in range(len(tasks)) if i not in resolved_by_index]
+    if leftover:
+        sub = _run_tasks([tasks[i] for i in leftover], workers, "thread",
+                         cache=shared_cache())
+        for index, finding in zip(leftover, sub):
+            resolved_by_index[index] = finding
+    return [resolved_by_index[i] for i in range(len(tasks))]
 
 
 class MicroBatcher:
@@ -129,6 +262,9 @@ class MicroBatcher:
         """
         loop = asyncio.get_running_loop()
         fingerprint = query.fingerprint
+        register = getattr(self._cache, "register", None)
+        if register is not None:
+            register(query.model_key, query.task_keys)
 
         leader = self._inflight.get(fingerprint)
         if leader is not None:

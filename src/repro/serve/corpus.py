@@ -8,11 +8,16 @@ server's lifetime, so task tuples, per-task fingerprint keys
 (:func:`repro.core.dist.task_key`) and the request-level fingerprint are
 all computed on first use and reused for every later request.
 
-The request fingerprint folds the model key, the witness limit, and
-every task's :func:`~repro.core.serialize.sweep_task_fingerprint` into
-one digest — it is the single-flight coalescing identity in
+The request fingerprint folds the model key, the witness limit, the
+model's predicate *mutation stamp* (every pFSM predicate's
+``cache_key`` — see :func:`repro.core.dist._model_stamp`), and every
+task's :func:`~repro.core.serialize.sweep_task_fingerprint` into one
+digest — it is the single-flight coalescing identity in
 :mod:`repro.serve.batcher`: two requests with the same fingerprint are
-provably the same computation.
+provably the same computation.  The expansion memo is validated against
+the same stamp, so a model mutated in place (``Predicate.rebind``)
+re-expands on the next request instead of serving the stale task keys —
+and therefore stale cached findings — forever.
 """
 
 from __future__ import annotations
@@ -60,6 +65,15 @@ class ExpandedQuery:
     fingerprint: str = field(compare=False)
 
 
+def _stamp_term(stamp: Any) -> Any:
+    """JSON-safe form of a model mutation stamp for digesting (``""``
+    when the stamp could not be computed)."""
+    if stamp is None:
+        return ""
+    return [[list(spec_key), list(impl_key) if impl_key else None]
+            for spec_key, impl_key in stamp]
+
+
 class AnalysisCorpus:
     """The fixed model/domain set one server instance answers over."""
 
@@ -81,7 +95,10 @@ class AnalysisCorpus:
         self._models = models
         self._domains = domains
         self._keys = dict(keys if keys is not None else MODEL_KEYS)
-        self._expanded: Dict[Tuple[str, int], ExpandedQuery] = {}
+        #: ``(key, limit) -> (mutation stamp, expansion)`` — the stamp
+        #: guards against serving a stale expansion of a mutated model.
+        self._expanded: Dict[Tuple[str, int],
+                             Tuple[Any, ExpandedQuery]] = {}
         self._lock = threading.Lock()
 
     def keys(self) -> List[str]:
@@ -92,19 +109,22 @@ class AnalysisCorpus:
         return key in self._keys
 
     def expand(self, key: str, limit: int) -> ExpandedQuery:
-        """The memoized task expansion of ``(key, limit)``.
+        """The memoized task expansion of ``(key, limit)``, validated
+        against the model's predicate mutation stamp (a rebound check
+        re-expands instead of serving stale task keys).
 
         Raises :class:`KeyError` for unknown model keys.
         """
-        memo_key = (key, limit)
-        with self._lock:
-            cached = self._expanded.get(memo_key)
-        if cached is not None:
-            return cached
         label = self._keys.get(key)
         if label is None:
             raise KeyError(key)
         model = self._models[label]
+        stamp = dist._model_stamp(model)
+        memo_key = (key, limit)
+        with self._lock:
+            cached = self._expanded.get(memo_key)
+        if cached is not None and stamp is not None and cached[0] == stamp:
+            return cached[1]
         model_domains = self._domains.get(label, {})
         tasks: List[Any] = []
         task_keys: List[Optional[str]] = []
@@ -116,7 +136,7 @@ class AnalysisCorpus:
             tasks.append(task)
             task_keys.append(dist.task_key(model, task))
         fingerprint = spec_digest(
-            ["serve.query", key, limit,
+            ["serve.query", key, limit, _stamp_term(stamp),
              [k if k is not None else "" for k in task_keys]]
         )
         expanded = ExpandedQuery(
@@ -128,4 +148,17 @@ class AnalysisCorpus:
             fingerprint=fingerprint,
         )
         with self._lock:
-            return self._expanded.setdefault(memo_key, expanded)
+            self._expanded[memo_key] = (stamp, expanded)
+        return expanded
+
+    def invalidate(self, key: str) -> int:
+        """Drop every memoized expansion of model ``key``; returns how
+        many ``(key, limit)`` entries were evicted.  The stamp check in
+        :meth:`expand` makes this automatic for in-place predicate
+        mutations; this hook covers wholesale model replacement."""
+        with self._lock:
+            stale = [memo_key for memo_key in self._expanded
+                     if memo_key[0] == key]
+            for memo_key in stale:
+                del self._expanded[memo_key]
+        return len(stale)

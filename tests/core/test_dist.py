@@ -68,13 +68,31 @@ class TestChunking:
         for chunk in chunks:
             assert chunk == sorted(chunk)
 
-    def test_lpt_balances_by_domain_cardinality(self):
+    def test_lpt_balances_by_estimated_scan_cost(self):
+        from repro.core import Predicate
+
+        # Opaque specs defeat the planner, so estimated cost degrades to
+        # per-object evaluation — proportional to domain cardinality.
         sizes = [1000, 10, 10, 10, 10, 10]
-        tasks = [_task(Domain.integers(0, n - 1)) for n in sizes]
+        tasks = [_task(Domain.integers(0, n - 1),
+                       pfsm=_pfsm(spec=Predicate(lambda x: 0 <= x <= 5,
+                                                 "opaque")))
+                 for n in sizes]
         chunks = dist.chunk_tasks(tasks, list(range(len(tasks))), 2)
         costs = [sum(sizes[i] for i in chunk) for chunk in chunks]
         # The huge task must not drag the small ones into its chunk.
         assert min(costs) == sum(sizes) - 1000
+
+    def test_interval_tasks_are_cheap_regardless_of_cardinality(self):
+        from repro.core import Predicate
+
+        # A closed-form (interval-answerable) scan over a huge range
+        # costs O(limit); an opaque scan over a tiny range costs O(n).
+        huge = _task(Domain.integers(0, 10**6 - 1))
+        small_opaque = _task(
+            Domain.integers(0, 99),
+            pfsm=_pfsm(spec=Predicate(lambda x: x > 0, "opaque")))
+        assert dist._task_cost(huge) < dist._task_cost(small_opaque)
 
     def test_never_more_chunks_than_tasks(self):
         tasks = [_task(Domain.integers(0, 3))] * 2

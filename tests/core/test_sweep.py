@@ -305,6 +305,58 @@ class TestPredicateCache:
         assert calls["n"] == 2
 
 
+class TestEvaluateDigestMany:
+    """The bulk digest protocol behind chunked compiled scans."""
+
+    @staticmethod
+    def _odd(obj, memo=None):
+        return obj % 2 == 1
+
+    def test_verdicts_match_chunk_order(self):
+        cache = PredicateCache()
+        chunk = [1, 2, 3, 4, 5]
+        verdicts, computed = cache.evaluate_digest_many(
+            "d", chunk, self._odd)
+        assert verdicts == [True, False, True, False, True]
+        assert computed == 5
+
+    def test_equal_objects_within_chunk_judged_once(self):
+        cache = PredicateCache()
+        calls = {"n": 0}
+
+        def odd(obj, memo=None):
+            calls["n"] += 1
+            return obj % 2 == 1
+
+        verdicts, computed = cache.evaluate_digest_many(
+            "d", [7, 7, 7, 8], odd)
+        assert verdicts == [True, True, True, False]
+        assert (computed, calls["n"]) == (2, 2)
+
+    def test_warm_across_calls_and_with_scalar_twin(self):
+        cache = PredicateCache()
+        cache.evaluate_digest_many("d", [1, 2], self._odd)
+        _verdicts, computed = cache.evaluate_digest_many(
+            "d", [1, 2, 3], self._odd)
+        assert computed == 1  # only 3 is new
+        assert cache.evaluate_digest("d", 2, self._odd) is False
+        assert cache.hits == 3
+
+    def test_unhashable_objects_bypass_and_still_judge(self):
+        cache = PredicateCache()
+        verdicts, computed = cache.evaluate_digest_many(
+            "d", [[1], [1]], lambda obj, memo=None: bool(obj))
+        assert verdicts == [True, True]
+        assert computed == 2  # no key, so no dedup and no table entry
+        assert len(cache) == 0
+
+    def test_lru_bound_holds_under_bulk_store(self):
+        cache = PredicateCache(maxsize=3)
+        cache.evaluate_digest_many("d", list(range(10)), self._odd)
+        assert len(cache) == 3
+        assert cache.evictions == 7
+
+
 # ---------------------------------------------------------------------------
 # hot-path surgery keeps observable behaviour
 # ---------------------------------------------------------------------------

@@ -220,7 +220,8 @@ class TestEngineTelemetry:
         assert queued > 0
         assert counters["sweep.tasks.completed"] == queued
         scans = sum(counters.get(k, 0) for k in (
-            "sweep.scans.fastpath", "sweep.scans.cached", "sweep.scans.plain"))
+            "sweep.scans.fastpath", "sweep.scans.compiled",
+            "sweep.scans.cached", "sweep.scans.plain"))
         assert scans == queued
         assert len(sink.spans("sweep.task")) == queued
         total_found = sum(len(s.findings) for s in sweeps)

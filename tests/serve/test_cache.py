@@ -97,6 +97,87 @@ class TestStoreTier:
         assert cache.flush() == 0
         assert cache.store_keys == 0
 
+class TestInvalidation:
+    def test_invalidate_evicts_registered_keys(self):
+        cache = TieredResultCache()
+        cache.register("m", ("k1", None, "k2"))
+        cache.insert("k1", _finding())
+        cache.insert("k2", None)
+        assert cache.invalidate("m") == 2
+        assert cache.lookup("k1") == (None, None)
+        assert cache.lookup("k2") == (None, None)
+        assert cache.invalidate("m") == 0  # registration consumed
+
+    def test_invalidate_drops_buffered_store_appends(self, tmp_path):
+        path = str(tmp_path / "results.jsonl")
+        cache = TieredResultCache(path)
+        cache.register("m", ("k1",))
+        cache.insert("k1", _finding())
+        cache.insert("other", _finding("o"))
+        assert cache.invalidate("m") == 1
+        assert cache.flush() == 1  # only the unaffected record persists
+        assert set(dist.ResultStore(path).load()) == {"other"}
+
+    def test_invalidate_counts_to_stats(self):
+        stats = ServeStats()
+        cache = TieredResultCache(stats=stats)
+        cache.register("m", ("k1",))
+        cache.insert("k1", _finding())
+        cache.invalidate("m")
+        assert stats.snapshot()["counters"]["cache.invalidated"] == 1
+
+
+class TestMutatedModelStaleness:
+    """A model mutated in place must not keep serving pre-mutation
+    results through the expansion memo and the tiered cache."""
+
+    def _corpus_and_model(self):
+        from repro.core import (Domain, Operation, PrimitiveFSM,
+                                VulnerabilityModel, in_range, less_equal)
+        from repro.serve.corpus import AnalysisCorpus
+
+        spec = in_range(0, 5)
+        pfsm = PrimitiveFSM("p", "scan", "x", spec_accepts=spec,
+                            impl_accepts=less_equal(10))
+        model = VulnerabilityModel("m", [Operation("op", "x", [pfsm])])
+        corpus = AnalysisCorpus(
+            models={"m-label": model},
+            domains={"m-label": {"p": Domain.integers(-5, 15)}},
+            keys={"m": "m-label"},
+        )
+        return corpus, spec
+
+    def test_rebind_changes_fingerprint_and_task_keys(self):
+        corpus, spec = self._corpus_and_model()
+        first = corpus.expand("m", 5)
+        assert first is corpus.expand("m", 5)  # memoized while unchanged
+        assert first.task_keys[0] is not None
+
+        from repro.core.sweep import _scan_task
+        cache = TieredResultCache()
+        cache.register("m", first.task_keys)
+        stale = _scan_task(first.tasks[0])
+        assert stale is not None  # (0..5 spec) x (<=10 impl): hidden
+        cache.insert(first.task_keys[0], stale)
+
+        spec.rebind(lambda x: True)  # secure the check: spec = accept all
+        second = corpus.expand("m", 5)
+        assert second is not first
+        assert second.fingerprint != first.fingerprint
+        # The rebound predicate is opaque: no stable identity, so the
+        # stale cached finding is unreachable and the task recomputes.
+        assert second.task_keys[0] is None
+        assert _scan_task(second.tasks[0]) is None  # nothing hidden now
+
+    def test_corpus_invalidate_drops_memoized_expansions(self):
+        corpus, _spec = self._corpus_and_model()
+        corpus.expand("m", 5)
+        corpus.expand("m", 9)
+        assert corpus.invalidate("m") == 2
+        assert corpus.invalidate("m") == 0
+
+
+class TestStoreInterop:
     def test_interoperates_with_sweep_resume_store(self, tmp_path):
         # A store the server wrote is a valid --resume-from store.
         path = str(tmp_path / "results.jsonl")
