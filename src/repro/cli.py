@@ -13,6 +13,10 @@ Commands
     ``--json`` for the structural serialization).
 ``trace NAME``
     Run the model's exploit (or ``--benign``) and print the trace.
+    ``trace export OUT.json --input EVENTS.jsonl`` instead converts a
+    telemetry JSONL file (``--trace-file`` / ``repro serve
+    --trace-file``) into Chrome trace-event JSON for
+    ``chrome://tracing`` / Perfetto.
 ``foil NAME``
     The single-activity fixes that stop the model's exploit.
 ``statespace NAME``
@@ -40,21 +44,27 @@ Commands
     admission queue (``--max-depth``), micro-batching window
     (``--batch-window``/``--max-batch``), engine backend/workers, an
     optional JSONL result store (``--store``), and a graceful
-    SIGTERM/SIGINT drain.  ``GET /healthz`` and ``GET /metrics`` answer
-    on the same port.
+    SIGTERM/SIGINT drain.  ``GET /healthz`` and ``GET /metrics``
+    (Prometheus text; ``/metrics.json`` for the JSON snapshot) answer
+    on the same port.  ``--trace`` turns on end-to-end request tracing
+    (``--trace-sample``/``--trace-slow-ms`` tune head sampling and the
+    tail slow-keep rule); ``--latency-buckets`` overrides the stage
+    histogram bounds.
 ``query``
     Client for ``repro serve``: query one or more models (or ``all``)
     with per-request ``--deadline-ms``; ``--metrics`` prints the
-    server's metrics snapshot instead.  Exit code 0 = all ok, 2 = at
-    least one request was shed (overloaded/timeout/draining), 1 =
-    error.
+    server's metrics snapshot instead.  ``--trace`` asks a tracing
+    server for the per-request stage timeline and prints it.  Exit
+    code 0 = all ok, 2 = at least one request was shed
+    (overloaded/timeout/draining), 1 = error.
 
 Every subcommand also understands the telemetry flags:
 
 ``--profile``
     Record spans/counters during the command and print a
     human-readable summary (span aggregates, counters, cache hit rate,
-    interval fast-path coverage) afterwards.
+    interval fast-path coverage) afterwards.  ``--profile-sort``
+    orders the span table by total, self, or count.
 ``--trace-file PATH``
     Write every telemetry event as one JSON line to ``PATH``, ending
     with a ``{"type": "summary"}`` counter snapshot.
@@ -145,7 +155,32 @@ def _cmd_model(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_export(args: argparse.Namespace) -> int:
+    """``repro trace export OUT.json --input EVENTS.jsonl``."""
+    from .obs.trace import chrome_payload, load_trace_events
+
+    if not args.output:
+        raise SystemExit("trace export: missing output path "
+                         "(repro trace export OUT.json --input FILE)")
+    if not args.input:
+        raise SystemExit("trace export: --input FILE is required "
+                         "(a --trace-file telemetry JSONL)")
+    try:
+        spans, skipped = load_trace_events(args.input)
+    except OSError as exc:
+        raise SystemExit(f"trace export: cannot read {args.input}: {exc}")
+    payload = chrome_payload(spans)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=None, separators=(",", ":"))
+        handle.write("\n")
+    print(f"wrote {len(payload['traceEvents'])} trace events to "
+          f"{args.output} ({skipped} non-span lines skipped)")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.name == "export":
+        return _trace_export(args)
     label, model = _resolve(args.name)
     inputs = all_benign_inputs() if args.benign else all_exploit_inputs()
     result = model.run(inputs[label])
@@ -347,6 +382,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from .serve import AnalysisServer, ServeConfig
 
+    buckets = None
+    if args.latency_buckets:
+        try:
+            buckets = tuple(sorted(float(part) for part in
+                                   args.latency_buckets.split(",") if part))
+        except ValueError:
+            raise SystemExit("--latency-buckets expects comma-separated "
+                             "floats, e.g. 0.005,0.05,0.5,5")
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -356,6 +399,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         backend=args.backend,
         store_path=args.store,
+        # --trace-file alone implies tracing: the JsonlSink attached by
+        # _run_with_observability captures the spans, and the collector
+        # must exist for traceparent continuation / per-request
+        # timelines to work.
+        trace=args.trace or bool(args.trace_file),
+        trace_sample=args.trace_sample,
+        trace_slow_ms=args.trace_slow_ms,
+        latency_buckets=buckets,
     )
     server = AnalysisServer(config)
 
@@ -364,7 +415,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"repro serve listening on {server.host}:{server.port} "
               f"(backend={config.backend}, workers={config.workers}, "
               f"depth={config.max_depth}, "
-              f"store={config.store_path or 'none'})", flush=True)
+              f"store={config.store_path or 'none'}, "
+              f"trace={'on' if config.trace else 'off'})", flush=True)
         server.install_signal_handlers()
         await server.serve_until_stopped()
 
@@ -393,7 +445,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 return 0
             for key in keys:
                 response = client.query(key, limit=args.limit,
-                                        deadline_ms=args.deadline_ms)
+                                        deadline_ms=args.deadline_ms,
+                                        trace=args.trace,
+                                        traceparent=args.traceparent)
                 status = response.get("status")
                 saw_shed |= status in SHED_STATUSES
                 saw_error |= status not in SHED_STATUSES and \
@@ -418,6 +472,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
                               if finding["witnesses"] else None)
                     print(f"  - {finding['operation']}/{finding['pfsm']} "
                           f"({finding['activity']}): e.g. {sample!r}")
+                if args.trace and response.get("trace"):
+                    print(f"  trace {response.get('trace_id', '?')}:")
+                    for row in response["trace"]:
+                        remote = " [worker]" if row.get("remote") else ""
+                        print(f"    {row['offset_ms']:>9.3f} ms  "
+                              f"{row['name']:<20} "
+                              f"{row['duration_ms']:>9.3f} ms{remote}")
     except (OSError, ConnectionError) as exc:
         print(f"cannot reach repro serve at {args.host}:{args.port}: "
               f"{exc}", file=sys.stderr)
@@ -496,6 +557,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="record telemetry and print a span/counter summary",
     )
     obs_flags.add_argument(
+        "--profile-sort", choices=("total", "self", "count"),
+        default="total",
+        help="order the --profile span table by total time, self time "
+             "(total minus child spans), or call count",
+    )
+    obs_flags.add_argument(
         "--trace-file", metavar="PATH", default=None,
         help="write telemetry events to PATH as JSON lines",
     )
@@ -520,9 +587,21 @@ def build_parser() -> argparse.ArgumentParser:
     model.add_argument("--json", action="store_true")
     model.set_defaults(fn=_cmd_model)
 
-    trace = sub.add_parser("trace", help="run a model and print the trace",
-                           parents=[obs_flags])
-    trace.add_argument("name")
+    trace = sub.add_parser(
+        "trace",
+        help="run a model and print the trace; 'trace export OUT.json "
+             "--input EVENTS.jsonl' converts telemetry to Chrome "
+             "trace-event JSON",
+        parents=[obs_flags])
+    trace.add_argument("name",
+                       help="model key, or 'export' to convert a "
+                            "telemetry JSONL file")
+    trace.add_argument("output", nargs="?", default=None,
+                       help="(export only) Chrome trace-event JSON "
+                            "output path")
+    trace.add_argument("--input", metavar="PATH", default=None,
+                       help="(export only) telemetry JSONL to convert "
+                            "(a --trace-file)")
     trace.add_argument("--benign", action="store_true")
     trace.add_argument("--json", action="store_true")
     trace.set_defaults(fn=_cmd_trace)
@@ -604,6 +683,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--store", metavar="PATH", default=None,
                        help="JSONL result store for the cold cache tier "
                             "(compatible with repro sweep --resume-from)")
+    serve.add_argument("--trace", action="store_true",
+                       help="end-to-end request tracing: mint/accept a "
+                            "W3C traceparent per request and reassemble "
+                            "admission/batch/chunk/worker spans into one "
+                            "trace (also implied by --trace-file)")
+    serve.add_argument("--trace-sample", type=float, default=1.0,
+                       metavar="FRACTION",
+                       help="head-sampling rate for trace retention "
+                            "(spans still export; 1.0 keeps every trace)")
+    serve.add_argument("--trace-slow-ms", type=float, default=None,
+                       metavar="MS",
+                       help="tail-keep: always retain traces slower than "
+                            "MS even when head sampling dropped them "
+                            "(shed/error/witness-bearing traces are "
+                            "always kept)")
+    serve.add_argument("--latency-buckets", metavar="BOUNDS", default=None,
+                       help="comma-separated histogram bucket bounds in "
+                            "seconds for the /metrics stage histograms")
     serve.set_defaults(fn=_cmd_serve)
 
     query = sub.add_parser(
@@ -623,6 +720,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="client socket timeout in seconds")
     query.add_argument("--metrics", action="store_true",
                        help="print the server metrics snapshot and exit")
+    query.add_argument("--trace", action="store_true",
+                       help="request the per-request stage timeline "
+                            "(server must run with tracing enabled)")
+    query.add_argument("--traceparent", metavar="HEADER", default=None,
+                       help="join an existing W3C trace "
+                            "(00-<32 hex>-<16 hex>-<2 hex>)")
     query.add_argument("--json", action="store_true")
     query.set_defaults(fn=_cmd_query)
 
@@ -652,7 +755,8 @@ def _run_with_observability(args: argparse.Namespace) -> int:
             jsonl.write_summary(registry)
             jsonl.close()
         if reporter is not None:
-            reporter.report(registry)
+            reporter.report(registry,
+                            sort=getattr(args, "profile_sort", "total"))
         registry.clear_sinks()
         registry.reset()
     return code

@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import pickle
 import threading
 import time
@@ -52,6 +53,8 @@ from heapq import heappop, heappush
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..obs import DEFAULT as _OBS
+from ..obs.sinks import MemorySink
+from ..obs.trace import TraceContext, emit_span, mint_span_id
 from .predspec import decode_value, encode_value, spec_digest
 from .sweep import NO_CACHE, SweepFinding, _scan_task, shared_cache
 
@@ -547,8 +550,9 @@ class InProcessQueue:
 # ---------------------------------------------------------------------------
 
 def _chunk_worker(
-    chunk: List[Tuple[int, bytes]]
-) -> List[Tuple[int, Optional[SweepFinding]]]:
+    chunk: List[Tuple[int, bytes]],
+    traceparent: Optional[str] = None,
+) -> Any:
     """Run one chunk of serialized tasks in a worker process.
 
     Tasks rebuild through predicate specs (see
@@ -562,20 +566,52 @@ def _chunk_worker(
     All tasks of a chunk share one :class:`~repro.core.plan.NodeMemo`,
     so subpredicates shared across the chunk's models evaluate once per
     object.
+
+    With a ``traceparent`` (the shipping chunk's trace context,
+    serialized W3C-style), the worker continues the parent's trace: its
+    registry records for the chunk's duration under the decoded ambient
+    context, and the return value becomes ``(results, span_events)`` —
+    the worker's finished spans, stamped with its pid, ship back with
+    the chunk results for the parent to replay into its own sinks.
+    Without one, the return shape is the bare results list, unchanged.
     """
     from . import plan
 
-    cache = shared_cache()
-    memo = plan.NodeMemo() if plan.is_enabled() else None
-    results: List[Tuple[int, Optional[SweepFinding]]] = []
-    for index, raw in chunk:
-        loaded = pickle.loads(raw)
-        if isinstance(loaded, tuple) and len(loaded) == 2:
-            task = loaded[0]  # loaded[1] (the plan) primed the cache
-        else:
-            task = loaded
-        results.append((index, _scan_task(task, cache=cache, memo=memo)))
-    return results
+    ctx = TraceContext.from_traceparent(traceparent) \
+        if traceparent is not None else None
+    sink: Optional[MemorySink] = None
+    restore = None
+    was_enabled = _OBS.enabled
+    if ctx is not None:
+        sink = MemorySink()
+        _OBS.enable(sink)
+        restore = _OBS.set_trace(ctx)
+    try:
+        cache = shared_cache()
+        memo = plan.NodeMemo() if plan.is_enabled() else None
+        results: List[Tuple[int, Optional[SweepFinding]]] = []
+        for index, raw in chunk:
+            loaded = pickle.loads(raw)
+            if isinstance(loaded, tuple) and len(loaded) == 2:
+                task = loaded[0]  # loaded[1] (the plan) primed the cache
+            else:
+                task = loaded
+            results.append((index, _scan_task(task, cache=cache, memo=memo)))
+    finally:
+        if sink is not None:
+            _OBS.set_trace(restore)
+            if not was_enabled:
+                _OBS.disable()
+            _OBS.remove_sink(sink)
+    if sink is None:
+        return results
+    pid = os.getpid()
+    span_events = []
+    for event in sink.events:
+        if event.get("type") == "span":
+            event["pid"] = pid
+            span_events.append(event)
+    return results, span_events
 
 
 # ---------------------------------------------------------------------------
@@ -728,8 +764,17 @@ def _execute_chunks(
     max_retries: int,
 ) -> None:
     """Dispatch chunks to the warm pool; retry crashed chunks on a fresh
-    pool; last resort runs the chunk inline in the parent."""
+    pool; last resort runs the chunk inline in the parent.
+
+    When an ambient trace context is live (the serving path sets one
+    around the engine dispatch, and the enclosing ``dist.run`` span
+    narrows it to itself), every chunk ships a child context as a
+    serialized traceparent: the worker continues the trace and returns
+    its finished spans with the results, which are replayed into this
+    process's sinks under a per-chunk ``dist.chunk`` span.
+    """
     obs_on = _OBS.enabled
+    trace_ctx = _OBS.current_trace() if obs_on else None
     pending_chunks = chunks
     attempt = 0
     while pending_chunks and attempt <= max_retries:
@@ -737,10 +782,23 @@ def _execute_chunks(
         failed: List[List[int]] = []
         futures = {}
         submit_at: Dict[Any, float] = {}
+        submit_wall: Dict[Any, float] = {}
+        chunk_hexes: Dict[Any, Optional[str]] = {}
         for position, chunk in enumerate(pending_chunks):
             payload = [(i, payloads[i]) for i in chunk]
+            chunk_hex: Optional[str] = None
             try:
-                future = pool.submit(_chunk_worker, payload)
+                if trace_ctx is not None:
+                    # The chunk span's id is minted at submission so the
+                    # worker's spans can parent under it before the span
+                    # itself is emitted (on completion).
+                    chunk_hex = mint_span_id()
+                    header = TraceContext(
+                        trace_ctx.trace_id, chunk_hex,
+                        trace_ctx.sampled).to_traceparent()
+                    future = pool.submit(_chunk_worker, payload, header)
+                else:
+                    future = pool.submit(_chunk_worker, payload)
             except Exception:
                 # Pool broke at submission time; this chunk and every
                 # later one join the retry set.
@@ -748,6 +806,8 @@ def _execute_chunks(
                 break
             futures[future] = chunk
             submit_at[future] = time.monotonic()
+            submit_wall[future] = _OBS._wall()
+            chunk_hexes[future] = chunk_hex
         outstanding = set(futures)
         while outstanding:
             done, outstanding = wait(outstanding,
@@ -755,14 +815,29 @@ def _execute_chunks(
             for future in done:
                 chunk = futures[future]
                 try:
-                    for index, finding in future.result():
+                    outcome = future.result()
+                    if isinstance(outcome, tuple) and len(outcome) == 2:
+                        pairs, remote_spans = outcome
+                    else:
+                        pairs, remote_spans = outcome, ()
+                    for index, finding in pairs:
                         results[index] = finding
+                    elapsed = time.monotonic() - submit_at[future]
+                    if chunk_hexes.get(future) is not None:
+                        emit_span(
+                            _OBS, "dist.chunk", trace_ctx,
+                            submit_wall[future], elapsed,
+                            span_hex=chunk_hexes[future],
+                            tasks=len(chunk), attempt=attempt,
+                        )
+                        for event in remote_spans:
+                            _OBS._emit(event)
                     if obs_on:
                         _OBS.incr("dist.chunk.completed")
                         _OBS.event(
                             "dist.chunk",
                             tasks=len(chunk),
-                            seconds=time.monotonic() - submit_at[future],
+                            seconds=elapsed,
                         )
                 except Exception:
                     failed.append(chunk)

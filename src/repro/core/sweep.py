@@ -583,19 +583,22 @@ def _scan_task(task: SweepTask, cache: Any = NO_CACHE, memo: Any = None
 
 
 def _scan_task_with(cache: Any, parent_id: Optional[int] = None,
-                    memo: Any = None
+                    memo: Any = None, trace_ctx: Any = None
                     ) -> Callable[[SweepTask], Optional[SweepFinding]]:
     """A :func:`_scan_task` closure binding the executor's cache (and
     shared plan memo) and — for worker threads — parenting spans under
-    the submitting thread's live span."""
+    the submitting thread's live span and continuing its ambient trace
+    context (captured at submission)."""
     def run(task: SweepTask) -> Optional[SweepFinding]:
-        if parent_id is None:
+        if parent_id is None and trace_ctx is None:
             return _scan_task(task, cache=cache, memo=memo)
         previous = _OBS.set_inherited_parent(parent_id)
+        previous_trace = _OBS.set_trace(trace_ctx)
         try:
             return _scan_task(task, cache=cache, memo=memo)
         finally:
             _OBS.set_inherited_parent(previous)
+            _OBS.set_trace(previous_trace)
     return run
 
 
@@ -691,11 +694,13 @@ def _run_tasks(
             if not threaded:
                 return results
     parent_id = None
+    trace_ctx = None
     if obs_on:
         parent = _OBS.current_span()
         if parent is not None:
             parent_id = parent.span_id
-    worker_fn = _scan_task_with(cache, parent_id, memo)
+        trace_ctx = _OBS.current_trace()
+    worker_fn = _scan_task_with(cache, parent_id, memo, trace_ctx)
     with ThreadPoolExecutor(max_workers=workers) as pool:
         for i, finding in zip(threaded,
                               pool.map(worker_fn,

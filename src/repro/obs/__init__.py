@@ -37,9 +37,26 @@ from __future__ import annotations
 from typing import Any
 
 from .counters import CounterSet
+from .prometheus import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    parse_exposition,
+    render_exposition,
+)
 from .registry import Registry
 from .sinks import ConsoleReporter, JsonlSink, MemorySink, Sink, derived_metrics
 from .span import NOOP_SPAN, Span
+from .trace import (
+    TailRules,
+    TraceCollector,
+    TraceContext,
+    chrome_payload,
+    chrome_trace_events,
+    emit_span,
+    load_trace_events,
+    mint_span_id,
+    trace_timeline,
+)
 
 __all__ = [
     "Registry",
@@ -51,6 +68,19 @@ __all__ = [
     "JsonlSink",
     "ConsoleReporter",
     "derived_metrics",
+    "TraceContext",
+    "TailRules",
+    "TraceCollector",
+    "mint_span_id",
+    "emit_span",
+    "trace_timeline",
+    "chrome_trace_events",
+    "chrome_payload",
+    "load_trace_events",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "render_exposition",
+    "parse_exposition",
     "DEFAULT",
     "get_registry",
     "enable",
@@ -62,6 +92,8 @@ __all__ = [
     "event",
     "counters",
     "gauges",
+    "set_trace",
+    "current_trace",
 ]
 
 #: The process-wide default registry every instrumented module reports to.
@@ -116,3 +148,13 @@ def counters() -> dict:
 def gauges() -> dict:
     """Gauge snapshot of the default registry."""
     return DEFAULT.gauges()
+
+
+def set_trace(ctx: Any) -> Any:
+    """``DEFAULT.set_trace(...)`` — install an ambient trace context."""
+    return DEFAULT.set_trace(ctx)
+
+
+def current_trace() -> Any:
+    """``DEFAULT.current_trace()``."""
+    return DEFAULT.current_trace()

@@ -1,0 +1,292 @@
+"""Prometheus text exposition (format 0.0.4) for the serving layer.
+
+Three pieces:
+
+* :class:`Histogram` — a thread-safe cumulative-bucket histogram with
+  configurable bucket bounds, the replacement for quantile gauges on
+  ``GET /metrics`` (nearest-rank p50/p95 from ``LatencyWindow`` remain
+  available on the JSON snapshot; Prometheus wants raw buckets so the
+  server can aggregate across replicas).
+* :func:`render_exposition` — counters / gauges / histogram snapshots →
+  the ``# HELP`` / ``# TYPE`` text format, with metric names sanitized
+  from the repo's dotted convention (``requests.query`` →
+  ``repro_serve_requests_query_total``).
+* :func:`parse_exposition` — a small validating parser for the same
+  format, used by tests and the CI ``trace-smoke`` step to check the
+  endpoint really speaks Prometheus (no external client library in the
+  image).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Histogram",
+    "sanitize_metric_name",
+    "render_exposition",
+    "parse_exposition",
+]
+
+#: Default latency bucket upper bounds, in seconds.  Tuned to the serve
+#: path: sub-millisecond cache hits through multi-second cold sweeps.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_OK = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+class Histogram:
+    """Cumulative-bucket histogram, observation in seconds.
+
+    ``observe`` is lock + bisect — cheap enough for the always-on
+    serving stats.  ``snapshot`` returns plain data (cumulative bucket
+    counts, sum, count) so renderers and JSON metrics need no further
+    synchronization.
+    """
+
+    __slots__ = ("buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(sorted(set(buckets if buckets is not None
+                                  else DEFAULT_BUCKETS)))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(not math.isfinite(b) for b in bounds):
+            raise ValueError("bucket bounds must be finite (+Inf is implicit)")
+        self.buckets = bounds
+        self._counts = [0] * len(bounds)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            if index < len(self._counts):
+                self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """``{"buckets": [(le, cumulative_count), ...], "sum", "count"}``
+        — the final ``+Inf`` bucket is implicit (== ``count``)."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            acc = self._sum
+        cumulative = []
+        running = 0
+        for bound, count in zip(self.buckets, counts):
+            running += count
+            cumulative.append((bound, running))
+        return {"buckets": cumulative, "sum": acc, "count": total}
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Dotted repo metric names → valid Prometheus metric names."""
+    cleaned = _INVALID_CHARS.sub("_", name)
+    if not cleaned or not _NAME_OK.match(cleaned):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        '%s="%s"' % (key, str(val).replace("\\", "\\\\").replace('"', '\\"'))
+        for key, val in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def render_exposition(
+    counters: Optional[Dict[str, float]] = None,
+    gauges: Optional[Dict[str, float]] = None,
+    histograms: Optional[Dict[str, Dict[str, Any]]] = None,
+    labeled_gauges: Optional[
+        Iterable[Tuple[str, Dict[str, str], float]]] = None,
+    prefix: str = "repro_serve",
+    help_text: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render one Prometheus text-format exposition.
+
+    ``counters`` get a ``_total`` suffix; ``histograms`` map family name
+    → :meth:`Histogram.snapshot` dicts and expand into ``_bucket`` /
+    ``_sum`` / ``_count`` sample lines; ``labeled_gauges`` are
+    ``(name, labels, value)`` triples for things like per-state flags.
+    """
+    help_text = help_text or {}
+    lines: List[str] = []
+
+    def family(raw: str, suffix: str = "") -> str:
+        base = sanitize_metric_name(
+            f"{prefix}_{raw}" if prefix else raw)
+        return base + suffix
+
+    for raw, value in sorted((counters or {}).items()):
+        name = family(raw, "_total")
+        lines.append(f"# HELP {name} "
+                     f"{help_text.get(raw, 'Counter ' + raw + '.')}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {_format_value(float(value))}")
+
+    labeled: Dict[str, List[Tuple[Dict[str, str], float]]] = {}
+    for raw, labels, value in (labeled_gauges or ()):
+        labeled.setdefault(raw, []).append((labels, value))
+
+    gauge_families = sorted(set(gauges or {}) | set(labeled))
+    for raw in gauge_families:
+        name = family(raw)
+        lines.append(f"# HELP {name} "
+                     f"{help_text.get(raw, 'Gauge ' + raw + '.')}")
+        lines.append(f"# TYPE {name} gauge")
+        if gauges and raw in gauges:
+            lines.append(f"{name} {_format_value(float(gauges[raw]))}")
+        for labels, value in labeled.get(raw, ()):
+            lines.append(
+                f"{name}{_format_labels(labels)} "
+                f"{_format_value(float(value))}")
+
+    for raw, snap in sorted((histograms or {}).items()):
+        name = family(raw)
+        lines.append(f"# HELP {name} "
+                     f"{help_text.get(raw, 'Histogram ' + raw + '.')}")
+        lines.append(f"# TYPE {name} histogram")
+        for bound, cum in snap["buckets"]:
+            lines.append(
+                f'{name}_bucket{{le="{_format_value(float(bound))}"}} '
+                f"{cum}")
+        lines.append(f'{name}_bucket{{le="+Inf"}} {snap["count"]}')
+        lines.append(f"{name}_sum {_format_value(float(snap['sum']))}")
+        lines.append(f"{name}_count {snap['count']}")
+
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"        # metric name
+    r"(?:\{([^}]*)\})?"                    # optional labels
+    r"\s+(NaN|[+-]?Inf|[-+0-9.eE]+)"       # value
+    r"(?:\s+[0-9]+)?$"                     # optional timestamp
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(token: str) -> float:
+    if token == "NaN":
+        return float("nan")
+    if token in ("+Inf", "Inf"):
+        return float("inf")
+    if token == "-Inf":
+        return float("-inf")
+    return float(token)
+
+
+def parse_exposition(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse Prometheus text format into families.
+
+    Returns ``{family: {"type", "help", "samples":
+    [(sample_name, labels_dict, value), ...]}}``.  Raises
+    :class:`ValueError` on malformed lines, samples without a ``TYPE``
+    declaration, or histograms whose cumulative bucket counts decrease —
+    strict enough that the CI smoke actually validates the endpoint.
+    """
+    families: Dict[str, Dict[str, Any]] = {}
+    types: Dict[str, str] = {}
+
+    def family_of(sample_name: str) -> Optional[str]:
+        if sample_name in types:
+            return sample_name
+        for suffix in ("_bucket", "_sum", "_count", "_total"):
+            if sample_name.endswith(suffix):
+                base = sample_name[: -len(suffix)]
+                if base in types:
+                    return base
+        return None
+
+    for lineno, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 3:
+                raise ValueError(f"line {lineno}: malformed HELP: {raw_line!r}")
+            name = parts[2]
+            families.setdefault(
+                name, {"type": None, "help": None, "samples": []})
+            families[name]["help"] = parts[3] if len(parts) > 3 else ""
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE: {raw_line!r}")
+            _, _, name, kind = parts
+            if kind not in ("counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                raise ValueError(f"line {lineno}: unknown type {kind!r}")
+            families.setdefault(
+                name, {"type": None, "help": None, "samples": []})
+            families[name]["type"] = kind
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # comment
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {raw_line!r}")
+        sample_name, label_body, value_token = match.groups()
+        base = family_of(sample_name)
+        if base is None:
+            raise ValueError(
+                f"line {lineno}: sample {sample_name!r} has no TYPE "
+                f"declaration")
+        labels = {key: val.replace('\\"', '"').replace("\\\\", "\\")
+                  for key, val in _LABEL.findall(label_body or "")}
+        families[base]["samples"].append(
+            (sample_name, labels, _parse_value(value_token)))
+
+    # Histogram sanity: cumulative bucket counts must not decrease and
+    # the +Inf bucket must equal _count.
+    for name, fam in families.items():
+        if fam["type"] != "histogram":
+            continue
+        buckets = [(s[1].get("le"), s[2]) for s in fam["samples"]
+                   if s[0] == name + "_bucket"]
+        counts = [s[2] for s in fam["samples"] if s[0] == name + "_count"]
+        previous = -1.0
+        inf_count = None
+        for le, value in buckets:
+            if value < previous:
+                raise ValueError(
+                    f"histogram {name}: bucket counts decrease at le={le}")
+            previous = value
+            if le == "+Inf":
+                inf_count = value
+        if buckets and inf_count is None:
+            raise ValueError(f"histogram {name}: missing +Inf bucket")
+        if counts and inf_count is not None and counts[0] != inf_count:
+            raise ValueError(
+                f"histogram {name}: +Inf bucket {inf_count} != _count "
+                f"{counts[0]}")
+    return families

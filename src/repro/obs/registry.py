@@ -61,6 +61,15 @@ class Registry:
         with self._lock:
             self._sinks.clear()
 
+    def remove_sink(self, sink: Any) -> bool:
+        """Detach one sink (without closing it); ``True`` if attached."""
+        with self._lock:
+            try:
+                self._sinks.remove(sink)
+                return True
+            except ValueError:
+                return False
+
     def reset(self) -> None:
         """Zero counters and gauges (sinks and enabled state untouched)."""
         self._metrics.reset()
@@ -98,6 +107,24 @@ class Registry:
         if stack is None:
             stack = self._local.stack = []
         return stack
+
+    def set_trace(self, ctx: Any) -> Any:
+        """Install ``ctx`` as this thread's ambient trace context.
+
+        Every span subsequently opened on this thread is stamped with
+        the context's trace id, parents under its span id, and narrows
+        the ambient context to itself for its duration.  Pass ``None``
+        to clear.  Returns the previous value so executors can restore
+        it around each unit of work (same contract as
+        :meth:`set_inherited_parent`).
+        """
+        previous = getattr(self._local, "trace", None)
+        self._local.trace = ctx
+        return previous
+
+    def current_trace(self) -> Any:
+        """This thread's ambient trace context, or ``None``."""
+        return getattr(self._local, "trace", None)
 
     def set_inherited_parent(self, parent_id: Optional[int]) -> Optional[int]:
         """Adopt ``parent_id`` as this thread's root-span parent.

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import io
 import json
+import os
 import sys
 import threading
 from collections import defaultdict
@@ -73,10 +74,24 @@ class MemorySink(Sink):
 
 
 class JsonlSink(Sink):
-    """Append events to a file, one JSON object per line."""
+    """Append events to a file, one JSON object per line.
 
-    def __init__(self, target: Any) -> None:
+    Writes are buffered (``buffer_lines`` serialized lines per write
+    syscall) so a long sweep emitting hundreds of thousands of span
+    events doesn't pay one ``write`` each.  :meth:`flush`,
+    :meth:`write_summary`, and :meth:`close` all drain the buffer, so a
+    file read after any of them sees every event emitted so far.
+    """
+
+    def __init__(self, target: Any, buffer_lines: int = 256) -> None:
         self._lock = threading.Lock()
+        self._buffer: List[str] = []
+        self._buffer_lines = max(1, buffer_lines)
+        # Fork guard: a pool worker forked mid-session inherits this
+        # sink (buffer and file descriptor included); if it wrote, the
+        # inherited buffer would duplicate lines into the parent's file.
+        # Only the process that opened the sink ever writes.
+        self._pid = os.getpid()
         if hasattr(target, "write"):
             self._file: TextIO = target
             self._owns_file = False
@@ -85,13 +100,31 @@ class JsonlSink(Sink):
             self._owns_file = True
 
     def emit(self, event: Dict[str, Any]) -> None:
+        if os.getpid() != self._pid:
+            return
         line = json.dumps(event, default=str)
         with self._lock:
-            self._file.write(line + "\n")
+            self._buffer.append(line)
+            if len(self._buffer) >= self._buffer_lines:
+                self._flush_locked()
+
+    def _flush_locked(self) -> None:
+        if self._buffer:
+            self._file.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+
+    def flush(self) -> None:
+        """Drain the line buffer and flush the underlying file."""
+        if os.getpid() != self._pid:
+            return
+        with self._lock:
+            self._flush_locked()
+            self._file.flush()
 
     def write_summary(self, registry: Any) -> None:
         """Append a final ``{"type": "summary"}`` line with the
-        registry's counter/gauge snapshot and the derived metrics."""
+        registry's counter/gauge snapshot and the derived metrics,
+        then flush — the summary is a read barrier for consumers."""
         counters = registry.counters()
         self.emit({
             "type": "summary",
@@ -99,9 +132,13 @@ class JsonlSink(Sink):
             "gauges": registry.gauges(),
             "derived": derived_metrics(counters),
         })
+        self.flush()
 
     def close(self) -> None:
+        if os.getpid() != self._pid:
+            return
         with self._lock:
+            self._flush_locked()
             self._file.flush()
             if self._owns_file:
                 self._file.close()
@@ -142,26 +179,51 @@ def derived_metrics(counters: Dict[str, int]) -> Dict[str, float]:
 class ConsoleReporter(MemorySink):
     """Collects events and renders an end-of-run profile summary."""
 
-    def report(self, registry: Any, file: Optional[TextIO] = None) -> None:
+    #: Valid ``sort`` keys for :meth:`render` / ``--profile-sort``.
+    SORT_KEYS = ("total", "self", "count")
+
+    def report(self, registry: Any, file: Optional[TextIO] = None,
+               sort: str = "total") -> None:
         """Print span aggregates, counters, gauges, and derived metrics."""
         out = file or sys.stdout
-        out.write(self.render(registry))
+        out.write(self.render(registry, sort=sort))
 
-    def render(self, registry: Any) -> str:
+    def render(self, registry: Any, sort: str = "total") -> str:
+        if sort not in self.SORT_KEYS:
+            raise ValueError(
+                f"sort must be one of {self.SORT_KEYS}, got {sort!r}")
         buf = io.StringIO()
         spans = self.spans()
         buf.write("== profile ==\n")
         if spans:
-            agg: Dict[str, List[float]] = defaultdict(list)
+            # Self time = a span's duration minus its direct children's,
+            # so hot leaf spans aren't hidden under their parents.
+            child_time: Dict[Any, float] = defaultdict(float)
             for span in spans:
-                agg[span["name"]].append(span["duration"])
+                parent = span.get("parent_id")
+                if parent is not None:
+                    child_time[parent] += span["duration"] or 0.0
+            agg: Dict[str, List[float]] = defaultdict(list)
+            self_agg: Dict[str, float] = defaultdict(float)
+            for span in spans:
+                duration = span["duration"] or 0.0
+                agg[span["name"]].append(duration)
+                self_agg[span["name"]] += max(
+                    0.0, duration - child_time.get(span.get("span_id"), 0.0))
+            if sort == "self":
+                key = lambda n: -self_agg[n]  # noqa: E731
+            elif sort == "count":
+                key = lambda n: -len(agg[n])  # noqa: E731
+            else:
+                key = lambda n: -sum(agg[n])  # noqa: E731
             buf.write(f"{'span':<28} {'count':>6} {'total_s':>10} "
-                      f"{'mean_s':>10} {'max_s':>10}\n")
-            for name in sorted(agg, key=lambda n: -sum(agg[n])):
+                      f"{'self_s':>10} {'mean_s':>10} {'max_s':>10}\n")
+            for name in sorted(agg, key=key):
                 durations = agg[name]
                 total = sum(durations)
                 buf.write(
                     f"{name:<28} {len(durations):>6} {total:>10.4f} "
+                    f"{self_agg[name]:>10.4f} "
                     f"{total / len(durations):>10.4f} "
                     f"{max(durations):>10.4f}\n"
                 )

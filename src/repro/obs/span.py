@@ -13,7 +13,8 @@ pays one flag check and nothing else.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+import os
+from typing import Any, Dict, List, Optional
 
 __all__ = ["Span", "NOOP_SPAN"]
 
@@ -30,6 +31,11 @@ class Span:
         "_start",
         "wall_start",
         "duration",
+        "trace_id",
+        "trace_span",
+        "trace_parent",
+        "_trace_restore",
+        "_links",
     )
 
     def __init__(self, registry: Any, name: str,
@@ -42,10 +48,28 @@ class Span:
         self._start: float = 0.0
         self.wall_start: float = 0.0
         self.duration: Optional[float] = None
+        self.trace_id: Optional[str] = None
+        self.trace_span: Optional[str] = None
+        self.trace_parent: Optional[str] = None
+        self._trace_restore: Any = None
+        self._links: Optional[List[Dict[str, str]]] = None
 
     def set(self, **attrs: Any) -> None:
         """Attach (or overwrite) attributes; they ride the close event."""
         self.attrs.update(attrs)
+
+    def link(self, ctx: Any) -> None:
+        """Record a causal link to another trace context.
+
+        ``ctx`` is any object with ``trace_id`` / ``span_id`` string
+        attributes (a :class:`repro.obs.trace.TraceContext`).  Links let
+        one span serve many traces — a micro-batch span links to every
+        request it computed for.
+        """
+        if self._links is None:
+            self._links = []
+        self._links.append({"trace_id": ctx.trace_id,
+                            "span_id": ctx.span_id})
 
     def __enter__(self) -> "Span":
         registry = self._registry
@@ -56,6 +80,16 @@ class Span:
         else:  # thread root: adopt an executor-propagated parent, if any
             self.parent_id = registry._inherited_parent()
         stack.append(self)
+        ctx = registry.current_trace()
+        if ctx is not None:
+            # Ambient trace context: stamp globally-unique hex ids and
+            # narrow the context to this span for its duration, so
+            # nested spans chain under it across any boundary.
+            self.trace_id = ctx.trace_id
+            self.trace_parent = ctx.span_id
+            self.trace_span = os.urandom(8).hex()
+            self._trace_restore = ctx
+            registry.set_trace(ctx.child(self.trace_span))
         self.wall_start = registry._wall()
         self._start = registry._clock()
         return self
@@ -68,7 +102,9 @@ class Span:
             stack.pop()
         elif self in stack:  # exited out of order — drop just this frame
             stack.remove(self)
-        registry._emit({
+        if self.trace_id is not None:
+            registry.set_trace(self._trace_restore)
+        event = {
             "type": "span",
             "name": self.name,
             "span_id": self.span_id,
@@ -77,7 +113,14 @@ class Span:
             "duration": self.duration,
             "error": exc_type.__name__ if exc_type is not None else None,
             "attrs": dict(self.attrs),
-        })
+        }
+        if self.trace_id is not None:
+            event["trace_id"] = self.trace_id
+            event["trace_span"] = self.trace_span
+            event["trace_parent"] = self.trace_parent
+        if self._links:
+            event["links"] = list(self._links)
+        registry._emit(event)
         return False
 
 
@@ -93,6 +136,9 @@ class _NoopSpan:
         return False
 
     def set(self, **attrs: Any) -> None:
+        pass
+
+    def link(self, ctx: Any) -> None:
         pass
 
 

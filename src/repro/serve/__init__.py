@@ -56,7 +56,7 @@ from .server import (
     ServeConfig,
     ServerThread,
 )
-from .stats import LatencyWindow, ServeStats
+from .stats import LatencyWindow, ServeStats, STAGES
 
 __all__ = [
     "AdmissionQueue",
@@ -86,4 +86,5 @@ __all__ = [
     "STOPPED",
     "LatencyWindow",
     "ServeStats",
+    "STAGES",
 ]

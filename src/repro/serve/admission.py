@@ -39,6 +39,10 @@ class AdmittedRequest:
     deadline_at: Optional[float] = None  # loop.time() bound, or None
     #: Per-task result tokens, filled at batch-formation time.
     tokens: list = field(default_factory=list)
+    #: Trace context of the owning request (None on untraced servers).
+    ctx: Any = None
+    #: Wall-clock admission time (span timestamps use wall time).
+    wall_enqueued: float = 0.0
 
     def expired(self, now: float) -> bool:
         return self.deadline_at is not None and now > self.deadline_at

@@ -47,6 +47,7 @@ from typing import Any, Dict, List, Optional
 
 from ..core.sweep import NO_CACHE, _run_tasks, shared_cache
 from ..obs import DEFAULT as _OBS
+from ..obs.trace import TraceContext, emit_span, mint_span_id
 from .admission import AdmissionQueue, AdmittedRequest
 from .protocol import (
     STATUS_OK,
@@ -59,6 +60,19 @@ __all__ = ["MicroBatcher"]
 
 #: Token placeholder for "scheduled for compute in this batch".
 _PENDING = object()
+
+
+def _traced_compute(fn: Any, tasks: List[Any], keys: List[Optional[str]],
+                    ctx: Any) -> Any:
+    """Run the compute function with ``ctx`` as the executor thread's
+    ambient trace context, so engine spans (``dist.run`` and below)
+    chain under the batch span — restored before the thread returns to
+    the pool."""
+    previous = _OBS.set_trace(ctx)
+    try:
+        return fn(tasks, keys)
+    finally:
+        _OBS.set_trace(previous)
 
 
 def _fusion_groups(tasks: List[Any]):
@@ -227,6 +241,10 @@ class MicroBatcher:
             _engine_compute, workers=self._workers, backend=backend,
         )
         self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
+        #: Trace contexts of coalesced requests, keyed by fingerprint —
+        #: the batch span links to every one, so each coalesced trace
+        #: still sees the batch that computed its answer.
+        self._trace_links: Dict[str, List[Any]] = {}
         self._task: Optional["asyncio.Task[Any]"] = None
         self._serial = 0
 
@@ -253,14 +271,27 @@ class MicroBatcher:
     # -- the request path --------------------------------------------------
 
     async def submit(self, query: Any,
-                     deadline_ms: Optional[float] = None) -> Dict[str, Any]:
+                     deadline_ms: Optional[float] = None,
+                     ctx: Any = None) -> Dict[str, Any]:
         """Resolve one expanded query to a response payload.
 
         Fast paths (coalesce, full cache hit) answer inline; otherwise
-        the query is admitted (or refused) and awaited.  The returned
-        dict is freshly owned by the caller.
+        the query is admitted (or refused) and awaited.  ``ctx`` is the
+        request's :class:`~repro.obs.trace.TraceContext` on a tracing
+        server; the admission decision is emitted as a span under it.
+        The returned dict is freshly owned by the caller.
         """
         loop = asyncio.get_running_loop()
+        tracing = ctx is not None and _OBS.enabled
+        admit_wall = _OBS._wall() if tracing else 0.0
+        admit_at = loop.time() if tracing else 0.0
+
+        def admission_span(outcome: str) -> None:
+            if tracing:
+                emit_span(_OBS, "serve.admission", ctx, admit_wall,
+                          max(0.0, loop.time() - admit_at),
+                          outcome=outcome, queue_depth=self._queue.depth())
+
         fingerprint = query.fingerprint
         register = getattr(self._cache, "register", None)
         if register is not None:
@@ -269,6 +300,10 @@ class MicroBatcher:
         leader = self._inflight.get(fingerprint)
         if leader is not None:
             self._stats.incr("coalesced")
+            if tracing:
+                # Link this trace into the leader's batch span.
+                self._trace_links.setdefault(fingerprint, []).append(ctx)
+            admission_span("coalesced")
             response = dict(await leader)
             response["coalesced"] = True
             return response
@@ -277,6 +312,7 @@ class MicroBatcher:
         if cached is not None:
             self._stats.incr("requests.cached")
             cached["cached"] = True
+            admission_span("cached")
             return cached
 
         now = loop.time()
@@ -286,6 +322,8 @@ class MicroBatcher:
             enqueued_at=now,
             deadline_at=(now + deadline_ms / 1000.0)
             if deadline_ms is not None else None,
+            ctx=ctx if tracing else None,
+            wall_enqueued=admit_wall,
         )
         # No awaits between registering the leader and offering — the
         # single-flight map and the queue stay consistent.
@@ -293,6 +331,7 @@ class MicroBatcher:
         if not self._queue.offer(item):
             del self._inflight[fingerprint]
             self._stats.incr("shed.overload")
+            admission_span("overloaded")
             return {
                 "status": STATUS_OVERLOADED,
                 "model": query.model_key,
@@ -301,6 +340,7 @@ class MicroBatcher:
             }
         self._stats.incr("admitted")
         self._stats.gauge("queue.depth", self._queue.depth())
+        admission_span("admitted")
         return dict(await item.future)
 
     def _lookup_all(self, query: Any) -> Optional[Dict[str, Any]]:
@@ -339,6 +379,9 @@ class MicroBatcher:
         # Drop the single-flight entry *before* resolving so a request
         # arriving after resolution starts fresh (and hits the cache).
         self._inflight.pop(item.query.fingerprint, None)
+        # Any link contexts not consumed by a batch span (timeout and
+        # error paths) must not accumulate.
+        self._trace_links.pop(item.query.fingerprint, None)
         if not item.future.done():
             item.future.set_result(response)
 
@@ -373,7 +416,14 @@ class MicroBatcher:
         now = loop.time()
         live: List[AdmittedRequest] = []
         for item in batch:
-            if item.expired(now):
+            expired = item.expired(now)
+            wait_s = max(0.0, now - item.enqueued_at)
+            self._stats.observe("queue_wait", wait_s)
+            if item.ctx is not None and _OBS.enabled:
+                emit_span(_OBS, "serve.queue_wait", item.ctx,
+                          item.wall_enqueued, wait_s,
+                          outcome="timeout" if expired else "dispatched")
+            if expired:
                 self._stats.incr("shed.deadline")
                 self._resolve(item, {
                     "status": STATUS_TIMEOUT,
@@ -384,6 +434,10 @@ class MicroBatcher:
                 live.append(item)
         if not live:
             return
+        # Batch-formation window: first admission to dispatch.
+        self._stats.observe(
+            "batch_window",
+            max(0.0, now - min(item.enqueued_at for item in live)))
 
         # Union the batch's tasks, deduped by fingerprint key; keyless
         # tasks get a unique token and always compute.
@@ -422,14 +476,35 @@ class MicroBatcher:
                        unique_tasks=len(compute_tasks),
                        queue_depth=self._queue.depth())
 
+        # The batch span serves every traced request in the batch: it
+        # adopts the first traced request's trace and *links* to all of
+        # them (plus every coalesced context), so each trace reassembles
+        # with the batch — and the engine spans under it — attached.
+        traced = [item for item in live if item.ctx is not None]
+        batch_ctx = None
+        batch_hex = None
+        batch_wall = 0.0
+        batch_started = 0.0
+        if traced and _OBS.enabled:
+            lead = traced[0].ctx
+            batch_hex = mint_span_id()
+            batch_ctx = TraceContext(lead.trace_id, batch_hex, lead.sampled)
+            batch_wall = _OBS._wall()
+            batch_started = loop.time()
+
         if compute_tasks:
+            engine_started = loop.time()
+            if batch_ctx is not None:
+                call = partial(_traced_compute, self._compute_fn,
+                               compute_tasks, compute_keys, batch_ctx)
+            else:
+                call = partial(self._compute_fn, compute_tasks,
+                               compute_keys)
             try:
-                findings = await loop.run_in_executor(
-                    None, partial(self._compute_fn, compute_tasks,
-                                  compute_keys),
-                )
+                findings = await loop.run_in_executor(None, call)
             except Exception as exc:  # engine failure, not protocol
                 self._stats.incr("errors.compute")
+                self._stats.observe("engine", loop.time() - engine_started)
                 for item in live:
                     self._resolve(item, {
                         "status": "error",
@@ -437,12 +512,32 @@ class MicroBatcher:
                         "error": f"analysis failed: {exc!r}",
                     })
                 return
+            self._stats.observe("engine", loop.time() - engine_started)
+            write_started = loop.time()
+            write_wall = _OBS._wall() if batch_ctx is not None else 0.0
             for token, key, finding in zip(compute_tokens, compute_keys,
                                            findings):
                 resolved[token] = finding
                 if key is not None:
                     self._cache.insert(key, finding)
             self._cache.flush()
+            write_s = loop.time() - write_started
+            self._stats.observe("cache_write", write_s)
+            if batch_ctx is not None:
+                emit_span(_OBS, "serve.cache_write", batch_ctx,
+                          write_wall, write_s, keys=len(compute_tasks))
+
+        if batch_ctx is not None:
+            links = [item.ctx for item in traced]
+            for item in live:
+                links.extend(
+                    self._trace_links.pop(item.query.fingerprint, ()))
+            emit_span(_OBS, "serve.batch", traced[0].ctx, batch_wall,
+                      max(0.0, loop.time() - batch_started),
+                      span_hex=batch_hex, parent_hex=traced[0].ctx.span_id,
+                      links=links, requests=len(live),
+                      unique_tasks=len(compute_tasks),
+                      backend=self._backend)
 
         for item in live:
             findings = [resolved[token] for token in item.tokens]

@@ -48,12 +48,24 @@ class ServeClient:
 
     def query(self, model: str, limit: int = 5,
               deadline_ms: Optional[float] = None,
-              request_id: Any = None) -> Dict[str, Any]:
-        """Hidden-path analysis of one model (see the protocol doc)."""
+              request_id: Any = None,
+              trace: bool = False,
+              traceparent: Optional[str] = None) -> Dict[str, Any]:
+        """Hidden-path analysis of one model (see the protocol doc).
+
+        ``traceparent`` joins an existing W3C trace; ``trace=True`` asks
+        the server to return the reassembled per-stage timeline on the
+        response (tracing must be enabled server-side for either to have
+        an effect).
+        """
         payload: Dict[str, Any] = {"op": "query", "model": model,
                                    "limit": limit, "id": request_id}
         if deadline_ms is not None:
             payload["deadline_ms"] = deadline_ms
+        if trace:
+            payload["trace"] = True
+        if traceparent is not None:
+            payload["traceparent"] = traceparent
         return self.request(payload)
 
     def ping(self) -> Dict[str, Any]:

@@ -10,7 +10,11 @@ what lets the micro-batcher coalesce across clients).  Three operations:
     ``limit`` bounds witnesses per pFSM; ``deadline_ms`` (optional)
     bounds *queueing*: a request still waiting for dispatch past its
     deadline is shed with status ``timeout`` instead of waiting
-    unboundedly.  Compute is never preempted mid-scan.
+    unboundedly.  Compute is never preempted mid-scan.  On a tracing
+    server, an optional ``traceparent`` (W3C-style string) joins the
+    request to an existing distributed trace, and ``trace: true`` asks
+    for the reassembled stage timeline in the response (see
+    :mod:`repro.obs.trace`).
 ``ping``
     Liveness + lifecycle state (``ready`` / ``draining`` / ...).
 ``metrics``
@@ -110,7 +114,16 @@ def decode_request(line: str) -> Dict[str, Any]:
         if isinstance(deadline_ms, bool) or \
                 not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
             raise ProtocolError("'deadline_ms' must be a positive number")
-    request.update(model=model, limit=limit, deadline_ms=deadline_ms)
+    traceparent = obj.get("traceparent")
+    if traceparent is not None:
+        if not isinstance(traceparent, str) or len(traceparent) > 128:
+            raise ProtocolError(
+                "'traceparent' must be a string of at most 128 characters")
+    trace = obj.get("trace", False)
+    if not isinstance(trace, bool):
+        raise ProtocolError("'trace' must be a boolean")
+    request.update(model=model, limit=limit, deadline_ms=deadline_ms,
+                   traceparent=traceparent, trace=trace)
     return request
 
 

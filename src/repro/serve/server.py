@@ -38,12 +38,23 @@ from typing import Any, Dict, Optional, Set
 
 from ..core import dist
 from ..obs import DEFAULT as _OBS
+from ..obs.prometheus import render_exposition
+from ..obs.sinks import JsonlSink
+from ..obs.trace import (
+    TailRules,
+    TraceCollector,
+    TraceContext,
+    emit_span,
+    mint_span_id,
+    trace_timeline,
+)
 from .batcher import MicroBatcher
 from .cache import TieredResultCache
 from .corpus import AnalysisCorpus
 from .protocol import (
     MAX_LINE,
     ProtocolError,
+    SHED_STATUSES,
     STATUS_DRAINING,
     STATUS_ERROR,
     STATUS_OK,
@@ -75,6 +86,11 @@ class ServeConfig:
     store_path: Optional[str] = None  # cold-tier JSONL (optional)
     max_limit: int = 1000  # witness-limit clamp per query
     drain_grace: float = 5.0  # seconds to wait for sockets to flush
+    trace: bool = False  # end-to-end request tracing (repro.obs.trace)
+    trace_sample: float = 1.0  # head-sampling rate for minted traces
+    trace_slow_ms: Optional[float] = None  # tail-keep: retain slower traces
+    trace_file: Optional[str] = None  # span JSONL for `repro trace export`
+    latency_buckets: Optional[tuple] = None  # stage histogram bounds (s)
 
 
 class AnalysisServer:
@@ -84,13 +100,16 @@ class AnalysisServer:
                  corpus: Optional[AnalysisCorpus] = None) -> None:
         self.config = config or ServeConfig()
         self.corpus = corpus or AnalysisCorpus()
-        self.stats = ServeStats()
+        self.stats = ServeStats(buckets=self.config.latency_buckets)
         self.cache = TieredResultCache(self.config.store_path,
                                        stats=self.stats)
         self.state = STARTING
         self.host = self.config.host
         self.port: Optional[int] = None
         self.batcher: Optional[MicroBatcher] = None
+        self.tracer: Optional[TraceCollector] = None
+        self._trace_sink: Optional[JsonlSink] = None
+        self._obs_owned = False
         self._server: Optional[asyncio.AbstractServer] = None
         self._stopped: Optional[asyncio.Event] = None
         self._conn_tasks: Set["asyncio.Task[Any]"] = set()
@@ -102,6 +121,21 @@ class AnalysisServer:
         """Bind, warm up, and report ready.  Must run on the loop that
         will serve."""
         self._stopped = asyncio.Event()
+        if self.config.trace:
+            # The collector reassembles per-request traces; the optional
+            # JSONL sink persists raw spans for `repro trace export`.
+            # The registry is enabled if nobody (e.g. the CLI profile
+            # wrapper) did already — and restored on drain.
+            self.tracer = TraceCollector(
+                head_sample=self.config.trace_sample,
+                tail=TailRules(slow_ms=self.config.trace_slow_ms),
+            )
+            sinks = [self.tracer]
+            if self.config.trace_file:
+                self._trace_sink = JsonlSink(self.config.trace_file)
+                sinks.append(self._trace_sink)
+            self._obs_owned = not _OBS.enabled
+            _OBS.enable(*sinks)
         if self.config.backend in ("process", "queue"):
             # Pay fork/spawn cost before readiness, not inside the
             # first request.
@@ -165,6 +199,17 @@ class AnalysisServer:
         self.state = STOPPED
         if _OBS.enabled:
             _OBS.event("serve.drain", phase="complete")
+        if self.tracer is not None:
+            # Detach tracing sinks (the collector object survives for
+            # post-drain inspection) and restore the registry state we
+            # found at start.
+            _OBS.remove_sink(self.tracer)
+            if self._trace_sink is not None:
+                _OBS.remove_sink(self._trace_sink)
+                self._trace_sink.close()
+                self._trace_sink = None
+            if self._obs_owned:
+                _OBS.disable()
         if self._stopped is not None:
             self._stopped.set()
 
@@ -194,8 +239,37 @@ class AnalysisServer:
             "max_batch": self.config.max_batch,
             "workers": self.config.workers,
             "backend": self.config.backend,
+            "trace": self.config.trace,
         }
+        if self.tracer is not None:
+            snapshot["trace"] = self.tracer.stats()
         return snapshot
+
+    def prometheus_metrics(self) -> str:
+        """The ``GET /metrics`` body: Prometheus text format 0.0.4."""
+        snapshot = self.stats.snapshot()
+        gauges = dict(snapshot["gauges"])
+        gauges["queue.depth"] = (self.batcher.queue_depth()
+                                 if self.batcher is not None else 0)
+        gauges["inflight"] = (self.batcher.inflight_count()
+                              if self.batcher is not None else 0)
+        gauges["store.keys"] = self.cache.store_keys
+        gauges["up"] = 1.0 if self.state == READY else 0.0
+        histograms = {
+            f"stage.{name}.seconds": snap
+            for name, snap in snapshot["histograms"].items()
+        }
+        labeled = [
+            ("state", {"state": state},
+             1.0 if state == self.state else 0.0)
+            for state in (STARTING, READY, DRAINING, STOPPED)
+        ]
+        return render_exposition(
+            counters=snapshot["counters"],
+            gauges=gauges,
+            histograms=histograms,
+            labeled_gauges=labeled,
+        )
 
     # -- connections -------------------------------------------------------
 
@@ -256,27 +330,73 @@ class AnalysisServer:
             return {"id": rid, "status": STATUS_OK, "op": "metrics",
                     "metrics": self.metrics()}
         self.stats.incr("requests.query")
+        tracer = self.tracer
+        ctx: Optional[TraceContext] = None
+        request_ctx: Optional[TraceContext] = None
+        request_hex: Optional[str] = None
+        wall_started = 0.0
+        if tracer is not None:
+            # Accept the client's context (trace joins an existing
+            # distributed trace, sampled flag included) or mint one
+            # under the collector's head-sampling rate.  The request
+            # span's id is minted up front so stage spans can parent
+            # under it before it is emitted.
+            header = request.get("traceparent")
+            ctx = TraceContext.from_traceparent(header) if header else None
+            if ctx is None:
+                ctx = TraceContext.mint(sampled=tracer.sample())
+            request_hex = mint_span_id()
+            request_ctx = TraceContext(ctx.trace_id, request_hex,
+                                       ctx.sampled)
+            wall_started = _OBS._wall()
+            tracer.begin(ctx, model=request["model"], id=rid)
+        response: Dict[str, Any]
         if self.state != READY:
             self.stats.incr("shed.draining")
-            return {"id": rid, "status": STATUS_DRAINING,
-                    "error": "server is draining; no new work admitted"}
-        try:
-            query = self.corpus.expand(
-                request["model"],
-                min(request["limit"], self.config.max_limit),
-            )
-        except KeyError:
-            self.stats.incr("errors.request")
-            return {"id": rid, "status": STATUS_ERROR,
-                    "error": f"unknown model {request['model']!r}",
-                    "models": self.corpus.keys()}
-        assert self.batcher is not None
-        response = await self.batcher.submit(query, request["deadline_ms"])
-        response["id"] = rid
+            response = {"id": rid, "status": STATUS_DRAINING,
+                        "error": "server is draining; no new work admitted"}
+        else:
+            try:
+                query = self.corpus.expand(
+                    request["model"],
+                    min(request["limit"], self.config.max_limit),
+                )
+            except KeyError:
+                self.stats.incr("errors.request")
+                query = None
+                response = {"id": rid, "status": STATUS_ERROR,
+                            "error": f"unknown model {request['model']!r}",
+                            "models": self.corpus.keys()}
+            if query is not None:
+                assert self.batcher is not None
+                response = await self.batcher.submit(
+                    query, request["deadline_ms"], ctx=request_ctx)
+                response["id"] = rid
         elapsed = loop.time() - started
         response["elapsed_ms"] = round(elapsed * 1000.0, 3)
         if response["status"] == STATUS_OK:
             self.stats.record_latency(elapsed)
+        if tracer is not None and ctx is not None:
+            status = response["status"]
+            emit_span(_OBS, "serve.request", ctx, wall_started, elapsed,
+                      span_hex=request_hex, parent_hex=ctx.span_id,
+                      model=request["model"], status=status,
+                      cached=bool(response.get("cached")),
+                      coalesced=bool(response.get("coalesced")))
+            record = tracer.finish(
+                ctx.trace_id,
+                status=status,
+                elapsed_ms=response["elapsed_ms"],
+                shed=status in SHED_STATUSES,
+                witness=bool(response.get("findings")),
+            )
+            response["trace_id"] = ctx.trace_id
+            if record is not None:
+                self.stats.incr("trace.kept")
+                if request.get("trace"):
+                    response["trace"] = trace_timeline(record)
+            else:
+                self.stats.incr("trace.dropped")
         return response
 
     async def _serve_http(self, first_line: str,
@@ -289,19 +409,28 @@ class AnalysisServer:
                 break
         parts = first_line.split()
         path = parts[1] if len(parts) > 1 else "/"
+        content_type = "application/json"
+        payload: Optional[bytes] = None
         if path.startswith("/healthz"):
             ready = self.state == READY
             code, reason = (200, "OK") if ready else (503, "Unavailable")
             body: Dict[str, Any] = {"state": self.state, "ready": ready,
                                     "live": self.state != STOPPED}
-        elif path.startswith("/metrics"):
+        elif path.startswith("/metrics.json") or "format=json" in path:
+            # The structured snapshot (same payload as the line-JSON
+            # `metrics` op) stays addressable for humans and tests.
             code, reason, body = 200, "OK", self.metrics()
+        elif path.startswith("/metrics"):
+            code, reason = 200, "OK"
+            payload = self.prometheus_metrics().encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
         else:
             code, reason, body = 404, "Not Found", {"error": "not found"}
-        payload = json.dumps(body).encode("utf-8")
+        if payload is None:
+            payload = json.dumps(body).encode("utf-8")
         head = (
             f"HTTP/1.1 {code} {reason}\r\n"
-            f"Content-Type: application/json\r\n"
+            f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Connection: close\r\n\r\n"
         ).encode("ascii")

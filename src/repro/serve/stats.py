@@ -15,11 +15,18 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 from ..obs import DEFAULT as _OBS
+from ..obs.prometheus import Histogram
 
-__all__ = ["LatencyWindow", "ServeStats"]
+__all__ = ["LatencyWindow", "ServeStats", "STAGES"]
+
+#: Per-stage latency histograms recorded by the serving path: total
+#: request time, queueing, batch formation, engine dispatch, and cache
+#: writeback.  Each stage is exposed as its own Prometheus family
+#: (``repro_serve_stage_<name>_seconds``).
+STAGES = ("request", "queue_wait", "batch_window", "engine", "cache_write")
 
 
 class LatencyWindow:
@@ -71,12 +78,19 @@ class LatencyWindow:
 
 
 class ServeStats:
-    """Thread-safe counters/gauges + latency window for one server."""
+    """Thread-safe counters/gauges + latency window for one server.
 
-    def __init__(self) -> None:
+    ``buckets`` overrides the per-stage histogram bucket bounds (in
+    seconds) — the Prometheus exposition's configurable replacement for
+    the fixed p50/p95 gauges, which remain on the JSON snapshot.
+    """
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
         self._gauges: Dict[str, float] = {}
+        self._buckets = tuple(buckets) if buckets is not None else None
+        self._histograms: Dict[str, Histogram] = {}
         self.latency = LatencyWindow()
 
     def incr(self, name: str, n: int = 1) -> None:
@@ -95,8 +109,25 @@ class ServeStats:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one duration into the stage's latency histogram."""
+        histogram = self._histograms.get(stage)
+        if histogram is None:
+            with self._lock:
+                histogram = self._histograms.setdefault(
+                    stage, Histogram(self._buckets))
+        histogram.observe(seconds)
+
+    def histograms(self) -> Dict[str, Dict[str, Any]]:
+        """Snapshot of every stage histogram (see
+        :meth:`repro.obs.prometheus.Histogram.snapshot`)."""
+        with self._lock:
+            items = list(self._histograms.items())
+        return {name: hist.snapshot() for name, hist in items}
+
     def record_latency(self, seconds: float) -> None:
         self.latency.record(seconds)
+        self.observe("request", seconds)
 
     def snapshot(self) -> Dict[str, Any]:
         """Counters, gauges, latency percentiles, and the derived rates
@@ -113,14 +144,21 @@ class ServeStats:
                      + counters.get("cache.store_hits", 0))
         task_lookups = task_hits + counters.get("cache.misses", 0)
         if _OBS.enabled:
-            if latency["p50_ms"] is not None:
-                _OBS.gauge("serve.latency.p50_ms", latency["p50_ms"])
-            if latency["p95_ms"] is not None:
-                _OBS.gauge("serve.latency.p95_ms", latency["p95_ms"])
+            # An empty-at-snapshot window must reset the mirrored
+            # gauges explicitly: skipping the write would leave the
+            # previous snapshot's percentiles standing in obs gauges()
+            # as if they were current.
+            _OBS.gauge("serve.latency.p50_ms",
+                       latency["p50_ms"] if latency["p50_ms"] is not None
+                       else 0.0)
+            _OBS.gauge("serve.latency.p95_ms",
+                       latency["p95_ms"] if latency["p95_ms"] is not None
+                       else 0.0)
         return {
             "counters": counters,
             "gauges": gauges,
             "latency": latency,
+            "histograms": self.histograms(),
             "derived": {
                 "coalesce_rate": coalesced / queries if queries else 0.0,
                 "request_cache_hit_rate": cached / queries if queries

@@ -345,3 +345,127 @@ class TestModuleLevelApi:
             registry.clear_sinks()
             registry.reset()
         assert not obs.enabled()
+
+
+class TestJsonlBuffering:
+    def test_emits_below_threshold_stay_buffered_until_flush(self, tmp_path):
+        path = tmp_path / "buffered.jsonl"
+        sink = JsonlSink(str(path), buffer_lines=64)
+        for i in range(10):
+            sink.emit({"type": "event", "i": i})
+        # nothing hit the file yet — the whole point of buffering
+        assert path.read_text() == ""
+        sink.flush()
+        assert len(path.read_text().splitlines()) == 10
+        sink.close()
+
+    def test_buffer_drains_automatically_at_threshold(self):
+        buf = io.StringIO()  # writes to it are immediately visible
+        sink = JsonlSink(buf, buffer_lines=4)
+        for i in range(3):
+            sink.emit({"type": "event", "i": i})
+        assert buf.getvalue() == ""
+        sink.emit({"type": "event", "i": 3})
+        assert len(buf.getvalue().splitlines()) == 4
+        sink.close()
+
+    def test_close_flushes_remaining_lines(self, tmp_path):
+        path = tmp_path / "close.jsonl"
+        sink = JsonlSink(str(path), buffer_lines=1000)
+        sink.emit({"type": "event", "i": 0})
+        sink.close()
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        assert events == [{"type": "event", "i": 0}]
+
+    def test_write_summary_is_a_read_barrier(self, tmp_path):
+        path = tmp_path / "summary.jsonl"
+        reg = Registry()
+        sink = JsonlSink(str(path), buffer_lines=1000)
+        reg.enable(sink)
+        reg.incr("sweep.cache.hits")
+        reg.event("mark")
+        sink.write_summary(reg)
+        # before close: summary flushed everything buffered so far
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert [e["type"] for e in lines] == ["event", "summary"]
+        reg.disable()
+        sink.close()
+
+    def test_forked_child_never_writes_inherited_buffer(self, tmp_path):
+        import os as _os
+        if not hasattr(_os, "fork"):
+            pytest.skip("fork not available")
+        path = tmp_path / "forked.jsonl"
+        sink = JsonlSink(str(path), buffer_lines=1000)
+        sink.emit({"type": "event", "who": "parent"})
+        pid = _os.fork()
+        if pid == 0:  # child: emit + flush must both be no-ops
+            try:
+                sink.emit({"type": "event", "who": "child"})
+                sink.flush()
+                sink.close()
+            finally:
+                _os._exit(0)
+        _os.waitpid(pid, 0)
+        sink.close()
+        events = [json.loads(l) for l in path.read_text().splitlines()]
+        assert events == [{"type": "event", "who": "parent"}]
+
+
+class TestConsoleReporterSort:
+    @staticmethod
+    def _populated_reporter():
+        """leaf runs 3x (all self time); parent wraps them (little self)."""
+        clock = FakeClock(step=1.0)
+        reg = Registry(clock=clock)
+        reporter = ConsoleReporter()
+        reg.enable(reporter)
+        with reg.span("parent"):
+            for _ in range(3):
+                with reg.span("leaf"):
+                    pass
+        for _ in range(3):  # standalone leaves: all self time
+            with reg.span("leaf"):
+                pass
+        reg.disable()
+        return reg, reporter
+
+    @staticmethod
+    def _table_order(text):
+        rows = [line.split()[0] for line in text.splitlines()
+                if line and not line.startswith(("=", "-", "(", "span"))
+                and ":" not in line]
+        return rows
+
+    def test_self_time_subtracts_direct_children(self):
+        reg, reporter = self._populated_reporter()
+        text = reporter.render(reg)
+        # the clock ticks once per enter/exit: each leaf lasts 1 tick,
+        # parent lasts 7 with 3 ticks inside children -> self 4.0
+        parent_row = next(l for l in text.splitlines()
+                          if l.startswith("parent"))
+        cols = parent_row.split()
+        assert float(cols[2]) == 7.0   # total_s
+        assert float(cols[3]) == 4.0   # self_s
+        leaf_row = next(l for l in text.splitlines() if l.startswith("leaf"))
+        assert float(leaf_row.split()[2]) == float(leaf_row.split()[3])
+
+    def test_sort_total_puts_parent_first(self):
+        reg, reporter = self._populated_reporter()
+        assert self._table_order(reporter.render(reg, sort="total"))[0] \
+            == "parent"
+
+    def test_sort_self_puts_leaf_first(self):
+        reg, reporter = self._populated_reporter()
+        assert self._table_order(reporter.render(reg, sort="self"))[0] \
+            == "leaf"
+
+    def test_sort_count_puts_leaf_first(self):
+        reg, reporter = self._populated_reporter()
+        assert self._table_order(reporter.render(reg, sort="count"))[0] \
+            == "leaf"
+
+    def test_invalid_sort_rejected(self):
+        reg, reporter = self._populated_reporter()
+        with pytest.raises(ValueError):
+            reporter.render(reg, sort="alphabetical")

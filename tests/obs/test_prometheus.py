@@ -1,0 +1,192 @@
+"""Tests for the Prometheus exposition layer (repro.obs.prometheus)."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.prometheus import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    parse_exposition,
+    render_exposition,
+    sanitize_metric_name,
+)
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        hist = Histogram(buckets=(0.01, 0.1, 1.0))
+        for value in (0.005, 0.005, 0.05, 0.5, 5.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["buckets"] == [(0.01, 2), (0.1, 3), (1.0, 4)]
+        assert snap["count"] == 5  # the 5.0 falls in the implicit +Inf
+        assert snap["sum"] == pytest.approx(5.56)
+
+    def test_boundary_value_is_inclusive(self):
+        # Prometheus buckets are `le` (less-or-equal) bounds.
+        hist = Histogram(buckets=(0.1, 1.0))
+        hist.observe(0.1)
+        assert hist.snapshot()["buckets"] == [(0.1, 1), (1.0, 1)]
+
+    def test_default_buckets(self):
+        snap = Histogram().snapshot()
+        assert [b for b, _ in snap["buckets"]] == sorted(DEFAULT_BUCKETS)
+
+    def test_bounds_are_sorted_and_deduplicated(self):
+        hist = Histogram(buckets=(1.0, 0.1, 1.0))
+        assert hist.buckets == (0.1, 1.0)
+
+    def test_rejects_empty_or_infinite_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+        with pytest.raises(ValueError):
+            Histogram(buckets=(0.1, math.inf))
+
+    def test_concurrent_observes_are_exact(self):
+        hist = Histogram(buckets=(10.0,))
+        threads = [threading.Thread(
+            target=lambda: [hist.observe(1.0) for _ in range(500)])
+            for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = hist.snapshot()
+        assert snap["count"] == 2000
+        assert snap["buckets"] == [(10.0, 2000)]
+
+
+class TestSanitize:
+    @pytest.mark.parametrize("raw,expected", [
+        ("requests.query", "requests_query"),
+        ("shed.overload", "shed_overload"),
+        ("already_fine", "already_fine"),
+        ("9starts.with.digit", "_9starts_with_digit"),
+    ])
+    def test_names(self, raw, expected):
+        assert sanitize_metric_name(raw) == expected
+
+
+class TestRenderExposition:
+    def test_counters_gauges_histograms_render_and_parse(self):
+        hist = Histogram(buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(5.0)
+        text = render_exposition(
+            counters={"requests.query": 7},
+            gauges={"queue.depth": 3},
+            histograms={"stage.request.seconds": hist.snapshot()},
+            labeled_gauges=[("state", {"state": "ready"}, 1.0),
+                            ("state", {"state": "draining"}, 0.0)],
+        )
+        families = parse_exposition(text)
+
+        # classic text format 0.0.4: counters declare TYPE on the full
+        # `_total` sample name
+        counter = families["repro_serve_requests_query_total"]
+        assert counter["type"] == "counter"
+        assert counter["samples"] == [
+            ("repro_serve_requests_query_total", {}, 7.0)]
+
+        gauge = families["repro_serve_queue_depth"]
+        assert gauge["type"] == "gauge"
+        assert gauge["samples"] == [("repro_serve_queue_depth", {}, 3.0)]
+
+        state = families["repro_serve_state"]
+        assert (("repro_serve_state", {"state": "ready"}, 1.0)
+                in state["samples"])
+
+        hist_fam = families["repro_serve_stage_request_seconds"]
+        assert hist_fam["type"] == "histogram"
+        samples = {(s[0], s[1].get("le")): s[2]
+                   for s in hist_fam["samples"]}
+        assert samples[("repro_serve_stage_request_seconds_bucket",
+                        "0.1")] == 1.0
+        assert samples[("repro_serve_stage_request_seconds_bucket",
+                        "+Inf")] == 2.0
+        assert samples[("repro_serve_stage_request_seconds_count",
+                        None)] == 2.0
+        assert samples[("repro_serve_stage_request_seconds_sum",
+                        None)] == pytest.approx(5.05)
+
+    def test_every_family_has_help_and_type(self):
+        text = render_exposition(counters={"a.b": 1}, gauges={"c.d": 2.5})
+        for family in ("repro_serve_a_b_total", "repro_serve_c_d"):
+            assert f"# HELP {family.replace('_total', '')}" in text \
+                or f"# HELP {family}" in text
+        assert "# TYPE repro_serve_a_b_total counter" in text
+        assert "# TYPE repro_serve_c_d gauge" in text
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        text = render_exposition(
+            labeled_gauges=[("weird", {"k": 'a"b\\c'}, 1.0)])
+        families = parse_exposition(text)
+        (_, labels, _), = families["repro_serve_weird"]["samples"]
+        assert labels == {"k": 'a"b\\c'}
+
+    def test_empty_prefix(self):
+        text = render_exposition(counters={"hits": 1}, prefix="")
+        assert "hits_total 1" in text
+
+
+class TestParseExposition:
+    def test_rejects_sample_without_type(self):
+        with pytest.raises(ValueError, match="no TYPE"):
+            parse_exposition("orphan_metric 1\n")
+
+    def test_rejects_malformed_sample(self):
+        with pytest.raises(ValueError, match="malformed sample"):
+            parse_exposition("# TYPE x gauge\nx one_point_five\n")
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown type"):
+            parse_exposition("# TYPE x widget\n")
+
+    def test_rejects_decreasing_histogram_buckets(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match="decrease"):
+            parse_exposition(bad)
+
+    def test_rejects_missing_inf_bucket(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            "h_sum 1\n"
+            "h_count 5\n"
+        )
+        with pytest.raises(ValueError, match=r"\+Inf"):
+            parse_exposition(bad)
+
+    def test_rejects_inf_bucket_count_mismatch(self):
+        bad = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1\n"
+            "h_count 7\n"
+        )
+        with pytest.raises(ValueError, match="!= _count"):
+            parse_exposition(bad)
+
+    def test_accepts_special_values_and_timestamps(self):
+        text = (
+            "# TYPE g gauge\n"
+            "g 1.5 1700000000\n"
+            "# TYPE n gauge\n"
+            "n NaN\n"
+            "# TYPE i gauge\n"
+            "i +Inf\n"
+        )
+        families = parse_exposition(text)
+        assert families["g"]["samples"][0][2] == 1.5
+        assert math.isnan(families["n"]["samples"][0][2])
+        assert families["i"]["samples"][0][2] == math.inf

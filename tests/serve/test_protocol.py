@@ -18,7 +18,8 @@ class TestDecodeRequest:
     def test_minimal_query(self):
         request = decode_request('{"model": "sendmail"}')
         assert request == {"op": "query", "id": None, "model": "sendmail",
-                           "limit": 5, "deadline_ms": None}
+                           "limit": 5, "deadline_ms": None,
+                           "traceparent": None, "trace": False}
 
     def test_full_query(self):
         request = decode_request(
@@ -27,6 +28,26 @@ class TestDecodeRequest:
         assert request["id"] == 7
         assert request["limit"] == 2
         assert request["deadline_ms"] == 250
+
+    def test_trace_fields_pass_through(self):
+        header = "00-" + "ab" * 16 + "-" + "cd" * 8 + "-01"
+        request = decode_request(json.dumps(
+            {"model": "iis", "traceparent": header, "trace": True}))
+        assert request["traceparent"] == header
+        assert request["trace"] is True
+
+    def test_oversized_traceparent_rejected(self):
+        with pytest.raises(ProtocolError, match="traceparent"):
+            decode_request(json.dumps(
+                {"model": "iis", "traceparent": "x" * 129}))
+
+    def test_non_string_traceparent_rejected(self):
+        with pytest.raises(ProtocolError, match="traceparent"):
+            decode_request('{"model": "iis", "traceparent": 12}')
+
+    def test_non_boolean_trace_rejected(self):
+        with pytest.raises(ProtocolError, match="'trace'"):
+            decode_request('{"model": "iis", "trace": "yes"}')
 
     def test_ping_and_metrics_need_no_model(self):
         assert decode_request('{"op": "ping"}')["op"] == "ping"

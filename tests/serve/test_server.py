@@ -325,24 +325,53 @@ class TestHttpFacade:
         url = f"http://{server.host}:{server.port}{path}"
         try:
             with urllib.request.urlopen(url) as response:
-                return response.status, json.load(response)
+                return (response.status,
+                        response.read().decode("utf-8"),
+                        response.headers.get("Content-Type", ""))
         except urllib.error.HTTPError as exc:
-            return exc.code, json.load(exc)
+            return exc.code, exc.read().decode("utf-8"), \
+                exc.headers.get("Content-Type", "")
 
     def test_healthz_ready(self, server):
-        code, body = self._get(server, "/healthz")
+        code, body, ctype = self._get(server, "/healthz")
         assert code == 200
-        assert body == {"state": "ready", "ready": True, "live": True}
+        assert ctype == "application/json"
+        assert json.loads(body) == {"state": "ready", "ready": True,
+                                    "live": True}
 
-    def test_metrics_endpoint(self, server):
+    def test_metrics_json_endpoint(self, server):
         with client_for(server) as client:
             client.query("toy", limit=8)
-        code, body = self._get(server, "/metrics")
+        code, body, ctype = self._get(server, "/metrics.json")
         assert code == 200
-        assert body["counters"]["requests.query"] >= 1
-        assert "latency" in body
+        assert ctype == "application/json"
+        snapshot = json.loads(body)
+        assert snapshot["counters"]["requests.query"] >= 1
+        assert "latency" in snapshot
+        assert "histograms" in snapshot
+
+    def test_metrics_endpoint_speaks_prometheus(self, server):
+        from repro.obs.prometheus import parse_exposition
+
+        with client_for(server) as client:
+            client.query("toy", limit=8)
+        code, body, ctype = self._get(server, "/metrics")
+        assert code == 200
+        assert ctype.startswith("text/plain")
+        assert "version=0.0.4" in ctype
+        families = parse_exposition(body)  # raises on malformed output
+        counter = families["repro_serve_requests_query_total"]
+        assert counter["type"] == "counter"
+        assert counter["samples"][0][2] >= 1.0
+        assert families["repro_serve_up"]["samples"][0][2] == 1.0
+        request_hist = families["repro_serve_stage_request_seconds"]
+        assert request_hist["type"] == "histogram"
+        state_samples = {s[1]["state"]: s[2]
+                         for s in families["repro_serve_state"]["samples"]}
+        assert state_samples["ready"] == 1.0
+        assert state_samples["draining"] == 0.0
 
     def test_unknown_path_404(self, server):
-        code, body = self._get(server, "/nope")
+        code, body, ctype = self._get(server, "/nope")
         assert code == 404
-        assert body == {"error": "not found"}
+        assert json.loads(body) == {"error": "not found"}

@@ -87,3 +87,54 @@ class TestServeStats:
         assert "serve.before.enable" not in counters
         assert gauges["serve.queue.depth"] == 3
         assert gauges["serve.latency.p50_ms"] == 2.0
+
+    def test_empty_window_resets_mirrored_gauges(self):
+        """An empty-at-snapshot window must zero the obs gauges rather
+        than leave a previous snapshot's percentiles standing."""
+        registry = obs.get_registry()
+        stats = ServeStats()
+        registry.enable()
+        try:
+            stats.record_latency(0.002)
+            stats.snapshot()
+            assert registry.gauges()["serve.latency.p50_ms"] == 2.0
+            # a fresh stats object with no samples snapshots next: the
+            # stale 2.0 must not survive
+            ServeStats().snapshot()
+            gauges = registry.gauges()
+        finally:
+            registry.disable()
+            registry.reset()
+        assert gauges["serve.latency.p50_ms"] == 0.0
+        assert gauges["serve.latency.p95_ms"] == 0.0
+
+
+class TestStageHistograms:
+    def test_observe_lands_in_named_stage(self):
+        stats = ServeStats()
+        stats.observe("engine", 0.002)
+        stats.observe("engine", 0.2)
+        stats.observe("queue_wait", 0.0001)
+        histograms = stats.histograms()
+        assert histograms["engine"]["count"] == 2
+        assert histograms["queue_wait"]["count"] == 1
+        assert "cache_write" not in histograms  # lazily created
+
+    def test_record_latency_feeds_the_request_stage(self):
+        stats = ServeStats()
+        stats.record_latency(0.05)
+        assert stats.histograms()["request"]["count"] == 1
+        assert stats.latency.snapshot()["count"] == 1
+
+    def test_custom_buckets_apply_to_every_stage(self):
+        stats = ServeStats(buckets=(0.1, 1.0))
+        stats.observe("engine", 0.05)
+        snap = stats.histograms()["engine"]
+        assert [b for b, _ in snap["buckets"]] == [0.1, 1.0]
+        assert snap["buckets"][0][1] == 1
+
+    def test_histograms_appear_on_snapshot(self):
+        stats = ServeStats()
+        stats.observe("batch_window", 0.003)
+        snapshot = stats.snapshot()
+        assert snapshot["histograms"]["batch_window"]["count"] == 1

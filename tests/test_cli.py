@@ -218,3 +218,53 @@ class TestServeCli:
         with pytest.raises(SystemExit) as excinfo:
             main(["serve", "--no-such-flag"])
         assert excinfo.value.code == 2
+
+
+class TestTraceExport:
+    def test_export_converts_trace_file_to_chrome_json(self, capsys,
+                                                       tmp_path):
+        events = tmp_path / "events.jsonl"
+        out = tmp_path / "chrome.json"
+        code, _ = run(capsys, "trace", "sendmail",
+                      "--trace-file", str(events))
+        assert code == 0
+        code, text = run(capsys, "trace", "export", str(out),
+                         "--input", str(events))
+        assert code == 0
+        assert "wrote" in text
+        payload = json.loads(out.read_text())  # must round-trip json.load
+        assert payload["traceEvents"], "export produced no events"
+        first = payload["traceEvents"][0]
+        assert first["ph"] == "X"
+        assert {"name", "ts", "dur", "pid", "tid"} <= set(first)
+
+    def test_export_requires_input(self, tmp_path):
+        with pytest.raises(SystemExit, match="--input"):
+            main(["trace", "export", str(tmp_path / "out.json")])
+
+    def test_export_requires_output(self):
+        with pytest.raises(SystemExit, match="output"):
+            main(["trace", "export"])
+
+    def test_export_missing_input_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            main(["trace", "export", str(tmp_path / "out.json"),
+                  "--input", str(tmp_path / "missing.jsonl")])
+
+    def test_model_trace_still_works_with_new_args(self, capsys):
+        code, out = run(capsys, "trace", "ghttpd")
+        assert code == 0
+        assert "verdict" in out
+
+
+class TestProfileSort:
+    def test_profile_sort_accepts_each_key(self, capsys):
+        for key in ("total", "self", "count"):
+            code, out = run(capsys, "sweep", "--profile",
+                            "--profile-sort", key)
+            assert code == 0
+            assert "self_s" in out  # the new self-time column
+
+    def test_profile_sort_rejects_unknown_key(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--profile", "--profile-sort", "bogus"])
