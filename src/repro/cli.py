@@ -36,9 +36,13 @@ Commands
     predicate-spec hash.  ``--explain`` prints each task's chosen scan
     strategy, estimated cost, and CSE reuse (the decisions of the
     planner in ``repro.core.plan``; also the ``plans`` block of
-    ``--json``); ``--no-plan`` disables the predicate compiler for the
-    run.  ``--fail-on-witness`` exits nonzero when any hidden-path
-    witness is found, so CI can gate on "no hidden paths".
+    ``--json``), with tasks served whole from the dist fingerprint memo
+    tagged ``memo``; ``--no-plan`` disables the predicate compiler for
+    the run, ``--no-columnar`` the columnar domain engine
+    (``repro.core.columnar``), and ``--scan-window N`` sizes the bulk
+    predicate-cache window of compiled scans.  ``--fail-on-witness``
+    exits nonzero when any hidden-path witness is found, so CI can gate
+    on "no hidden paths".
 ``serve``
     Run the long-lived analysis service (``repro.serve``): bounded
     admission queue (``--max-depth``), micro-batching window
@@ -103,6 +107,17 @@ from .models import (
 from .serve.corpus import MODEL_KEYS as _MODEL_KEYS
 
 __all__ = ["main"]
+
+
+def _positive_int(text: str) -> int:
+    """argparse type for flags that must be strictly positive."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
 
 
 def _resolve(key: str):
@@ -232,10 +247,37 @@ def _cmd_statespace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _memo_resolved_tasks(models: dict, domains: dict, limit: int) -> set:
+    """Task identities already resolved by the dist fingerprint memo
+    (probed *before* the sweep runs — these tasks will not execute any
+    scan, so the strategy table tags them ``memo`` instead of reporting
+    a strategy that never ran)."""
+    from .core import dist
+
+    resolved = set()
+    for label, model in models.items():
+        model_domains = domains.get(label, {})
+        for operation, pfsm in model.all_pfsms():
+            domain = model_domains.get(pfsm.name)
+            if domain is None:
+                continue
+            try:
+                key = dist.task_key(
+                    model, (model.name, operation.name, pfsm, domain,
+                            limit))
+                if key is not None and dist.memo_lookup(key)[0]:
+                    resolved.add((model.name, operation.name, pfsm.name))
+            except Exception:
+                continue
+    return resolved
+
+
 def _plan_rows(models: dict, domains: dict, limit: int,
-               cache_available: bool) -> list:
+               cache_available: bool, memo_resolved: set = frozenset()) -> list:
     """Per-task planner decisions (``repro sweep --explain`` / the
-    ``plans`` block of ``--json``)."""
+    ``plans`` block of ``--json``).  Tasks in ``memo_resolved`` get a
+    ``memo`` strategy row — they were served whole from the dist
+    fingerprint memo and never scanned."""
     from .core import plan as _plan
 
     rows = []
@@ -244,6 +286,15 @@ def _plan_rows(models: dict, domains: dict, limit: int,
         for operation, pfsm in model.all_pfsms():
             domain = model_domains.get(pfsm.name)
             if domain is None:
+                continue
+            if (model.name, operation.name, pfsm.name) in memo_resolved:
+                rows.append({
+                    "model": model.name, "operation": operation.name,
+                    "pfsm": pfsm.name, "strategy": "memo",
+                    "est_cost": 0.0, "objects": 0, "reason":
+                    "resolved from the dist fingerprint memo "
+                    "(no scan executed)", "tag": "memo",
+                })
                 continue
             try:
                 info = _plan.describe_plan(
@@ -259,13 +310,15 @@ def _plan_rows(models: dict, domains: dict, limit: int,
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from . import obs
     from .core import NO_CACHE, PredicateCache, sweep_models
+    from .core import columnar as _columnar
     from .core import plan as _plan
 
     models = all_paper_models()
     domains = all_pfsm_domains()
     # A per-invocation cache so the reported stats cover exactly this
     # sweep (the process-wide shared cache would fold in prior history).
-    cache = None if args.no_cache else PredicateCache()
+    cache = (None if args.no_cache
+             else PredicateCache(scan_window=args.scan_window))
     # Counters are recorded even without --profile so the strategy
     # breakdown below covers exactly this sweep (delta, not absolute).
     registry = obs.get_registry()
@@ -275,6 +328,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     before = registry.counters()
     if args.no_plan:
         _plan.set_enabled(False)
+    if args.no_columnar:
+        _columnar.set_enabled(False)
+    # Probed before the sweep: these tasks resolve whole from the dist
+    # fingerprint memo and never reach a scan strategy.
+    memo_resolved = (set() if args.no_plan else
+                     _memo_resolved_tasks(models, domains, args.limit))
     try:
         sweeps = sweep_models(
             models,
@@ -286,10 +345,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             resume_from=args.resume_from,
         )
         plans = ([] if args.no_plan else
-                 _plan_rows(models, domains, args.limit, not args.no_cache))
+                 _plan_rows(models, domains, args.limit, not args.no_cache,
+                            memo_resolved))
     finally:
         if args.no_plan:
             _plan.set_enabled(True)
+        if args.no_columnar:
+            _columnar.set_enabled(True)
         after = registry.counters()
         if owned_registry:
             registry.disable()
@@ -298,7 +360,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     delta = {key: after.get(key, 0) - before.get(key, 0)
              for key in set(after) | set(before)}
     scan_stats = {name: delta.get(f"sweep.scans.{name}", 0)
-                  for name in ("fastpath", "compiled", "cached", "plain")}
+                  for name in ("fastpath", "columnar", "compiled",
+                               "cached", "plain")}
+    scan_stats["memo"] = delta.get("dist.memo.hits", 0)
     plan_stats = {
         "enabled": not args.no_plan,
         "compiles": delta.get("plan.compiles", 0),
@@ -334,6 +398,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "scans": scan_stats,
             "plan": plan_stats,
             "plans": plans,
+            "settings": {
+                "scan_window": args.scan_window,
+                "columnar": not args.no_columnar,
+                "columnar_backend": ("numpy" if _columnar.using_numpy()
+                                     else "stdlib"),
+                "backend": args.backend,
+                "workers": args.workers,
+                "limit": args.limit,
+                "cache": not args.no_cache,
+                "plan": not args.no_plan,
+            },
             "total_findings": total,
         }
         print(json.dumps(payload, indent=2, default=str))
@@ -370,8 +445,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{cache_stats['evictions']} evictions "
               f"(hit rate {cache_stats['hit_rate']:.1%})")
     print(f"scans: {scan_stats['fastpath']} interval, "
+          f"{scan_stats['columnar']} columnar, "
           f"{scan_stats['compiled']} compiled, "
-          f"{scan_stats['cached']} cached, {scan_stats['plain']} plain")
+          f"{scan_stats['cached']} cached, {scan_stats['plain']} plain"
+          + (f", {scan_stats['memo']} memo" if scan_stats["memo"] else ""))
     if exit_code:
         print("failing: hidden-path witnesses found (--fail-on-witness)")
     return exit_code
@@ -651,6 +728,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--no-plan", action="store_true",
                        help="disable the predicate compiler / planner "
                             "for this sweep (scalar strategies only)")
+    sweep.add_argument("--no-columnar", action="store_true",
+                       help="disable the columnar domain engine "
+                            "(struct-of-arrays kernels and shared-memory "
+                            "domain transfer; see repro.core.columnar)")
+    sweep.add_argument("--scan-window", type=_positive_int, default=512,
+                       metavar="N",
+                       help="objects per bulk predicate-cache round-trip "
+                            "in compiled scans (default 512)")
     sweep.add_argument("--fail-on-witness", action="store_true",
                        help="exit nonzero if any hidden-path witness is "
                             "found (CI gate)")

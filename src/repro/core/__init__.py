@@ -30,6 +30,11 @@ from .metrics import (
     mean_effort_to_foil,
     pfsm_rates,
 )
+from .columnar import (
+    EncodingCache,
+    SharedColumnarDomain,
+    encoding_for,
+)
 from .dist import (
     InProcessQueue,
     ResultStore,
@@ -153,6 +158,9 @@ __all__ = [
     "ResultStore",
     "domain_digest",
     "task_key",
+    "EncodingCache",
+    "SharedColumnarDomain",
+    "encoding_for",
     "NodeMemo",
     "PlanCache",
     "ScanPlan",

@@ -37,6 +37,22 @@ Serialized task bytes are produced once by the per-task picklability
 probe and reused verbatim for dispatch; a task that does not pickle
 (an unregistered opaque predicate) runs inline in the parent instead of
 dragging the whole sweep onto threads.
+
+**Zero-copy domain sharing.**  Large materialized domains used to be
+re-pickled into every chunk payload.  With the columnar engine enabled,
+:func:`run_tasks` now encodes each such domain once (see
+:func:`repro.core.columnar.export_shared`), publishes its columns in a
+``multiprocessing.shared_memory`` segment, and substitutes a tiny
+picklable :class:`~repro.core.columnar.SharedColumnarDomain` ref into
+the chunk payloads; pool workers attach the segment read-only and scan
+the columns in place.  The parent owns every segment for exactly one
+``run_tasks`` call — created before dispatch, unlinked in a ``finally``
+after the last chunk completes (crash-retry and inline fallbacks always
+re-run the *original* tasks, so a failed attach degrades, never
+corrupts).  A substitution only happens when it strictly shrinks the
+payload, and where shared memory is unavailable the ref degrades to
+inline pickled columns (``dist.shm.fallback``).  Counters:
+``dist.shm.segments`` / ``bytes_shared`` / ``bytes_saved`` / ``tasks``.
 """
 
 from __future__ import annotations
@@ -70,6 +86,7 @@ __all__ = [
     "memo_discard",
     "clear_memo",
     "prewarm",
+    "set_shm_enabled",
     "shutdown_pool",
     "reset",
 ]
@@ -640,6 +657,121 @@ def _serialize_task(task: Any) -> Optional[bytes]:
         return None
 
 
+#: Gate for the shared-memory domain substitution (tests flip it;
+#: ``repro sweep --no-columnar`` disables it with the rest of the
+#: columnar engine).
+_SHM_ENABLED = True
+
+
+def set_shm_enabled(on: bool) -> bool:
+    """Enable/disable zero-copy domain sharing; returns the previous
+    setting."""
+    global _SHM_ENABLED
+    previous = _SHM_ENABLED
+    _SHM_ENABLED = bool(on)
+    return previous
+
+
+class _ShmSession:
+    """The per-``run_tasks`` shared-domain registry: one export per
+    distinct domain object, every export unlinked at :meth:`close`."""
+
+    def __init__(self) -> None:
+        self._exports: Dict[int, Any] = {}
+        self._pinned: List[Any] = []  # keep ids unique for the session
+
+    def ref_for(self, domain: Any) -> Optional[Any]:
+        from . import columnar
+
+        ident = id(domain)
+        if ident in self._exports:
+            export = self._exports[ident]
+        else:
+            try:
+                export = columnar.export_shared(domain)
+            except Exception:
+                export = None
+            self._exports[ident] = export
+            self._pinned.append(domain)
+            if export is not None and _OBS.enabled:
+                if export.ref.segment is not None:
+                    _OBS.incr("dist.shm.segments")
+                    _OBS.incr("dist.shm.bytes_shared", export.nbytes)
+                else:
+                    _OBS.incr("dist.shm.fallback")
+        return None if export is None else export.ref
+
+    def shipped_any(self) -> bool:
+        return any(export is not None
+                   for export in self._exports.values())
+
+    def close(self) -> None:
+        for export in self._exports.values():
+            if export is not None:
+                export.close()
+        self._exports.clear()
+        self._pinned.clear()
+
+
+def _substitute_shared_domains(
+    tasks: Sequence[Any],
+    pending: Sequence[int],
+    payload_list: List[Optional[bytes]],
+) -> Optional[_ShmSession]:
+    """Replace big materialized domains in the pending payloads with
+    shared-memory refs.  Returns the session owning the segments (close
+    it after dispatch), or ``None`` when nothing was substituted.
+
+    Two gates keep this strictly a win.  A task is only eligible when
+    its compiled program vectorizes over the domain's encoding — a
+    worker scanning a shared ref on the *scalar* path would have to
+    rebuild every row from columns, which is slower than iterating the
+    pickled original.  And each substitution is accepted only if it
+    strictly shrinks the payload, so the worst case is byte-for-byte
+    the status quo."""
+    try:
+        from . import columnar, plan
+
+        if not columnar.is_enabled():
+            return None
+    except Exception:
+        return None
+    session = _ShmSession()
+    shipped = 0
+    saved = 0
+    for index in pending:
+        task = tasks[index]
+        try:
+            # Cheapest gate first: a structurally scalar-only spec never
+            # justifies encoding (and content-digesting) a big domain.
+            program = plan.program_for(task[2])
+            if not columnar.spec_vectorizable(program):
+                continue
+            if not columnar.kernel_available(program, task[3]):
+                continue
+            ref = session.ref_for(task[3])
+        except Exception:
+            ref = None
+        if ref is None:
+            continue
+        original = payload_list[index]
+        substituted = _serialize_task(
+            (task[0], task[1], task[2], ref, task[4]))
+        if substituted is None or original is None or \
+                len(substituted) >= len(original):
+            continue
+        payload_list[index] = substituted
+        shipped += 1
+        saved += len(original) - len(substituted)
+    if not shipped:
+        session.close()
+        return None
+    if _OBS.enabled:
+        _OBS.incr("dist.shm.tasks", shipped)
+        _OBS.incr("dist.shm.bytes_saved", saved)
+    return session
+
+
 def run_tasks(
     tasks: Sequence[Any],
     workers: int,
@@ -716,42 +848,53 @@ def run_tasks(
     if obs_on and inline_indexes:
         _OBS.incr("dist.tasks.unpicklable", len(inline_indexes))
 
-    with _OBS.span("dist.run", backend=backend, tasks=count,
-                   pending=len(pending), workers=workers) as span:
-        if pending:
-            chunks = chunk_tasks(tasks, pending,
-                                 workers * _CHUNKS_PER_WORKER)
-            if obs_on:
-                _OBS.incr("dist.chunks", len(chunks))
-            if backend == "queue":
-                front = queue if queue is not None else InProcessQueue()
-                for chunk in chunks:
-                    front.put(chunk)
-                claimed: List[List[int]] = []
-                while True:
-                    item = front.claim()
-                    if item is None:
-                        break
-                    claimed.append(item)
-                chunks = claimed
+    # Encode-once domain sharing: big materialized domains leave the
+    # payloads and ride shared memory instead (see module docstring).
+    shared_session: Optional[_ShmSession] = None
+    if pending and _SHM_ENABLED:
+        shared_session = _substitute_shared_domains(
+            tasks, pending, payload_list)
+
+    try:
+        with _OBS.span("dist.run", backend=backend, tasks=count,
+                       pending=len(pending), workers=workers) as span:
+            if pending:
+                chunks = chunk_tasks(tasks, pending,
+                                     workers * _CHUNKS_PER_WORKER)
                 if obs_on:
-                    _OBS.incr("dist.queue.claimed", len(chunks))
-            _execute_chunks(tasks, payload_list, chunks, workers, results,
-                            max_retries)
+                    _OBS.incr("dist.chunks", len(chunks))
+                if backend == "queue":
+                    front = queue if queue is not None else InProcessQueue()
+                    for chunk in chunks:
+                        front.put(chunk)
+                    claimed: List[List[int]] = []
+                    while True:
+                        item = front.claim()
+                        if item is None:
+                            break
+                        claimed.append(item)
+                    chunks = claimed
+                    if obs_on:
+                        _OBS.incr("dist.queue.claimed", len(chunks))
+                _execute_chunks(tasks, payload_list, chunks, workers,
+                                results, max_retries)
 
-        # Parent-side inline degrade for tasks that never pickled.
-        for index in inline_indexes:
-            results[index] = _scan_task(tasks[index], cache=NO_CACHE)
+            # Parent-side inline degrade for tasks that never pickled.
+            for index in inline_indexes:
+                results[index] = _scan_task(tasks[index], cache=NO_CACHE)
 
-        memoized = 0
-        if keys is not None:
-            computed_indexes = set(pending).union(inline_indexes)
-            for index, key in enumerate(keys):
-                if key is not None and index in computed_indexes:
-                    _memo_put(key, results[index])
-                    memoized += 1
-        span.set(computed=len(pending) + len(inline_indexes),
-                 memoized=memoized)
+            memoized = 0
+            if keys is not None:
+                computed_indexes = set(pending).union(inline_indexes)
+                for index, key in enumerate(keys):
+                    if key is not None and index in computed_indexes:
+                        _memo_put(key, results[index])
+                        memoized += 1
+            span.set(computed=len(pending) + len(inline_indexes),
+                     memoized=memoized)
+    finally:
+        if shared_session is not None:
+            shared_session.close()
     return [None if r is _PENDING else r for r in results]
 
 

@@ -831,11 +831,18 @@ def _domain_size(domain: Any, default: int = 1024) -> int:
 class ScanPlan:
     """The planner's verdict for one ``(pfsm, domain)`` scan task."""
 
-    strategy: str  # "interval" | "compiled" | "cached" | "plain"
+    strategy: str  # "interval" | "columnar" | "compiled" | "cached" | "plain"
     program: Optional[ScanProgram]
     est_cost: float
     est_objects: int
     reason: str
+
+
+#: Per-object cost discount of a columnar mask pass relative to the
+#: compiled scalar program (measured: vectorized compares amortize
+#: dispatch to well under a tenth with numpy, roughly half pure-stdlib).
+_COLUMNAR_NUMPY_FACTOR = 0.05
+_COLUMNAR_STDLIB_FACTOR = 0.4
 
 
 def plan_scan(pfsm: Any, domain: Any, limit: int = 10,
@@ -843,8 +850,9 @@ def plan_scan(pfsm: Any, domain: Any, limit: int = 10,
     """Pick the scan strategy and estimate its cost.
 
     Dominance order: closed-form **interval** algebra (O(limit)) ≻
-    **compiled** program ≻ **cached** interpretive scan ≻ **plain**
-    interpretive scan.  This mirrors the dispatch in
+    **columnar** whole-domain mask pass ≻ **compiled** program ≻
+    **cached** interpretive scan ≻ **plain** interpretive scan.  This
+    mirrors the dispatch in
     :func:`repro.core.sweep.hidden_witness_scan`; the cost estimates
     additionally size chunks in :mod:`repro.core.dist` and surface
     through ``repro sweep --explain``.
@@ -861,6 +869,24 @@ def plan_scan(pfsm: Any, domain: Any, limit: int = 10,
             )
     program = program_for(pfsm)
     if program is not None:
+        try:
+            from . import columnar as _columnar
+
+            vectorizes = _columnar.kernel_available(program, domain)
+        except Exception:
+            vectorizes = False
+        if vectorizes:
+            backend = "numpy" if _columnar.using_numpy() else "stdlib"
+            factor = (_COLUMNAR_NUMPY_FACTOR if backend == "numpy"
+                      else _COLUMNAR_STDLIB_FACTOR)
+            return ScanPlan(
+                strategy="columnar", program=program,
+                est_cost=max(1.0, program.cost * objects * factor),
+                est_objects=objects,
+                reason=f"whole-column mask pass over the domain's "
+                       f"struct-of-arrays encoding ({backend} kernels, "
+                       f"{program.leaves} leaves)",
+            )
         return ScanPlan(
             strategy="compiled", program=program,
             est_cost=max(1.0, program.cost * objects),

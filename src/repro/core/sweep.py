@@ -71,6 +71,7 @@ from typing import (
 )
 
 from ..obs import DEFAULT as _OBS
+from . import columnar as _columnar
 from . import plan as _plan
 from .predicates import (
     Predicate,
@@ -102,6 +103,11 @@ __all__ = [
 #: Shared miss sentinel (``None`` and ``False`` are real verdicts).
 _MISS = object()
 
+#: Default scan window: how many domain objects a compiled scan pulls
+#: per bulk cache round-trip (``PredicateCache(scan_window=...)`` and
+#: ``hidden_witness_scan(scan_window=...)`` override it).
+_COMPILED_CHUNK = 512
+
 
 class PredicateCache:
     """A bounded, thread-safe LRU memo of predicate verdicts.
@@ -122,10 +128,17 @@ class PredicateCache:
 
     _MISS = _MISS
 
-    def __init__(self, maxsize: int = 1 << 17) -> None:
+    def __init__(self, maxsize: int = 1 << 17,
+                 scan_window: int = _COMPILED_CHUNK) -> None:
         if maxsize <= 0:
             raise ValueError("maxsize must be positive")
+        if scan_window <= 0:
+            raise ValueError("scan_window must be positive")
         self.maxsize = maxsize
+        #: How many domain objects a compiled scan pulls per bulk cache
+        #: round-trip through this cache (see
+        #: :meth:`evaluate_digest_many`).
+        self.scan_window = scan_window
         self._data: "OrderedDict[Tuple[Any, ...], bool]" = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
@@ -349,13 +362,9 @@ def hidden_witness_count(pfsm: Any, domain: Iterable[Any]) -> int:
     return sum(1 for obj in domain if takes(obj))
 
 
-#: How many domain objects a compiled scan pulls per cache round-trip.
-_COMPILED_CHUNK = 512
-
-
 def _compiled_scan(program: Any, domain: Iterable[Any], limit: int,
                    resolved: Optional[PredicateCache],
-                   memo: Any) -> List[Any]:
+                   memo: Any, scan_window: Optional[int] = None) -> List[Any]:
     """Scan a domain through a compiled hidden-set program.
 
     With a :class:`PredicateCache` the scan runs in
@@ -367,6 +376,8 @@ def _compiled_scan(program: Any, domain: Iterable[Any], limit: int,
     (each distinct object reference is judged once).  ``memo`` is the
     cross-task :class:`~repro.core.plan.NodeMemo` carrying CSE verdicts
     between tasks of one sweep (``None`` gets a scan-local one).
+    ``scan_window`` overrides the window size; by default the cache's
+    own :attr:`PredicateCache.scan_window` governs.
     """
     if memo is None:
         memo = _plan.NodeMemo()
@@ -377,11 +388,13 @@ def _compiled_scan(program: Any, domain: Iterable[Any], limit: int,
     seen: Dict[int, Any] = {}  # id(obj) -> rides the hidden path
     pinned: List[Any] = []  # keep memoized objects alive: no id reuse
     if resolved is not None:
+        window = scan_window if scan_window else \
+            getattr(resolved, "scan_window", _COMPILED_CHUNK)
         digest = program.digest
         bulk = resolved.evaluate_digest_many
         pull = iter(domain)
         while len(found) < limit:
-            chunk = list(islice(pull, _COMPILED_CHUNK))
+            chunk = list(islice(pull, window))
             if not chunk:
                 break
             # The identity memo screens repeated references lock-free;
@@ -434,14 +447,19 @@ def hidden_witness_scan(
     limit: int = 10,
     cache: Any = NO_CACHE,
     memo: Any = None,
+    scan_window: Optional[int] = None,
 ) -> List[Any]:
     """Hidden-path witnesses of one pFSM over one domain.
 
-    Four strategies, fastest applicable wins (the dominance order of
+    Five strategies, fastest applicable wins (the dominance order of
     :func:`repro.core.plan.plan_scan`):
 
     * closed-form interval algebra when both predicates have one and the
       domain is ``range``-backed (O(limit), not O(n));
+    * a columnar whole-domain mask pass when the compiled program
+      vectorizes over the domain's struct-of-arrays encoding (see
+      :mod:`repro.core.columnar`; requires the planner, bypass with
+      :func:`repro.core.columnar.set_enabled`);
     * a compiled single-pass scan program when both predicates carry
       specs and the planner is enabled (see :mod:`repro.core.plan`) —
       ``memo`` optionally shares CSE verdicts across the tasks of one
@@ -458,7 +476,9 @@ def hidden_witness_scan(
     occurrences of a witness are reported per occurrence, exactly as the
     scalar scan would.  Objects are assumed value-stable for the
     duration of one scan (predicates are pure).  ``limit <= 0`` returns
-    no witnesses.
+    no witnesses.  ``scan_window`` overrides the compiled strategy's
+    bulk cache window (default: the cache's own
+    :attr:`PredicateCache.scan_window`).
     """
     if limit <= 0:
         return []
@@ -480,7 +500,19 @@ def hidden_witness_scan(
     resolved = _resolve_cache(cache)
     program = _plan.program_for(pfsm)
     if program is not None:
-        return _compiled_scan(program, domain, limit, resolved, memo)
+        found = _columnar.scan_program(program, domain, limit)
+        if found is not None:
+            if _OBS.enabled:
+                _OBS.incr("sweep.scans.columnar")
+                _OBS.incr("plan.strategy.columnar")
+                try:
+                    _OBS.incr("sweep.objects.judged", len(domain))
+                except TypeError:
+                    pass
+                _OBS.incr("sweep.witnesses", len(found))
+            return found
+        return _compiled_scan(program, domain, limit, resolved, memo,
+                              scan_window)
     found = []
     if resolved is None:
         takes = pfsm.takes_hidden_path

@@ -158,6 +158,10 @@ def derived_metrics(counters: Dict[str, int]) -> Dict[str, float]:
         Compiled-program scans over all witness scans — the share the
         predicate compiler (:mod:`repro.core.plan`) fused into
         single-pass programs.
+    ``columnar_fraction``
+        Columnar mask-pass scans over all witness scans — the share the
+        columnar engine (:mod:`repro.core.columnar`) vectorized into
+        whole-column operations.
 
     Ratios whose denominators are zero are omitted.
     """
@@ -167,11 +171,14 @@ def derived_metrics(counters: Dict[str, int]) -> Dict[str, float]:
     if hits + misses:
         derived["cache_hit_rate"] = hits / (hits + misses)
     fast = counters.get("sweep.scans.fastpath", 0)
+    columnar = counters.get("sweep.scans.columnar", 0)
     compiled = counters.get("sweep.scans.compiled", 0)
-    scans = fast + compiled + counters.get("sweep.scans.cached", 0) \
+    scans = fast + columnar + compiled \
+        + counters.get("sweep.scans.cached", 0) \
         + counters.get("sweep.scans.plain", 0)
     if scans:
         derived["fastpath_fraction"] = fast / scans
+        derived["columnar_fraction"] = columnar / scans
         derived["compiled_fraction"] = compiled / scans
     return derived
 

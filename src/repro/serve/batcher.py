@@ -114,8 +114,15 @@ def _fused_group_scan(tasks: List[Any], indexes: List[int],
     per object.  A single shared :class:`~repro.core.plan.NodeMemo`
     carries CSE sub-predicate verdicts across the member programs; each
     member keeps its own identity memo and witness limit, so results
-    are exactly what per-task scans would produce."""
-    from ..core import plan
+    are exactly what per-task scans would produce.
+
+    Members whose program vectorizes over the domain's
+    struct-of-arrays encoding resolve through one columnar mask pass
+    each instead of joining the object loop — the batch shares a single
+    :class:`~repro.core.columnar.Encoding`, whose digest-keyed mask
+    cache lets member programs with common subpredicates reuse each
+    other's column masks (``serve.batch.columnar_tasks``)."""
+    from ..core import columnar, plan
     from ..core.sweep import SweepFinding
 
     resolved = shared_cache()
@@ -128,9 +135,24 @@ def _fused_group_scan(tasks: List[Any], indexes: List[int],
             "index": index, "pfsm": pfsm, "model": model_name,
             "operation": operation_name, "program": programs[index],
             "limit": limit, "found": [], "verdicts": {}, "pinned": [],
+            "columnar": False,
         })
     domain = tasks[indexes[0]][3]  # same content digest: any member's
-    open_members = [m for m in members if m["limit"] > 0]
+    columnar_members = 0
+    scalar_members = []
+    for member in members:
+        witnesses = columnar.scan_program(
+            member["program"], domain, member["limit"])
+        if witnesses is not None:
+            member["found"] = witnesses
+            member["columnar"] = True
+            columnar_members += 1
+        else:
+            scalar_members.append(member)
+    if _OBS.enabled and columnar_members:
+        _OBS.incr("serve.batch.columnar_tasks", columnar_members)
+        _OBS.incr("serve.batch.columnar_groups")
+    open_members = [m for m in scalar_members if m["limit"] > 0]
     for candidate in domain:
         if not open_members:
             break
@@ -160,11 +182,15 @@ def _fused_group_scan(tasks: List[Any], indexes: List[int],
             with _OBS.span("sweep.task", model=member["model"],
                            operation=member["operation"],
                            pfsm=member["pfsm"].name) as span:
-                span.set(witnesses=len(found), fused=True)
+                span.set(witnesses=len(found), fused=True,
+                         columnar=member["columnar"])
+            strategy = "columnar" if member["columnar"] else "compiled"
             _OBS.incr("sweep.tasks.completed")
-            _OBS.incr("sweep.scans.compiled")
-            _OBS.incr("plan.strategy.compiled")
-            _OBS.incr("sweep.objects.judged", len(member["verdicts"]))
+            _OBS.incr(f"sweep.scans.{strategy}")
+            _OBS.incr(f"plan.strategy.{strategy}")
+            judged = len(domain) if member["columnar"] \
+                else len(member["verdicts"])
+            _OBS.incr("sweep.objects.judged", judged)
             _OBS.incr("sweep.witnesses", len(found))
         results[member["index"]] = None if not found else SweepFinding(
             model_name=member["model"],

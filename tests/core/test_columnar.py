@@ -1,0 +1,483 @@
+"""The columnar domain engine (repro.core.columnar).
+
+The engine's contract is *bit-for-bit equivalence*: whenever
+``scan_program`` takes a task, its witnesses must match the compiled
+scalar scan exactly — same objects, same domain iteration order, same
+per-occurrence duplicates, same ``limit`` truncation.  The property
+tests here drive that claim over generated integer, text, and record
+domains, under both mask backends (numpy when installed, and the
+pure-stdlib big-int kernels via ``force_fallback``), and across a
+``ProcessPoolExecutor`` with shared-memory column transfer.
+
+The unit tests pin the supporting machinery: encoding-cache sharing by
+domain digest, kernel bail-outs (named predicates, nested ``attr``,
+mixed-type columns), ``spec_fields`` pre-flight, the shared-memory
+export/attach lifecycle, and the inline-payload degradation path.
+"""
+
+import gc
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.core import (
+    Domain,
+    PrimitiveFSM,
+    always,
+    attr,
+    contains,
+    equals,
+    greater_equal,
+    hidden_witness_scan,
+    in_range,
+    is_instance,
+    length_le,
+    less_equal,
+    matches,
+    never,
+    not_contains,
+    plan_scan,
+    predicate,
+    program_for,
+    satisfies_all,
+    satisfies_any,
+    truthy,
+)
+from repro.core import columnar
+from repro.core.predspec import named_predicate, spec_fields, to_spec
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _tiny_threshold():
+    """Drop the row floor so generated micro-domains take the columnar
+    path, and leave the module state pristine afterwards."""
+    previous = columnar.set_min_rows(1)
+    yield
+    columnar.set_min_rows(previous)
+    columnar.encoding_cache().clear()
+    columnar.release_attachments()
+
+
+def _pfsm(spec, impl):
+    return PrimitiveFSM("p", "scan", "x", spec_accepts=spec,
+                        impl_accepts=impl)
+
+
+def _scalar(pfsm, domain, limit):
+    """The reference answer: the same scan with columnar bypassed."""
+    with columnar.disabled():
+        return hidden_witness_scan(pfsm, domain, limit=limit)
+
+
+def _columnar_witnesses(pfsm, domain, limit):
+    """Witnesses via the columnar kernel itself (not the sweep
+    dispatcher), so tests fail loudly if the kernel declines."""
+    found = columnar.scan_program(program_for(pfsm), domain, limit)
+    assert found is not None, "columnar kernel unexpectedly declined"
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Property: columnar ≡ scalar, integer domains.
+# ---------------------------------------------------------------------------
+
+bounds = st.integers(min_value=-30, max_value=30)
+interval = st.tuples(bounds, bounds).map(lambda p: (min(p), max(p)))
+
+int_leaf = st.one_of(
+    st.just(always),
+    st.just(never),
+    bounds.map(equals),
+    interval.map(lambda iv: in_range(*iv)),
+    bounds.map(less_equal),
+    bounds.map(greater_equal),
+    st.builds(truthy),
+)
+int_pred = st.one_of(
+    int_leaf,
+    st.builds(satisfies_all, int_leaf, int_leaf),
+    st.builds(satisfies_any, int_leaf, int_leaf),
+)
+
+#: Lists drawn from a narrow pool so duplicates are common, not rare.
+int_rows = st.lists(st.integers(min_value=-12, max_value=12),
+                    min_size=1, max_size=48)
+limits = st.integers(min_value=1, max_value=60)
+
+
+@pytest.mark.parametrize("fallback", [False, True],
+                         ids=["numpy-or-default", "stdlib"])
+class TestEquivalence:
+    """columnar ≡ scalar over generated domains, both backends."""
+
+    def _check(self, spec, impl, rows, limit, fallback):
+        domain = Domain(list(rows))
+        pfsm = _pfsm(spec, impl)
+        expected = _scalar(pfsm, domain, limit)
+        if fallback:
+            with columnar.force_fallback():
+                got = _columnar_witnesses(pfsm, domain, limit)
+        else:
+            got = _columnar_witnesses(pfsm, domain, limit)
+        assert got == expected
+
+    @given(spec=int_pred, impl=int_pred, rows=int_rows, limit=limits)
+    @settings(max_examples=60, deadline=None)
+    def test_integers(self, fallback, spec, impl, rows, limit):
+        self._check(spec, impl, rows, limit, fallback)
+
+    @given(
+        spec=st.one_of(
+            st.integers(min_value=0, max_value=6).map(length_le),
+            st.sampled_from(["a", "b", "%n", ""]).map(contains),
+            st.sampled_from(["a", "b", "%n"]).map(not_contains),
+            st.sampled_from(["^a", "b$", "%n"]).map(matches),
+            st.sampled_from(["a", "ab", ""]).map(equals),
+            st.builds(truthy),
+        ),
+        impl=st.one_of(
+            st.integers(min_value=0, max_value=8).map(length_le),
+            st.just(always),
+        ),
+        rows=st.lists(
+            st.text(alphabet="ab%n", min_size=0, max_size=6),
+            min_size=1, max_size=40),
+        limit=limits,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_text(self, fallback, spec, impl, rows, limit):
+        self._check(spec, impl, rows, limit, fallback)
+
+    @given(
+        low=bounds, high=bounds,
+        cap=st.integers(min_value=0, max_value=5),
+        rows=st.lists(
+            st.tuples(st.integers(min_value=-12, max_value=12),
+                      st.text(alphabet="xyz", min_size=0, max_size=5)),
+            min_size=1, max_size=40),
+        limit=limits,
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_records(self, fallback, low, high, cap, rows, limit):
+        lo, hi = min(low, high), max(low, high)
+        spec = satisfies_all(attr("size", in_range(lo, hi)),
+                             attr("name", length_le(cap)))
+        impl = satisfies_any(attr("size", less_equal(hi + 3)),
+                             attr("name", truthy()))
+        records = [{"size": s, "name": n} for s, n in rows]
+        self._check(spec, impl, records, limit, fallback)
+
+    def test_duplicates_reported_per_occurrence(self, fallback):
+        domain = Domain([5, 5, 1, 5, 2, 5])
+        pfsm = _pfsm(less_equal(2), always)  # hidden: every 5
+        expected = [5, 5, 5, 5]
+        assert _scalar(pfsm, domain, 10) == expected
+        if fallback:
+            with columnar.force_fallback():
+                assert _columnar_witnesses(pfsm, domain, 10) == expected
+                assert _columnar_witnesses(pfsm, domain, 3) == [5, 5, 5]
+        else:
+            assert _columnar_witnesses(pfsm, domain, 10) == expected
+            assert _columnar_witnesses(pfsm, domain, 3) == [5, 5, 5]
+
+
+def test_range_domain_equivalence():
+    domain = Domain.integers(-40, 120)
+    pfsm = _pfsm(satisfies_all(in_range(0, 50), truthy()),
+                 less_equal(80))
+    for limit in (1, 7, 200):
+        assert _columnar_witnesses(pfsm, domain, limit) == \
+            _scalar(pfsm, domain, limit)
+
+
+def test_product_domain_equivalence():
+    domain = Domain.records(size=Domain.integers(-5, 25),
+                            name=Domain.of("", "ok", "%n%n", "abc"))
+    spec = satisfies_all(attr("size", in_range(0, 10)),
+                         attr("name", length_le(2)))
+    impl = attr("size", less_equal(20))
+    pfsm = _pfsm(spec, impl)
+    for limit in (1, 5, 1000):
+        assert _columnar_witnesses(pfsm, domain, limit) == \
+            _scalar(pfsm, domain, limit)
+
+
+# ---------------------------------------------------------------------------
+# Kernel bail-outs: decline, never guess.
+# ---------------------------------------------------------------------------
+
+_IS_EVEN = named_predicate("columnar_test_is_even", lambda obj: obj % 2 == 0)
+
+
+class TestBailouts:
+    def test_named_predicate_declines(self):
+        domain = Domain(list(range(20)))
+        pfsm = _pfsm(_IS_EVEN, always)
+        program = program_for(pfsm)
+        assert program is not None
+        assert columnar.scan_program(program, domain, 10) is None
+        assert not columnar.kernel_available(program, domain)
+        # The sweep still answers, via the scalar path.
+        assert hidden_witness_scan(pfsm, domain, limit=4) == [1, 3, 5, 7]
+
+    def test_opaque_callable_has_no_program(self):
+        domain = Domain(list(range(10)))
+        pfsm = _pfsm(predicate("opaque")(lambda obj: obj < 5), always)
+        assert program_for(pfsm) is None
+        assert columnar.scan_program(None, domain, 10) is None
+
+    def test_mixed_type_column_declines(self):
+        rows = [{"size": 1, "name": "a"}, {"size": "two", "name": "b"}] * 8
+        domain = Domain(rows)
+        needs_mixed = _pfsm(attr("size", less_equal(3)), always)
+        program = program_for(needs_mixed)
+        assert program is not None
+        assert not columnar.kernel_available(program, domain)
+        # A spec touching only the clean column still vectorizes.
+        clean = _pfsm(attr("name", equals("a")), always)
+        assert columnar.kernel_available(program_for(clean), domain)
+        assert _columnar_witnesses(clean, domain, 50) == \
+            _scalar(clean, domain, 50)
+
+    def test_nested_attr_declines(self):
+        rows = [{"outer": {"inner": i}} for i in range(12)]
+        domain = Domain(rows)
+        pfsm = _pfsm(attr("outer", attr("inner", less_equal(5))), always)
+        program = program_for(pfsm)
+        if program is None:
+            pytest.skip("planner does not compile nested attr")
+        assert columnar.scan_program(program, domain, 10) is None
+
+    def test_isinstance_spec_vectorizes(self):
+        domain = Domain(["a", "bb", "ccc"] * 6)
+        pfsm = _pfsm(satisfies_all(is_instance(str), length_le(1)), always)
+        assert _columnar_witnesses(pfsm, domain, 50) == \
+            _scalar(pfsm, domain, 50)
+
+    def test_bool_rows_do_not_take_int_kernels(self):
+        # bool is an int subclass with different str()/repr() semantics;
+        # the encoder must classify such columns "obj" and decline.
+        domain = Domain([True, False] * 10)
+        pfsm = _pfsm(less_equal(0), always)
+        program = program_for(pfsm)
+        assert columnar.scan_program(program, domain, 10) is None
+        assert hidden_witness_scan(pfsm, domain, limit=4) == \
+            _scalar(pfsm, domain, 4)
+
+
+# ---------------------------------------------------------------------------
+# spec_fields: the pre-flight column census.
+# ---------------------------------------------------------------------------
+
+class TestSpecFields:
+    def test_collects_in_first_reference_order(self):
+        spec = to_spec(satisfies_all(attr("size", in_range(0, 9)),
+                                     attr("name", length_le(4)),
+                                     attr("size", truthy())))
+        assert spec_fields(spec) == ("size", "name")
+
+    def test_walks_or_and_not(self):
+        spec = to_spec(satisfies_any(
+            attr("a", truthy()),
+            satisfies_all(attr("b", truthy()), attr("a", truthy()))))
+        assert spec_fields(spec) == ("a", "b")
+
+    def test_leaf_and_malformed_specs(self):
+        assert spec_fields(to_spec(less_equal(3))) == ()
+        assert spec_fields(None) == ()
+        assert spec_fields(["attr"]) == ()
+        assert spec_fields(42) == ()
+
+
+# ---------------------------------------------------------------------------
+# Encoding cache: shared by content digest, invalidated by config.
+# ---------------------------------------------------------------------------
+
+class TestEncodingCache:
+    def test_equal_content_domains_share_encoding(self):
+        columnar.encoding_cache().clear()
+        d1 = Domain(list(range(64)))
+        d2 = Domain(list(range(64)))
+        e1 = columnar.encoding_for(d1)
+        e2 = columnar.encoding_for(d2)
+        assert e1 is not None and e1 is e2
+
+    def test_per_domain_memo_avoids_cache_traffic(self):
+        domain = Domain(list(range(32)))
+        e1 = columnar.encoding_for(domain)
+        before = columnar.encoding_cache().stats()
+        assert columnar.encoding_for(domain) is e1
+        assert columnar.encoding_cache().stats() == before
+
+    def test_backend_switch_invalidates(self):
+        domain = Domain(list(range(48)))
+        e1 = columnar.encoding_for(domain)
+        assert e1 is not None
+        if not columnar.using_numpy():
+            pytest.skip("no numpy: both stamps identical")
+        with columnar.force_fallback():
+            e2 = columnar.encoding_for(domain)
+            assert e2 is not None and e2 is not e1
+
+    def test_min_rows_threshold_gates(self):
+        previous = columnar.set_min_rows(100)
+        try:
+            assert columnar.encoding_for(Domain(list(range(10)))) is None
+            assert columnar.encoding_for(Domain(list(range(200)))) \
+                is not None
+        finally:
+            columnar.set_min_rows(previous)
+
+    def test_lru_bound_holds(self):
+        cache = columnar.EncodingCache(maxsize=4)
+        for i in range(10):
+            cache.put(f"digest-{i}", None)
+        assert len(cache) == 4
+        hit, _ = cache.get("digest-9")
+        assert hit
+        hit, _ = cache.get("digest-0")
+        assert not hit
+
+
+def test_planner_reports_columnar_strategy():
+    domain = Domain(list(range(600)))
+    pfsm = _pfsm(satisfies_all(in_range(0, 99), truthy()), less_equal(400))
+    plan = plan_scan(pfsm, domain)
+    assert plan.strategy == "columnar"
+    with columnar.disabled():
+        assert plan_scan(pfsm, domain).strategy != "columnar"
+
+
+def test_sweep_counters_tag_columnar_scans():
+    domain = Domain(list(range(300)))
+    pfsm = _pfsm(satisfies_all(in_range(0, 9), truthy()), always)
+    sink = obs.MemorySink()
+    registry = obs.get_registry()
+    registry.reset()
+    registry.enable(sink)
+    try:
+        hidden_witness_scan(pfsm, domain, limit=5)
+        counters = registry.counters()
+    finally:
+        registry.disable()
+        registry.clear_sinks()
+        registry.reset()
+    assert counters.get("sweep.scans.columnar") == 1
+    assert counters.get("plan.strategy.columnar") == 1
+    assert "sweep.scans.compiled" not in counters
+
+
+# ---------------------------------------------------------------------------
+# Shared memory: export, attach, scan in a worker, degrade inline.
+# ---------------------------------------------------------------------------
+
+def _shared_pfsm():
+    return _pfsm(
+        satisfies_all(attr("size", in_range(0, 40)),
+                      attr("name", length_le(3))),
+        attr("size", less_equal(90)),
+    )
+
+
+def _worker_scan(blob, limit):
+    """Pool worker: unpickle the shared ref, attach, scan."""
+    from repro.core import columnar as col
+    from repro.core import hidden_witness_scan as scan
+
+    ref = pickle.loads(blob)
+    try:
+        return scan(_shared_pfsm(), ref, limit=limit)
+    finally:
+        col.release_attachments()
+
+
+def _record_rows(sizes):
+    return [{"size": s, "name": "x" * (abs(s) % 5)} for s in sizes]
+
+
+class TestSharedMemory:
+    def test_export_roundtrip_same_process(self):
+        rows = _record_rows(range(200))
+        domain = Domain(rows)
+        export = columnar.export_shared(domain)
+        assert export is not None
+        try:
+            ref = pickle.loads(pickle.dumps(export.ref))
+            assert isinstance(ref, columnar.SharedColumnarDomain)
+            assert len(ref) == len(rows)
+            assert list(ref) == rows
+            pfsm = _shared_pfsm()
+            assert hidden_witness_scan(pfsm, ref, limit=25) == \
+                _scalar(pfsm, domain, 25)
+            # Drop the attached column views before unlinking, or the
+            # still-mapped buffer makes the handle's close() unraisable.
+            # (encoding ↔ kernel memo is a cycle: collect explicitly.)
+            del ref
+        finally:
+            gc.collect()
+            export.close()
+            columnar.release_attachments()
+
+    def test_ref_pickles_much_smaller_than_domain(self):
+        rows = _record_rows(range(5000))
+        domain = Domain(rows)
+        export = columnar.export_shared(domain)
+        assert export is not None
+        try:
+            if export.ref.segment is None:
+                pytest.skip("shared memory unavailable on this platform")
+            ref_bytes = len(pickle.dumps(export.ref))
+            domain_bytes = len(pickle.dumps(rows))
+            assert ref_bytes * 10 <= domain_bytes
+        finally:
+            export.close()
+
+    def test_inline_payload_fallback_scans(self):
+        rows = _record_rows(range(150))
+        domain = Domain(rows)
+        export = columnar.export_shared(domain)
+        assert export is not None
+        try:
+            # Rebuild the ref with the segment stripped — the shape a
+            # platform without shared memory produces.
+            state = export.ref.__getstate__()
+            encoding = columnar.encoding_for(domain)
+            parts = columnar._column_payloads(encoding)
+            state["segment"] = None
+            state["payload"] = b"".join(data for _n, _k, data in parts)
+            inline = columnar.SharedColumnarDomain.__new__(
+                columnar.SharedColumnarDomain)
+            inline.__setstate__(state)
+            pfsm = _shared_pfsm()
+            assert hidden_witness_scan(pfsm, inline, limit=30) == \
+                _scalar(pfsm, domain, 30)
+        finally:
+            export.close()
+            columnar.release_attachments()
+
+    def test_lazy_domains_are_not_exported(self):
+        assert columnar.export_shared(Domain.integers(0, 5000)) is None
+
+    @given(sizes=st.lists(st.integers(min_value=-50, max_value=99),
+                          min_size=1, max_size=300),
+           limit=st.integers(min_value=1, max_value=40))
+    @settings(max_examples=8, deadline=None)
+    def test_pool_scan_over_shared_columns(self, sizes, limit):
+        rows = _record_rows(sizes)
+        domain = Domain(rows)
+        expected = _scalar(_shared_pfsm(), domain, limit)
+        export = columnar.export_shared(domain)
+        assert export is not None
+        try:
+            blob = pickle.dumps(export.ref)
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                got = pool.submit(_worker_scan, blob, limit).result(
+                    timeout=60)
+            assert got == expected
+        finally:
+            export.close()
+            columnar.release_attachments()

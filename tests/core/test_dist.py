@@ -493,3 +493,96 @@ class TestConcurrentSweeps:
         for t in threads:
             t.join()
         assert not errors
+
+
+class TestSharedDomainShipping:
+    """Zero-copy column transfer: one export per domain, counters, and
+    bit-equal results with sharing on or off."""
+
+    @staticmethod
+    def _big_domain(n=4000):
+        return Domain([{"size": i % 97, "name": "x" * (i % 7)}
+                       for i in range(n)])
+
+    @staticmethod
+    def _record_pfsm():
+        from repro.core import attr, length_le, satisfies_all, truthy
+
+        return PrimitiveFSM(
+            "p", "scan", "x",
+            spec_accepts=satisfies_all(attr("size", in_range(0, 40)),
+                                       attr("name", length_le(3))),
+            impl_accepts=attr("size", less_equal(90)))
+
+    def test_process_backend_ships_columns_and_matches_inline(self):
+        from repro.core import columnar
+
+        if not columnar.shm_supported():
+            pytest.skip("no shared memory on this platform")
+        domain = self._big_domain()
+        tasks = [_task(domain, pfsm=self._record_pfsm(), limit=7),
+                 _task(domain, pfsm=self._record_pfsm(), limit=3)]
+        previous = dist.set_shm_enabled(False)
+        try:
+            baseline = _witnesses(dist.run_tasks(tasks, 2,
+                                                 backend="process"))
+        finally:
+            dist.set_shm_enabled(previous)
+        sink = obs.MemorySink()
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable(sink)
+        try:
+            shared = _witnesses(dist.run_tasks(tasks, 2,
+                                               backend="process"))
+            counters = registry.counters()
+        finally:
+            registry.disable()
+            registry.clear_sinks()
+            registry.reset()
+        assert shared == baseline
+        assert counters.get("dist.shm.segments") == 1
+        assert counters.get("dist.shm.tasks") == 2
+        assert counters.get("dist.shm.bytes_saved", 0) > 0
+        # ≥10x: each shipped task payload shrinks by an order of
+        # magnitude against the pickled original.
+        original = len(dist._serialize_task(tasks[0]))
+        saved_per_task = counters["dist.shm.bytes_saved"] // 2
+        substituted = original - saved_per_task
+        assert original >= 10 * substituted
+
+    def test_shm_disabled_leaves_counters_silent(self):
+        domain = self._big_domain(1000)
+        tasks = [_task(domain, pfsm=self._record_pfsm(), limit=5)]
+        previous = dist.set_shm_enabled(False)
+        sink = obs.MemorySink()
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable(sink)
+        try:
+            results = dist.run_tasks(tasks, 2, backend="process")
+            counters = registry.counters()
+        finally:
+            registry.disable()
+            registry.clear_sinks()
+            registry.reset()
+            dist.set_shm_enabled(previous)
+        assert results[0] is not None
+        assert not any(k.startswith("dist.shm.") for k in counters)
+
+    def test_small_domains_are_not_exported(self):
+        domain = Domain([{"size": 50 + i, "name": "y"} for i in range(10)])
+        tasks = [_task(domain, pfsm=self._record_pfsm(), limit=5)]
+        sink = obs.MemorySink()
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable(sink)
+        try:
+            results = dist.run_tasks(tasks, 2, backend="process")
+            counters = registry.counters()
+        finally:
+            registry.disable()
+            registry.clear_sinks()
+            registry.reset()
+        assert results[0] is not None
+        assert "dist.shm.segments" not in counters

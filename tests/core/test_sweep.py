@@ -16,6 +16,7 @@ Four families of guarantees:
   behaviour.
 """
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -459,3 +460,35 @@ class TestLazyDomains:
         domain = Domain.of("x", "y")
         assert "x" in domain
         assert "z" not in domain
+
+
+class TestScanWindow:
+    """The bulk-evaluation window is a tunable, not a constant."""
+
+    def test_cache_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError):
+            PredicateCache(scan_window=0)
+        with pytest.raises(ValueError):
+            PredicateCache(scan_window=-8)
+
+    def test_default_window_is_512(self):
+        assert PredicateCache().scan_window == 512
+
+    def test_window_size_does_not_change_witnesses(self):
+        from repro.core import columnar
+
+        domain = Domain([f"{'%n' * (i % 9)}{i}" for i in range(700)])
+        pfsm = PrimitiveFSM(
+            "p", "scan", "x",
+            spec_accepts=satisfies_all(not_contains("%n"), length_le(6)),
+            impl_accepts=length_le(40))
+        with columnar.disabled():
+            reference = hidden_witness_scan(pfsm, domain, limit=50)
+            for window in (1, 3, 64, 512, 10_000):
+                cache = PredicateCache(scan_window=window)
+                assert hidden_witness_scan(
+                    pfsm, domain, limit=50, cache=cache) == reference
+                # Explicit argument overrides the cache's own window.
+                assert hidden_witness_scan(
+                    pfsm, domain, limit=50, cache=cache,
+                    scan_window=7) == reference

@@ -108,6 +108,33 @@ class TestSweepCommand:
         data = json.loads(out)
         assert data["cache"] is None
 
+    def test_sweep_json_reports_settings(self, capsys):
+        code, out = run(capsys, "sweep", "--json")
+        settings = json.loads(out)["settings"]
+        assert settings["scan_window"] == 512
+        assert settings["columnar"] is True
+        assert settings["columnar_backend"] in ("numpy", "stdlib")
+        assert settings["cache"] is True and settings["plan"] is True
+
+    def test_sweep_scan_window_flag(self, capsys):
+        code, out = run(capsys, "sweep", "--json", "--scan-window", "64")
+        assert code == 0
+        assert json.loads(out)["settings"]["scan_window"] == 64
+
+    def test_sweep_scan_window_rejects_nonpositive(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--scan-window", "0"])
+
+    def test_sweep_no_columnar_flag(self, capsys):
+        from repro.core import columnar
+
+        code, out = run(capsys, "sweep", "--json", "--no-columnar")
+        data = json.loads(out)
+        assert data["settings"]["columnar"] is False
+        assert data["scans"]["columnar"] == 0
+        # The bypass must not leak past the command.
+        assert columnar.is_enabled()
+
 
 class TestObservabilityFlags:
     def test_version(self, capsys):
