@@ -39,7 +39,17 @@ trajectory keeps recording:
   (whole-column mask kernels; acceptance: ≥5x with numpy, ≥1.5x on the
   pure-stdlib fallback).  A shared-memory sub-check ships the same
   corpus to pool workers and requires the per-task domain payload to
-  shrink ≥10x via ``multiprocessing.shared_memory`` column transfer.
+  shrink ≥10x via ``multiprocessing.shared_memory`` column transfer;
+* **cluster** — scenario F: the corpus sweep dispatched through the
+  :mod:`repro.cluster` fabric over loopback TCP (a coordinator plus two
+  worker agents) vs the local process backend.  The fabric pays
+  base64/JSON framing and socket round-trips for every chunk, so the
+  acceptance floor is *relative*: cluster throughput must stay ≥0.8x of
+  the process backend on the same machine, with bit-identical findings.
+  A reclaim-latency sub-stat measures the fault-recovery path: a worker
+  claims a chunk and goes silent (connection open, no heartbeats), and
+  the stat is how long the lease layer takes to reclaim the chunk —
+  bounded by ``lease_timeout`` plus one reaper interval.
 
 Alongside throughput, the payload now records two quality dimensions
 measured through :mod:`repro.obs` (``cache_hit_rate``,
@@ -127,6 +137,15 @@ COLUMNAR_STDLIB_FLOOR = 1.5
 #: Floor for the shared-memory sub-check: the per-task domain payload
 #: shipped to pool workers must shrink at least this much.
 SHM_PAYLOAD_FLOOR = 10.0
+
+#: Scenario F: worker agents on the loopback fabric, and the relative
+#: throughput floor against the local process backend (the fabric adds
+#: framing + socket hops; it must stay within 20% on one machine).
+CLUSTER_AGENTS = 2
+CLUSTER_FLOOR = 0.8
+#: Lease timeout for the reclaim-latency sub-stat (short, so the bench
+#: measures the recovery path, not a production-tuned wait).
+CLUSTER_LEASE_TIMEOUT = 1.0
 
 
 def _witness_pfsm() -> PrimitiveFSM:
@@ -510,6 +529,140 @@ def _shm_payload_stats(rows=20_000):
     }
 
 
+def _cluster_scenario(repeats=2):
+    """Scenario F: loopback cluster fabric vs the local process backend.
+
+    Both sides sweep the identical scaled corpus from a cold scheduler
+    memo.  The cluster side runs one coordinator and
+    ``CLUSTER_AGENTS`` worker agents in-process (loopback TCP, real
+    framing, real leases) sharing the same warm pool the process
+    backend uses — so the measured difference is the fabric overhead,
+    not a different executor.
+    """
+    from repro.cluster import (
+        ClusterCoordinator,
+        ClusterWorker,
+        coordinating,
+    )
+
+    models = all_extended_models()
+    domains = _scaled_domains(models, all_extended_pfsm_domains())
+    limit = 10**9
+
+    def process_side():
+        dist.clear_memo()
+        return sweep_models(models, domains, workers=4, limit=limit,
+                            mode="process")
+
+    dist.reset()
+    process_s, baseline = _best_of(process_side, repeats=repeats)
+
+    dist.reset()
+    with ClusterCoordinator() as coordinator, coordinating(coordinator):
+        agents = [ClusterWorker(*coordinator.address, slots=2)
+                  for _ in range(CLUSTER_AGENTS)]
+        for agent in agents:
+            agent.start()
+        assert coordinator.wait_for_workers(CLUSTER_AGENTS, timeout=30.0)
+
+        def cluster_side():
+            dist.clear_memo()
+            return sweep_models(models, domains, workers=4, limit=limit,
+                                mode="cluster")
+
+        cluster_s, sweeps = _best_of(cluster_side, repeats=repeats)
+        for agent in agents:
+            agent.stop()
+        counters = dict(coordinator.snapshot()["counters"])
+    assert _findings_of(sweeps) == _findings_of(baseline), \
+        "cluster sweep diverged from the process backend"
+    dist.shutdown_pool()
+    return {
+        "agents": CLUSTER_AGENTS,
+        "process_s": process_s,
+        "cluster_s": cluster_s,
+        "relative_throughput": (process_s / cluster_s
+                                if cluster_s else float("inf")),
+        "floor": CLUSTER_FLOOR,
+        "cluster_sweeps_per_s": 1.0 / cluster_s if cluster_s else 0.0,
+        "chunks_completed": counters.get("chunks.completed", 0),
+        "bytes_shipped": counters.get("bytes.shipped", 0),
+        "bytes_received": counters.get("bytes.received", 0),
+        "reclaim": _reclaim_latency_stat(),
+    }
+
+
+def _reclaim_latency_stat():
+    """Worker-death recovery latency through the lease layer.
+
+    A raw-socket worker claims a chunk and goes silent without closing
+    its connection — the worst case for the coordinator, which cannot
+    see an EOF and must wait out the lease.  The stat is claim-to-
+    reclaim wall time; the sweep then completes inline (identical
+    results), proving recovery, not just detection.
+    """
+    import json as _json
+    import socket as _socket
+    import threading
+
+    from repro.cluster import ClusterCoordinator, coordinating
+    from repro.cluster.protocol import encode_line, read_line
+    from repro.core.sweep import _scan_task
+
+    pfsm = PrimitiveFSM("p", "scan", "x", spec_accepts=in_range(0, 5),
+                        impl_accepts=less_equal(10))
+    tasks = [("model", f"op{i}", pfsm, Domain.integers(0, 50), 5)
+             for i in range(4)]
+    dist.reset()
+    dist.clear_memo()
+    with ClusterCoordinator(lease_timeout=CLUSTER_LEASE_TIMEOUT) as \
+            coordinator, coordinating(coordinator):
+        results = {}
+
+        def sweep():
+            results["got"] = dist.run_tasks(tasks, 2, backend="cluster")
+
+        runner = threading.Thread(target=sweep)
+        conn = _socket.create_connection(coordinator.address)
+        reader = conn.makefile("rb")
+        try:
+            conn.sendall(encode_line({"op": "hello", "worker": "mute",
+                                      "slots": 1}))
+            read_line(reader)
+            runner.start()
+            claimed_at = None
+            deadline = time.perf_counter() + 10.0
+            while time.perf_counter() < deadline:
+                conn.sendall(encode_line({"op": "claim",
+                                          "worker": "mute"}))
+                response = _json.loads(read_line(reader))
+                if response.get("status") == "chunk":
+                    claimed_at = time.perf_counter()
+                    break
+                time.sleep(0.01)
+            assert claimed_at is not None, "mute worker never got a chunk"
+            # Silence: no result, no heartbeat, connection held open.
+            deadline = claimed_at + 10.0 * CLUSTER_LEASE_TIMEOUT + 5.0
+            while coordinator.counter("chunks.reclaimed") < 1:
+                assert time.perf_counter() < deadline, "reclaim never came"
+                time.sleep(0.005)
+            latency = time.perf_counter() - claimed_at
+        finally:
+            reader.close()
+            conn.close()
+        runner.join(timeout=30.0)
+        assert not runner.is_alive(), "sweep did not recover"
+    expected = [None if r is None else tuple(r.witnesses)
+                for r in (_scan_task(t) for t in tasks)]
+    got = [None if r is None else tuple(r.witnesses)
+           for r in results["got"]]
+    assert got == expected, "post-reclaim results diverged"
+    return {
+        "lease_timeout_s": CLUSTER_LEASE_TIMEOUT,
+        "reclaim_latency_s": latency,
+    }
+
+
 def _best_of(fn, repeats=5):
     """(best wall-clock seconds, last result) over ``repeats`` runs."""
     best = float("inf")
@@ -570,6 +723,7 @@ def measure(witness_repeats=5, sweep_repeats=3):
 
     plan_stats = _plan_scenario()
     columnar_stats = _columnar_scenario()
+    cluster_stats = _cluster_scenario()
 
     quality = _instrumented_metrics(models, domains, limit, pfsm, domain)
 
@@ -614,6 +768,7 @@ def measure(witness_repeats=5, sweep_repeats=3):
         },
         "plan": plan_stats,
         "columnar": columnar_stats,
+        "cluster": cluster_stats,
     }
 
 
@@ -666,11 +821,29 @@ def check(payload, update_baseline=False):
                 f"{shm['payload_reduction']:.1f}x "
                 f"(need >={SHM_PAYLOAD_FLOOR}x)"
             )
+    cluster_stats = payload["cluster"]
+    if cluster_stats["relative_throughput"] < cluster_stats["floor"]:
+        failures.append(
+            f"cluster sweep only {cluster_stats['relative_throughput']:.2f}x "
+            f"of process-backend throughput on loopback "
+            f"(need >={cluster_stats['floor']}x)"
+        )
+    reclaim = cluster_stats["reclaim"]
+    # Recovery must be bounded by the lease plus scheduler slack — a
+    # reclaim that takes several lease lifetimes means the reaper or
+    # the heartbeat contract regressed.
+    if reclaim["reclaim_latency_s"] > 3.0 * reclaim["lease_timeout_s"]:
+        failures.append(
+            f"worker-death reclaim took {reclaim['reclaim_latency_s']:.2f}s "
+            f"against a {reclaim['lease_timeout_s']:.1f}s lease "
+            f"(need <=3x the lease timeout)"
+        )
 
     throughput = witness["serial_throughput_objs_per_s"]
     session_throughput = session["process_sweeps_per_s"]
     plan_throughput = plan_stats["compiled_objs_per_s"]
     columnar_throughput = columnar_stats["columnar_objs_per_s"]
+    cluster_throughput = cluster_stats["cluster_sweeps_per_s"]
     if update_baseline or not BASELINE_PATH.exists():
         BASELINE_PATH.parent.mkdir(parents=True, exist_ok=True)
         BASELINE_PATH.write_text(json.dumps(
@@ -680,12 +853,14 @@ def check(payload, update_baseline=False):
                 "plan_compiled_objs_per_s": plan_throughput,
                 "columnar_objs_per_s": columnar_throughput,
                 "columnar_backend": columnar_stats["backend"],
+                "cluster_sweeps_per_s": cluster_throughput,
             }, indent=2,
         ) + "\n")
         print(f"baseline recorded: {throughput:,.0f} objs/s, "
               f"{session_throughput:,.2f} process-session sweeps/s, "
               f"{plan_throughput:,.0f} compiled objs/s, "
-              f"{columnar_throughput:,.0f} columnar objs/s "
+              f"{columnar_throughput:,.0f} columnar objs/s, "
+              f"{cluster_throughput:,.2f} cluster sweeps/s "
               f"-> {BASELINE_PATH}")
     else:
         baseline = json.loads(BASELINE_PATH.read_text())
@@ -725,6 +900,15 @@ def check(payload, update_baseline=False):
                     f"columnar-sweep throughput regressed: "
                     f"{columnar_throughput:,.0f} objs/s < floor "
                     f"{floor:,.0f} objs/s (baseline / {REGRESSION_FACTOR})"
+                )
+        recorded = baseline.get("cluster_sweeps_per_s")
+        if recorded is not None:
+            floor = recorded / REGRESSION_FACTOR
+            if cluster_throughput < floor:
+                failures.append(
+                    f"cluster-sweep throughput regressed: "
+                    f"{cluster_throughput:,.2f} sweeps/s < floor "
+                    f"{floor:,.2f} sweeps/s (baseline / {REGRESSION_FACTOR})"
                 )
     return failures
 
@@ -773,6 +957,16 @@ def main(argv=None):
               f"{shm['task_payload_after']:,}B "
               f"({shm['payload_reduction']:.0f}x smaller, "
               f"{shm['segments']} segment(s))")
+    cluster_stats = payload["cluster"]
+    print(f"cluster fabric ({cluster_stats['agents']} loopback agents): "
+          f"process {cluster_stats['process_s']:.4f}s, "
+          f"cluster {cluster_stats['cluster_s']:.4f}s "
+          f"({cluster_stats['relative_throughput']:.2f}x relative, "
+          f"{cluster_stats['chunks_completed']} chunks, "
+          f"{cluster_stats['bytes_shipped']:,}B shipped); "
+          f"worker-death reclaim in "
+          f"{cluster_stats['reclaim']['reclaim_latency_s']:.2f}s "
+          f"({cluster_stats['reclaim']['lease_timeout_s']:.1f}s lease)")
     print(f"quality: cache hit rate {payload['cache_hit_rate']:.1%}, "
           f"interval fast-path coverage {payload['fastpath_fraction']:.1%}, "
           f"compiled-program coverage {payload['compiled_fraction']:.1%}, "

@@ -29,9 +29,12 @@ Commands
 ``sweep``
     Hidden-path sweep across every bundled model via the batched,
     cached, parallel engine (``--workers N``, ``--no-cache``,
-    ``--json``).  ``--backend {thread,process,queue,auto}`` selects the
-    executor — process and queue run on the distributed scheduler in
-    ``repro.core.dist`` — and ``--resume-from PATH`` reuses results
+    ``--json``).  ``--backend {thread,process,queue,cluster,auto}``
+    selects the executor — process and queue run on the distributed
+    scheduler in ``repro.core.dist``; cluster starts a coordinator
+    (``--listen HOST:PORT``, optionally ``--wait-workers N`` /
+    ``--lease-timeout S``) and fans chunks out to ``repro worker``
+    agents — and ``--resume-from PATH`` reuses results
     recorded in a JSONL store keyed by model fingerprint and
     predicate-spec hash.  ``--explain`` prints each task's chosen scan
     strategy, estimated cost, and CSE reuse (the decisions of the
@@ -58,9 +61,20 @@ Commands
     Client for ``repro serve``: query one or more models (or ``all``)
     with per-request ``--deadline-ms``; ``--metrics`` prints the
     server's metrics snapshot instead.  ``--trace`` asks a tracing
-    server for the per-request stage timeline and prints it.  Exit
-    code 0 = all ok, 2 = at least one request was shed
-    (overloaded/timeout/draining), 1 = error.
+    server for the per-request stage timeline and prints it.
+    ``--connect-timeout SECONDS`` bounds connection establishment — a
+    down server exits 2 with a clear message instead of hanging for
+    the OS default.  Exit code 0 = all ok, 2 = at least one request
+    was shed (overloaded/timeout/draining) or the server was
+    unreachable under ``--connect-timeout``, 1 = error.
+``worker``
+    Cluster worker agent (``repro worker --connect HOST:PORT``): claim
+    sweep chunks from a coordinator — ``repro sweep --backend cluster
+    --listen`` or ``repro serve --backend cluster`` — execute them on
+    a local warm process pool (``--workers N`` slots), and stream
+    results and trace spans back.  Leases held by an agent that dies
+    are reclaimed and its chunks re-executed elsewhere; see
+    ``repro.cluster``.
 
 Every subcommand also understands the telemetry flags:
 
@@ -334,6 +348,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     # fingerprint memo and never reach a scan strategy.
     memo_resolved = (set() if args.no_plan else
                      _memo_resolved_tasks(models, domains, args.limit))
+    coordinator = None
+    cluster_snapshot = None
+    if args.backend == "cluster":
+        from . import cluster as _cluster
+        from .cluster.protocol import parse_address
+
+        if not args.listen:
+            raise SystemExit(
+                "--backend cluster requires --listen HOST:PORT (the "
+                "coordinator address workers connect to)")
+        try:
+            listen_host, listen_port = parse_address(args.listen,
+                                                     flag="--listen")
+        except ValueError as exc:
+            raise SystemExit(str(exc))
+        coordinator = _cluster.ClusterCoordinator(
+            listen_host, listen_port, lease_timeout=args.lease_timeout)
+        coordinator.start()
+        # Operational chatter goes to stderr under --json so the JSON
+        # document on stdout stays parseable.
+        announce = sys.stderr if args.json else sys.stdout
+        print(f"cluster coordinator listening on "
+              f"{coordinator.address[0]}:{coordinator.port} "
+              f"(lease timeout {args.lease_timeout:.1f}s)",
+              file=announce, flush=True)
+        if args.wait_workers:
+            if not coordinator.wait_for_workers(
+                    args.wait_workers, timeout=args.wait_timeout):
+                coordinator.close()
+                raise SystemExit(
+                    f"timed out after {args.wait_timeout:.0f}s waiting "
+                    f"for {args.wait_workers} worker(s) on "
+                    f"{coordinator.address[0]}:{coordinator.port}")
+            print(f"{coordinator.worker_count()} worker(s) joined",
+                  file=announce, flush=True)
+        _cluster.set_coordinator(coordinator)
     try:
         sweeps = sweep_models(
             models,
@@ -348,6 +398,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                  _plan_rows(models, domains, args.limit, not args.no_cache,
                             memo_resolved))
     finally:
+        if coordinator is not None:
+            from . import cluster as _cluster
+
+            cluster_snapshot = coordinator.snapshot()
+            _cluster.set_coordinator(None)
+            coordinator.close()
         if args.no_plan:
             _plan.set_enabled(True)
         if args.no_columnar:
@@ -374,6 +430,21 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     }
     cache_stats = cache.stats() if cache is not None else None
     total = sum(len(sweep.findings) for sweep in sweeps)
+    cluster_block = None
+    if cluster_snapshot is not None:
+        counters = cluster_snapshot["counters"]
+        cluster_block = {
+            "listen": args.listen,
+            "workers_joined": counters.get("workers.joined", 0),
+            "workers_lost": counters.get("workers.lost", 0),
+            "chunks_claimed": counters.get("chunks.claimed", 0),
+            "chunks_completed": counters.get("chunks.completed", 0),
+            "chunks_reclaimed": counters.get("chunks.reclaimed", 0),
+            "chunks_failed": counters.get("chunks.failed", 0),
+            "chunks_inline": counters.get("chunks.inline", 0),
+            "bytes_shipped": counters.get("bytes.shipped", 0),
+            "bytes_received": counters.get("bytes.received", 0),
+        }
     # --fail-on-witness: CI gates on "no hidden paths" via the exit code.
     exit_code = 1 if args.fail_on_witness and total else 0
     if args.json:
@@ -398,6 +469,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "scans": scan_stats,
             "plan": plan_stats,
             "plans": plans,
+            "cluster": cluster_block,
             "settings": {
                 "scan_window": args.scan_window,
                 "columnar": not args.no_columnar,
@@ -449,6 +521,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
           f"{scan_stats['compiled']} compiled, "
           f"{scan_stats['cached']} cached, {scan_stats['plain']} plain"
           + (f", {scan_stats['memo']} memo" if scan_stats["memo"] else ""))
+    if cluster_block is not None:
+        print(f"cluster: {cluster_block['workers_joined']} workers joined "
+              f"({cluster_block['workers_lost']} lost), "
+              f"{cluster_block['chunks_completed']} chunks completed "
+              f"({cluster_block['chunks_reclaimed']} reclaimed, "
+              f"{cluster_block['chunks_inline']} inline), "
+              f"{cluster_block['bytes_shipped']} bytes shipped")
     if exit_code:
         print("failing: hidden-path witnesses found (--fail-on-witness)")
     return exit_code
@@ -475,6 +554,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         workers=args.workers,
         backend=args.backend,
+        cluster_listen=args.cluster_listen,
         store_path=args.store,
         # --trace-file alone implies tracing: the JsonlSink attached by
         # _run_with_observability captures the spans, and the collector
@@ -494,6 +574,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"depth={config.max_depth}, "
               f"store={config.store_path or 'none'}, "
               f"trace={'on' if config.trace else 'off'})", flush=True)
+        if server.coordinator is not None:
+            chost, cport = server.coordinator.address
+            print(f"cluster coordinator listening on {chost}:{cport} "
+                  f"(join with `repro worker --connect {chost}:{cport}`)",
+                  flush=True)
         server.install_signal_handlers()
         await server.serve_until_stopped()
 
@@ -508,6 +593,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    import signal
+
+    from .cluster import ClusterWorker, WorkerConnectError
+    from .cluster.protocol import parse_address
+
+    try:
+        host, port = parse_address(args.connect, flag="--connect")
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    preload = [module for spec in args.preload
+               for module in spec.split(",") if module]
+    worker = ClusterWorker(
+        host, port, slots=args.workers, inline=args.inline,
+        connect_timeout=args.connect_timeout,
+        poll_interval=args.poll_ms / 1000.0, preload=preload)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda _s, _f: worker.stop(timeout=0.0))
+    print(f"repro worker {worker.id} connecting to {host}:{port} "
+          f"(slots={args.workers}, "
+          f"{'inline' if args.inline else 'local pool'})", flush=True)
+    try:
+        code = worker.run()
+    except WorkerConnectError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(f"worker {worker.id} done: {worker.chunks_done} chunk(s) "
+          f"executed", flush=True)
+    return code
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     from .serve import SHED_STATUSES, STATUS_OK
     from .serve.client import ServeClient
@@ -515,8 +631,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
     keys = list(_MODEL_KEYS) if args.models == ["all"] else args.models
     saw_shed = saw_error = False
     try:
-        with ServeClient(args.host, args.port, timeout=args.timeout) \
-                as client:
+        client = ServeClient(args.host, args.port, timeout=args.timeout,
+                             connect_timeout=args.connect_timeout)
+    except (OSError, ConnectionError) as exc:
+        if args.connect_timeout is not None:
+            print(f"cannot connect to repro serve at "
+                  f"{args.host}:{args.port} within "
+                  f"{args.connect_timeout:.1f}s: {exc}", file=sys.stderr)
+            return 2
+        print(f"cannot reach repro serve at {args.host}:{args.port}: "
+              f"{exc}", file=sys.stderr)
+        return 1
+    try:
+        with client:
             if args.metrics:
                 print(json.dumps(client.metrics(), indent=2))
                 return 0
@@ -705,11 +832,32 @@ def build_parser() -> argparse.ArgumentParser:
         parents=[obs_flags],
     )
     sweep.add_argument("--backend", choices=("thread", "process", "queue",
-                                             "auto"),
+                                             "cluster", "auto"),
                        default="thread",
                        help="execution backend for the sweep tasks "
                             "(process/queue use the distributed scheduler "
-                            "in repro.core.dist)")
+                            "in repro.core.dist; cluster dispatches chunks "
+                            "to repro worker agents over TCP — see "
+                            "--listen)")
+    sweep.add_argument("--listen", metavar="HOST:PORT", default=None,
+                       help="(cluster backend) start the coordinator on "
+                            "this address; workers join with "
+                            "`repro worker --connect HOST:PORT`")
+    sweep.add_argument("--wait-workers", type=_positive_int, default=None,
+                       metavar="N",
+                       help="(cluster backend) wait for N workers to "
+                            "join before sweeping (without it the sweep "
+                            "starts immediately and runs inline until "
+                            "workers arrive)")
+    sweep.add_argument("--wait-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="how long --wait-workers waits before "
+                            "giving up (default 30)")
+    sweep.add_argument("--lease-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="(cluster backend) seconds a claimed chunk "
+                            "may go un-renewed before it is reclaimed "
+                            "from its worker (default 10)")
     sweep.add_argument("--resume-from", metavar="PATH", default=None,
                        help="JSONL result store; previously computed "
                             "(model fingerprint, predicate-spec) results "
@@ -761,10 +909,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="max requests folded into one engine dispatch")
     serve.add_argument("--workers", type=int, default=2,
                        help="engine workers per dispatch")
-    serve.add_argument("--backend", choices=("thread", "process", "queue"),
+    serve.add_argument("--backend", choices=("thread", "process", "queue",
+                                             "cluster"),
                        default="thread",
                        help="engine backend (process/queue keep a warm "
-                            "repro.core.dist pool)")
+                            "repro.core.dist pool; cluster fans "
+                            "micro-batches out to repro worker agents — "
+                            "see --cluster-listen)")
+    serve.add_argument("--cluster-listen", metavar="HOST:PORT",
+                       default=None,
+                       help="(cluster backend) coordinator listen "
+                            "address for worker agents (default: the "
+                            "serve host on an ephemeral port, announced "
+                            "on stdout)")
     serve.add_argument("--store", metavar="PATH", default=None,
                        help="JSONL result store for the cold cache tier "
                             "(compatible with repro sweep --resume-from)")
@@ -803,6 +960,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "still queued after this many milliseconds")
     query.add_argument("--timeout", type=float, default=60.0,
                        help="client socket timeout in seconds")
+    query.add_argument("--connect-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="bound connection establishment separately: "
+                            "a down/unreachable server exits 2 with a "
+                            "clear message after SECONDS instead of "
+                            "hanging for the OS default")
     query.add_argument("--metrics", action="store_true",
                        help="print the server metrics snapshot and exit")
     query.add_argument("--trace", action="store_true",
@@ -813,6 +976,37 @@ def build_parser() -> argparse.ArgumentParser:
                             "(00-<32 hex>-<16 hex>-<2 hex>)")
     query.add_argument("--json", action="store_true")
     query.set_defaults(fn=_cmd_query)
+
+    worker = sub.add_parser(
+        "worker",
+        help="run a cluster worker agent: claim sweep chunks from a "
+             "coordinator (repro sweep --listen / repro serve --backend "
+             "cluster) and execute them on a local warm pool",
+        parents=[obs_flags],
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="the coordinator to serve")
+    worker.add_argument("--workers", type=_positive_int, default=2,
+                        help="concurrent execution slots (and the width "
+                             "of the local warm process pool)")
+    worker.add_argument("--inline", action="store_true",
+                        help="execute chunks in the agent process instead "
+                             "of a local process pool (slower; no "
+                             "subprocesses)")
+    worker.add_argument("--connect-timeout", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="exit 2 if the coordinator cannot be reached "
+                             "within SECONDS (also the reconnect patience "
+                             "once connected; default 10)")
+    worker.add_argument("--poll-ms", type=float, default=50.0,
+                        metavar="MS",
+                        help="idle claim-poll interval (default 50)")
+    worker.add_argument("--preload", action="append", metavar="MODULE",
+                        default=[],
+                        help="import MODULE before executing (registers "
+                             "application named predicates; repeatable, "
+                             "comma-separable)")
+    worker.set_defaults(fn=_cmd_worker)
 
     return parser
 

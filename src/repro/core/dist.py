@@ -539,11 +539,22 @@ class InProcessQueue:
     """Minimal work queue: FIFO ``put``/``claim`` over an in-process
     deque.  The scheduler only touches this protocol, so a file- or
     socket-backed queue (tasks spanning hosts) is a drop-in
-    replacement — implement ``put(item)`` and ``claim() -> item | None``.
+    replacement — implement ``put(item)``, ``claim(claimant=None) ->
+    item | None``, ``requeue(item)``, and ``complete(item)``.
+
+    A claim is *leased*, not forgotten: the queue records ``(item,
+    claimant)`` until the claimant either finishes the item
+    (:meth:`complete`) or hands it back (:meth:`requeue` — the item
+    rejoins the *front* of the queue, so reclaimed work is re-issued
+    before fresh work).  This is the single queue contract shared by
+    the in-process scheduler and the cluster coordinator's TCP
+    front-end: the :mod:`repro.cluster` lease layer drives exactly
+    these four methods.
     """
 
     def __init__(self) -> None:
         self._items: "deque[Any]" = deque()
+        self._claimed: List[Tuple[Any, Optional[str]]] = []
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -554,12 +565,43 @@ class InProcessQueue:
         with self._lock:
             self._items.append(item)
 
-    def claim(self) -> Optional[Any]:
-        """Next unclaimed item, or ``None`` when the queue is drained."""
+    def claim(self, claimant: Optional[str] = None) -> Optional[Any]:
+        """Next unclaimed item (recording who claimed it), or ``None``
+        when the queue is drained."""
         with self._lock:
             if not self._items:
                 return None
-            return self._items.popleft()
+            item = self._items.popleft()
+            self._claimed.append((item, claimant))
+            return item
+
+    def _drop_claim(self, item: Any) -> bool:
+        for position, (claimed, _claimant) in enumerate(self._claimed):
+            if claimed is item or claimed == item:
+                del self._claimed[position]
+                return True
+        return False
+
+    def requeue(self, item: Any) -> bool:
+        """Return a claimed-but-unfinished item to the front of the
+        queue (the lease layer's reclaim path).  ``True`` when a
+        matching claim record existed; the item is re-enqueued either
+        way, so a reclaim is never silently lost."""
+        with self._lock:
+            had_claim = self._drop_claim(item)
+            self._items.appendleft(item)
+            return had_claim
+
+    def complete(self, item: Any) -> bool:
+        """Discharge a claim after its item finished; ``True`` when a
+        matching claim record existed."""
+        with self._lock:
+            return self._drop_claim(item)
+
+    def claimed(self) -> List[Tuple[Any, Optional[str]]]:
+        """Snapshot of outstanding ``(item, claimant)`` claims."""
+        with self._lock:
+            return list(self._claimed)
 
 
 # ---------------------------------------------------------------------------
@@ -794,7 +836,11 @@ def run_tasks(
     backend:
         ``"process"`` dispatches chunks directly; ``"queue"`` routes them
         through the pluggable work queue first (same execution, claimed
-        dispatch — the seam for cross-host queues).
+        dispatch — the seam for cross-host queues); ``"cluster"`` ships
+        chunks through the ambient :mod:`repro.cluster` coordinator to
+        remote worker agents (lease-tracked, reclaimed on worker death,
+        inline fallback on retry exhaustion — results stay bit-for-bit
+        equal to ``"process"``).
     keys:
         Optional per-task result keys (from :func:`task_key`).  Keyed
         tasks hit the in-memory result memo; ``None`` entries always
@@ -850,15 +896,20 @@ def run_tasks(
 
     # Encode-once domain sharing: big materialized domains leave the
     # payloads and ride shared memory instead (see module docstring).
+    # Cluster payloads skip it — shared-memory segments do not cross
+    # the host boundary, and the refs would fail to attach remotely.
     shared_session: Optional[_ShmSession] = None
-    if pending and _SHM_ENABLED:
+    if pending and _SHM_ENABLED and backend != "cluster":
         shared_session = _substitute_shared_domains(
             tasks, pending, payload_list)
 
     try:
         with _OBS.span("dist.run", backend=backend, tasks=count,
                        pending=len(pending), workers=workers) as span:
-            if pending:
+            if pending and backend == "cluster":
+                _run_cluster_chunks(tasks, payload_list, pending,
+                                    workers, results, max_retries)
+            elif pending:
                 chunks = chunk_tasks(tasks, pending,
                                      workers * _CHUNKS_PER_WORKER)
                 if obs_on:
@@ -869,7 +920,7 @@ def run_tasks(
                         front.put(chunk)
                     claimed: List[List[int]] = []
                     while True:
-                        item = front.claim()
+                        item = front.claim("dist.run_tasks")
                         if item is None:
                             break
                         claimed.append(item)
@@ -878,6 +929,13 @@ def run_tasks(
                         _OBS.incr("dist.queue.claimed", len(chunks))
                 _execute_chunks(tasks, payload_list, chunks, workers,
                                 results, max_retries)
+                if backend == "queue":
+                    # Synchronous drain: every claim is discharged once
+                    # the chunks have executed (crash retry and inline
+                    # fallback included), so external queues never see a
+                    # dangling claim from this path.
+                    for chunk in chunks:
+                        front.complete(chunk)
 
             # Parent-side inline degrade for tasks that never pickled.
             for index in inline_indexes:
@@ -896,6 +954,47 @@ def run_tasks(
         if shared_session is not None:
             shared_session.close()
     return [None if r is _PENDING else r for r in results]
+
+
+def _run_cluster_chunks(
+    tasks: Sequence[Any],
+    payloads: Sequence[Optional[bytes]],
+    pending: Sequence[int],
+    workers: int,
+    results: List[Any],
+    max_retries: int,
+) -> None:
+    """Ship the pending chunks through the ambient cluster coordinator.
+
+    Chunk width scales with the fabric (connected workers beat the
+    local ``workers`` hint when larger), execution happens wherever a
+    worker claims the chunk, and chunks whose reclaim retries are
+    exhausted — or that a closing fabric handed back — degrade to the
+    scheduler's usual inline per-task path.  Either way every pending
+    index is filled, with results identical to ``backend="process"``.
+    """
+    from .. import cluster
+
+    coordinator = cluster.get_coordinator()
+    if coordinator is None:
+        raise RuntimeError(
+            "backend='cluster' needs a running coordinator: start one "
+            "with `repro sweep --listen HOST:PORT`, `repro serve "
+            "--backend cluster`, or repro.cluster.set_coordinator()")
+    width = max(int(workers), coordinator.worker_count(), 1)
+    chunks = chunk_tasks(tasks, pending, width * _CHUNKS_PER_WORKER)
+    if _OBS.enabled:
+        _OBS.incr("dist.chunks", len(chunks))
+    payload_chunks = [[(index, payloads[index]) for index in chunk]
+                      for chunk in chunks]
+    got, failed = coordinator.run_chunks(payload_chunks,
+                                         max_retries=max_retries)
+    for index, finding in got.items():
+        results[index] = finding
+    if failed and _OBS.enabled:
+        _OBS.incr("dist.chunk.inline_fallback", len(failed))
+    for index in failed:
+        results[index] = _scan_task(tasks[index], cache=NO_CACHE)
 
 
 def _execute_chunks(

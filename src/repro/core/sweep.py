@@ -674,6 +674,9 @@ def _run_tasks(
     * ``"process"`` / ``"queue"`` — the chunked warm-pool scheduler in
       :mod:`repro.core.dist` (workers use their own per-process shared
       caches; ``keys`` enables fingerprint-keyed result reuse).
+    * ``"cluster"`` — the same scheduler, dispatching chunks through
+      the ambient :mod:`repro.cluster` coordinator to worker agents
+      (results bit-for-bit equal to ``"process"``).
     * ``"auto"`` — probes each task individually: picklable tasks go to
       the process scheduler, the opaque remainder to threads, results
       reassembled in order.
@@ -684,7 +687,7 @@ def _run_tasks(
     obs_on = _OBS.enabled
     if obs_on:
         _OBS.incr("sweep.tasks.queued", len(tasks))
-    if mode in ("process", "queue"):
+    if mode in ("process", "queue", "cluster"):
         from . import dist
 
         results = dist.run_tasks(tasks, workers or 1, backend=mode,
@@ -838,6 +841,7 @@ def sweep_models(
     workers: Optional[int] = None,
     cache: Any = None,
     mode: str = "thread",
+    backend: Optional[str] = None,
     resume_from: Optional[str] = None,
 ) -> List[ModelSweep]:
     """Hidden-path sweep across a whole corpus of models.
@@ -863,9 +867,15 @@ def sweep_models(
     mode:
         ``"thread"`` (default), ``"process"`` / ``"queue"`` (the chunked
         warm-pool scheduler of :mod:`repro.core.dist`, which also reuses
-        fingerprint-keyed results within the session), or ``"auto"``
-        (per-task probe: picklable tasks to the process scheduler, the
-        rest to threads).
+        fingerprint-keyed results within the session), ``"cluster"``
+        (the same scheduler dispatching through the ambient
+        :mod:`repro.cluster` coordinator to worker agents — results
+        bit-for-bit equal to ``"process"``), or ``"auto"`` (per-task
+        probe: picklable tasks to the process scheduler, the rest to
+        threads).
+    backend:
+        Alias for ``mode`` (``sweep_models(..., backend="cluster")``);
+        when given it wins over ``mode``.
     resume_from:
         Path to a JSONL :class:`~repro.core.dist.ResultStore`.  Tasks
         whose fingerprint key is already stored are *not* re-scanned
@@ -877,6 +887,8 @@ def sweep_models(
     mapping order, findings in cascade order — identical to the serial
     sweep regardless of worker count or how many results were resumed.
     """
+    if backend is not None:
+        mode = backend
     resolved = _resolve_cache(cache)
     tasks: List[SweepTask] = []
     task_models: List[Any] = []  # the model behind tasks[i], for keying
@@ -893,7 +905,7 @@ def sweep_models(
         boundaries.append((label, len(tasks) - start))
 
     keys: Optional[List[Optional[str]]] = None
-    if resume_from is not None or mode in ("process", "queue"):
+    if resume_from is not None or mode in ("process", "queue", "cluster"):
         from . import dist
 
         keys = [dist.task_key(model, task)

@@ -211,9 +211,12 @@ def _engine_compute(tasks: List[Any], keys: List[Optional[str]],
                     workers: int, backend: str) -> List[Any]:
     """The default compute function: one engine dispatch (runs on an
     executor thread, never the event loop)."""
-    if backend in ("process", "queue"):
+    if backend in ("process", "queue", "cluster"):
         # Worker processes keep their own predicate caches; the keys
         # let the dist scheduler memoize by fingerprint as well.
+        # (cluster routes chunks through the ambient coordinator to
+        # remote `repro worker` agents — same task payloads, same
+        # deterministic reassembly.)
         return _run_tasks(tasks, workers, backend, cache=NO_CACHE,
                           keys=keys)
     groups, programs = _fusion_groups(tasks)

@@ -23,10 +23,18 @@ __all__ = ["ServeClient", "wait_until_ready"]
 class ServeClient:
     """Blocking line-JSON client over one TCP connection."""
 
-    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+    def __init__(self, host: str, port: int, timeout: float = 60.0,
+                 connect_timeout: Optional[float] = None) -> None:
+        """``connect_timeout`` bounds connection *establishment*
+        separately from per-request I/O (``timeout``): a down server
+        fails fast instead of hanging for the OS default.  ``None``
+        falls back to ``timeout`` for both phases."""
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock = socket.create_connection(
+            (host, port),
+            timeout=timeout if connect_timeout is None else connect_timeout)
+        self._sock.settimeout(timeout)
         self._file = self._sock.makefile("rwb")
         self._lock = threading.Lock()
         self._serial = 0

@@ -82,7 +82,8 @@ class ServeConfig:
     batch_window: float = 0.01  # seconds the batcher waits to coalesce
     max_batch: int = 16  # requests per dispatch
     workers: int = 2
-    backend: str = "thread"  # thread | process | queue
+    backend: str = "thread"  # thread | process | queue | cluster
+    cluster_listen: Optional[str] = None  # HOST:PORT for cluster workers
     store_path: Optional[str] = None  # cold-tier JSONL (optional)
     max_limit: int = 1000  # witness-limit clamp per query
     drain_grace: float = 5.0  # seconds to wait for sockets to flush
@@ -107,6 +108,9 @@ class AnalysisServer:
         self.host = self.config.host
         self.port: Optional[int] = None
         self.batcher: Optional[MicroBatcher] = None
+        #: The cluster fan-out fabric when ``backend == "cluster"`` —
+        #: micro-batches dispatch through it to ``repro worker`` agents.
+        self.coordinator: Optional[Any] = None
         self.tracer: Optional[TraceCollector] = None
         self._trace_sink: Optional[JsonlSink] = None
         self._obs_owned = False
@@ -140,6 +144,24 @@ class AnalysisServer:
             # Pay fork/spawn cost before readiness, not inside the
             # first request.
             dist.prewarm(self.config.workers)
+        elif self.config.backend == "cluster":
+            # Cluster fan-out: start the coordinator before readiness
+            # and install it as the process-ambient fabric, so every
+            # micro-batch the engine dispatches with backend="cluster"
+            # ships its chunks to `repro worker` agents.  Until a
+            # worker joins, the coordinator executes chunks inline —
+            # the server is usable alone and gains throughput as
+            # workers connect.  Counters flow into self.stats, so the
+            # /metrics exposition grows repro_serve_cluster_* families.
+            from .. import cluster as _cluster
+            host, port = ("127.0.0.1", 0)
+            if self.config.cluster_listen:
+                host, port = _cluster.parse_address(
+                    self.config.cluster_listen, flag="cluster_listen")
+            self.coordinator = _cluster.ClusterCoordinator(
+                host, port, stats=self.stats)
+            self.coordinator.start()
+            _cluster.set_coordinator(self.coordinator)
         self.batcher = MicroBatcher(
             self.cache,
             self.stats,
@@ -196,6 +218,14 @@ class AnalysisServer:
                 break
             await asyncio.sleep(0.01)
         self.cache.flush()
+        if self.coordinator is not None:
+            # Tear down the fabric after the batcher ran dry: pending
+            # dispatches have completed, so closing now strands no
+            # chunk.  Clear the ambient handle only if it is still ours.
+            from .. import cluster as _cluster
+            if _cluster.get_coordinator() is self.coordinator:
+                _cluster.set_coordinator(None)
+            self.coordinator.close()
         self.state = STOPPED
         if _OBS.enabled:
             _OBS.event("serve.drain", phase="complete")
@@ -241,6 +271,10 @@ class AnalysisServer:
             "backend": self.config.backend,
             "trace": self.config.trace,
         }
+        if self.coordinator is not None:
+            cluster = self.coordinator.snapshot()
+            cluster["listen"] = "%s:%d" % self.coordinator.address
+            snapshot["cluster"] = cluster
         if self.tracer is not None:
             snapshot["trace"] = self.tracer.stats()
         return snapshot

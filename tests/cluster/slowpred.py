@@ -1,0 +1,23 @@
+"""Named predicates for the cluster recovery tests.
+
+Imported by worker agent subprocesses via ``repro worker --preload
+tests.cluster.slowpred`` (and resolved by name when shipped tasks
+unpickle), so a chunk takes long enough to SIGKILL the agent while the
+chunk is genuinely mid-execution.  The sleep changes timing only —
+verdicts stay deterministic, which is what makes the re-executed chunk
+bit-identical to the killed one.
+"""
+
+import time
+
+from repro.core import named_predicate
+
+
+def _slow_in_range(value):
+    time.sleep(0.01)
+    return 0 <= value <= 5
+
+
+slow_spec = named_predicate(
+    "cluster_slow_spec", _slow_in_range,
+    "in [0, 5], 10ms per verdict (cluster recovery tests)")

@@ -1,0 +1,328 @@
+"""End-to-end cluster fabric tests: parity with the process backend,
+zero-worker liveness, connection-drop recovery, SIGKILL recovery
+through a real worker subprocess, and the serve fan-out."""
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterWorker,
+    WorkerConnectError,
+    coordinating,
+)
+from repro.cluster.protocol import encode_line, read_line
+from repro.core import Domain, PrimitiveFSM, in_range, less_equal, dist
+from repro.core.sweep import _scan_task, sweep_models
+from repro.models import sendmail_model, wuftpd_model
+
+from .slowpred import slow_spec
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_scheduler():
+    dist.reset()
+    dist.clear_memo()
+    yield
+    dist.reset()
+    dist.clear_memo()
+
+
+def _models():
+    return ({"sendmail": sendmail_model.build_model(),
+             "wuftpd": wuftpd_model.build_model()},
+            {"sendmail": sendmail_model.pfsm_domains(),
+             "wuftpd": wuftpd_model.pfsm_domains()})
+
+
+def _flat(sweeps):
+    return [(s.model_name, f.pfsm_name, tuple(f.witnesses))
+            for s in sweeps for f in s.findings]
+
+
+def _tasks(n=4, spec=None, size=30):
+    pfsm = PrimitiveFSM("p", "scan", "x",
+                        spec_accepts=spec or in_range(0, 5),
+                        impl_accepts=less_equal(10))
+    return [("model", f"op{i}", pfsm, Domain.integers(0, size), 5)
+            for i in range(n)]
+
+
+def _witnesses(results):
+    return [tuple(r.witnesses) if r is not None else None for r in results]
+
+
+class TestClusterBackendParity:
+    def test_sweep_matches_process_backend_with_workers(self):
+        models, domains = _models()
+        expected = _flat(sweep_models(models, domains, limit=4,
+                                      mode="process", workers=2))
+        dist.reset()
+        dist.clear_memo()
+        with ClusterCoordinator() as coordinator, \
+                coordinating(coordinator):
+            agents = [ClusterWorker(*coordinator.address, slots=1,
+                                    inline=True) for _ in range(2)]
+            for agent in agents:
+                agent.start()
+            assert coordinator.wait_for_workers(2, timeout=10.0)
+            got = _flat(sweep_models(models, domains, limit=4,
+                                     backend="cluster", workers=2))
+            for agent in agents:
+                agent.stop()
+            assert coordinator.counter("chunks.completed") >= 1
+            assert coordinator.counter("chunks.inline") == 0
+        assert got == expected
+
+    def test_zero_workers_degrades_to_inline_and_matches(self):
+        models, domains = _models()
+        expected = _flat(sweep_models(models, domains, limit=4,
+                                      mode="process", workers=2))
+        dist.reset()
+        dist.clear_memo()
+        with ClusterCoordinator() as coordinator, \
+                coordinating(coordinator):
+            got = _flat(sweep_models(models, domains, limit=4,
+                                     backend="cluster", workers=2))
+            completed = coordinator.counter("chunks.completed")
+            assert completed >= 1
+            assert coordinator.counter("chunks.inline") == completed
+        assert got == expected
+
+    def test_backend_kwarg_is_an_alias_for_mode(self):
+        models, domains = _models()
+        expected = _flat(sweep_models(models, domains, limit=3,
+                                      mode="thread"))
+        assert _flat(sweep_models(models, domains, limit=3,
+                                  backend="thread")) == expected
+
+    def test_cluster_without_coordinator_is_a_clear_error(self):
+        with pytest.raises(RuntimeError, match="coordinator"):
+            dist.run_tasks(_tasks(1), 2, backend="cluster")
+
+
+class TestConnectionDropRecovery:
+    def test_dead_connection_frees_its_lease_immediately(self):
+        """A raw-socket 'worker' claims a chunk and vanishes without a
+        goodbye; the sweep must still complete with identical results,
+        via the EOF fast path (no lease timeout wait)."""
+        tasks = _tasks(4)
+        expected = _witnesses([_scan_task(t) for t in tasks])
+        with ClusterCoordinator(lease_timeout=30.0) as coordinator, \
+                coordinating(coordinator):
+            results = {}
+
+            def sweep():
+                results["got"] = dist.run_tasks(tasks, 2,
+                                                backend="cluster")
+
+            runner = threading.Thread(target=sweep)
+            conn = socket.create_connection(coordinator.address)
+            reader = conn.makefile("rb")
+            try:
+                conn.sendall(encode_line(
+                    {"op": "hello", "worker": "doomed", "slots": 1}))
+                read_line(reader)
+                runner.start()
+                deadline = time.monotonic() + 10.0
+                claimed = None
+                while time.monotonic() < deadline:
+                    conn.sendall(encode_line(
+                        {"op": "claim", "worker": "doomed"}))
+                    import json
+                    response = json.loads(read_line(reader))
+                    if response.get("status") == "chunk":
+                        claimed = response
+                        break
+                    time.sleep(0.02)
+                assert claimed is not None, "never got a chunk"
+            finally:
+                # Dies holding the lease — no bye, no result.  (The
+                # makefile reader dups the fd, so it must close too for
+                # the kernel to send the FIN a SIGKILL would.)
+                reader.close()
+                conn.close()
+            runner.join(timeout=30.0)
+            assert not runner.is_alive()
+            assert coordinator.counter("chunks.reclaimed") >= 1
+            assert coordinator.counter("workers.lost") == 1
+        assert _witnesses(results["got"]) == expected
+
+    def test_failed_chunks_fall_back_inline_after_retries(self):
+        """Every attempt is refused by a saboteur claiming and failing
+        chunks; retries exhaust and the scheduler's inline fallback
+        still produces the full result set."""
+        tasks = _tasks(2)
+        expected = _witnesses([_scan_task(t) for t in tasks])
+        registry = obs.get_registry()
+        registry.reset()
+        registry.enable()
+        try:
+            with ClusterCoordinator(lease_timeout=30.0) as coordinator, \
+                    coordinating(coordinator):
+                stop = threading.Event()
+
+                def saboteur():
+                    import json
+                    conn = socket.create_connection(coordinator.address)
+                    reader = conn.makefile("rb")
+                    conn.sendall(encode_line({"op": "hello",
+                                              "worker": "sab",
+                                              "slots": 1}))
+                    read_line(reader)
+                    while not stop.is_set():
+                        conn.sendall(encode_line({"op": "claim",
+                                                  "worker": "sab"}))
+                        response = json.loads(read_line(reader))
+                        if response.get("status") == "chunk":
+                            conn.sendall(encode_line(
+                                {"op": "fail", "worker": "sab",
+                                 "job": response["job"],
+                                 "chunk": response["chunk"],
+                                 "lease": response["lease"],
+                                 "error": "sabotage"}))
+                            read_line(reader)
+                        else:
+                            time.sleep(0.01)
+                    conn.sendall(encode_line({"op": "bye",
+                                              "worker": "sab"}))
+                    read_line(reader)
+                    conn.close()
+
+                thread = threading.Thread(target=saboteur, daemon=True)
+                thread.start()
+                assert coordinator.wait_for_workers(1, timeout=10.0)
+                try:
+                    got = dist.run_tasks(tasks, 2, backend="cluster",
+                                         max_retries=1)
+                finally:
+                    stop.set()
+                    thread.join(timeout=10.0)
+                assert coordinator.counter("chunks.failed") >= 1
+            counters = registry.counters()
+        finally:
+            registry.disable()
+            registry.reset()
+        assert _witnesses(got) == expected
+        assert counters.get("dist.chunk.inline_fallback", 0) >= 1
+
+
+class TestSigkillRecovery:
+    """Satellite: SIGKILL a real worker subprocess mid-chunk; the sweep
+    completes with identical results and counts the reclaim."""
+
+    def test_sigkilled_worker_mid_chunk_is_recovered(self):
+        tasks = _tasks(4, spec=slow_spec, size=60)  # ~0.6s per chunk
+        expected = _witnesses([_scan_task(t) for t in tasks])
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(_REPO_ROOT, "src"), _REPO_ROOT]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+        with ClusterCoordinator() as coordinator, \
+                coordinating(coordinator):
+            agent = subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker",
+                 "--connect", "127.0.0.1:%d" % coordinator.port,
+                 "--workers", "1", "--inline",
+                 "--preload", "tests.cluster.slowpred",
+                 "--connect-timeout", "10"],
+                cwd=_REPO_ROOT, env=env,
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+            try:
+                assert coordinator.wait_for_workers(1, timeout=20.0)
+                results = {}
+
+                def sweep():
+                    results["got"] = dist.run_tasks(
+                        tasks, 2, backend="cluster")
+
+                runner = threading.Thread(target=sweep)
+                runner.start()
+                deadline = time.monotonic() + 20.0
+                while time.monotonic() < deadline:
+                    if coordinator.counter("chunks.claimed") >= 1:
+                        break
+                    time.sleep(0.01)
+                assert coordinator.counter("chunks.claimed") >= 1
+                time.sleep(0.05)  # let execution get under way
+                agent.send_signal(signal.SIGKILL)  # mid-chunk
+                runner.join(timeout=60.0)
+                assert not runner.is_alive()
+            finally:
+                agent.kill()
+                agent.wait(timeout=10.0)
+            assert coordinator.counter("chunks.reclaimed") >= 1
+            assert coordinator.counter("workers.lost") == 1
+            completed = coordinator.counter("chunks.completed")
+            assert completed == coordinator.counter("chunks.claimed") \
+                - coordinator.counter("chunks.reclaimed") \
+                - coordinator.counter("chunks.duplicate")
+        assert _witnesses(results["got"]) == expected
+
+
+class TestWorkerAgent:
+    def test_unreachable_coordinator_raises_connect_error(self):
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()  # nothing listens here
+        agent = ClusterWorker("127.0.0.1", port, connect_timeout=0.3,
+                              inline=True)
+        with pytest.raises(WorkerConnectError):
+            agent.run()
+
+    def test_worker_exits_cleanly_when_coordinator_goes_away(self):
+        coordinator = ClusterCoordinator()
+        coordinator.start()
+        agent = ClusterWorker(*coordinator.address, slots=1, inline=True,
+                              connect_timeout=0.5)
+        agent.start()
+        assert coordinator.wait_for_workers(1, timeout=10.0)
+        coordinator.close()
+        agent.stop(timeout=10.0)
+        assert not agent._run_thread.is_alive()
+
+
+class TestServeClusterFanout:
+    def test_serve_dispatches_through_workers_and_exposes_counters(self):
+        from repro.serve import ServeConfig, ServerThread
+        from repro.serve.client import ServeClient
+
+        handle = ServerThread(ServeConfig(
+            port=0, backend="cluster", cluster_listen="127.0.0.1:0",
+            batch_window=0.005)).start()
+        try:
+            coordinator = handle.server.coordinator
+            assert coordinator is not None
+            agent = ClusterWorker(*coordinator.address, slots=1,
+                                  inline=True)
+            agent.start()
+            assert coordinator.wait_for_workers(1, timeout=10.0)
+            with ServeClient(handle.host, handle.port) as client:
+                response = client.query("sendmail", limit=3)
+                assert response["status"] == "ok"
+                assert response["vulnerable"] is True
+                metrics = client.metrics()
+            assert metrics["counters"].get(
+                "cluster.chunks.completed", 0) >= 1
+            assert metrics["cluster"]["counters"][
+                "chunks.completed"] >= 1
+            exposition = handle.server.prometheus_metrics()
+            assert "repro_serve_cluster_chunks_completed_total" \
+                in exposition
+            assert "repro_serve_cluster_workers_joined_total" \
+                in exposition
+            agent.stop()
+        finally:
+            handle.shutdown()

@@ -158,6 +158,58 @@ class TestRunTasks:
         assert counters.get("dist.chunk.inline_fallback", 0) >= 1
 
 
+class TestInProcessQueue:
+    """The four-method lease contract shared with the cluster fabric:
+    claim records the claimant, requeue returns work to the front,
+    complete discharges the claim."""
+
+    def test_claim_records_the_claimant(self):
+        queue = InProcessQueue()
+        queue.put("a")
+        queue.put("b")
+        assert queue.claim("w1") == "a"
+        assert queue.claim("w2") == "b"
+        assert queue.claimed() == [("a", "w1"), ("b", "w2")]
+        assert queue.claim("w3") is None
+
+    def test_claimant_defaults_to_none_for_legacy_callers(self):
+        queue = InProcessQueue()
+        queue.put("a")
+        assert queue.claim() == "a"
+        assert queue.claimed() == [("a", None)]
+
+    def test_requeue_returns_the_item_to_the_front(self):
+        queue = InProcessQueue()
+        queue.put("a")
+        queue.put("b")
+        assert queue.claim("dying") == "a"
+        assert queue.requeue("a") is True  # claim existed
+        assert queue.claimed() == []
+        # Reclaimed work is re-issued before fresh work.
+        assert queue.claim("other") == "a"
+        assert queue.claim("other") == "b"
+
+    def test_requeue_without_claim_still_enqueues(self):
+        queue = InProcessQueue()
+        assert queue.requeue("orphan") is False
+        assert queue.claim("w") == "orphan"
+
+    def test_complete_discharges_the_claim(self):
+        queue = InProcessQueue()
+        queue.put("a")
+        queue.claim("w")
+        assert queue.complete("a") is True
+        assert queue.complete("a") is False  # already discharged
+        assert queue.claimed() == []
+
+    def test_unhashable_items_match_by_identity_or_equality(self):
+        queue = InProcessQueue()
+        chunk = [3, 1, 4]  # chunk index lists are unhashable
+        queue.put(chunk)
+        assert queue.claim("w") is chunk
+        assert queue.complete([3, 1, 4]) is True  # equality match
+
+
 class TestResultStore:
     def test_round_trip_and_last_record_wins(self, tmp_path):
         store = ResultStore(tmp_path / "results.jsonl")

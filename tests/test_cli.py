@@ -247,6 +247,85 @@ class TestServeCli:
         assert excinfo.value.code == 2
 
 
+class TestClusterCli:
+    @staticmethod
+    def _free_port():
+        import socket
+
+        sock = socket.socket()
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        return port
+
+    def test_cluster_backend_requires_listen(self):
+        with pytest.raises(SystemExit, match="--listen"):
+            main(["sweep", "--backend", "cluster"])
+
+    def test_cluster_sweep_completes_inline_without_workers(self, capsys):
+        # Zero workers: the coordinator degrades to inline execution,
+        # and the JSON report carries the cluster block.
+        code, out = run(capsys, "sweep", "--json", "--backend", "cluster",
+                        "--listen", "127.0.0.1:%d" % self._free_port(),
+                        "--limit", "2")
+        assert code == 0
+        data = json.loads(out)
+        assert data["settings"]["backend"] == "cluster"
+        cluster = data["cluster"]
+        assert cluster["workers_joined"] == 0
+        assert cluster["chunks_inline"] >= 1
+        assert cluster["chunks_inline"] == cluster["chunks_completed"]
+
+    def test_cluster_json_matches_process_backend(self, capsys):
+        code, cluster_out = run(
+            capsys, "sweep", "--json", "--backend", "cluster",
+            "--listen", "127.0.0.1:%d" % self._free_port(),
+            "--limit", "2")
+        assert code == 0
+        code, process_out = run(capsys, "sweep", "--json",
+                                "--backend", "process", "--limit", "2")
+        assert code == 0
+        a = json.loads(cluster_out)
+        b = json.loads(process_out)
+        assert a["models"] == b["models"]
+        assert a["total_findings"] == b["total_findings"]
+
+    def test_worker_requires_connect(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["worker"])
+        assert excinfo.value.code == 2
+
+    def test_worker_rejects_malformed_address(self):
+        with pytest.raises(SystemExit, match="--connect"):
+            main(["worker", "--connect", "nota:port:here:x"])
+
+    def test_worker_unreachable_coordinator_exits_2(self, capsys):
+        code = main(["worker", "--connect",
+                     "127.0.0.1:%d" % self._free_port(),
+                     "--connect-timeout", "0.3"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot connect" in captured.err
+
+    def test_query_connect_timeout_exits_2_with_clear_message(self,
+                                                              capsys):
+        port = self._free_port()
+        code = main(["query", "sendmail", "--port", str(port),
+                     "--connect-timeout", "0.3"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot connect" in captured.err
+        assert "0.3s" in captured.err
+
+    def test_query_without_connect_timeout_keeps_legacy_exit_1(self,
+                                                               capsys):
+        code = main(["query", "sendmail",
+                     "--port", str(self._free_port()),
+                     "--timeout", "2"])
+        capsys.readouterr()
+        assert code == 1
+
+
 class TestTraceExport:
     def test_export_converts_trace_file_to_chrome_json(self, capsys,
                                                        tmp_path):
