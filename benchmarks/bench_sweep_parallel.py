@@ -49,7 +49,16 @@ trajectory keeps recording:
   A reclaim-latency sub-stat measures the fault-recovery path: a worker
   claims a chunk and goes silent (connection open, no heartbeats), and
   the stat is how long the lease layer takes to reclaim the chunk —
-  bounded by ``lease_timeout`` plus one reaper interval.
+  bounded by ``lease_timeout`` plus one reaper interval;
+* **faults** — scenario G: the same loopback cluster sweep under a
+  seeded :mod:`repro.faults` plan injecting a 1% socket-fault rate
+  (dropped sends, delayed reads).  Recovery is supposed to be cheap:
+  faulted throughput must stay ≥0.7x of the fault-free cluster run,
+  with bit-identical findings.  A kill-and-resume sub-stat SIGKILLs a
+  journaling ``repro sweep --backend cluster --journal`` coordinator
+  mid-run and requires the resumed run to re-execute no more than the
+  chunks that were in flight at the kill (plus one for a torn tail
+  record) — the journal, not luck, bounds the recovery work.
 
 Alongside throughput, the payload now records two quality dimensions
 measured through :mod:`repro.obs` (``cache_hit_rate``,
@@ -146,6 +155,12 @@ CLUSTER_FLOOR = 0.8
 #: Lease timeout for the reclaim-latency sub-stat (short, so the bench
 #: measures the recovery path, not a production-tuned wait).
 CLUSTER_LEASE_TIMEOUT = 1.0
+
+#: Scenario G: the seeded fault plan for the faulted-throughput run —
+#: a 1% socket-fault rate across the fabric — and the relative floor
+#: against the fault-free cluster run on the same agents.
+FAULTS_SPEC = "seed=7;cluster.send.drop:0.01;cluster.recv.delay:0.01@ms=2"
+FAULTS_FLOOR = 0.7
 
 
 def _witness_pfsm() -> PrimitiveFSM:
@@ -663,6 +678,134 @@ def _reclaim_latency_stat():
     }
 
 
+def _faults_scenario(repeats=2):
+    """Scenario G: the loopback cluster sweep under a seeded 1% socket
+    fault rate vs the same sweep fault-free, plus the kill-and-resume
+    sub-stat.  Both sides share one coordinator and agent set so the
+    only variable is the installed fault plan."""
+    from repro import faults
+    from repro.cluster import (
+        ClusterCoordinator,
+        ClusterWorker,
+        coordinating,
+    )
+
+    models = all_extended_models()
+    domains = _scaled_domains(models, all_extended_pfsm_domains())
+    limit = 10**9
+
+    def cluster_side():
+        dist.clear_memo()
+        return sweep_models(models, domains, workers=4, limit=limit,
+                            mode="cluster")
+
+    dist.reset()
+    previous = faults.install(None)
+    try:
+        with ClusterCoordinator() as coordinator, \
+                coordinating(coordinator):
+            agents = [ClusterWorker(*coordinator.address, slots=2)
+                      for _ in range(CLUSTER_AGENTS)]
+            for agent in agents:
+                agent.start()
+            assert coordinator.wait_for_workers(CLUSTER_AGENTS,
+                                                timeout=30.0)
+            clean_s, baseline = _best_of(cluster_side, repeats=repeats)
+            plan_obj = faults.parse_spec(FAULTS_SPEC)
+            with faults.injecting(plan_obj):
+                faulted_s, sweeps = _best_of(cluster_side,
+                                             repeats=repeats)
+            for agent in agents:
+                agent.stop()
+    finally:
+        faults.install(previous)
+    assert _findings_of(sweeps) == _findings_of(baseline), \
+        "faulted cluster sweep diverged from the fault-free run"
+    dist.shutdown_pool()
+    return {
+        "fault_spec": FAULTS_SPEC,
+        "fault_free_s": clean_s,
+        "faulted_s": faulted_s,
+        "relative_throughput": (clean_s / faulted_s
+                                if faulted_s else float("inf")),
+        "floor": FAULTS_FLOOR,
+        "injected": plan_obj.snapshot()["injected"],
+        "total_injected": plan_obj.snapshot()["total_injected"],
+        "resume": _journal_resume_stat(),
+    }
+
+
+def _journal_resume_stat():
+    """Kill-and-resume through the sweep journal.
+
+    SIGKILLs a journaling cluster-sweep coordinator once its first
+    chunk outcome is durably journaled, then re-runs with the same
+    journal.  The stat is how much work the resume re-executed; the
+    bound is the in-flight set at the kill plus one (a torn tail
+    record re-executes its chunk).
+    """
+    import json as _json
+    import os
+    import signal
+    import subprocess
+
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    env.pop("REPRO_FAULTS", None)
+    with tempfile.TemporaryDirectory() as scratch:
+        journal = Path(scratch) / "journal.jsonl"
+
+        def complete_records():
+            if not journal.exists():
+                return 0
+            count = 0
+            with open(journal, "rb") as handle:
+                for line in handle:
+                    if not line.endswith(b"\n"):
+                        continue
+                    try:
+                        _json.loads(line)
+                        count += 1
+                    except ValueError:
+                        pass
+            return count
+
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro", "sweep",
+             "--backend", "cluster", "--listen", "127.0.0.1:0",
+             "--journal", str(journal), "--json"],
+            env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        deadline = time.perf_counter() + 60.0
+        while time.perf_counter() < deadline:
+            if complete_records() >= 1 or victim.poll() is not None:
+                break
+            time.sleep(0.02)
+        killed = victim.poll() is None
+        if killed:
+            os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=60)
+        journaled_at_kill = complete_records()
+
+        resumed = subprocess.run(
+            [sys.executable, "-m", "repro", "sweep",
+             "--backend", "cluster", "--listen", "127.0.0.1:0",
+             "--journal", str(journal), "--json"],
+            env=env, capture_output=True, text=True, timeout=300)
+        assert resumed.returncode == 0, resumed.stderr
+        cluster = _json.loads(resumed.stdout)["cluster"]
+        chunks_resumed = cluster.get("chunks_resumed", 0)
+        re_executed = cluster.get("journal_appends", 0)
+        total = chunks_resumed + re_executed
+        return {
+            "victim_killed": killed,
+            "total_chunks": total,
+            "journaled_at_kill": journaled_at_kill,
+            "chunks_resumed": chunks_resumed,
+            "re_executed": re_executed,
+            # In-flight at the kill, plus one for a possible torn tail.
+            "re_execution_bound": max(0, total - journaled_at_kill) + 1,
+        }
+
+
 def _best_of(fn, repeats=5):
     """(best wall-clock seconds, last result) over ``repeats`` runs."""
     best = float("inf")
@@ -724,6 +867,7 @@ def measure(witness_repeats=5, sweep_repeats=3):
     plan_stats = _plan_scenario()
     columnar_stats = _columnar_scenario()
     cluster_stats = _cluster_scenario()
+    faults_stats = _faults_scenario()
 
     quality = _instrumented_metrics(models, domains, limit, pfsm, domain)
 
@@ -769,6 +913,7 @@ def measure(witness_repeats=5, sweep_repeats=3):
         "plan": plan_stats,
         "columnar": columnar_stats,
         "cluster": cluster_stats,
+        "faults": faults_stats,
     }
 
 
@@ -837,6 +982,23 @@ def check(payload, update_baseline=False):
             f"worker-death reclaim took {reclaim['reclaim_latency_s']:.2f}s "
             f"against a {reclaim['lease_timeout_s']:.1f}s lease "
             f"(need <=3x the lease timeout)"
+        )
+    faults_stats = payload["faults"]
+    if faults_stats["relative_throughput"] < faults_stats["floor"]:
+        failures.append(
+            f"faulted cluster sweep only "
+            f"{faults_stats['relative_throughput']:.2f}x of fault-free "
+            f"throughput under {faults_stats['fault_spec']!r} "
+            f"(need >={faults_stats['floor']}x)"
+        )
+    journal_stat = faults_stats["resume"]
+    if journal_stat["re_executed"] > journal_stat["re_execution_bound"]:
+        failures.append(
+            f"journal resume re-executed {journal_stat['re_executed']} "
+            f"chunk(s) with only "
+            f"{journal_stat['total_chunks'] - journal_stat['journaled_at_kill']} "
+            f"in flight at the kill (bound "
+            f"{journal_stat['re_execution_bound']})"
         )
 
     throughput = witness["serial_throughput_objs_per_s"]
@@ -967,6 +1129,16 @@ def main(argv=None):
           f"worker-death reclaim in "
           f"{cluster_stats['reclaim']['reclaim_latency_s']:.2f}s "
           f"({cluster_stats['reclaim']['lease_timeout_s']:.1f}s lease)")
+    faults_stats = payload["faults"]
+    journal_stat = faults_stats["resume"]
+    print(f"fault injection ({faults_stats['fault_spec']}): "
+          f"fault-free {faults_stats['fault_free_s']:.4f}s, "
+          f"faulted {faults_stats['faulted_s']:.4f}s "
+          f"({faults_stats['relative_throughput']:.2f}x relative, "
+          f"{faults_stats['total_injected']} injection(s)); "
+          f"journal resume re-executed {journal_stat['re_executed']} of "
+          f"{journal_stat['total_chunks']} chunk(s) "
+          f"({journal_stat['journaled_at_kill']} journaled at the kill)")
     print(f"quality: cache hit rate {payload['cache_hit_rate']:.1%}, "
           f"interval fast-path coverage {payload['fastpath_fraction']:.1%}, "
           f"compiled-program coverage {payload['compiled_fraction']:.1%}, "

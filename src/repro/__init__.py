@@ -30,13 +30,19 @@ Packages
 ``repro.obs``
     Engine telemetry: hierarchical spans, counters/gauges, and pluggable
     sinks (memory, JSONL, console) behind a disabled-by-default registry.
+``repro.faults``
+    Deterministic, seedable fault injection: a process-ambient
+    ``FaultPlan`` consulted by taps in the cluster wire path, worker
+    chunk execution, dist dispatch, serving, and the result stores
+    (``repro … --faults SPEC`` / ``REPRO_FAULTS``).
 ``repro.serve``
     The analysis service: a resident asyncio server with admission
     control, single-flight coalescing, micro-batched dispatch, a tiered
     result cache, and graceful drain (``repro serve`` / ``repro query``).
 """
 
-from . import apps, bugtraq, core, defenses, memory, models, obs, osmodel, serve
+from . import (apps, bugtraq, core, defenses, faults, memory, models, obs,
+               osmodel, serve)
 
 __version__ = "1.0.0"
 
@@ -45,6 +51,7 @@ __all__ = [
     "bugtraq",
     "core",
     "defenses",
+    "faults",
     "memory",
     "models",
     "obs",

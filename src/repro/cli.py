@@ -94,6 +94,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, Optional, Sequence
 
@@ -131,6 +132,20 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
     if value <= 0:
         raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _hedge_spec(text: str):
+    """argparse type for --hedge-after: seconds, or the literal 'p95'."""
+    if text == "p95":
+        return text
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected seconds or 'p95', got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError("hedge delay must be >= 0")
     return value
 
 
@@ -321,6 +336,14 @@ def _plan_rows(models: dict, domains: dict, limit: int,
     return rows
 
 
+def _faults_block() -> Optional[Dict[str, object]]:
+    """The ambient fault plan's injection counts (for --json payloads),
+    or ``None`` when injection is off."""
+    from . import faults
+
+    return faults.snapshot()
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from . import obs
     from .core import NO_CACHE, PredicateCache, sweep_models
@@ -364,7 +387,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         except ValueError as exc:
             raise SystemExit(str(exc))
         coordinator = _cluster.ClusterCoordinator(
-            listen_host, listen_port, lease_timeout=args.lease_timeout)
+            listen_host, listen_port, lease_timeout=args.lease_timeout,
+            journal=args.journal)
         coordinator.start()
         # Operational chatter goes to stderr under --json so the JSON
         # document on stdout stays parseable.
@@ -442,6 +466,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "chunks_reclaimed": counters.get("chunks.reclaimed", 0),
             "chunks_failed": counters.get("chunks.failed", 0),
             "chunks_inline": counters.get("chunks.inline", 0),
+            "chunks_resumed": counters.get("journal.resumed", 0),
+            "journal_appends": counters.get("journal.appends", 0),
             "bytes_shipped": counters.get("bytes.shipped", 0),
             "bytes_received": counters.get("bytes.received", 0),
         }
@@ -470,6 +496,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "plan": plan_stats,
             "plans": plans,
             "cluster": cluster_block,
+            "faults": _faults_block(),
             "settings": {
                 "scan_window": args.scan_window,
                 "columnar": not args.no_columnar,
@@ -608,7 +635,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
     worker = ClusterWorker(
         host, port, slots=args.workers, inline=args.inline,
         connect_timeout=args.connect_timeout,
-        poll_interval=args.poll_ms / 1000.0, preload=preload)
+        poll_interval=args.poll_ms / 1000.0, preload=preload,
+        chunk_timeout=args.chunk_timeout)
     for signum in (signal.SIGTERM, signal.SIGINT):
         signal.signal(signum, lambda _s, _f: worker.stop(timeout=0.0))
     print(f"repro worker {worker.id} connecting to {host}:{port} "
@@ -632,7 +660,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     saw_shed = saw_error = False
     try:
         client = ServeClient(args.host, args.port, timeout=args.timeout,
-                             connect_timeout=args.connect_timeout)
+                             connect_timeout=args.connect_timeout,
+                             retries=args.retries,
+                             hedge_after=args.hedge_after)
     except (OSError, ConnectionError) as exc:
         if args.connect_timeout is not None:
             print(f"cannot connect to repro serve at "
@@ -687,6 +717,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"cannot reach repro serve at {args.host}:{args.port}: "
               f"{exc}", file=sys.stderr)
         return 1
+    resilience = client.resilience_stats()
+    if resilience["request_retries"] or resilience["hedges"]:
+        print(f"client resilience: {resilience['request_retries']} "
+              f"retried request(s), {resilience['hedges']} hedge(s) "
+              f"({resilience['hedge_wins']} won)", file=sys.stderr)
     if saw_error:
         return 1
     return 2 if saw_shed else 0
@@ -769,6 +804,13 @@ def build_parser() -> argparse.ArgumentParser:
     obs_flags.add_argument(
         "--trace-file", metavar="PATH", default=None,
         help="write telemetry events to PATH as JSON lines",
+    )
+    obs_flags.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="deterministic fault injection (repro.faults), e.g. "
+             "'seed=7;cluster.send.drop:0.01;worker.chunk.hang:1@max=1"
+             "@ms=500'; also read from the REPRO_FAULTS environment "
+             "variable and exported to spawned workers",
     )
 
     sub = parser.add_subparsers(dest="command", required=True)
@@ -862,6 +904,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="JSONL result store; previously computed "
                             "(model fingerprint, predicate-spec) results "
                             "are reused and new ones appended")
+    sweep.add_argument("--journal", metavar="PATH", default=None,
+                       help="(cluster backend) crash-safe sweep journal: "
+                            "completed chunks are appended as they "
+                            "finish, and a restarted coordinator with "
+                            "the same journal re-executes only the "
+                            "chunks that were in flight")
     sweep.add_argument("--workers", type=int, default=None,
                        help="fan per-pFSM scans across N workers")
     sweep.add_argument("--no-cache", action="store_true",
@@ -962,10 +1010,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="client socket timeout in seconds")
     query.add_argument("--connect-timeout", type=float, default=None,
                        metavar="SECONDS",
-                       help="bound connection establishment separately: "
-                            "a down/unreachable server exits 2 with a "
-                            "clear message after SECONDS instead of "
-                            "hanging for the OS default")
+                       help="total budget for connection establishment "
+                            "(attempts retry with backoff inside it, so "
+                            "a server that is still binding connects on "
+                            "a later try); exits 2 with a clear message "
+                            "once the budget is spent")
+    query.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="retry idempotent requests up to N times on "
+                            "connection errors, reconnecting between "
+                            "attempts (default 2; 0 disables)")
+    query.add_argument("--hedge-after", metavar="SECONDS|p95",
+                       type=_hedge_spec, default=None,
+                       help="send a duplicate of a slow query on a "
+                            "second connection after this many seconds "
+                            "('p95' derives the delay from observed "
+                            "latencies); first response wins")
     query.add_argument("--metrics", action="store_true",
                        help="print the server metrics snapshot and exit")
     query.add_argument("--trace", action="store_true",
@@ -1001,6 +1060,13 @@ def build_parser() -> argparse.ArgumentParser:
     worker.add_argument("--poll-ms", type=float, default=50.0,
                         metavar="MS",
                         help="idle claim-poll interval (default 50)")
+    worker.add_argument("--chunk-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="hard per-chunk execution deadline: a chunk "
+                             "still running after SECONDS has its "
+                             "execution killed and is reported as failed "
+                             "(the coordinator's bounded retries take "
+                             "over); default: no deadline")
     worker.add_argument("--preload", action="append", metavar="MODULE",
                         default=[],
                         help="import MODULE before executing (registers "
@@ -1044,6 +1110,18 @@ def _run_with_observability(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
+    from . import faults
+
+    spec = getattr(args, "faults", None) or os.environ.get(faults.ENV_VAR)
+    if spec:
+        try:
+            faults.install(faults.parse_spec(spec))
+        except faults.FaultSpecError as exc:
+            print(f"invalid --faults spec: {exc}", file=sys.stderr)
+            return 2
+        # Spawned workers (repro worker, pool children via the CLI)
+        # inherit the same plan through the environment.
+        os.environ[faults.ENV_VAR] = spec
     if getattr(args, "profile", False) or getattr(args, "trace_file", None):
         return _run_with_observability(args)
     return args.fn(args)

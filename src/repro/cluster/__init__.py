@@ -42,15 +42,19 @@ from contextlib import contextmanager
 from typing import Any, Iterator, Optional
 
 from .coordinator import ClusterCoordinator
+from .journal import SweepJournal, job_digest
 from .lease import ChunkLedger, Lease
 from .protocol import ClusterProtocolError, parse_address
-from .worker import ClusterWorker, WorkerConnectError
+from .worker import ChunkTimeout, ClusterWorker, WorkerConnectError
 
 __all__ = [
     "ClusterCoordinator",
     "ClusterWorker",
     "ChunkLedger",
+    "ChunkTimeout",
     "Lease",
+    "SweepJournal",
+    "job_digest",
     "ClusterProtocolError",
     "WorkerConnectError",
     "parse_address",

@@ -45,8 +45,10 @@ import time
 from collections import OrderedDict
 from typing import Any, Dict, List, Optional, Tuple
 
+from .. import faults as _faults
 from ..obs import DEFAULT as _OBS
 from ..obs.trace import TraceContext, emit_span, mint_span_id
+from .journal import SweepJournal, job_digest
 from .lease import ChunkLedger
 from .protocol import (
     STATUS_CHUNK,
@@ -76,16 +78,19 @@ _STALE_FACTOR = 3.0
 
 class _Job:
     """One ``run_chunks`` call in flight: its ledger and completion
-    signal, plus the submitting sweep's trace context."""
+    signal, plus the submitting sweep's trace context and (when the
+    coordinator journals) its journal digest."""
 
-    __slots__ = ("id", "ledger", "trace_ctx", "done")
+    __slots__ = ("id", "ledger", "trace_ctx", "done", "journal_digest")
 
     def __init__(self, job_id: int, ledger: ChunkLedger,
-                 trace_ctx: Optional[TraceContext]) -> None:
+                 trace_ctx: Optional[TraceContext],
+                 journal_digest: Optional[str] = None) -> None:
         self.id = job_id
         self.ledger = ledger
         self.trace_ctx = trace_ctx
         self.done = threading.Event()
+        self.journal_digest = journal_digest
 
 
 class ClusterCoordinator:
@@ -109,16 +114,28 @@ class ClusterCoordinator:
         movement is forwarded (``cluster.*``), which puts
         ``repro_serve_cluster_*`` families on the embedding server's
         Prometheus exposition.
+    journal:
+        Optional path to a :class:`~repro.cluster.journal.SweepJournal`.
+        Every accepted chunk outcome is appended crash-safely, and a
+        job submitted with the same content digest (same chunks, same
+        bytes) pre-completes its journaled chunks — a coordinator
+        killed mid-sweep resumes re-executing only in-flight work
+        (``repro sweep --backend cluster --journal PATH``).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  lease_timeout: float = 10.0, max_retries: int = 2,
-                 stats: Optional[Any] = None) -> None:
+                 stats: Optional[Any] = None,
+                 journal: Optional[Any] = None) -> None:
         self._host = host
         self._port = port
         self.lease_timeout = lease_timeout
         self.max_retries = max_retries
         self._stats = stats
+        self._journal: Optional[SweepJournal] = (
+            None if journal is None
+            else journal if isinstance(journal, SweepJournal)
+            else SweepJournal(journal))
         self._lock = threading.RLock()
         self._jobs: "OrderedDict[int, _Job]" = OrderedDict()
         self._job_ids = itertools.count(1)
@@ -263,16 +280,35 @@ class ClusterCoordinator:
 
         While no worker is connected the submitting thread executes
         chunks itself, so completion never depends on external agents.
+
+        With a journal configured, chunks whose outcomes were journaled
+        by a previous (killed) coordinator under the same content
+        digest are pre-completed — only unjournaled work executes.
         """
         retries = self.max_retries if max_retries is None else max_retries
         trace_ctx = _OBS.current_trace() if _OBS.enabled else None
         ledger = ChunkLedger(
             {cid: rows for cid, rows in enumerate(chunks)},
             max_retries=retries)
+        digest: Optional[str] = None
+        resumed = 0
+        if self._journal is not None:
+            digest = job_digest(chunks)
+            for chunk_id, outcome in sorted(
+                    self._journal.load(digest).items()):
+                if 0 <= chunk_id < len(chunks) \
+                        and ledger.complete(chunk_id, outcome):
+                    resumed += 1
         with self._lock:
-            job = _Job(next(self._job_ids), ledger, trace_ctx)
+            job = _Job(next(self._job_ids), ledger, trace_ctx,
+                       journal_digest=digest)
             self._jobs[job.id] = job
         self._incr("jobs.submitted")
+        if resumed:
+            self._incr("journal.resumed", resumed)
+            if _OBS.enabled:
+                _OBS.event("cluster.journal.resumed", chunks=resumed,
+                           job=digest)
         if ledger.done:
             job.done.set()
         try:
@@ -322,7 +358,19 @@ class ClusterCoordinator:
         if accepted:
             self._incr("chunks.inline")
             self._incr("chunks.completed")
+            self._journal_outcome(job, lease.chunk_id, pairs)
         return True
+
+    def _journal_outcome(self, job: _Job, chunk_id: int,
+                         pairs: Any) -> None:
+        """Persist one accepted chunk outcome (outside the lock — the
+        journal serializes its own appends)."""
+        if self._journal is None or job.journal_digest is None:
+            return
+        if self._journal.record(job.journal_digest, chunk_id, pairs):
+            self._incr("journal.appends")
+        else:
+            self._incr("journal.write_errors")
 
     # -- the TCP face -----------------------------------------------------
 
@@ -371,8 +419,20 @@ class ClusterCoordinator:
                     response = {"status": STATUS_ERROR,
                                 "message": f"{type(exc).__name__}: {exc}"}
                 try:
-                    conn.sendall(encode_line(response))
+                    data = encode_line(response)
+                    # Fault taps on the response path: a dropped send
+                    # kills the connection (the worker reconnects); a
+                    # partial write leaves a torn frame on the wire and
+                    # then kills it.  Either way the EOF fast path
+                    # reclaims this worker's leases.
+                    if _faults.fire("cluster.send.drop") is not None:
+                        raise OSError("injected: cluster.send.drop")
+                    if _faults.fire("cluster.send.partial") is not None:
+                        conn.sendall(data[:max(1, len(data) // 2)])
+                        raise OSError("injected: cluster.send.partial")
+                    conn.sendall(data)
                 except OSError:
+                    self._undeliverable(response)
                     break
                 if message["op"] == "bye":
                     break
@@ -390,6 +450,38 @@ class ClusterCoordinator:
                     self._conns.remove(conn)
             if worker_id is not None:
                 self._connection_closed(worker_id, clean)
+
+    def _undeliverable(self, response: Dict[str, Any]) -> None:
+        """A response failed to send.  If it carried a chunk assignment
+        the worker never learned of the lease — release it now, or the
+        claimant's heartbeats (which renew every lease under its worker
+        id, including ones it never heard about) keep the orphan alive
+        forever and the sweep never completes.  The reconnect race makes
+        the EOF fast path insufficient here: by the time this
+        connection's cleanup runs, the worker may already be back on a
+        fresh connection, so ``_connection_closed`` sees a live worker
+        and releases nothing."""
+        if response.get("status") != STATUS_CHUNK:
+            return
+        job_id = response.get("job")
+        chunk_id = response.get("chunk")
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return
+            lease = next((lease for lease in job.ledger.leases()
+                          if lease.chunk_id == chunk_id), None)
+            if lease is None or lease.token != response.get("lease"):
+                return  # already completed, reaped, or re-claimed
+            disposition = job.ledger.release(chunk_id)
+            self._lease_meta.pop((job_id, chunk_id), None)
+            if job.ledger.done:
+                job.done.set()
+        self._incr("chunks.undelivered")
+        if disposition == "requeued":
+            self._incr("chunks.reclaimed")
+        elif disposition == "exhausted":
+            self._incr("chunks.failed")
 
     def _dispatch(self, message: Dict[str, Any]) -> Dict[str, Any]:
         op = message["op"]
@@ -511,6 +603,8 @@ class ClusterCoordinator:
             self._incr("chunks.duplicate")
             return {"status": STATUS_OK, "accepted": False}
         self._incr("chunks.completed")
+        if job is not None:
+            self._journal_outcome(job, chunk_id, pairs)
         if meta is not None and meta["span_hex"] is not None \
                 and job is not None and job.trace_ctx is not None:
             elapsed = time.monotonic() - meta["claimed_mono"]

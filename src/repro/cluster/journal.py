@@ -1,0 +1,176 @@
+"""Crash-safe journal of completed chunk outcomes for cluster sweeps.
+
+A killed coordinator used to lose its whole sweep: chunk outcomes lived
+only in the in-memory :class:`~repro.cluster.lease.ChunkLedger`.  The
+:class:`SweepJournal` makes them durable — every accepted chunk outcome
+is appended as one JSONL record, and a restarted coordinator
+(``repro sweep --backend cluster --journal PATH`` re-run after a
+SIGKILL) pre-completes the journaled chunks so only in-flight work is
+re-executed, with results still bit-for-bit equal to
+``--backend process``.
+
+Record format (one per line)::
+
+    {"job": "<16-hex job digest>", "chunk": 3, "data": "<base64 pickle>"}
+
+``job`` is a content digest over the submitted chunks (ids, task
+indexes, and serialized task bytes), so a journal only resumes the
+*identical* workload: change the corpus, the limit, or the chunking and
+the digest changes — stale records are simply ignored, never replayed
+into the wrong sweep.  ``data`` is the pickled chunk outcome, exactly
+the ``(task index, finding)`` pairs the ledger records.
+
+Crash discipline is inherited from :class:`repro.core.dist.ResultStore`:
+appends are single atomic-ish line writes, a process that dies mid-append
+leaves a truncated tail that ``load`` skips (counted as
+``cluster.journal.truncated``), and the next append heals the file by
+prefixing a newline.  Write failures (torn writes, ENOSPC) degrade the
+journal — the sweep continues, it just re-executes more on resume.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .. import faults as _faults
+from ..obs import DEFAULT as _OBS
+
+__all__ = ["SweepJournal", "job_digest"]
+
+
+def job_digest(chunks: Iterable[List[Tuple[int, bytes]]]) -> str:
+    """Content digest of one submitted chunk set (16 hex chars).
+
+    Covers chunk order, task indexes, and the serialized task bytes —
+    the same bytes a worker would unpickle — so equal digests mean the
+    resumed workload is byte-identical to the journaled one.
+    """
+    digest = hashlib.sha256()
+    for chunk_id, rows in enumerate(chunks):
+        digest.update(b"c%d" % chunk_id)
+        for index, raw in rows:
+            digest.update(b"t%d:%d:" % (index, len(raw)))
+            digest.update(raw)
+    return digest.hexdigest()[:16]
+
+
+class SweepJournal:
+    """Append-only JSONL journal of completed chunk outcomes.
+
+    One journal file can hold records from several jobs (digests keep
+    them apart).  Thread-safe: the coordinator appends from connection
+    handler threads and the inline degrade path concurrently.
+    """
+
+    def __init__(self, path: Any) -> None:
+        self.path = str(path)
+        self._lock = threading.Lock()
+        #: Appends that failed (torn write / ENOSPC / IO error) —
+        #: surfaced in the coordinator's counters as journal.errors.
+        self.write_errors = 0
+
+    # -- crash healing (the ResultStore discipline) -----------------------
+
+    def _tail_truncated(self) -> bool:
+        """Does the file end mid-record (non-empty, no final newline)?"""
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (OSError, ValueError):
+            return False  # missing or empty file
+
+    def _append_prefix(self) -> str:
+        if not self._tail_truncated():
+            return ""
+        if _OBS.enabled:
+            _OBS.incr("cluster.journal.truncated")
+            _OBS.event("cluster.journal.truncated", path=self.path,
+                       action="repaired")
+        return "\n"
+
+    # -- the journal API ---------------------------------------------------
+
+    def load(self, digest: str) -> Dict[int, Any]:
+        """Every journaled ``chunk id → outcome`` for one job digest.
+
+        Malformed lines and records of other jobs are skipped; a
+        truncated tail (the append the dying coordinator never
+        finished) is skipped and counted.  Later records supersede
+        earlier ones for the same chunk, though duplicates only arise
+        from multiple resume generations — outcomes are deterministic,
+        so any copy is the right one.
+        """
+        outcomes: Dict[int, Any] = {}
+        if not os.path.exists(self.path):
+            return outcomes
+        with open(self.path, "r", encoding="utf-8") as handle:
+            raw = handle.read()
+        truncated_tail = bool(raw) and not raw.endswith("\n")
+        lines = raw.split("\n")
+        for position, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                if record["job"] != digest:
+                    continue
+                chunk_id = record["chunk"]
+                if isinstance(chunk_id, bool) or \
+                        not isinstance(chunk_id, int):
+                    raise ValueError("chunk id must be an int")
+                data = base64.b64decode(
+                    record["data"].encode("ascii"), validate=True)
+                outcomes[chunk_id] = pickle.loads(data)
+            except Exception:
+                if not _OBS.enabled:
+                    continue
+                if truncated_tail and position == len(lines) - 1:
+                    _OBS.incr("cluster.journal.truncated")
+                    _OBS.event("cluster.journal.truncated",
+                               path=self.path, action="skipped")
+                else:
+                    _OBS.incr("cluster.journal.malformed")
+        return outcomes
+
+    def record(self, digest: str, chunk_id: int, outcome: Any) -> bool:
+        """Append one completed chunk's outcome; ``False`` when the
+        write could not land (the journal degrades, the sweep goes on).
+        """
+        try:
+            data = base64.b64encode(pickle.dumps(outcome)).decode("ascii")
+        except Exception:
+            self.write_errors += 1
+            return False
+        line = json.dumps({"job": digest, "chunk": chunk_id,
+                           "data": data}) + "\n"
+        with self._lock:
+            try:
+                rule = _faults.fire("journal.append.enospc")
+                if rule is not None:
+                    raise OSError(28, "No space left on device (injected)")
+                torn = _faults.fire("journal.append.torn")
+                prefix = self._append_prefix()
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    if torn is not None:
+                        # A torn write: half the record, no newline —
+                        # exactly what a crash mid-append leaves behind.
+                        handle.write(prefix + line[:max(1, len(line) // 2)])
+                        self.write_errors += 1
+                        return False
+                    handle.write(prefix + line)
+            except OSError:
+                self.write_errors += 1
+                if _OBS.enabled:
+                    _OBS.incr("cluster.journal.write_errors")
+                    _OBS.event("cluster.journal.write_error",
+                               path=self.path)
+                return False
+        return True

@@ -46,6 +46,8 @@ import base64
 import json
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .. import faults as _faults
+
 __all__ = [
     "ClusterProtocolError",
     "MAX_LINE",
@@ -173,7 +175,16 @@ def read_line(reader: Any) -> Optional[str]:
 
     Enforces :data:`MAX_LINE` (a longer line raises
     :class:`ClusterProtocolError` — the peer is malformed, not slow).
+
+    Fault-injection taps (:mod:`repro.faults`) live here because both
+    sides of the wire read through this function: ``cluster.recv.delay``
+    stalls the frame (a slow network), ``cluster.recv.garble`` corrupts
+    the received line (a broken peer/framing bug) — the reader's normal
+    protocol-error recovery must absorb both.
     """
+    rule = _faults.fire("cluster.recv.delay")
+    if rule is not None:
+        _faults.sleep_ms(rule)
     line = reader.readline(MAX_LINE + 1)
     if not line:
         return None
@@ -181,4 +192,6 @@ def read_line(reader: Any) -> Optional[str]:
         raise ClusterProtocolError("message line exceeds MAX_LINE")
     if isinstance(line, bytes):
         line = line.decode("utf-8", errors="replace")
+    if _faults.fire("cluster.recv.garble") is not None:
+        return "\x00garbled" + line[: max(0, len(line) // 3)]
     return line

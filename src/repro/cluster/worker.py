@@ -46,6 +46,7 @@ import time
 import uuid
 from typing import Any, Dict, Optional, Sequence
 
+from .. import faults as _faults
 from ..obs import DEFAULT as _OBS
 from .protocol import (
     STATUS_CHUNK,
@@ -57,12 +58,20 @@ from .protocol import (
     read_line,
 )
 
-__all__ = ["ClusterWorker", "WorkerConnectError"]
+__all__ = ["ClusterWorker", "WorkerConnectError", "ChunkTimeout"]
 
 
 class WorkerConnectError(ConnectionError):
     """The coordinator could not be reached within the connect
     timeout."""
+
+
+class ChunkTimeout(RuntimeError):
+    """A chunk blew through the worker's hard execution deadline.
+
+    Reported to the coordinator as a ``fail`` — the ledger's bounded
+    retries take over, so a hung predicate costs one deadline instead
+    of holding its lease alive forever through heartbeats."""
 
 
 class ClusterWorker:
@@ -88,13 +97,22 @@ class ClusterWorker:
         registering application predicates
         (:func:`repro.core.predspec.named_predicate`) that shipped
         tasks resolve by name.
+    chunk_timeout:
+        Optional hard per-chunk execution deadline in seconds
+        (``repro worker --chunk-timeout``).  Without it a hung
+        predicate holds its lease alive forever (heartbeats renew at
+        lease/4 no matter what the slot is doing); with it the chunk is
+        killed — pool workers are terminated outright, inline execution
+        is abandoned — and reported as ``fail`` so the coordinator's
+        bounded retries reassign it.
     """
 
     def __init__(self, host: str, port: int, *, slots: int = 2,
                  inline: bool = False, connect_timeout: float = 10.0,
                  rpc_timeout: float = 120.0, poll_interval: float = 0.05,
                  preload: Sequence[str] = (),
-                 worker_id: Optional[str] = None) -> None:
+                 worker_id: Optional[str] = None,
+                 chunk_timeout: Optional[float] = None) -> None:
         self.host = host
         self.port = port
         self.slots = max(1, slots)
@@ -103,6 +121,7 @@ class ClusterWorker:
         self.rpc_timeout = rpc_timeout
         self.poll_interval = poll_interval
         self.preload = tuple(preload)
+        self.chunk_timeout = chunk_timeout
         self.id = worker_id or f"w-{uuid.uuid4().hex[:12]}"
         self.heartbeat_interval = 2.0
         self.chunks_done = 0
@@ -143,7 +162,7 @@ class ClusterWorker:
                 response = self._exchange_locked(
                     {"op": "hello", "worker": self.id, "pid": os.getpid(),
                      "host": socket.gethostname(), "slots": self.slots})
-            except (OSError, ClusterProtocolError) as exc:
+            except (OSError, ValueError, ClusterProtocolError) as exc:
                 last_error = exc
                 self._teardown_locked()
                 continue
@@ -176,7 +195,16 @@ class ClusterWorker:
 
     def _exchange_locked(self, message: Dict[str, Any]) -> Dict[str, Any]:
         assert self._sock is not None and self._reader is not None
-        self._sock.sendall(encode_line(message))
+        data = encode_line(message)
+        # Request-side fault taps (the recv-side taps live in
+        # read_line): a dropped/partial send looks like a dead
+        # coordinator and exercises _rpc's reconnect-and-retry.
+        if _faults.fire("cluster.send.drop") is not None:
+            raise OSError("injected: cluster.send.drop")
+        if _faults.fire("cluster.send.partial") is not None:
+            self._sock.sendall(data[:max(1, len(data) // 2)])
+            raise OSError("injected: cluster.send.partial")
+        self._sock.sendall(data)
         line = read_line(self._reader)
         if line is None:
             raise OSError("coordinator closed the connection")
@@ -213,14 +241,69 @@ class ClusterWorker:
 
     def _execute(self, payload: Any,
                  traceparent: Optional[str]) -> Any:
+        """Run one chunk exactly like a local pool worker would,
+        optionally under the hard ``chunk_timeout`` deadline.
+
+        Without a deadline this is a straight call into
+        :meth:`_execute_now`.  With one, execution runs on a watchdog
+        thread: on expiry the warm pool's processes are terminated
+        (``dist.kill_pool`` — the hung scan dies with them), inline
+        execution is abandoned on its daemon thread, and
+        :class:`ChunkTimeout` propagates so the chunk is failed back to
+        the coordinator.
+        """
+        if self.chunk_timeout is None:
+            return self._execute_now(payload, traceparent)
+        from ..core import dist
+
+        box: Dict[str, Any] = {}
+        cancelled = threading.Event()
+
+        def target() -> None:
+            try:
+                box["result"] = self._execute_now(payload, traceparent,
+                                                  cancelled)
+            except BaseException as exc:
+                box["error"] = exc
+
+        runner = threading.Thread(target=target, daemon=True,
+                                  name="cluster-chunk-exec")
+        runner.start()
+        runner.join(self.chunk_timeout)
+        if runner.is_alive():
+            cancelled.set()
+            if not self.inline:
+                dist.kill_pool()
+            if _OBS.enabled:
+                _OBS.incr("cluster.worker.chunk_timeouts")
+                _OBS.event("cluster.worker.chunk_timeout",
+                           worker=self.id, seconds=self.chunk_timeout)
+            raise ChunkTimeout(
+                f"chunk exceeded the {self.chunk_timeout:.1f}s hard "
+                f"deadline; execution killed")
+        if "error" in box:
+            raise box["error"]
+        return box["result"]
+
+    def _execute_now(self, payload: Any, traceparent: Optional[str],
+                     cancelled: Optional[threading.Event] = None) -> Any:
         """Run one chunk exactly like a local pool worker would.
 
         Pool path mirrors dist's crash-retry contract: broken pool →
         fresh pool → inline.  Exceptions from a *healthy* execution
-        propagate to the caller (reported as ``fail``).
+        propagate to the caller (reported as ``fail``).  A set
+        ``cancelled`` event (the watchdog expired and killed the pool)
+        stops the retry ladder — the chunk is already being failed.
         """
         from ..core import dist
 
+        rule = _faults.fire("worker.chunk.crash")
+        if rule is not None:
+            raise _faults.InjectedFault("worker.chunk.crash")
+        rule = _faults.fire("worker.chunk.hang") \
+            or _faults.fire("worker.chunk.slow")
+        if rule is not None:
+            _faults.sleep_ms(rule)
         if self.inline:
             return dist._chunk_worker(payload, traceparent)
         from concurrent.futures.process import BrokenProcessPool
@@ -232,6 +315,9 @@ class ClusterWorker:
                                      traceparent)
                 return future.result()
             except BrokenProcessPool:
+                if cancelled is not None and cancelled.is_set():
+                    raise ChunkTimeout("execution cancelled by the "
+                                       "chunk deadline watchdog")
                 dist.shutdown_pool()
                 if attempt == 0:
                     continue

@@ -68,6 +68,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from heapq import heappop, heappush
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from .. import faults as _faults
 from ..obs import DEFAULT as _OBS
 from ..obs.sinks import MemorySink
 from ..obs.trace import TraceContext, emit_span, mint_span_id
@@ -88,6 +89,7 @@ __all__ = [
     "prewarm",
     "set_shm_enabled",
     "shutdown_pool",
+    "kill_pool",
     "reset",
 ]
 
@@ -268,10 +270,24 @@ class ResultStore:
     prefixing a newline before the next record — without the repair,
     the next append would glue onto the partial line and silently
     swallow one valid record.
+
+    Appends degrade instead of crashing: an :class:`OSError` mid-write
+    (disk full, permissions yanked) is counted
+    (``dist.store.write_errors``) and reported as an unrecorded result —
+    the sweep keeps its in-memory answer and later runs simply rescan
+    the missing keys.  The ``store.append.torn`` / ``store.append.enospc``
+    fault taps (:mod:`repro.faults`) exercise exactly these paths.
     """
 
     def __init__(self, path: Any) -> None:
         self.path = str(path)
+        self.write_errors = 0
+
+    def _write_failed(self) -> None:
+        self.write_errors += 1
+        if _OBS.enabled:
+            _OBS.incr("dist.store.write_errors")
+            _OBS.event("dist.store.write_error", path=self.path)
 
     def _tail_truncated(self) -> bool:
         """Does the file end mid-record (non-empty, no final newline)?"""
@@ -338,12 +354,21 @@ class ResultStore:
                 _OBS.incr("dist.store.unencodable")
             return False
         prefix = self._append_prefix()
-        with open(self.path, "a", encoding="utf-8") as handle:
-            # No sort_keys: record-shaped witnesses must round-trip with
-            # their field order intact.
-            handle.write(
-                prefix + json.dumps({"key": key, "finding": payload}) + "\n"
-            )
+        line = prefix + json.dumps({"key": key, "finding": payload}) + "\n"
+        try:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                # No sort_keys: record-shaped witnesses must round-trip
+                # with their field order intact.
+                if _faults.fire("store.append.enospc") is not None:
+                    raise OSError(28, "injected: store.append.enospc")
+                if _faults.fire("store.append.torn") is not None:
+                    handle.write(line[: max(1, len(line) // 2)])
+                    self._write_failed()
+                    return False
+                handle.write(line)
+        except OSError:
+            self._write_failed()
+            return False
         return True
 
     def record_many(
@@ -364,8 +389,19 @@ class ResultStore:
             lines.append(json.dumps({"key": key, "finding": payload}))
         if lines:
             prefix = self._append_prefix()
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(prefix + "\n".join(lines) + "\n")
+            blob = prefix + "\n".join(lines) + "\n"
+            try:
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    if _faults.fire("store.append.enospc") is not None:
+                        raise OSError(28, "injected: store.append.enospc")
+                    if _faults.fire("store.append.torn") is not None:
+                        handle.write(blob[: max(1, len(blob) // 2)])
+                        self._write_failed()
+                        return 0
+                    handle.write(blob)
+            except OSError:
+                self._write_failed()
+                return 0
         return len(lines)
 
 
@@ -474,6 +510,33 @@ def shutdown_pool() -> None:
             _POOL.shutdown(wait=True)
         _POOL = None
         _POOL_WORKERS = None
+
+
+def kill_pool() -> None:
+    """Forcibly terminate the warm pool's processes *now*.
+
+    The cooperative :func:`shutdown_pool` waits for in-flight work — a
+    worker wedged inside a hung scan would stall it forever.  The chunk
+    deadline watchdog (``repro worker --chunk-timeout``) calls this
+    instead: SIGTERM every pool process, then discard the executor
+    without waiting.  The next :func:`_get_pool` builds a fresh pool.
+    """
+    global _POOL, _POOL_WORKERS
+    with _POOL_LOCK:
+        pool, _POOL, _POOL_WORKERS = _POOL, None, None
+    if pool is None:
+        return
+    for proc in list(getattr(pool, "_processes", {}).values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover - pre-3.9 signature
+        pool.shutdown(wait=False)
+    if _OBS.enabled:
+        _OBS.incr("dist.pool.killed")
 
 
 def reset() -> None:
@@ -1030,6 +1093,8 @@ def _execute_chunks(
             payload = [(i, payloads[i]) for i in chunk]
             chunk_hex: Optional[str] = None
             try:
+                if _faults.fire("dist.dispatch.crash") is not None:
+                    raise _faults.InjectedFault("dist.dispatch.crash")
                 if trace_ctx is not None:
                     # The chunk span's id is minted at submission so the
                     # worker's spans can parent under it before the span

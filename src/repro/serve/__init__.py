@@ -33,6 +33,7 @@ CLI: ``repro serve`` runs the server; ``repro query`` is the client.
 
 from .admission import AdmissionQueue, AdmittedRequest
 from .batcher import MicroBatcher
+from .breaker import CircuitBreaker
 from .cache import TieredResultCache
 from .client import ServeClient, wait_until_ready
 from .corpus import MODEL_KEYS, AnalysisCorpus, ExpandedQuery
@@ -62,6 +63,7 @@ __all__ = [
     "AdmissionQueue",
     "AdmittedRequest",
     "MicroBatcher",
+    "CircuitBreaker",
     "TieredResultCache",
     "ServeClient",
     "wait_until_ready",

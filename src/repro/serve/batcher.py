@@ -45,6 +45,7 @@ import asyncio
 from functools import partial
 from typing import Any, Dict, List, Optional
 
+from .. import faults as _faults
 from ..core.sweep import NO_CACHE, _run_tasks, shared_cache
 from ..obs import DEFAULT as _OBS
 from ..obs.trace import TraceContext, emit_span, mint_span_id
@@ -258,9 +259,11 @@ class MicroBatcher:
         workers: int = 2,
         backend: str = "thread",
         compute_fn: Any = None,
+        breaker: Any = None,
     ) -> None:
         self._cache = cache
         self._stats = stats
+        self._breaker = breaker
         self._queue = AdmissionQueue(max_depth)
         self._batch_window = batch_window
         self._max_batch = max(1, max_batch)
@@ -276,6 +279,47 @@ class MicroBatcher:
         self._trace_links: Dict[str, List[Any]] = {}
         self._task: Optional["asyncio.Task[Any]"] = None
         self._serial = 0
+
+    # -- guarded dispatch --------------------------------------------------
+
+    def _guarded_compute(self, tasks: List[Any],
+                         keys: List[Optional[str]]) -> List[Any]:
+        """One batch dispatch through the circuit breaker (executor
+        thread, never the event loop).
+
+        Without a breaker this is a straight call.  With one, a primary
+        dispatch failure is recorded and the batch re-runs on the inline
+        thread path — same deterministic findings, degraded throughput —
+        while an open breaker skips the primary entirely
+        (``breaker.short_circuited``).  The ``serve.dispatch.crash``
+        fault tap fires inside the guarded region so chaos tests drive
+        the breaker without a genuinely broken backend.
+        """
+        breaker = self._breaker
+        if breaker is None:
+            if _faults.fire("serve.dispatch.crash") is not None:
+                raise _faults.InjectedFault("serve.dispatch.crash")
+            return self._compute_fn(tasks, keys)
+        if breaker.allow():
+            try:
+                if _faults.fire("serve.dispatch.crash") is not None:
+                    raise _faults.InjectedFault("serve.dispatch.crash")
+                findings = self._compute_fn(tasks, keys)
+            except Exception:
+                breaker.record_failure()
+                self._stats.incr("breaker.fallbacks")
+                if _OBS.enabled:
+                    _OBS.incr("serve.breaker.fallbacks")
+                    _OBS.event("serve.breaker.fallback",
+                               state=breaker.state, tasks=len(tasks))
+                return _engine_compute(tasks, keys, self._workers,
+                                       "thread")
+            breaker.record_success()
+            return findings
+        self._stats.incr("breaker.short_circuited")
+        if _OBS.enabled:
+            _OBS.incr("serve.breaker.short_circuited")
+        return _engine_compute(tasks, keys, self._workers, "thread")
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -343,6 +387,15 @@ class MicroBatcher:
             cached["cached"] = True
             admission_span("cached")
             return cached
+
+        if _faults.fire("serve.admission.refuse") is not None:
+            self._stats.incr("shed.injected")
+            admission_span("injected_refusal")
+            return {
+                "status": STATUS_OVERLOADED,
+                "model": query.model_key,
+                "error": "admission refused (injected fault)",
+            }
 
         now = loop.time()
         item = AdmittedRequest(
@@ -524,10 +577,10 @@ class MicroBatcher:
         if compute_tasks:
             engine_started = loop.time()
             if batch_ctx is not None:
-                call = partial(_traced_compute, self._compute_fn,
+                call = partial(_traced_compute, self._guarded_compute,
                                compute_tasks, compute_keys, batch_ctx)
             else:
-                call = partial(self._compute_fn, compute_tasks,
+                call = partial(self._guarded_compute, compute_tasks,
                                compute_keys)
             try:
                 findings = await loop.run_in_executor(None, call)

@@ -1,0 +1,179 @@
+"""A circuit breaker for the serve engine's cluster/pool dispatch path.
+
+The serving layer's non-thread backends (``process``/``queue``/
+``cluster``) dispatch micro-batches into machinery that can break in
+correlated ways — a poisoned process pool, a coordinator whose workers
+all died, a fabric mid-partition.  Retrying every batch into a broken
+backend turns one failure into a latency storm.  The breaker is the
+standard three-state answer::
+
+    closed ──(failure rate ≥ threshold over the rolling window)──▶ open
+    open ──(cooldown elapsed)──▶ half-open
+    half-open ──(probe succeeds)──▶ closed
+    half-open ──(probe fails)──▶ open          (cooldown restarts)
+
+While the breaker is not closed the batcher short-circuits to the
+inline thread path (same deterministic results, degraded throughput),
+``/healthz`` reports ``degraded: true``, and ``metrics()["breaker"]``
+plus the ``repro_serve_breaker_*`` Prometheus families expose the state
+machine.  All clock reads go through an injectable ``clock`` so tests
+drive the cooldown deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Rolling-window failure breaker with half-open probing.
+
+    Parameters
+    ----------
+    window:
+        How many recent dispatch outcomes the failure rate is computed
+        over.
+    threshold:
+        Failure fraction (``[0, 1]``) over the window that trips the
+        breaker.
+    min_calls:
+        Outcomes required in the window before the rate is meaningful —
+        one early failure must not trip an idle server.
+    cooldown:
+        Seconds the breaker stays open before letting probes through.
+    half_open_probes:
+        Concurrent trial dispatches allowed while half-open.
+    clock:
+        Monotonic time source (tests inject a fake).
+    on_transition:
+        ``fn(old_state, new_state)`` hook — the server wires it to
+        ``ServeStats`` counters.
+    """
+
+    def __init__(self, *, window: int = 16, threshold: float = 0.5,
+                 min_calls: int = 4, cooldown: float = 5.0,
+                 half_open_probes: int = 1,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_transition: Optional[
+                     Callable[[str, str], None]] = None) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+        self.window = max(1, window)
+        self.threshold = threshold
+        self.min_calls = max(1, min_calls)
+        self.cooldown = cooldown
+        self.half_open_probes = max(1, half_open_probes)
+        self._clock = clock
+        self._on_transition = on_transition
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: "deque[bool]" = deque(maxlen=self.window)
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self._opened_total = 0
+        self._short_circuited = 0
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def _state_locked(self) -> str:
+        if self._state == OPEN and \
+                self._clock() - self._opened_at >= self.cooldown:
+            self._transition_locked(HALF_OPEN)
+        return self._state
+
+    def _transition_locked(self, new_state: str) -> None:
+        old_state = self._state
+        if old_state == new_state:
+            return
+        self._state = new_state
+        if new_state == OPEN:
+            self._opened_at = self._clock()
+            self._opened_total += 1
+        if new_state == HALF_OPEN:
+            self._probes_inflight = 0
+        if new_state == CLOSED:
+            self._outcomes.clear()
+        if self._on_transition is not None:
+            self._on_transition(old_state, new_state)
+
+    def _failure_rate_locked(self) -> float:
+        if not self._outcomes:
+            return 0.0
+        return sum(1 for ok in self._outcomes if not ok) \
+            / len(self._outcomes)
+
+    # -- the dispatch contract --------------------------------------------
+
+    def allow(self) -> bool:
+        """May this dispatch take the primary path?
+
+        Closed: always.  Open: no (until the cooldown flips the breaker
+        to half-open).  Half-open: up to ``half_open_probes`` trial
+        dispatches at a time; the rest short-circuit.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and \
+                    self._probes_inflight < self.half_open_probes:
+                self._probes_inflight += 1
+                return True
+            self._short_circuited += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                # One healthy probe closes the breaker (the window is
+                # reset so stale failures cannot re-trip it instantly).
+                self._transition_locked(CLOSED)
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_inflight = max(0, self._probes_inflight - 1)
+                self._transition_locked(OPEN)
+                return
+            self._outcomes.append(False)
+            if self._state == CLOSED \
+                    and len(self._outcomes) >= self.min_calls \
+                    and self._failure_rate_locked() >= self.threshold:
+                self._transition_locked(OPEN)
+
+    # -- observability -----------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            state = self._state_locked()
+            return {
+                "state": state,
+                "failure_rate": round(self._failure_rate_locked(), 4),
+                "window": len(self._outcomes),
+                "window_max": self.window,
+                "threshold": self.threshold,
+                "cooldown": self.cooldown,
+                "opened_total": self._opened_total,
+                "short_circuited": self._short_circuited,
+                "cooldown_remaining": (
+                    max(0.0, self.cooldown
+                        - (self._clock() - self._opened_at))
+                    if state == OPEN else 0.0),
+            }

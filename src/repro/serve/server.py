@@ -48,7 +48,12 @@ from ..obs.trace import (
     mint_span_id,
     trace_timeline,
 )
+from .. import faults as _faults
 from .batcher import MicroBatcher
+from .breaker import CLOSED as BREAKER_CLOSED
+from .breaker import HALF_OPEN as BREAKER_HALF_OPEN
+from .breaker import OPEN as BREAKER_OPEN
+from .breaker import CircuitBreaker
 from .cache import TieredResultCache
 from .corpus import AnalysisCorpus
 from .protocol import (
@@ -92,6 +97,9 @@ class ServeConfig:
     trace_slow_ms: Optional[float] = None  # tail-keep: retain slower traces
     trace_file: Optional[str] = None  # span JSONL for `repro trace export`
     latency_buckets: Optional[tuple] = None  # stage histogram bounds (s)
+    breaker_window: int = 16  # dispatch outcomes in the breaker window
+    breaker_threshold: float = 0.5  # failure fraction that trips it
+    breaker_cooldown: float = 5.0  # seconds open before half-open probes
 
 
 class AnalysisServer:
@@ -111,6 +119,9 @@ class AnalysisServer:
         #: The cluster fan-out fabric when ``backend == "cluster"`` —
         #: micro-batches dispatch through it to ``repro worker`` agents.
         self.coordinator: Optional[Any] = None
+        #: Circuit breaker around the non-thread dispatch path; while it
+        #: is not closed the server is ``degraded`` (inline fallback).
+        self.breaker: Optional[CircuitBreaker] = None
         self.tracer: Optional[TraceCollector] = None
         self._trace_sink: Optional[JsonlSink] = None
         self._obs_owned = False
@@ -162,6 +173,18 @@ class AnalysisServer:
                 host, port, stats=self.stats)
             self.coordinator.start()
             _cluster.set_coordinator(self.coordinator)
+        if self.config.backend != "thread":
+            # Every non-thread backend dispatches into machinery that
+            # can fail in correlated ways (poisoned pool, dead fabric);
+            # the breaker turns a failure storm into inline degraded
+            # service.  The thread backend *is* the fallback path, so
+            # it gets no breaker.
+            self.breaker = CircuitBreaker(
+                window=self.config.breaker_window,
+                threshold=self.config.breaker_threshold,
+                cooldown=self.config.breaker_cooldown,
+                on_transition=self._breaker_transition,
+            )
         self.batcher = MicroBatcher(
             self.cache,
             self.stats,
@@ -170,6 +193,7 @@ class AnalysisServer:
             max_batch=self.config.max_batch,
             workers=self.config.workers,
             backend=self.config.backend,
+            breaker=self.breaker,
         )
         self.batcher.start()
         self._server = await asyncio.start_server(
@@ -255,6 +279,22 @@ class AnalysisServer:
 
     # -- metrics -----------------------------------------------------------
 
+    def _breaker_transition(self, old_state: str, new_state: str) -> None:
+        """Breaker state changes become ServeStats counters (and so
+        ``repro_serve_breaker_<state>_total`` Prometheus families)."""
+        self.stats.incr(f"breaker.{new_state}")
+        if _OBS.enabled:
+            _OBS.incr(f"serve.breaker.{new_state}")
+            _OBS.event("serve.breaker.transition",
+                       old=old_state, new=new_state)
+
+    @property
+    def degraded(self) -> bool:
+        """Is the primary dispatch path short-circuited (breaker not
+        closed — batches run inline on threads)?"""
+        return (self.breaker is not None
+                and self.breaker.state != BREAKER_CLOSED)
+
     def metrics(self) -> Dict[str, Any]:
         snapshot = self.stats.snapshot()
         snapshot["state"] = self.state
@@ -275,6 +315,12 @@ class AnalysisServer:
             cluster = self.coordinator.snapshot()
             cluster["listen"] = "%s:%d" % self.coordinator.address
             snapshot["cluster"] = cluster
+        if self.breaker is not None:
+            snapshot["breaker"] = self.breaker.snapshot()
+            snapshot["degraded"] = self.degraded
+        faults_snapshot = _faults.snapshot()
+        if faults_snapshot is not None:
+            snapshot["faults"] = faults_snapshot
         if self.tracer is not None:
             snapshot["trace"] = self.tracer.stats()
         return snapshot
@@ -298,6 +344,18 @@ class AnalysisServer:
              1.0 if state == self.state else 0.0)
             for state in (STARTING, READY, DRAINING, STOPPED)
         ]
+        if self.breaker is not None:
+            breaker = self.breaker.snapshot()
+            gauges["breaker.failure_rate"] = breaker["failure_rate"]
+            gauges["breaker.short_circuited"] = \
+                breaker["short_circuited"]
+            gauges["degraded"] = 1.0 if self.degraded else 0.0
+            labeled.extend(
+                ("breaker.state", {"state": state},
+                 1.0 if state == breaker["state"] else 0.0)
+                for state in (BREAKER_CLOSED, BREAKER_OPEN,
+                              BREAKER_HALF_OPEN)
+            )
         return render_exposition(
             counters=snapshot["counters"],
             gauges=gauges,
@@ -449,7 +507,8 @@ class AnalysisServer:
             ready = self.state == READY
             code, reason = (200, "OK") if ready else (503, "Unavailable")
             body: Dict[str, Any] = {"state": self.state, "ready": ready,
-                                    "live": self.state != STOPPED}
+                                    "live": self.state != STOPPED,
+                                    "degraded": self.degraded}
         elif path.startswith("/metrics.json") or "format=json" in path:
             # The structured snapshot (same payload as the line-JSON
             # `metrics` op) stays addressable for humans and tests.

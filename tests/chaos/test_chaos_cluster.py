@@ -1,0 +1,187 @@
+"""Seeded fault matrices against the live cluster fabric.
+
+The tentpole's acceptance contract: under an injected fault plan the
+sweep still reproduces the fault-free (process backend) results exactly,
+the same seed produces the same injections, and a coordinator SIGKILLed
+mid-sweep resumes from its journal re-executing only in-flight work.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import faults
+from repro.cluster import ClusterCoordinator, ClusterWorker, coordinating
+from repro.core import dist
+from repro.core.sweep import sweep_models
+from repro.models import nullhttpd_model, xterm_model
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))
+
+
+@pytest.fixture(autouse=True)
+def _fresh_state():
+    previous = faults.install(None)
+    dist.reset()
+    dist.clear_memo()
+    yield
+    faults.install(previous)
+    dist.reset()
+    dist.clear_memo()
+
+
+def _models():
+    return ({"nullhttpd": nullhttpd_model.build_model(),
+             "xterm": xterm_model.build_model()},
+            {"nullhttpd": nullhttpd_model.pfsm_domains(),
+             "xterm": xterm_model.pfsm_domains()})
+
+
+def _flat(sweeps):
+    return [(s.model_name, f.pfsm_name, tuple(f.witnesses))
+            for s in sweeps for f in s.findings]
+
+
+def _cluster_sweep(plan=None, workers=2, chunk_timeout=None, limit=4):
+    """One cluster sweep through live workers under an optional plan."""
+    models, domains = _models()
+    with ClusterCoordinator(lease_timeout=5.0) as coordinator, \
+            coordinating(coordinator):
+        agents = [ClusterWorker(*coordinator.address, slots=1,
+                                inline=True, chunk_timeout=chunk_timeout)
+                  for _ in range(workers)]
+        for agent in agents:
+            agent.start()
+        assert coordinator.wait_for_workers(workers, timeout=10.0)
+        try:
+            if plan is not None:
+                with faults.injecting(plan):
+                    sweeps = sweep_models(models, domains, limit=limit,
+                                          mode="cluster", workers=workers)
+            else:
+                sweeps = sweep_models(models, domains, limit=limit,
+                                      mode="cluster", workers=workers)
+        finally:
+            for agent in agents:
+                agent.stop(timeout=5.0)
+    return _flat(sweeps)
+
+
+class TestSeededFaultMatrix:
+    def test_results_survive_a_socket_fault_matrix(self):
+        models, domains = _models()
+        expected = _flat(sweep_models(models, domains, limit=4,
+                                      mode="process", workers=2))
+        dist.reset()
+        dist.clear_memo()
+        plan = faults.parse_spec(
+            "seed=13;"
+            "cluster.send.drop:1@after=6@max=1;"
+            "cluster.send.partial:1@after=12@max=1;"
+            "cluster.recv.garble:1@after=9@max=1")
+        got = _cluster_sweep(plan)
+        assert got == expected
+        assert plan.snapshot()["total_injected"] >= 1
+
+    def test_worker_crash_fault_is_retried_to_parity(self):
+        models, domains = _models()
+        expected = _flat(sweep_models(models, domains, limit=4,
+                                      mode="process", workers=2))
+        dist.reset()
+        dist.clear_memo()
+        plan = faults.parse_spec("seed=3;worker.chunk.crash:1@max=2")
+        got = _cluster_sweep(plan)
+        assert got == expected
+        assert plan.snapshot()["injected"]["worker.chunk.crash"] == 2
+
+    def test_same_seed_same_injections_same_results(self):
+        spec = ("seed=21;worker.chunk.crash:1@max=1;"
+                "worker.chunk.slow:1@max=2@ms=20")
+        runs = []
+        for _ in range(2):
+            dist.reset()
+            dist.clear_memo()
+            plan = faults.parse_spec(spec)
+            results = _cluster_sweep(plan)
+            runs.append((results, plan.snapshot()["injected"]))
+        assert runs[0][0] == runs[1][0]
+        # Budgeted (@max) sites fire deterministically often.
+        assert runs[0][1]["worker.chunk.crash"] == \
+            runs[1][1]["worker.chunk.crash"] == 1
+        assert runs[0][1]["worker.chunk.slow"] == \
+            runs[1][1]["worker.chunk.slow"] == 2
+
+
+class TestChunkDeadline:
+    def test_hung_chunk_is_killed_and_retried(self):
+        models, domains = _models()
+        expected = _flat(sweep_models(models, domains, limit=4,
+                                      mode="process", workers=2))
+        dist.reset()
+        dist.clear_memo()
+        # One chunk hangs for 60s; the 0.5s deadline kills it and the
+        # bounded retry (hang budget spent) completes it normally.
+        plan = faults.parse_spec(
+            "seed=2;worker.chunk.hang:1@max=1@ms=60000")
+        started = time.monotonic()
+        got = _cluster_sweep(plan, chunk_timeout=0.5)
+        elapsed = time.monotonic() - started
+        assert got == expected
+        assert plan.snapshot()["injected"]["worker.chunk.hang"] == 1
+        assert elapsed < 30.0  # the hang itself never ran to term
+
+
+class TestKillAndResume:
+    def test_sigkilled_coordinator_resumes_from_journal(self, tmp_path):
+        """Kill a journaling cluster sweep mid-run; the re-run resumes
+        journaled chunks and matches the process backend bit-for-bit."""
+        env = dict(os.environ,
+                   PYTHONPATH=os.path.join(_REPO_ROOT, "src"))
+        env.pop(faults.ENV_VAR, None)
+        journal = str(tmp_path / "journal.jsonl")
+
+        baseline = subprocess.run(
+            [sys.executable, "-m", "repro", "sweep",
+             "--backend", "process", "--json"],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert baseline.returncode == 0, baseline.stderr
+        expected = json.loads(baseline.stdout)
+
+        # SIGKILL the coordinator the moment its first chunk outcome
+        # lands in the journal — the remaining chunks are in flight.
+        victim = subprocess.Popen(
+            [sys.executable, "-m", "repro", "sweep",
+             "--backend", "cluster", "--listen", "127.0.0.1:0",
+             "--journal", journal, "--json"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if os.path.exists(journal) and os.path.getsize(journal) > 0:
+                break
+            if victim.poll() is not None:
+                break
+            time.sleep(0.02)
+        if victim.poll() is None:
+            os.kill(victim.pid, signal.SIGKILL)
+        victim.wait(timeout=30)
+
+        resumed = subprocess.run(
+            [sys.executable, "-m", "repro", "sweep",
+             "--backend", "cluster", "--listen", "127.0.0.1:0",
+             "--journal", journal, "--json"],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert resumed.returncode == 0, resumed.stderr
+        payload = json.loads(resumed.stdout)
+        assert payload["models"] == expected["models"]
+        assert payload["total_findings"] == expected["total_findings"]
+        cluster = payload["cluster"]
+        if victim.returncode and os.path.getsize(journal) > 0:
+            # The victim journaled at least one chunk before dying, so
+            # the resume re-executed strictly less than the whole job.
+            assert cluster["chunks_resumed"] >= 1

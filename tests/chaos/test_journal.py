@@ -1,0 +1,181 @@
+"""The crash-safe sweep journal: record/load round-trips, digest
+scoping, truncation healing, the torn-write / ENOSPC fault taps, and
+coordinator resume (only in-flight chunks re-execute)."""
+
+import pickle
+
+import pytest
+
+from repro import faults, obs
+from repro.cluster import ClusterCoordinator, SweepJournal, job_digest
+from repro.core import Domain, PrimitiveFSM, dist, in_range, less_equal
+
+
+def _task(i, size=20):
+    pfsm = PrimitiveFSM("p", "scan", "x",
+                        spec_accepts=in_range(0, 5),
+                        impl_accepts=less_equal(10))
+    return ("model", f"op{i}", pfsm, Domain.integers(0, size), 5)
+
+
+def _chunks(n=3, rows=2, size=20):
+    chunks, index = [], 0
+    for _cid in range(n):
+        chunk = []
+        for _r in range(rows):
+            chunk.append((index, dist._serialize_task(_task(index, size))))
+            index += 1
+        chunks.append(chunk)
+    return chunks
+
+
+def _outcome(cid):
+    """An opaque journaled outcome in the ledger's pair format."""
+    return [(cid * 2, ("finding", cid)), (cid * 2 + 1, None)]
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_plan():
+    previous = faults.install(None)
+    yield
+    faults.install(previous)
+
+
+class TestJobDigest:
+    def test_digest_is_stable_and_content_sensitive(self):
+        chunks = _chunks()
+        # Stable over the same serialized workload (what a restarted
+        # coordinator recomputes from identical inputs) ...
+        assert job_digest(chunks) == job_digest([list(c) for c in chunks])
+        assert len(job_digest(chunks)) == 16
+        # ... and sensitive to any content or ordering change.
+        other = [list(c) for c in chunks]
+        other[0][0] = (0, b"different bytes")
+        assert job_digest(chunks) != job_digest(other)
+        assert job_digest(chunks) != job_digest(list(reversed(chunks)))
+
+
+class TestRecordLoad:
+    def test_round_trip(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        digest = job_digest(_chunks())
+        for cid in range(3):
+            assert journal.record(digest, cid, _outcome(cid))
+        loaded = journal.load(digest)
+        assert loaded == {cid: _outcome(cid) for cid in range(3)}
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert SweepJournal(tmp_path / "absent.jsonl").load("x" * 16) == {}
+
+    def test_other_jobs_records_are_ignored(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        journal.record("a" * 16, 0, _outcome(0))
+        journal.record("b" * 16, 1, _outcome(1))
+        assert set(journal.load("a" * 16)) == {0}
+        assert set(journal.load("b" * 16)) == {1}
+
+    def test_truncated_tail_is_skipped_and_healed(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        digest = "c" * 16
+        journal.record(digest, 0, _outcome(0))
+        # A crash mid-append: half a record, no newline.
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"job": "' + digest + '", "chu')
+        assert set(journal.load(digest)) == {0}
+        # The next append heals the file; everything is then readable.
+        assert journal.record(digest, 1, _outcome(1))
+        assert set(journal.load(digest)) == {0, 1}
+
+    def test_malformed_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = SweepJournal(path)
+        digest = "d" * 16
+        journal.record(digest, 0, _outcome(0))
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("not json\n")
+            handle.write('{"job": "' + digest + '", "chunk": "NaN", '
+                         '"data": "xx"}\n')
+        assert set(journal.load(digest)) == {0}
+
+
+class TestFaultTaps:
+    def test_torn_write_degrades_and_stays_loadable(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        digest = "e" * 16
+        with faults.injecting(
+                faults.parse_spec("journal.append.torn:1@max=1")):
+            assert journal.record(digest, 0, _outcome(0)) is False
+        assert journal.write_errors == 1
+        assert journal.load(digest) == {}  # the torn record is skipped
+        # Healing: the next append lands cleanly after the torn tail.
+        assert journal.record(digest, 1, _outcome(1))
+        assert set(journal.load(digest)) == {1}
+
+    def test_enospc_counts_a_write_error(self, tmp_path):
+        journal = SweepJournal(tmp_path / "j.jsonl")
+        registry = obs.get_registry()
+        owned = not registry.enabled
+        if owned:
+            registry.enable()
+        try:
+            with faults.injecting(
+                    faults.parse_spec("journal.append.enospc:1@max=1")):
+                assert journal.record("f" * 16, 0, _outcome(0)) is False
+            assert journal.write_errors == 1
+            assert registry.counters().get(
+                "cluster.journal.write_errors", 0) >= 1
+        finally:
+            if owned:
+                registry.disable()
+                registry.reset()
+
+
+class TestCoordinatorResume:
+    def _run(self, journal_path, chunks):
+        with ClusterCoordinator(journal=journal_path) as coordinator:
+            results, failed = coordinator.run_chunks(
+                [list(c) for c in chunks])
+            counters = coordinator.snapshot()["counters"]
+        return results, failed, counters
+
+    def test_full_journal_resumes_every_chunk(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        chunks = _chunks(n=3)
+        first, failed, counters = self._run(path, chunks)
+        assert not failed
+        assert counters.get("journal.appends", 0) == 3
+        # Same chunks, same journal: nothing re-executes.
+        second, failed2, counters2 = self._run(path, chunks)
+        assert second == first
+        assert not failed2
+        assert counters2.get("journal.resumed", 0) == 3
+        assert counters2.get("chunks.inline", 0) == 0
+
+    def test_partial_journal_re_executes_only_missing_chunks(
+            self, tmp_path):
+        chunks = _chunks(n=4)
+        digest = job_digest(chunks)
+        baseline, failed, _ = self._run(
+            str(tmp_path / "clean.jsonl"), chunks)
+        assert not failed
+        # Journal as if the dying coordinator finished chunks 0 and 2.
+        path = str(tmp_path / "j.jsonl")
+        journal = SweepJournal(path)
+        for cid in (0, 2):
+            pairs = dist._chunk_worker([tuple(row) for row in chunks[cid]])
+            assert journal.record(digest, cid, pairs)
+        resumed, failed2, counters = self._run(path, chunks)
+        assert not failed2
+        assert resumed == baseline
+        assert counters.get("journal.resumed", 0) == 2
+        # Only the two unjournaled chunks executed (inline, no workers).
+        assert counters.get("chunks.inline", 0) == 2
+
+    def test_journal_of_different_job_is_ignored(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        self._run(path, _chunks(n=2))
+        results, failed, counters = self._run(path, _chunks(n=2, size=25))
+        assert not failed
+        assert counters.get("journal.resumed", 0) == 0
+        assert counters.get("chunks.inline", 0) == 2

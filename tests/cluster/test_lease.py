@@ -97,6 +97,72 @@ class TestExpiryAndRecovery:
         assert ledger.done
 
 
+class TestRenewReapRaces:
+    """The heartbeat/reaper boundary races: a renewal landing exactly at
+    the old deadline, a claimant released while its result is landing,
+    and a reaped chunk's original result arriving after re-execution."""
+
+    def test_heartbeat_exactly_at_expiry_keeps_the_lease(self):
+        ledger = _ledger(1)
+        ledger.claim("steady", now=0.0, ttl=1.0)
+        # The renewal and the reaper both run at t == deadline; the
+        # coordinator applies the heartbeat first, so the lease lives.
+        assert ledger.renew("steady", now=1.0, ttl=1.0) == 1
+        assert ledger.reap(now=1.0) == []
+        assert ledger.leases()[0].deadline == 2.0
+
+    def test_reap_at_exact_deadline_without_renew_reclaims(self):
+        # Expiry is inclusive (deadline <= now): a claimant whose last
+        # heartbeat is a full TTL old is dead, not "just in time".
+        ledger = _ledger(1)
+        ledger.claim("silent", now=0.0, ttl=1.0)
+        assert ledger.reap(now=1.0) == [(0, "silent", "requeued")]
+
+    def test_release_claimant_racing_complete_keeps_the_result(self):
+        ledger = _ledger(2)
+        ledger.claim("w", now=0.0, ttl=5.0)
+        ledger.claim("w", now=0.0, ttl=5.0)
+        # The result for chunk 0 lands just before the disconnect
+        # sweep: only the unfinished chunk is requeued, the finished
+        # one is not re-executed and burns no retry.
+        assert ledger.complete(0, _outcome(0))
+        assert ledger.release_claimant("w") == [(1, "requeued")]
+        assert ledger.release(0) == "absent"
+        assert ledger.attempt(0) == 0
+        assert ledger.outcomes[0] == _outcome(0)
+
+    def test_reap_then_late_result_first_writer_wins(self):
+        ledger = _ledger(1)
+        ledger.claim("slow", now=0.0, ttl=1.0)
+        assert ledger.reap(now=2.0) == [(0, "slow", "requeued")]
+        # The chunk is re-claimed and finished by another worker ...
+        lease = ledger.claim("fast", now=2.0, ttl=5.0)
+        assert lease.chunk_id == 0 and lease.attempt == 1
+        assert ledger.complete(0, _outcome(0)) is True
+        # ... then the reaped claimant's copy finally arrives: dropped,
+        # and the recorded outcome is untouched.
+        assert ledger.complete(0, ("stale", 0)) is False
+        assert ledger.outcomes[0] == _outcome(0)
+        assert ledger.done and not ledger.failed
+
+    @settings(max_examples=60, deadline=None)
+    @given(gaps=st.lists(st.floats(min_value=0.01, max_value=0.99),
+                         min_size=1, max_size=30))
+    def test_heartbeats_inside_the_ttl_never_lose_the_lease(self, gaps):
+        """Property: however irregular the cadence, renewals spaced
+        strictly under the TTL keep the lease through every reap —
+        and one full TTL of silence always loses it."""
+        ledger = _ledger(1)
+        ledger.claim("steady", now=0.0, ttl=1.0)
+        now = 0.0
+        for gap in gaps:
+            now += gap
+            assert ledger.reap(now) == []
+            assert ledger.renew("steady", now=now, ttl=1.0) == 1
+        assert ledger.reap(now + 0.99) == []
+        assert ledger.reap(now + 1.0) == [(0, "steady", "requeued")]
+
+
 #: Schedule steps the interleaving suite draws from: which consumer
 #: acts, and what it does.
 _STEPS = st.lists(

@@ -337,7 +337,7 @@ class TestHttpFacade:
         assert code == 200
         assert ctype == "application/json"
         assert json.loads(body) == {"state": "ready", "ready": True,
-                                    "live": True}
+                                    "live": True, "degraded": False}
 
     def test_metrics_json_endpoint(self, server):
         with client_for(server) as client:
